@@ -1,0 +1,87 @@
+// Experiment E8 (Fig. 2): integrating N > 2 component schemas with the
+// accumulation strategy (a) versus the balanced strategy (b). Each
+// schema is a small workforce schema whose central class is equivalent
+// across all N databases; chained pairwise assertions drive the rounds.
+
+#include <benchmark/benchmark.h>
+
+#include "common/string_util.h"
+#include "federation/fsm.h"
+
+namespace ooint {
+namespace {
+
+Schema MakeComponentSchema(size_t index) {
+  Schema s(StrCat("S", index));
+  ClassDef person(StrCat("person", index));
+  person.AddAttribute("ssn", ValueKind::kString)
+      .AddAttribute(StrCat("extra", index), ValueKind::kInteger);
+  (void)s.AddClass(std::move(person));
+  ClassDef special(StrCat("special", index));
+  special.AddAttribute("ssn", ValueKind::kString);
+  (void)s.AddClass(std::move(special));
+  (void)s.AddIsA(StrCat("special", index), StrCat("person", index));
+  (void)s.Finalize();
+  return s;
+}
+
+void SetUpFsm(Fsm* fsm, size_t schemas) {
+  for (size_t i = 0; i < schemas; ++i) {
+    (void)fsm->RegisterAgent(
+        FsmAgent::Create(StrCat("agent", i), "ooint", StrCat("db", i),
+                         MakeComponentSchema(i))
+            .value());
+  }
+  // All person classes are pairwise equivalent.
+  for (size_t i = 0; i < schemas; ++i) {
+    for (size_t j = i + 1; j < schemas; ++j) {
+      Assertion a;
+      a.lhs = {{StrCat("S", i), StrCat("person", i)}};
+      a.rel = SetRel::kEquivalent;
+      a.rhs = {StrCat("S", j), StrCat("person", j)};
+      a.attr_corrs.push_back(
+          {Path::Attr(StrCat("S", i), StrCat("person", i), "ssn"),
+           AttrRel::kEquivalent,
+           Path::Attr(StrCat("S", j), StrCat("person", j), "ssn"), "",
+           std::nullopt});
+      (void)fsm->AddAssertion(std::move(a));
+    }
+  }
+}
+
+void RunStrategy(benchmark::State& state, Fsm::Strategy strategy) {
+  const size_t schemas = static_cast<size_t>(state.range(0));
+  Fsm fsm;
+  SetUpFsm(&fsm, schemas);
+  size_t rounds = 0;
+  size_t pairs = 0;
+  size_t classes = 0;
+  for (auto _ : state) {
+    const GlobalSchema global = fsm.IntegrateAll(strategy).value();
+    rounds = global.rounds;
+    pairs = global.total_stats.pairs_checked;
+    classes = global.schema.NumClasses();
+    benchmark::DoNotOptimize(global);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["global_classes"] = static_cast<double>(classes);
+}
+
+void BM_Accumulation(benchmark::State& state) {
+  RunStrategy(state, Fsm::Strategy::kAccumulation);
+}
+
+void BM_Balanced(benchmark::State& state) {
+  RunStrategy(state, Fsm::Strategy::kBalanced);
+}
+
+BENCHMARK(BM_Accumulation)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Balanced)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ooint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// Experiment E6 (Appendix B): federated evaluation of the virtual rules.
+//
+// The genealogy federation is scaled by the number of families; both
+// the bottom-up (stratified fixpoint) and the top-down (Appendix B's
+// labelled evaluation(q, Q)) evaluators answer the uncle query. The
+// `derived` counter reports the virtual facts produced.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "assertions/parser.h"
+#include "rules/evaluator.h"
+#include "rules/rule_generator.h"
+#include "rules/topdown.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+struct GenealogyWorld {
+  Fixture fixture;
+  std::unique_ptr<InstanceStore> s1_store;
+  std::unique_ptr<InstanceStore> s2_store;
+  std::vector<Rule> rules;
+};
+
+GenealogyWorld MakeWorld(size_t families) {
+  GenealogyWorld world{MakeGenealogyFixture().value(), nullptr, nullptr,
+                       {}};
+  world.s1_store = std::make_unique<InstanceStore>(&world.fixture.s1);
+  world.s2_store = std::make_unique<InstanceStore>(&world.fixture.s2);
+  (void)PopulateGenealogy(world.s1_store.get(), world.s2_store.get(),
+                          families);
+  const AssertionSet assertions =
+      AssertionParser::Parse(world.fixture.assertion_text).value();
+  RuleGenerator generator;
+  world.rules =
+      generator.Generate(*assertions.AllDerivations().front()).value();
+  return world;
+}
+
+void BM_BottomUpEvaluation(benchmark::State& state) {
+  const size_t families = static_cast<size_t>(state.range(0));
+  const GenealogyWorld world = MakeWorld(families);
+  size_t derived = 0;
+  for (auto _ : state) {
+    Evaluator evaluator;
+    evaluator.AddSource("S1", world.s1_store.get());
+    evaluator.AddSource("S2", world.s2_store.get());
+    (void)evaluator.BindConcept("IS(S1.parent)", "S1", "parent");
+    (void)evaluator.BindConcept("IS(S1.brother)", "S1", "brother");
+    (void)evaluator.BindConcept("IS(S2.uncle)", "S2", "uncle");
+    for (const Rule& rule : world.rules) (void)evaluator.AddRule(rule);
+    if (!evaluator.Evaluate().ok()) state.SkipWithError("evaluation failed");
+    derived = evaluator.stats().derived_facts;
+    benchmark::DoNotOptimize(evaluator.FactsOf("IS(S2.uncle)"));
+  }
+  state.counters["derived"] = static_cast<double>(derived);
+  state.counters["facts_per_family"] =
+      static_cast<double>(derived) / families;
+}
+
+void BM_TopDownEvaluation(benchmark::State& state) {
+  const size_t families = static_cast<size_t>(state.range(0));
+  const GenealogyWorld world = MakeWorld(families);
+  size_t facts = 0;
+  for (auto _ : state) {
+    TopDownEvaluator evaluator;
+    evaluator.AddSource("S1", world.s1_store.get());
+    evaluator.AddSource("S2", world.s2_store.get());
+    (void)evaluator.BindConcept("IS(S1.parent)", "S1", "parent");
+    (void)evaluator.BindConcept("IS(S1.brother)", "S1", "brother");
+    (void)evaluator.BindConcept("IS(S2.uncle)", "S2", "uncle");
+    for (const Rule& rule : world.rules) (void)evaluator.AddRule(rule);
+    auto result = evaluator.Evaluate("IS(S2.uncle)");
+    if (!result.ok()) state.SkipWithError("evaluation failed");
+    facts = result.value().size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["facts"] = static_cast<double>(facts);
+}
+
+void BM_UncleQueryAfterFixpoint(benchmark::State& state) {
+  // Cost of one query against an evaluated federation (the FSM-client
+  // steady state).
+  const size_t families = static_cast<size_t>(state.range(0));
+  const GenealogyWorld world = MakeWorld(families);
+  Evaluator evaluator;
+  evaluator.AddSource("S1", world.s1_store.get());
+  evaluator.AddSource("S2", world.s2_store.get());
+  (void)evaluator.BindConcept("IS(S1.parent)", "S1", "parent");
+  (void)evaluator.BindConcept("IS(S1.brother)", "S1", "brother");
+  (void)evaluator.BindConcept("IS(S2.uncle)", "S2", "uncle");
+  for (const Rule& rule : world.rules) (void)evaluator.AddRule(rule);
+  (void)evaluator.Evaluate();
+
+  OTerm query;
+  query.object = TermArg::Variable("u");
+  query.class_name = "IS(S2.uncle)";
+  query.attrs.push_back(
+      {"niece_nephew", false, TermArg::Constant(Value::String("C1a"))});
+  query.attrs.push_back({"Ussn#", false, TermArg::Variable("who")});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Query(query).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_TopDownFilteredEvaluation(benchmark::State& state) {
+  // Appendix B's constant-propagation optimization: the query's
+  // constants are pushed into the base scans and the rule-body join.
+  const size_t families = static_cast<size_t>(state.range(0));
+  const GenealogyWorld world = MakeWorld(families);
+  size_t facts = 0;
+  for (auto _ : state) {
+    TopDownEvaluator evaluator;
+    evaluator.AddSource("S1", world.s1_store.get());
+    evaluator.AddSource("S2", world.s2_store.get());
+    (void)evaluator.BindConcept("IS(S1.parent)", "S1", "parent");
+    (void)evaluator.BindConcept("IS(S1.brother)", "S1", "brother");
+    (void)evaluator.BindConcept("IS(S2.uncle)", "S2", "uncle");
+    for (const Rule& rule : world.rules) (void)evaluator.AddRule(rule);
+    auto result = evaluator.EvaluateFiltered(
+        "IS(S2.uncle)", {{"niece_nephew", Value::String("C1a")}});
+    if (!result.ok()) state.SkipWithError("evaluation failed");
+    facts = result.value().size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["facts"] = static_cast<double>(facts);
+}
+
+BENCHMARK(BM_BottomUpEvaluation)->Arg(10)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TopDownFilteredEvaluation)->Arg(10)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TopDownEvaluation)->Arg(10)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UncleQueryAfterFixpoint)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ooint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Experiment E2 (Section 6.1, observations 1-4): how each assertion
+// kind changes the optimized algorithm's pruning. Each benchmark runs
+// the optimized integrator on a workload dominated by one assertion
+// kind and reports the check/skip counters; the naive baseline runs on
+// the same workloads for reference.
+
+#include <benchmark/benchmark.h>
+
+#include "integrate/integrator.h"
+#include "integrate/naive_integrator.h"
+#include "workload/generator.h"
+
+namespace ooint {
+namespace {
+
+struct Workload {
+  Schema s1{"S1"};
+  Schema s2{"S2"};
+  AssertionSet assertions;
+};
+
+Workload MakeWorkload(size_t n, double eq, double inc, double dis,
+                      double der) {
+  SchemaGenOptions options;
+  options.num_classes = n;
+  options.degree = 2;
+  Workload w;
+  w.s1 = GenerateSchema(options).value();
+  w.s2 = GenerateCounterpartSchema(w.s1, "S2", "d").value();
+  AssertionGenOptions mix;
+  mix.equivalence_fraction = eq;
+  mix.inclusion_fraction = inc;
+  mix.disjoint_fraction = dis;
+  mix.derivation_fraction = der;
+  w.assertions = GenerateAssertions(w.s1, w.s2, "c", "d", mix).value();
+  return w;
+}
+
+void Report(benchmark::State& state, const IntegrationStats& optimized,
+            const IntegrationStats& naive) {
+  state.counters["pairs_opt"] = static_cast<double>(optimized.pairs_checked);
+  state.counters["pairs_naive"] = static_cast<double>(naive.pairs_checked);
+  state.counters["label_skips"] =
+      static_cast<double>(optimized.pairs_skipped_by_labels);
+  state.counters["sibling_removed"] =
+      static_cast<double>(optimized.sibling_pairs_removed);
+  state.counters["dfs_steps"] = static_cast<double>(optimized.dfs_steps);
+  state.counters["saving"] =
+      naive.pairs_checked == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(optimized.pairs_checked) /
+                      static_cast<double>(naive.pairs_checked);
+}
+
+void RunMix(benchmark::State& state, double eq, double inc, double dis,
+            double der) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n, eq, inc, dis, der);
+  IntegrationStats optimized;
+  IntegrationStats naive;
+  for (auto _ : state) {
+    optimized = Integrator::Integrate(w.s1, w.s2, w.assertions)
+                    .value()
+                    .stats;
+    naive = NaiveIntegrator::Integrate(w.s1, w.s2, w.assertions)
+                .value()
+                .stats;
+  }
+  Report(state, optimized, naive);
+}
+
+void BM_AllEquivalent(benchmark::State& state) {
+  RunMix(state, 1.0, 0, 0, 0);
+}
+void BM_InclusionHeavy(benchmark::State& state) {
+  RunMix(state, 0.1, 0.9, 0, 0);
+}
+void BM_DisjointHeavy(benchmark::State& state) {
+  RunMix(state, 0.1, 0, 0.9, 0);
+}
+void BM_DerivationHeavy(benchmark::State& state) {
+  RunMix(state, 0.1, 0, 0, 0.9);
+}
+void BM_NoAssertions(benchmark::State& state) {
+  RunMix(state, 0.02, 0, 0, 0);
+}
+void BM_MixedRealistic(benchmark::State& state) {
+  RunMix(state, 0.4, 0.3, 0.1, 0.1);
+}
+
+BENCHMARK(BM_AllEquivalent)->Arg(255)->Arg(1023)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InclusionHeavy)->Arg(255)->Arg(1023)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DisjointHeavy)->Arg(255)->Arg(1023)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DerivationHeavy)->Arg(255)->Arg(1023)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NoAssertions)->Arg(255)->Arg(1023)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MixedRealistic)->Arg(255)->Arg(1023)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ooint
+
+BENCHMARK_MAIN();

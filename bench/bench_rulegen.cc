@@ -1,0 +1,106 @@
+// Experiment E5 (Section 5, Figs. 9-11): derivation-rule generation via
+// reverse substitutions over assertion graphs.
+//
+// BM_GenerateCarRules sweeps the number of schematic columns (the
+// Fig. 9/10 decomposition: one rule per repeated attribute occurrence);
+// BM_GenerateWideAssertion sweeps the number of attribute
+// correspondences in a single assertion (graph components);
+// BM_AssertionGraph isolates graph construction.
+
+#include <benchmark/benchmark.h>
+
+#include "assertions/parser.h"
+#include "common/string_util.h"
+#include "rules/assertion_graph.h"
+#include "rules/rule_generator.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+void BM_GenerateCarRules(benchmark::State& state) {
+  const size_t columns = static_cast<size_t>(state.range(0));
+  const Fixture fixture = MakeCarFixture(columns).value();
+  const AssertionSet assertions =
+      AssertionParser::Parse(fixture.assertion_text).value();
+  RuleGenerator generator;
+  size_t rules = 0;
+  for (auto _ : state) {
+    rules = 0;
+    for (const Assertion* derivation : assertions.AllDerivations()) {
+      rules += generator.Generate(*derivation).value().size();
+    }
+    benchmark::DoNotOptimize(rules);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rules));
+}
+
+/// One derivation assertion with `width` attribute correspondences, all
+/// on one class pair.
+Assertion MakeWideAssertion(size_t width) {
+  Assertion assertion;
+  assertion.lhs = {{"S1", "a"}};
+  assertion.rel = SetRel::kDerivation;
+  assertion.rhs = {"S2", "b"};
+  for (size_t i = 0; i < width; ++i) {
+    assertion.attr_corrs.push_back(
+        {Path::Attr("S1", "a", StrCat("x", i)), AttrRel::kEquivalent,
+         Path::Attr("S2", "b", StrCat("y", i)), "", std::nullopt});
+  }
+  return assertion;
+}
+
+void BM_GenerateWideAssertion(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  const Assertion assertion = MakeWideAssertion(width);
+  RuleGenerator generator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(assertion).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_AssertionGraph(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  const Assertion assertion = MakeWideAssertion(width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssertionGraph::Build(assertion).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_GenerateGenealogyRule(benchmark::State& state) {
+  const Fixture fixture = MakeGenealogyFixture().value();
+  const AssertionSet assertions =
+      AssertionParser::Parse(fixture.assertion_text).value();
+  const Assertion& derivation = *assertions.AllDerivations().front();
+  RuleGenerator generator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(derivation).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ParseAssertionText(benchmark::State& state) {
+  const size_t columns = static_cast<size_t>(state.range(0));
+  const Fixture fixture = MakeCarFixture(columns).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AssertionParser::Parse(fixture.assertion_text).value());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.assertion_text.size()));
+}
+
+BENCHMARK(BM_GenerateCarRules)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_GenerateWideAssertion)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_AssertionGraph)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_GenerateGenealogyRule);
+BENCHMARK(BM_ParseAssertionText)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace ooint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Experiment E1 (Section 6.3): pair-check complexity of the naive vs
+// the optimized integration algorithm on the paper's analysis workload —
+// two isomorphic is-a trees where every class has exactly one
+// equivalent counterpart.
+//
+// The paper derives Ω_h = O(n) for the optimized algorithm and >O(n²)
+// for the naive one; the `pairs` counter reported per run regenerates
+// that curve. Degrees 2, 4 and 8 probe the d-dependence of the
+// recurrence.
+
+#include <benchmark/benchmark.h>
+
+#include "integrate/integrator.h"
+#include "integrate/naive_integrator.h"
+#include "workload/generator.h"
+
+namespace ooint {
+namespace {
+
+struct Workload {
+  Schema s1{"S1"};
+  Schema s2{"S2"};
+  AssertionSet assertions;
+};
+
+Workload MakeWorkload(size_t n, size_t degree) {
+  SchemaGenOptions options;
+  options.num_classes = n;
+  options.degree = degree;
+  Workload w;
+  w.s1 = GenerateSchema(options).value();
+  w.s2 = GenerateCounterpartSchema(w.s1, "S2", "d").value();
+  AssertionGenOptions mix;  // all-equivalent counterparts (§6.3 setting)
+  w.assertions = GenerateAssertions(w.s1, w.s2, "c", "d", mix).value();
+  return w;
+}
+
+void BM_NaiveIntegration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t degree = static_cast<size_t>(state.range(1));
+  const Workload w = MakeWorkload(n, degree);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    auto outcome = NaiveIntegrator::Integrate(w.s1, w.s2, w.assertions);
+    if (!outcome.ok()) state.SkipWithError("integration failed");
+    pairs = outcome.value().stats.pairs_checked;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_class"] = static_cast<double>(pairs) / n;
+}
+
+void BM_OptimizedIntegration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t degree = static_cast<size_t>(state.range(1));
+  const Workload w = MakeWorkload(n, degree);
+  size_t pairs = 0;
+  size_t skipped = 0;
+  for (auto _ : state) {
+    auto outcome = Integrator::Integrate(w.s1, w.s2, w.assertions);
+    if (!outcome.ok()) state.SkipWithError("integration failed");
+    pairs = outcome.value().stats.pairs_checked;
+    skipped = outcome.value().stats.pairs_skipped_by_labels +
+              outcome.value().stats.sibling_pairs_removed;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_class"] = static_cast<double>(pairs) / n;
+  state.counters["pruned"] = static_cast<double>(skipped);
+}
+
+void NaiveArgs(benchmark::internal::Benchmark* b) {
+  // The naive pair space is quadratic; 1023² ≈ 1M checks per run is
+  // plenty to expose the curve.
+  for (int degree : {2, 4, 8}) {
+    for (int n : {15, 63, 255, 1023}) {
+      b->Args({n, degree});
+    }
+  }
+}
+
+void OptimizedArgs(benchmark::internal::Benchmark* b) {
+  for (int degree : {2, 4, 8}) {
+    for (int n : {15, 63, 255, 1023, 4095}) {
+      b->Args({n, degree});
+    }
+  }
+}
+
+BENCHMARK(BM_NaiveIntegration)->Apply(NaiveArgs)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OptimizedIntegration)->Apply(OptimizedArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ooint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Supplementary benchmark: the schema-transformation phase (Section 3 /
+// ref [6]) — relational→OO transformation and the text-language
+// round-trips component schemas go through at the FSM boundary.
+
+#include <benchmark/benchmark.h>
+
+#include "common/string_util.h"
+#include "model/schema_parser.h"
+#include "transform/rel_to_oo.h"
+
+namespace ooint {
+namespace {
+
+RelationalSchema MakeRelational(size_t relations, size_t columns) {
+  RelationalSchema db("BenchDB");
+  for (size_t r = 0; r < relations; ++r) {
+    Relation relation;
+    relation.name = StrCat("rel", r);
+    relation.columns.push_back(
+        {"id", ValueKind::kInteger, true, "", ""});
+    for (size_t c = 0; c < columns; ++c) {
+      relation.columns.push_back(
+          {StrCat("col", c), ValueKind::kString, false, "", ""});
+    }
+    if (r > 0) {
+      // Every relation references its predecessor.
+      relation.columns.push_back({"prev", ValueKind::kInteger, false,
+                                  StrCat("rel", r - 1), "id"});
+    }
+    (void)db.AddRelation(std::move(relation));
+  }
+  return db;
+}
+
+void BM_RelationalToOO(benchmark::State& state) {
+  const size_t relations = static_cast<size_t>(state.range(0));
+  const RelationalSchema db = MakeRelational(relations, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransformToOO(db).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(relations));
+}
+
+void BM_SchemaTextRoundTrip(benchmark::State& state) {
+  const size_t relations = static_cast<size_t>(state.range(0));
+  const Schema schema = TransformToOO(MakeRelational(relations, 8)).value();
+  const std::string text = SchemaToText(schema);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchemaParser::Parse(text).value());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+BENCHMARK(BM_RelationalToOO)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_SchemaTextRoundTrip)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace ooint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Market: schematic discrepancies (Example 5 / Fig. 10) and qualified
+// attribute inclusions (the stock example of Section 4.1).
+//
+// S2 stores one column per car (car-name_i holding its price); S1
+// stores one row per (car, month). The decomposed derivation assertions
+// of Fig. 10 generate one rule per column, each guarded by the
+// predicate car-name = "car-name_i"; evaluating them pivots the
+// column-oriented data into row-oriented integrated facts.
+//
+//   ./build/examples/market
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "assertions/parser.h"
+#include "federation/fsm_client.h"
+#include "workload/fixtures.h"
+
+namespace {
+
+void Die(const ooint::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Unwrap(ooint::Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+
+void RunCarPivot() {
+  using ooint::Value;
+  std::printf("=== Example 5 / Fig. 10: the car-price pivot ===\n");
+  ooint::Fixture fixture = Unwrap(ooint::MakeCarFixture(3));
+
+  std::unique_ptr<ooint::FsmAgent> rows = Unwrap(ooint::FsmAgent::Create(
+      "FSM-agent1", "informix", "CarRowsDB", fixture.s1));
+  std::unique_ptr<ooint::FsmAgent> columns = Unwrap(ooint::FsmAgent::Create(
+      "FSM-agent2", "oracle", "CarColumnsDB", fixture.s2));
+
+  // Column-oriented monthly snapshots in S2.
+  for (const char* month : {"January", "February"}) {
+    ooint::Object* snapshot = Unwrap(columns->store().NewObject("car2"));
+    const int base = month[0];  // deterministic toy prices
+    snapshot->Set("time", Value::String(month))
+        .Set("car-name_1", Value::Integer(20000 + base))
+        .Set("car-name_2", Value::Integer(30000 + base))
+        .Set("car-name_3", Value::Integer(40000 + base));
+  }
+
+  ooint::Fsm fsm;
+  if (auto s = fsm.RegisterAgent(std::move(rows)); !s.ok()) Die(s);
+  if (auto s = fsm.RegisterAgent(std::move(columns)); !s.ok()) Die(s);
+  if (auto s = fsm.DeclareAssertions(fixture.assertion_text); !s.ok()) Die(s);
+
+  ooint::FsmClient client(&fsm);
+  if (auto s = client.Connect(); !s.ok()) Die(s);
+
+  for (const ooint::Rule& rule : client.global().rules) {
+    std::printf("rule: %s\n", rule.ToString().c_str());
+  }
+
+  const std::string car_class = Unwrap(client.GlobalNameOf("S1", "car1"));
+  std::printf("\npivoted rows of %s:\n", car_class.c_str());
+  for (const ooint::Fact* fact : Unwrap(client.Extent(car_class))) {
+    std::printf("  time=%-10s car=%-12s price=%s\n",
+                fact->attrs.at("time").ToString().c_str(),
+                fact->attrs.at("car-name").ToString().c_str(),
+                fact->attrs.at("price").ToString().c_str());
+  }
+
+  // ?- car1(time=January, car-name_2's price).
+  ooint::Query january(car_class);
+  january.Where("time", Value::String("January"))
+      .Where("car-name", Value::String("car-name_2"))
+      .Select("price", "price");
+  std::printf("\n?- price of car-name_2 in January\n");
+  for (const ooint::Bindings& row : Unwrap(client.Run(january))) {
+    std::printf("  price = %s\n", row.at("price").ToString().c_str());
+  }
+}
+
+void RunStockColumns() {
+  using ooint::Value;
+  std::printf("\n=== Section 4.1: the stock `with` qualifiers ===\n");
+  ooint::Fixture fixture = Unwrap(ooint::MakeStockFixture());
+
+  std::unique_ptr<ooint::FsmAgent> monthly = Unwrap(ooint::FsmAgent::Create(
+      "FSM-agent1", "db2", "QuarterDB", fixture.s1));
+  std::unique_ptr<ooint::FsmAgent> ticks = Unwrap(ooint::FsmAgent::Create(
+      "FSM-agent2", "informix", "TickDB", fixture.s2));
+
+  // Row-per-month quotes in S2.
+  struct Quote {
+    const char* month;
+    const char* name;
+    int price;
+  };
+  for (const Quote& q : {Quote{"March", "ACME", 120}, Quote{"April", "ACME", 140},
+                         Quote{"March", "Globex", 80},
+                         Quote{"May", "ACME", 150}}) {
+    ooint::Object* quote = Unwrap(ticks->store().NewObject("stock"));
+    quote->Set("time", Value::String(q.month))
+        .Set("stock-name", Value::String(q.name))
+        .Set("price", Value::Integer(q.price));
+  }
+
+  ooint::Fsm fsm;
+  if (auto s = fsm.RegisterAgent(std::move(monthly)); !s.ok()) Die(s);
+  if (auto s = fsm.RegisterAgent(std::move(ticks)); !s.ok()) Die(s);
+  if (auto s = fsm.DeclareAssertions(fixture.assertion_text); !s.ok()) Die(s);
+
+  ooint::FsmClient client(&fsm);
+  if (auto s = client.Connect(); !s.ok()) Die(s);
+
+  const std::string quarters =
+      Unwrap(client.GlobalNameOf("S1", "stock-in-March-April"));
+  std::printf("derived March/April views (May quotes excluded by the "
+              "`with` predicates):\n");
+  for (const ooint::Fact* fact : Unwrap(client.Extent(quarters))) {
+    std::printf("  %s\n", fact->ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunCarPivot();
+  RunStockColumns();
+  return 0;
+}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full verification loop: configure, build, test, run every benchmark.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do "$b"; done

@@ -1,0 +1,229 @@
+#include "assertions/assertion_set.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+std::string AssertionSet::PairKey(const ClassRef& a, const ClassRef& b) {
+  const std::string ka = a.ToString();
+  const std::string kb = b.ToString();
+  return (ka < kb) ? StrCat(ka, "|", kb) : StrCat(kb, "|", ka);
+}
+
+Status AssertionSet::Add(Assertion assertion) {
+  if (assertion.lhs.empty()) {
+    return Status::InvalidArgument("assertion has no lhs class");
+  }
+  if (assertion.lhs.size() > 1 && assertion.rel != SetRel::kDerivation) {
+    return Status::InvalidArgument(
+        StrCat("only derivation assertions may have several lhs classes; "
+               "got ",
+               SetRelName(assertion.rel)));
+  }
+  const size_t index = assertions_.size();
+  for (const ClassRef& c : assertion.lhs) {
+    partners_[c.ToString()].push_back(assertion.rhs);
+    partners_[assertion.rhs.ToString()].push_back(c);
+  }
+  if (assertion.rel == SetRel::kDerivation) {
+    for (const ClassRef& c : assertion.lhs) {
+      derivation_index_[PairKey(c, assertion.rhs)].push_back(index);
+      derivation_by_class_[c.ToString()].push_back(index);
+    }
+    derivation_by_class_[assertion.rhs.ToString()].push_back(index);
+  } else {
+    const std::string key = PairKey(assertion.lhs.front(), assertion.rhs);
+    auto [it, inserted] = set_rel_index_.emplace(key, index);
+    if (!inserted) {
+      const Assertion& prior = assertions_[it->second];
+      return Status::AlreadyExists(
+          StrCat("classes ", assertion.lhs.front().ToString(), " and ",
+                 assertion.rhs.ToString(),
+                 " already related by an assertion (",
+                 SetRelName(prior.rel), ")"));
+    }
+  }
+  assertions_.push_back(std::move(assertion));
+  return Status::OK();
+}
+
+AssertionSet::Lookup AssertionSet::Find(const ClassRef& a,
+                                        const ClassRef& b) const {
+  Lookup out;
+  const std::string key = PairKey(a, b);
+  auto it = set_rel_index_.find(key);
+  if (it != set_rel_index_.end()) {
+    const Assertion& assertion = assertions_[it->second];
+    out.assertion = &assertion;
+    if (assertion.lhs.front() == a && assertion.rhs == b) {
+      out.rel = assertion.rel;
+      out.reversed = false;
+    } else {
+      out.rel = ReverseSetRel(assertion.rel);
+      out.reversed = true;
+    }
+    return out;
+  }
+  auto dit = derivation_index_.find(key);
+  if (dit != derivation_index_.end() && !dit->second.empty()) {
+    const Assertion& assertion = assertions_[dit->second.front()];
+    out.assertion = &assertion;
+    out.rel = SetRel::kDerivation;
+    out.reversed = !(assertion.rhs == b);
+    return out;
+  }
+  return out;
+}
+
+std::vector<const Assertion*> AssertionSet::FindDerivations(
+    const ClassRef& ref) const {
+  std::vector<const Assertion*> out;
+  auto it = derivation_by_class_.find(ref.ToString());
+  if (it == derivation_by_class_.end()) return out;
+  for (size_t index : it->second) out.push_back(&assertions_[index]);
+  // A class can appear in one assertion both via several indexes; dedup.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<const Assertion*> AssertionSet::AllDerivations() const {
+  std::vector<const Assertion*> out;
+  for (const Assertion& a : assertions_) {
+    if (a.rel == SetRel::kDerivation) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<ClassRef> AssertionSet::PartnersOf(const ClassRef& ref) const {
+  auto it = partners_.find(ref.ToString());
+  if (it == partners_.end()) return {};
+  std::vector<ClassRef> out = it->second;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool AssertionSet::Involves(const ClassRef& a, const ClassRef& b) const {
+  const std::string key = PairKey(a, b);
+  return set_rel_index_.count(key) != 0 || derivation_index_.count(key) != 0;
+}
+
+namespace {
+
+Status CheckClassRef(const ClassRef& ref, const Schema& s1, const Schema& s2) {
+  const Schema* schema = nullptr;
+  if (ref.schema == s1.name()) {
+    schema = &s1;
+  } else if (ref.schema == s2.name()) {
+    schema = &s2;
+  } else {
+    return Status::NotFound(StrCat("assertion references unknown schema '",
+                                   ref.schema, "'"));
+  }
+  if (schema->FindClass(ref.class_name) == kInvalidClassId) {
+    return Status::NotFound(StrCat("assertion references unknown class ",
+                                   ref.ToString()));
+  }
+  return Status::OK();
+}
+
+Status CheckPath(const Path& path, const Schema& s1, const Schema& s2) {
+  const Schema* schema = nullptr;
+  if (path.schema() == s1.name()) {
+    schema = &s1;
+  } else if (path.schema() == s2.name()) {
+    schema = &s2;
+  } else {
+    return Status::NotFound(
+        StrCat("path ", path.ToString(), " references unknown schema"));
+  }
+  Result<const ClassDef*> resolved = path.Resolve(*schema);
+  if (!resolved.ok()) return resolved.status();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AssertionSet::Validate(const Schema& s1, const Schema& s2) const {
+  for (const Assertion& assertion : assertions_) {
+    for (const ClassRef& c : assertion.lhs) {
+      OOINT_RETURN_IF_ERROR(CheckClassRef(c, s1, s2));
+    }
+    OOINT_RETURN_IF_ERROR(CheckClassRef(assertion.rhs, s1, s2));
+
+    // Derivations: all lhs classes in one schema, rhs in the other.
+    if (assertion.rel == SetRel::kDerivation) {
+      const std::string& lhs_schema = assertion.lhs.front().schema;
+      for (const ClassRef& c : assertion.lhs) {
+        if (c.schema != lhs_schema) {
+          return Status::InvalidArgument(
+              StrCat("derivation lhs classes span several schemas: ",
+                     assertion.ToString()));
+        }
+      }
+      if (assertion.rhs.schema == lhs_schema) {
+        return Status::InvalidArgument(
+            StrCat("derivation rhs must come from the other schema: ",
+                   assertion.ToString()));
+      }
+    }
+
+    for (const AttributeCorrespondence& ac : assertion.attr_corrs) {
+      OOINT_RETURN_IF_ERROR(CheckPath(ac.lhs, s1, s2));
+      OOINT_RETURN_IF_ERROR(CheckPath(ac.rhs, s1, s2));
+      if (ac.rel == AttrRel::kComposedInto && ac.composed_name.empty()) {
+        return Status::InvalidArgument(
+            StrCat("composed-into correspondence lacks the new attribute "
+                   "name: ",
+                   ac.ToString()));
+      }
+      if (ac.rel != AttrRel::kComposedInto && !ac.composed_name.empty()) {
+        return Status::InvalidArgument(
+            StrCat("composed name on a non-alpha correspondence: ",
+                   ac.ToString()));
+      }
+      if (ac.with.has_value()) {
+        if (ac.rel != AttrRel::kSubset && ac.rel != AttrRel::kSuperset &&
+            ac.rel != AttrRel::kOverlap && ac.rel != AttrRel::kEquivalent) {
+          return Status::InvalidArgument(
+              StrCat("'with' qualifier on unsupported correspondence kind: ",
+                     ac.ToString()));
+        }
+        OOINT_RETURN_IF_ERROR(CheckPath(ac.with->attribute, s1, s2));
+      }
+    }
+    for (const AggCorrespondence& gc : assertion.agg_corrs) {
+      OOINT_RETURN_IF_ERROR(CheckPath(gc.lhs, s1, s2));
+      OOINT_RETURN_IF_ERROR(CheckPath(gc.rhs, s1, s2));
+    }
+    for (const ValueCorrespondence& vc : assertion.value_corrs) {
+      const std::string& expected_schema = (vc.side == 1)
+                                               ? assertion.lhs.front().schema
+                                               : assertion.rhs.schema;
+      if (vc.lhs.schema() != expected_schema ||
+          vc.rhs.schema() != expected_schema) {
+        return Status::InvalidArgument(
+            StrCat("value correspondence for side ", vc.side,
+                   " must stay inside schema '", expected_schema,
+                   "': ", vc.ToString()));
+      }
+      OOINT_RETURN_IF_ERROR(CheckPath(vc.lhs, s1, s2));
+      OOINT_RETURN_IF_ERROR(CheckPath(vc.rhs, s1, s2));
+    }
+  }
+  return Status::OK();
+}
+
+std::string AssertionSet::ToString() const {
+  std::string out;
+  for (const Assertion& a : assertions_) {
+    out += a.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ooint

@@ -1,0 +1,112 @@
+#include "assertions/kinds.h"
+
+namespace ooint {
+
+const char* SetRelName(SetRel rel) {
+  switch (rel) {
+    case SetRel::kEquivalent:
+      return "==";
+    case SetRel::kSubset:
+      return "<=";
+    case SetRel::kSuperset:
+      return ">=";
+    case SetRel::kOverlap:
+      return "~";
+    case SetRel::kDisjoint:
+      return "!";
+    case SetRel::kDerivation:
+      return "->";
+  }
+  return "?";
+}
+
+const char* AttrRelName(AttrRel rel) {
+  switch (rel) {
+    case AttrRel::kEquivalent:
+      return "==";
+    case AttrRel::kSubset:
+      return "<=";
+    case AttrRel::kSuperset:
+      return ">=";
+    case AttrRel::kOverlap:
+      return "~";
+    case AttrRel::kDisjoint:
+      return "!";
+    case AttrRel::kComposedInto:
+      return "alpha";
+    case AttrRel::kMoreSpecific:
+      return "beta";
+  }
+  return "?";
+}
+
+const char* AggRelName(AggRel rel) {
+  switch (rel) {
+    case AggRel::kEquivalent:
+      return "==";
+    case AggRel::kSubset:
+      return "<=";
+    case AggRel::kSuperset:
+      return ">=";
+    case AggRel::kOverlap:
+      return "~";
+    case AggRel::kDisjoint:
+      return "!";
+    case AggRel::kReverse:
+      return "rev";
+  }
+  return "?";
+}
+
+const char* ValueRelName(ValueRel rel) {
+  switch (rel) {
+    case ValueRel::kEq:
+      return "=";
+    case ValueRel::kNe:
+      return "!=";
+    case ValueRel::kIn:
+      return "in";
+    case ValueRel::kSupseteq:
+      return ">=";
+    case ValueRel::kOverlap:
+      return "~";
+    case ValueRel::kDisjoint:
+      return "!";
+  }
+  return "?";
+}
+
+SetRel ReverseSetRel(SetRel rel) {
+  switch (rel) {
+    case SetRel::kSubset:
+      return SetRel::kSuperset;
+    case SetRel::kSuperset:
+      return SetRel::kSubset;
+    default:
+      return rel;
+  }
+}
+
+AttrRel ReverseAttrRel(AttrRel rel) {
+  switch (rel) {
+    case AttrRel::kSubset:
+      return AttrRel::kSuperset;
+    case AttrRel::kSuperset:
+      return AttrRel::kSubset;
+    default:
+      return rel;
+  }
+}
+
+AggRel ReverseAggRel(AggRel rel) {
+  switch (rel) {
+    case AggRel::kSubset:
+      return AggRel::kSuperset;
+    case AggRel::kSuperset:
+      return AggRel::kSubset;
+    default:
+      return rel;
+  }
+}
+
+}  // namespace ooint

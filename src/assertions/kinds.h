@@ -1,0 +1,68 @@
+#ifndef OOINT_ASSERTIONS_KINDS_H_
+#define OOINT_ASSERTIONS_KINDS_H_
+
+namespace ooint {
+
+/// Class-level correspondence assertions (Table 1): the four classical
+/// set relationships of [35] plus the paper's novel derivation assertion.
+/// Relations are oriented left-to-right: kSubset means lhs ⊆ rhs and
+/// kDerivation means lhs (a list of classes) → rhs.
+enum class SetRel {
+  kEquivalent,  // ≡  : RWS(A) = RWS(B) always
+  kSubset,      // ⊆  : RWS(A) ⊆ RWS(B) always
+  kSuperset,    // ⊇
+  kOverlap,     // ∩  : RWS(A) ∩ RWS(B) ≠ ∅ sometimes
+  kDisjoint,    // ∅  : RWS(A) ∩ RWS(B) = ∅ always
+  kDerivation,  // →  : occurrences of B derivable from A_1, ..., A_n
+};
+
+/// Attribute-level correspondence assertions (Table 2).
+enum class AttrRel {
+  kEquivalent,    // ≡
+  kSubset,        // ⊆
+  kSuperset,      // ⊇
+  kOverlap,       // ∩
+  kDisjoint,      // ∅
+  kComposedInto,  // α(x): lhs and rhs combine into a new attribute x
+  kMoreSpecific,  // β: lhs carries more specific information than rhs
+};
+
+/// Aggregation-function correspondence assertions (Table 3).
+enum class AggRel {
+  kEquivalent,  // ≡ (of the functions' ranges)
+  kSubset,      // ⊆
+  kSuperset,    // ⊇
+  kOverlap,     // ∩
+  kDisjoint,    // ∅
+  kReverse,     // ℵ: rhs is the reverse function of lhs
+};
+
+/// Same-schema value correspondences (Section 4.1): '=' and '≠' for
+/// single-valued attributes; '∈', '⊇', '∩', '∅' (and '=') for multi-valued
+/// ones. These connect the component classes of a derivation assertion,
+/// e.g. parent.Pssn# ∈ brother.brothers.
+enum class ValueRel {
+  kEq,        // =
+  kNe,        // ≠
+  kIn,        // ∈  : lhs (single value) is a member of rhs (set)
+  kSupseteq,  // ⊇
+  kOverlap,   // ∩
+  kDisjoint,  // ∅
+};
+
+/// Surface-syntax spellings used by the parser and printer.
+const char* SetRelName(SetRel rel);
+const char* AttrRelName(AttrRel rel);
+const char* AggRelName(AggRel rel);
+const char* ValueRelName(ValueRel rel);
+
+/// The mirror-image relation (swap of operands): ⊆ ↔ ⊇; ≡, ∩, ∅ are
+/// symmetric. Derivation has no mirror and is returned unchanged —
+/// callers must track direction separately.
+SetRel ReverseSetRel(SetRel rel);
+AttrRel ReverseAttrRel(AttrRel rel);
+AggRel ReverseAggRel(AggRel rel);
+
+}  // namespace ooint
+
+#endif  // OOINT_ASSERTIONS_KINDS_H_

@@ -1,0 +1,52 @@
+#ifndef OOINT_ASSERTIONS_PARSER_H_
+#define OOINT_ASSERTIONS_PARSER_H_
+
+#include <string>
+
+#include "assertions/assertion_set.h"
+#include "common/result.h"
+
+namespace ooint {
+
+/// Parser for the textual assertion language — the machine-readable form
+/// of the paper's Fig. 3 assertion blocks. One declaration per class
+/// correspondence:
+///
+///   # Fig. 4(a)
+///   assert S1.person == S2.human {
+///     attr: S1.person.ssn# == S2.human.ssn#;
+///     attr: S1.person.full_name == S2.human.name;
+///     attr: S1.person.city alpha(address) S2.human.street-number;
+///     attr: S1.person.interests >= S2.human.hobby;
+///   }
+///
+///   # Example 3 — a derivation assertion with a same-schema value
+///   # correspondence
+///   assert S1(parent, brother) -> S2.uncle {
+///     value(S1): S1.parent.Pssn# in S1.brother.brothers;
+///     attr: S1.brother.Bssn# == S2.uncle.Ussn#;
+///     attr: S1.parent.children >= S2.uncle.niece_nephew;
+///   }
+///
+/// Class/attribute/aggregation relation operators: == (≡), <= (⊆),
+/// >= (⊇), ~ (∩), ! (∅), -> (derivation), alpha(x) (composed-into),
+/// beta (more-specific-than), rev (reverse aggregation).
+/// Value correspondence operators: = != in >= ~ !.
+/// Attribute inclusions accept a qualifying clause
+/// `with <path> <cmp> <constant>` (the stock example of Section 4.1).
+/// A quoted final path component denotes an attribute *name* reference
+/// (Definition 4.1), e.g. S2.Author.book."title".
+/// Line comments start with '#'. Assertions without a block end in ';'.
+class AssertionParser {
+ public:
+  /// Parses the whole `text` into an assertion set. Error statuses carry
+  /// 1-based line/column positions.
+  static Result<AssertionSet> Parse(const std::string& text);
+
+  /// Parses exactly one assertion declaration.
+  static Result<Assertion> ParseOne(const std::string& text);
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_ASSERTIONS_PARSER_H_

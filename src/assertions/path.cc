@@ -1,0 +1,66 @@
+#include "assertions/path.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+const std::string& Path::leaf() const {
+  return components_.empty() ? kEmpty : components_.back();
+}
+
+std::string Path::ToString() const {
+  std::string out = StrCat(schema_, ".", class_name_);
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const bool quoted = name_ref_ && i + 1 == components_.size();
+    out += quoted ? StrCat(".\"", components_[i], "\"")
+                  : StrCat(".", components_[i]);
+  }
+  return out;
+}
+
+std::string Path::LocalString() const {
+  std::string out = class_name_;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const bool quoted = name_ref_ && i + 1 == components_.size();
+    out += quoted ? StrCat(".\"", components_[i], "\"")
+                  : StrCat(".", components_[i]);
+  }
+  return out;
+}
+
+Result<const ClassDef*> Path::Resolve(const Schema& schema) const {
+  Result<ClassId> id = schema.GetClass(class_name_);
+  if (!id.ok()) return id.status();
+  const ClassDef* current = &schema.class_def(id.value());
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const std::string& component = components_[i];
+    const Attribute* attr = current->FindAttribute(component);
+    const AggregationFunction* agg = current->FindAggregation(component);
+    if (attr == nullptr && agg == nullptr) {
+      return Status::NotFound(
+          StrCat("path ", ToString(), ": '", component,
+                 "' is not an attribute or aggregation of class '",
+                 current->name(), "'"));
+    }
+    const bool is_last = (i + 1 == components_.size());
+    if (is_last) return current;
+    // Intermediate component: must be class-typed (structured attribute)
+    // or an aggregation function, so the path can descend.
+    if (attr != nullptr && attr->type.is_class()) {
+      current = &schema.class_def(attr->type.class_id);
+    } else if (agg != nullptr) {
+      current = &schema.class_def(agg->range_class_id);
+    } else {
+      return Status::TypeError(
+          StrCat("path ", ToString(), ": component '", component,
+                 "' is scalar and cannot be descended into"));
+    }
+  }
+  return current;
+}
+
+}  // namespace ooint

@@ -1,0 +1,89 @@
+#ifndef OOINT_ASSERTIONS_PATH_H_
+#define OOINT_ASSERTIONS_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/schema.h"
+
+namespace ooint {
+
+/// A path w.r.t. a class (Definition 4.1):
+///
+///   C • a_i • a_ij • ... • b
+///
+/// where each intermediate component is an attribute of the (class-typed)
+/// previous component and the final component b either denotes attribute
+/// *values* (plain) or, when quoted, the attribute *name* itself — e.g.
+/// Author.book."title" refers to the string "title" (Example 1).
+///
+/// A Path additionally records which schema it belongs to, yielding the
+/// paper's dotted notation S1.Book.author.birthday.
+class Path {
+ public:
+  Path() = default;
+  Path(std::string schema, std::string class_name,
+       std::vector<std::string> components, bool name_ref = false)
+      : schema_(std::move(schema)),
+        class_name_(std::move(class_name)),
+        components_(std::move(components)),
+        name_ref_(name_ref) {}
+
+  /// Convenience for the common one-component case S.C.a.
+  static Path Attr(std::string schema, std::string class_name,
+                   std::string attribute) {
+    return Path(std::move(schema), std::move(class_name),
+                {std::move(attribute)}, false);
+  }
+  /// A path denoting a class itself (no components), used when a class is
+  /// equated with a nested structured attribute, e.g.
+  /// S1.Book == S2.Author.book.
+  static Path Class(std::string schema, std::string class_name) {
+    return Path(std::move(schema), std::move(class_name), {}, false);
+  }
+
+  const std::string& schema() const { return schema_; }
+  const std::string& class_name() const { return class_name_; }
+  const std::vector<std::string>& components() const { return components_; }
+  /// True when the final component is quoted (refers to the attribute
+  /// name, not its values).
+  bool name_ref() const { return name_ref_; }
+  bool is_class_path() const { return components_.empty(); }
+
+  /// The final component ("" for class paths).
+  const std::string& leaf() const;
+
+  /// "S1.Book.author.birthday", with the leaf quoted for name refs.
+  std::string ToString() const;
+  /// The path without the schema prefix: "Book.author.birthday".
+  std::string LocalString() const;
+
+  /// Validates this path against `schema`: the class exists, every
+  /// non-final component is a class-typed attribute, and the final
+  /// component is an attribute or aggregation function of the class it is
+  /// rooted in. Returns the ClassDef the leaf belongs to.
+  Result<const ClassDef*> Resolve(const Schema& schema) const;
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.schema_ == b.schema_ && a.class_name_ == b.class_name_ &&
+           a.components_ == b.components_ && a.name_ref_ == b.name_ref_;
+  }
+  friend bool operator!=(const Path& a, const Path& b) { return !(a == b); }
+  friend bool operator<(const Path& a, const Path& b) {
+    if (a.schema_ != b.schema_) return a.schema_ < b.schema_;
+    if (a.class_name_ != b.class_name_) return a.class_name_ < b.class_name_;
+    if (a.components_ != b.components_) return a.components_ < b.components_;
+    return a.name_ref_ < b.name_ref_;
+  }
+
+ private:
+  std::string schema_;
+  std::string class_name_;
+  std::vector<std::string> components_;
+  bool name_ref_ = false;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_ASSERTIONS_PATH_H_

@@ -1,0 +1,318 @@
+#include "common/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+const char* TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEnd:
+      return "<end>";
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kString:
+      return "string";
+    case TokKind::kNumber:
+      return "number";
+    case TokKind::kEqEq:
+      return "'=='";
+    case TokKind::kEq:
+      return "'='";
+    case TokKind::kNe:
+      return "'!='";
+    case TokKind::kLe:
+      return "'<='";
+    case TokKind::kGe:
+      return "'>='";
+    case TokKind::kLt:
+      return "'<'";
+    case TokKind::kGt:
+      return "'>'";
+    case TokKind::kTilde:
+      return "'~'";
+    case TokKind::kBang:
+      return "'!'";
+    case TokKind::kArrow:
+      return "'->'";
+    case TokKind::kQuestion:
+      return "'?'";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kColon:
+      return "':'";
+    case TokKind::kSemi:
+      return "';'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kDot:
+      return "'.'";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' ||
+         c == '-';
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (pos_ >= text_.size()) {
+        tok.kind = TokKind::kEnd;
+        out.push_back(tok);
+        return out;
+      }
+      const char c = text_[pos_];
+      if (IsIdentStart(c)) {
+        tok.kind = TokKind::kIdent;
+        tok.text = LexIdent();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        tok.kind = TokKind::kNumber;
+        tok.text = LexNumber();
+      } else if (c == '"') {
+        tok.kind = TokKind::kString;
+        Result<std::string> s = LexString();
+        if (!s.ok()) return s.status();
+        tok.text = std::move(s).value();
+      } else {
+        Result<TokKind> kind = LexSymbol();
+        if (!kind.ok()) return kind.status();
+        tok.kind = kind.value();
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string LexIdent() {
+    std::string out;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) {
+      // A '-' immediately followed by '>' terminates the identifier so
+      // that "a->b" lexes as IDENT ARROW IDENT.
+      if (text_[pos_] == '-' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] == '>') {
+        break;
+      }
+      out.push_back(text_[pos_]);
+      Advance();
+    }
+    return out;
+  }
+
+  std::string LexNumber() {
+    std::string out;
+    if (text_[pos_] == '-') {
+      out.push_back('-');
+      Advance();
+    }
+    bool seen_dot = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        out.push_back(c);
+        Advance();
+      } else if (c == '.' && !seen_dot && pos_ + 1 < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        seen_dot = true;
+        out.push_back(c);
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<std::string> LexString() {
+    Advance();  // consume opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') {
+        return Status::ParseError(
+            StrCat("unterminated string literal at line ", line_));
+      }
+      out.push_back(text_[pos_]);
+      Advance();
+    }
+    if (pos_ >= text_.size()) {
+      return Status::ParseError(
+          StrCat("unterminated string literal at line ", line_));
+    }
+    Advance();  // closing quote
+    return out;
+  }
+
+  Result<TokKind> LexSymbol() {
+    const char c = text_[pos_];
+    const char next = (pos_ + 1 < text_.size()) ? text_[pos_ + 1] : '\0';
+    auto two = [&](TokKind kind) {
+      Advance();
+      Advance();
+      return kind;
+    };
+    auto one = [&](TokKind kind) {
+      Advance();
+      return kind;
+    };
+    switch (c) {
+      case '=':
+        return next == '=' ? two(TokKind::kEqEq) : one(TokKind::kEq);
+      case '!':
+        return next == '=' ? two(TokKind::kNe) : one(TokKind::kBang);
+      case '<':
+        return next == '=' ? two(TokKind::kLe) : one(TokKind::kLt);
+      case '>':
+        return next == '=' ? two(TokKind::kGe) : one(TokKind::kGt);
+      case '-':
+        if (next == '>') return two(TokKind::kArrow);
+        break;
+      case '~':
+        return one(TokKind::kTilde);
+      case '?':
+        // The query prompt "?-" is one token.
+        return next == '-' ? two(TokKind::kQuestion)
+                           : one(TokKind::kQuestion);
+      case '{':
+        return one(TokKind::kLBrace);
+      case '}':
+        return one(TokKind::kRBrace);
+      case '(':
+        return one(TokKind::kLParen);
+      case ')':
+        return one(TokKind::kRParen);
+      case '[':
+        return one(TokKind::kLBracket);
+      case ']':
+        return one(TokKind::kRBracket);
+      case ':':
+        return one(TokKind::kColon);
+      case ';':
+        return one(TokKind::kSemi);
+      case ',':
+        return one(TokKind::kComma);
+      case '.':
+        return one(TokKind::kDot);
+      default:
+        break;
+    }
+    return Status::ParseError(StrCat("unexpected character '", c,
+                                     "' at line ", line_, ", column ",
+                                     column_));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  LexerImpl lexer(text);
+  return lexer.Run();
+}
+
+Status TokenCursor::ErrorAt(const Token& token,
+                            const std::string& message) const {
+  return Status::ParseError(StrCat("line ", token.line, ", column ",
+                                   token.column, ": ", message));
+}
+
+Status TokenCursor::Expect(TokKind kind) {
+  const Token& tok = Peek();
+  if (tok.kind != kind) {
+    return ErrorAt(tok, StrCat("expected ", TokKindName(kind), ", got ",
+                               TokKindName(tok.kind)));
+  }
+  Next();
+  return Status::OK();
+}
+
+Result<std::string> TokenCursor::ExpectIdent() {
+  const Token& tok = Peek();
+  if (tok.kind != TokKind::kIdent) {
+    return ErrorAt(tok, StrCat("expected identifier, got ",
+                               TokKindName(tok.kind)));
+  }
+  Next();
+  return tok.text;
+}
+
+Status TokenCursor::ExpectKeyword(const std::string& keyword) {
+  const Token& tok = Peek();
+  if (tok.kind != TokKind::kIdent || tok.text != keyword) {
+    return ErrorAt(tok, StrCat("expected keyword '", keyword, "'"));
+  }
+  Next();
+  return Status::OK();
+}
+
+bool TokenCursor::ConsumeKeyword(const std::string& word) {
+  if (Peek().kind == TokKind::kIdent && Peek().text == word) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenCursor::Consume(TokKind kind) {
+  if (Peek().kind == kind) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ooint

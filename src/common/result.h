@@ -1,0 +1,71 @@
+#ifndef OOINT_COMMON_RESULT_H_
+#define OOINT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ooint {
+
+/// Either a value of type T or an error Status; the library's return type
+/// for fallible operations that produce a value.
+///
+/// Usage:
+///   Result<Schema> r = ParseSchema(text);
+///   if (!r.ok()) return r.status();
+///   const Schema& s = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns the error
+/// status from the enclosing function.
+#define OOINT_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto OOINT_CONCAT_(_ooint_result_, __LINE__) = (expr);  \
+  if (!OOINT_CONCAT_(_ooint_result_, __LINE__).ok())      \
+    return OOINT_CONCAT_(_ooint_result_, __LINE__).status(); \
+  lhs = std::move(OOINT_CONCAT_(_ooint_result_, __LINE__)).value()
+
+#define OOINT_CONCAT_(a, b) OOINT_CONCAT_IMPL_(a, b)
+#define OOINT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace ooint
+
+#endif  // OOINT_COMMON_RESULT_H_

@@ -1,0 +1,93 @@
+#ifndef OOINT_COMMON_STATUS_H_
+#define OOINT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ooint {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow convention: library code never throws; every fallible
+/// operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kParseError,
+  kTypeError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code, e.g.
+/// "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying an error code and message.
+///
+/// The OK status carries no allocation; error statuses carry a message
+/// describing what went wrong (and, by convention, which entity was
+/// involved). Statuses are ordinary values: copy, move and compare freely.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define OOINT_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::ooint::Status _ooint_status = (expr);          \
+    if (!_ooint_status.ok()) return _ooint_status;   \
+  } while (false)
+
+}  // namespace ooint
+
+#endif  // OOINT_COMMON_STATUS_H_

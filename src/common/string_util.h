@@ -1,0 +1,43 @@
+#ifndef OOINT_COMMON_STRING_UTIL_H_
+#define OOINT_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ooint {
+
+/// Concatenates the streamable arguments into one std::string.
+/// StrCat("class ", name, " has ", n, " attributes")
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on every occurrence of `sep` (single character). Keeps
+/// empty fields, so Split("a..b", '.') == {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` begins with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if every character of `text` satisfies the identifier charset
+/// [A-Za-z0-9_#-] and text is non-empty and does not start with a digit.
+/// Identifiers name schemas, classes, attributes and aggregation functions
+/// (the paper uses names like "ssn#", "car-name" and "niece_nephew", hence
+/// '#' and '-' are allowed).
+bool IsIdentifier(std::string_view text);
+
+}  // namespace ooint
+
+#endif  // OOINT_COMMON_STRING_UTIL_H_

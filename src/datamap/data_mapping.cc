@@ -1,0 +1,158 @@
+#include "datamap/data_mapping.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+DataMapping DataMapping::FromTriples(std::vector<Triple> triples) {
+  DataMapping m;
+  m.kind_ = Kind::kTripleSet;
+  m.triples_ = std::move(triples);
+  return m;
+}
+
+DataMapping DataMapping::Linear(double slope, double intercept) {
+  DataMapping m;
+  m.kind_ = Kind::kLinear;
+  m.slope_ = slope;
+  m.intercept_ = intercept;
+  return m;
+}
+
+Result<Value> DataMapping::MapToIntegrated(const Value& local) const {
+  switch (kind_) {
+    case Kind::kDefault:
+      return local;
+    case Kind::kTripleSet: {
+      const Triple* best = nullptr;
+      for (const Triple& t : triples_) {
+        if (t.local == local && (best == nullptr || t.degree > best->degree)) {
+          best = &t;
+        }
+      }
+      if (best == nullptr) {
+        return Status::NotFound(
+            StrCat("no triple maps local value ", local.ToString()));
+      }
+      return best->integrated;
+    }
+    case Kind::kLinear: {
+      Result<double> x = local.AsNumber();
+      if (!x.ok()) return x.status();
+      return Value::Real(slope_ * x.value() + intercept_);
+    }
+  }
+  return Status::Internal("unreachable mapping kind");
+}
+
+Result<Value> DataMapping::MapToLocal(const Value& integrated) const {
+  switch (kind_) {
+    case Kind::kDefault:
+      return integrated;
+    case Kind::kTripleSet: {
+      const Triple* best = nullptr;
+      for (const Triple& t : triples_) {
+        if (t.integrated == integrated &&
+            (best == nullptr || t.degree > best->degree)) {
+          best = &t;
+        }
+      }
+      if (best == nullptr) {
+        return Status::NotFound(
+            StrCat("no triple maps integrated value ", integrated.ToString()));
+      }
+      return best->local;
+    }
+    case Kind::kLinear: {
+      if (slope_ == 0.0) {
+        return Status::FailedPrecondition(
+            "linear mapping with zero slope is not invertible");
+      }
+      Result<double> y = integrated.AsNumber();
+      if (!y.ok()) return y.status();
+      return Value::Real((y.value() - intercept_) / slope_);
+    }
+  }
+  return Status::Internal("unreachable mapping kind");
+}
+
+double DataMapping::Degree(const Value& integrated, const Value& local) const {
+  switch (kind_) {
+    case Kind::kDefault:
+      return integrated == local ? 1.0 : 0.0;
+    case Kind::kTripleSet: {
+      double best = 0.0;
+      for (const Triple& t : triples_) {
+        if (t.integrated == integrated && t.local == local) {
+          best = std::max(best, t.degree);
+        }
+      }
+      return best;
+    }
+    case Kind::kLinear: {
+      Result<Value> mapped = MapToIntegrated(local);
+      if (!mapped.ok()) return 0.0;
+      Result<double> a = mapped.value().AsNumber();
+      Result<double> b = integrated.AsNumber();
+      if (!a.ok() || !b.ok()) return 0.0;
+      return a.value() == b.value() ? 1.0 : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+std::string DataMapping::ToString() const {
+  switch (kind_) {
+    case Kind::kDefault:
+      return "default";
+    case Kind::kTripleSet: {
+      std::vector<std::string> parts;
+      parts.reserve(triples_.size());
+      for (const Triple& t : triples_) {
+        parts.push_back(StrCat("(", t.integrated.ToString(), ", ",
+                               t.local.ToString(), "; ", t.degree, ")"));
+      }
+      return StrCat("{", Join(parts, ", "), "}");
+    }
+    case Kind::kLinear:
+      return StrCat("y = ", slope_, "*x + ", intercept_);
+  }
+  return "?";
+}
+
+void DataMappingRegistry::Register(const std::string& integrated_attr,
+                                   const std::string& database,
+                                   const std::string& local_attr,
+                                   DataMapping mapping) {
+  mappings_[StrCat(integrated_attr, "\n", database, "\n", local_attr)] =
+      std::move(mapping);
+}
+
+const DataMapping* DataMappingRegistry::Find(
+    const std::string& integrated_attr, const std::string& database,
+    const std::string& local_attr) const {
+  auto it =
+      mappings_.find(StrCat(integrated_attr, "\n", database, "\n", local_attr));
+  return it == mappings_.end() ? nullptr : &it->second;
+}
+
+void DataMappingRegistry::DeclareSameObject(const Oid& a, const Oid& b) {
+  std::pair<Oid, Oid> key = (a < b) ? std::make_pair(a, b)
+                                    : std::make_pair(b, a);
+  if (std::find(identities_.begin(), identities_.end(), key) ==
+      identities_.end()) {
+    identities_.push_back(std::move(key));
+  }
+}
+
+bool DataMappingRegistry::SameObject(const Oid& a, const Oid& b) const {
+  if (a == b) return true;
+  const std::pair<Oid, Oid> key =
+      (a < b) ? std::make_pair(a, b) : std::make_pair(b, a);
+  return std::find(identities_.begin(), identities_.end(), key) !=
+         identities_.end();
+}
+
+}  // namespace ooint

@@ -1,0 +1,110 @@
+#ifndef OOINT_DATAMAP_DATA_MAPPING_H_
+#define OOINT_DATAMAP_DATA_MAPPING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/value.h"
+
+namespace ooint {
+
+/// One value correspondence F^A_{DB_i,B} of Section 3, mapping values of a
+/// local attribute B (of database DB_i) to values of an integrated
+/// attribute A. The paper enumerates three forms:
+///
+///  1. the string "default": every actual value of B is already a value
+///     of A (identity mapping);
+///  2. a set of triples (a, b; χ): value b of B corresponds to value a of
+///     A with fuzzy degree χ ∈ [0, 1];
+///  3. a simple function y = f(x), e.g. y = 2.54·x (unit conversion),
+///     restricted here to affine functions y = slope·x + intercept over
+///     numeric domains.
+///
+/// The three "accessing methods" the paper attaches to the pre-defined
+/// root class are MapToIntegrated / MapToLocal / Degree below.
+class DataMapping {
+ public:
+  enum class Kind { kDefault, kTripleSet, kLinear };
+
+  /// A fuzzy correspondence triple (a, b; χ).
+  struct Triple {
+    Value integrated;  // a — value of the integrated attribute A
+    Value local;       // b — value of the local attribute B
+    double degree;     // χ ∈ [0, 1]
+  };
+
+  /// The identity ("default") mapping.
+  DataMapping() : kind_(Kind::kDefault) {}
+
+  static DataMapping Default() { return DataMapping(); }
+  static DataMapping FromTriples(std::vector<Triple> triples);
+  /// y = slope·x + intercept.
+  static DataMapping Linear(double slope, double intercept);
+
+  Kind kind() const { return kind_; }
+
+  /// Maps a local value b to the corresponding integrated value a.
+  /// Triple-set mappings return the first correspondence with the highest
+  /// degree; NotFound when no triple matches. Linear mappings require a
+  /// numeric input.
+  Result<Value> MapToIntegrated(const Value& local) const;
+
+  /// The reverse direction (a -> b). Linear mappings require a non-zero
+  /// slope.
+  Result<Value> MapToLocal(const Value& integrated) const;
+
+  /// The fuzzy degree χ of a correspondence; 1.0 for default/linear
+  /// mappings, 0.0 when the pair is not related.
+  double Degree(const Value& integrated, const Value& local) const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  std::vector<Triple> triples_;
+  double slope_ = 1.0;
+  double intercept_ = 0.0;
+};
+
+/// Registry of data mappings and OID-level object identity, shared by the
+/// integration principles that need cross-database value joins
+/// (concatenation(x, y) of Principle 1 and the attribute integration
+/// functions AIF of Principle 3 both hinge on "there exist oi1 ∈ A and
+/// oi2 ∈ B such that oi1 = oi2 (in terms of data mapping)").
+class DataMappingRegistry {
+ public:
+  /// Registers the mapping for integrated attribute `integrated_attr`
+  /// (a dotted path string, e.g. "IS(person,human).ssn#") against local
+  /// attribute `local_attr` of database `database`.
+  void Register(const std::string& integrated_attr,
+                const std::string& database, const std::string& local_attr,
+                DataMapping mapping);
+
+  /// Mapping lookup; nullptr when no mapping was registered (callers then
+  /// assume "default" per the paper's convention).
+  const DataMapping* Find(const std::string& integrated_attr,
+                          const std::string& database,
+                          const std::string& local_attr) const;
+
+  /// Declares that two local OIDs denote the same real-world entity.
+  void DeclareSameObject(const Oid& a, const Oid& b);
+
+  /// True iff the two OIDs were declared to denote the same entity
+  /// (symmetric; reflexive for equal OIDs).
+  bool SameObject(const Oid& a, const Oid& b) const;
+
+  size_t NumMappings() const { return mappings_.size(); }
+  size_t NumIdentities() const { return identities_.size(); }
+
+ private:
+  // Key: integrated_attr + '\n' + database + '\n' + local_attr.
+  std::map<std::string, DataMapping> mappings_;
+  // Canonically ordered OID pairs.
+  std::vector<std::pair<Oid, Oid>> identities_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_DATAMAP_DATA_MAPPING_H_

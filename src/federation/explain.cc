@@ -1,0 +1,66 @@
+#include "federation/explain.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+std::string QueryPlan::ToString() const {
+  std::string out = StrCat("plan for ", concept_name, " {\n");
+  for (const std::string& concept_ref : concepts) {
+    out += StrCat("  concept ", concept_ref, "\n");
+  }
+  for (const ClassRef& scan : ground_scans) {
+    out += StrCat("  scan ", scan.ToString(), "\n");
+  }
+  for (size_t rule : rules) {
+    out += StrCat("  rule #", rule, "\n");
+  }
+  out += StrCat("  agents: ", Join(agents, ", "), "\n}");
+  return out;
+}
+
+Result<QueryPlan> ExplainQuery(const GlobalSchema& global,
+                               const std::string& concept_name) {
+  QueryPlan plan;
+  plan.concept_name = concept_name;
+
+  // BFS through rule dependencies.
+  std::set<std::string> seen = {concept_name};
+  std::deque<std::string> frontier = {concept_name};
+  std::set<size_t> rule_set;
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    plan.concepts.push_back(current);
+    for (size_t i = 0; i < global.rules.size(); ++i) {
+      const Rule& rule = global.rules[i];
+      const std::vector<std::string> heads = rule.HeadConceptNames();
+      if (std::find(heads.begin(), heads.end(), current) == heads.end()) {
+        continue;
+      }
+      rule_set.insert(i);
+      for (const std::string& body : rule.BodyConceptNames(false)) {
+        if (seen.insert(body).second) frontier.push_back(body);
+      }
+    }
+  }
+
+  std::set<std::string> agent_set;
+  for (const std::string& concept_ref : plan.concepts) {
+    auto it = global.ground_sources.find(concept_ref);
+    if (it == global.ground_sources.end()) continue;
+    for (const ClassRef& source : it->second) {
+      plan.ground_scans.push_back(source);
+      agent_set.insert(source.schema);
+    }
+  }
+  plan.rules.assign(rule_set.begin(), rule_set.end());
+  plan.agents.assign(agent_set.begin(), agent_set.end());
+  return plan;
+}
+
+}  // namespace ooint

@@ -1,0 +1,42 @@
+#ifndef OOINT_FEDERATION_EXPLAIN_H_
+#define OOINT_FEDERATION_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/fsm.h"
+
+namespace ooint {
+
+/// A federated query plan: which component databases a query against a
+/// global concept touches, and through which rules — the "automatic
+/// decomposition and translation of queries submitted to an integrated
+/// schema" the paper's conclusion points at.
+struct QueryPlan {
+  /// The queried global concept.
+  std::string concept_name;
+  /// Every concept reachable from it through rule bodies (including
+  /// itself), in dependency order.
+  std::vector<std::string> concepts;
+  /// The ground (agent schema, class) extents that will be scanned.
+  std::vector<ClassRef> ground_scans;
+  /// Indexes into GlobalSchema::rules of the rules involved.
+  std::vector<size_t> rules;
+  /// Agents contacted (schema names, deduplicated).
+  std::vector<std::string> agents;
+
+  std::string ToString() const;
+};
+
+/// Computes the plan for querying `concept_name` against `global`:
+/// transitively collects the rules defining the concept, the concepts
+/// their bodies reference, and the ground sources feeding them. A
+/// concept with no rules and no ground sources yields a valid plan with
+/// empty scans (the query returns nothing).
+Result<QueryPlan> ExplainQuery(const GlobalSchema& global,
+                               const std::string& concept_name);
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_EXPLAIN_H_

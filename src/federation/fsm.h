@@ -1,0 +1,125 @@
+#ifndef OOINT_FEDERATION_FSM_H_
+#define OOINT_FEDERATION_FSM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assertions/assertion_set.h"
+#include "common/result.h"
+#include "datamap/data_mapping.h"
+#include "federation/fsm_agent.h"
+#include "integrate/consistency.h"
+#include "integrate/integrator.h"
+#include "rules/evaluator.h"
+
+namespace ooint {
+
+/// The result of integrating all registered component databases: the
+/// lowered global schema, the rules accumulated across rounds, and the
+/// provenance linking every global class back to the agent-level classes
+/// that populate it.
+struct GlobalSchema {
+  /// The global schema in plain form.
+  Schema schema{"IS"};
+  /// Global class name -> ground (agent schema, class) sources.
+  std::map<std::string, std::vector<ClassRef>> ground_sources;
+  /// All rules generated across integration rounds, rewritten to the
+  /// final class names.
+  std::vector<Rule> rules;
+  /// Aggregated instrumentation over every pairwise round.
+  IntegrationStats total_stats;
+  /// The last round's full integrated schema (provenance, kinds, value
+  /// set operations).
+  IntegratedSchema last_round{"IS"};
+  /// Number of pairwise integration rounds performed.
+  size_t rounds = 0;
+};
+
+/// The Federated System Manager (Fig. 1, middle layer): registers the
+/// FSM-agents (component databases), holds the correspondence assertions
+/// and data mappings declared by DBAs, merges the local schemas into a
+/// global one, and builds the federated evaluator queries run against.
+class Fsm {
+ public:
+  /// How more than two schemas are combined (Fig. 2):
+  enum class Strategy {
+    /// (a) accumulate one schema at a time into the running result.
+    kAccumulation,
+    /// (b) integrate pairs, then pairs of results, until one remains.
+    kBalanced,
+  };
+
+  Fsm() = default;
+
+  /// Registers a component database; its schema name must be unique.
+  Status RegisterAgent(std::unique_ptr<FsmAgent> agent);
+  FsmAgent* FindAgent(const std::string& schema_name) const;
+  const std::vector<std::unique_ptr<FsmAgent>>& agents() const {
+    return agents_;
+  }
+
+  /// Declares correspondence assertions, in the textual assertion
+  /// language or pre-built. Assertions reference agent schema names.
+  Status DeclareAssertions(const std::string& text);
+  Status AddAssertion(Assertion assertion);
+  const std::vector<Assertion>& assertions() const { return assertions_; }
+
+  /// The value-level data mappings and OID identities (Section 3).
+  DataMappingRegistry& mappings() { return mappings_; }
+  const DataMappingRegistry& mappings() const { return mappings_; }
+
+  /// The attribute integration functions (Principle 3).
+  AifRegistry& aifs() { return aifs_; }
+  const AifRegistry& aifs() const { return aifs_; }
+
+  /// Runs the static consistency analysis (integrate/consistency.h)
+  /// over every registered schema pair, against the assertions that
+  /// relate that pair. Aggregates all findings.
+  Result<std::vector<ConsistencyFinding>> CheckAllConsistency() const;
+
+  /// Integrates every registered schema into a global one.
+  Result<GlobalSchema> IntegrateAll(Strategy strategy = Strategy::kAccumulation);
+
+  /// Builds a federated evaluator over `global`: agent stores as
+  /// sources, ground-source concept bindings, and every definite rule.
+  /// Evaluate() has already been run on the returned evaluator.
+  Result<std::unique_ptr<Evaluator>> MakeEvaluator(
+      const GlobalSchema& global) const;
+
+ private:
+  /// One working operand of the pairwise integration process: a schema
+  /// (local or intermediate) plus the provenance maps needed to rewrite
+  /// assertions and rules into its namespace.
+  struct View {
+    std::unique_ptr<Schema> schema;
+    /// "agentSchema.class" -> class name in this view.
+    std::map<std::string, std::string> class_map;
+    /// "agentSchema.class.attr" -> attribute name in this view.
+    std::map<std::string, std::string> attr_map;
+    std::map<std::string, std::vector<ClassRef>> ground_sources;
+    std::vector<Rule> rules;
+  };
+
+  /// The identity view of one agent's schema.
+  static View MakeLeafView(const FsmAgent& agent);
+
+  /// Rewrites `assertion` into the namespaces of v1/v2; returns false
+  /// (without error) when the assertion does not span the two views.
+  bool RewriteAssertion(const View& v1, const View& v2,
+                        const Assertion& original, Assertion* rewritten) const;
+
+  /// Integrates two views into one (one round of Fig. 2).
+  Result<View> IntegrateViews(View v1, View v2, IntegrationStats* stats,
+                              IntegratedSchema* last_round);
+
+  std::vector<std::unique_ptr<FsmAgent>> agents_;
+  std::vector<Assertion> assertions_;
+  DataMappingRegistry mappings_;
+  AifRegistry aifs_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_FSM_H_

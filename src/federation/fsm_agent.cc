@@ -1,0 +1,30 @@
+#include "federation/fsm_agent.h"
+
+namespace ooint {
+
+Result<std::unique_ptr<FsmAgent>> FsmAgent::Create(std::string agent_name,
+                                                   std::string dbms,
+                                                   std::string database,
+                                                   Schema schema) {
+  if (!schema.finalized()) {
+    OOINT_RETURN_IF_ERROR(schema.Finalize());
+  }
+  std::unique_ptr<FsmAgent> agent(
+      new FsmAgent(std::move(agent_name), std::move(dbms),
+                   std::move(database)));
+  agent->schema_ = std::make_unique<Schema>(std::move(schema));
+  agent->store_ = std::make_unique<InstanceStore>(agent->schema_.get());
+  agent->store_->SetOidContext(agent->name_, agent->dbms_, agent->database_);
+  return agent;
+}
+
+Result<std::unique_ptr<FsmAgent>> FsmAgent::FromRelational(
+    std::string agent_name, std::string dbms,
+    const RelationalSchema& relational) {
+  Result<Schema> schema = TransformToOO(relational);
+  if (!schema.ok()) return schema.status();
+  return Create(std::move(agent_name), std::move(dbms), relational.name(),
+                std::move(schema).value());
+}
+
+}  // namespace ooint

@@ -1,0 +1,58 @@
+#ifndef OOINT_FEDERATION_FSM_AGENT_H_
+#define OOINT_FEDERATION_FSM_AGENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "model/instance_store.h"
+#include "model/schema.h"
+#include "transform/rel_to_oo.h"
+
+namespace ooint {
+
+/// An FSM-agent (Section 3, Fig. 1): the local-system-management layer
+/// wrapping one component database. It owns the component's
+/// object-oriented schema (transforming a relational one on arrival) and
+/// its instance store, and assigns federation-wide OIDs in the paper's
+/// <agent>.<dbms>.<database>.<relation>.<n> format. Integration never
+/// mutates an agent's schema or data (autonomy).
+class FsmAgent {
+ public:
+  /// Wraps a ready object-oriented local schema. The schema is finalized
+  /// here if it was not already.
+  static Result<std::unique_ptr<FsmAgent>> Create(std::string agent_name,
+                                                  std::string dbms,
+                                                  std::string database,
+                                                  Schema schema);
+
+  /// Transforms a relational local schema (the schema-transformation
+  /// phase, ref [6]) and wraps the result.
+  static Result<std::unique_ptr<FsmAgent>> FromRelational(
+      std::string agent_name, std::string dbms,
+      const RelationalSchema& relational);
+
+  const std::string& name() const { return name_; }
+  const std::string& dbms() const { return dbms_; }
+  const std::string& database() const { return database_; }
+
+  const Schema& schema() const { return *schema_; }
+  InstanceStore& store() { return *store_; }
+  const InstanceStore& store() const { return *store_; }
+
+ private:
+  FsmAgent(std::string name, std::string dbms, std::string database)
+      : name_(std::move(name)),
+        dbms_(std::move(dbms)),
+        database_(std::move(database)) {}
+
+  std::string name_;
+  std::string dbms_;
+  std::string database_;
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<InstanceStore> store_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_FSM_AGENT_H_

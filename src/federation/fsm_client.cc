@@ -1,0 +1,46 @@
+#include "federation/fsm_client.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+Status FsmClient::Connect(Fsm::Strategy strategy) {
+  Result<GlobalSchema> global = fsm_->IntegrateAll(strategy);
+  if (!global.ok()) return global.status();
+  global_ = std::move(global).value();
+  Result<std::unique_ptr<Evaluator>> evaluator =
+      fsm_->MakeEvaluator(global_);
+  if (!evaluator.ok()) return evaluator.status();
+  evaluator_ = std::move(evaluator).value();
+  return Status::OK();
+}
+
+Result<std::string> FsmClient::GlobalNameOf(
+    const std::string& schema_name, const std::string& class_name) const {
+  for (const auto& [global_name, sources] : global_.ground_sources) {
+    for (const ClassRef& source : sources) {
+      if (source.schema == schema_name && source.class_name == class_name) {
+        return global_name;
+      }
+    }
+  }
+  return Status::NotFound(StrCat("no global class integrates ", schema_name,
+                                 ".", class_name));
+}
+
+Result<std::vector<Bindings>> FsmClient::Run(const Query& query) const {
+  if (evaluator_ == nullptr) {
+    return Status::FailedPrecondition("call Connect() before Run()");
+  }
+  return evaluator_->Query(query.pattern());
+}
+
+Result<std::vector<const Fact*>> FsmClient::Extent(
+    const std::string& concept_name) const {
+  if (evaluator_ == nullptr) {
+    return Status::FailedPrecondition("call Connect() before Extent()");
+  }
+  return evaluator_->FactsOf(concept_name);
+}
+
+}  // namespace ooint

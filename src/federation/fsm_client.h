@@ -1,0 +1,77 @@
+#ifndef OOINT_FEDERATION_FSM_CLIENT_H_
+#define OOINT_FEDERATION_FSM_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/fsm.h"
+
+namespace ooint {
+
+/// A conjunctive query against the global schema, e.g. the paper's
+/// ?-uncle(John, y): pattern class "IS(...uncle...)" with Ussn# bound to
+/// "John" and niece_nephew projected into variable y.
+class Query {
+ public:
+  explicit Query(std::string class_name) {
+    pattern_.object = TermArg::Variable("_self");
+    pattern_.class_name = std::move(class_name);
+  }
+
+  /// Constrains attribute `name` to equal `value`.
+  Query& Where(const std::string& name, Value value) {
+    pattern_.attrs.push_back({name, false, TermArg::Constant(std::move(value))});
+    return *this;
+  }
+
+  /// Projects attribute `name` into variable `var`.
+  Query& Select(const std::string& name, const std::string& var) {
+    pattern_.attrs.push_back({name, false, TermArg::Variable(var)});
+    return *this;
+  }
+
+  /// Binds the object position to `var` (to retrieve OIDs).
+  Query& SelectObject(const std::string& var) {
+    pattern_.object = TermArg::Variable(var);
+    return *this;
+  }
+
+  const OTerm& pattern() const { return pattern_; }
+
+ private:
+  OTerm pattern_;
+};
+
+/// The FSM-client layer (Fig. 1, top): the application-facing facade.
+/// Connects to an Fsm, triggers global-schema construction, and runs
+/// queries against the federated evaluator, transparently combining
+/// local extents and derived (virtual) objects.
+class FsmClient {
+ public:
+  explicit FsmClient(Fsm* fsm) : fsm_(fsm) {}
+
+  /// Builds (or rebuilds) the global schema and its evaluator.
+  Status Connect(Fsm::Strategy strategy = Fsm::Strategy::kAccumulation);
+
+  const GlobalSchema& global() const { return global_; }
+
+  /// The integrated class name a local class is represented by.
+  Result<std::string> GlobalNameOf(const std::string& schema_name,
+                                   const std::string& class_name) const;
+
+  /// Runs a query; each result row maps the query's variables to values.
+  Result<std::vector<Bindings>> Run(const Query& query) const;
+
+  /// All facts (local + derived) of a global concept.
+  Result<std::vector<const Fact*>> Extent(const std::string& concept_name) const;
+
+ private:
+  Fsm* fsm_;
+  GlobalSchema global_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_FSM_CLIENT_H_

@@ -1,0 +1,77 @@
+#include "federation/identity.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+
+/// The comparable key values of one object attribute (elements for
+/// multi-valued attributes; empty for null).
+std::vector<Value> KeyValues(const Object& object, const std::string& attr) {
+  const Value& value = object.Get(attr);
+  if (value.is_null()) return {};
+  if (value.kind() == ValueKind::kSet) return value.AsSet();
+  return {value};
+}
+
+}  // namespace
+
+Result<size_t> LinkSameObjectsByKey(Fsm* fsm, const std::string& a_schema,
+                                    const std::string& a_class,
+                                    const std::string& a_attr,
+                                    const std::string& b_schema,
+                                    const std::string& b_class,
+                                    const std::string& b_attr,
+                                    const std::string& mapping_attr) {
+  FsmAgent* a_agent = fsm->FindAgent(a_schema);
+  FsmAgent* b_agent = fsm->FindAgent(b_schema);
+  if (a_agent == nullptr || b_agent == nullptr) {
+    return Status::NotFound(
+        StrCat("no agent exports schema '",
+               a_agent == nullptr ? a_schema : b_schema, "'"));
+  }
+  Result<std::vector<Oid>> a_extent = a_agent->store().Extent(a_class);
+  if (!a_extent.ok()) return a_extent.status();
+  Result<std::vector<Oid>> b_extent = b_agent->store().Extent(b_class);
+  if (!b_extent.ok()) return b_extent.status();
+
+  const DataMapping* mapping =
+      mapping_attr.empty()
+          ? nullptr
+          : fsm->mappings().Find(mapping_attr, b_schema, b_attr);
+
+  // Index the A side by key value.
+  std::multimap<Value, Oid> a_index;
+  for (const Oid& oid : a_extent.value()) {
+    const Object* object = a_agent->store().Find(oid);
+    if (object == nullptr) continue;
+    for (const Value& key : KeyValues(*object, a_attr)) {
+      a_index.emplace(key, oid);
+    }
+  }
+
+  size_t linked = 0;
+  for (const Oid& b_oid : b_extent.value()) {
+    const Object* object = b_agent->store().Find(b_oid);
+    if (object == nullptr) continue;
+    for (const Value& raw : KeyValues(*object, b_attr)) {
+      Value key = raw;
+      if (mapping != nullptr) {
+        Result<Value> mapped = mapping->MapToIntegrated(raw);
+        if (!mapped.ok()) continue;  // unmapped values simply don't join
+        key = std::move(mapped).value();
+      }
+      auto [begin, end] = a_index.equal_range(key);
+      for (auto it = begin; it != end; ++it) {
+        fsm->mappings().DeclareSameObject(it->second, b_oid);
+        ++linked;
+      }
+    }
+  }
+  return linked;
+}
+
+}  // namespace ooint

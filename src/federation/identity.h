@@ -1,0 +1,34 @@
+#ifndef OOINT_FEDERATION_IDENTITY_H_
+#define OOINT_FEDERATION_IDENTITY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "federation/fsm.h"
+
+namespace ooint {
+
+/// Populates the data-mapping registry's cross-database object identity
+/// ("oi1 = oi2 in terms of data mapping", Sections 3/5) by joining two
+/// classes on key attributes: every object of `a_class` (in the agent
+/// exporting `a_schema`) whose `a_attr` value equals some object of
+/// `b_class`'s `b_attr` value is declared the same real-world entity.
+///
+/// An optional data mapping registered in the registry under
+/// (`mapping_attr`, b-schema, b_attr) translates the B-side values
+/// before comparison (unit conversions etc.); pass "" to compare raw
+/// values.
+///
+/// Returns the number of identities declared. Extents include
+/// subclasses; multi-valued keys match element-wise.
+Result<size_t> LinkSameObjectsByKey(Fsm* fsm, const std::string& a_schema,
+                                    const std::string& a_class,
+                                    const std::string& a_attr,
+                                    const std::string& b_schema,
+                                    const std::string& b_class,
+                                    const std::string& b_attr,
+                                    const std::string& mapping_attr = "");
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_IDENTITY_H_

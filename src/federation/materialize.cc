@@ -1,0 +1,168 @@
+#include "federation/materialize.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+Result<const IntegratedAttribute*> Materializer::FindAttribute(
+    const std::string& class_name, const std::string& attribute) const {
+  const IntegratedClass* integrated =
+      global_->last_round.FindClass(class_name);
+  if (integrated == nullptr) {
+    return Status::NotFound(
+        StrCat("no integrated class '", class_name,
+               "' in the final integration round"));
+  }
+  const IntegratedAttribute* attr = integrated->FindAttribute(attribute);
+  if (attr == nullptr) {
+    return Status::NotFound(StrCat("integrated class '", class_name,
+                                   "' has no attribute '", attribute, "'"));
+  }
+  return attr;
+}
+
+Result<std::vector<Value>> Materializer::SourceValues(
+    const std::string& integrated_attr, const Path& source) const {
+  const FsmAgent* agent = fsm_->FindAgent(source.schema());
+  if (agent == nullptr) {
+    return Status::NotFound(
+        StrCat("source path ", source.ToString(),
+               " does not reference a registered agent schema (nested "
+               "integration rounds are not materializable)"));
+  }
+  Result<ClassId> id = agent->schema().GetClass(source.class_name());
+  if (!id.ok()) return id.status();
+  std::vector<Value> values =
+      agent->store().ValueSet(id.value(), source.leaf());
+  // Translate through the registered data mapping, if any (Section 3's
+  // F^A_{DB,B}; absence means "default" identity).
+  const DataMapping* mapping = fsm_->mappings().Find(
+      integrated_attr, source.schema(), source.leaf());
+  if (mapping != nullptr) {
+    std::vector<Value> mapped;
+    mapped.reserve(values.size());
+    for (const Value& v : values) {
+      Result<Value> m = mapping->MapToIntegrated(v);
+      if (m.ok()) mapped.push_back(std::move(m).value());
+    }
+    values = std::move(mapped);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+Result<std::vector<Materializer::ValuePair>> Materializer::MatchedPairs(
+    const std::string& class_name, const std::string& attribute) const {
+  Result<const IntegratedAttribute*> attr =
+      FindAttribute(class_name, attribute);
+  if (!attr.ok()) return attr.status();
+  if (attr.value()->sources.size() < 2) {
+    return Status::FailedPrecondition(
+        StrCat("attribute '", attribute, "' has a single source"));
+  }
+  const Path& lhs = attr.value()->sources[0];
+  const Path& rhs = attr.value()->sources[1];
+  const FsmAgent* lhs_agent = fsm_->FindAgent(lhs.schema());
+  const FsmAgent* rhs_agent = fsm_->FindAgent(rhs.schema());
+  if (lhs_agent == nullptr || rhs_agent == nullptr) {
+    return Status::NotFound("source schema is not a registered agent");
+  }
+  Result<std::vector<Oid>> lhs_extent =
+      lhs_agent->store().Extent(lhs.class_name());
+  if (!lhs_extent.ok()) return lhs_extent.status();
+  Result<std::vector<Oid>> rhs_extent =
+      rhs_agent->store().Extent(rhs.class_name());
+  if (!rhs_extent.ok()) return rhs_extent.status();
+
+  std::vector<ValuePair> pairs;
+  for (const Oid& lhs_oid : lhs_extent.value()) {
+    for (const Oid& rhs_oid : rhs_extent.value()) {
+      if (!fsm_->mappings().SameObject(lhs_oid, rhs_oid)) continue;
+      const Object* a = lhs_agent->store().Find(lhs_oid);
+      const Object* b = rhs_agent->store().Find(rhs_oid);
+      if (a == nullptr || b == nullptr) continue;
+      pairs.push_back(
+          {lhs_oid, rhs_oid, a->Get(lhs.leaf()), b->Get(rhs.leaf())});
+    }
+  }
+  return pairs;
+}
+
+Result<std::vector<Value>> Materializer::ValueSet(
+    const std::string& class_name, const std::string& attribute) const {
+  Result<const IntegratedAttribute*> found =
+      FindAttribute(class_name, attribute);
+  if (!found.ok()) return found.status();
+  const IntegratedAttribute& attr = *found.value();
+  const std::string qualified = StrCat(class_name, ".", attribute);
+
+  std::vector<Value> out;
+  switch (attr.op) {
+    case ValueSetOp::kCopy:
+    case ValueSetOp::kMoreSpecific: {
+      // β keeps the more specific side's values; copies have a single
+      // source anyway.
+      OOINT_ASSIGN_OR_RETURN(out,
+                             SourceValues(qualified, attr.sources.front()));
+      break;
+    }
+    case ValueSetOp::kUnion: {
+      for (const Path& source : attr.sources) {
+        OOINT_ASSIGN_OR_RETURN(std::vector<Value> values,
+                               SourceValues(qualified, source));
+        out.insert(out.end(), values.begin(), values.end());
+      }
+      break;
+    }
+    case ValueSetOp::kDifference: {
+      if (attr.sources.size() < 2) {
+        return Status::FailedPrecondition(
+            "difference attribute needs two sources");
+      }
+      OOINT_ASSIGN_OR_RETURN(std::vector<Value> keep,
+                             SourceValues(qualified, attr.sources[0]));
+      OOINT_ASSIGN_OR_RETURN(std::vector<Value> drop,
+                             SourceValues(qualified, attr.sources[1]));
+      for (const Value& v : keep) {
+        if (std::find(drop.begin(), drop.end(), v) == drop.end()) {
+          out.push_back(v);
+        }
+      }
+      break;
+    }
+    case ValueSetOp::kIntersectAif: {
+      OOINT_ASSIGN_OR_RETURN(std::vector<ValuePair> pairs,
+                             MatchedPairs(class_name, attribute));
+      for (const ValuePair& pair : pairs) {
+        const Value v =
+            fsm_->aifs().Apply(attr.aif_name, pair.lhs, pair.rhs);
+        if (!v.is_null()) out.push_back(v);
+      }
+      break;
+    }
+    case ValueSetOp::kConcatenation: {
+      // cancatenation(x, y) of Principle 1: x·y when the two objects
+      // denote the same entity, Null otherwise.
+      OOINT_ASSIGN_OR_RETURN(std::vector<ValuePair> pairs,
+                             MatchedPairs(class_name, attribute));
+      for (const ValuePair& pair : pairs) {
+        if (pair.lhs.is_null() && pair.rhs.is_null()) continue;
+        auto render = [](const Value& v) {
+          return v.kind() == ValueKind::kString ? v.AsString()
+                                                : v.ToString();
+        };
+        out.push_back(
+            Value::String(StrCat(render(pair.lhs), " ", render(pair.rhs))));
+      }
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ooint

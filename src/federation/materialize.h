@@ -1,0 +1,71 @@
+#ifndef OOINT_FEDERATION_MATERIALIZE_H_
+#define OOINT_FEDERATION_MATERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datamap/data_mapping.h"
+#include "federation/fsm.h"
+#include "integrate/aif.h"
+
+namespace ooint {
+
+/// Materializes the value sets of integrated attributes (the value_set
+/// computations of Principles 1 and 3) against the live component
+/// databases.
+///
+/// For an integrated attribute IS_ab with sources a (from DB₁) and b
+/// (from DB₂):
+///
+///   union:          value_set(a) ∪ value_set(b)
+///   difference:     value_set(a) / value_set(b)
+///   intersect-aif:  { AIF_ab(x, y) | x = oi₁.a, y = oi₂.b,
+///                     oi₁ = oi₂ in terms of data mapping }
+///   concatenation:  { x·y | same object-pair condition } (α(z))
+///   more-specific:  value_set(a)  (the β case keeps the specific side)
+///   copy:           value_set(a)
+///
+/// Values of the second source are first translated through the
+/// registered data mapping F^A_{DB₂,b} when one exists (Section 3);
+/// otherwise the paper's "default" identity mapping applies.
+class Materializer {
+ public:
+  /// `fsm` supplies the agents, data mappings and AIFs; `global` the
+  /// integrated schema. Both must outlive the materializer.
+  Materializer(const Fsm* fsm, const GlobalSchema* global)
+      : fsm_(fsm), global_(global) {}
+
+  /// The materialized value set of attribute `attribute` of integrated
+  /// class `class_name`, sorted and de-duplicated.
+  Result<std::vector<Value>> ValueSet(const std::string& class_name,
+                                      const std::string& attribute) const;
+
+  /// The pairs (x, y) of same-entity values feeding an AIF or
+  /// concatenation attribute (exposed for inspection / testing).
+  struct ValuePair {
+    Oid lhs_oid;
+    Oid rhs_oid;
+    Value lhs;
+    Value rhs;
+  };
+  Result<std::vector<ValuePair>> MatchedPairs(
+      const std::string& class_name, const std::string& attribute) const;
+
+ private:
+  /// Raw value set of one source path against its agent store, mapped
+  /// through the data-mapping registry into the integrated domain.
+  Result<std::vector<Value>> SourceValues(const std::string& integrated_attr,
+                                          const Path& source) const;
+
+  /// Looks up the integrated attribute metadata.
+  Result<const IntegratedAttribute*> FindAttribute(
+      const std::string& class_name, const std::string& attribute) const;
+
+  const Fsm* fsm_;
+  const GlobalSchema* global_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_MATERIALIZE_H_

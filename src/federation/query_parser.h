@@ -1,0 +1,38 @@
+#ifndef OOINT_FEDERATION_QUERY_PARSER_H_
+#define OOINT_FEDERATION_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "federation/fsm_client.h"
+
+namespace ooint {
+
+/// A parsed federated query, e.g. the paper's ?-uncle(John, y) written
+/// attribute-wise:
+///
+///   ?- S2.uncle(niece_nephew: "ssn-ann", Ussn#: who, name: who_name)
+///
+/// The class is referenced by *local* schema and name; the FSM-client
+/// resolves it to its integrated concept. Bindings with quoted strings,
+/// numbers, dates ("YYYY-MM-DD" strings stay strings; use typed values
+/// programmatically) or true/false constrain the attribute; bare
+/// identifiers are variables projected into the result. Dotted
+/// attribute names address flattened nested attributes ("book.ISBN").
+struct ParsedQuery {
+  std::string schema;
+  std::string class_name;
+  Query query{""};
+};
+
+/// Parses the textual query form.
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Parses `text`, resolves the class against `client`'s global schema
+/// and runs it. `client` must be connected.
+Result<std::vector<Bindings>> RunTextQuery(const FsmClient& client,
+                                           const std::string& text);
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_QUERY_PARSER_H_

@@ -1,0 +1,19 @@
+#include "integrate/aif.h"
+
+namespace ooint {
+
+Value AifRegistry::Apply(const std::string& name, const Value& x,
+                         const Value& y) const {
+  auto it = fns_.find(name);
+  if (it != fns_.end()) return it->second(x, y);
+  return x.is_null() ? y : x;
+}
+
+Value AifRegistry::Average(const Value& x, const Value& y) {
+  Result<double> a = x.AsNumber();
+  Result<double> b = y.AsNumber();
+  if (!a.ok() || !b.ok()) return Value::Null();
+  return Value::Real((a.value() + b.value()) / 2.0);
+}
+
+}  // namespace ooint

@@ -1,0 +1,46 @@
+#ifndef OOINT_INTEGRATE_AIF_H_
+#define OOINT_INTEGRATE_AIF_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "model/value.h"
+
+namespace ooint {
+
+/// An attribute integration function AIF_{a_b}(x, y) (Principle 3):
+/// resolves the value conflict of two intersecting attributes for objects
+/// that denote the same real-world entity. The paper's example averages
+/// income and study_support; Null signals "no correspondence".
+using Aif = std::function<Value(const Value& x, const Value& y)>;
+
+/// Registry of named attribute integration functions. Users (or DBAs)
+/// register AIFs for the intersecting attribute pairs of their assertion
+/// sets; the federation layer applies them when materializing integrated
+/// attribute values. Unregistered lookups fall back to the
+/// first-non-null default.
+class AifRegistry {
+ public:
+  AifRegistry() = default;
+
+  void Register(const std::string& name, Aif fn) {
+    fns_[name] = std::move(fn);
+  }
+
+  bool Has(const std::string& name) const { return fns_.count(name) != 0; }
+
+  /// Applies the named AIF; unknown names use the default policy
+  /// (x when non-null, else y).
+  Value Apply(const std::string& name, const Value& x, const Value& y) const;
+
+  /// The paper's canonical numeric example: (x + y) / 2 on numbers.
+  static Value Average(const Value& x, const Value& y);
+
+ private:
+  std::map<std::string, Aif> fns_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_INTEGRATE_AIF_H_

@@ -1,0 +1,59 @@
+#ifndef OOINT_INTEGRATE_CONSISTENCY_H_
+#define OOINT_INTEGRATE_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "assertions/assertion_set.h"
+#include "common/result.h"
+#include "model/schema.h"
+
+namespace ooint {
+
+/// One consistency finding about an assertion set.
+struct ConsistencyFinding {
+  enum class Severity { kError, kWarning };
+  enum class Kind {
+    /// The declared relationships force a cycle in the integrated is-a
+    /// hierarchy (e.g. A ⊆ B together with B ≡ A-descendant).
+    kHierarchyCycle,
+    /// An assertion relates descendants of a pair declared disjoint or
+    /// derivation-related — the "something is strange" case of
+    /// Section 6.1, observation 3, which the optimized algorithm would
+    /// silently skip. The paper proposes asking the user.
+    kShadowedByObservation3,
+    /// A disjoint assertion whose classes have no equivalent ancestors;
+    /// Principle 4 calls such assertions meaningful "only in the case
+    /// where there are two object classes A' and B' such that
+    /// S1.A' ≡ S2.B'".
+    kDisjointWithoutEquivalentParents,
+    /// A derivation assertion with no attribute or value
+    /// correspondences: no rule variables can be shared, so the
+    /// generated rule would be vacuous.
+    kBareDerivation,
+  };
+
+  Severity severity;
+  Kind kind;
+  /// The offending assertion, rendered.
+  std::string assertion;
+  /// Human-readable explanation.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Static semantic analysis of an assertion set against its two schemas
+/// (beyond AssertionSet::Validate's structural checks). Errors make
+/// integration unsound; warnings flag the situations the paper says
+/// deserve user attention. The integrators themselves do not run this —
+/// callers decide how strict to be.
+std::vector<ConsistencyFinding> CheckConsistency(
+    const Schema& s1, const Schema& s2, const AssertionSet& assertions);
+
+/// True iff any finding is an error.
+bool HasErrors(const std::vector<ConsistencyFinding>& findings);
+
+}  // namespace ooint
+
+#endif  // OOINT_INTEGRATE_CONSISTENCY_H_

@@ -1,0 +1,34 @@
+#include "integrate/context.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+std::string IntegrationStats::ToString() const {
+  return StrCat("pairs_checked=", pairs_checked,
+                " pairs_enqueued=", pairs_enqueued,
+                " pairs_skipped_by_labels=", pairs_skipped_by_labels,
+                " sibling_pairs_removed=", sibling_pairs_removed,
+                " dfs_steps=", dfs_steps, " classes_merged=", classes_merged,
+                " isa_links_inserted=", isa_links_inserted,
+                " isa_links_suppressed=", isa_links_suppressed,
+                " rules_generated=", rules_generated,
+                " cardinality_conflicts_resolved=",
+                cardinality_conflicts_resolved);
+}
+
+const Schema* IntegrationContext::SchemaOf(const ClassRef& ref) const {
+  if (s1 != nullptr && ref.schema == s1->name()) return s1;
+  if (s2 != nullptr && ref.schema == s2->name()) return s2;
+  return nullptr;
+}
+
+const ClassDef* IntegrationContext::ClassOf(const ClassRef& ref) const {
+  const Schema* schema = SchemaOf(ref);
+  if (schema == nullptr) return nullptr;
+  const ClassId id = schema->FindClass(ref.class_name);
+  if (id == kInvalidClassId) return nullptr;
+  return &schema->class_def(id);
+}
+
+}  // namespace ooint

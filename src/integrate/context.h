@@ -1,0 +1,74 @@
+#ifndef OOINT_INTEGRATE_CONTEXT_H_
+#define OOINT_INTEGRATE_CONTEXT_H_
+
+#include <set>
+#include <string>
+
+#include "assertions/assertion_set.h"
+#include "integrate/aif.h"
+#include "integrate/integrated_schema.h"
+#include "model/schema.h"
+
+namespace ooint {
+
+/// Counters instrumenting an integration run — the measurable quantities
+/// behind the paper's Section 6 efficiency claims.
+struct IntegrationStats {
+  /// Class pairs actually checked against the assertion set.
+  size_t pairs_checked = 0;
+  /// Pairs pushed to the control queue.
+  size_t pairs_enqueued = 0;
+  /// Pairs skipped because of the label mechanism (line 7 of
+  /// schema_integration).
+  size_t pairs_skipped_by_labels = 0;
+  /// Sibling pairs removed after an equivalence match (line 10).
+  size_t sibling_pairs_removed = 0;
+  /// Steps taken by depth-first path_labelling traversals.
+  size_t dfs_steps = 0;
+  /// Classes merged by equivalence assertions.
+  size_t classes_merged = 0;
+  /// is-a links inserted into the integrated schema.
+  size_t isa_links_inserted = 0;
+  /// Redundant is-a links suppressed / removed (Principle 2 + §6.2).
+  size_t isa_links_suppressed = 0;
+  /// Rules generated (Principles 3, 4 and 5).
+  size_t rules_generated = 0;
+  /// Cardinality-constraint conflicts resolved via the lattice
+  /// (Principle 6).
+  size_t cardinality_conflicts_resolved = 0;
+
+  std::string ToString() const;
+};
+
+/// Shared state of one two-schema integration run: the (finalized) local
+/// schemas, the declared assertion set, the integrated schema under
+/// construction, the AIF registry, and the stats counters. The principle
+/// implementations (principles.h) all operate on a context.
+struct IntegrationContext {
+  const Schema* s1 = nullptr;
+  const Schema* s2 = nullptr;
+  const AssertionSet* assertions = nullptr;
+  IntegratedSchema result;
+  AifRegistry* aifs = nullptr;  // optional
+  IntegrationStats stats;
+
+  /// Derivation assertions already expanded into rules (dedup across
+  /// traversal orders).
+  std::set<const void*> derivations_done;
+  /// Disjoint pairs already handled.
+  std::set<std::string> disjoints_done;
+
+  IntegrationContext(const Schema* schema1, const Schema* schema2,
+                     const AssertionSet* assertion_set)
+      : s1(schema1), s2(schema2), assertions(assertion_set),
+        result("IS(" + schema1->name() + "," + schema2->name() + ")") {}
+
+  /// The schema a ClassRef lives in (s1 or s2); nullptr when unknown.
+  const Schema* SchemaOf(const ClassRef& ref) const;
+  /// The ClassDef behind a ClassRef; nullptr when unknown.
+  const ClassDef* ClassOf(const ClassRef& ref) const;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_INTEGRATE_CONTEXT_H_

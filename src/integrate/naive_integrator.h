@@ -1,0 +1,38 @@
+#ifndef OOINT_INTEGRATE_NAIVE_INTEGRATOR_H_
+#define OOINT_INTEGRATE_NAIVE_INTEGRATOR_H_
+
+#include "assertions/assertion_set.h"
+#include "common/result.h"
+#include "integrate/context.h"
+#include "integrate/principles.h"
+#include "model/schema.h"
+
+namespace ooint {
+
+/// The result of an integration run: the integrated schema and the
+/// instrumentation counters.
+struct IntegrationOutcome {
+  IntegratedSchema schema{"IS"};
+  IntegrationStats stats;
+};
+
+/// Algorithm naive_schema_integration (Section 6.1): breadth-first
+/// traversal over pairs of nodes from the two schema graphs, checking
+/// every pair of the form (N_1i, N_2j), (N_1, N_2j), (N_1i, N_2) — the
+/// [33]-style baseline whose pair-check count grows as O(n²). It applies
+/// the same integration principles as the optimized algorithm, so the
+/// two produce semantically equal integrated schemas; only the work done
+/// differs (experiment E1).
+class NaiveIntegrator {
+ public:
+  /// Integrates two finalized local schemas under `assertions`
+  /// (pre-validated with AssertionSet::Validate).
+  static Result<IntegrationOutcome> Integrate(const Schema& s1,
+                                              const Schema& s2,
+                                              const AssertionSet& assertions,
+                                              AifRegistry* aifs = nullptr);
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_INTEGRATE_NAIVE_INTEGRATOR_H_

@@ -1,0 +1,74 @@
+#include "integrate/trace.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+
+const char* KindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kPopPair:
+      return "pop";
+    case TraceEvent::Kind::kCase:
+      return "case";
+    case TraceEvent::Kind::kSkipByLabels:
+      return "skip-by-labels";
+    case TraceEvent::Kind::kSuppressSibling:
+      return "suppress-sibling";
+    case TraceEvent::Kind::kDfsVisit:
+      return "dfs-visit";
+    case TraceEvent::Kind::kDfsLabel:
+      return "dfs-label";
+    case TraceEvent::Kind::kDfsStar:
+      return "dfs-star";
+    case TraceEvent::Kind::kDfsLink:
+      return "dfs-link";
+    case TraceEvent::Kind::kInherit:
+      return "inherit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TraceEvent::ToString() const {
+  return StrCat(KindName(kind), " ", subject,
+                detail.empty() ? "" : StrCat(" [", detail, "]"));
+}
+
+std::vector<const TraceEvent*> IntegrationTrace::OfKind(
+    TraceEvent::Kind kind) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(&e);
+  }
+  return out;
+}
+
+bool IntegrationTrace::Contains(TraceEvent::Kind kind,
+                                const std::string& needle) const {
+  return IndexOf(kind, needle) >= 0;
+}
+
+int IntegrationTrace::IndexOf(TraceEvent::Kind kind,
+                              const std::string& needle) const {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].kind == kind &&
+        events_[i].subject.find(needle) != std::string::npos) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string IntegrationTrace::ToString() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ooint

@@ -1,0 +1,68 @@
+#ifndef OOINT_INTEGRATE_TRACE_H_
+#define OOINT_INTEGRATE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "assertions/assertion.h"
+
+namespace ooint {
+
+/// One step of an integration run — the machine-readable counterpart of
+/// the paper's Appendix A computation-step listing ("pop and check of
+/// the pair on the top of S_b", "call of path_labelling(...)", ...).
+struct TraceEvent {
+  enum class Kind {
+    kPopPair,          // a pair taken from the breadth-first queue S_b
+    kCase,             // the assertion case taken for the pair
+    kSkipByLabels,     // line 7/34-35: pair skipped via label clash
+    kSuppressSibling,  // line 10: sibling pair removed after ≡
+    kDfsVisit,         // path_labelling pops a node from S_d
+    kDfsLabel,         // a node receives the current label
+    kDfsStar,          // a node is marked '*' (no assertion)
+    kDfsLink,          // an is-a link is recorded at backtracking
+    kInherit,          // label inheritance to a subtree
+  };
+
+  Kind kind;
+  /// The concepts involved (pair members, DFS node, link endpoints).
+  std::string subject;
+  /// Case names ("equivalent", "subset", "none", ...) or the label id.
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// An append-only trace recorded by the optimized integrator when
+/// requested. Intended for debugging integration runs and for verifying
+/// algorithm behaviour step by step (the Appendix A test does exactly
+/// that).
+class IntegrationTrace {
+ public:
+  void Add(TraceEvent::Kind kind, std::string subject, std::string detail) {
+    events_.push_back({kind, std::move(subject), std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Events of one kind, in order.
+  std::vector<const TraceEvent*> OfKind(TraceEvent::Kind kind) const;
+
+  /// True iff an event of `kind` whose subject contains `needle` exists.
+  bool Contains(TraceEvent::Kind kind, const std::string& needle) const;
+
+  /// The position of the first event matching (kind, subject-substring),
+  /// or -1. Useful for asserting ordering.
+  int IndexOf(TraceEvent::Kind kind, const std::string& needle) const;
+
+  /// The whole trace, one line per event.
+  std::string ToString() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_INTEGRATE_TRACE_H_

@@ -1,0 +1,71 @@
+#include "model/cardinality.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+
+bool MultImplies(Cardinality::Mult a, Cardinality::Mult b) {
+  // One is stricter than Many.
+  return a == b || (a == Cardinality::Mult::kOne &&
+                    b == Cardinality::Mult::kMany);
+}
+
+Cardinality::Mult MultJoin(Cardinality::Mult a, Cardinality::Mult b) {
+  return (a == b) ? a : Cardinality::Mult::kMany;
+}
+
+}  // namespace
+
+bool Cardinality::Implies(const Cardinality& other) const {
+  // A mandatory constraint is stricter than the same non-mandatory one;
+  // a non-mandatory constraint never implies a mandatory one.
+  if (!mandatory_ && other.mandatory_) return false;
+  return MultImplies(domain_, other.domain_) &&
+         MultImplies(range_, other.range_);
+}
+
+Cardinality Cardinality::LeastCommonSuper(const Cardinality& a,
+                                          const Cardinality& b) {
+  return Cardinality(MultJoin(a.domain_, b.domain_),
+                     MultJoin(a.range_, b.range_),
+                     a.mandatory_ && b.mandatory_);
+}
+
+std::string Cardinality::ToString() const {
+  const char* d = (domain_ == Mult::kOne) ? "1" : "m";
+  const char* r = (range_ == Mult::kOne) ? "1" : "n";
+  return StrCat("[", mandatory_ ? "md_" : "", d, ":", r, "]");
+}
+
+Result<Cardinality> Cardinality::Parse(const std::string& text) {
+  std::string_view s = Trim(text);
+  if (s.size() < 5 || s.front() != '[' || s.back() != ']') {
+    return Status::ParseError(StrCat("bad cardinality '", text, "'"));
+  }
+  s = s.substr(1, s.size() - 2);
+  bool mandatory = false;
+  if (StartsWith(s, "md_")) {
+    mandatory = true;
+    s = s.substr(3);
+  }
+  const size_t colon = s.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::ParseError(StrCat("bad cardinality '", text, "'"));
+  }
+  auto parse_side = [&](std::string_view side) -> Result<Mult> {
+    if (side == "1") return Mult::kOne;
+    if (side == "n" || side == "m") return Mult::kMany;
+    return Status::ParseError(
+        StrCat("bad cardinality side '", std::string(side), "' in '", text,
+               "'"));
+  };
+  Result<Mult> d = parse_side(s.substr(0, colon));
+  if (!d.ok()) return d.status();
+  Result<Mult> r = parse_side(s.substr(colon + 1));
+  if (!r.ok()) return r.status();
+  return Cardinality(d.value(), r.value(), mandatory);
+}
+
+}  // namespace ooint

@@ -1,0 +1,78 @@
+#ifndef OOINT_MODEL_CARDINALITY_H_
+#define OOINT_MODEL_CARDINALITY_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace ooint {
+
+/// Cardinality constraint attached to an aggregation function
+/// (Section 2): cc ∈ {[1:1], [1:n], [m:1], [m:n]}, optionally with a
+/// mandatory (total participation) marker on the domain side — the paper's
+/// "[md_n : 1]" notation from Fig. 13(b).
+///
+/// The partial order (the "constraint lattice" of Fig. 13) is:
+///
+///   [1:1]  <=  [1:n], [m:1]  <=  [m:n]        (top: [m:n], bottom: [1:1])
+///
+/// with each mandatory variant [md_x:y] sitting directly below its
+/// non-mandatory counterpart [x:y] (mandatory is the stricter constraint;
+/// relaxation drops the mandatory marker first, then widens
+/// multiplicities). LeastCommonSuper implements the paper's lcs operator
+/// used by integration Principle 6 to resolve constraint conflicts by
+/// loosening as little as possible.
+class Cardinality {
+ public:
+  /// Multiplicity of one side of the constraint.
+  enum class Mult { kOne, kMany };
+
+  /// Defaults to the bottom element [1:1].
+  Cardinality() : domain_(Mult::kOne), range_(Mult::kOne), mandatory_(false) {}
+  Cardinality(Mult domain, Mult range, bool mandatory = false)
+      : domain_(domain), range_(range), mandatory_(mandatory) {}
+
+  static Cardinality OneToOne() { return {Mult::kOne, Mult::kOne}; }
+  static Cardinality OneToMany() { return {Mult::kOne, Mult::kMany}; }
+  static Cardinality ManyToOne() { return {Mult::kMany, Mult::kOne}; }
+  static Cardinality ManyToMany() { return {Mult::kMany, Mult::kMany}; }
+  /// The mandatory variant of this constraint (Fig. 13(b)).
+  Cardinality Mandatory() const { return {domain_, range_, true}; }
+
+  Mult domain() const { return domain_; }
+  Mult range() const { return range_; }
+  bool mandatory() const { return mandatory_; }
+
+  /// Partial-order test: true iff this constraint is at least as strict as
+  /// (below or equal to) `other` in the lattice.
+  bool Implies(const Cardinality& other) const;
+
+  /// The least common super-node lcs(cc1, cc2) of Fig. 13: the least
+  /// constraint implied by both, i.e. the least-loosened resolution of a
+  /// conflict. A node is its own lcs.
+  static Cardinality LeastCommonSuper(const Cardinality& a,
+                                      const Cardinality& b);
+
+  /// "[1:1]", "[m:n]", "[md_m:1]", ...
+  std::string ToString() const;
+  /// Parses the bracketed form accepted by ToString ('n' and 'm' both mean
+  /// many on either side).
+  static Result<Cardinality> Parse(const std::string& text);
+
+  friend bool operator==(const Cardinality& a, const Cardinality& b) {
+    return a.domain_ == b.domain_ && a.range_ == b.range_ &&
+           a.mandatory_ == b.mandatory_;
+  }
+  friend bool operator!=(const Cardinality& a, const Cardinality& b) {
+    return !(a == b);
+  }
+
+ private:
+  Mult domain_;
+  Mult range_;
+  bool mandatory_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_MODEL_CARDINALITY_H_

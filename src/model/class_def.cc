@@ -1,0 +1,46 @@
+#include "model/class_def.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+std::string AttributeType::ToString() const {
+  if (is_class()) return class_name;
+  return ValueKindName(scalar);
+}
+
+std::string Attribute::ToString() const {
+  if (multi_valued) return StrCat(name, ": {", type.ToString(), "}");
+  return StrCat(name, ": ", type.ToString());
+}
+
+std::string AggregationFunction::ToString() const {
+  return StrCat(name, ": ", range_class, " with ", cardinality.ToString());
+}
+
+const Attribute* ClassDef::FindAttribute(const std::string& name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const AggregationFunction* ClassDef::FindAggregation(
+    const std::string& name) const {
+  for (const AggregationFunction& f : aggregations_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string ClassDef::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size() + aggregations_.size());
+  for (const Attribute& a : attributes_) parts.push_back(a.ToString());
+  for (const AggregationFunction& f : aggregations_) {
+    parts.push_back(f.ToString());
+  }
+  return StrCat("type(", name_, ") = <", Join(parts, ", "), ">");
+}
+
+}  // namespace ooint

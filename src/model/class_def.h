@@ -1,0 +1,127 @@
+#ifndef OOINT_MODEL_CLASS_DEF_H_
+#define OOINT_MODEL_CLASS_DEF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/cardinality.h"
+#include "model/value.h"
+
+namespace ooint {
+
+/// Index of a class within its Schema. Stable after Schema::Finalize().
+using ClassId = std::int32_t;
+inline constexpr ClassId kInvalidClassId = -1;
+
+/// The declared type of an attribute: either a scalar kind or a reference
+/// to another class of the same schema ("an attribute itself may have the
+/// type of some other class", Section 4.1 — e.g. Book.author whose type is
+/// the structured <name, birthday> class).
+struct AttributeType {
+  /// Scalar kind; kNull means "class-typed" (see class_name).
+  ValueKind scalar = ValueKind::kNull;
+  /// Non-empty iff the attribute is class-typed.
+  std::string class_name;
+  /// Resolved by Schema::Finalize() when class-typed.
+  ClassId class_id = kInvalidClassId;
+
+  static AttributeType Scalar(ValueKind kind) {
+    AttributeType t;
+    t.scalar = kind;
+    return t;
+  }
+  static AttributeType OfClass(std::string name) {
+    AttributeType t;
+    t.class_name = std::move(name);
+    return t;
+  }
+
+  bool is_class() const { return !class_name.empty(); }
+  std::string ToString() const;
+};
+
+/// One attribute a_i : type_i of a class type (Section 2). `multi_valued`
+/// marks set-typed attributes such as person.interests : {string}.
+struct Attribute {
+  std::string name;
+  AttributeType type;
+  bool multi_valued = false;
+
+  std::string ToString() const;
+};
+
+/// An aggregation function Agg_j : type(C) -> type(C') with cardinality
+/// constraint cc_j (Section 2) — the inter-object relationship mechanism
+/// ("Published_in: Proceedings with [m:1]"). Ranges are classes of the
+/// same schema, resolved at Finalize().
+struct AggregationFunction {
+  std::string name;
+  std::string range_class;
+  ClassId range_class_id = kInvalidClassId;
+  Cardinality cardinality;
+
+  std::string ToString() const;
+};
+
+/// A class C with type(C) = <a_1:type_1, ..., Agg_1 with cc_1, ...>.
+///
+/// ClassDefs are built incrementally (AddAttribute / AddAggregation) and
+/// become immutable once the owning Schema is finalized.
+class ClassDef {
+ public:
+  explicit ClassDef(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  ClassDef& AddAttribute(Attribute attribute) {
+    attributes_.push_back(std::move(attribute));
+    return *this;
+  }
+  /// Convenience: scalar single-valued attribute.
+  ClassDef& AddAttribute(const std::string& name, ValueKind kind) {
+    return AddAttribute({name, AttributeType::Scalar(kind), false});
+  }
+  /// Convenience: scalar multi-valued ({kind}) attribute.
+  ClassDef& AddSetAttribute(const std::string& name, ValueKind kind) {
+    return AddAttribute({name, AttributeType::Scalar(kind), true});
+  }
+  /// Convenience: class-typed attribute.
+  ClassDef& AddClassAttribute(const std::string& name,
+                              const std::string& class_name) {
+    return AddAttribute({name, AttributeType::OfClass(class_name), false});
+  }
+  ClassDef& AddAggregation(AggregationFunction fn) {
+    aggregations_.push_back(std::move(fn));
+    return *this;
+  }
+  ClassDef& AddAggregation(const std::string& name,
+                           const std::string& range_class,
+                           Cardinality cc = Cardinality::ManyToOne()) {
+    return AddAggregation({name, range_class, kInvalidClassId, cc});
+  }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const std::vector<AggregationFunction>& aggregations() const {
+    return aggregations_;
+  }
+
+  /// Attribute / aggregation lookup by name; nullptr when absent.
+  const Attribute* FindAttribute(const std::string& name) const;
+  const AggregationFunction* FindAggregation(const std::string& name) const;
+
+  /// Renders "type(C) = <a: string, Agg: D with [m:1]>".
+  std::string ToString() const;
+
+ private:
+  friend class Schema;
+
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<AggregationFunction> aggregations_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_MODEL_CLASS_DEF_H_

@@ -1,0 +1,104 @@
+#include "model/instance_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+Result<Object*> InstanceStore::NewObject(const std::string& class_name) {
+  Result<ClassId> id = schema_->GetClass(class_name);
+  if (!id.ok()) return id.status();
+  std::uint64_t& counter = next_number_[id.value()];
+  Oid oid(agent_, dbms_, database_.empty() ? schema_->name() : database_,
+          class_name, ++counter);
+  Object object(oid, id.value());
+  auto [it, inserted] = objects_.emplace(oid, std::move(object));
+  if (!inserted) {
+    return Status::AlreadyExists(StrCat("OID collision: ", oid.ToString()));
+  }
+  direct_extent_[id.value()].push_back(oid);
+  return &it->second;
+}
+
+Status InstanceStore::Insert(Object object) {
+  if (object.class_id() < 0 ||
+      static_cast<size_t>(object.class_id()) >= schema_->NumClasses()) {
+    return Status::InvalidArgument(
+        StrCat("object ", object.oid().ToString(), " has invalid class id ",
+               object.class_id()));
+  }
+  const Oid oid = object.oid();
+  const ClassId cid = object.class_id();
+  auto [it, inserted] = objects_.emplace(oid, std::move(object));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrCat("object with OID ", oid.ToString(), " already exists"));
+  }
+  direct_extent_[cid].push_back(oid);
+  return Status::OK();
+}
+
+const Object* InstanceStore::Find(const Oid& oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::vector<Oid> InstanceStore::DirectExtent(ClassId id) const {
+  auto it = direct_extent_.find(id);
+  return it == direct_extent_.end() ? std::vector<Oid>{} : it->second;
+}
+
+std::vector<Oid> InstanceStore::Extent(ClassId id) const {
+  std::vector<Oid> out = DirectExtent(id);
+  for (ClassId sub : schema_->Descendants(id)) {
+    auto it = direct_extent_.find(sub);
+    if (it != direct_extent_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<Oid>> InstanceStore::Extent(
+    const std::string& class_name) const {
+  Result<ClassId> id = schema_->GetClass(class_name);
+  if (!id.ok()) return id.status();
+  return Extent(id.value());
+}
+
+std::vector<Value> InstanceStore::ValueSet(
+    ClassId id, const std::string& attribute) const {
+  std::vector<Value> out;
+  for (const Oid& oid : Extent(id)) {
+    const Object* object = Find(oid);
+    if (object == nullptr) continue;
+    const Value& v = object->Get(attribute);
+    if (v.is_null()) continue;
+    if (v.kind() == ValueKind::kSet) {
+      for (const Value& e : v.AsSet()) out.push_back(e);
+    } else {
+      out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Oid> InstanceStore::FindByAttribute(ClassId id,
+                                                const std::string& attribute,
+                                                const Value& value) const {
+  std::vector<Oid> out;
+  for (const Oid& oid : Extent(id)) {
+    const Object* object = Find(oid);
+    if (object != nullptr && object->Get(attribute) == value) {
+      out.push_back(oid);
+    }
+  }
+  return out;
+}
+
+}  // namespace ooint

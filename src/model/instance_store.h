@@ -1,0 +1,87 @@
+#ifndef OOINT_MODEL_INSTANCE_STORE_H_
+#define OOINT_MODEL_INSTANCE_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/object.h"
+#include "model/schema.h"
+
+namespace ooint {
+
+/// In-memory extension (population) of one local schema.
+///
+/// This is the reproduction's stand-in for the paper's Ontos platform: a
+/// store of objects keyed by OID, with class extents respecting the is-a
+/// hierarchy (the instances of C include the instances of its subclasses,
+/// per the typing O-term semantics of Section 2). Integration itself never
+/// reads the store; the Appendix-B rule evaluator and the data-mapping
+/// layer do.
+class InstanceStore {
+ public:
+  /// `schema` must outlive the store and be finalized.
+  explicit InstanceStore(const Schema* schema) : schema_(schema) {}
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Creates an object of `class_name` with the next OID in the paper's
+  /// federation format and returns a pointer for attribute population.
+  /// The pointer is invalidated by the next Insert.
+  Result<Object*> NewObject(const std::string& class_name);
+
+  /// Inserts a fully formed object; its OID must be unused and its class
+  /// id valid.
+  Status Insert(Object object);
+
+  /// Configures the OID prefix components (Section 3 naming scheme).
+  void SetOidContext(std::string agent, std::string dbms,
+                     std::string database) {
+    agent_ = std::move(agent);
+    dbms_ = std::move(dbms);
+    database_ = std::move(database);
+  }
+
+  /// Object by OID; nullptr when absent.
+  const Object* Find(const Oid& oid) const;
+
+  /// OIDs of the *direct* instances of a class (excluding subclasses).
+  std::vector<Oid> DirectExtent(ClassId id) const;
+
+  /// OIDs of all instances of a class, including instances of all
+  /// transitive subclasses — the paper's {<o : C>} population.
+  std::vector<Oid> Extent(ClassId id) const;
+  Result<std::vector<Oid>> Extent(const std::string& class_name) const;
+
+  /// value_set(att) of Section 5: the largest non-null subset of the
+  /// domain of attribute `attribute` of class `id` w.r.t. the current
+  /// database state. Multi-valued attributes contribute their elements.
+  std::vector<Value> ValueSet(ClassId id, const std::string& attribute) const;
+
+  /// All objects of class `id` (incl. subclasses) whose attribute
+  /// `attribute` equals `value`.
+  std::vector<Oid> FindByAttribute(ClassId id, const std::string& attribute,
+                                   const Value& value) const;
+
+  size_t size() const { return objects_.size(); }
+
+  /// Iteration support for the evaluator.
+  const std::map<Oid, Object>& objects() const { return objects_; }
+
+ private:
+  const Schema* schema_;
+  std::string agent_ = "agent";
+  std::string dbms_ = "ooint";
+  std::string database_;
+  // Per-class tuple numbering (Section 3 numbers "the tuples of a
+  // relation", i.e. per relation/class).
+  std::map<ClassId, std::uint64_t> next_number_;
+  std::map<Oid, Object> objects_;
+  // class id -> OIDs of direct instances.
+  std::map<ClassId, std::vector<Oid>> direct_extent_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_MODEL_INSTANCE_STORE_H_

@@ -1,0 +1,37 @@
+#include "model/object.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+const Value kNullValue;
+const std::vector<Oid> kNoTargets;
+}  // namespace
+
+const Value& Object::Get(const std::string& name) const {
+  auto it = attributes_.find(name);
+  return it == attributes_.end() ? kNullValue : it->second;
+}
+
+const std::vector<Oid>& Object::AggTargets(const std::string& name) const {
+  auto it = aggregations_.find(name);
+  return it == aggregations_.end() ? kNoTargets : it->second;
+}
+
+std::string Object::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [name, value] : attributes_) {
+    parts.push_back(StrCat(name, ": ", value.ToString()));
+  }
+  for (const auto& [name, targets] : aggregations_) {
+    std::vector<std::string> t;
+    t.reserve(targets.size());
+    for (const Oid& oid : targets) t.push_back(oid.ToString());
+    parts.push_back(StrCat(name, " -> {", Join(t, ", "), "}"));
+  }
+  return StrCat("<", oid_.ToString(), " : class#", class_id_, " | ",
+                Join(parts, ", "), ">");
+}
+
+}  // namespace ooint

@@ -1,0 +1,71 @@
+#ifndef OOINT_MODEL_OBJECT_H_
+#define OOINT_MODEL_OBJECT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/class_def.h"
+#include "model/oid.h"
+#include "model/value.h"
+
+namespace ooint {
+
+/// An object (instance) of a class — the paper's complex O-term
+///
+///   <o : C | a_1:v_1, ..., a_l:v_l, agg_1, ..., agg_k>
+///
+/// (Section 2). Attribute values are stored by name; aggregation-function
+/// results are stored as OIDs of the target objects (single target for
+/// *:1 functions, several for *:n).
+class Object {
+ public:
+  Object() : class_id_(kInvalidClassId) {}
+  Object(Oid oid, ClassId class_id)
+      : oid_(std::move(oid)), class_id_(class_id) {}
+
+  const Oid& oid() const { return oid_; }
+  ClassId class_id() const { return class_id_; }
+
+  /// Sets attribute `name` to `value` (replacing any previous value).
+  Object& Set(const std::string& name, Value value) {
+    attributes_[name] = std::move(value);
+    return *this;
+  }
+
+  /// Records `target` as (one of) the result(s) of aggregation function
+  /// `name` applied to this object.
+  Object& AddAggTarget(const std::string& name, Oid target) {
+    aggregations_[name].push_back(std::move(target));
+    return *this;
+  }
+
+  /// Attribute value by name; Null when unset.
+  const Value& Get(const std::string& name) const;
+  bool Has(const std::string& name) const {
+    return attributes_.count(name) != 0;
+  }
+
+  /// Aggregation targets by function name; empty when unset.
+  const std::vector<Oid>& AggTargets(const std::string& name) const;
+
+  const std::map<std::string, Value>& attributes() const {
+    return attributes_;
+  }
+  const std::map<std::string, std::vector<Oid>>& aggregations() const {
+    return aggregations_;
+  }
+
+  /// "<oid : class#id | a: v, ...>".
+  std::string ToString() const;
+
+ private:
+  Oid oid_;
+  ClassId class_id_;
+  std::map<std::string, Value> attributes_;
+  std::map<std::string, std::vector<Oid>> aggregations_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_MODEL_OBJECT_H_

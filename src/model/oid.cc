@@ -1,0 +1,41 @@
+#include "model/oid.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+std::string Oid::ToString() const {
+  return StrCat(agent_, ".", dbms_, ".", database_, ".", relation_, ".",
+                number_);
+}
+
+Result<Oid> Oid::Parse(const std::string& text) {
+  std::vector<std::string> parts = Split(text, '.');
+  if (parts.size() != 5) {
+    return Status::ParseError(
+        StrCat("OID must have 5 dot-separated components, got '", text, "'"));
+  }
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i].empty()) {
+      return Status::ParseError(StrCat("OID has empty component: '", text,
+                                       "'"));
+    }
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(parts[4].c_str(), &end, 10);
+  if (end == parts[4].c_str() || *end != '\0') {
+    return Status::ParseError(
+        StrCat("OID number component is not an integer: '", parts[4], "'"));
+  }
+  return Oid(parts[0], parts[1], parts[2], parts[3],
+             static_cast<std::uint64_t>(n));
+}
+
+std::string Oid::AttributePrefix(const std::string& attribute) const {
+  return StrCat(agent_, ".", dbms_, ".", database_, ".", relation_, ".",
+                attribute);
+}
+
+}  // namespace ooint

@@ -1,0 +1,80 @@
+#ifndef OOINT_MODEL_OID_H_
+#define OOINT_MODEL_OID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace ooint {
+
+/// A federation-wide object identifier, Section 3 of the paper.
+///
+/// Every datum in a component database is uniquely identified in the
+/// federated environment by an OID of the form
+///
+///   <FSM-agent name>.<database system name>.<database name>
+///       .<relation name>.<integer>
+///
+/// e.g. "FSM-agent1.informix.PatientDB.patient-records.5" for the fifth
+/// tuple of relation "patient-records". For native object databases the
+/// "relation name" slot carries the class name.
+class Oid {
+ public:
+  Oid() : number_(0) {}
+  Oid(std::string agent, std::string dbms, std::string database,
+      std::string relation, std::uint64_t number)
+      : agent_(std::move(agent)),
+        dbms_(std::move(dbms)),
+        database_(std::move(database)),
+        relation_(std::move(relation)),
+        number_(number) {}
+
+  const std::string& agent() const { return agent_; }
+  const std::string& dbms() const { return dbms_; }
+  const std::string& database() const { return database_; }
+  const std::string& relation() const { return relation_; }
+  std::uint64_t number() const { return number_; }
+
+  /// True for the default-constructed, not-yet-assigned OID.
+  bool empty() const {
+    return agent_.empty() && dbms_.empty() && database_.empty() &&
+           relation_.empty() && number_ == 0;
+  }
+
+  /// The dotted string form described above.
+  std::string ToString() const;
+
+  /// Parses the dotted form; all five components must be present and the
+  /// last must be a non-negative integer.
+  static Result<Oid> Parse(const std::string& text);
+
+  /// The attribute-value prefix of Section 3:
+  ///   <agent>.<dbms>.<database>.<relation>.<attribute name>
+  std::string AttributePrefix(const std::string& attribute) const;
+
+  friend bool operator==(const Oid& a, const Oid& b) {
+    return a.number_ == b.number_ && a.relation_ == b.relation_ &&
+           a.database_ == b.database_ && a.dbms_ == b.dbms_ &&
+           a.agent_ == b.agent_;
+  }
+  friend bool operator!=(const Oid& a, const Oid& b) { return !(a == b); }
+  friend bool operator<(const Oid& a, const Oid& b) {
+    if (a.agent_ != b.agent_) return a.agent_ < b.agent_;
+    if (a.dbms_ != b.dbms_) return a.dbms_ < b.dbms_;
+    if (a.database_ != b.database_) return a.database_ < b.database_;
+    if (a.relation_ != b.relation_) return a.relation_ < b.relation_;
+    return a.number_ < b.number_;
+  }
+
+ private:
+  std::string agent_;
+  std::string dbms_;
+  std::string database_;
+  std::string relation_;
+  std::uint64_t number_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_MODEL_OID_H_

@@ -1,0 +1,180 @@
+#include "model/schema_parser.h"
+
+#include "common/lexer.h"
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+
+Result<ValueKind> ScalarKindByName(const std::string& name) {
+  if (name == "boolean") return ValueKind::kBoolean;
+  if (name == "integer") return ValueKind::kInteger;
+  if (name == "real") return ValueKind::kReal;
+  if (name == "character") return ValueKind::kCharacter;
+  if (name == "string") return ValueKind::kString;
+  if (name == "date") return ValueKind::kDate;
+  return Status::ParseError(StrCat("unknown scalar type '", name, "'"));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : cursor_(std::move(tokens)) {}
+
+  Result<Schema> Run() {
+    OOINT_RETURN_IF_ERROR(cursor_.ExpectKeyword("schema"));
+    OOINT_ASSIGN_OR_RETURN(std::string name, cursor_.ExpectIdent());
+    Schema schema(std::move(name));
+    OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kLBrace));
+
+    struct PendingIsA {
+      std::string child;
+      std::string parent;
+    };
+    std::vector<PendingIsA> pending;
+
+    while (cursor_.Peek().kind != TokKind::kRBrace) {
+      const Token& tok = cursor_.Peek();
+      if (tok.kind != TokKind::kIdent) {
+        return cursor_.ErrorAt(tok, "expected 'class' or 'is_a'");
+      }
+      if (tok.text == "class") {
+        OOINT_RETURN_IF_ERROR(ParseClass(&schema));
+      } else if (tok.text == "is_a") {
+        cursor_.Next();
+        OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kLParen));
+        OOINT_ASSIGN_OR_RETURN(std::string child, cursor_.ExpectIdent());
+        OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kComma));
+        OOINT_ASSIGN_OR_RETURN(std::string parent, cursor_.ExpectIdent());
+        OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kRParen));
+        OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kSemi));
+        pending.push_back({std::move(child), std::move(parent)});
+      } else {
+        return cursor_.ErrorAt(tok, StrCat("unknown declaration '", tok.text,
+                                           "' (expected class/is_a)"));
+      }
+    }
+    cursor_.Next();  // '}'
+    if (!cursor_.AtEnd()) {
+      return cursor_.ErrorAt(cursor_.Peek(),
+                             "trailing input after schema definition");
+    }
+    for (const PendingIsA& link : pending) {
+      OOINT_RETURN_IF_ERROR(schema.AddIsA(link.child, link.parent));
+    }
+    OOINT_RETURN_IF_ERROR(schema.Finalize());
+    return schema;
+  }
+
+ private:
+  Status ParseClass(Schema* schema) {
+    OOINT_RETURN_IF_ERROR(cursor_.ExpectKeyword("class"));
+    OOINT_ASSIGN_OR_RETURN(std::string name, cursor_.ExpectIdent());
+    ClassDef class_def(std::move(name));
+    OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kLBrace));
+    while (cursor_.Peek().kind != TokKind::kRBrace) {
+      OOINT_RETURN_IF_ERROR(ParseMember(&class_def));
+    }
+    cursor_.Next();  // '}'
+    return schema->AddClass(std::move(class_def)).status();
+  }
+
+  Status ParseMember(ClassDef* class_def) {
+    OOINT_ASSIGN_OR_RETURN(std::string name, cursor_.ExpectIdent());
+    OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kColon));
+    const Token& tok = cursor_.Peek();
+    if (tok.kind == TokKind::kLBrace) {
+      // {scalar}: a multi-valued attribute.
+      cursor_.Next();
+      OOINT_ASSIGN_OR_RETURN(std::string type_name, cursor_.ExpectIdent());
+      OOINT_ASSIGN_OR_RETURN(ValueKind kind, ScalarKindByName(type_name));
+      OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kRBrace));
+      class_def->AddSetAttribute(name, kind);
+    } else if (tok.kind == TokKind::kIdent && tok.text == "class") {
+      cursor_.Next();
+      OOINT_ASSIGN_OR_RETURN(std::string target, cursor_.ExpectIdent());
+      class_def->AddClassAttribute(name, target);
+    } else if (tok.kind == TokKind::kIdent && tok.text == "agg") {
+      cursor_.Next();
+      OOINT_ASSIGN_OR_RETURN(std::string range, cursor_.ExpectIdent());
+      Cardinality cc = Cardinality::ManyToOne();
+      if (cursor_.Peek().kind == TokKind::kLBracket) {
+        OOINT_ASSIGN_OR_RETURN(cc, ParseCardinality());
+      }
+      class_def->AddAggregation(name, range, cc);
+    } else if (tok.kind == TokKind::kIdent) {
+      cursor_.Next();
+      OOINT_ASSIGN_OR_RETURN(ValueKind kind, ScalarKindByName(tok.text));
+      class_def->AddAttribute(name, kind);
+    } else {
+      return cursor_.ErrorAt(tok, "expected a type");
+    }
+    return cursor_.Expect(TokKind::kSemi);
+  }
+
+  Result<Cardinality> ParseCardinality() {
+    // [m:1], [md_m:1], ... re-assembled from tokens and delegated to
+    // Cardinality::Parse.
+    OOINT_RETURN_IF_ERROR(cursor_.Expect(TokKind::kLBracket));
+    std::string text = "[";
+    while (cursor_.Peek().kind != TokKind::kRBracket) {
+      const Token& tok = cursor_.Next();
+      if (tok.kind == TokKind::kIdent || tok.kind == TokKind::kNumber) {
+        text += tok.text;
+      } else if (tok.kind == TokKind::kColon) {
+        text += ":";
+      } else {
+        return cursor_.ErrorAt(tok, "malformed cardinality constraint");
+      }
+    }
+    cursor_.Next();  // ']'
+    text += "]";
+    return Cardinality::Parse(text);
+  }
+
+  TokenCursor cursor_;
+};
+
+}  // namespace
+
+Result<Schema> SchemaParser::Parse(const std::string& text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Run();
+}
+
+std::string SchemaToText(const Schema& schema) {
+  std::string out = StrCat("schema ", schema.name(), " {\n");
+  for (const ClassDef& class_def : schema.classes()) {
+    out += StrCat("  class ", class_def.name(), " {\n");
+    for (const Attribute& attr : class_def.attributes()) {
+      if (attr.type.is_class()) {
+        out += StrCat("    ", attr.name, ": class ", attr.type.class_name,
+                      ";\n");
+      } else if (attr.multi_valued) {
+        out += StrCat("    ", attr.name, ": {",
+                      ValueKindName(attr.type.scalar), "};\n");
+      } else {
+        out += StrCat("    ", attr.name, ": ",
+                      ValueKindName(attr.type.scalar), ";\n");
+      }
+    }
+    for (const AggregationFunction& fn : class_def.aggregations()) {
+      out += StrCat("    ", fn.name, ": agg ", fn.range_class, " ",
+                    fn.cardinality.ToString(), ";\n");
+    }
+    out += "  }\n";
+  }
+  for (size_t i = 0; i < schema.NumClasses(); ++i) {
+    for (ClassId parent : schema.ParentsOf(static_cast<ClassId>(i))) {
+      out += StrCat("  is_a(",
+                    schema.class_def(static_cast<ClassId>(i)).name(), ", ",
+                    schema.class_def(parent).name(), ");\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ooint

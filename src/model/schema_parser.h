@@ -1,0 +1,41 @@
+#ifndef OOINT_MODEL_SCHEMA_PARSER_H_
+#define OOINT_MODEL_SCHEMA_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "model/schema.h"
+
+namespace ooint {
+
+/// Parser and printer for the schema-definition language — the textual
+/// form local schemas arrive in at the FSM (exported by component
+/// databases after schema transformation):
+///
+///   schema S1 {
+///     class person {
+///       ssn#: string;
+///       interests: {string};            # multi-valued attribute
+///       author: class person_info;      # class-typed attribute
+///       spouse: agg person [1:1];       # aggregation function
+///     }
+///     class student { ssn#: string; }
+///     is_a(student, person);
+///   }
+///
+/// Scalar types: boolean, integer, real, character, string, date.
+/// Aggregation cardinalities use the paper's bracket form ([1:1], [1:n],
+/// [m:1], [m:n], [md_m:1], ...). Line comments start with '#'. The
+/// parsed schema is finalized before being returned.
+class SchemaParser {
+ public:
+  static Result<Schema> Parse(const std::string& text);
+};
+
+/// Renders `schema` in the schema-definition language;
+/// SchemaParser::Parse round-trips the output.
+std::string SchemaToText(const Schema& schema);
+
+}  // namespace ooint
+
+#endif  // OOINT_MODEL_SCHEMA_PARSER_H_

@@ -1,0 +1,301 @@
+#include "model/value.h"
+
+#include <cassert>
+#include <cstdio>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBoolean:
+      return "boolean";
+    case ValueKind::kInteger:
+      return "integer";
+    case ValueKind::kReal:
+      return "real";
+    case ValueKind::kCharacter:
+      return "character";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kDate:
+      return "date";
+    case ValueKind::kOid:
+      return "oid";
+    case ValueKind::kSet:
+      return "set";
+  }
+  return "unknown";
+}
+
+std::string Date::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+Result<Date> Date::Parse(const std::string& text) {
+  Date d;
+  int consumed = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d%n", &d.year, &d.month, &d.day,
+                  &consumed) != 3 ||
+      static_cast<size_t>(consumed) != text.size()) {
+    return Status::ParseError(StrCat("bad date '", text, "', want YYYY-MM-DD"));
+  }
+  if (d.month < 1 || d.month > 12 || d.day < 1 || d.day > 31) {
+    return Status::ParseError(StrCat("date out of range: '", text, "'"));
+  }
+  return d;
+}
+
+Value Value::Boolean(bool b) {
+  Value v;
+  v.kind_ = ValueKind::kBoolean;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Integer(std::int64_t i) {
+  Value v;
+  v.kind_ = ValueKind::kInteger;
+  v.int_ = i;
+  return v;
+}
+
+Value Value::Real(double r) {
+  Value v;
+  v.kind_ = ValueKind::kReal;
+  v.real_ = r;
+  return v;
+}
+
+Value Value::Character(char c) {
+  Value v;
+  v.kind_ = ValueKind::kCharacter;
+  v.char_ = c;
+  return v;
+}
+
+Value Value::String(std::string s) {
+  Value v;
+  v.kind_ = ValueKind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::OfDate(Date d) {
+  Value v;
+  v.kind_ = ValueKind::kDate;
+  v.date_ = d;
+  return v;
+}
+
+Value Value::OfOid(Oid oid) {
+  Value v;
+  v.kind_ = ValueKind::kOid;
+  v.oid_ = std::move(oid);
+  return v;
+}
+
+Value Value::Set(std::vector<Value> elements) {
+  Value v;
+  v.kind_ = ValueKind::kSet;
+  v.set_ = std::move(elements);
+  return v;
+}
+
+bool Value::AsBoolean() const {
+  assert(kind_ == ValueKind::kBoolean);
+  return bool_;
+}
+std::int64_t Value::AsInteger() const {
+  assert(kind_ == ValueKind::kInteger);
+  return int_;
+}
+double Value::AsReal() const {
+  assert(kind_ == ValueKind::kReal);
+  return real_;
+}
+char Value::AsCharacter() const {
+  assert(kind_ == ValueKind::kCharacter);
+  return char_;
+}
+const std::string& Value::AsString() const {
+  assert(kind_ == ValueKind::kString);
+  return string_;
+}
+const Date& Value::AsDate() const {
+  assert(kind_ == ValueKind::kDate);
+  return date_;
+}
+const Oid& Value::AsOid() const {
+  assert(kind_ == ValueKind::kOid);
+  return oid_;
+}
+const std::vector<Value>& Value::AsSet() const {
+  assert(kind_ == ValueKind::kSet);
+  return set_;
+}
+
+Result<double> Value::AsNumber() const {
+  if (kind_ == ValueKind::kInteger) return static_cast<double>(int_);
+  if (kind_ == ValueKind::kReal) return real_;
+  return Status::TypeError(
+      StrCat("value of kind ", ValueKindName(kind_), " is not numeric"));
+}
+
+bool Value::SetContains(const Value& element) const {
+  if (kind_ != ValueKind::kSet) return false;
+  for (const Value& v : set_) {
+    if (v == element) return true;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBoolean:
+      return bool_ ? "true" : "false";
+    case ValueKind::kInteger:
+      return StrCat(int_);
+    case ValueKind::kReal:
+      return StrCat(real_);
+    case ValueKind::kCharacter:
+      return StrCat("'", char_, "'");
+    case ValueKind::kString:
+      return StrCat("\"", string_, "\"");
+    case ValueKind::kDate:
+      return date_.ToString();
+    case ValueKind::kOid:
+      return oid_.ToString();
+    case ValueKind::kSet: {
+      std::vector<std::string> parts;
+      parts.reserve(set_.size());
+      for (const Value& v : set_) parts.push_back(v.ToString());
+      return StrCat("{", Join(parts, ", "), "}");
+    }
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kBoolean:
+      return a.bool_ == b.bool_;
+    case ValueKind::kInteger:
+      return a.int_ == b.int_;
+    case ValueKind::kReal:
+      return a.real_ == b.real_;
+    case ValueKind::kCharacter:
+      return a.char_ == b.char_;
+    case ValueKind::kString:
+      return a.string_ == b.string_;
+    case ValueKind::kDate:
+      return a.date_ == b.date_;
+    case ValueKind::kOid:
+      return a.oid_ == b.oid_;
+    case ValueKind::kSet:
+      return a.set_ == b.set_;
+  }
+  return false;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+  switch (a.kind_) {
+    case ValueKind::kNull:
+      return false;
+    case ValueKind::kBoolean:
+      return a.bool_ < b.bool_;
+    case ValueKind::kInteger:
+      return a.int_ < b.int_;
+    case ValueKind::kReal:
+      return a.real_ < b.real_;
+    case ValueKind::kCharacter:
+      return a.char_ < b.char_;
+    case ValueKind::kString:
+      return a.string_ < b.string_;
+    case ValueKind::kDate:
+      return a.date_ < b.date_;
+    case ValueKind::kOid:
+      return a.oid_ < b.oid_;
+    case ValueKind::kSet:
+      return a.set_ < b.set_;
+  }
+  return false;
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<bool> Compare(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    default:
+      break;
+  }
+  // Allow integer/real mixing for inequalities.
+  if ((lhs.kind() == ValueKind::kInteger || lhs.kind() == ValueKind::kReal) &&
+      (rhs.kind() == ValueKind::kInteger || rhs.kind() == ValueKind::kReal)) {
+    const double l = lhs.AsNumber().value();
+    const double r = rhs.AsNumber().value();
+    switch (op) {
+      case CompareOp::kLt:
+        return l < r;
+      case CompareOp::kLe:
+        return l <= r;
+      case CompareOp::kGt:
+        return l > r;
+      case CompareOp::kGe:
+        return l >= r;
+      default:
+        break;
+    }
+  }
+  if (lhs.kind() != rhs.kind()) {
+    return Status::TypeError(
+        StrCat("cannot order values of kinds ", ValueKindName(lhs.kind()),
+               " and ", ValueKindName(rhs.kind())));
+  }
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    default:
+      return Status::Internal("unreachable compare op");
+  }
+}
+
+}  // namespace ooint

@@ -1,0 +1,51 @@
+#ifndef OOINT_OOINT_H_
+#define OOINT_OOINT_H_
+
+/// Umbrella header: the public API of the ooint library (the
+/// reproduction of "Integrating Heterogeneous OO Schemas").
+///
+/// The typical pipeline:
+///   1. describe or transform local schemas      (model/, transform/)
+///   2. populate component stores                (model/instance_*.h)
+///   3. declare correspondence assertions        (assertions/)
+///   4. check them                               (integrate/consistency.h)
+///   5. integrate                                (integrate/integrator.h)
+///   6. federate and query                       (federation/)
+
+#include "assertions/assertion.h"
+#include "assertions/assertion_set.h"
+#include "assertions/parser.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "datamap/data_mapping.h"
+#include "federation/explain.h"
+#include "federation/fsm.h"
+#include "federation/fsm_agent.h"
+#include "federation/fsm_client.h"
+#include "federation/identity.h"
+#include "federation/materialize.h"
+#include "federation/query_parser.h"
+#include "integrate/aif.h"
+#include "integrate/consistency.h"
+#include "integrate/integrated_schema.h"
+#include "integrate/integrator.h"
+#include "integrate/naive_integrator.h"
+#include "integrate/trace.h"
+#include "model/cardinality.h"
+#include "model/instance_parser.h"
+#include "model/instance_store.h"
+#include "model/object.h"
+#include "model/oid.h"
+#include "model/schema.h"
+#include "model/schema_parser.h"
+#include "model/value.h"
+#include "rules/evaluator.h"
+#include "rules/rule.h"
+#include "rules/rule_generator.h"
+#include "rules/topdown.h"
+#include "transform/rel_to_oo.h"
+#include "transform/relational.h"
+#include "workload/fixtures.h"
+#include "workload/generator.h"
+
+#endif  // OOINT_OOINT_H_

@@ -1,0 +1,157 @@
+#include "rules/assertion_graph.h"
+
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+
+/// Union-find over node indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+bool ValueRelSharesVariable(ValueRel rel) {
+  switch (rel) {
+    case ValueRel::kEq:
+    case ValueRel::kIn:
+    case ValueRel::kSupseteq:
+    case ValueRel::kOverlap:
+      return true;
+    case ValueRel::kNe:
+    case ValueRel::kDisjoint:
+      return false;
+  }
+  return false;
+}
+
+bool AttrRelSharesVariable(AttrRel rel) {
+  switch (rel) {
+    case AttrRel::kEquivalent:
+    case AttrRel::kSubset:
+    case AttrRel::kSuperset:
+    case AttrRel::kOverlap:
+      return true;
+    case AttrRel::kDisjoint:
+    case AttrRel::kComposedInto:
+    case AttrRel::kMoreSpecific:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<AssertionGraph> AssertionGraph::Build(const Assertion& assertion) {
+  if (assertion.rel != SetRel::kDerivation) {
+    return Status::InvalidArgument(
+        StrCat("assertion graphs are defined for derivation assertions; "
+               "got ",
+               SetRelName(assertion.rel)));
+  }
+
+  AssertionGraph graph;
+
+  // Collect nodes in first-appearance order.
+  std::vector<Path> nodes;
+  std::map<std::string, size_t> index;
+  auto intern = [&](const Path& path) -> size_t {
+    const std::string key = path.ToString();
+    auto it = index.find(key);
+    if (it != index.end()) return it->second;
+    const size_t id = nodes.size();
+    index.emplace(key, id);
+    nodes.push_back(path);
+    return id;
+  };
+
+  struct Edge {
+    size_t a;
+    size_t b;
+  };
+  std::vector<Edge> edges;
+
+  for (const ValueCorrespondence& vc : assertion.value_corrs) {
+    const size_t a = intern(vc.lhs);
+    const size_t b = intern(vc.rhs);
+    if (ValueRelSharesVariable(vc.rel)) edges.push_back({a, b});
+  }
+  for (const AttributeCorrespondence& ac : assertion.attr_corrs) {
+    const size_t a = intern(ac.lhs);
+    const size_t b = intern(ac.rhs);
+    if (AttrRelSharesVariable(ac.rel)) edges.push_back({a, b});
+    if (ac.with.has_value()) {
+      const size_t h = intern(ac.with->attribute);
+      graph.hyperedges_.push_back({*ac.with, {nodes[h]}});
+    }
+  }
+
+  graph.num_edges_ = edges.size();
+
+  // Connected components via union-find.
+  UnionFind uf(nodes.size());
+  for (const Edge& e : edges) uf.Union(e.a, e.b);
+
+  // Components in order of their smallest member index, each marked x_j.
+  std::map<size_t, size_t> root_to_component;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const size_t root = uf.Find(i);
+    auto it = root_to_component.find(root);
+    size_t component;
+    if (it == root_to_component.end()) {
+      component = graph.components_.size();
+      root_to_component.emplace(root, component);
+      graph.components_.push_back(
+          {{}, StrCat("x", graph.components_.size() + 1)});
+    } else {
+      component = it->second;
+    }
+    graph.components_[component].nodes.push_back(nodes[i]);
+    graph.node_component_.emplace(nodes[i].ToString(), component);
+  }
+
+  return graph;
+}
+
+std::string AssertionGraph::VariableOf(const Path& path) const {
+  auto it = node_component_.find(path.ToString());
+  if (it == node_component_.end()) return "";
+  return components_[it->second].variable;
+}
+
+std::string AssertionGraph::ToString() const {
+  std::string out = "assertion graph {\n";
+  for (const Component& c : components_) {
+    std::vector<std::string> names;
+    names.reserve(c.nodes.size());
+    for (const Path& p : c.nodes) names.push_back(p.ToString());
+    out += StrCat("  ", c.variable, ": {", Join(names, ", "), "}\n");
+  }
+  for (const Hyperedge& h : hyperedges_) {
+    std::vector<std::string> names;
+    names.reserve(h.nodes.size());
+    for (const Path& p : h.nodes) names.push_back(p.ToString());
+    out += StrCat("  he(", h.predicate.ToString(), "): {", Join(names, ", "),
+                  "}\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ooint

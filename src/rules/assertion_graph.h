@@ -1,0 +1,71 @@
+#ifndef OOINT_RULES_ASSERTION_GRAPH_H_
+#define OOINT_RULES_ASSERTION_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assertions/assertion.h"
+#include "common/result.h"
+
+namespace ooint {
+
+/// The assertion graph G of Section 5 for a (decomposed) derivation
+/// assertion S1(A_1, ..., A_n) → S2.B:
+///
+///  - one node per "path" referring to an element of some class
+///    (Definition 4.1) mentioned by the assertion's correspondences;
+///  - an edge between path_a and path_b iff path_a rel path_b with
+///    rel ∈ {=, ∈, ⊆} is specified (we also accept ⊇ and ∩, which
+///    likewise identify the attributes' values — cf. Example 9's
+///    children ⊇ niece_nephew edge and Example 10's price ∩ car-name_1
+///    edge);
+///  - a hyperedge he(p) per predicate p appearing in the assertion (the
+///    `with att τ const` qualifiers), containing the nodes p mentions.
+///
+/// Each connected subgraph is marked with a distinct variable x_j
+/// (isolated nodes count as connected subgraphs); hyperedges are marked
+/// with the predicates they carry. The RuleGenerator turns these marks
+/// into reverse substitutions (methods (i) and (ii) of Section 5).
+class AssertionGraph {
+ public:
+  struct Component {
+    /// Node paths of this connected subgraph, in first-appearance order.
+    std::vector<Path> nodes;
+    /// The marking variable x_j.
+    std::string variable;
+  };
+
+  struct Hyperedge {
+    /// The predicate carried by this hyperedge.
+    WithPredicate predicate;
+    /// The nodes it spans (a single node for `att τ const` predicates).
+    std::vector<Path> nodes;
+  };
+
+  /// Builds the graph for `assertion` (which must be a derivation).
+  static Result<AssertionGraph> Build(const Assertion& assertion);
+
+  const std::vector<Component>& components() const { return components_; }
+  const std::vector<Hyperedge>& hyperedges() const { return hyperedges_; }
+
+  /// The marking variable of the component containing `path`; empty when
+  /// the path is not a node of the graph.
+  std::string VariableOf(const Path& path) const;
+
+  size_t NumNodes() const { return node_component_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Multi-line dump: components with their variables, then hyperedges.
+  std::string ToString() const;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<Hyperedge> hyperedges_;
+  std::map<std::string, size_t> node_component_;  // path string -> component
+  size_t num_edges_ = 0;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_ASSERTION_GRAPH_H_

@@ -1,0 +1,472 @@
+#include "rules/evaluator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+void Evaluator::AddSource(const std::string& schema_name,
+                          const InstanceStore* store) {
+  sources_.push_back({schema_name, store});
+}
+
+Status Evaluator::BindConcept(const std::string& concept_name,
+                              const std::string& schema_name,
+                              const std::string& class_name) {
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i].schema_name != schema_name) continue;
+    if (sources_[i].store->schema().FindClass(class_name) ==
+        kInvalidClassId) {
+      return Status::NotFound(StrCat("class '", class_name,
+                                     "' not in source schema '", schema_name,
+                                     "'"));
+    }
+    bindings_decl_.push_back({concept_name, i, class_name});
+    evaluated_ = false;
+    return Status::OK();
+  }
+  return Status::NotFound(StrCat("no source registered for schema '",
+                                 schema_name, "'"));
+}
+
+Status Evaluator::AddRule(Rule rule) {
+  if (rule.documentation_only) {
+    return Status::Unsupported(
+        StrCat("rule is documentation-only: ", rule.ToString()));
+  }
+  if (rule.disjunctive_head || rule.head.size() != 1) {
+    return Status::Unsupported(
+        StrCat("only definite (single-head) rules are evaluable: ",
+               rule.ToString()));
+  }
+  if (rule.head.front().kind == Literal::Kind::kCompare) {
+    return Status::Unsupported(
+        StrCat("comparison literals cannot head a rule: ", rule.ToString()));
+  }
+  OOINT_RETURN_IF_ERROR(CheckRuleSafety(rule));
+  rules_.push_back(std::move(rule));
+  evaluated_ = false;
+  return Status::OK();
+}
+
+void Evaluator::Reset() {
+  evaluated_ = false;
+  all_facts_.clear();
+  facts_.clear();
+  fact_keys_.clear();
+  skolem_attr_keys_.clear();
+  by_oid_.clear();
+  skolem_counter_ = 0;
+  stats_ = Stats();
+}
+
+FactMatcher Evaluator::MakeMatcher() const {
+  return FactMatcher([this](const Oid& oid) { return FindByOid(oid); },
+                     mappings_);
+}
+
+bool Evaluator::InsertFact(Fact fact) {
+  const std::string key = fact.CanonicalKey();
+  if (!fact_keys_.insert(key).second) return false;
+  all_facts_.push_back(std::move(fact));
+  const Fact& stored = all_facts_.back();
+  facts_[stored.concept_name].push_back(&stored);
+  if (!stored.oid.empty()) {
+    by_oid_.emplace(stored.oid, &stored);
+  }
+  return true;
+}
+
+Status Evaluator::LoadBaseFacts() {
+  for (const ConceptBinding& binding : bindings_decl_) {
+    const Source& source = sources_[binding.source_index];
+    Result<std::vector<Oid>> extent =
+        source.store->Extent(binding.class_name);
+    if (!extent.ok()) return extent.status();
+    for (const Oid& oid : extent.value()) {
+      const Object* object = source.store->Find(oid);
+      if (object == nullptr) continue;
+      if (InsertFact(Fact::FromObject(binding.concept_name, *object))) {
+        ++stats_.base_facts;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Evaluator::Stratify(std::map<std::string, int>* strata,
+                           int* max_stratum) const {
+  std::set<std::string> concepts;
+  for (const Rule& rule : rules_) {
+    for (const std::string& c : rule.HeadConceptNames()) concepts.insert(c);
+    for (const std::string& c : rule.BodyConceptNames(false)) {
+      concepts.insert(c);
+    }
+  }
+  for (const std::string& c : concepts) (*strata)[c] = 0;
+  const size_t limit = concepts.size() + 1;
+  for (size_t round = 0; round <= limit; ++round) {
+    bool changed = false;
+    for (const Rule& rule : rules_) {
+      for (const std::string& head : rule.HeadConceptNames()) {
+        int& h = (*strata)[head];
+        for (const Literal& literal : rule.body) {
+          std::string body_concept;
+          if (literal.kind == Literal::Kind::kOTerm) {
+            body_concept = literal.oterm.class_name;
+          } else if (literal.kind == Literal::Kind::kPredicate) {
+            body_concept = literal.pred_name;
+          } else {
+            continue;
+          }
+          const int b = (*strata)[body_concept];
+          const int need = literal.negated ? b + 1 : b;
+          if (h < need) {
+            h = need;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) {
+      *max_stratum = 0;
+      for (const auto& [concept_name, stratum] : *strata) {
+        (void)concept_name;
+        *max_stratum = std::max(*max_stratum, stratum);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::FailedPrecondition(
+      "rule set is not stratified (negation through recursion)");
+}
+
+Status Evaluator::Evaluate() {
+  if (evaluated_) return Status::OK();
+  Reset();
+  OOINT_RETURN_IF_ERROR(LoadBaseFacts());
+  std::map<std::string, int> strata;
+  int max_stratum = 0;
+  OOINT_RETURN_IF_ERROR(Stratify(&strata, &max_stratum));
+  stats_.strata = static_cast<size_t>(max_stratum) + 1;
+
+  for (int stratum = 0; stratum <= max_stratum; ++stratum) {
+    std::vector<const Rule*> active;
+    for (const Rule& rule : rules_) {
+      const std::vector<std::string> heads = rule.HeadConceptNames();
+      if (!heads.empty() && strata[heads.front()] == stratum) {
+        active.push_back(&rule);
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++stats_.iterations;
+      for (const Rule* rule : active) {
+        std::vector<Fact> new_facts;
+        OOINT_RETURN_IF_ERROR(ApplyRule(*rule, &new_facts));
+        for (Fact& fact : new_facts) {
+          if (InsertFact(std::move(fact))) {
+            ++stats_.derived_facts;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  evaluated_ = true;
+  return Status::OK();
+}
+
+const std::vector<const Fact*>& Evaluator::CurrentFacts(
+    const std::string& concept_name) const {
+  static const std::vector<const Fact*> kEmpty;
+  auto it = facts_.find(concept_name);
+  return it == facts_.end() ? kEmpty : it->second;
+}
+
+std::vector<const Fact*> Evaluator::FactsOf(const std::string& concept_name) const {
+  return CurrentFacts(concept_name);
+}
+
+const Fact* Evaluator::FindByOid(const Oid& oid) const {
+  auto it = by_oid_.find(oid);
+  return it == by_oid_.end() ? nullptr : it->second;
+}
+
+Status Evaluator::SolveBody(const FactMatcher& matcher,
+                            const std::vector<Literal>& body, size_t index,
+                            Solution solution,
+                            std::vector<Solution>* solutions) const {
+  if (index == body.size()) {
+    solutions->push_back(std::move(solution));
+    return Status::OK();
+  }
+  const Literal& literal = body[index];
+  switch (literal.kind) {
+    case Literal::Kind::kOTerm: {
+      const std::vector<const Fact*>& candidates =
+          CurrentFacts(literal.oterm.class_name);
+      if (!literal.negated) {
+        for (const Fact* fact : candidates) {
+          std::vector<Bindings> matches;
+          matcher.MatchOTerm(literal.oterm, *fact, solution.bindings,
+                             &matches);
+          for (Bindings& match : matches) {
+            Solution next = solution;
+            next.bindings = std::move(match);
+            next.matched.push_back(fact);
+            OOINT_RETURN_IF_ERROR(SolveBody(matcher, body, index + 1,
+                                            std::move(next), solutions));
+          }
+        }
+      } else {
+        bool found = false;
+        for (const Fact* fact : candidates) {
+          std::vector<Bindings> matches;
+          matcher.MatchOTerm(literal.oterm, *fact, solution.bindings,
+                             &matches);
+          if (!matches.empty()) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          OOINT_RETURN_IF_ERROR(SolveBody(matcher, body, index + 1,
+                                          std::move(solution), solutions));
+        }
+      }
+      return Status::OK();
+    }
+    case Literal::Kind::kPredicate: {
+      const std::vector<const Fact*>& candidates =
+          CurrentFacts(literal.pred_name);
+      auto match_args = [&](const Fact& fact, Bindings* b) -> bool {
+        for (size_t i = 0; i < literal.args.size(); ++i) {
+          auto it = fact.attrs.find(StrCat(i));
+          if (it == fact.attrs.end()) return false;
+          const TermArg& arg = literal.args[i];
+          if (arg.is_constant()) {
+            if (!matcher.ValuesEqual(arg.constant, it->second)) return false;
+          } else if (arg.is_variable()) {
+            auto bound = b->find(arg.var);
+            if (bound != b->end()) {
+              if (!matcher.ValuesEqual(bound->second, it->second)) {
+                return false;
+              }
+            } else {
+              b->emplace(arg.var, it->second);
+            }
+          } else {
+            return false;
+          }
+        }
+        return true;
+      };
+      if (!literal.negated) {
+        for (const Fact* fact : candidates) {
+          Bindings next = solution.bindings;
+          if (match_args(*fact, &next)) {
+            Solution s = solution;
+            s.bindings = std::move(next);
+            OOINT_RETURN_IF_ERROR(
+                SolveBody(matcher, body, index + 1, std::move(s), solutions));
+          }
+        }
+      } else {
+        bool found = false;
+        for (const Fact* fact : candidates) {
+          Bindings next = solution.bindings;
+          if (match_args(*fact, &next)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          OOINT_RETURN_IF_ERROR(SolveBody(matcher, body, index + 1,
+                                          std::move(solution), solutions));
+        }
+      }
+      return Status::OK();
+    }
+    case Literal::Kind::kCompare: {
+      Value lhs;
+      Value rhs;
+      const bool lhs_ok = ResolveArg(literal.cmp_lhs, solution.bindings, &lhs);
+      const bool rhs_ok = ResolveArg(literal.cmp_rhs, solution.bindings, &rhs);
+      if (literal.cmp_op == CompareOp::kEq && !literal.negated &&
+          lhs_ok != rhs_ok) {
+        // Equality with exactly one bound side binds the other.
+        const TermArg& unbound = lhs_ok ? literal.cmp_rhs : literal.cmp_lhs;
+        const Value& value = lhs_ok ? lhs : rhs;
+        if (!unbound.is_variable()) return Status::OK();
+        Solution next = solution;
+        next.bindings[unbound.var] = value;
+        return SolveBody(matcher, body, index + 1, std::move(next),
+                         solutions);
+      }
+      if (!lhs_ok || !rhs_ok) {
+        return Status::FailedPrecondition(StrCat(
+            "comparison over unbound variables: ", literal.ToString()));
+      }
+      bool truth = false;
+      if (literal.cmp_op == CompareOp::kEq) {
+        truth = matcher.ValuesEqual(lhs, rhs);
+      } else if (literal.cmp_op == CompareOp::kNe) {
+        truth = !matcher.ValuesEqual(lhs, rhs);
+      } else {
+        Result<bool> cmp = Compare(lhs, literal.cmp_op, rhs);
+        if (!cmp.ok()) return cmp.status();
+        truth = cmp.value();
+      }
+      if (truth != literal.negated) {
+        return SolveBody(matcher, body, index + 1, std::move(solution),
+                         solutions);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable literal kind");
+}
+
+Status Evaluator::ApplyRule(const Rule& rule, std::vector<Fact>* new_facts) {
+  ++stats_.rule_applications;
+  const FactMatcher matcher = MakeMatcher();
+  std::vector<Solution> solutions;
+  OOINT_RETURN_IF_ERROR(
+      SolveBody(matcher, rule.body, 0, Solution(), &solutions));
+
+  const Literal& head = rule.head.front();
+  for (const Solution& solution : solutions) {
+    Fact fact;
+    if (head.kind == Literal::Kind::kPredicate) {
+      fact.concept_name = head.pred_name;
+      for (size_t i = 0; i < head.args.size(); ++i) {
+        Value v;
+        if (!ResolveArg(head.args[i], solution.bindings, &v)) {
+          return Status::FailedPrecondition(
+              StrCat("unbound head argument in rule: ", rule.ToString()));
+        }
+        fact.attrs[StrCat(i)] = std::move(v);
+      }
+      new_facts->push_back(std::move(fact));
+      continue;
+    }
+
+    // O-term head.
+    fact.concept_name = head.oterm.class_name;
+
+    // Instantiate descriptors; nested descriptors flatten to dotted
+    // attribute names ("book.ISBN").
+    Status flatten_status = Status::OK();
+    auto flatten = [&](auto&& self, const std::vector<AttrDescriptor>& ds,
+                       const std::string& prefix) -> void {
+      for (const AttrDescriptor& d : ds) {
+        if (!flatten_status.ok()) return;
+        std::string name = d.attribute;
+        if (d.attr_is_variable) {
+          auto it = solution.bindings.find(d.attribute);
+          if (it == solution.bindings.end() ||
+              it->second.kind() != ValueKind::kString) {
+            flatten_status = Status::FailedPrecondition(
+                StrCat("unbound attribute-name variable '", d.attribute,
+                       "' in rule head"));
+            return;
+          }
+          name = it->second.AsString();
+        }
+        const std::string full =
+            prefix.empty() ? name : StrCat(prefix, ".", name);
+        if (d.value.is_nested()) {
+          self(self, d.value.nested, full);
+          continue;
+        }
+        Value v;
+        if (d.value.is_constant()) {
+          v = d.value.constant;
+        } else {
+          auto it = solution.bindings.find(d.value.var);
+          if (it == solution.bindings.end()) {
+            if (!d.value.var.empty() && d.value.var[0] == '_') {
+              continue;  // existential attribute: leave unset
+            }
+            flatten_status = Status::FailedPrecondition(
+                StrCat("unbound head variable '", d.value.var, "'"));
+            return;
+          }
+          v = it->second;
+        }
+        fact.attrs[full] = std::move(v);
+      }
+    };
+    flatten(flatten, head.oterm.attrs, "");
+    OOINT_RETURN_IF_ERROR(flatten_status);
+
+    // Object position: bound variable / constant OID, or a skolem OID
+    // for existential ('_'-prefixed or unbound) object variables.
+    bool skolem = true;
+    if (head.oterm.object.is_constant()) {
+      if (head.oterm.object.constant.kind() == ValueKind::kOid) {
+        fact.oid = head.oterm.object.constant.AsOid();
+        skolem = false;
+      }
+    } else if (head.oterm.object.is_variable()) {
+      auto it = solution.bindings.find(head.oterm.object.var);
+      if (it != solution.bindings.end() &&
+          it->second.kind() == ValueKind::kOid) {
+        fact.oid = it->second.AsOid();
+        skolem = false;
+      }
+    }
+    if (skolem) {
+      // De-duplicate derived entities by their attribute values.
+      const std::string key = fact.AttrKey();
+      auto& seen = skolem_attr_keys_[fact.concept_name];
+      if (seen.count(key) != 0) continue;
+      seen.insert(key);
+      fact.oid = Oid("derived", "ooint", "global", fact.concept_name,
+                     ++skolem_counter_);
+    } else {
+      // Merge the attributes of every matched body fact describing the
+      // same entity, so membership rules (<x: IS_AB> <= <x: A>, ...)
+      // carry the entity's data into the integrated class.
+      for (const Fact* matched : solution.matched) {
+        if (matched->oid.empty()) continue;
+        if (!matcher.ValuesEqual(Value::OfOid(matched->oid),
+                                 Value::OfOid(fact.oid))) {
+          continue;
+        }
+        for (const auto& [name, value] : matched->attrs) {
+          fact.attrs.emplace(name, value);
+        }
+      }
+    }
+    new_facts->push_back(std::move(fact));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
+  if (!evaluated_) {
+    return Status::FailedPrecondition("call Evaluate() before Query()");
+  }
+  const FactMatcher matcher = MakeMatcher();
+  std::vector<Bindings> out;
+  for (const Fact* fact : CurrentFacts(pattern.class_name)) {
+    matcher.MatchOTerm(pattern, *fact, Bindings(), &out);
+  }
+  // De-duplicate bindings.
+  std::set<std::string> seen;
+  std::vector<Bindings> unique;
+  for (Bindings& b : out) {
+    std::string key;
+    for (const auto& [var, value] : b) {
+      key += StrCat(var, "=", value.ToString(), ";");
+    }
+    if (seen.insert(key).second) unique.push_back(std::move(b));
+  }
+  return unique;
+}
+
+}  // namespace ooint

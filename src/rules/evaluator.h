@@ -1,0 +1,144 @@
+#ifndef OOINT_RULES_EVALUATOR_H_
+#define OOINT_RULES_EVALUATOR_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datamap/data_mapping.h"
+#include "model/instance_store.h"
+#include "rules/fact.h"
+#include "rules/matcher.h"
+#include "rules/rule.h"
+
+namespace ooint {
+
+/// Bottom-up evaluator of the "virtual" rules the integration principles
+/// generate (Section 5, Appendix B).
+///
+/// The evaluator is federated: base facts are never copied out of the
+/// component databases ahead of time conceptually — each registered
+/// (schema, store) pair is consulted through concept_name bindings, which
+/// declare that a global concept_name name (e.g. "IS(S1.person)") is
+/// populated by the extent of a local class ("person" in store S1).
+/// Rules then derive virtual-class membership and derived objects on
+/// top. Evaluation runs stratum by stratum (stratified negation: the
+/// ¬IS_AB patterns of Principles 3 and 4) to a fixpoint.
+///
+/// Equality between two OID values consults the DataMappingRegistry when
+/// one is configured — the paper's "oi1 = oi2 (in terms of data
+/// mapping)" cross-database identity.
+///
+/// Disjunctive-head rules (Principle 4's general form) are constraints,
+/// not definite clauses; AddRule rejects them with kUnsupported so the
+/// caller can keep them documentation-only.
+class Evaluator {
+ public:
+  Evaluator() = default;
+
+  /// Registers a component database. `store` must outlive the evaluator.
+  void AddSource(const std::string& schema_name, const InstanceStore* store);
+
+  /// Declares that facts of local class `class_name` in source
+  /// `schema_name` populate the global concept_name `concept_name`.
+  Status BindConcept(const std::string& concept_name,
+                     const std::string& schema_name,
+                     const std::string& class_name);
+
+  /// Adds a definite rule (checked for safety).
+  Status AddRule(Rule rule);
+
+  /// Optional cross-database OID identity (see class comment).
+  void SetDataMappings(const DataMappingRegistry* registry) {
+    mappings_ = registry;
+  }
+
+  /// Runs stratified fixpoint evaluation. Idempotent until rules or
+  /// sources change (call Reset() to re-run).
+  Status Evaluate();
+  void Reset();
+
+  /// All facts of `concept_name` (base + derived). Evaluate() must have run.
+  std::vector<const Fact*> FactsOf(const std::string& concept_name) const;
+
+  /// Matches `pattern` against the evaluated facts and returns all
+  /// variable bindings — the query interface ("?-uncle(John, y)" becomes
+  /// a pattern <_ : uncle | Ussn#: "John", niece_nephew: y>).
+  Result<std::vector<Bindings>> Query(const OTerm& pattern) const;
+
+  struct Stats {
+    size_t base_facts = 0;
+    size_t derived_facts = 0;
+    size_t rule_applications = 0;
+    size_t iterations = 0;
+    size_t strata = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Source {
+    std::string schema_name;
+    const InstanceStore* store;
+  };
+  struct ConceptBinding {
+    std::string concept_name;
+    size_t source_index;
+    std::string class_name;
+  };
+
+  /// Loads base facts for every bound concept_name into facts_.
+  Status LoadBaseFacts();
+  /// Assigns strata to concepts; error on negation cycles.
+  Status Stratify(std::map<std::string, int>* strata, int* max_stratum) const;
+
+  /// One body solution: the variable bindings plus the facts matched by
+  /// positive O-term literals (used to merge attributes into derived
+  /// facts about the same entity).
+  struct Solution {
+    Bindings bindings;
+    std::vector<const Fact*> matched;
+  };
+
+  /// The shared unification machinery, wired to this evaluator's fact
+  /// universe and data mappings.
+  FactMatcher MakeMatcher() const;
+
+  /// All current facts of `concept_name` (stable pointers).
+  const std::vector<const Fact*>& CurrentFacts(
+      const std::string& concept_name) const;
+
+  /// Records a fact if it is new; returns whether anything was added.
+  bool InsertFact(Fact fact);
+
+  /// Evaluates one rule against current facts; appends newly derived
+  /// facts (not yet inserted) to `new_facts`.
+  Status ApplyRule(const Rule& rule, std::vector<Fact>* new_facts);
+
+  /// Joins the rule body left-to-right.
+  Status SolveBody(const FactMatcher& matcher,
+                   const std::vector<Literal>& body, size_t index,
+                   Solution solution, std::vector<Solution>* solutions) const;
+
+  const Fact* FindByOid(const Oid& oid) const;
+
+  std::vector<Source> sources_;
+  std::vector<ConceptBinding> bindings_decl_;
+  std::vector<Rule> rules_;
+  const DataMappingRegistry* mappings_ = nullptr;
+
+  bool evaluated_ = false;
+  std::deque<Fact> all_facts_;  // stable storage
+  std::map<std::string, std::vector<const Fact*>> facts_;
+  std::set<std::string> fact_keys_;
+  std::map<std::string, std::set<std::string>> skolem_attr_keys_;
+  std::map<Oid, const Fact*> by_oid_;
+  std::uint64_t skolem_counter_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_EVALUATOR_H_

@@ -1,0 +1,46 @@
+#include "rules/fact.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+Fact Fact::FromObject(const std::string& concept_name, const Object& object) {
+  Fact fact;
+  fact.concept_name = concept_name;
+  fact.oid = object.oid();
+  fact.attrs = object.attributes();
+  for (const auto& [name, targets] : object.aggregations()) {
+    if (targets.size() == 1) {
+      fact.attrs[name] = Value::OfOid(targets.front());
+    } else {
+      std::vector<Value> elements;
+      elements.reserve(targets.size());
+      for (const Oid& oid : targets) elements.push_back(Value::OfOid(oid));
+      fact.attrs[name] = Value::Set(std::move(elements));
+    }
+  }
+  return fact;
+}
+
+std::string Fact::AttrKey() const {
+  std::string out = concept_name;
+  for (const auto& [name, value] : attrs) {
+    out += StrCat("|", name, "=", value.ToString());
+  }
+  return out;
+}
+
+std::string Fact::CanonicalKey() const {
+  return StrCat(oid.ToString(), "#", AttrKey());
+}
+
+std::string Fact::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [name, value] : attrs) {
+    parts.push_back(StrCat(name, ": ", value.ToString()));
+  }
+  return StrCat("<", oid.empty() ? "-" : oid.ToString(), " : ", concept_name,
+                " | ", Join(parts, ", "), ">");
+}
+
+}  // namespace ooint

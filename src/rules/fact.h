@@ -1,0 +1,42 @@
+#ifndef OOINT_RULES_FACT_H_
+#define OOINT_RULES_FACT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/object.h"
+
+namespace ooint {
+
+/// A ground fact: an entity's membership in a concept_name (a local class, an
+/// integrated class, a virtual class such as the IS_AB of Principle 3, or
+/// an ordinary predicate) together with its known attribute values.
+///
+/// Facts are the currency of rule evaluation (Appendix B): local
+/// databases contribute base facts (their class extents, attribute values
+/// and aggregation targets), and rules derive new ones. Ordinary
+/// predicates use positional attribute names "0", "1", ....
+struct Fact {
+  std::string concept_name;
+  /// The entity's OID. Derived facts receive skolem OIDs (relation
+  /// component "derived") assigned by the evaluator; predicate facts
+  /// leave it empty.
+  Oid oid;
+  std::map<std::string, Value> attrs;
+
+  /// Builds the fact for one stored object.
+  static Fact FromObject(const std::string& concept_name, const Object& object);
+
+  /// Identity key ignoring the OID — used to de-duplicate derived facts
+  /// that agree on all attributes.
+  std::string AttrKey() const;
+  /// Full identity key (concept_name, OID, attributes).
+  std::string CanonicalKey() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_FACT_H_

@@ -1,0 +1,136 @@
+#include "rules/matcher.h"
+
+namespace ooint {
+
+bool ResolveArg(const TermArg& arg, const Bindings& bindings, Value* out) {
+  switch (arg.kind) {
+    case TermArg::Kind::kConstant:
+      *out = arg.constant;
+      return true;
+    case TermArg::Kind::kVariable: {
+      auto it = bindings.find(arg.var);
+      if (it == bindings.end()) return false;
+      *out = it->second;
+      return true;
+    }
+    case TermArg::Kind::kNested:
+      return false;
+  }
+  return false;
+}
+
+bool FactMatcher::ValuesEqual(const Value& a, const Value& b) const {
+  if (mappings_ != nullptr && a.kind() == ValueKind::kOid &&
+      b.kind() == ValueKind::kOid) {
+    return mappings_->SameObject(a.AsOid(), b.AsOid());
+  }
+  return a == b;
+}
+
+void FactMatcher::MatchDescriptors(
+    const std::vector<AttrDescriptor>& descriptors, size_t index,
+    const Fact& fact, const Bindings& bindings,
+    std::vector<Bindings>* out) const {
+  if (index == descriptors.size()) {
+    out->push_back(bindings);
+    return;
+  }
+  const AttrDescriptor& d = descriptors[index];
+
+  // Candidate attribute names: the literal one, or — for variable-named
+  // descriptors (schematic discrepancies, Section 2) — every attribute
+  // of the fact consistent with the name variable's binding.
+  std::vector<std::string> names;
+  if (d.attr_is_variable) {
+    auto it = bindings.find(d.attribute);
+    if (it != bindings.end()) {
+      if (it->second.kind() == ValueKind::kString) {
+        names.push_back(it->second.AsString());
+      }
+    } else {
+      for (const auto& [name, value] : fact.attrs) {
+        (void)value;
+        names.push_back(name);
+      }
+    }
+  } else {
+    names.push_back(d.attribute);
+  }
+
+  for (const std::string& name : names) {
+    auto attr_it = fact.attrs.find(name);
+    if (attr_it == fact.attrs.end()) continue;
+    const Value& stored = attr_it->second;
+
+    Bindings base = bindings;
+    if (d.attr_is_variable) {
+      auto [slot, inserted] = base.emplace(d.attribute, Value::String(name));
+      if (!inserted && slot->second != Value::String(name)) continue;
+    }
+
+    // A set-valued stored attribute matches element-wise.
+    std::vector<const Value*> candidates;
+    if (stored.kind() == ValueKind::kSet) {
+      for (const Value& e : stored.AsSet()) candidates.push_back(&e);
+    } else {
+      candidates.push_back(&stored);
+    }
+
+    for (const Value* candidate : candidates) {
+      Bindings next = base;
+      switch (d.value.kind) {
+        case TermArg::Kind::kConstant:
+          if (!ValuesEqual(*candidate, d.value.constant)) continue;
+          break;
+        case TermArg::Kind::kVariable: {
+          auto bound = next.find(d.value.var);
+          if (bound != next.end()) {
+            if (!ValuesEqual(bound->second, *candidate)) continue;
+          } else {
+            next.emplace(d.value.var, *candidate);
+          }
+          break;
+        }
+        case TermArg::Kind::kNested: {
+          if (candidate->kind() != ValueKind::kOid || !resolver_) continue;
+          const Fact* target = resolver_(candidate->AsOid());
+          if (target == nullptr) continue;
+          std::vector<Bindings> nested;
+          MatchDescriptors(d.value.nested, 0, *target, next, &nested);
+          for (const Bindings& n : nested) {
+            MatchDescriptors(descriptors, index + 1, fact, n, out);
+          }
+          continue;  // recursion already advanced `index`
+        }
+      }
+      MatchDescriptors(descriptors, index + 1, fact, next, out);
+    }
+  }
+}
+
+void FactMatcher::MatchOTerm(const OTerm& pattern, const Fact& fact,
+                             const Bindings& bindings,
+                             std::vector<Bindings>* out) const {
+  Bindings base = bindings;
+  switch (pattern.object.kind) {
+    case TermArg::Kind::kConstant:
+      if (pattern.object.constant.kind() != ValueKind::kOid ||
+          !ValuesEqual(pattern.object.constant, Value::OfOid(fact.oid))) {
+        return;
+      }
+      break;
+    case TermArg::Kind::kVariable: {
+      auto [slot, inserted] =
+          base.emplace(pattern.object.var, Value::OfOid(fact.oid));
+      if (!inserted && !ValuesEqual(slot->second, Value::OfOid(fact.oid))) {
+        return;
+      }
+      break;
+    }
+    case TermArg::Kind::kNested:
+      return;  // object positions are never nested
+  }
+  MatchDescriptors(pattern.attrs, 0, fact, base, out);
+}
+
+}  // namespace ooint

@@ -1,0 +1,61 @@
+#ifndef OOINT_RULES_MATCHER_H_
+#define OOINT_RULES_MATCHER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datamap/data_mapping.h"
+#include "rules/fact.h"
+#include "rules/term.h"
+
+namespace ooint {
+
+/// A variable assignment produced by matching rule bodies / queries.
+using Bindings = std::map<std::string, Value>;
+
+/// Resolves a term argument to a value under `bindings`; returns false
+/// when the argument is an unbound variable (or nested).
+bool ResolveArg(const TermArg& arg, const Bindings& bindings, Value* out);
+
+/// Shared O-term-against-fact unification used by both evaluators.
+///
+/// Semantics (Sections 2 and 5):
+///  - a variable-named descriptor (schematic discrepancy) matches any
+///    attribute of the fact and binds the name;
+///  - a set-valued stored attribute matches element-wise (the Principle-5
+///    convention: `brothers: x1` means x1 ∈ brothers);
+///  - a nested descriptor follows the stored OID to the referenced fact
+///    (resolved via the injected OidResolver) and matches recursively;
+///  - OID equality consults the data-mapping registry when configured
+///    ("oi1 = oi2 in terms of data mapping").
+class FactMatcher {
+ public:
+  using OidResolver = std::function<const Fact*(const Oid&)>;
+
+  FactMatcher(OidResolver resolver, const DataMappingRegistry* mappings)
+      : resolver_(std::move(resolver)), mappings_(mappings) {}
+
+  /// Value equality with cross-database OID identity.
+  bool ValuesEqual(const Value& a, const Value& b) const;
+
+  /// Appends to `out` every extension of `bindings` under which
+  /// `pattern` matches `fact`.
+  void MatchOTerm(const OTerm& pattern, const Fact& fact,
+                  const Bindings& bindings, std::vector<Bindings>* out) const;
+
+  /// Matches the descriptor list starting at `index`.
+  void MatchDescriptors(const std::vector<AttrDescriptor>& descriptors,
+                        size_t index, const Fact& fact,
+                        const Bindings& bindings,
+                        std::vector<Bindings>* out) const;
+
+ private:
+  OidResolver resolver_;
+  const DataMappingRegistry* mappings_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_MATCHER_H_

@@ -1,0 +1,65 @@
+#ifndef OOINT_RULES_RULE_H_
+#define OOINT_RULES_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rules/term.h"
+
+namespace ooint {
+
+/// A derivation rule
+///
+///   γ_1 & ... & γ_i  ⟸  τ_1 & ... & τ_k
+///
+/// over O-terms and ordinary predicates (Section 2). Heads are normally a
+/// single literal; Principle 4 generates disjunctive heads
+/// (<x:B_1> ∨ ... ∨ <x:B_m> ⟸ ...), marked by `disjunctive_head`.
+///
+/// Appendix B annotations: `head_sources` lists the local schemas that
+/// contain the head concept as a base class (the paper's
+/// parent^{S2}(x,y) superscripts), enabling the federated evaluator to
+/// union local extents with rule-derived tuples.
+struct Rule {
+  std::vector<Literal> head;
+  bool disjunctive_head = false;
+  std::vector<Literal> body;
+
+  /// Local schemas holding base extents of the head concept (may be
+  /// empty for purely virtual classes).
+  std::vector<std::string> head_sources;
+
+  /// Recorded for the integrated schema's semantics but not evaluated —
+  /// e.g. the converse completion rule of Principle 4, whose mutual
+  /// negation with its twin would make the rule set unstratified.
+  bool documentation_only = false;
+
+  /// Free-form provenance, e.g. "principle-3(faculty,student)" or
+  /// "derivation(S1(parent,brother) -> S2.uncle)".
+  std::string provenance;
+
+  /// "head ⟸ body" rendering (using "<=" as the arrow).
+  std::string ToString() const;
+
+  /// The names of all head / body concepts (O-term class names and
+  /// predicate names), used for dependency analysis.
+  std::vector<std::string> HeadConceptNames() const;
+  std::vector<std::string> BodyConceptNames(bool positive_only) const;
+};
+
+/// Safety check (Section 5, after Example 11: generated rules "should be
+/// checked to see whether they are well-defined, safe, or domain
+/// independent and allowed in the presence of negated body predicates"):
+///  - every variable in the head occurs in a positive body literal
+///    (O-term or predicate; comparison literals do not bind), and
+///  - every variable of a negated or comparison literal occurs in a
+///    positive body literal.
+/// Variables whose names start with '_' are exempt: they are existential
+/// (newly derived objects, skolemized by the evaluator).
+/// Rules violating either condition are rejected.
+Status CheckRuleSafety(const Rule& rule);
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_RULE_H_

@@ -1,0 +1,250 @@
+#include "rules/rule_generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+std::string DefaultClassNaming(const ClassRef& ref) {
+  return StrCat("IS(", ref.schema, ".", ref.class_name, ")");
+}
+
+std::vector<Assertion> RuleGenerator::Decompose(const Assertion& assertion) {
+  // Count how often each attribute path occurs across the attribute
+  // correspondences.
+  std::map<std::string, int> occurrences;
+  for (const AttributeCorrespondence& ac : assertion.attr_corrs) {
+    ++occurrences[ac.lhs.ToString()];
+    ++occurrences[ac.rhs.ToString()];
+  }
+  int max_count = 1;
+  for (const auto& [path, count] : occurrences) {
+    (void)path;
+    max_count = std::max(max_count, count);
+  }
+  if (max_count == 1) return {assertion};
+
+  // k parts; correspondences touching a repeated path are distributed
+  // round-robin per path, all others are replicated to every part.
+  std::vector<Assertion> parts(max_count);
+  for (Assertion& part : parts) {
+    part.lhs = assertion.lhs;
+    part.rel = assertion.rel;
+    part.rhs = assertion.rhs;
+    part.value_corrs = assertion.value_corrs;
+  }
+  std::map<std::string, int> next_slot;
+  for (const AttributeCorrespondence& ac : assertion.attr_corrs) {
+    const std::string lhs_key = ac.lhs.ToString();
+    const std::string rhs_key = ac.rhs.ToString();
+    const bool lhs_repeats = occurrences[lhs_key] > 1;
+    const bool rhs_repeats = occurrences[rhs_key] > 1;
+    if (!lhs_repeats && !rhs_repeats) {
+      for (Assertion& part : parts) part.attr_corrs.push_back(ac);
+      continue;
+    }
+    const std::string& slot_key = lhs_repeats ? lhs_key : rhs_key;
+    const int slot = next_slot[slot_key]++ % max_count;
+    parts[slot].attr_corrs.push_back(ac);
+  }
+  return parts;
+}
+
+namespace {
+
+/// Mutable template of one class's O-term during generation.
+struct ClassTemplate {
+  ClassRef ref;
+  OTerm term;
+};
+
+/// Inserts the tail components[i..] of a node path into a descriptor
+/// list, creating nested descriptors as needed; the leaf receives
+/// `leaf_value`.
+Status InsertPath(std::vector<AttrDescriptor>* attrs,
+                  const std::vector<std::string>& components, size_t i,
+                  TermArg leaf_value) {
+  const std::string& name = components[i];
+  AttrDescriptor* slot = nullptr;
+  for (AttrDescriptor& d : *attrs) {
+    if (d.attribute == name) {
+      slot = &d;
+      break;
+    }
+  }
+  const bool is_leaf = (i + 1 == components.size());
+  if (is_leaf) {
+    if (slot != nullptr) {
+      return Status::InvalidArgument(
+          StrCat("conflicting paths: attribute '", name,
+                 "' used both as leaf and as intermediate component"));
+    }
+    attrs->push_back({name, false, std::move(leaf_value)});
+    return Status::OK();
+  }
+  if (slot == nullptr) {
+    attrs->push_back({name, false, TermArg::Nested({})});
+    slot = &attrs->back();
+  } else if (!slot->value.is_nested()) {
+    return Status::InvalidArgument(
+        StrCat("conflicting paths: attribute '", name,
+               "' used both as leaf and as intermediate component"));
+  }
+  return InsertPath(&slot->value.nested, components, i + 1,
+                    std::move(leaf_value));
+}
+
+}  // namespace
+
+Result<Rule> RuleGenerator::GenerateOne(const Assertion& decomposed) const {
+  Result<AssertionGraph> graph_result = AssertionGraph::Build(decomposed);
+  if (!graph_result.ok()) return graph_result.status();
+  const AssertionGraph& graph = graph_result.value();
+
+  // One O-term template per participating class; the rhs (derived) class
+  // gets an existential object variable.
+  std::vector<ClassTemplate> templates;
+  std::map<std::string, size_t> template_index;
+  auto template_for = [&](const ClassRef& ref, bool is_head) -> size_t {
+    const std::string key = ref.ToString();
+    auto it = template_index.find(key);
+    if (it != template_index.end()) return it->second;
+    ClassTemplate t;
+    t.ref = ref;
+    t.term.class_name = naming_(ref);
+    t.term.object = TermArg::Variable(
+        is_head ? "_o" : StrCat("o", template_index.size() + 1));
+    const size_t index = templates.size();
+    template_index.emplace(key, index);
+    templates.push_back(std::move(t));
+    return index;
+  };
+  const size_t head_index = template_for(decomposed.rhs, /*is_head=*/true);
+  for (const ClassRef& ref : decomposed.lhs) {
+    template_for(ref, /*is_head=*/false);
+  }
+
+  // Populate templates from the graph's nodes and build the per-component
+  // reverse substitutions (method (i)): each node contributes a binding
+  //   <its fresh leaf variable or its attribute-name constant> / x_j.
+  // `node_tokens` remembers each node's binding token for method (ii).
+  std::map<std::string, std::string> node_tokens;
+  int fresh_counter = 0;
+  std::vector<ReverseSubstitution> thetas;
+  for (const AssertionGraph::Component& component : graph.components()) {
+    ReverseSubstitution theta;
+    for (const Path& node : component.nodes) {
+      auto it = template_index.find(
+          StrCat(node.schema(), ".", node.class_name()));
+      if (it == template_index.end()) {
+        return Status::InvalidArgument(
+            StrCat("path ", node.ToString(),
+                   " is rooted at a class not named by the assertion"));
+      }
+      ClassTemplate& tpl = templates[it->second];
+      std::string token;
+      if (node.is_class_path()) {
+        // The node denotes the class itself: bind its object variable.
+        token = tpl.term.object.var;
+      } else if (node.name_ref()) {
+        // The node denotes the attribute *name*: the binding token is
+        // the name constant; the descriptor still needs to exist.
+        token = node.leaf();
+        if (tpl.term.attrs.end() ==
+            std::find_if(tpl.term.attrs.begin(), tpl.term.attrs.end(),
+                         [&](const AttrDescriptor& d) {
+                           return d.attribute == node.leaf();
+                         })) {
+          OOINT_RETURN_IF_ERROR(
+              InsertPath(&tpl.term.attrs, node.components(), 0,
+                         TermArg::Variable(StrCat("v", ++fresh_counter))));
+        }
+      } else {
+        token = StrCat("v", ++fresh_counter);
+        OOINT_RETURN_IF_ERROR(InsertPath(&tpl.term.attrs, node.components(),
+                                         0, TermArg::Variable(token)));
+      }
+      if (!theta.AddBinding(token, component.variable)) {
+        return Status::Internal(
+            StrCat("duplicate binding token '", token, "' in component ",
+                   component.variable,
+                   "; decompose the assertion first (Principle 5)"));
+      }
+      node_tokens[node.ToString()] = token;
+    }
+    thetas.push_back(std::move(theta));
+  }
+
+  // Compose θ_1 ... θ_j. Binding tokens are disjoint across components,
+  // so the composition is their union.
+  ReverseSubstitution theta_all;
+  for (const ReverseSubstitution& theta : thetas) {
+    theta_all = theta_all.Compose(theta);
+  }
+
+  // Hyperedges (method (ii)): where a node's binding token is a fresh
+  // variable, the hyperedge substitution replaces the attribute *name*
+  // with the component variable; predicates are then rewritten by it.
+  std::vector<Literal> predicates;
+  for (const AssertionGraph::Hyperedge& hyperedge : graph.hyperedges()) {
+    ReverseSubstitution delta;
+    for (const Path& node : hyperedge.nodes) {
+      const std::string& token = node_tokens[node.ToString()];
+      const std::string& variable = graph.VariableOf(node);
+      if (node.name_ref()) {
+        delta.AddBinding(token, variable);
+      } else {
+        delta.AddBinding(node.leaf(), variable);
+      }
+    }
+    Literal predicate = Literal::OfCompare(
+        TermArg::Constant(Value::String(hyperedge.predicate.attribute.leaf())),
+        hyperedge.predicate.op,
+        TermArg::Constant(hyperedge.predicate.constant));
+    predicates.push_back(delta.Apply(predicate));
+  }
+
+  Rule rule;
+  rule.head.push_back(
+      Literal::OfOTerm(theta_all.Apply(templates[head_index].term)));
+  for (size_t i = 0; i < templates.size(); ++i) {
+    if (i == head_index) continue;
+    rule.body.push_back(Literal::OfOTerm(theta_all.Apply(templates[i].term)));
+  }
+  for (Literal& predicate : predicates) {
+    rule.body.push_back(std::move(predicate));
+  }
+  rule.head_sources = {decomposed.rhs.schema};
+  {
+    std::vector<std::string> lhs_names;
+    lhs_names.reserve(decomposed.lhs.size());
+    for (const ClassRef& c : decomposed.lhs) {
+      lhs_names.push_back(c.class_name);
+    }
+    rule.provenance =
+        StrCat("derivation(", decomposed.lhs.front().schema, "(",
+               Join(lhs_names, ", "), ") -> ", decomposed.rhs.ToString(), ")");
+  }
+  OOINT_RETURN_IF_ERROR(CheckRuleSafety(rule));
+  return rule;
+}
+
+Result<std::vector<Rule>> RuleGenerator::Generate(
+    const Assertion& assertion) const {
+  if (assertion.rel != SetRel::kDerivation) {
+    return Status::InvalidArgument(
+        StrCat("Generate expects a derivation assertion, got ",
+               SetRelName(assertion.rel)));
+  }
+  std::vector<Rule> rules;
+  for (const Assertion& part : Decompose(assertion)) {
+    Result<Rule> rule = GenerateOne(part);
+    if (!rule.ok()) return rule.status();
+    rules.push_back(std::move(rule).value());
+  }
+  return rules;
+}
+
+}  // namespace ooint

@@ -1,0 +1,63 @@
+#ifndef OOINT_RULES_RULE_GENERATOR_H_
+#define OOINT_RULES_RULE_GENERATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assertions/assertion.h"
+#include "common/result.h"
+#include "rules/assertion_graph.h"
+#include "rules/rule.h"
+#include "rules/substitution.h"
+
+namespace ooint {
+
+/// Maps a local class to the name of its integrated version IS(·) in the
+/// global schema. The integrator supplies its merged-class names; the
+/// default wraps the reference as "IS(S.C)".
+using ClassNaming = std::function<std::string(const ClassRef&)>;
+
+/// The default IS(·) naming.
+std::string DefaultClassNaming(const ClassRef& ref);
+
+/// Implements integration Principle 5: turns a derivation assertion
+/// S1(A_1, ..., A_n) → S2.B into inference rules of the form
+///
+///   Bθ_1...θ_j ⟸ {A_1, ..., A_n}θ_1...θ_j, {p_1, ..., p_l}δ_1...δ_i
+///
+/// by (1) decomposing the assertion so no attribute appears twice in its
+/// correspondences (Figs. 9/10), (2) building the assertion graph of each
+/// part, (3) marking connected subgraphs with variables and producing the
+/// reverse substitutions of methods (i) and (ii), and (4) applying them
+/// to O-term templates of the participating classes.
+///
+/// Head object variables are existential (they name newly derived
+/// objects); the generator prefixes them with '_' and CheckRuleSafety
+/// exempts such variables.
+class RuleGenerator {
+ public:
+  explicit RuleGenerator(ClassNaming naming = DefaultClassNaming)
+      : naming_(std::move(naming)) {}
+
+  /// Decomposes a derivation assertion into parts in which no attribute
+  /// path appears more than once (the manual partitioning step of
+  /// Principle 5, automated): correspondences mentioning a repeated path
+  /// are distributed across the parts; all others are replicated into
+  /// every part. Returns {assertion} unchanged when nothing repeats.
+  static std::vector<Assertion> Decompose(const Assertion& assertion);
+
+  /// Generates the rule for one decomposed derivation assertion.
+  Result<Rule> GenerateOne(const Assertion& decomposed) const;
+
+  /// Decompose + GenerateOne for every part; each rule passes
+  /// CheckRuleSafety.
+  Result<std::vector<Rule>> Generate(const Assertion& assertion) const;
+
+ private:
+  ClassNaming naming_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_RULE_GENERATOR_H_

@@ -1,0 +1,127 @@
+#include "rules/substitution.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+ReverseSubstitution::ReverseSubstitution(std::vector<Binding> bindings)
+    : bindings_(std::move(bindings)) {}
+
+bool ReverseSubstitution::AddBinding(const std::string& from,
+                                     const std::string& to) {
+  for (const Binding& b : bindings_) {
+    if (b.from == from) return b.to == to;
+  }
+  bindings_.push_back({from, to});
+  return true;
+}
+
+const std::string& ReverseSubstitution::Map(const std::string& from) const {
+  for (const Binding& b : bindings_) {
+    if (b.from == from) return b.to;
+  }
+  return from;
+}
+
+TermArg ReverseSubstitution::Apply(const TermArg& arg) const {
+  switch (arg.kind) {
+    case TermArg::Kind::kVariable: {
+      const std::string& mapped = Map(arg.var);
+      if (mapped != arg.var) return TermArg::Variable(mapped);
+      return arg;
+    }
+    case TermArg::Kind::kConstant: {
+      const std::string rendered = arg.constant.ToString();
+      const std::string& mapped = Map(rendered);
+      if (mapped != rendered) return TermArg::Variable(mapped);
+      // Also accept the unquoted rendering of string constants, since
+      // assertion predicates write string constants without quotes.
+      if (arg.constant.kind() == ValueKind::kString) {
+        const std::string& bare = arg.constant.AsString();
+        const std::string& bare_mapped = Map(bare);
+        if (bare_mapped != bare) return TermArg::Variable(bare_mapped);
+      }
+      return arg;
+    }
+    case TermArg::Kind::kNested: {
+      std::vector<AttrDescriptor> nested;
+      nested.reserve(arg.nested.size());
+      for (const AttrDescriptor& d : arg.nested) nested.push_back(Apply(d));
+      return TermArg::Nested(std::move(nested));
+    }
+  }
+  return arg;
+}
+
+AttrDescriptor ReverseSubstitution::Apply(
+    const AttrDescriptor& descriptor) const {
+  AttrDescriptor out = descriptor;
+  out.value = Apply(descriptor.value);
+  const std::string& mapped = Map(descriptor.attribute);
+  if (mapped != descriptor.attribute) {
+    out.attribute = mapped;
+    out.attr_is_variable = true;
+  }
+  return out;
+}
+
+OTerm ReverseSubstitution::Apply(const OTerm& term) const {
+  OTerm out;
+  out.object = Apply(term.object);
+  out.class_name = term.class_name;
+  out.attrs.reserve(term.attrs.size());
+  for (const AttrDescriptor& d : term.attrs) out.attrs.push_back(Apply(d));
+  return out;
+}
+
+Literal ReverseSubstitution::Apply(const Literal& literal) const {
+  Literal out = literal;
+  switch (literal.kind) {
+    case Literal::Kind::kOTerm:
+      out.oterm = Apply(literal.oterm);
+      break;
+    case Literal::Kind::kCompare:
+      out.cmp_lhs = Apply(literal.cmp_lhs);
+      out.cmp_rhs = Apply(literal.cmp_rhs);
+      break;
+    case Literal::Kind::kPredicate:
+      for (TermArg& a : out.args) a = Apply(a);
+      break;
+  }
+  return out;
+}
+
+ReverseSubstitution ReverseSubstitution::Compose(
+    const ReverseSubstitution& delta) const {
+  ReverseSubstitution out;
+  // {c_1/x_1 δ, ..., c_n/x_n δ}: apply δ to the targets, dropping
+  // identity bindings.
+  for (const Binding& b : bindings_) {
+    const std::string target = delta.Map(b.to);
+    if (b.from == target) continue;  // c_i == x_i δ: drop
+    out.bindings_.push_back({b.from, target});
+  }
+  // Append δ's bindings whose tokens are not among our c_i.
+  for (const Binding& d : delta.bindings_) {
+    bool shadowed = false;
+    for (const Binding& b : bindings_) {
+      if (b.from == d.from) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) out.bindings_.push_back(d);
+  }
+  return out;
+}
+
+std::string ReverseSubstitution::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(bindings_.size());
+  for (const Binding& b : bindings_) {
+    parts.push_back(StrCat(b.from, "/", b.to));
+  }
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+}  // namespace ooint

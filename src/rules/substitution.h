@@ -1,0 +1,68 @@
+#ifndef OOINT_RULES_SUBSTITUTION_H_
+#define OOINT_RULES_SUBSTITUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/term.h"
+
+namespace ooint {
+
+/// A reverse substitution θ = {c_1/x_1, ..., c_n/x_n} (Definition 5.1):
+/// a finite set of bindings replacing each constant-or-variable token c_i
+/// with the variable x_i. It is the reverse of the classical substitution
+/// of logic programming — variables are introduced, not instantiated —
+/// and is the device Principle 5 uses to stitch the O-terms of a
+/// generated derivation rule together through shared variables.
+class ReverseSubstitution {
+ public:
+  struct Binding {
+    /// The token being replaced: a variable name, or the canonical
+    /// rendering of a constant (Value::ToString()), or an attribute name
+    /// (for hyperedge substitutions, method (ii) of Section 5).
+    std::string from;
+    /// The replacement variable.
+    std::string to;
+  };
+
+  ReverseSubstitution() = default;
+  explicit ReverseSubstitution(std::vector<Binding> bindings);
+  ReverseSubstitution(std::initializer_list<Binding> bindings)
+      : bindings_(bindings) {}
+
+  /// Adds c/x; fails (returns false) when a binding for `from` already
+  /// exists with a different target (the c_i must be distinct, Def. 5.1).
+  bool AddBinding(const std::string& from, const std::string& to);
+
+  const std::vector<Binding>& bindings() const { return bindings_; }
+  bool empty() const { return bindings_.empty(); }
+
+  /// The image of token `from`; returns `from` itself when unbound.
+  const std::string& Map(const std::string& from) const;
+
+  /// Applies the substitution to a term argument / descriptor list /
+  /// O-term / literal (Definition 5.2): every occurrence of c_i — as a
+  /// variable, as a constant with matching rendering, or as an attribute
+  /// name — is replaced by x_i simultaneously. Replacing an attribute
+  /// name turns the descriptor into a variable-named one; replacing a
+  /// constant turns the argument into a variable.
+  TermArg Apply(const TermArg& arg) const;
+  AttrDescriptor Apply(const AttrDescriptor& descriptor) const;
+  OTerm Apply(const OTerm& term) const;
+  Literal Apply(const Literal& literal) const;
+
+  /// The composition θδ of Definition 5.3: apply δ to the targets of θ,
+  /// drop identity bindings c_i = x_iδ, then append the bindings of δ
+  /// whose tokens d_j are not among θ's tokens.
+  ReverseSubstitution Compose(const ReverseSubstitution& delta) const;
+
+  /// "{c1/x1, c2/x2}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_SUBSTITUTION_H_

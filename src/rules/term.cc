@@ -1,0 +1,170 @@
+#include "rules/term.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+TermArg TermArg::Variable(std::string name) {
+  TermArg arg;
+  arg.kind = Kind::kVariable;
+  arg.var = std::move(name);
+  return arg;
+}
+
+TermArg TermArg::Constant(Value value) {
+  TermArg arg;
+  arg.kind = Kind::kConstant;
+  arg.constant = std::move(value);
+  return arg;
+}
+
+TermArg TermArg::Nested(std::vector<AttrDescriptor> descriptors) {
+  TermArg arg;
+  arg.kind = Kind::kNested;
+  arg.nested = std::move(descriptors);
+  return arg;
+}
+
+std::string TermArg::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+      return var;
+    case Kind::kConstant:
+      return constant.ToString();
+    case Kind::kNested: {
+      std::vector<std::string> parts;
+      parts.reserve(nested.size());
+      for (const AttrDescriptor& d : nested) parts.push_back(d.ToString());
+      return StrCat("<", Join(parts, ", "), ">");
+    }
+  }
+  return "?";
+}
+
+bool operator==(const TermArg& a, const TermArg& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case TermArg::Kind::kVariable:
+      return a.var == b.var;
+    case TermArg::Kind::kConstant:
+      return a.constant == b.constant;
+    case TermArg::Kind::kNested:
+      return a.nested == b.nested;
+  }
+  return false;
+}
+
+std::string AttrDescriptor::ToString() const {
+  return StrCat(attr_is_variable ? StrCat("?", attribute) : attribute, ": ",
+                value.ToString());
+}
+
+bool operator==(const AttrDescriptor& a, const AttrDescriptor& b) {
+  return a.attribute == b.attribute &&
+         a.attr_is_variable == b.attr_is_variable && a.value == b.value;
+}
+
+std::string OTerm::ToString() const {
+  if (attrs.empty()) {
+    return StrCat("<", object.ToString(), ": ", class_name, ">");
+  }
+  std::vector<std::string> parts;
+  parts.reserve(attrs.size());
+  for (const AttrDescriptor& d : attrs) parts.push_back(d.ToString());
+  return StrCat("<", object.ToString(), ": ", class_name, " | ",
+                Join(parts, ", "), ">");
+}
+
+bool operator==(const OTerm& a, const OTerm& b) {
+  return a.object == b.object && a.class_name == b.class_name &&
+         a.attrs == b.attrs;
+}
+
+Literal Literal::OfOTerm(OTerm term, bool negated) {
+  Literal l;
+  l.kind = Kind::kOTerm;
+  l.negated = negated;
+  l.oterm = std::move(term);
+  return l;
+}
+
+Literal Literal::OfCompare(TermArg lhs, CompareOp op, TermArg rhs) {
+  Literal l;
+  l.kind = Kind::kCompare;
+  l.cmp_lhs = std::move(lhs);
+  l.cmp_op = op;
+  l.cmp_rhs = std::move(rhs);
+  return l;
+}
+
+Literal Literal::OfPredicate(std::string name, std::vector<TermArg> args,
+                             bool negated) {
+  Literal l;
+  l.kind = Kind::kPredicate;
+  l.negated = negated;
+  l.pred_name = std::move(name);
+  l.args = std::move(args);
+  return l;
+}
+
+std::string Literal::ToString() const {
+  std::string core;
+  switch (kind) {
+    case Kind::kOTerm:
+      core = oterm.ToString();
+      break;
+    case Kind::kCompare:
+      core = StrCat(cmp_lhs.ToString(), " ", CompareOpName(cmp_op), " ",
+                    cmp_rhs.ToString());
+      break;
+    case Kind::kPredicate: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const TermArg& a : args) parts.push_back(a.ToString());
+      core = StrCat(pred_name, "(", Join(parts, ", "), ")");
+      break;
+    }
+  }
+  return negated ? StrCat("not ", core) : core;
+}
+
+void CollectVariables(const TermArg& arg, std::vector<std::string>* out) {
+  switch (arg.kind) {
+    case TermArg::Kind::kVariable:
+      out->push_back(arg.var);
+      break;
+    case TermArg::Kind::kConstant:
+      break;
+    case TermArg::Kind::kNested:
+      for (const AttrDescriptor& d : arg.nested) {
+        if (d.attr_is_variable) out->push_back(d.attribute);
+        CollectVariables(d.value, out);
+      }
+      break;
+  }
+}
+
+void CollectVariables(const OTerm& term, std::vector<std::string>* out) {
+  CollectVariables(term.object, out);
+  for (const AttrDescriptor& d : term.attrs) {
+    if (d.attr_is_variable) out->push_back(d.attribute);
+    CollectVariables(d.value, out);
+  }
+}
+
+void CollectVariables(const Literal& literal, std::vector<std::string>* out) {
+  switch (literal.kind) {
+    case Literal::Kind::kOTerm:
+      CollectVariables(literal.oterm, out);
+      break;
+    case Literal::Kind::kCompare:
+      CollectVariables(literal.cmp_lhs, out);
+      CollectVariables(literal.cmp_rhs, out);
+      break;
+    case Literal::Kind::kPredicate:
+      for (const TermArg& a : literal.args) CollectVariables(a, out);
+      break;
+  }
+}
+
+}  // namespace ooint

@@ -1,0 +1,52 @@
+#include "transform/rel_to_oo.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+Result<Schema> TransformToOO(const RelationalSchema& relational) {
+  OOINT_RETURN_IF_ERROR(relational.Validate());
+
+  // References are resolved by Schema::Finalize(), so a single pass in
+  // declaration order suffices.
+  Schema schema(relational.name());
+  struct PendingIsA {
+    std::string child;
+    std::string parent;
+  };
+  std::vector<PendingIsA> pending_isa;
+
+  for (const Relation& relation : relational.relations()) {
+    ClassDef class_def(relation.name);
+    const std::vector<const RelColumn*> pk = relation.PrimaryKey();
+    const bool pk_is_single_fk =
+        pk.size() == 1 && pk.front()->is_foreign_key();
+    for (const RelColumn& column : relation.columns) {
+      if (column.is_foreign_key()) {
+        if (pk_is_single_fk && column.primary_key) {
+          // R3: subtype table — is-a link; the key column stays as an
+          // attribute (R4).
+          pending_isa.push_back({relation.name, column.fk_relation});
+          class_def.AddAttribute(column.name, column.type);
+        } else {
+          // R2: aggregation function to the referenced class.
+          const Cardinality cc = column.primary_key
+                                     ? Cardinality::OneToOne()
+                                     : Cardinality::ManyToOne();
+          class_def.AddAggregation(column.name, column.fk_relation, cc);
+        }
+      } else {
+        // R1/R4: plain attribute.
+        class_def.AddAttribute(column.name, column.type);
+      }
+    }
+    OOINT_RETURN_IF_ERROR(schema.AddClass(std::move(class_def)).status());
+  }
+  for (const PendingIsA& link : pending_isa) {
+    OOINT_RETURN_IF_ERROR(schema.AddIsA(link.child, link.parent));
+  }
+  OOINT_RETURN_IF_ERROR(schema.Finalize());
+  return schema;
+}
+
+}  // namespace ooint

@@ -1,0 +1,32 @@
+#ifndef OOINT_TRANSFORM_REL_TO_OO_H_
+#define OOINT_TRANSFORM_REL_TO_OO_H_
+
+#include "common/result.h"
+#include "model/schema.h"
+#include "transform/relational.h"
+
+namespace ooint {
+
+/// Rule-based transformation of a relational local schema into an
+/// object-oriented one (the paper's reference [6], "A rule-based strategy
+/// for transforming relational schemas into OO schemas"), as performed by
+/// an FSM-agent during the schema-transformation phase:
+///
+///  R1. every relation becomes a class; non-key, non-FK columns become
+///      scalar attributes;
+///  R2. a foreign-key column becomes an aggregation function to the
+///      referenced relation's class, with cardinality [m:1] ([1:1] when
+///      the column is also the whole primary key);
+///  R3. a relation whose entire primary key is a single foreign key is a
+///      specialization: an is-a link to the referenced class is added
+///      instead of an aggregation (the classical "subtype table"
+///      pattern);
+///  R4. key columns are kept as attributes (they carry the value-level
+///      identity the federation's data mappings join on).
+///
+/// The resulting schema is finalized before being returned.
+Result<Schema> TransformToOO(const RelationalSchema& relational);
+
+}  // namespace ooint
+
+#endif  // OOINT_TRANSFORM_REL_TO_OO_H_

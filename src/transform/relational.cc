@@ -1,0 +1,70 @@
+#include "transform/relational.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+const RelColumn* Relation::FindColumn(const std::string& column_name) const {
+  for (const RelColumn& c : columns) {
+    if (c.name == column_name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const RelColumn*> Relation::PrimaryKey() const {
+  std::vector<const RelColumn*> out;
+  for (const RelColumn& c : columns) {
+    if (c.primary_key) out.push_back(&c);
+  }
+  return out;
+}
+
+Status RelationalSchema::AddRelation(Relation relation) {
+  if (FindRelation(relation.name) != nullptr) {
+    return Status::AlreadyExists(
+        StrCat("relation '", relation.name, "' already in schema '", name_,
+               "'"));
+  }
+  relations_.push_back(std::move(relation));
+  return Status::OK();
+}
+
+const Relation* RelationalSchema::FindRelation(
+    const std::string& relation_name) const {
+  for (const Relation& r : relations_) {
+    if (r.name == relation_name) return &r;
+  }
+  return nullptr;
+}
+
+Status RelationalSchema::Validate() const {
+  for (const Relation& r : relations_) {
+    std::set<std::string> names;
+    for (const RelColumn& c : r.columns) {
+      if (!names.insert(c.name).second) {
+        return Status::InvalidArgument(
+            StrCat("duplicate column '", c.name, "' in relation '", r.name,
+                   "'"));
+      }
+      if (c.is_foreign_key()) {
+        const Relation* target = FindRelation(c.fk_relation);
+        if (target == nullptr) {
+          return Status::NotFound(
+              StrCat("column ", r.name, ".", c.name,
+                     " references unknown relation '", c.fk_relation, "'"));
+        }
+        if (target->FindColumn(c.fk_column) == nullptr) {
+          return Status::NotFound(
+              StrCat("column ", r.name, ".", c.name,
+                     " references unknown column '", c.fk_relation, ".",
+                     c.fk_column, "'"));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ooint

@@ -1,0 +1,61 @@
+#ifndef OOINT_TRANSFORM_RELATIONAL_H_
+#define OOINT_TRANSFORM_RELATIONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/value.h"
+
+namespace ooint {
+
+/// A column of a relation, with optional primary-key membership and an
+/// optional foreign-key reference to another relation's key.
+struct RelColumn {
+  std::string name;
+  ValueKind type = ValueKind::kString;
+  bool primary_key = false;
+  /// Non-empty when this column references `fk_relation`.`fk_column`.
+  std::string fk_relation;
+  std::string fk_column;
+
+  bool is_foreign_key() const { return !fk_relation.empty(); }
+};
+
+/// One relation (table) of a relational local schema.
+struct Relation {
+  std::string name;
+  std::vector<RelColumn> columns;
+
+  const RelColumn* FindColumn(const std::string& column_name) const;
+  /// The primary-key columns, in declaration order.
+  std::vector<const RelColumn*> PrimaryKey() const;
+};
+
+/// A relational local schema — the shape in which many component
+/// databases arrive at an FSM-agent before the schema-transformation
+/// phase turns them into object-oriented schemas (Section 3: "each local
+/// schema is first transformed into an object-oriented one to remove
+/// model conflicts").
+class RelationalSchema {
+ public:
+  explicit RelationalSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Status AddRelation(Relation relation);
+  const std::vector<Relation>& relations() const { return relations_; }
+  const Relation* FindRelation(const std::string& relation_name) const;
+
+  /// Structural checks: unique relation names, unique column names,
+  /// foreign keys reference existing relation/column pairs.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_TRANSFORM_RELATIONAL_H_

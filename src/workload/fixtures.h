@@ -1,0 +1,80 @@
+#ifndef OOINT_WORKLOAD_FIXTURES_H_
+#define OOINT_WORKLOAD_FIXTURES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "model/instance_store.h"
+#include "model/schema.h"
+
+namespace ooint {
+
+/// Deterministic reconstructions of every worked example in the paper.
+/// Each fixture bundles the two local schemas and the assertion text (in
+/// the library's assertion language) describing their correspondences.
+struct Fixture {
+  Schema s1{"S1"};
+  Schema s2{"S2"};
+  std::string assertion_text;
+};
+
+/// Fig. 18 / Appendix A: the university schemas.
+///   S1: person ⊃ {student, lecturer ⊃ teaching_assistant}
+///   S2: human ⊃ employee ⊃ faculty ⊃ professor
+/// with person ≡ human, lecturer ⊆ employee, lecturer ⊆ faculty and
+/// student ∩ faculty.
+Result<Fixture> MakeUniversityFixture();
+
+/// Example 3 / 9 / Appendix B: the genealogy schemas.
+///   S1: parent(Pssn#, name, children), brother(Bssn#, name, brothers)
+///   S2: uncle(Ussn#, name, niece_nephew)
+/// with S1(parent, brother) → S2.uncle.
+Result<Fixture> MakeGenealogyFixture();
+
+/// Populates the genealogy stores with `num_families` families:
+/// family f has one parent P_f, children C_f_0..C_f_1, and the parent
+/// has one brother U_f — so U_f is the uncle of C_f_*. The S2 store is
+/// left empty (uncles are derivable, the point of Appendix B) unless
+/// `materialize_uncles` is set.
+Status PopulateGenealogy(InstanceStore* s1_store, InstanceStore* s2_store,
+                         size_t num_families, bool materialize_uncles = false);
+
+/// Examples 1 / 4 / 11: the bibliography schemas with nested structured
+/// attributes.
+///   S1: Book(ISBN, title, author: <name, birthday>)
+///   S2: Author(name, birthday, book: <ISBN, title>)
+/// with the two derivation assertions of Fig. 6(b)/(c).
+Result<Fixture> MakeBibliographyFixture();
+
+/// Populates the bibliography stores with `num_books` books (each with
+/// one author); only S1 holds data — S2's authors are derivable.
+Status PopulateBibliography(InstanceStore* s1_store, size_t num_books);
+
+/// Examples 5 / 10: the car-price schematic discrepancy.
+///   S1: car1(time, car-name, price)
+///   S2: car2(time, car-name_1: integer, ..., car-name_<n>: integer)
+/// with the decomposed derivation assertions of Fig. 10 (S2 → S1
+/// direction, one per car attribute).
+Result<Fixture> MakeCarFixture(size_t num_cars = 3);
+
+/// Section 4.1: the stock attribute-inclusion example with `with`
+/// qualifiers.
+///   S1: stock-in-March-April(stock-name, price-in-March, price-in-April)
+///   S2: stock(time, stock-name, price)
+Result<Fixture> MakeStockFixture();
+
+/// Section 2: the Empl/Dept schema behind the department-manager rule
+/// and the "interesting pair" problem (single schema; s2 is a trivial
+/// empty placeholder).
+Result<Fixture> MakeEmplDeptFixture();
+
+/// Fig. 4: the person/human, book/publication, faculty/student and
+/// man/woman assertion showcase (all four assertion kinds with
+/// attribute, composed-into, more-specific and reverse-aggregation
+/// correspondences).
+Result<Fixture> MakeShowcaseFixture();
+
+}  // namespace ooint
+
+#endif  // OOINT_WORKLOAD_FIXTURES_H_

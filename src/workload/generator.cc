@@ -1,0 +1,200 @@
+#include "workload/generator.h"
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+
+/// SplitMix64: deterministic, platform-independent pseudo-randomness
+/// (std::mt19937 distributions vary across standard libraries).
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double Rand01(std::uint64_t seed, std::uint64_t index) {
+  return static_cast<double>(SplitMix64(seed ^ (index * 0x2545f4914f6cdd1dULL)) >> 11) /
+         static_cast<double>(1ULL << 53);
+}
+
+ValueKind KindFor(size_t index) {
+  switch (index % 4) {
+    case 0:
+      return ValueKind::kString;
+    case 1:
+      return ValueKind::kInteger;
+    case 2:
+      return ValueKind::kReal;
+    default:
+      return ValueKind::kBoolean;
+  }
+}
+
+}  // namespace
+
+Result<Schema> GenerateSchema(const SchemaGenOptions& options) {
+  if (options.num_classes == 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (options.degree == 0) {
+    return Status::InvalidArgument("degree must be positive");
+  }
+  Schema schema(options.name);
+  for (size_t i = 0; i < options.num_classes; ++i) {
+    ClassDef class_def(StrCat(options.class_prefix, i));
+    class_def.AddAttribute("key", ValueKind::kString);
+    for (size_t a = 0; a < options.attrs_per_class; ++a) {
+      class_def.AddAttribute(StrCat("a", a), KindFor(a + i));
+    }
+    if (options.with_aggregations && i > 0) {
+      const size_t parent = (i - 1) / options.degree;
+      class_def.AddAggregation(
+          "ref_parent", StrCat(options.class_prefix, parent),
+          (i % 2 == 0) ? Cardinality::ManyToOne() : Cardinality::OneToOne());
+    }
+    OOINT_RETURN_IF_ERROR(schema.AddClass(std::move(class_def)).status());
+  }
+  // Complete degree-ary is-a tree: node i's parent is (i-1)/degree.
+  for (size_t i = 1; i < options.num_classes; ++i) {
+    const size_t parent = (i - 1) / options.degree;
+    OOINT_RETURN_IF_ERROR(schema.AddIsA(StrCat(options.class_prefix, i),
+                                        StrCat(options.class_prefix,
+                                               parent)));
+  }
+  OOINT_RETURN_IF_ERROR(schema.Finalize());
+  return schema;
+}
+
+Result<Schema> GenerateCounterpartSchema(const Schema& schema,
+                                         const std::string& new_name,
+                                         const std::string& class_prefix) {
+  Schema out(new_name);
+  for (size_t i = 0; i < schema.NumClasses(); ++i) {
+    const ClassDef& original = schema.class_def(static_cast<ClassId>(i));
+    ClassDef copy(StrCat(class_prefix, i));
+    for (const Attribute& attr : original.attributes()) {
+      copy.AddAttribute(attr);
+    }
+    for (const AggregationFunction& fn : original.aggregations()) {
+      // Ranges rename along with the classes; alternate the cardinality
+      // differently from the original so counterpart integration hits
+      // constraint conflicts (Principle 6).
+      const ClassId range = schema.FindClass(fn.range_class);
+      copy.AddAggregation(fn.name, StrCat(class_prefix, range),
+                          (i % 3 == 0) ? Cardinality::OneToMany()
+                                       : fn.cardinality);
+    }
+    OOINT_RETURN_IF_ERROR(out.AddClass(std::move(copy)).status());
+  }
+  for (size_t i = 0; i < schema.NumClasses(); ++i) {
+    for (ClassId parent : schema.ParentsOf(static_cast<ClassId>(i))) {
+      OOINT_RETURN_IF_ERROR(out.AddIsA(StrCat(class_prefix, i),
+                                       StrCat(class_prefix, parent)));
+    }
+  }
+  OOINT_RETURN_IF_ERROR(out.Finalize());
+  return out;
+}
+
+Result<AssertionSet> GenerateAssertions(const Schema& s1, const Schema& s2,
+                                        const std::string& s1_prefix,
+                                        const std::string& s2_prefix,
+                                        const AssertionGenOptions& options) {
+  if (s1.NumClasses() != s2.NumClasses()) {
+    return Status::InvalidArgument(
+        "assertion generation expects counterpart schemas of equal size");
+  }
+  AssertionSet set;
+  const double eq = options.equivalence_fraction;
+  const double inc = eq + options.inclusion_fraction;
+  const double dis = inc + options.disjoint_fraction;
+  const double der = dis + options.derivation_fraction;
+
+  // The assertion kind drawn for each class index (used to keep the set
+  // coherent: per observation 3 of Section 6.1, DBAs "tend not to give
+  // an assertion" for descendants of disjoint / derivation-related
+  // classes, so such children draw no assertion here).
+  auto kind_of = [&](size_t i) -> int {
+    const double u = Rand01(options.seed, i);
+    if (u < eq || i == 0) return 0;  // equivalence
+    if (u < inc) return 1;           // inclusion
+    if (u < dis) return 2;           // disjoint
+    if (u < der) return 3;           // derivation
+    return 4;                        // none
+  };
+  for (size_t i = 0; i < s1.NumClasses(); ++i) {
+    const ClassRef a{s1.name(), StrCat(s1_prefix, i)};
+    const ClassRef b{s2.name(), StrCat(s2_prefix, i)};
+    const double u = Rand01(options.seed, i);
+    Assertion assertion;
+    const std::vector<ClassId> parents =
+        s1.ParentsOf(static_cast<ClassId>(i));
+    if (i != 0) {
+      const int parent_kind = kind_of(static_cast<size_t>(parents.front()));
+      if (parent_kind == 2 || parent_kind == 3) continue;
+    }
+    if (u < eq || i == 0) {
+      assertion.lhs = {a};
+      assertion.rel = SetRel::kEquivalent;
+      assertion.rhs = b;
+      if (options.attribute_correspondences) {
+        assertion.attr_corrs.push_back(
+            {Path::Attr(a.schema, a.class_name, "key"), AttrRel::kEquivalent,
+             Path::Attr(b.schema, b.class_name, "key"), "", std::nullopt});
+      }
+      if (options.aggregation_correspondences && i > 0) {
+        assertion.agg_corrs.push_back(
+            {Path::Attr(a.schema, a.class_name, "ref_parent"),
+             AggRel::kEquivalent,
+             Path::Attr(b.schema, b.class_name, "ref_parent")});
+      }
+    } else if (u < inc) {
+      // Include into the counterparts of the parent AND the grandparent
+      // (when one exists) — the inclusion chains of Fig. 8, which
+      // path_labelling collapses into the single deepest is-a link and
+      // whose labels prune later sibling/descendant pairs.
+      const size_t parent = static_cast<size_t>(parents.front());
+      const std::vector<ClassId> grandparents =
+          s1.ParentsOf(static_cast<ClassId>(parent));
+      if (!grandparents.empty()) {
+        Assertion chain;
+        chain.lhs = {a};
+        chain.rel = SetRel::kSubset;
+        chain.rhs = {s2.name(),
+                     StrCat(s2_prefix, static_cast<size_t>(
+                                           grandparents.front()))};
+        const Status added = set.Add(std::move(chain));
+        if (!added.ok() && added.code() != StatusCode::kAlreadyExists) {
+          return added;
+        }
+      }
+      assertion.lhs = {a};
+      assertion.rel = SetRel::kSubset;
+      assertion.rhs = {s2.name(), StrCat(s2_prefix, parent)};
+    } else if (u < dis) {
+      assertion.lhs = {a};
+      assertion.rel = SetRel::kDisjoint;
+      assertion.rhs = b;
+    } else if (u < der) {
+      const size_t parent = static_cast<size_t>(parents.front());
+      assertion.lhs = {a, {s1.name(), StrCat(s1_prefix, parent)}};
+      assertion.rel = SetRel::kDerivation;
+      assertion.rhs = b;
+      assertion.attr_corrs.push_back(
+          {Path::Attr(a.schema, a.class_name, "key"), AttrRel::kEquivalent,
+           Path::Attr(b.schema, b.class_name, "key"), "", std::nullopt});
+    } else {
+      continue;  // no assertion for this class
+    }
+    const Status added = set.Add(std::move(assertion));
+    if (!added.ok() && added.code() != StatusCode::kAlreadyExists) {
+      return added;
+    }
+  }
+  return set;
+}
+
+}  // namespace ooint

@@ -1,0 +1,75 @@
+#ifndef OOINT_WORKLOAD_GENERATOR_H_
+#define OOINT_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "assertions/assertion_set.h"
+#include "common/result.h"
+#include "model/schema.h"
+
+namespace ooint {
+
+/// Parameters of the synthetic schema generator (the Section 6.3
+/// analysis setting: is-a trees of height h and degree d).
+struct SchemaGenOptions {
+  std::string name = "S1";
+  /// Total class count n; the tree is a complete `degree`-ary tree
+  /// truncated at n nodes.
+  size_t num_classes = 15;
+  /// Fan-out d of the is-a tree.
+  size_t degree = 2;
+  /// Scalar attributes per class (a key attribute "key" is always
+  /// added).
+  size_t attrs_per_class = 3;
+  /// When set, every non-root class also carries an aggregation
+  /// function "ref_parent" to its parent class, with a cardinality that
+  /// alternates between [m:1] and [1:1] by index — material for
+  /// Principle 6's constraint-lattice resolution.
+  bool with_aggregations = false;
+  /// Prefix of generated class names ("<prefix><index>").
+  std::string class_prefix = "c";
+  std::uint64_t seed = 42;
+};
+
+/// Builds a deterministic synthetic schema per `options`.
+Result<Schema> GenerateSchema(const SchemaGenOptions& options);
+
+/// Builds the isomorphic counterpart of `schema` with classes renamed to
+/// `class_prefix` — the §6.3 setting where "each concept from S1 has
+/// exactly one equivalent counterpart from S2".
+Result<Schema> GenerateCounterpartSchema(const Schema& schema,
+                                         const std::string& new_name,
+                                         const std::string& class_prefix);
+
+/// Mix of assertion kinds generated between a schema and its
+/// counterpart. Fractions apply per class, in priority order
+/// equivalence > inclusion > disjoint > derivation; the remainder gets
+/// no assertion. All fractions in [0, 1], summing to at most 1.
+struct AssertionGenOptions {
+  double equivalence_fraction = 1.0;
+  double inclusion_fraction = 0.0;
+  double disjoint_fraction = 0.0;
+  double derivation_fraction = 0.0;
+  /// Whether equivalences also carry attribute correspondences on the
+  /// generated key attribute.
+  bool attribute_correspondences = true;
+  /// Whether equivalences also declare the generated ref_parent
+  /// aggregation functions equivalent (requires schemas generated with
+  /// with_aggregations).
+  bool aggregation_correspondences = false;
+  std::uint64_t seed = 7;
+};
+
+/// Generates assertions between `s1` class i ("c<i>") and its
+/// counterpart in `s2` ("d<i>"), per the mix. Inclusions relate class i
+/// of s1 to the counterpart of its parent in s2 (so labelled is-a paths
+/// exist); derivations relate (class i, class i's parent) → counterpart.
+Result<AssertionSet> GenerateAssertions(const Schema& s1, const Schema& s2,
+                                        const std::string& s1_prefix,
+                                        const std::string& s2_prefix,
+                                        const AssertionGenOptions& options);
+
+}  // namespace ooint
+
+#endif  // OOINT_WORKLOAD_GENERATOR_H_

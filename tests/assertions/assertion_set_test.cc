@@ -1,0 +1,183 @@
+#include "assertions/assertion_set.h"
+
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+Assertion Simple(const std::string& s1_class, SetRel rel,
+                 const std::string& s2_class) {
+  Assertion a;
+  a.lhs = {{"S1", s1_class}};
+  a.rel = rel;
+  a.rhs = {"S2", s2_class};
+  return a;
+}
+
+TEST(AssertionSetTest, FindOrientsTheRelation) {
+  AssertionSet set;
+  ASSERT_OK(set.Add(Simple("book", SetRel::kSubset, "publication")));
+  const ClassRef book{"S1", "book"};
+  const ClassRef publication{"S2", "publication"};
+
+  AssertionSet::Lookup forward = set.Find(book, publication);
+  ASSERT_TRUE(forward.found());
+  EXPECT_EQ(forward.rel, SetRel::kSubset);
+  EXPECT_FALSE(forward.reversed);
+
+  AssertionSet::Lookup backward = set.Find(publication, book);
+  ASSERT_TRUE(backward.found());
+  EXPECT_EQ(backward.rel, SetRel::kSuperset);
+  EXPECT_TRUE(backward.reversed);
+}
+
+TEST(AssertionSetTest, FindMissesUnrelatedPairs) {
+  AssertionSet set;
+  ASSERT_OK(set.Add(Simple("a", SetRel::kEquivalent, "b")));
+  EXPECT_FALSE(set.Find({"S1", "a"}, {"S2", "zzz"}).found());
+  EXPECT_FALSE(set.Involves({"S1", "a"}, {"S2", "zzz"}));
+  EXPECT_TRUE(set.Involves({"S1", "a"}, {"S2", "b"}));
+}
+
+TEST(AssertionSetTest, RejectsSecondSetRelationForSamePair) {
+  AssertionSet set;
+  ASSERT_OK(set.Add(Simple("a", SetRel::kEquivalent, "b")));
+  EXPECT_EQ(set.Add(Simple("a", SetRel::kDisjoint, "b")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(AssertionSetTest, AllowsOpposingDerivations) {
+  // Example 4: Book → Author and Author → Book coexist.
+  AssertionSet set;
+  Assertion forward;
+  forward.lhs = {{"S1", "Book"}};
+  forward.rel = SetRel::kDerivation;
+  forward.rhs = {"S2", "Author"};
+  Assertion backward;
+  backward.lhs = {{"S2", "Author"}};
+  backward.rel = SetRel::kDerivation;
+  backward.rhs = {"S1", "Book"};
+  ASSERT_OK(set.Add(forward));
+  ASSERT_OK(set.Add(backward));
+  EXPECT_EQ(set.AllDerivations().size(), 2u);
+  EXPECT_EQ(set.FindDerivations({"S1", "Book"}).size(), 2u);
+}
+
+TEST(AssertionSetTest, DerivationLookupReportsDirection) {
+  AssertionSet set;
+  Assertion d;
+  d.lhs = {{"S1", "parent"}, {"S1", "brother"}};
+  d.rel = SetRel::kDerivation;
+  d.rhs = {"S2", "uncle"};
+  ASSERT_OK(set.Add(d));
+  AssertionSet::Lookup from_parent = set.Find({"S1", "parent"},
+                                              {"S2", "uncle"});
+  ASSERT_TRUE(from_parent.found());
+  EXPECT_EQ(from_parent.rel, SetRel::kDerivation);
+  EXPECT_FALSE(from_parent.reversed);
+  AssertionSet::Lookup from_uncle = set.Find({"S2", "uncle"},
+                                             {"S1", "brother"});
+  ASSERT_TRUE(from_uncle.found());
+  EXPECT_TRUE(from_uncle.reversed);
+}
+
+TEST(AssertionSetTest, RejectsNonDerivationMultiLhs) {
+  Assertion bad;
+  bad.lhs = {{"S1", "a"}, {"S1", "b"}};
+  bad.rel = SetRel::kEquivalent;
+  bad.rhs = {"S2", "c"};
+  AssertionSet set;
+  EXPECT_EQ(set.Add(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssertionSetTest, ReversedSwapsEverything) {
+  const Assertion a = ValueOrDie(AssertionParser::ParseOne(R"(
+assert S1.book <= S2.publication {
+  attr: S1.book.auther <= S2.publication.contributors;
+  agg: S1.book.published_by >= S2.publication.published_by;
+})"));
+  const Assertion r = a.Reversed();
+  EXPECT_EQ(r.lhs.front().ToString(), "S2.publication");
+  EXPECT_EQ(r.rel, SetRel::kSuperset);
+  EXPECT_EQ(r.rhs.ToString(), "S1.book");
+  EXPECT_EQ(r.attr_corrs[0].rel, AttrRel::kSuperset);
+  EXPECT_EQ(r.attr_corrs[0].lhs.ToString(), "S2.publication.contributors");
+  EXPECT_EQ(r.agg_corrs[0].rel, AggRel::kSubset);
+}
+
+TEST(AssertionSetTest, ValidateAcceptsPaperFixtures) {
+  for (auto maker : {&MakeUniversityFixture, &MakeGenealogyFixture,
+                     &MakeBibliographyFixture, &MakeStockFixture,
+                     &MakeShowcaseFixture}) {
+    Fixture f = ValueOrDie(maker());
+    const AssertionSet set =
+        ValueOrDie(AssertionParser::Parse(f.assertion_text));
+    EXPECT_OK(set.Validate(f.s1, f.s2));
+  }
+}
+
+TEST(AssertionSetTest, ValidateCatchesUnknownClass) {
+  Fixture f = ValueOrDie(MakeGenealogyFixture());
+  AssertionSet set;
+  ASSERT_OK(set.Add(Simple("ghost", SetRel::kEquivalent, "uncle")));
+  EXPECT_EQ(set.Validate(f.s1, f.s2).code(), StatusCode::kNotFound);
+}
+
+TEST(AssertionSetTest, ValidateCatchesUnresolvablePath) {
+  Fixture f = ValueOrDie(MakeGenealogyFixture());
+  Assertion a = Simple("parent", SetRel::kEquivalent, "uncle");
+  a.attr_corrs.push_back({Path::Attr("S1", "parent", "ghost"),
+                          AttrRel::kEquivalent,
+                          Path::Attr("S2", "uncle", "Ussn#"), "",
+                          std::nullopt});
+  AssertionSet set;
+  ASSERT_OK(set.Add(std::move(a)));
+  EXPECT_EQ(set.Validate(f.s1, f.s2).code(), StatusCode::kNotFound);
+}
+
+TEST(AssertionSetTest, ValidateCatchesDerivationSpanningSchemas) {
+  Fixture f = ValueOrDie(MakeGenealogyFixture());
+  Assertion a;
+  a.lhs = {{"S1", "parent"}, {"S2", "uncle"}};
+  a.rel = SetRel::kDerivation;
+  a.rhs = {"S2", "uncle"};
+  AssertionSet set;
+  ASSERT_OK(set.Add(std::move(a)));
+  EXPECT_EQ(set.Validate(f.s1, f.s2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssertionSetTest, ValidateCatchesMissingComposedName) {
+  Fixture f = ValueOrDie(MakeGenealogyFixture());
+  Assertion a = Simple("parent", SetRel::kEquivalent, "uncle");
+  a.attr_corrs.push_back({Path::Attr("S1", "parent", "name"),
+                          AttrRel::kComposedInto,
+                          Path::Attr("S2", "uncle", "name"), "",
+                          std::nullopt});
+  AssertionSet set;
+  ASSERT_OK(set.Add(std::move(a)));
+  EXPECT_EQ(set.Validate(f.s1, f.s2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssertionSetTest, ValidateCatchesMisplacedValueCorrespondence) {
+  Fixture f = ValueOrDie(MakeGenealogyFixture());
+  Assertion a;
+  a.lhs = {{"S1", "parent"}, {"S1", "brother"}};
+  a.rel = SetRel::kDerivation;
+  a.rhs = {"S2", "uncle"};
+  // Declared for side 1 but referencing S2 paths.
+  a.value_corrs.push_back({1, Path::Attr("S2", "uncle", "Ussn#"),
+                           ValueRel::kEq,
+                           Path::Attr("S2", "uncle", "name")});
+  AssertionSet set;
+  ASSERT_OK(set.Add(std::move(a)));
+  EXPECT_EQ(set.Validate(f.s1, f.s2).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ooint

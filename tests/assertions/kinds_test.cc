@@ -1,0 +1,65 @@
+#include "assertions/kinds.h"
+
+#include <gtest/gtest.h>
+
+namespace ooint {
+namespace {
+
+TEST(KindsTest, SetRelNamesMatchTheSurfaceSyntax) {
+  EXPECT_STREQ(SetRelName(SetRel::kEquivalent), "==");
+  EXPECT_STREQ(SetRelName(SetRel::kSubset), "<=");
+  EXPECT_STREQ(SetRelName(SetRel::kSuperset), ">=");
+  EXPECT_STREQ(SetRelName(SetRel::kOverlap), "~");
+  EXPECT_STREQ(SetRelName(SetRel::kDisjoint), "!");
+  EXPECT_STREQ(SetRelName(SetRel::kDerivation), "->");
+}
+
+TEST(KindsTest, ReverseSetRelMirrorsInclusions) {
+  EXPECT_EQ(ReverseSetRel(SetRel::kSubset), SetRel::kSuperset);
+  EXPECT_EQ(ReverseSetRel(SetRel::kSuperset), SetRel::kSubset);
+  // Symmetric relations are fixpoints.
+  EXPECT_EQ(ReverseSetRel(SetRel::kEquivalent), SetRel::kEquivalent);
+  EXPECT_EQ(ReverseSetRel(SetRel::kOverlap), SetRel::kOverlap);
+  EXPECT_EQ(ReverseSetRel(SetRel::kDisjoint), SetRel::kDisjoint);
+  // Derivation has no mirror; callers track direction separately.
+  EXPECT_EQ(ReverseSetRel(SetRel::kDerivation), SetRel::kDerivation);
+}
+
+TEST(KindsTest, ReverseIsAnInvolution) {
+  for (SetRel rel : {SetRel::kEquivalent, SetRel::kSubset, SetRel::kSuperset,
+                     SetRel::kOverlap, SetRel::kDisjoint}) {
+    EXPECT_EQ(ReverseSetRel(ReverseSetRel(rel)), rel);
+  }
+  for (AttrRel rel : {AttrRel::kEquivalent, AttrRel::kSubset,
+                      AttrRel::kSuperset, AttrRel::kOverlap,
+                      AttrRel::kDisjoint}) {
+    EXPECT_EQ(ReverseAttrRel(ReverseAttrRel(rel)), rel);
+  }
+  for (AggRel rel : {AggRel::kEquivalent, AggRel::kSubset, AggRel::kSuperset,
+                     AggRel::kOverlap, AggRel::kDisjoint, AggRel::kReverse}) {
+    EXPECT_EQ(ReverseAggRel(ReverseAggRel(rel)), rel);
+  }
+}
+
+TEST(KindsTest, AttrRelNamesCoverTable2) {
+  EXPECT_STREQ(AttrRelName(AttrRel::kComposedInto), "alpha");
+  EXPECT_STREQ(AttrRelName(AttrRel::kMoreSpecific), "beta");
+  EXPECT_STREQ(AttrRelName(AttrRel::kOverlap), "~");
+}
+
+TEST(KindsTest, AggRelNamesCoverTable3) {
+  EXPECT_STREQ(AggRelName(AggRel::kReverse), "rev");
+  EXPECT_STREQ(AggRelName(AggRel::kEquivalent), "==");
+}
+
+TEST(KindsTest, ValueRelNames) {
+  EXPECT_STREQ(ValueRelName(ValueRel::kEq), "=");
+  EXPECT_STREQ(ValueRelName(ValueRel::kNe), "!=");
+  EXPECT_STREQ(ValueRelName(ValueRel::kIn), "in");
+  EXPECT_STREQ(ValueRelName(ValueRel::kSupseteq), ">=");
+  EXPECT_STREQ(ValueRelName(ValueRel::kOverlap), "~");
+  EXPECT_STREQ(ValueRelName(ValueRel::kDisjoint), "!");
+}
+
+}  // namespace
+}  // namespace ooint

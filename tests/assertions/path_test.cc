@@ -1,0 +1,94 @@
+#include "assertions/path.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+Schema MakeBibliographyS1() {
+  Schema s("S1");
+  ClassDef person_info("person_info");
+  person_info.AddAttribute("name", ValueKind::kString)
+      .AddAttribute("birthday", ValueKind::kDate);
+  EXPECT_OK(s.AddClass(std::move(person_info)).status());
+  ClassDef book("Book");
+  book.AddAttribute("ISBN", ValueKind::kString)
+      .AddAttribute("title", ValueKind::kString)
+      .AddClassAttribute("author", "person_info")
+      .AddAggregation("published_by", "publisher", Cardinality::ManyToOne());
+  EXPECT_OK(s.AddClass(std::move(book)).status());
+  ClassDef publisher("publisher");
+  publisher.AddAttribute("pname", ValueKind::kString);
+  EXPECT_OK(s.AddClass(std::move(publisher)).status());
+  EXPECT_OK(s.Finalize());
+  return s;
+}
+
+TEST(PathTest, RenderingPlainAndNameRef) {
+  // Example 1: Book.author.birthday vs Author.book."title".
+  Path values("S1", "Book", {"author", "birthday"});
+  EXPECT_EQ(values.ToString(), "S1.Book.author.birthday");
+  EXPECT_EQ(values.LocalString(), "Book.author.birthday");
+  EXPECT_FALSE(values.name_ref());
+  Path name("S2", "Author", {"book", "title"}, /*name_ref=*/true);
+  EXPECT_EQ(name.ToString(), "S2.Author.book.\"title\"");
+  EXPECT_TRUE(name.name_ref());
+  EXPECT_EQ(name.leaf(), "title");
+}
+
+TEST(PathTest, ClassPathHasNoComponents) {
+  Path p = Path::Class("S1", "Book");
+  EXPECT_TRUE(p.is_class_path());
+  EXPECT_EQ(p.leaf(), "");
+  EXPECT_EQ(p.ToString(), "S1.Book");
+}
+
+TEST(PathTest, Equality) {
+  EXPECT_EQ(Path::Attr("S1", "Book", "title"),
+            Path::Attr("S1", "Book", "title"));
+  EXPECT_NE(Path::Attr("S1", "Book", "title"),
+            Path::Attr("S2", "Book", "title"));
+  EXPECT_NE(Path("S1", "B", {"x"}, true), Path("S1", "B", {"x"}, false));
+}
+
+TEST(PathTest, ResolveDirectAttribute) {
+  const Schema s = MakeBibliographyS1();
+  const ClassDef* owner =
+      ValueOrDie(Path::Attr("S1", "Book", "title").Resolve(s));
+  EXPECT_EQ(owner->name(), "Book");
+}
+
+TEST(PathTest, ResolveNestedClassTypedAttribute) {
+  const Schema s = MakeBibliographyS1();
+  const ClassDef* owner =
+      ValueOrDie(Path("S1", "Book", {"author", "birthday"}).Resolve(s));
+  EXPECT_EQ(owner->name(), "person_info");
+}
+
+TEST(PathTest, ResolveThroughAggregationFunction) {
+  const Schema s = MakeBibliographyS1();
+  const ClassDef* owner =
+      ValueOrDie(Path("S1", "Book", {"published_by", "pname"}).Resolve(s));
+  EXPECT_EQ(owner->name(), "publisher");
+}
+
+TEST(PathTest, ResolveClassPathReturnsTheClass) {
+  const Schema s = MakeBibliographyS1();
+  EXPECT_EQ(ValueOrDie(Path::Class("S1", "Book").Resolve(s))->name(), "Book");
+}
+
+TEST(PathTest, ResolveErrors) {
+  const Schema s = MakeBibliographyS1();
+  EXPECT_FALSE(Path::Attr("S1", "ghost", "x").Resolve(s).ok());
+  EXPECT_FALSE(Path::Attr("S1", "Book", "ghost").Resolve(s).ok());
+  // Descending into a scalar attribute is a type error.
+  EXPECT_EQ(Path("S1", "Book", {"title", "deeper"}).Resolve(s).status().code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,115 @@
+#include "common/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+std::vector<TokKind> Kinds(const std::string& text) {
+  std::vector<TokKind> out;
+  for (const Token& tok : ValueOrDie(Tokenize(text))) out.push_back(tok.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const std::vector<Token> tokens = ValueOrDie(Tokenize(""));
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens.front().kind, TokKind::kEnd);
+}
+
+TEST(LexerTest, PaperStyleIdentifiers) {
+  const std::vector<Token> tokens =
+      ValueOrDie(Tokenize("ssn# car-name niece_nephew Pssn#"));
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "ssn#");
+  EXPECT_EQ(tokens[1].text, "car-name");
+  EXPECT_EQ(tokens[2].text, "niece_nephew");
+}
+
+TEST(LexerTest, ArrowBreaksIdentifier) {
+  // "a->b" must lex as IDENT ARROW IDENT even though '-' is an
+  // identifier character.
+  EXPECT_EQ(Kinds("a->b"), (std::vector<TokKind>{
+                               TokKind::kIdent, TokKind::kArrow,
+                               TokKind::kIdent, TokKind::kEnd}));
+}
+
+TEST(LexerTest, TwoCharSymbols) {
+  EXPECT_EQ(Kinds("== != <= >= -> ?-"),
+            (std::vector<TokKind>{TokKind::kEqEq, TokKind::kNe, TokKind::kLe,
+                                  TokKind::kGe, TokKind::kArrow,
+                                  TokKind::kQuestion, TokKind::kEnd}));
+}
+
+TEST(LexerTest, SingleCharSymbols) {
+  EXPECT_EQ(Kinds("= < > ~ ! { } ( ) [ ] : ; , . ?"),
+            (std::vector<TokKind>{
+                TokKind::kEq, TokKind::kLt, TokKind::kGt, TokKind::kTilde,
+                TokKind::kBang, TokKind::kLBrace, TokKind::kRBrace,
+                TokKind::kLParen, TokKind::kRParen, TokKind::kLBracket,
+                TokKind::kRBracket, TokKind::kColon, TokKind::kSemi,
+                TokKind::kComma, TokKind::kDot, TokKind::kQuestion,
+                TokKind::kEnd}));
+}
+
+TEST(LexerTest, NumbersIncludingNegativeAndDecimal) {
+  const std::vector<Token> tokens = ValueOrDie(Tokenize("42 -7 3.5"));
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "-7");
+  EXPECT_EQ(tokens[2].text, "3.5");
+  EXPECT_EQ(tokens[2].kind, TokKind::kNumber);
+}
+
+TEST(LexerTest, NumberDotIdentDoesNotFuse) {
+  // "5.x" is number 5, dot, ident x (the dot only joins digits).
+  EXPECT_EQ(Kinds("5.x"),
+            (std::vector<TokKind>{TokKind::kNumber, TokKind::kDot,
+                                  TokKind::kIdent, TokKind::kEnd}));
+}
+
+TEST(LexerTest, StringsAndErrors) {
+  EXPECT_EQ(ValueOrDie(Tokenize("\"March\""))[0].text, "March");
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("\"no\nnewlines\"").ok());
+  EXPECT_FALSE(Tokenize("@").ok());
+}
+
+TEST(LexerTest, CommentsAndPositions) {
+  const std::vector<Token> tokens = ValueOrDie(Tokenize(
+      "# a comment\n  person # trailing\n  human"));
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "person");
+  EXPECT_EQ(tokens[0].line, 2);
+  EXPECT_EQ(tokens[0].column, 3);
+  EXPECT_EQ(tokens[1].text, "human");
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(TokenCursorTest, ExpectAndConsume) {
+  TokenCursor cursor(ValueOrDie(Tokenize("assert person ; ==")));
+  EXPECT_TRUE(cursor.ConsumeKeyword("assert"));
+  EXPECT_FALSE(cursor.ConsumeKeyword("assert"));
+  EXPECT_EQ(ValueOrDie(cursor.ExpectIdent()), "person");
+  EXPECT_OK(cursor.Expect(TokKind::kSemi));
+  EXPECT_FALSE(cursor.Expect(TokKind::kSemi).ok());  // next is ==
+  EXPECT_TRUE(cursor.Consume(TokKind::kEqEq));
+  EXPECT_TRUE(cursor.AtEnd());
+  // Reading past the end is safe.
+  EXPECT_EQ(cursor.Next().kind, TokKind::kEnd);
+  EXPECT_EQ(cursor.Next().kind, TokKind::kEnd);
+}
+
+TEST(TokenCursorTest, ErrorsCarryPositions) {
+  TokenCursor cursor(ValueOrDie(Tokenize("\n\n  oops")));
+  const Status status = cursor.Expect(TokKind::kSemi);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+  EXPECT_NE(status.message().find("column 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ooint

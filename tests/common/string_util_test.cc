@@ -1,0 +1,54 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ooint {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("n=", 42, ", x=", 1.5), "n=42, x=1.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat("solo"), "solo");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(SplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(Split("a.b.c", '.'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", '.'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nx y\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("IS(person)", "IS("));
+  EXPECT_FALSE(StartsWith("IS", "IS("));
+  EXPECT_TRUE(EndsWith("a.b.c", ".c"));
+  EXPECT_FALSE(EndsWith("c", ".c"));
+}
+
+TEST(IsIdentifierTest, AcceptsPaperStyleNames) {
+  // The paper uses names like ssn#, car-name and niece_nephew.
+  EXPECT_TRUE(IsIdentifier("ssn#"));
+  EXPECT_TRUE(IsIdentifier("car-name"));
+  EXPECT_TRUE(IsIdentifier("niece_nephew"));
+  EXPECT_TRUE(IsIdentifier("Pssn#"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("1abc"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+  EXPECT_FALSE(IsIdentifier("a.b"));
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,89 @@
+#include "datamap/data_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(DataMappingTest, DefaultIsIdentity) {
+  DataMapping m = DataMapping::Default();
+  EXPECT_EQ(m.kind(), DataMapping::Kind::kDefault);
+  EXPECT_EQ(ValueOrDie(m.MapToIntegrated(Value::String("x"))),
+            Value::String("x"));
+  EXPECT_EQ(ValueOrDie(m.MapToLocal(Value::Integer(5))), Value::Integer(5));
+  EXPECT_DOUBLE_EQ(m.Degree(Value::String("x"), Value::String("x")), 1.0);
+  EXPECT_DOUBLE_EQ(m.Degree(Value::String("x"), Value::String("y")), 0.0);
+  EXPECT_EQ(m.ToString(), "default");
+}
+
+TEST(DataMappingTest, TripleSetMapsByDegree) {
+  // (a, b; χ) triples with the fuzzy degree of Section 3.
+  DataMapping m = DataMapping::FromTriples({
+      {Value::String("Italian"), Value::String("Milan"), 0.8},
+      {Value::String("European"), Value::String("Milan"), 0.4},
+      {Value::String("Italian"), Value::String("Rome"), 0.9},
+  });
+  // The highest-degree correspondence wins.
+  EXPECT_EQ(ValueOrDie(m.MapToIntegrated(Value::String("Milan"))),
+            Value::String("Italian"));
+  EXPECT_EQ(ValueOrDie(m.MapToLocal(Value::String("Italian"))),
+            Value::String("Rome"));
+  EXPECT_DOUBLE_EQ(
+      m.Degree(Value::String("European"), Value::String("Milan")), 0.4);
+  EXPECT_DOUBLE_EQ(m.Degree(Value::String("Thai"), Value::String("Milan")),
+                   0.0);
+  EXPECT_FALSE(m.MapToIntegrated(Value::String("Paris")).ok());
+}
+
+TEST(DataMappingTest, LinearMappingIsThePaperUnitConversion) {
+  // y = 2.54 * x (the paper's inch→cm example).
+  DataMapping m = DataMapping::Linear(2.54, 0.0);
+  EXPECT_DOUBLE_EQ(
+      ValueOrDie(m.MapToIntegrated(Value::Real(10.0))).AsReal(), 25.4);
+  EXPECT_DOUBLE_EQ(ValueOrDie(m.MapToLocal(Value::Real(25.4))).AsReal(),
+                   10.0);
+  EXPECT_DOUBLE_EQ(m.Degree(Value::Real(25.4), Value::Real(10.0)), 1.0);
+  EXPECT_DOUBLE_EQ(m.Degree(Value::Real(99.0), Value::Real(10.0)), 0.0);
+  EXPECT_FALSE(m.MapToIntegrated(Value::String("ten")).ok());
+}
+
+TEST(DataMappingTest, LinearWithInterceptAndZeroSlope) {
+  DataMapping affine = DataMapping::Linear(1.8, 32.0);  // °C → °F
+  EXPECT_DOUBLE_EQ(
+      ValueOrDie(affine.MapToIntegrated(Value::Integer(100))).AsReal(),
+      212.0);
+  DataMapping degenerate = DataMapping::Linear(0.0, 7.0);
+  EXPECT_FALSE(degenerate.MapToLocal(Value::Real(7.0)).ok());
+}
+
+TEST(DataMappingRegistryTest, RegisterAndFind) {
+  DataMappingRegistry registry;
+  registry.Register("IS.ssn", "S2", "ssn#", DataMapping::Default());
+  EXPECT_EQ(registry.NumMappings(), 1u);
+  EXPECT_NE(registry.Find("IS.ssn", "S2", "ssn#"), nullptr);
+  EXPECT_EQ(registry.Find("IS.ssn", "S1", "ssn#"), nullptr);
+  EXPECT_EQ(registry.Find("IS.other", "S2", "ssn#"), nullptr);
+}
+
+TEST(DataMappingRegistryTest, SameObjectIsSymmetricReflexive) {
+  DataMappingRegistry registry;
+  const Oid a("a1", "d", "db1", "person", 1);
+  const Oid b("a2", "d", "db2", "human", 7);
+  const Oid c("a2", "d", "db2", "human", 8);
+  EXPECT_TRUE(registry.SameObject(a, a));  // reflexive without declaration
+  EXPECT_FALSE(registry.SameObject(a, b));
+  registry.DeclareSameObject(a, b);
+  EXPECT_TRUE(registry.SameObject(a, b));
+  EXPECT_TRUE(registry.SameObject(b, a));  // symmetric
+  EXPECT_FALSE(registry.SameObject(a, c));
+  // Duplicate declarations collapse.
+  registry.DeclareSameObject(b, a);
+  EXPECT_EQ(registry.NumIdentities(), 1u);
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "federation/fsm_client.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+/// Experiment E6: the end-to-end federated pipeline of Appendix B — two
+/// component databases, a derivation assertion, global-schema
+/// construction, and the motivating query of the introduction: a query
+/// concerning `uncle` must take schema S1 into account, or "the answers
+/// to the query will not be correctly computed in the sense of
+/// cooperations".
+class AppendixBTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Fixture fixture = ValueOrDie(MakeGenealogyFixture());
+    std::unique_ptr<FsmAgent> a1 = ValueOrDie(
+        FsmAgent::Create("agent1", "informix", "familyDB", fixture.s1));
+    std::unique_ptr<FsmAgent> a2 = ValueOrDie(
+        FsmAgent::Create("agent2", "oracle", "relativesDB", fixture.s2));
+    ASSERT_OK(PopulateGenealogy(&a1->store(), &a2->store(),
+                                /*num_families=*/4));
+    // One uncle stored directly in S2, unknown to S1.
+    Object* local = ValueOrDie(a2->store().NewObject("uncle"));
+    local->Set("Ussn#", Value::String("U-direct"))
+        .Set("name", Value::String("direct uncle"))
+        .Set("niece_nephew", Value::Set({Value::String("C-direct")}));
+
+    s1_size_ = a1->store().size();
+    ASSERT_OK(fsm_.RegisterAgent(std::move(a1)));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(a2)));
+    ASSERT_OK(fsm_.DeclareAssertions(fixture.assertion_text));
+    client_ = std::make_unique<FsmClient>(&fsm_);
+    ASSERT_OK(client_->Connect());
+  }
+
+  Fsm fsm_;
+  std::unique_ptr<FsmClient> client_;
+  size_t s1_size_ = 0;
+};
+
+TEST_F(AppendixBTest, GlobalNameResolution) {
+  EXPECT_EQ(ValueOrDie(client_->GlobalNameOf("S2", "uncle")),
+            "IS(S2.uncle)");
+  EXPECT_EQ(ValueOrDie(client_->GlobalNameOf("S1", "parent")),
+            "IS(S1.parent)");
+  EXPECT_FALSE(client_->GlobalNameOf("S1", "ghost").ok());
+}
+
+TEST_F(AppendixBTest, UncleQueryCombinesBothDatabases) {
+  // ?-uncle(x, "C2a"): who is the uncle of child C2a? The answer lives
+  // only implicitly in S1.
+  Query query(ValueOrDie(client_->GlobalNameOf("S2", "uncle")));
+  query.Where("niece_nephew", Value::String("C2a"))
+      .Select("Ussn#", "who");
+  const std::vector<Bindings> answers = ValueOrDie(client_->Run(query));
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers.front().at("who"), Value::String("U2"));
+}
+
+TEST_F(AppendixBTest, LocalUnclesAreAlsoVisible) {
+  Query query(ValueOrDie(client_->GlobalNameOf("S2", "uncle")));
+  query.Where("niece_nephew", Value::String("C-direct"))
+      .Select("Ussn#", "who");
+  const std::vector<Bindings> answers = ValueOrDie(client_->Run(query));
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers.front().at("who"), Value::String("U-direct"));
+}
+
+TEST_F(AppendixBTest, ExtentUnionsLocalAndDerived) {
+  const std::vector<const Fact*> uncles = ValueOrDie(
+      client_->Extent(ValueOrDie(client_->GlobalNameOf("S2", "uncle"))));
+  // 1 local + 4 families x 2 children derived element-level facts.
+  EXPECT_EQ(uncles.size(), 9u);
+}
+
+TEST_F(AppendixBTest, AutonomyLocalStoresUntouched) {
+  // Integration and evaluation never write into the component
+  // databases (Section 1: "autonomy is not violated").
+  EXPECT_EQ(fsm_.FindAgent("S1")->store().size(), s1_size_);
+  // S2 holds only the one directly stored uncle; derived uncles exist
+  // solely in the evaluator, never written back.
+  EXPECT_EQ(fsm_.FindAgent("S2")->store().size(), 1u);
+  // The local schemas are still the originals.
+  EXPECT_EQ(fsm_.FindAgent("S1")->schema().NumClasses(), 2u);
+}
+
+TEST_F(AppendixBTest, ReconnectIsIdempotent) {
+  ASSERT_OK(client_->Connect());
+  Query query(ValueOrDie(client_->GlobalNameOf("S2", "uncle")));
+  query.Where("niece_nephew", Value::String("C0b")).Select("Ussn#", "who");
+  EXPECT_EQ(ValueOrDie(client_->Run(query)).size(), 1u);
+}
+
+TEST(FsmClientTest, RunBeforeConnectFails) {
+  Fsm fsm;
+  FsmClient client(&fsm);
+  EXPECT_EQ(client.Run(Query("x")).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.Extent("x").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ooint

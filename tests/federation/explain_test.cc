@@ -1,0 +1,96 @@
+#include "federation/explain.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "federation/fsm_client.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Fixture fixture = ValueOrDie(MakeGenealogyFixture());
+    ASSERT_OK(fsm_.RegisterAgent(ValueOrDie(
+        FsmAgent::Create("agent1", "ooint", "db1", fixture.s1))));
+    ASSERT_OK(fsm_.RegisterAgent(ValueOrDie(
+        FsmAgent::Create("agent2", "ooint", "db2", fixture.s2))));
+    ASSERT_OK(fsm_.DeclareAssertions(fixture.assertion_text));
+    global_ = ValueOrDie(fsm_.IntegrateAll());
+  }
+
+  Fsm fsm_;
+  GlobalSchema global_;
+};
+
+TEST_F(ExplainTest, UncleQueryTouchesBothDatabases) {
+  // The introduction's point: a query concerning `uncle` must take
+  // schema S1 into account. The plan makes that visible.
+  const QueryPlan plan =
+      ValueOrDie(ExplainQuery(global_, "IS(S2.uncle)"));
+  EXPECT_EQ(plan.concept_name, "IS(S2.uncle)");
+  // Concepts: the uncle itself plus the rule's body concepts.
+  EXPECT_EQ(plan.concepts.size(), 3u);
+  ASSERT_EQ(plan.agents.size(), 2u);
+  EXPECT_EQ(plan.agents[0], "S1");
+  EXPECT_EQ(plan.agents[1], "S2");
+  EXPECT_EQ(plan.rules.size(), 1u);
+  // Three ground scans: parent and brother in S1, uncle in S2.
+  EXPECT_EQ(plan.ground_scans.size(), 3u);
+}
+
+TEST_F(ExplainTest, BaseConceptPlansAreLocal) {
+  const QueryPlan plan =
+      ValueOrDie(ExplainQuery(global_, "IS(S1.parent)"));
+  EXPECT_TRUE(plan.rules.empty());
+  ASSERT_EQ(plan.agents.size(), 1u);
+  EXPECT_EQ(plan.agents.front(), "S1");
+}
+
+TEST_F(ExplainTest, UnknownConceptYieldsEmptyPlan) {
+  const QueryPlan plan = ValueOrDie(ExplainQuery(global_, "ghost"));
+  EXPECT_TRUE(plan.ground_scans.empty());
+  EXPECT_TRUE(plan.rules.empty());
+  EXPECT_TRUE(plan.agents.empty());
+}
+
+TEST_F(ExplainTest, PlanRendersReadably) {
+  const QueryPlan plan =
+      ValueOrDie(ExplainQuery(global_, "IS(S2.uncle)"));
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("plan for IS(S2.uncle)"), std::string::npos);
+  EXPECT_NE(text.find("scan S1.parent"), std::string::npos);
+  EXPECT_NE(text.find("agents: S1, S2"), std::string::npos);
+}
+
+TEST(ExplainChainTest, TransitiveRuleDependencies) {
+  // Virtual classes defined over virtual classes: the intersection
+  // classes of the university fixture depend on the copies, which have
+  // ground scans.
+  Fixture fixture = ValueOrDie(MakeUniversityFixture());
+  Fsm fsm;
+  ASSERT_OK(fsm.RegisterAgent(ValueOrDie(
+      FsmAgent::Create("a1", "ooint", "db1", fixture.s1))));
+  ASSERT_OK(fsm.RegisterAgent(ValueOrDie(
+      FsmAgent::Create("a2", "ooint", "db2", fixture.s2))));
+  ASSERT_OK(fsm.DeclareAssertions(fixture.assertion_text));
+  const GlobalSchema global = ValueOrDie(fsm.IntegrateAll());
+
+  // IS(student - faculty) depends on IS(student & faculty) negatively,
+  // which depends on both copies.
+  const QueryPlan plan = ValueOrDie(
+      ExplainQuery(global, "IS(S1.student-S2.faculty)"));
+  EXPECT_GE(plan.rules.size(), 2u);
+  EXPECT_TRUE(std::find(plan.concepts.begin(), plan.concepts.end(),
+                        "IS(S1.student&S2.faculty)") != plan.concepts.end());
+  EXPECT_GE(plan.ground_scans.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ooint

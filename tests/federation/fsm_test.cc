@@ -1,0 +1,174 @@
+#include "federation/fsm.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+std::unique_ptr<FsmAgent> AgentFor(const Schema& schema,
+                                   const std::string& agent_name) {
+  return ValueOrDie(FsmAgent::Create(agent_name, "ooint",
+                                     schema.name() + "db", schema));
+}
+
+TEST(FsmAgentTest, CreateWrapsSchemaAndStore) {
+  Fixture fixture = ValueOrDie(MakeGenealogyFixture());
+  std::unique_ptr<FsmAgent> agent = AgentFor(fixture.s1, "agent1");
+  EXPECT_EQ(agent->name(), "agent1");
+  EXPECT_EQ(agent->schema().name(), "S1");
+  Object* object = ValueOrDie(agent->store().NewObject("parent"));
+  // OIDs carry the agent context (Section 3).
+  EXPECT_EQ(object->oid().agent(), "agent1");
+  EXPECT_EQ(object->oid().database(), "S1db");
+}
+
+TEST(FsmAgentTest, FromRelationalTransformsFirst) {
+  RelationalSchema rel("PatientDB");
+  ASSERT_OK(rel.AddRelation(
+      {"patient", {{"pid", ValueKind::kInteger, true, "", ""},
+                   {"name", ValueKind::kString, false, "", ""}}}));
+  std::unique_ptr<FsmAgent> agent =
+      ValueOrDie(FsmAgent::FromRelational("agent9", "informix", rel));
+  EXPECT_EQ(agent->schema().name(), "PatientDB");
+  EXPECT_NE(agent->schema().FindClass("patient"), kInvalidClassId);
+  EXPECT_EQ(agent->dbms(), "informix");
+}
+
+TEST(FsmTest, RegisterRejectsDuplicateSchemas) {
+  Fixture fixture = ValueOrDie(MakeGenealogyFixture());
+  Fsm fsm;
+  ASSERT_OK(fsm.RegisterAgent(AgentFor(fixture.s1, "a1")));
+  EXPECT_EQ(fsm.RegisterAgent(AgentFor(fixture.s1, "a2")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_NE(fsm.FindAgent("S1"), nullptr);
+  EXPECT_EQ(fsm.FindAgent("S9"), nullptr);
+}
+
+TEST(FsmTest, IntegrateAllRequiresAgents) {
+  Fsm fsm;
+  EXPECT_EQ(fsm.IntegrateAll().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FsmTest, SingleAgentGlobalSchemaIsIdentity) {
+  Fixture fixture = ValueOrDie(MakeGenealogyFixture());
+  Fsm fsm;
+  ASSERT_OK(fsm.RegisterAgent(AgentFor(fixture.s1, "a1")));
+  const GlobalSchema global = ValueOrDie(fsm.IntegrateAll());
+  EXPECT_EQ(global.schema.NumClasses(), fixture.s1.NumClasses());
+  EXPECT_EQ(global.rounds, 0u);
+  EXPECT_EQ(global.ground_sources.at("parent").front().schema, "S1");
+}
+
+TEST(FsmTest, TwoSchemasIntegrateWithDeclaredAssertions) {
+  Fixture fixture = ValueOrDie(MakeUniversityFixture());
+  Fsm fsm;
+  ASSERT_OK(fsm.RegisterAgent(AgentFor(fixture.s1, "a1")));
+  ASSERT_OK(fsm.RegisterAgent(AgentFor(fixture.s2, "a2")));
+  ASSERT_OK(fsm.DeclareAssertions(fixture.assertion_text));
+  const GlobalSchema global = ValueOrDie(fsm.IntegrateAll());
+  EXPECT_EQ(global.rounds, 1u);
+  // person/human are one global class with both ground sources.
+  const std::string merged = "IS(S1.person,S2.human)";
+  ASSERT_NE(global.schema.FindClass(merged), kInvalidClassId);
+  ASSERT_EQ(global.ground_sources.at(merged).size(), 2u);
+  // The intersection rules survive into the global rule set.
+  EXPECT_GE(global.rules.size(), 3u);
+}
+
+TEST(FsmTest, DeclareAssertionsRejectsGarbage) {
+  Fsm fsm;
+  EXPECT_FALSE(fsm.DeclareAssertions("assert nonsense").ok());
+}
+
+class ThreeSchemaFsmTest : public ::testing::Test {
+ protected:
+  // Three genealogy-flavoured schemas: S1 {person_a}, S2 {person_b},
+  // S3 {person_c}, all equivalent.
+  void SetUp() override {
+    for (int i = 1; i <= 3; ++i) {
+      Schema s("S" + std::to_string(i));
+      ClassDef c("person_" + std::string(1, char('a' + i - 1)));
+      c.AddAttribute("ssn", ValueKind::kString);
+      c.AddAttribute("extra_" + std::to_string(i), ValueKind::kInteger);
+      ASSERT_OK(s.AddClass(std::move(c)).status());
+      ASSERT_OK(s.Finalize());
+      ASSERT_OK(fsm_.RegisterAgent(
+          AgentFor(s, "agent" + std::to_string(i))));
+    }
+    ASSERT_OK(fsm_.DeclareAssertions(R"(
+assert S1.person_a == S2.person_b {
+  attr: S1.person_a.ssn == S2.person_b.ssn;
+}
+assert S2.person_b == S3.person_c {
+  attr: S2.person_b.ssn == S3.person_c.ssn;
+}
+assert S1.person_a == S3.person_c {
+  attr: S1.person_a.ssn == S3.person_c.ssn;
+}
+)"));
+  }
+
+  Fsm fsm_;
+};
+
+TEST_F(ThreeSchemaFsmTest, CheckAllConsistencyCleanSetup) {
+  EXPECT_TRUE(ValueOrDie(fsm_.CheckAllConsistency()).empty());
+}
+
+TEST(FsmConsistencyTest, SweepFindsHierarchyInversionAcrossPairs) {
+  // Two chain schemas whose equivalences invert the hierarchy.
+  auto make_chain = [](const std::string& name, const std::string& prefix) {
+    Schema s(name);
+    EXPECT_OK(s.AddClass(ClassDef(prefix + "0")).status());
+    EXPECT_OK(s.AddClass(ClassDef(prefix + "1")).status());
+    EXPECT_OK(s.AddIsA(prefix + "1", prefix + "0"));
+    EXPECT_OK(s.Finalize());
+    return s;
+  };
+  Fsm fsm;
+  ASSERT_OK(fsm.RegisterAgent(ValueOrDie(
+      FsmAgent::Create("a1", "ooint", "db1", make_chain("S1", "a")))));
+  ASSERT_OK(fsm.RegisterAgent(ValueOrDie(
+      FsmAgent::Create("a2", "ooint", "db2", make_chain("S2", "b")))));
+  ASSERT_OK(fsm.DeclareAssertions(R"(
+assert S1.a0 == S2.b1;
+assert S1.a1 == S2.b0;
+)"));
+  const std::vector<ConsistencyFinding> findings =
+      ValueOrDie(fsm.CheckAllConsistency());
+  EXPECT_TRUE(HasErrors(findings));
+}
+
+TEST_F(ThreeSchemaFsmTest, AccumulationMergesAllThree) {
+  const GlobalSchema global =
+      ValueOrDie(fsm_.IntegrateAll(Fsm::Strategy::kAccumulation));
+  EXPECT_EQ(global.rounds, 2u);
+  EXPECT_EQ(global.schema.NumClasses(), 1u);
+  const std::string name = global.schema.classes().front().name();
+  ASSERT_EQ(global.ground_sources.at(name).size(), 3u);
+  // All three extras accumulated.
+  const ClassDef& merged = global.schema.classes().front();
+  EXPECT_NE(merged.FindAttribute("extra_1"), nullptr);
+  EXPECT_NE(merged.FindAttribute("extra_2"), nullptr);
+  EXPECT_NE(merged.FindAttribute("extra_3"), nullptr);
+}
+
+TEST_F(ThreeSchemaFsmTest, BalancedStrategyAgreesOnGroundSources) {
+  const GlobalSchema accumulated =
+      ValueOrDie(fsm_.IntegrateAll(Fsm::Strategy::kAccumulation));
+  const GlobalSchema balanced =
+      ValueOrDie(fsm_.IntegrateAll(Fsm::Strategy::kBalanced));
+  ASSERT_EQ(balanced.schema.NumClasses(), accumulated.schema.NumClasses());
+  // Both strategies integrate all three person classes into one.
+  ASSERT_EQ(balanced.ground_sources.size(), 1u);
+  EXPECT_EQ(balanced.ground_sources.begin()->second.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,133 @@
+// End-to-end pipeline on the paper's own Section 3 scenario: a
+// relational PatientDB (the "FSM-agent1.informix.PatientDB.
+// patient-records.5" example) is transformed to OO on arrival, then
+// federated with an object-oriented ClinicalDB and queried through the
+// global schema.
+
+#include <gtest/gtest.h>
+
+#include "federation/fsm_client.h"
+#include "federation/query_parser.h"
+#include "test_util.h"
+#include "transform/rel_to_oo.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+class HospitalPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The relational component database.
+    RelationalSchema patient_db("PatientDB");
+    ASSERT_OK(patient_db.AddRelation(
+        {"ward", {{"wid", ValueKind::kInteger, true, "", ""},
+                  {"wname", ValueKind::kString, false, "", ""}}}));
+    ASSERT_OK(patient_db.AddRelation(
+        {"patient-records",
+         {{"pid", ValueKind::kString, true, "", ""},
+          {"pname", ValueKind::kString, false, "", ""},
+          {"ward", ValueKind::kInteger, false, "ward", "wid"}}}));
+    std::unique_ptr<FsmAgent> informix = ValueOrDie(
+        FsmAgent::FromRelational("FSM-agent1", "informix", patient_db));
+
+    // The object-oriented component database.
+    Schema clinical("ClinicalDB");
+    ClassDef person("person");
+    person.AddAttribute("id", ValueKind::kString)
+        .AddAttribute("name", ValueKind::kString)
+        .AddAttribute("diagnosis", ValueKind::kString);
+    ASSERT_OK(clinical.AddClass(std::move(person)).status());
+    std::unique_ptr<FsmAgent> ontos = ValueOrDie(
+        FsmAgent::Create("FSM-agent2", "ontos", "clinicDB", clinical));
+
+    // Data: the fifth tuple of patient-records gets the paper's OID.
+    {
+      InstanceStore& store = informix->store();
+      store.SetOidContext("FSM-agent1", "informix", "PatientDB");
+      Object* ward = ValueOrDie(store.NewObject("ward"));
+      ward->Set("wid", Value::Integer(3))
+          .Set("wname", Value::String("cardiology"));
+      for (int i = 1; i <= 5; ++i) {
+        Object* record = ValueOrDie(store.NewObject("patient-records"));
+        record->Set("pid", Value::String("p" + std::to_string(i)))
+            .Set("pname", Value::String("patient_" + std::to_string(i)));
+        record->AddAggTarget("ward", ward->oid());
+        if (i == 5) paper_oid_ = record->oid();
+      }
+      Object* clinical_person = ValueOrDie(ontos->store().NewObject("person"));
+      clinical_person->Set("id", Value::String("p5"))
+          .Set("name", Value::String("patient_5"))
+          .Set("diagnosis", Value::String("arrhythmia"));
+    }
+
+    ASSERT_OK(fsm_.RegisterAgent(std::move(informix)));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(ontos)));
+    ASSERT_OK(fsm_.DeclareAssertions(R"(
+assert PatientDB.patient-records == ClinicalDB.person {
+  attr: PatientDB.patient-records.pid == ClinicalDB.person.id;
+  attr: PatientDB.patient-records.pname == ClinicalDB.person.name;
+}
+)"));
+    client_ = std::make_unique<FsmClient>(&fsm_);
+    ASSERT_OK(client_->Connect());
+  }
+
+  Fsm fsm_;
+  std::unique_ptr<FsmClient> client_;
+  Oid paper_oid_;
+};
+
+TEST_F(HospitalPipelineTest, TransformedSchemaHasTheOoShape) {
+  const Schema& schema = fsm_.FindAgent("PatientDB")->schema();
+  const ClassDef& records =
+      schema.class_def(schema.FindClass("patient-records"));
+  // The FK became an aggregation function to ward.
+  ASSERT_NE(records.FindAggregation("ward"), nullptr);
+  EXPECT_EQ(records.FindAggregation("ward")->range_class, "ward");
+}
+
+TEST_F(HospitalPipelineTest, OidsFollowThePaperNamingScheme) {
+  // Section 3's example OID, verbatim.
+  EXPECT_EQ(paper_oid_.ToString(),
+            "FSM-agent1.informix.PatientDB.patient-records.5");
+  EXPECT_EQ(paper_oid_.AttributePrefix("pname"),
+            "FSM-agent1.informix.PatientDB.patient-records.pname");
+}
+
+TEST_F(HospitalPipelineTest, MergedPatientConceptSpansBothDatabases) {
+  const std::string merged =
+      ValueOrDie(client_->GlobalNameOf("PatientDB", "patient-records"));
+  EXPECT_EQ(merged,
+            ValueOrDie(client_->GlobalNameOf("ClinicalDB", "person")));
+  // 5 relational records + 1 clinical person.
+  EXPECT_EQ(ValueOrDie(client_->Extent(merged)).size(), 6u);
+}
+
+TEST_F(HospitalPipelineTest, QueryFindsEntitiesFromEitherSource) {
+  const std::vector<Bindings> relational = ValueOrDie(RunTextQuery(
+      *client_, R"(?- PatientDB.patient-records(pid: "p2", pname: who))"));
+  ASSERT_EQ(relational.size(), 1u);
+  EXPECT_EQ(relational.front().at("who"), Value::String("patient_2"));
+
+  const std::vector<Bindings> clinical = ValueOrDie(RunTextQuery(
+      *client_, R"(?- ClinicalDB.person(id: "p5", diagnosis: what))"));
+  ASSERT_EQ(clinical.size(), 1u);
+  EXPECT_EQ(clinical.front().at("what"), Value::String("arrhythmia"));
+}
+
+TEST_F(HospitalPipelineTest, MergedAttributeNamesFollowPrinciple1) {
+  const std::string merged =
+      ValueOrDie(client_->GlobalNameOf("PatientDB", "patient-records"));
+  const IntegratedClass* is_class =
+      client_->global().last_round.FindClass(merged);
+  ASSERT_NE(is_class, nullptr);
+  EXPECT_NE(is_class->FindAttribute("pid_id"), nullptr);
+  EXPECT_NE(is_class->FindAttribute("pname_name"), nullptr);
+  // The unasserted diagnosis attribute is accumulated.
+  EXPECT_NE(is_class->FindAttribute("diagnosis"), nullptr);
+}
+
+}  // namespace
+}  // namespace ooint

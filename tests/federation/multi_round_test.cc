@@ -1,0 +1,106 @@
+// Multi-round federation: three component databases where a derivation
+// assertion links S1 and S2, and S3 joins by equivalence — the rules
+// generated in round 1 must be rewritten to the final class names and
+// still answer queries after round 2 (the accumulation strategy of
+// Fig. 2(a) and the balanced strategy of Fig. 2(b)).
+
+#include <gtest/gtest.h>
+
+#include "federation/fsm_client.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+class MultiRoundFederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Fixture fixture = ValueOrDie(MakeGenealogyFixture());
+    std::unique_ptr<FsmAgent> family = ValueOrDie(
+        FsmAgent::Create("agent1", "ooint", "db1", fixture.s1));
+    std::unique_ptr<FsmAgent> relatives = ValueOrDie(
+        FsmAgent::Create("agent2", "ooint", "db2", fixture.s2));
+    ASSERT_OK(PopulateGenealogy(&family->store(), &relatives->store(), 3));
+
+    // S3: another uncles database, equivalent concept, own data.
+    Schema s3("S3");
+    ClassDef avuncular("avuncular");
+    avuncular.AddAttribute("Ussn#", ValueKind::kString)
+        .AddAttribute("name", ValueKind::kString)
+        .AddSetAttribute("niece_nephew", ValueKind::kString);
+    ASSERT_OK(s3.AddClass(std::move(avuncular)).status());
+    ASSERT_OK(s3.Finalize());
+    std::unique_ptr<FsmAgent> third =
+        ValueOrDie(FsmAgent::Create("agent3", "ooint", "db3", s3));
+    Object* stored = ValueOrDie(third->store().NewObject("avuncular"));
+    stored->Set("Ussn#", Value::String("U-third"))
+        .Set("name", Value::String("Ted"))
+        .Set("niece_nephew", Value::Set({Value::String("C-third")}));
+
+    ASSERT_OK(fsm_.RegisterAgent(std::move(family)));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(relatives)));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(third)));
+    ASSERT_OK(fsm_.DeclareAssertions(fixture.assertion_text));
+    ASSERT_OK(fsm_.DeclareAssertions(R"(
+assert S2.uncle == S3.avuncular {
+  attr: S2.uncle.Ussn# == S3.avuncular.Ussn#;
+  attr: S2.uncle.name == S3.avuncular.name;
+  attr: S2.uncle.niece_nephew == S3.avuncular.niece_nephew;
+}
+)"));
+  }
+
+  void CheckStrategy(Fsm::Strategy strategy) {
+    FsmClient client(&fsm_);
+    ASSERT_OK(client.Connect(strategy));
+    ASSERT_EQ(client.global().rounds, 2u);
+
+    // The uncle concept now unifies S2.uncle and S3.avuncular; the
+    // round-1 derivation rule must have been rewritten to it.
+    const std::string uncle = ValueOrDie(client.GlobalNameOf("S2", "uncle"));
+    EXPECT_EQ(uncle, ValueOrDie(client.GlobalNameOf("S3", "avuncular")));
+
+    // Derived uncle from the S1 derivation rule.
+    {
+      Query query(uncle);
+      query.Where("niece_nephew", Value::String("C1a"))
+          .Select("Ussn#", "who");
+      const std::vector<Bindings> answers = ValueOrDie(client.Run(query));
+      ASSERT_EQ(answers.size(), 1u);
+      EXPECT_EQ(answers.front().at("who"), Value::String("U1"));
+    }
+    // Stored avuncular from S3, visible through the same concept.
+    {
+      Query query(uncle);
+      query.Where("niece_nephew", Value::String("C-third"))
+          .Select("name", "name");
+      const std::vector<Bindings> answers = ValueOrDie(client.Run(query));
+      ASSERT_EQ(answers.size(), 1u);
+      EXPECT_EQ(answers.front().at("name"), Value::String("Ted"));
+    }
+  }
+
+  Fsm fsm_;
+};
+
+TEST_F(MultiRoundFederationTest, AccumulationRewritesRulesAcrossRounds) {
+  CheckStrategy(Fsm::Strategy::kAccumulation);
+}
+
+TEST_F(MultiRoundFederationTest, BalancedRewritesRulesAcrossRounds) {
+  CheckStrategy(Fsm::Strategy::kBalanced);
+}
+
+TEST_F(MultiRoundFederationTest, GroundSourcesSpanAllRounds) {
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect());
+  const std::string uncle = ValueOrDie(client.GlobalNameOf("S2", "uncle"));
+  const auto& sources = client.global().ground_sources.at(uncle);
+  ASSERT_EQ(sources.size(), 2u);  // S2.uncle and S3.avuncular
+}
+
+}  // namespace
+}  // namespace ooint

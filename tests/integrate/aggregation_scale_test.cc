@@ -1,0 +1,102 @@
+// Principle 6 at scale: generated workloads with aggregation functions
+// whose cardinality constraints conflict between the counterparts.
+
+#include <gtest/gtest.h>
+
+#include "integrate/integrator.h"
+#include "integrate/naive_integrator.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(AggregationScaleTest, GeneratedSchemasCarryAggregations) {
+  SchemaGenOptions options;
+  options.num_classes = 15;
+  options.with_aggregations = true;
+  const Schema schema = ValueOrDie(GenerateSchema(options));
+  // Root has none, every other class one.
+  EXPECT_TRUE(schema.class_def(0).aggregations().empty());
+  for (size_t i = 1; i < schema.NumClasses(); ++i) {
+    EXPECT_EQ(schema.class_def(static_cast<ClassId>(i)).aggregations().size(),
+              1u);
+  }
+}
+
+TEST(AggregationScaleTest, CounterpartRenamesRangesAndVariesConstraints) {
+  SchemaGenOptions options;
+  options.num_classes = 15;
+  options.with_aggregations = true;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+  const AggregationFunction* fn =
+      s2.class_def(s2.FindClass("d5")).FindAggregation("ref_parent");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->range_class, "d2");  // renamed along with the classes
+}
+
+TEST(AggregationScaleTest, MergesResolveCardinalityConflictsViaLattice) {
+  SchemaGenOptions options;
+  options.num_classes = 31;
+  options.with_aggregations = true;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+  AssertionGenOptions mix;  // all equivalent
+  mix.aggregation_correspondences = true;
+  const AssertionSet assertions =
+      ValueOrDie(GenerateAssertions(s1, s2, "c", "d", mix));
+  ASSERT_OK(assertions.Validate(s1, s2));
+
+  const IntegrationOutcome outcome =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  // Classes whose counterpart carries a different constraint get the
+  // lattice's least common super-node; the stats count them.
+  EXPECT_GT(outcome.stats.cardinality_conflicts_resolved, 0u);
+
+  // Spot-check one conflicting pair: class index 3 (odd → [1:1] in S1;
+  // counterpart index 3 % 3 == 0 → [1:n] in S2): lcs = [1:n].
+  const IntegratedClass* merged =
+      outcome.schema.FindClass(outcome.schema.NameOf({"S1", "c3"}));
+  ASSERT_NE(merged, nullptr);
+  ASSERT_EQ(merged->aggregations.size(), 1u);
+  EXPECT_EQ(merged->aggregations.front().cardinality,
+            Cardinality::OneToMany());
+  // The merged aggregation's range is the merged parent class.
+  EXPECT_EQ(merged->aggregations.front().integrated_range,
+            outcome.schema.NameOf({"S1", "c1"}));
+}
+
+TEST(AggregationScaleTest, NaiveAndOptimizedAgreeWithAggregations) {
+  SchemaGenOptions options;
+  options.num_classes = 31;
+  options.with_aggregations = true;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+  AssertionGenOptions mix;
+  mix.aggregation_correspondences = true;
+  const AssertionSet assertions =
+      ValueOrDie(GenerateAssertions(s1, s2, "c", "d", mix));
+  const IntegrationOutcome naive =
+      ValueOrDie(NaiveIntegrator::Integrate(s1, s2, assertions));
+  const IntegrationOutcome optimized =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  EXPECT_EQ(naive.schema.IsAClosure(), optimized.schema.IsAClosure());
+  EXPECT_EQ(naive.stats.cardinality_conflicts_resolved,
+            optimized.stats.cardinality_conflicts_resolved);
+  // Every merged class's aggregation constraints agree.
+  for (const IntegratedClass& c : naive.schema.classes()) {
+    const IntegratedClass* other = optimized.schema.FindClass(c.name);
+    ASSERT_NE(other, nullptr);
+    ASSERT_EQ(c.aggregations.size(), other->aggregations.size());
+    for (size_t i = 0; i < c.aggregations.size(); ++i) {
+      EXPECT_EQ(c.aggregations[i].cardinality,
+                other->aggregations[i].cardinality);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ooint

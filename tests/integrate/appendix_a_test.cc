@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "integrate/integrator.h"
+#include "integrate/naive_integrator.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+/// Reproduces the sample integration of Appendix A (Example 12 /
+/// Fig. 18): the optimized algorithm integrating the two university
+/// schemas, step by step.
+class AppendixATest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = ValueOrDie(MakeUniversityFixture());
+    assertions_ = ValueOrDie(AssertionParser::Parse(fixture_.assertion_text));
+    ASSERT_OK(assertions_.Validate(fixture_.s1, fixture_.s2));
+    outcome_ = ValueOrDie(
+        Integrator::Integrate(fixture_.s1, fixture_.s2, assertions_));
+  }
+
+  Fixture fixture_;
+  AssertionSet assertions_;
+  IntegrationOutcome outcome_;
+};
+
+TEST_F(AppendixATest, PersonAndHumanAreMerged) {
+  // Step 1: person ≡ human produces a single integrated class.
+  const std::string merged = outcome_.schema.NameOf({"S1", "person"});
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged, outcome_.schema.NameOf({"S2", "human"}));
+  const IntegratedClass* is_person = outcome_.schema.FindClass(merged);
+  ASSERT_NE(is_person, nullptr);
+  EXPECT_EQ(is_person->kind, ISClassKind::kMerged);
+  EXPECT_EQ(outcome_.stats.classes_merged, 1u);
+}
+
+TEST_F(AppendixATest, MergedClassIntegratesAttributes) {
+  // Example 6: ssn# union, full_name/name union, interests ⊇ hobby
+  // union, city α(address) street-number concatenation.
+  const IntegratedClass* is_person =
+      outcome_.schema.FindClass(outcome_.schema.NameOf({"S1", "person"}));
+  ASSERT_NE(is_person, nullptr);
+  const IntegratedAttribute* ssn = is_person->FindAttribute("ssn#");
+  ASSERT_NE(ssn, nullptr);
+  EXPECT_EQ(ssn->op, ValueSetOp::kUnion);
+  const IntegratedAttribute* name =
+      is_person->FindAttribute("full_name_name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->op, ValueSetOp::kUnion);
+  const IntegratedAttribute* address = is_person->FindAttribute("address");
+  ASSERT_NE(address, nullptr);
+  EXPECT_EQ(address->op, ValueSetOp::kConcatenation);
+  const IntegratedAttribute* interests =
+      is_person->FindAttribute("interests_hobby");
+  ASSERT_NE(interests, nullptr);
+  EXPECT_TRUE(interests->multi_valued);
+}
+
+TEST_F(AppendixATest, OnlyTheDeepestIsALinkIsGenerated) {
+  // Appendix A feature 2: is_a(lecturer, faculty) is created; the links
+  // to employee (and human) are not.
+  const std::string lecturer = outcome_.schema.NameOf({"S1", "lecturer"});
+  const std::string faculty = outcome_.schema.NameOf({"S2", "faculty"});
+  const std::string employee = outcome_.schema.NameOf({"S2", "employee"});
+  EXPECT_TRUE(outcome_.schema.HasIsA(lecturer, faculty));
+  EXPECT_FALSE(outcome_.schema.HasIsA(lecturer, employee));
+}
+
+TEST_F(AppendixATest, IntersectionProducesVirtualClassesAndRules) {
+  // Step 4: student ∩ faculty yields the three virtual classes and
+  // three membership rules of Example 8.
+  size_t virtual_classes = 0;
+  for (const IntegratedClass& c : outcome_.schema.classes()) {
+    if (c.kind == ISClassKind::kVirtualIntersection ||
+        c.kind == ISClassKind::kVirtualDifference) {
+      ++virtual_classes;
+    }
+  }
+  EXPECT_EQ(virtual_classes, 3u);
+  size_t membership_rules = 0;
+  for (const Rule& rule : outcome_.schema.rules()) {
+    if (rule.provenance.find("principle-3") != std::string::npos) {
+      ++membership_rules;
+    }
+  }
+  EXPECT_EQ(membership_rules, 3u);
+}
+
+TEST_F(AppendixATest, IntersectionAttributeGetsAif) {
+  const IntegratedClass* both = outcome_.schema.FindClass(
+      "IS(S1.student&S2.faculty)");
+  ASSERT_NE(both, nullptr);
+  const IntegratedAttribute* mixed =
+      both->FindAttribute("study_support_income");
+  ASSERT_NE(mixed, nullptr);
+  EXPECT_EQ(mixed->op, ValueSetOp::kIntersectAif);
+  EXPECT_EQ(mixed->aif_name, "AIF_study_support_income");
+}
+
+TEST_F(AppendixATest, LabelMechanismSkipsTeachingAssistantPairs) {
+  // Appendix A feature 3: (teaching_assistant, faculty) — and the other
+  // pairs covered by label l1 — are skipped.
+  EXPECT_GE(outcome_.stats.pairs_skipped_by_labels, 1u);
+}
+
+TEST_F(AppendixATest, OptimizedChecksFewerPairsThanNaive) {
+  const IntegrationOutcome naive = ValueOrDie(
+      NaiveIntegrator::Integrate(fixture_.s1, fixture_.s2, assertions_));
+  // Appendix A feature 1: the naive algorithm checks the full pair
+  // product (4x4 = 16 pairs); the optimized algorithm checks fewer.
+  EXPECT_EQ(naive.stats.pairs_checked, 16u);
+  EXPECT_LT(outcome_.stats.pairs_checked, naive.stats.pairs_checked);
+}
+
+TEST_F(AppendixATest, NaiveAndOptimizedAgreeSemantically) {
+  const IntegrationOutcome naive = ValueOrDie(
+      NaiveIntegrator::Integrate(fixture_.s1, fixture_.s2, assertions_));
+  // Same classes.
+  ASSERT_EQ(naive.schema.classes().size(),
+            outcome_.schema.classes().size());
+  for (const IntegratedClass& c : naive.schema.classes()) {
+    EXPECT_NE(outcome_.schema.FindClass(c.name), nullptr)
+        << "missing class " << c.name;
+  }
+  // Same is-a semantics (closure equality; the raw link sets may differ
+  // before reduction, but both are reduced).
+  EXPECT_EQ(naive.schema.IsAClosure(), outcome_.schema.IsAClosure());
+  // Same rule count.
+  EXPECT_EQ(naive.schema.rules().size(), outcome_.schema.rules().size());
+}
+
+TEST_F(AppendixATest, LocalHierarchiesAreCarriedOver) {
+  // is_a(student, person) etc. survive into the integrated schema.
+  const std::string person = outcome_.schema.NameOf({"S1", "person"});
+  const std::string student = outcome_.schema.NameOf({"S1", "student"});
+  const std::string professor = outcome_.schema.NameOf({"S2", "professor"});
+  const auto closure = outcome_.schema.IsAClosure();
+  EXPECT_TRUE(closure.count({student, person}));
+  EXPECT_TRUE(closure.count({professor, person}));
+}
+
+TEST_F(AppendixATest, EquivalenceSuppressesSiblingPairs) {
+  // After person ≡ human, pairs like (person, employee-siblings) are
+  // removed (line 10 of schema_integration). With human having a single
+  // child the removal set may be empty, but the lecturer ⊆ labelling
+  // path must have produced DFS work: employee and faculty are visited
+  // (professor is skipped — it has no assertion partner, so the
+  // partner-directed refinement prunes it without a check).
+  EXPECT_GE(outcome_.stats.dfs_steps, 2u);
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,145 @@
+#include "integrate/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+Schema MakeChain(const std::string& name, const std::string& prefix,
+                 size_t depth) {
+  Schema s(name);
+  std::string parent;
+  for (size_t i = 0; i < depth; ++i) {
+    const std::string cls = prefix + std::to_string(i);
+    EXPECT_OK(s.AddClass(ClassDef(cls)).status());
+    if (!parent.empty()) EXPECT_OK(s.AddIsA(cls, parent));
+    parent = cls;
+  }
+  EXPECT_OK(s.Finalize());
+  return s;
+}
+
+AssertionSet ParseSet(const std::string& text) {
+  return ValueOrDie(AssertionParser::Parse(text));
+}
+
+TEST(ConsistencyTest, CleanFixturesHaveNoErrors) {
+  for (auto maker : {&MakeUniversityFixture, &MakeGenealogyFixture,
+                     &MakeBibliographyFixture, &MakeShowcaseFixture}) {
+    const Fixture f = ValueOrDie(maker());
+    const AssertionSet set = ParseSet(f.assertion_text);
+    const std::vector<ConsistencyFinding> findings =
+        CheckConsistency(f.s1, f.s2, set);
+    EXPECT_FALSE(HasErrors(findings));
+  }
+}
+
+TEST(ConsistencyTest, DetectsHierarchyInversion) {
+  // a1 is a subclass of a0 in S1; declaring a0 ≡ b1 and a1 ≡ b0 while
+  // b1 is a subclass of b0 inverts the hierarchy: a0 ≡ b1 ⊆ b0 ≡ a1 ⊆
+  // a0 forms a cycle with strict edges inside.
+  const Schema s1 = MakeChain("S1", "a", 2);
+  const Schema s2 = MakeChain("S2", "b", 2);
+  const AssertionSet set = ParseSet(R"(
+assert S1.a0 == S2.b1;
+assert S1.a1 == S2.b0;
+)");
+  const std::vector<ConsistencyFinding> findings =
+      CheckConsistency(s1, s2, set);
+  EXPECT_TRUE(HasErrors(findings));
+  bool found = false;
+  for (const ConsistencyFinding& f : findings) {
+    if (f.kind == ConsistencyFinding::Kind::kHierarchyCycle) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ConsistencyTest, DetectsInclusionCycle) {
+  const Schema s1 = MakeChain("S1", "a", 2);
+  const Schema s2 = MakeChain("S2", "b", 2);
+  // a0 ⊆ b0 and b0 ⊆ a1, but a1 is below a0 locally: cycle.
+  const AssertionSet set = ParseSet(R"(
+assert S1.a0 <= S2.b0;
+assert S2.b0 <= S1.a1;
+)");
+  EXPECT_TRUE(HasErrors(CheckConsistency(s1, s2, set)));
+}
+
+TEST(ConsistencyTest, AcceptsConsistentInclusionChains) {
+  const Schema s1 = MakeChain("S1", "a", 3);
+  const Schema s2 = MakeChain("S2", "b", 3);
+  const AssertionSet set = ParseSet(R"(
+assert S1.a0 == S2.b0;
+assert S1.a2 <= S2.b1;
+)");
+  EXPECT_FALSE(HasErrors(CheckConsistency(s1, s2, set)));
+}
+
+TEST(ConsistencyTest, WarnsOnObservation3Shadowing) {
+  // man ∅ woman, and an assertion between their subclasses — the case
+  // the paper says to surface to the user.
+  Schema s1("S1");
+  ASSERT_OK(s1.AddClass(ClassDef("man")).status());
+  ASSERT_OK(s1.AddClass(ClassDef("man_student")).status());
+  ASSERT_OK(s1.AddIsA("man_student", "man"));
+  ASSERT_OK(s1.Finalize());
+  Schema s2("S2");
+  ASSERT_OK(s2.AddClass(ClassDef("woman")).status());
+  ASSERT_OK(s2.AddClass(ClassDef("woman_student")).status());
+  ASSERT_OK(s2.AddIsA("woman_student", "woman"));
+  ASSERT_OK(s2.Finalize());
+  const AssertionSet set = ParseSet(R"(
+assert S1.man ! S2.woman;
+assert S1.man_student ~ S2.woman_student;
+)");
+  const std::vector<ConsistencyFinding> findings =
+      CheckConsistency(s1, s2, set);
+  bool warned = false;
+  for (const ConsistencyFinding& f : findings) {
+    if (f.kind == ConsistencyFinding::Kind::kShadowedByObservation3) {
+      warned = true;
+      EXPECT_EQ(f.severity, ConsistencyFinding::Severity::kWarning);
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(ConsistencyTest, WarnsOnDisjointWithoutEquivalentParents) {
+  const Schema s1 = MakeChain("S1", "a", 2);
+  const Schema s2 = MakeChain("S2", "b", 2);
+  const AssertionSet set = ParseSet("assert S1.a1 ! S2.b1;");
+  const std::vector<ConsistencyFinding> findings =
+      CheckConsistency(s1, s2, set);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().kind,
+            ConsistencyFinding::Kind::kDisjointWithoutEquivalentParents);
+
+  // With equivalent parents declared, the warning disappears.
+  const AssertionSet fixed = ParseSet(R"(
+assert S1.a0 == S2.b0;
+assert S1.a1 ! S2.b1;
+)");
+  EXPECT_TRUE(CheckConsistency(s1, s2, fixed).empty());
+}
+
+TEST(ConsistencyTest, WarnsOnBareDerivation) {
+  const Schema s1 = MakeChain("S1", "a", 1);
+  const Schema s2 = MakeChain("S2", "b", 1);
+  const AssertionSet set = ParseSet("assert S1.a0 -> S2.b0;");
+  const std::vector<ConsistencyFinding> findings =
+      CheckConsistency(s1, s2, set);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().kind,
+            ConsistencyFinding::Kind::kBareDerivation);
+  EXPECT_NE(findings.front().ToString().find("bare-derivation"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ooint

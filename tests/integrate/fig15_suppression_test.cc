@@ -1,0 +1,104 @@
+// Fig. 15 / observation 1 (Section 6.1), deterministically: after
+// N1 ≡ N2 matches, the sibling pairs (N1, M2j) and (M1i, N2) are
+// removed from S_b without being checked — "the semantic
+// correspondences between each pair of pa1 can be derived".
+
+#include <gtest/gtest.h>
+
+#include "integrate/integrator.h"
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(Fig15SuppressionTest, SiblingPairsAreRemovedAfterEquivalence) {
+  // S1: r1 ⊃ {A, B};  S2: r2 ⊃ {C, D};  r1 ≡ r2 and A ≡ C.
+  Schema s1("S1");
+  for (const char* n : {"r1", "A", "B"}) {
+    ASSERT_OK(s1.AddClass(ClassDef(n)).status());
+  }
+  ASSERT_OK(s1.AddIsA("A", "r1"));
+  ASSERT_OK(s1.AddIsA("B", "r1"));
+  ASSERT_OK(s1.Finalize());
+  Schema s2("S2");
+  for (const char* n : {"r2", "C", "D"}) {
+    ASSERT_OK(s2.AddClass(ClassDef(n)).status());
+  }
+  ASSERT_OK(s2.AddIsA("C", "r2"));
+  ASSERT_OK(s2.AddIsA("D", "r2"));
+  ASSERT_OK(s2.Finalize());
+
+  AssertionSet assertions;
+  auto equate = [&](const char* a, const char* b) {
+    Assertion assertion;
+    assertion.lhs = {{"S1", a}};
+    assertion.rel = SetRel::kEquivalent;
+    assertion.rhs = {"S2", b};
+    ASSERT_OK(assertions.Add(std::move(assertion)));
+  };
+  equate("r1", "r2");
+  equate("A", "C");
+
+  IntegrationTrace trace;
+  const IntegrationOutcome outcome = ValueOrDie(
+      Integrator::Integrate(s1, s2, assertions, nullptr, &trace));
+
+  // (A, C) matched ≡ → its sibling pairs were suppressed.
+  EXPECT_EQ(trace.events()[trace.IndexOf(TraceEvent::Kind::kCase,
+                                         "(A, C)")].detail,
+            "==");
+  EXPECT_TRUE(trace.Contains(TraceEvent::Kind::kSuppressSibling, "(A, D)"));
+  EXPECT_TRUE(trace.Contains(TraceEvent::Kind::kSuppressSibling, "(B, C)"));
+  // And those pairs were never *checked*.
+  EXPECT_EQ(trace.IndexOf(TraceEvent::Kind::kCase, "(A, D)"), -1);
+  EXPECT_EQ(trace.IndexOf(TraceEvent::Kind::kCase, "(B, C)"), -1);
+  // (B, D) remains checked — nothing is derivable about it.
+  EXPECT_GE(trace.IndexOf(TraceEvent::Kind::kCase, "(B, D)"), 0);
+  EXPECT_EQ(outcome.stats.sibling_pairs_removed, 2u);
+  // The derived relationships still hold in the result: IS(B) sits
+  // below the merged root, as does IS(D).
+  const auto closure = outcome.schema.IsAClosure();
+  EXPECT_TRUE(closure.count({outcome.schema.NameOf({"S1", "B"}),
+                             outcome.schema.NameOf({"S1", "r1"})}));
+  EXPECT_TRUE(closure.count({outcome.schema.NameOf({"S2", "D"}),
+                             outcome.schema.NameOf({"S2", "r2"})}));
+}
+
+TEST(Fig15SuppressionTest, OrderIndependenceOfTheEquivalenceMatch) {
+  // If the diagonal pair pops later (C is the second child), the
+  // suppression set changes but the integrated schema does not.
+  Schema s1("S1");
+  for (const char* n : {"r1", "A", "B"}) {
+    ASSERT_OK(s1.AddClass(ClassDef(n)).status());
+  }
+  ASSERT_OK(s1.AddIsA("A", "r1"));
+  ASSERT_OK(s1.AddIsA("B", "r1"));
+  ASSERT_OK(s1.Finalize());
+  Schema s2("S2");
+  for (const char* n : {"r2", "D", "C"}) {  // reversed declaration order
+    ASSERT_OK(s2.AddClass(ClassDef(n)).status());
+  }
+  ASSERT_OK(s2.AddIsA("C", "r2"));
+  ASSERT_OK(s2.AddIsA("D", "r2"));
+  ASSERT_OK(s2.Finalize());
+
+  AssertionSet assertions;
+  for (const auto& [a, b] :
+       std::vector<std::pair<const char*, const char*>>{{"r1", "r2"},
+                                                        {"A", "C"}}) {
+    Assertion assertion;
+    assertion.lhs = {{"S1", a}};
+    assertion.rel = SetRel::kEquivalent;
+    assertion.rhs = {"S2", b};
+    ASSERT_OK(assertions.Add(std::move(assertion)));
+  }
+  const IntegrationOutcome outcome =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  EXPECT_NE(outcome.schema.FindClass("IS(S1.A,S2.C)"), nullptr);
+  EXPECT_EQ(outcome.schema.classes().size(), 4u);  // 2 merged + 2 copies
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,206 @@
+#include "integrate/principles.h"
+
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "integrate/integrator.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+IntegrationOutcome IntegrateFixture(const Fixture& fixture) {
+  const AssertionSet assertions =
+      ValueOrDie(AssertionParser::Parse(fixture.assertion_text));
+  EXPECT_OK(assertions.Validate(fixture.s1, fixture.s2));
+  return ValueOrDie(
+      Integrator::Integrate(fixture.s1, fixture.s2, assertions));
+}
+
+TEST(PrinciplesTest, ShowcaseFixtureCoversAllAssertionKinds) {
+  const Fixture fixture = ValueOrDie(MakeShowcaseFixture());
+  const IntegrationOutcome outcome = IntegrateFixture(fixture);
+
+  // Equivalence: person/human merged.
+  EXPECT_EQ(outcome.schema.NameOf({"S1", "person"}),
+            outcome.schema.NameOf({"S2", "human"}));
+  // Inclusion: book ⊆ publication becomes an is-a link.
+  const auto closure = outcome.schema.IsAClosure();
+  EXPECT_TRUE(closure.count({outcome.schema.NameOf({"S1", "book"}),
+                             outcome.schema.NameOf({"S2", "publication"})}));
+  // Disjoint man/woman: completion rules exist (their equivalent
+  // parents person/human are merged).
+  size_t principle4_rules = 0;
+  size_t reverse_agg_rules = 0;
+  for (const Rule& rule : outcome.schema.rules()) {
+    if (rule.provenance.find("principle-4(") != std::string::npos) {
+      ++principle4_rules;
+    }
+    if (rule.provenance.find("reverse-agg") != std::string::npos) {
+      ++reverse_agg_rules;
+    }
+  }
+  EXPECT_EQ(principle4_rules, 2u);
+  EXPECT_EQ(reverse_agg_rules, 2u);
+}
+
+TEST(PrinciplesTest, BetaKeepsTheMoreSpecificAttribute) {
+  const Fixture fixture = ValueOrDie(MakeShowcaseFixture());
+  const IntegrationOutcome outcome = IntegrateFixture(fixture);
+  const IntegratedClass* restaurant = outcome.schema.FindClass(
+      outcome.schema.NameOf({"S1", "restaurant-1"}));
+  ASSERT_NE(restaurant, nullptr);
+  const IntegratedAttribute* cuisine = restaurant->FindAttribute("cuisine");
+  ASSERT_NE(cuisine, nullptr);
+  EXPECT_EQ(cuisine->op, ValueSetOp::kMoreSpecific);
+  // The less-specific 'category' is not accumulated separately.
+  EXPECT_EQ(restaurant->FindAttribute("category"), nullptr);
+}
+
+TEST(PrinciplesTest, MergedAggregationUsesLcsCardinality) {
+  // book.published_by [m:1] ≡ publication.published_by [m:1] — equal
+  // constraints merge without conflict; then check a conflicting pair.
+  Schema s1("S1");
+  ClassDef a("a");
+  a.AddAggregation("f", "t", Cardinality::OneToMany());
+  ASSERT_OK(s1.AddClass(std::move(a)).status());
+  ASSERT_OK(s1.AddClass(ClassDef("t")).status());
+  ASSERT_OK(s1.Finalize());
+  Schema s2("S2");
+  ClassDef b("b");
+  b.AddAggregation("g", "u", Cardinality::ManyToOne());
+  ASSERT_OK(s2.AddClass(std::move(b)).status());
+  ASSERT_OK(s2.AddClass(ClassDef("u")).status());
+  ASSERT_OK(s2.Finalize());
+  AssertionSet assertions;
+  {
+    Assertion eq = ValueOrDie(AssertionParser::ParseOne(R"(
+assert S1.a == S2.b {
+  agg: S1.a.f == S2.b.g;
+})"));
+    ASSERT_OK(assertions.Add(std::move(eq)));
+    Assertion ranges = ValueOrDie(
+        AssertionParser::ParseOne("assert S1.t == S2.u;"));
+    ASSERT_OK(assertions.Add(std::move(ranges)));
+  }
+  const IntegrationOutcome outcome =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  const IntegratedClass* merged =
+      outcome.schema.FindClass(outcome.schema.NameOf({"S1", "a"}));
+  ASSERT_NE(merged, nullptr);
+  ASSERT_EQ(merged->aggregations.size(), 1u);
+  // lcs([1:n], [m:1]) = [m:n] (Fig. 13).
+  EXPECT_EQ(merged->aggregations[0].cardinality, Cardinality::ManyToMany());
+  EXPECT_EQ(outcome.stats.cardinality_conflicts_resolved, 1u);
+  // The merged aggregation's range resolves to the merged range class.
+  EXPECT_EQ(merged->aggregations[0].integrated_range,
+            outcome.schema.NameOf({"S1", "t"}));
+}
+
+TEST(PrinciplesTest, DisjointAttributesKeepBothCopies) {
+  Schema s1("S1");
+  ClassDef a("a");
+  a.AddAttribute("x", ValueKind::kInteger);
+  ASSERT_OK(s1.AddClass(std::move(a)).status());
+  ASSERT_OK(s1.Finalize());
+  Schema s2("S2");
+  ClassDef b("b");
+  b.AddAttribute("x", ValueKind::kInteger);
+  ASSERT_OK(s2.AddClass(std::move(b)).status());
+  ASSERT_OK(s2.Finalize());
+  AssertionSet assertions;
+  Assertion eq = ValueOrDie(AssertionParser::ParseOne(R"(
+assert S1.a == S2.b {
+  attr: S1.a.x ! S2.b.x;
+})"));
+  ASSERT_OK(assertions.Add(std::move(eq)));
+  const IntegrationOutcome outcome =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  const IntegratedClass* merged =
+      outcome.schema.FindClass(outcome.schema.NameOf({"S1", "a"}));
+  ASSERT_NE(merged, nullptr);
+  // Both same-named disjoint attributes survive, the second qualified.
+  EXPECT_NE(merged->FindAttribute("x"), nullptr);
+  EXPECT_NE(merged->FindAttribute("x@S2"), nullptr);
+}
+
+TEST(PrinciplesTest, UnassertedAttributesAccumulate) {
+  // Default strategy 2.
+  Schema s1("S1");
+  ClassDef a("a");
+  a.AddAttribute("only_in_s1", ValueKind::kInteger);
+  ASSERT_OK(s1.AddClass(std::move(a)).status());
+  ASSERT_OK(s1.Finalize());
+  Schema s2("S2");
+  ClassDef b("b");
+  b.AddAttribute("only_in_s2", ValueKind::kString);
+  ASSERT_OK(s2.AddClass(std::move(b)).status());
+  ASSERT_OK(s2.Finalize());
+  AssertionSet assertions;
+  ASSERT_OK(assertions.Add(
+      ValueOrDie(AssertionParser::ParseOne("assert S1.a == S2.b;"))));
+  const IntegrationOutcome outcome =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  const IntegratedClass* merged =
+      outcome.schema.FindClass(outcome.schema.NameOf({"S1", "a"}));
+  ASSERT_NE(merged, nullptr);
+  EXPECT_NE(merged->FindAttribute("only_in_s1"), nullptr);
+  EXPECT_NE(merged->FindAttribute("only_in_s2"), nullptr);
+  EXPECT_EQ(merged->FindAttribute("only_in_s1")->type, ValueKind::kInteger);
+}
+
+TEST(PrinciplesTest, UnassertedClassesAreCopied) {
+  // Default strategy 1.
+  Schema s1("S1");
+  ASSERT_OK(s1.AddClass(ClassDef("lonely")).status());
+  ASSERT_OK(s1.Finalize());
+  Schema s2("S2");
+  ASSERT_OK(s2.AddClass(ClassDef("other")).status());
+  ASSERT_OK(s2.Finalize());
+  AssertionSet empty;
+  const IntegrationOutcome outcome =
+      ValueOrDie(Integrator::Integrate(s1, s2, empty));
+  EXPECT_EQ(outcome.schema.classes().size(), 2u);
+  EXPECT_EQ(outcome.schema.NameOf({"S1", "lonely"}), "IS(S1.lonely)");
+  EXPECT_EQ(outcome.schema.FindClass("IS(S1.lonely)")->kind,
+            ISClassKind::kCopied);
+}
+
+TEST(PrinciplesTest, DerivationAssertionsGenerateRules) {
+  const Fixture fixture = ValueOrDie(MakeGenealogyFixture());
+  const IntegrationOutcome outcome = IntegrateFixture(fixture);
+  ASSERT_EQ(outcome.schema.rules().size(), 1u);
+  const Rule& rule = outcome.schema.rules().front();
+  EXPECT_EQ(rule.head.front().oterm.class_name, "IS(S2.uncle)");
+  EXPECT_EQ(outcome.stats.rules_generated, 1u);
+}
+
+TEST(PrinciplesTest, CarFixtureGeneratesOneRulePerColumn) {
+  const Fixture fixture = ValueOrDie(MakeCarFixture(4));
+  const IntegrationOutcome outcome = IntegrateFixture(fixture);
+  EXPECT_EQ(outcome.schema.rules().size(), 4u);
+  for (const Rule& rule : outcome.schema.rules()) {
+    EXPECT_EQ(rule.head.front().oterm.class_name, "IS(S1.car1)");
+  }
+}
+
+TEST(PrinciplesTest, StockFixtureCarriesWithQualifiers) {
+  const Fixture fixture = ValueOrDie(MakeStockFixture());
+  const IntegrationOutcome outcome = IntegrateFixture(fixture);
+  // Decomposition: price appears twice → two rules, each with a
+  // comparison predicate on time.
+  EXPECT_EQ(outcome.schema.rules().size(), 2u);
+  for (const Rule& rule : outcome.schema.rules()) {
+    bool has_predicate = false;
+    for (const Literal& l : rule.body) {
+      if (l.kind == Literal::Kind::kCompare) has_predicate = true;
+    }
+    EXPECT_TRUE(has_predicate) << rule.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "integrate/integrator.h"
+#include "integrate/naive_integrator.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+struct PropertyCase {
+  size_t num_classes;
+  size_t degree;
+  double equivalence;
+  double inclusion;
+  double disjoint;
+  double derivation;
+  std::uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  return "n" + std::to_string(c.num_classes) + "_d" +
+         std::to_string(c.degree) + "_seed" + std::to_string(c.seed) + "_i" +
+         std::to_string(static_cast<int>(c.inclusion * 100)) + "_x" +
+         std::to_string(static_cast<int>(c.disjoint * 100)) + "_v" +
+         std::to_string(static_cast<int>(c.derivation * 100));
+}
+
+/// Property: on any workload, the naive and optimized integrators
+/// produce semantically equal integrated schemas — same class set, same
+/// is-a closure, same rules — while the optimized one never checks more
+/// pairs (Section 6.3's correctness argument made executable).
+class IntegratorEquivalenceTest
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(IntegratorEquivalenceTest, NaiveAndOptimizedAgree) {
+  const PropertyCase& c = GetParam();
+  SchemaGenOptions schema_options;
+  schema_options.name = "S1";
+  schema_options.num_classes = c.num_classes;
+  schema_options.degree = c.degree;
+  schema_options.class_prefix = "c";
+  const Schema s1 = ValueOrDie(GenerateSchema(schema_options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+
+  AssertionGenOptions assertion_options;
+  assertion_options.equivalence_fraction = c.equivalence;
+  assertion_options.inclusion_fraction = c.inclusion;
+  assertion_options.disjoint_fraction = c.disjoint;
+  assertion_options.derivation_fraction = c.derivation;
+  assertion_options.seed = c.seed;
+  const AssertionSet assertions =
+      ValueOrDie(GenerateAssertions(s1, s2, "c", "d", assertion_options));
+  ASSERT_OK(assertions.Validate(s1, s2));
+
+  const IntegrationOutcome naive =
+      ValueOrDie(NaiveIntegrator::Integrate(s1, s2, assertions));
+  const IntegrationOutcome optimized =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+
+  // Same classes (names and kinds).
+  ASSERT_EQ(naive.schema.classes().size(),
+            optimized.schema.classes().size());
+  for (const IntegratedClass& cls : naive.schema.classes()) {
+    const IntegratedClass* other = optimized.schema.FindClass(cls.name);
+    ASSERT_NE(other, nullptr) << "class " << cls.name << " missing";
+    EXPECT_EQ(cls.kind, other->kind) << cls.name;
+    EXPECT_EQ(cls.attributes.size(), other->attributes.size()) << cls.name;
+  }
+  // Same is-a semantics.
+  EXPECT_EQ(naive.schema.IsAClosure(), optimized.schema.IsAClosure());
+  // Same rules (as rendered strings, order-insensitive).
+  auto rule_set = [](const IntegratedSchema& schema) {
+    std::multiset<std::string> out;
+    for (const Rule& r : schema.rules()) out.insert(r.ToString());
+    return out;
+  };
+  EXPECT_EQ(rule_set(naive.schema), rule_set(optimized.schema));
+
+  // The optimized algorithm never checks more pairs.
+  EXPECT_LE(optimized.stats.pairs_checked, naive.stats.pairs_checked);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, IntegratorEquivalenceTest,
+    ::testing::Values(
+        // The §6.3 setting: all-equivalent counterparts, several sizes.
+        PropertyCase{7, 2, 1.0, 0.0, 0.0, 0.0, 1},
+        PropertyCase{15, 2, 1.0, 0.0, 0.0, 0.0, 2},
+        PropertyCase{31, 2, 1.0, 0.0, 0.0, 0.0, 3},
+        PropertyCase{40, 4, 1.0, 0.0, 0.0, 0.0, 4},
+        PropertyCase{27, 3, 1.0, 0.0, 0.0, 0.0, 5},
+        // Mixed assertion kinds.
+        PropertyCase{31, 2, 0.5, 0.5, 0.0, 0.0, 6},
+        PropertyCase{31, 2, 0.4, 0.3, 0.3, 0.0, 7},
+        PropertyCase{31, 2, 0.4, 0.2, 0.2, 0.2, 8},
+        PropertyCase{40, 4, 0.3, 0.3, 0.2, 0.2, 9},
+        PropertyCase{63, 2, 0.5, 0.2, 0.1, 0.2, 10},
+        // Sparse assertions (many unasserted classes).
+        PropertyCase{31, 2, 0.2, 0.1, 0.0, 0.0, 11},
+        PropertyCase{31, 2, 0.1, 0.0, 0.0, 0.1, 12},
+        // Inclusion-heavy (stresses path_labelling).
+        PropertyCase{31, 2, 0.1, 0.9, 0.0, 0.0, 13},
+        PropertyCase{63, 2, 0.2, 0.8, 0.0, 0.0, 14},
+        PropertyCase{121, 3, 0.3, 0.5, 0.1, 0.1, 15}),
+    CaseName);
+
+/// Property: integration is deterministic.
+TEST(IntegratorDeterminismTest, SameInputsSameOutput) {
+  SchemaGenOptions options;
+  options.num_classes = 31;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+  AssertionGenOptions mix;
+  mix.equivalence_fraction = 0.4;
+  mix.inclusion_fraction = 0.3;
+  mix.derivation_fraction = 0.2;
+  const AssertionSet assertions =
+      ValueOrDie(GenerateAssertions(s1, s2, "c", "d", mix));
+  const IntegrationOutcome a =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  const IntegrationOutcome b =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  EXPECT_EQ(a.schema.ToString(), b.schema.ToString());
+  EXPECT_EQ(a.stats.pairs_checked, b.stats.pairs_checked);
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "integrate/integrator.h"
+#include "integrate/naive_integrator.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+/// Experiment E2: the per-observation pruning behaviour of Section 6.1.
+/// Each test exercises one observation with a single-kind assertion set
+/// and checks the direction of the pruning effect.
+
+struct Generated {
+  Schema s1{"S1"};
+  Schema s2{"S2"};
+  AssertionSet assertions;
+};
+
+Generated MakeWorkload(size_t n, size_t degree, double eq, double inc,
+                       double dis, double der) {
+  Generated g;
+  SchemaGenOptions options;
+  options.num_classes = n;
+  options.degree = degree;
+  g.s1 = ValueOrDie(GenerateSchema(options));
+  g.s2 = ValueOrDie(GenerateCounterpartSchema(g.s1, "S2", "d"));
+  AssertionGenOptions mix;
+  mix.equivalence_fraction = eq;
+  mix.inclusion_fraction = inc;
+  mix.disjoint_fraction = dis;
+  mix.derivation_fraction = der;
+  g.assertions =
+      ValueOrDie(GenerateAssertions(g.s1, g.s2, "c", "d", mix));
+  return g;
+}
+
+TEST(PruningTest, Observation1EquivalenceYieldsLinearChecks) {
+  // With a full equivalent-counterpart mapping (the §6.3 setting) the
+  // optimized algorithm checks O(n) pairs while the naive one checks
+  // Θ(n²).
+  const size_t n = 63;
+  Generated g = MakeWorkload(n, 2, 1.0, 0, 0, 0);
+  const IntegrationOutcome naive =
+      ValueOrDie(NaiveIntegrator::Integrate(g.s1, g.s2, g.assertions));
+  const IntegrationOutcome optimized =
+      ValueOrDie(Integrator::Integrate(g.s1, g.s2, g.assertions));
+  EXPECT_EQ(naive.stats.pairs_checked, n * n);
+  // Matching counterparts meet along the diagonal: ~n checks plus the
+  // sibling cross-pairs scheduled before the match is known.
+  EXPECT_LE(optimized.stats.pairs_checked, 8 * n);
+  EXPECT_GE(optimized.stats.sibling_pairs_removed, 1u);
+}
+
+TEST(PruningTest, Observation2InclusionPrunesOneSide) {
+  Generated g = MakeWorkload(31, 2, 0.1, 0.9, 0, 0);
+  const IntegrationOutcome optimized =
+      ValueOrDie(Integrator::Integrate(g.s1, g.s2, g.assertions));
+  const IntegrationOutcome naive =
+      ValueOrDie(NaiveIntegrator::Integrate(g.s1, g.s2, g.assertions));
+  // Inclusions trigger depth-first labelling and reduce the checks.
+  EXPECT_GT(optimized.stats.dfs_steps, 0u);
+  EXPECT_LT(optimized.stats.pairs_checked, naive.stats.pairs_checked);
+}
+
+TEST(PruningTest, Fig16LabelInheritanceSkipsDescendantPairs) {
+  // The deterministic Fig. 16 scenario: A ⊆ B ⊆-chain in S2; A's child
+  // A1 inherits the path label and its pair against a labelled chain
+  // node is skipped without a check.
+  Schema s1("S1");
+  for (const char* n : {"r1", "A", "A1"}) {
+    ASSERT_OK(s1.AddClass(ClassDef(n)).status());
+  }
+  ASSERT_OK(s1.AddIsA("A", "r1"));
+  ASSERT_OK(s1.AddIsA("A1", "A"));
+  ASSERT_OK(s1.Finalize());
+  Schema s2("S2");
+  for (const char* n : {"r2", "B", "C", "D"}) {
+    ASSERT_OK(s2.AddClass(ClassDef(n)).status());
+  }
+  ASSERT_OK(s2.AddIsA("B", "r2"));
+  ASSERT_OK(s2.AddIsA("C", "B"));
+  ASSERT_OK(s2.AddIsA("D", "C"));
+  ASSERT_OK(s2.Finalize());
+
+  AssertionSet assertions;
+  auto add = [&](const char* a, SetRel rel, const char* b) {
+    Assertion assertion;
+    assertion.lhs = {{"S1", a}};
+    assertion.rel = rel;
+    assertion.rhs = {"S2", b};
+    ASSERT_OK(assertions.Add(std::move(assertion)));
+  };
+  add("r1", SetRel::kEquivalent, "r2");
+  add("A", SetRel::kSubset, "B");
+  add("A", SetRel::kSubset, "C");
+  add("A", SetRel::kSubset, "D");
+
+  const IntegrationOutcome outcome =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  // Only the deepest link of the chain is generated (Fig. 8(b)); the
+  // others are implied and removed/never created.
+  EXPECT_TRUE(outcome.schema.HasIsA("IS(S1.A)", "IS(S2.D)"));
+  EXPECT_FALSE(outcome.schema.HasIsA("IS(S1.A)", "IS(S2.B)"));
+  EXPECT_FALSE(outcome.schema.HasIsA("IS(S1.A)", "IS(S2.C)"));
+  // (A1, C) — A1 inherits the label, C carries it: skipped unchecked.
+  EXPECT_GE(outcome.stats.pairs_skipped_by_labels, 1u);
+}
+
+TEST(PruningTest, Observation3DisjointAndDerivationPruneBothSides) {
+  Generated with_disjoint = MakeWorkload(31, 2, 0.2, 0, 0.8, 0);
+  Generated no_assertions = MakeWorkload(31, 2, 0.2, 0, 0, 0);
+  const IntegrationOutcome disjoint = ValueOrDie(Integrator::Integrate(
+      with_disjoint.s1, with_disjoint.s2, with_disjoint.assertions));
+  const IntegrationOutcome sparse = ValueOrDie(Integrator::Integrate(
+      no_assertions.s1, no_assertions.s2, no_assertions.assertions));
+  // A disjoint assertion prunes the mixed pairs a no-assertion default
+  // would have scheduled, so the disjoint-heavy run checks fewer pairs
+  // than the otherwise-identical run with no assertions at all.
+  EXPECT_LT(disjoint.stats.pairs_checked, sparse.stats.pairs_checked);
+}
+
+TEST(PruningTest, Observation4IntersectionPrunesNothing) {
+  // ∩ assertions schedule both mixed-pair families, exactly like the
+  // no-assertion default; check counts match on isomorphic workloads.
+  SchemaGenOptions options;
+  options.num_classes = 15;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+
+  AssertionSet overlap_set;
+  for (size_t i = 0; i < s1.NumClasses(); ++i) {
+    Assertion a;
+    a.lhs = {{"S1", "c" + std::to_string(i)}};
+    a.rel = SetRel::kOverlap;
+    a.rhs = {"S2", "d" + std::to_string(i)};
+    ASSERT_OK(overlap_set.Add(std::move(a)));
+  }
+  AssertionSet empty_set;
+  const IntegrationOutcome with_overlap =
+      ValueOrDie(Integrator::Integrate(s1, s2, overlap_set));
+  const IntegrationOutcome without =
+      ValueOrDie(Integrator::Integrate(s1, s2, empty_set));
+  EXPECT_EQ(with_overlap.stats.pairs_checked,
+            without.stats.pairs_checked);
+}
+
+TEST(PruningTest, ScalingShapeNaiveQuadraticOptimizedLinear) {
+  // E1 in miniature: grow n and compare growth factors.
+  std::vector<size_t> sizes = {15, 31, 63};
+  std::vector<size_t> naive_checks;
+  std::vector<size_t> optimized_checks;
+  for (size_t n : sizes) {
+    Generated g = MakeWorkload(n, 2, 1.0, 0, 0, 0);
+    naive_checks.push_back(
+        ValueOrDie(NaiveIntegrator::Integrate(g.s1, g.s2, g.assertions))
+            .stats.pairs_checked);
+    optimized_checks.push_back(
+        ValueOrDie(Integrator::Integrate(g.s1, g.s2, g.assertions))
+            .stats.pairs_checked);
+  }
+  // Naive grows ~4x per doubling; optimized ~2x.
+  const double naive_growth =
+      static_cast<double>(naive_checks[2]) / naive_checks[1];
+  const double optimized_growth =
+      static_cast<double>(optimized_checks[2]) / optimized_checks[1];
+  EXPECT_GT(naive_growth, 3.5);
+  EXPECT_LT(optimized_growth, 2.6);
+}
+
+}  // namespace
+}  // namespace ooint

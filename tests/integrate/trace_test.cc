@@ -1,0 +1,128 @@
+#include "integrate/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "integrate/integrator.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+/// Replays the paper's Appendix A computation steps against the
+/// recorded integration trace.
+class AppendixATraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Fixture fixture = ValueOrDie(MakeUniversityFixture());
+    const AssertionSet assertions =
+        ValueOrDie(AssertionParser::Parse(fixture.assertion_text));
+    ValueOrDie(Integrator::Integrate(fixture.s1, fixture.s2, assertions,
+                                     nullptr, &trace_));
+  }
+
+  IntegrationTrace trace_;
+};
+
+TEST_F(AppendixATraceTest, Step1PersonHumanEquivalenceFirst) {
+  // "initial step: source pairs into S_b; step1: pop and check of
+  // (person, human): person ≡ human".
+  const int pop = trace_.IndexOf(TraceEvent::Kind::kPopPair,
+                                 "(person, human)");
+  ASSERT_GE(pop, 0);
+  // It is the very first real pair popped.
+  EXPECT_EQ(trace_.OfKind(TraceEvent::Kind::kPopPair).front()->subject,
+            "(person, human)");
+  const int cs = trace_.IndexOf(TraceEvent::Kind::kCase, "(person, human)");
+  ASSERT_GE(cs, 0);
+  EXPECT_EQ(trace_.events()[cs].detail, "==");
+}
+
+TEST_F(AppendixATraceTest, Step3PathLabellingFromEmployee) {
+  // "step3: lecturer ⊆ employee; call of path_labelling(lecturer, S2,
+  // employee, l): employee labelled, faculty labelled".
+  const int cs = trace_.IndexOf(TraceEvent::Kind::kCase,
+                                "(lecturer, employee)");
+  ASSERT_GE(cs, 0);
+  EXPECT_EQ(trace_.events()[cs].detail, "<=");
+  const int employee_label =
+      trace_.IndexOf(TraceEvent::Kind::kDfsLabel, "employee");
+  const int faculty_label =
+      trace_.IndexOf(TraceEvent::Kind::kDfsLabel, "faculty");
+  ASSERT_GE(employee_label, 0);
+  ASSERT_GE(faculty_label, 0);
+  EXPECT_LT(cs, employee_label);
+  EXPECT_LT(employee_label, faculty_label);
+  // "generation of is_a(lecturer, faculty)".
+  EXPECT_TRUE(trace_.Contains(TraceEvent::Kind::kDfsLink,
+                              "is_a(lecturer, faculty)"));
+  // "labelling: lecturer; label inheritance for child nodes".
+  EXPECT_TRUE(trace_.Contains(TraceEvent::Kind::kInherit, "lecturer"));
+}
+
+TEST_F(AppendixATraceTest, Step4StudentFacultyIntersection) {
+  const int cs = trace_.IndexOf(TraceEvent::Kind::kCase,
+                                "(student, faculty)");
+  ASSERT_GE(cs, 0);
+  EXPECT_EQ(trace_.events()[cs].detail, "~");
+}
+
+TEST_F(AppendixATraceTest, Step5TeachingAssistantSkippedByLabels) {
+  // "no checking will be done for the pair on the top of S_b (in terms
+  // of the relationship of labels and inherited-labels)".
+  EXPECT_TRUE(trace_.Contains(TraceEvent::Kind::kSkipByLabels,
+                              "(teaching_assistant, faculty)"));
+  // And the skip happens after lecturer's labelling.
+  EXPECT_GT(trace_.IndexOf(TraceEvent::Kind::kSkipByLabels,
+                           "(teaching_assistant, faculty)"),
+            trace_.IndexOf(TraceEvent::Kind::kInherit, "lecturer"));
+}
+
+TEST_F(AppendixATraceTest, NoAssertionPairsTakeTheDefaultCase) {
+  const int cs = trace_.IndexOf(TraceEvent::Kind::kCase,
+                                "(student, employee)");
+  ASSERT_GE(cs, 0);
+  EXPECT_EQ(trace_.events()[cs].detail, "none");
+}
+
+TEST_F(AppendixATraceTest, TraceRendersReadably) {
+  const std::string text = trace_.ToString();
+  EXPECT_NE(text.find("pop (person, human)"), std::string::npos);
+  EXPECT_NE(text.find("case (lecturer, employee) [<=]"), std::string::npos);
+  EXPECT_NE(text.find("dfs-link is_a(lecturer, faculty)"),
+            std::string::npos);
+}
+
+TEST(IntegrationTraceTest, EmptyAndQueries) {
+  IntegrationTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.IndexOf(TraceEvent::Kind::kPopPair, "x"), -1);
+  trace.Add(TraceEvent::Kind::kPopPair, "(a, b)", "");
+  trace.Add(TraceEvent::Kind::kCase, "(a, b)", "==");
+  EXPECT_FALSE(trace.empty());
+  EXPECT_EQ(trace.OfKind(TraceEvent::Kind::kPopPair).size(), 1u);
+  EXPECT_TRUE(trace.Contains(TraceEvent::Kind::kCase, "(a, b)"));
+  EXPECT_FALSE(trace.Contains(TraceEvent::Kind::kCase, "(z, z)"));
+}
+
+TEST(IntegrationTraceTest, TracingIsOptIn) {
+  // A null trace pointer records nothing and changes nothing.
+  const Fixture fixture = ValueOrDie(MakeUniversityFixture());
+  const AssertionSet assertions =
+      ValueOrDie(AssertionParser::Parse(fixture.assertion_text));
+  const IntegrationOutcome with_trace = [&] {
+    IntegrationTrace trace;
+    return ValueOrDie(Integrator::Integrate(fixture.s1, fixture.s2,
+                                            assertions, nullptr, &trace));
+  }();
+  const IntegrationOutcome without = ValueOrDie(
+      Integrator::Integrate(fixture.s1, fixture.s2, assertions));
+  EXPECT_EQ(with_trace.schema.ToString(), without.schema.ToString());
+  EXPECT_EQ(with_trace.stats.pairs_checked, without.stats.pairs_checked);
+}
+
+}  // namespace
+}  // namespace ooint

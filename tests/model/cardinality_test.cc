@@ -1,0 +1,122 @@
+#include "model/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(CardinalityTest, ToStringForms) {
+  EXPECT_EQ(Cardinality::OneToOne().ToString(), "[1:1]");
+  EXPECT_EQ(Cardinality::OneToMany().ToString(), "[1:n]");
+  EXPECT_EQ(Cardinality::ManyToOne().ToString(), "[m:1]");
+  EXPECT_EQ(Cardinality::ManyToMany().ToString(), "[m:n]");
+  EXPECT_EQ(Cardinality::ManyToOne().Mandatory().ToString(), "[md_m:1]");
+}
+
+TEST(CardinalityTest, ParseAcceptsBothManySpellings) {
+  EXPECT_EQ(ValueOrDie(Cardinality::Parse("[m:1]")),
+            Cardinality::ManyToOne());
+  EXPECT_EQ(ValueOrDie(Cardinality::Parse("[n:1]")),
+            Cardinality::ManyToOne());
+  EXPECT_EQ(ValueOrDie(Cardinality::Parse("[1:n]")),
+            Cardinality::OneToMany());
+  EXPECT_EQ(ValueOrDie(Cardinality::Parse("[md_n:1]")),
+            Cardinality::ManyToOne().Mandatory());
+  EXPECT_FALSE(Cardinality::Parse("m:1").ok());
+  EXPECT_FALSE(Cardinality::Parse("[x:1]").ok());
+  EXPECT_FALSE(Cardinality::Parse("[1-1]").ok());
+}
+
+TEST(CardinalityTest, PaperLcsExamples) {
+  // "[n:m] is lcs([1:m],[n:1]) while [n:1] is lcs([1:1],[n:1])" (Fig. 13).
+  EXPECT_EQ(Cardinality::LeastCommonSuper(Cardinality::OneToMany(),
+                                          Cardinality::ManyToOne()),
+            Cardinality::ManyToMany());
+  EXPECT_EQ(Cardinality::LeastCommonSuper(Cardinality::OneToOne(),
+                                          Cardinality::ManyToOne()),
+            Cardinality::ManyToOne());
+}
+
+TEST(CardinalityTest, LcsIsIdempotentCommutativeAssociative) {
+  const Cardinality all[] = {
+      Cardinality::OneToOne(),  Cardinality::OneToMany(),
+      Cardinality::ManyToOne(), Cardinality::ManyToMany(),
+      Cardinality::OneToOne().Mandatory(),
+      Cardinality::ManyToOne().Mandatory()};
+  for (const Cardinality& a : all) {
+    EXPECT_EQ(Cardinality::LeastCommonSuper(a, a), a)
+        << a.ToString();  // a node is its own lcs
+    for (const Cardinality& b : all) {
+      EXPECT_EQ(Cardinality::LeastCommonSuper(a, b),
+                Cardinality::LeastCommonSuper(b, a));
+      for (const Cardinality& c : all) {
+        EXPECT_EQ(Cardinality::LeastCommonSuper(
+                      Cardinality::LeastCommonSuper(a, b), c),
+                  Cardinality::LeastCommonSuper(
+                      a, Cardinality::LeastCommonSuper(b, c)));
+      }
+    }
+  }
+}
+
+TEST(CardinalityTest, LcsIsLeastUpperBound) {
+  const Cardinality all[] = {
+      Cardinality::OneToOne(),  Cardinality::OneToMany(),
+      Cardinality::ManyToOne(), Cardinality::ManyToMany(),
+      Cardinality::OneToOne().Mandatory(),
+      Cardinality::OneToMany().Mandatory(),
+      Cardinality::ManyToOne().Mandatory(),
+      Cardinality::ManyToMany().Mandatory()};
+  for (const Cardinality& a : all) {
+    for (const Cardinality& b : all) {
+      const Cardinality lcs = Cardinality::LeastCommonSuper(a, b);
+      // Upper bound.
+      EXPECT_TRUE(a.Implies(lcs)) << a.ToString() << " vs " << lcs.ToString();
+      EXPECT_TRUE(b.Implies(lcs));
+      // Least: every other common upper bound is above the lcs.
+      for (const Cardinality& u : all) {
+        if (a.Implies(u) && b.Implies(u)) {
+          EXPECT_TRUE(lcs.Implies(u))
+              << "lcs(" << a.ToString() << "," << b.ToString() << ")="
+              << lcs.ToString() << " not below " << u.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(CardinalityTest, ImpliesIsPartialOrder) {
+  // [1:1] is the bottom; [m:n] the top (Fig. 13(a)).
+  EXPECT_TRUE(Cardinality::OneToOne().Implies(Cardinality::ManyToMany()));
+  EXPECT_TRUE(Cardinality::OneToOne().Implies(Cardinality::OneToMany()));
+  EXPECT_TRUE(Cardinality::OneToOne().Implies(Cardinality::ManyToOne()));
+  EXPECT_FALSE(Cardinality::ManyToMany().Implies(Cardinality::OneToOne()));
+  // [1:n] and [m:1] are incomparable.
+  EXPECT_FALSE(Cardinality::OneToMany().Implies(Cardinality::ManyToOne()));
+  EXPECT_FALSE(Cardinality::ManyToOne().Implies(Cardinality::OneToMany()));
+  // Mandatory variants sit below their base nodes (Fig. 13(b)).
+  EXPECT_TRUE(Cardinality::ManyToOne().Mandatory().Implies(
+      Cardinality::ManyToOne()));
+  EXPECT_FALSE(
+      Cardinality::ManyToOne().Implies(Cardinality::ManyToOne().Mandatory()));
+}
+
+TEST(CardinalityTest, RelaxingMandatoryConflict) {
+  // Integrating a mandatory with a non-mandatory constraint relaxes the
+  // mandatory marker first (least loosening).
+  EXPECT_EQ(Cardinality::LeastCommonSuper(
+                Cardinality::ManyToOne().Mandatory(),
+                Cardinality::ManyToOne()),
+            Cardinality::ManyToOne());
+  EXPECT_EQ(Cardinality::LeastCommonSuper(
+                Cardinality::OneToOne().Mandatory(),
+                Cardinality::ManyToOne().Mandatory()),
+            Cardinality::ManyToOne().Mandatory());
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,129 @@
+#include "model/instance_store.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+class InstanceStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = std::make_unique<Schema>("S1");
+    ClassDef person("person");
+    person.AddAttribute("name", ValueKind::kString)
+        .AddSetAttribute("interests", ValueKind::kString);
+    ASSERT_OK(schema_->AddClass(std::move(person)).status());
+    ClassDef student("student");
+    student.AddAttribute("name", ValueKind::kString);
+    ASSERT_OK(schema_->AddClass(std::move(student)).status());
+    ASSERT_OK(schema_->AddIsA("student", "person"));
+    ASSERT_OK(schema_->Finalize());
+    store_ = std::make_unique<InstanceStore>(schema_.get());
+    store_->SetOidContext("agent1", "ooint", "testdb");
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<InstanceStore> store_;
+};
+
+TEST_F(InstanceStoreTest, NewObjectAssignsFederationOids) {
+  Object* p = ValueOrDie(store_->NewObject("person"));
+  EXPECT_EQ(p->oid().ToString(), "agent1.ooint.testdb.person.1");
+  Object* q = ValueOrDie(store_->NewObject("person"));
+  EXPECT_EQ(q->oid().ToString(), "agent1.ooint.testdb.person.2");
+  EXPECT_EQ(store_->size(), 2u);
+}
+
+TEST_F(InstanceStoreTest, NewObjectRejectsUnknownClass) {
+  EXPECT_FALSE(store_->NewObject("ghost").ok());
+}
+
+TEST_F(InstanceStoreTest, FindByOid) {
+  Object* p = ValueOrDie(store_->NewObject("person"));
+  p->Set("name", Value::String("ann"));
+  const Oid oid = p->oid();
+  const Object* found = store_->Find(oid);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->Get("name"), Value::String("ann"));
+  EXPECT_EQ(store_->Find(Oid("x", "y", "z", "r", 9)), nullptr);
+}
+
+TEST_F(InstanceStoreTest, ExtentIncludesSubclasses) {
+  ValueOrDie(store_->NewObject("person"));
+  ValueOrDie(store_->NewObject("student"));
+  const ClassId person = schema_->FindClass("person");
+  const ClassId student = schema_->FindClass("student");
+  EXPECT_EQ(store_->DirectExtent(person).size(), 1u);
+  // {<o : person>} includes the students (typing O-term semantics).
+  EXPECT_EQ(store_->Extent(person).size(), 2u);
+  EXPECT_EQ(store_->Extent(student).size(), 1u);
+  EXPECT_EQ(ValueOrDie(store_->Extent("person")).size(), 2u);
+  EXPECT_FALSE(store_->Extent("ghost").ok());
+}
+
+TEST_F(InstanceStoreTest, ValueSetIsLargestNonNullSubset) {
+  Object* a = ValueOrDie(store_->NewObject("person"));
+  a->Set("name", Value::String("ann"));
+  Object* b = ValueOrDie(store_->NewObject("person"));
+  b->Set("name", Value::String("bob"));
+  Object* c = ValueOrDie(store_->NewObject("person"));
+  (void)c;  // name unset: contributes nothing
+  Object* d = ValueOrDie(store_->NewObject("student"));
+  d->Set("name", Value::String("ann"));  // duplicate collapses
+  const std::vector<Value> values =
+      store_->ValueSet(schema_->FindClass("person"), "name");
+  EXPECT_EQ(values.size(), 2u);
+}
+
+TEST_F(InstanceStoreTest, ValueSetFlattensMultiValuedAttributes) {
+  Object* a = ValueOrDie(store_->NewObject("person"));
+  a->Set("interests",
+         Value::Set({Value::String("go"), Value::String("chess")}));
+  const std::vector<Value> values =
+      store_->ValueSet(schema_->FindClass("person"), "interests");
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], Value::String("chess"));
+}
+
+TEST_F(InstanceStoreTest, FindByAttribute) {
+  Object* a = ValueOrDie(store_->NewObject("person"));
+  a->Set("name", Value::String("ann"));
+  Object* b = ValueOrDie(store_->NewObject("student"));
+  b->Set("name", Value::String("ann"));
+  const std::vector<Oid> hits = store_->FindByAttribute(
+      schema_->FindClass("person"), "name", Value::String("ann"));
+  EXPECT_EQ(hits.size(), 2u);  // subclass instances included
+}
+
+TEST_F(InstanceStoreTest, InsertRejectsDuplicateOid) {
+  Object* a = ValueOrDie(store_->NewObject("person"));
+  Object copy(a->oid(), a->class_id());
+  EXPECT_EQ(store_->Insert(std::move(copy)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(InstanceStoreTest, InsertRejectsInvalidClassId) {
+  Object bogus(Oid("a", "b", "c", "d", 1), 99);
+  EXPECT_EQ(store_->Insert(std::move(bogus)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectTest, AttributeAndAggAccess) {
+  Object o(Oid("a", "b", "c", "person", 1), 0);
+  o.Set("name", Value::String("ann"));
+  o.AddAggTarget("works_in", Oid("a", "b", "c", "dept", 1));
+  o.AddAggTarget("works_in", Oid("a", "b", "c", "dept", 2));
+  EXPECT_TRUE(o.Has("name"));
+  EXPECT_FALSE(o.Has("ghost"));
+  EXPECT_TRUE(o.Get("ghost").is_null());
+  EXPECT_EQ(o.AggTargets("works_in").size(), 2u);
+  EXPECT_TRUE(o.AggTargets("ghost").empty());
+  EXPECT_NE(o.ToString().find("name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ooint

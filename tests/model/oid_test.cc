@@ -1,0 +1,56 @@
+#include "model/oid.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(OidTest, PaperFormatRoundTrip) {
+  // The example OID from Section 3 of the paper.
+  const std::string text = "FSM-agent1.informix.PatientDB.patient-records.5";
+  const Oid oid = ValueOrDie(Oid::Parse(text));
+  EXPECT_EQ(oid.agent(), "FSM-agent1");
+  EXPECT_EQ(oid.dbms(), "informix");
+  EXPECT_EQ(oid.database(), "PatientDB");
+  EXPECT_EQ(oid.relation(), "patient-records");
+  EXPECT_EQ(oid.number(), 5u);
+  EXPECT_EQ(oid.ToString(), text);
+}
+
+TEST(OidTest, AttributePrefix) {
+  Oid oid("agent1", "informix", "PatientDB", "patient-records", 5);
+  EXPECT_EQ(oid.AttributePrefix("name"),
+            "agent1.informix.PatientDB.patient-records.name");
+}
+
+TEST(OidTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Oid::Parse("only.three.parts").ok());
+  EXPECT_FALSE(Oid::Parse("a.b.c.d.notanumber").ok());
+  EXPECT_FALSE(Oid::Parse("a.b.c.d.5x").ok());
+  EXPECT_FALSE(Oid::Parse(".b.c.d.5").ok());
+}
+
+TEST(OidTest, EmptyAndEquality) {
+  Oid empty;
+  EXPECT_TRUE(empty.empty());
+  Oid a("x", "y", "z", "r", 1);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, Oid("x", "y", "z", "r", 1));
+  EXPECT_NE(a, Oid("x", "y", "z", "r", 2));
+}
+
+TEST(OidTest, TotalOrderForMapKeys) {
+  Oid a("a", "d", "db", "r", 1);
+  Oid b("a", "d", "db", "r", 2);
+  Oid c("b", "d", "db", "r", 0);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);  // agent-major ordering
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,135 @@
+#include "model/schema_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+constexpr const char* kUniversityText = R"(
+# the paper's S1 (Fig. 18), in the schema-definition language
+schema S1 {
+  class person {
+    ssn#: string;
+    full_name: string;
+    interests: {string};      # multi-valued
+    city: string;
+  }
+  class student {
+    ssn#: string;
+  }
+  class lecturer {
+    ssn#: string;
+    course: string;
+  }
+  is_a(student, person);
+  is_a(lecturer, person);
+}
+)";
+
+TEST(SchemaParserTest, ParsesClassesAttributesAndLinks) {
+  const Schema schema = ValueOrDie(SchemaParser::Parse(kUniversityText));
+  EXPECT_EQ(schema.name(), "S1");
+  EXPECT_TRUE(schema.finalized());
+  EXPECT_EQ(schema.NumClasses(), 3u);
+  const ClassDef& person = schema.class_def(schema.FindClass("person"));
+  const Attribute* interests = person.FindAttribute("interests");
+  ASSERT_NE(interests, nullptr);
+  EXPECT_TRUE(interests->multi_valued);
+  EXPECT_EQ(interests->type.scalar, ValueKind::kString);
+  EXPECT_TRUE(schema.IsSubclassOf(schema.FindClass("lecturer"),
+                                  schema.FindClass("person")));
+}
+
+TEST(SchemaParserTest, ParsesClassTypedAndAggregationMembers) {
+  const Schema schema = ValueOrDie(SchemaParser::Parse(R"(
+schema S1 {
+  class person_info { name: string; birthday: date; }
+  class publisher { pname: string; }
+  class Book {
+    ISBN: string;
+    author: class person_info;
+    published_by: agg publisher [m:1];
+    reviewed_by: agg person_info;
+  }
+}
+)"));
+  const ClassDef& book = schema.class_def(schema.FindClass("Book"));
+  const Attribute* author = book.FindAttribute("author");
+  ASSERT_NE(author, nullptr);
+  EXPECT_TRUE(author->type.is_class());
+  EXPECT_EQ(author->type.class_id, schema.FindClass("person_info"));
+  const AggregationFunction* published = book.FindAggregation("published_by");
+  ASSERT_NE(published, nullptr);
+  EXPECT_EQ(published->cardinality, Cardinality::ManyToOne());
+  // Aggregations default to [m:1] when no constraint is given.
+  EXPECT_EQ(book.FindAggregation("reviewed_by")->cardinality,
+            Cardinality::ManyToOne());
+}
+
+TEST(SchemaParserTest, ParsesMandatoryCardinality) {
+  const Schema schema = ValueOrDie(SchemaParser::Parse(R"(
+schema S1 {
+  class a {}
+  class b { f: agg a [md_m:1]; }
+}
+)"));
+  EXPECT_EQ(schema.class_def(schema.FindClass("b"))
+                .FindAggregation("f")
+                ->cardinality,
+            Cardinality::ManyToOne().Mandatory());
+}
+
+TEST(SchemaParserTest, AllScalarTypes) {
+  const Schema schema = ValueOrDie(SchemaParser::Parse(R"(
+schema S1 {
+  class x {
+    a: boolean; b: integer; c: real; d: character; e: string; f: date;
+  }
+}
+)"));
+  const ClassDef& x = schema.class_def(0);
+  EXPECT_EQ(x.FindAttribute("a")->type.scalar, ValueKind::kBoolean);
+  EXPECT_EQ(x.FindAttribute("f")->type.scalar, ValueKind::kDate);
+}
+
+TEST(SchemaParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(SchemaParser::Parse("class x {}").ok());  // no schema header
+  EXPECT_FALSE(SchemaParser::Parse("schema S {").ok());
+  EXPECT_FALSE(
+      SchemaParser::Parse("schema S { class x { a: bogus_type; } }").ok());
+  EXPECT_FALSE(
+      SchemaParser::Parse("schema S { class x {} } trailing").ok());
+  EXPECT_FALSE(SchemaParser::Parse(
+                   "schema S { class x {} is_a(x, ghost); }").ok());
+  EXPECT_FALSE(SchemaParser::Parse(
+                   "schema S { class b { f: agg ghost; } }").ok());
+}
+
+TEST(SchemaParserTest, RoundTripsThroughPrinter) {
+  const Schema original = ValueOrDie(SchemaParser::Parse(kUniversityText));
+  const std::string text = SchemaToText(original);
+  const Schema reparsed = ValueOrDie(SchemaParser::Parse(text));
+  EXPECT_EQ(SchemaToText(reparsed), text);
+  EXPECT_EQ(reparsed.NumClasses(), original.NumClasses());
+  EXPECT_EQ(reparsed.NumIsAEdges(), original.NumIsAEdges());
+}
+
+TEST(SchemaParserTest, RoundTripsTheFixtures) {
+  for (auto maker : {&MakeUniversityFixture, &MakeGenealogyFixture,
+                     &MakeBibliographyFixture, &MakeShowcaseFixture}) {
+    const Fixture fixture = ValueOrDie(maker());
+    for (const Schema* schema : {&fixture.s1, &fixture.s2}) {
+      const std::string text = SchemaToText(*schema);
+      const Schema reparsed = ValueOrDie(SchemaParser::Parse(text));
+      EXPECT_EQ(SchemaToText(reparsed), text);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,120 @@
+#include "model/value.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, ScalarConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Boolean(true).AsBoolean(), true);
+  EXPECT_EQ(Value::Integer(-7).AsInteger(), -7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Character('q').AsCharacter(), 'q');
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  const Date d{1999, 12, 31};
+  EXPECT_EQ(Value::OfDate(d).AsDate(), d);
+}
+
+TEST(ValueTest, OidValue) {
+  Oid oid("a", "d", "db", "rel", 3);
+  EXPECT_EQ(Value::OfOid(oid).AsOid(), oid);
+}
+
+TEST(ValueTest, SetValueAndMembership) {
+  Value set = Value::Set({Value::Integer(1), Value::Integer(2)});
+  EXPECT_EQ(set.kind(), ValueKind::kSet);
+  EXPECT_EQ(set.AsSet().size(), 2u);
+  EXPECT_TRUE(set.SetContains(Value::Integer(2)));
+  EXPECT_FALSE(set.SetContains(Value::Integer(3)));
+  EXPECT_FALSE(Value::Integer(1).SetContains(Value::Integer(1)));
+}
+
+TEST(ValueTest, EqualityIsKindAndPayload) {
+  EXPECT_EQ(Value::Integer(1), Value::Integer(1));
+  EXPECT_NE(Value::Integer(1), Value::Integer(2));
+  EXPECT_NE(Value::Integer(1), Value::Real(1.0));  // kinds differ
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Set({Value::Integer(1)}), Value::Set({Value::Integer(1)}));
+}
+
+TEST(ValueTest, TotalOrderIsKindMajor) {
+  EXPECT_LT(Value::Null(), Value::Boolean(false));
+  EXPECT_LT(Value::Integer(5), Value::String("a"));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_LT(Value::Integer(1), Value::Integer(2));
+}
+
+TEST(ValueTest, AsNumberCoercesIntegerAndReal) {
+  EXPECT_DOUBLE_EQ(ValueOrDie(Value::Integer(4).AsNumber()), 4.0);
+  EXPECT_DOUBLE_EQ(ValueOrDie(Value::Real(4.5).AsNumber()), 4.5);
+  EXPECT_FALSE(Value::String("4").AsNumber().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Integer(3).ToString(), "3");
+  EXPECT_EQ(Value::String("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value::Boolean(false).ToString(), "false");
+  EXPECT_EQ(Value::Set({Value::Integer(1), Value::Integer(2)}).ToString(),
+            "{1, 2}");
+  EXPECT_EQ(Value::OfDate({2000, 1, 5}).ToString(), "2000-01-05");
+}
+
+TEST(DateTest, ParseRoundTrip) {
+  const Date d = ValueOrDie(Date::Parse("1999-04-01"));
+  EXPECT_EQ(d.year, 1999);
+  EXPECT_EQ(d.month, 4);
+  EXPECT_EQ(d.day, 1);
+  EXPECT_EQ(d.ToString(), "1999-04-01");
+  EXPECT_FALSE(Date::Parse("1999-13-01").ok());
+  EXPECT_FALSE(Date::Parse("1999-04").ok());
+  EXPECT_FALSE(Date::Parse("garbage").ok());
+}
+
+TEST(CompareTest, EqualityAcrossOps) {
+  EXPECT_TRUE(ValueOrDie(Compare(Value::Integer(1), CompareOp::kEq,
+                                 Value::Integer(1))));
+  EXPECT_TRUE(ValueOrDie(Compare(Value::Integer(1), CompareOp::kNe,
+                                 Value::Integer(2))));
+  // Eq across kinds is false, not an error.
+  EXPECT_FALSE(ValueOrDie(Compare(Value::Integer(1), CompareOp::kEq,
+                                  Value::String("1"))));
+}
+
+TEST(CompareTest, NumericMixingForInequalities) {
+  EXPECT_TRUE(ValueOrDie(Compare(Value::Integer(1), CompareOp::kLt,
+                                 Value::Real(1.5))));
+  EXPECT_TRUE(ValueOrDie(Compare(Value::Real(2.0), CompareOp::kGe,
+                                 Value::Integer(2))));
+}
+
+TEST(CompareTest, OrderingMismatchedKindsIsError) {
+  EXPECT_FALSE(Compare(Value::Integer(1), CompareOp::kLt,
+                       Value::String("2")).ok());
+}
+
+TEST(CompareTest, StringAndDateOrdering) {
+  EXPECT_TRUE(ValueOrDie(Compare(Value::String("a"), CompareOp::kLt,
+                                 Value::String("b"))));
+  EXPECT_TRUE(ValueOrDie(Compare(Value::OfDate({1999, 1, 1}), CompareOp::kLe,
+                                 Value::OfDate({1999, 1, 2}))));
+}
+
+TEST(CompareTest, OpNames) {
+  EXPECT_STREQ(CompareOpName(CompareOp::kEq), "==");
+  EXPECT_STREQ(CompareOpName(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kNe), "!=");
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,163 @@
+#include "rules/assertion_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+Assertion ParseOne(const std::string& text) {
+  return ValueOrDie(AssertionParser::ParseOne(text));
+}
+
+TEST(AssertionGraphTest, RejectsNonDerivations) {
+  const Assertion a = ParseOne("assert S1.a == S2.b;");
+  EXPECT_FALSE(AssertionGraph::Build(a).ok());
+}
+
+TEST(AssertionGraphTest, Example3GenealogyGraph) {
+  // Fig. 11(a): three connected subgraphs marked x1, x2, x3.
+  const Assertion a = ParseOne(R"(
+assert S1(parent, brother) -> S2.uncle {
+  value(S1): S1.parent.Pssn# in S1.brother.brothers;
+  attr: S1.brother.Bssn# == S2.uncle.Ussn#;
+  attr: S1.parent.children >= S2.uncle.niece_nephew;
+})");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  EXPECT_EQ(g.NumNodes(), 6u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  ASSERT_EQ(g.components().size(), 3u);
+  // Pssn# and brothers share a component (the x1 of Example 9).
+  EXPECT_EQ(g.VariableOf(Path::Attr("S1", "parent", "Pssn#")),
+            g.VariableOf(Path::Attr("S1", "brother", "brothers")));
+  // Bssn# ≡ Ussn# share one.
+  EXPECT_EQ(g.VariableOf(Path::Attr("S1", "brother", "Bssn#")),
+            g.VariableOf(Path::Attr("S2", "uncle", "Ussn#")));
+  // children ⊇ niece_nephew share one.
+  EXPECT_EQ(g.VariableOf(Path::Attr("S1", "parent", "children")),
+            g.VariableOf(Path::Attr("S2", "uncle", "niece_nephew")));
+  // The three components carry distinct variables.
+  EXPECT_NE(g.VariableOf(Path::Attr("S1", "parent", "Pssn#")),
+            g.VariableOf(Path::Attr("S1", "brother", "Bssn#")));
+  EXPECT_TRUE(g.hyperedges().empty());
+}
+
+TEST(AssertionGraphTest, Fig11bCarGraphWithHyperedge) {
+  const Assertion a = ParseOne(R"(
+assert S2.car2 -> S1.car1 {
+  attr: S2.car2.time == S1.car1.time;
+  attr: S2.car2.car-name_1 <= S1.car1.price with S1.car1.car-name == car-name_1;
+})");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  // Nodes: the two time attrs, car-name_1, price, and the hyperedge
+  // node car-name (an isolated connected subgraph, marked y3).
+  EXPECT_EQ(g.NumNodes(), 5u);
+  ASSERT_EQ(g.components().size(), 3u);
+  EXPECT_EQ(g.VariableOf(Path::Attr("S2", "car2", "time")),
+            g.VariableOf(Path::Attr("S1", "car1", "time")));
+  EXPECT_EQ(g.VariableOf(Path::Attr("S2", "car2", "car-name_1")),
+            g.VariableOf(Path::Attr("S1", "car1", "price")));
+  // The isolated car-name node has its own variable.
+  const std::string car_name_var =
+      g.VariableOf(Path::Attr("S1", "car1", "car-name"));
+  EXPECT_FALSE(car_name_var.empty());
+  EXPECT_NE(car_name_var, g.VariableOf(Path::Attr("S1", "car1", "price")));
+  ASSERT_EQ(g.hyperedges().size(), 1u);
+  EXPECT_EQ(g.hyperedges()[0].predicate.constant,
+            Value::String("car-name_1"));
+  ASSERT_EQ(g.hyperedges()[0].nodes.size(), 1u);
+  EXPECT_EQ(g.hyperedges()[0].nodes[0].ToString(), "S1.car1.car-name");
+}
+
+TEST(AssertionGraphTest, DisjointValueRelsDoNotShareVariables) {
+  const Assertion a = ParseOne(R"(
+assert S1(a, b) -> S2.c {
+  value(S1): S1.a.x != S1.b.y;
+  attr: S1.a.k == S2.c.k;
+})");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  EXPECT_NE(g.VariableOf(Path::Attr("S1", "a", "x")),
+            g.VariableOf(Path::Attr("S1", "b", "y")));
+}
+
+TEST(AssertionGraphTest, SupersetAndOverlapValueRelsShareVariables) {
+  // ⊇ and ∩ value correspondences also identify the attributes' values
+  // (like Example 9's children ⊇ niece_nephew at the attribute level).
+  const Assertion a = ParseOne(R"(
+assert S1(a, b) -> S2.c {
+  value(S1): S1.a.xs >= S1.b.y;
+  value(S1): S1.a.zs ~ S1.b.w;
+  attr: S1.a.k == S2.c.k;
+})");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  EXPECT_EQ(g.VariableOf(Path::Attr("S1", "a", "xs")),
+            g.VariableOf(Path::Attr("S1", "b", "y")));
+  EXPECT_EQ(g.VariableOf(Path::Attr("S1", "a", "zs")),
+            g.VariableOf(Path::Attr("S1", "b", "w")));
+  EXPECT_NE(g.VariableOf(Path::Attr("S1", "a", "xs")),
+            g.VariableOf(Path::Attr("S1", "a", "zs")));
+}
+
+TEST(AssertionGraphTest, DisjointAndComposedAttrCorrsDoNotShare) {
+  const Assertion a = ParseOne(R"(
+assert S1.a -> S2.c {
+  attr: S1.a.p ! S2.c.q;
+  attr: S1.a.r alpha(combined) S2.c.s;
+  attr: S1.a.k == S2.c.k;
+})");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  EXPECT_NE(g.VariableOf(Path::Attr("S1", "a", "p")),
+            g.VariableOf(Path::Attr("S2", "c", "q")));
+  EXPECT_NE(g.VariableOf(Path::Attr("S1", "a", "r")),
+            g.VariableOf(Path::Attr("S2", "c", "s")));
+}
+
+TEST(AssertionGraphTest, TransitiveSharingMergesComponents) {
+  // x = y and y = z pull all three paths into one component.
+  const Assertion a = ParseOne(R"(
+assert S1(a, b) -> S2.c {
+  value(S1): S1.a.x = S1.b.y;
+  attr: S1.b.y == S2.c.z;
+})");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  EXPECT_EQ(g.components().size(), 1u);
+  EXPECT_EQ(g.VariableOf(Path::Attr("S1", "a", "x")),
+            g.VariableOf(Path::Attr("S2", "c", "z")));
+}
+
+TEST(AssertionGraphTest, NestedPathsAreDistinctNodes) {
+  const Assertion a = ParseOne(R"(
+assert S1.Book -> S2.Author {
+  attr: S1.Book.ISBN == S2.Author.book.ISBN;
+  attr: S1.Book.title == S2.Author.book.title;
+})");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.components().size(), 2u);
+  EXPECT_EQ(g.VariableOf(Path::Attr("S1", "Book", "ISBN")),
+            g.VariableOf(Path("S2", "Author", {"book", "ISBN"})));
+}
+
+TEST(AssertionGraphTest, VariableOfUnknownPathIsEmpty) {
+  const Assertion a = ParseOne("assert S1.a -> S2.b;");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  EXPECT_EQ(g.VariableOf(Path::Attr("S1", "a", "ghost")), "");
+}
+
+TEST(AssertionGraphTest, ToStringListsComponentsAndHyperedges) {
+  const Assertion a = ParseOne(R"(
+assert S2.car2 -> S1.car1 {
+  attr: S2.car2.car-name_1 <= S1.car1.price with S1.car1.car-name == car-name_1;
+})");
+  const AssertionGraph g = ValueOrDie(AssertionGraph::Build(a));
+  const std::string dump = g.ToString();
+  EXPECT_NE(dump.find("x1"), std::string::npos);
+  EXPECT_NE(dump.find("he("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ooint

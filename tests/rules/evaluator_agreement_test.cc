@@ -1,0 +1,133 @@
+// Property suite: the bottom-up and top-down evaluators agree on every
+// positive derivation workload (sweeping the car-pivot column count and
+// the genealogy family count).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "rules/evaluator.h"
+#include "rules/rule_generator.h"
+#include "rules/topdown.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+std::set<std::string> AttrKeys(const std::vector<Fact>& facts) {
+  std::set<std::string> out;
+  for (const Fact& f : facts) out.insert(f.AttrKey());
+  return out;
+}
+
+std::set<std::string> AttrKeys(const std::vector<const Fact*>& facts) {
+  std::set<std::string> out;
+  for (const Fact* f : facts) out.insert(f->AttrKey());
+  return out;
+}
+
+class CarPivotAgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CarPivotAgreementTest, BothEvaluatorsProduceTheSamePivot) {
+  const size_t columns = GetParam();
+  Fixture fixture = ValueOrDie(MakeCarFixture(columns));
+  InstanceStore rows(&fixture.s1);
+  InstanceStore cols(&fixture.s2);
+  for (int month = 0; month < 3; ++month) {
+    Object* snapshot = ValueOrDie(cols.NewObject("car2"));
+    snapshot->Set("time", Value::String("m" + std::to_string(month)));
+    for (size_t i = 1; i <= columns; ++i) {
+      snapshot->Set("car-name_" + std::to_string(i),
+                    Value::Integer(static_cast<int>(1000 * i + month)));
+    }
+  }
+
+  const AssertionSet assertions =
+      ValueOrDie(AssertionParser::Parse(fixture.assertion_text));
+  RuleGenerator generator;
+  std::vector<Rule> rules;
+  for (const Assertion* derivation : assertions.AllDerivations()) {
+    for (Rule& rule : ValueOrDie(generator.Generate(*derivation))) {
+      rules.push_back(std::move(rule));
+    }
+  }
+  ASSERT_EQ(rules.size(), columns);
+
+  Evaluator bottom_up;
+  bottom_up.AddSource("S1", &rows);
+  bottom_up.AddSource("S2", &cols);
+  ASSERT_OK(bottom_up.BindConcept("IS(S1.car1)", "S1", "car1"));
+  ASSERT_OK(bottom_up.BindConcept("IS(S2.car2)", "S2", "car2"));
+  for (const Rule& rule : rules) ASSERT_OK(bottom_up.AddRule(rule));
+  ASSERT_OK(bottom_up.Evaluate());
+
+  TopDownEvaluator top_down;
+  top_down.AddSource("S1", &rows);
+  top_down.AddSource("S2", &cols);
+  ASSERT_OK(top_down.BindConcept("IS(S1.car1)", "S1", "car1"));
+  ASSERT_OK(top_down.BindConcept("IS(S2.car2)", "S2", "car2"));
+  for (const Rule& rule : rules) ASSERT_OK(top_down.AddRule(rule));
+
+  const std::set<std::string> bu =
+      AttrKeys(bottom_up.FactsOf("IS(S1.car1)"));
+  const std::set<std::string> td =
+      AttrKeys(ValueOrDie(top_down.Evaluate("IS(S1.car1)")));
+  EXPECT_EQ(bu, td);
+  // 3 months x columns pivoted rows.
+  EXPECT_EQ(bu.size(), 3 * columns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Columns, CarPivotAgreementTest,
+                         ::testing::Values(1, 2, 4, 8, 16),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "cols" + std::to_string(info.param);
+                         });
+
+class GenealogyAgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GenealogyAgreementTest, AgreeAcrossFamilyCounts) {
+  const size_t families = GetParam();
+  Fixture fixture = ValueOrDie(MakeGenealogyFixture());
+  InstanceStore s1(&fixture.s1);
+  InstanceStore s2(&fixture.s2);
+  ASSERT_OK(PopulateGenealogy(&s1, &s2, families));
+
+  const AssertionSet assertions =
+      ValueOrDie(AssertionParser::Parse(fixture.assertion_text));
+  RuleGenerator generator;
+  const std::vector<Rule> rules =
+      ValueOrDie(generator.Generate(*assertions.AllDerivations().front()));
+
+  Evaluator bottom_up;
+  bottom_up.AddSource("S1", &s1);
+  bottom_up.AddSource("S2", &s2);
+  ASSERT_OK(bottom_up.BindConcept("IS(S1.parent)", "S1", "parent"));
+  ASSERT_OK(bottom_up.BindConcept("IS(S1.brother)", "S1", "brother"));
+  ASSERT_OK(bottom_up.BindConcept("IS(S2.uncle)", "S2", "uncle"));
+  for (const Rule& rule : rules) ASSERT_OK(bottom_up.AddRule(rule));
+  ASSERT_OK(bottom_up.Evaluate());
+
+  TopDownEvaluator top_down;
+  top_down.AddSource("S1", &s1);
+  top_down.AddSource("S2", &s2);
+  ASSERT_OK(top_down.BindConcept("IS(S1.parent)", "S1", "parent"));
+  ASSERT_OK(top_down.BindConcept("IS(S1.brother)", "S1", "brother"));
+  ASSERT_OK(top_down.BindConcept("IS(S2.uncle)", "S2", "uncle"));
+  for (const Rule& rule : rules) ASSERT_OK(top_down.AddRule(rule));
+
+  EXPECT_EQ(AttrKeys(bottom_up.FactsOf("IS(S2.uncle)")),
+            AttrKeys(ValueOrDie(top_down.Evaluate("IS(S2.uncle)"))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GenealogyAgreementTest,
+                         ::testing::Values(0, 1, 5, 25),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "f" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,168 @@
+// Edge-case coverage for the evaluator: negated predicates, equality
+// binding propagation, multi-target aggregation navigation, and query
+// object projection.
+
+#include <gtest/gtest.h>
+
+#include "rules/evaluator.h"
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+OTerm Membership(const std::string& class_name, const std::string& var) {
+  OTerm t;
+  t.object = TermArg::Variable(var);
+  t.class_name = class_name;
+  return t;
+}
+
+Rule PredFact(const std::string& name, std::vector<Value> row) {
+  Rule r;
+  std::vector<TermArg> args;
+  args.reserve(row.size());
+  for (Value& v : row) args.push_back(TermArg::Constant(std::move(v)));
+  r.head.push_back(Literal::OfPredicate(name, std::move(args)));
+  return r;
+}
+
+TEST(EvaluatorEdgeTest, NegatedPredicateLiterals) {
+  Evaluator evaluator;
+  ASSERT_OK(evaluator.AddRule(PredFact("p", {Value::Integer(1)})));
+  ASSERT_OK(evaluator.AddRule(PredFact("p", {Value::Integer(2)})));
+  ASSERT_OK(evaluator.AddRule(PredFact("blocked", {Value::Integer(2)})));
+  Rule rule;
+  rule.head.push_back(
+      Literal::OfPredicate("allowed", {TermArg::Variable("x")}));
+  rule.body.push_back(Literal::OfPredicate("p", {TermArg::Variable("x")}));
+  rule.body.push_back(Literal::OfPredicate(
+      "blocked", {TermArg::Variable("x")}, /*negated=*/true));
+  ASSERT_OK(evaluator.AddRule(std::move(rule)));
+  ASSERT_OK(evaluator.Evaluate());
+  ASSERT_EQ(evaluator.FactsOf("allowed").size(), 1u);
+  EXPECT_EQ(evaluator.FactsOf("allowed").front()->attrs.at("0"),
+            Value::Integer(1));
+}
+
+TEST(EvaluatorEdgeTest, EqualityBindsTheUnboundSide) {
+  // q(x, y) <= p(x), y = x: the comparison *binds* y.
+  Evaluator evaluator;
+  ASSERT_OK(evaluator.AddRule(PredFact("p", {Value::Integer(7)})));
+  Rule rule;
+  rule.head.push_back(Literal::OfPredicate(
+      "q", {TermArg::Variable("x"), TermArg::Variable("y")}));
+  rule.body.push_back(Literal::OfPredicate("p", {TermArg::Variable("x")}));
+  rule.body.push_back(Literal::OfCompare(
+      TermArg::Variable("y"), CompareOp::kEq, TermArg::Variable("x")));
+  ASSERT_OK(evaluator.AddRule(std::move(rule)));
+  ASSERT_OK(evaluator.Evaluate());
+  ASSERT_EQ(evaluator.FactsOf("q").size(), 1u);
+  EXPECT_EQ(evaluator.FactsOf("q").front()->attrs.at("1"),
+            Value::Integer(7));
+}
+
+TEST(EvaluatorEdgeTest, NegatedComparison) {
+  Evaluator evaluator;
+  ASSERT_OK(evaluator.AddRule(PredFact("p", {Value::Integer(1)})));
+  ASSERT_OK(evaluator.AddRule(PredFact("p", {Value::Integer(5)})));
+  Rule rule;
+  rule.head.push_back(
+      Literal::OfPredicate("small", {TermArg::Variable("x")}));
+  rule.body.push_back(Literal::OfPredicate("p", {TermArg::Variable("x")}));
+  Literal not_big = Literal::OfCompare(
+      TermArg::Variable("x"), CompareOp::kGt,
+      TermArg::Constant(Value::Integer(3)));
+  not_big.negated = true;
+  rule.body.push_back(std::move(not_big));
+  ASSERT_OK(evaluator.AddRule(std::move(rule)));
+  ASSERT_OK(evaluator.Evaluate());
+  ASSERT_EQ(evaluator.FactsOf("small").size(), 1u);
+  EXPECT_EQ(evaluator.FactsOf("small").front()->attrs.at("0"),
+            Value::Integer(1));
+}
+
+class MultiTargetAggTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = std::make_unique<Schema>("S1");
+    ClassDef article("article");
+    article.AddAttribute("title", ValueKind::kString)
+        .AddAggregation("cites", "article", Cardinality::ManyToMany());
+    ASSERT_OK(schema_->AddClass(std::move(article)).status());
+    ASSERT_OK(schema_->Finalize());
+    store_ = std::make_unique<InstanceStore>(schema_.get());
+    Object* a = ValueOrDie(store_->NewObject("article"));
+    a->Set("title", Value::String("A"));
+    Object* b = ValueOrDie(store_->NewObject("article"));
+    b->Set("title", Value::String("B"));
+    Object* c = ValueOrDie(store_->NewObject("article"));
+    c->Set("title", Value::String("C"));
+    // C cites both A and B: a multi-target aggregation.
+    c->AddAggTarget("cites", a->oid());
+    c->AddAggTarget("cites", b->oid());
+  }
+
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<InstanceStore> store_;
+};
+
+TEST_F(MultiTargetAggTest, SetValuedAggregationMatchesElementWise) {
+  // cited(x, y): x cites y — the *:n aggregation expands per target.
+  Evaluator evaluator;
+  evaluator.AddSource("S1", store_.get());
+  ASSERT_OK(evaluator.BindConcept("article", "S1", "article"));
+  Rule rule;
+  rule.head.push_back(Literal::OfPredicate(
+      "cited", {TermArg::Variable("x"), TermArg::Variable("y")}));
+  OTerm body = Membership("article", "o");
+  body.attrs.push_back({"title", false, TermArg::Variable("x")});
+  body.attrs.push_back({"cites", false, TermArg::Variable("y")});
+  rule.body.push_back(Literal::OfOTerm(body));
+  ASSERT_OK(evaluator.AddRule(std::move(rule)));
+  ASSERT_OK(evaluator.Evaluate());
+  EXPECT_EQ(evaluator.FactsOf("cited").size(), 2u);
+}
+
+TEST_F(MultiTargetAggTest, NestedDescriptorFollowsEachTarget) {
+  // citations by title: <o: article | title: x, cites: <title: y>>.
+  Evaluator evaluator;
+  evaluator.AddSource("S1", store_.get());
+  ASSERT_OK(evaluator.BindConcept("article", "S1", "article"));
+  Rule rule;
+  rule.head.push_back(Literal::OfPredicate(
+      "cites_title", {TermArg::Variable("x"), TermArg::Variable("y")}));
+  OTerm body = Membership("article", "o");
+  body.attrs.push_back({"title", false, TermArg::Variable("x")});
+  body.attrs.push_back(
+      {"cites", false,
+       TermArg::Nested({{"title", false, TermArg::Variable("y")}})});
+  rule.body.push_back(Literal::OfOTerm(body));
+  ASSERT_OK(evaluator.AddRule(std::move(rule)));
+  ASSERT_OK(evaluator.Evaluate());
+  const std::vector<const Fact*> facts = evaluator.FactsOf("cites_title");
+  ASSERT_EQ(facts.size(), 2u);
+  for (const Fact* fact : facts) {
+    EXPECT_EQ(fact->attrs.at("0"), Value::String("C"));
+  }
+}
+
+TEST_F(MultiTargetAggTest, QueryProjectsTheObjectPosition) {
+  Evaluator evaluator;
+  evaluator.AddSource("S1", store_.get());
+  ASSERT_OK(evaluator.BindConcept("article", "S1", "article"));
+  ASSERT_OK(evaluator.Evaluate());
+  OTerm pattern = Membership("article", "which");
+  pattern.attrs.push_back(
+      {"title", false, TermArg::Constant(Value::String("B"))});
+  const std::vector<Bindings> answers =
+      ValueOrDie(evaluator.Query(pattern));
+  ASSERT_EQ(answers.size(), 1u);
+  const Value& oid = answers.front().at("which");
+  ASSERT_EQ(oid.kind(), ValueKind::kOid);
+  EXPECT_EQ(oid.AsOid().relation(), "article");
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,151 @@
+// Fig. 9 — the S1 → S2 direction of Example 5's schematic discrepancy:
+// row-oriented car1(time, car-name, price) tuples populate the
+// column-oriented car2 class whose attribute *names* are car names.
+// This requires a rule with an attribute-name variable (Section 2:
+// "variables for ... attribute names appearing in an O-term"), which
+// the object model and evaluator support directly.
+
+#include <gtest/gtest.h>
+
+#include "rules/evaluator.h"
+
+#include "assertions/parser.h"
+#include "rules/rule_generator.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(Fig9SchematicTest, RowsPivotIntoNamedColumns) {
+  Fixture fixture = ValueOrDie(MakeCarFixture(2));
+  InstanceStore rows(&fixture.s1);
+  InstanceStore cols(&fixture.s2);
+
+  auto add_row = [&](const char* time, const char* car, int price) {
+    Object* row = ValueOrDie(rows.NewObject("car1"));
+    row->Set("time", Value::String(time))
+        .Set("car-name", Value::String(car))
+        .Set("price", Value::Integer(price));
+  };
+  add_row("January", "car-name_1", 20000);
+  add_row("January", "car-name_2", 30000);
+  add_row("February", "car-name_1", 21000);
+
+  // <_o: IS(S2.car2) | time: t, ?n: p>  <=
+  //     <o1: IS(S1.car1) | time: t, car-name: n, price: p>
+  // — the attribute name of the head descriptor is the *value* of the
+  // body's car-name attribute (Fig. 9's n-fold correspondence collapsed
+  // into one name-variable rule).
+  Rule rule;
+  OTerm head;
+  head.object = TermArg::Variable("_o");
+  head.class_name = "IS(S2.car2)";
+  head.attrs.push_back({"time", false, TermArg::Variable("t")});
+  head.attrs.push_back({"n", true, TermArg::Variable("p")});
+  OTerm body;
+  body.object = TermArg::Variable("o1");
+  body.class_name = "IS(S1.car1)";
+  body.attrs.push_back({"time", false, TermArg::Variable("t")});
+  body.attrs.push_back({"car-name", false, TermArg::Variable("n")});
+  body.attrs.push_back({"price", false, TermArg::Variable("p")});
+  rule.head.push_back(Literal::OfOTerm(head));
+  rule.body.push_back(Literal::OfOTerm(body));
+
+  Evaluator evaluator;
+  evaluator.AddSource("S1", &rows);
+  evaluator.AddSource("S2", &cols);
+  ASSERT_OK(evaluator.BindConcept("IS(S1.car1)", "S1", "car1"));
+  ASSERT_OK(evaluator.BindConcept("IS(S2.car2)", "S2", "car2"));
+  ASSERT_OK(evaluator.AddRule(std::move(rule)));
+  ASSERT_OK(evaluator.Evaluate());
+
+  const std::vector<const Fact*> pivoted =
+      evaluator.FactsOf("IS(S2.car2)");
+  ASSERT_EQ(pivoted.size(), 3u);
+  // Each derived fact carries the price under the attribute *named* by
+  // the row's car-name.
+  size_t january_car1 = 0;
+  for (const Fact* fact : pivoted) {
+    if (fact->attrs.at("time") == Value::String("January") &&
+        fact->attrs.count("car-name_1") != 0) {
+      EXPECT_EQ(fact->attrs.at("car-name_1"), Value::Integer(20000));
+      ++january_car1;
+    }
+  }
+  EXPECT_EQ(january_car1, 1u);
+}
+
+TEST(Fig9SchematicTest, Fig10RulesInvertTheFig9Pivot) {
+  // Columns -> rows via the generated Fig. 10 rules, then rows ->
+  // columns via the Fig. 9 name-variable rule: the original column
+  // values reappear in the derived column facts.
+  Fixture fixture = ValueOrDie(MakeCarFixture(2));
+  InstanceStore rows(&fixture.s1);
+  InstanceStore cols(&fixture.s2);
+  Object* snapshot = ValueOrDie(cols.NewObject("car2"));
+  snapshot->Set("time", Value::String("March"))
+      .Set("car-name_1", Value::Integer(111))
+      .Set("car-name_2", Value::Integer(222));
+
+  Evaluator evaluator;
+  evaluator.AddSource("S1", &rows);
+  evaluator.AddSource("S2", &cols);
+  ASSERT_OK(evaluator.BindConcept("IS(S1.car1)", "S1", "car1"));
+  ASSERT_OK(evaluator.BindConcept("IS(S2.car2)", "S2", "car2"));
+
+  // Fig. 10 direction: generated from the fixture's assertions.
+  const AssertionSet assertions =
+      ValueOrDie(AssertionParser::Parse(fixture.assertion_text));
+  RuleGenerator generator;
+  for (const Assertion* derivation : assertions.AllDerivations()) {
+    for (Rule& rule : ValueOrDie(generator.Generate(*derivation))) {
+      ASSERT_OK(evaluator.AddRule(std::move(rule)));
+    }
+  }
+  // Fig. 9 direction: the hand-built name-variable rule pivoting the
+  // derived rows into a *fresh* column concept (so the comparison is
+  // easy to isolate).
+  Rule pivot_back;
+  OTerm head;
+  head.object = TermArg::Variable("_o");
+  head.class_name = "repivoted";
+  head.attrs.push_back({"time", false, TermArg::Variable("t")});
+  head.attrs.push_back({"n", true, TermArg::Variable("p")});
+  OTerm body;
+  body.object = TermArg::Variable("o1");
+  body.class_name = "IS(S1.car1)";
+  body.attrs.push_back({"time", false, TermArg::Variable("t")});
+  body.attrs.push_back({"car-name", false, TermArg::Variable("n")});
+  body.attrs.push_back({"price", false, TermArg::Variable("p")});
+  pivot_back.head.push_back(Literal::OfOTerm(head));
+  pivot_back.body.push_back(Literal::OfOTerm(body));
+  ASSERT_OK(evaluator.AddRule(std::move(pivot_back)));
+
+  ASSERT_OK(evaluator.Evaluate());
+  // Two derived rows (one per column), then two repivoted column facts
+  // carrying the original values under the original attribute names.
+  EXPECT_EQ(evaluator.FactsOf("IS(S1.car1)").size(), 2u);
+  const std::vector<const Fact*> repivoted =
+      evaluator.FactsOf("repivoted");
+  ASSERT_EQ(repivoted.size(), 2u);
+  bool saw_col1 = false;
+  bool saw_col2 = false;
+  for (const Fact* fact : repivoted) {
+    if (fact->attrs.count("car-name_1") != 0) {
+      EXPECT_EQ(fact->attrs.at("car-name_1"), Value::Integer(111));
+      saw_col1 = true;
+    }
+    if (fact->attrs.count("car-name_2") != 0) {
+      EXPECT_EQ(fact->attrs.at("car-name_2"), Value::Integer(222));
+      saw_col2 = true;
+    }
+  }
+  EXPECT_TRUE(saw_col1);
+  EXPECT_TRUE(saw_col2);
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,308 @@
+#include "rules/rule_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+Assertion ParseOne(const std::string& text) {
+  return ValueOrDie(AssertionParser::ParseOne(text));
+}
+
+/// Finds the (first) O-term literal of `literals` whose class is `name`.
+const OTerm* FindOTerm(const std::vector<Literal>& literals,
+                       const std::string& name) {
+  for (const Literal& l : literals) {
+    if (l.kind == Literal::Kind::kOTerm && l.oterm.class_name == name) {
+      return &l.oterm;
+    }
+  }
+  return nullptr;
+}
+
+const TermArg* FindAttrValue(const OTerm& term, const std::string& attr) {
+  for (const AttrDescriptor& d : term.attrs) {
+    if (d.attribute == attr) return &d.value;
+  }
+  return nullptr;
+}
+
+TEST(RuleGeneratorTest, Example9GenealogyRule) {
+  // Expect (up to variable renaming):
+  //   <_o: IS(S2.uncle)|Ussn#: x2, niece_nephew: x3>
+  //     <= <o: IS(S1.parent)|Pssn#: x1, children: x3>,
+  //        <o': IS(S1.brother)|Bssn#: x2, brothers: x1>.
+  const Assertion a = ParseOne(R"(
+assert S1(parent, brother) -> S2.uncle {
+  value(S1): S1.parent.Pssn# in S1.brother.brothers;
+  attr: S1.brother.Bssn# == S2.uncle.Ussn#;
+  attr: S1.parent.children >= S2.uncle.niece_nephew;
+})");
+  RuleGenerator generator;
+  const std::vector<Rule> rules = ValueOrDie(generator.Generate(a));
+  ASSERT_EQ(rules.size(), 1u);
+  const Rule& rule = rules.front();
+  ASSERT_EQ(rule.head.size(), 1u);
+  ASSERT_EQ(rule.body.size(), 2u);
+  ASSERT_OK(CheckRuleSafety(rule));
+
+  const OTerm& head = rule.head.front().oterm;
+  EXPECT_EQ(head.class_name, "IS(S2.uncle)");
+  const OTerm* parent = FindOTerm(rule.body, "IS(S1.parent)");
+  const OTerm* brother = FindOTerm(rule.body, "IS(S1.brother)");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(brother, nullptr);
+
+  // Shared variables: Ussn# with Bssn#; niece_nephew with children;
+  // Pssn# with brothers.
+  const TermArg* ussn = FindAttrValue(head, "Ussn#");
+  const TermArg* bssn = FindAttrValue(*brother, "Bssn#");
+  ASSERT_NE(ussn, nullptr);
+  ASSERT_NE(bssn, nullptr);
+  EXPECT_EQ(ussn->var, bssn->var);
+
+  const TermArg* niece = FindAttrValue(head, "niece_nephew");
+  const TermArg* children = FindAttrValue(*parent, "children");
+  ASSERT_NE(niece, nullptr);
+  ASSERT_NE(children, nullptr);
+  EXPECT_EQ(niece->var, children->var);
+
+  const TermArg* pssn = FindAttrValue(*parent, "Pssn#");
+  const TermArg* brothers = FindAttrValue(*brother, "brothers");
+  ASSERT_NE(pssn, nullptr);
+  ASSERT_NE(brothers, nullptr);
+  EXPECT_EQ(pssn->var, brothers->var);
+
+  // The three components carry distinct variables.
+  EXPECT_NE(ussn->var, niece->var);
+  EXPECT_NE(ussn->var, pssn->var);
+
+  // The head object variable is existential.
+  EXPECT_TRUE(head.object.is_variable());
+  EXPECT_EQ(head.object.var[0], '_');
+}
+
+TEST(RuleGeneratorTest, Example10CarRuleWithPredicate) {
+  // Fig. 10(a): <o1: IS(S1.car1)|time: y1, car-name: y2, price: y3>
+  //   <= <o2: IS(S2.car2)|time: y1, car-name_1: y3>, y2 = car-name_1.
+  const Assertion a = ParseOne(R"(
+assert S2.car2 -> S1.car1 {
+  attr: S2.car2.time == S1.car1.time;
+  attr: S2.car2.car-name_1 <= S1.car1.price with S1.car1.car-name == car-name_1;
+})");
+  RuleGenerator generator;
+  const std::vector<Rule> rules = ValueOrDie(generator.Generate(a));
+  ASSERT_EQ(rules.size(), 1u);
+  const Rule& rule = rules.front();
+  const OTerm& head = rule.head.front().oterm;
+  EXPECT_EQ(head.class_name, "IS(S1.car1)");
+
+  const OTerm* car2 = FindOTerm(rule.body, "IS(S2.car2)");
+  ASSERT_NE(car2, nullptr);
+
+  // time is shared.
+  EXPECT_EQ(FindAttrValue(head, "time")->var,
+            FindAttrValue(*car2, "time")->var);
+  // price (head) shares with car-name_1 (body).
+  EXPECT_EQ(FindAttrValue(head, "price")->var,
+            FindAttrValue(*car2, "car-name_1")->var);
+
+  // The predicate y = "car-name_1" constrains the head's car-name
+  // variable.
+  const Literal* predicate = nullptr;
+  for (const Literal& l : rule.body) {
+    if (l.kind == Literal::Kind::kCompare) predicate = &l;
+  }
+  ASSERT_NE(predicate, nullptr);
+  EXPECT_TRUE(predicate->cmp_lhs.is_variable());
+  EXPECT_EQ(predicate->cmp_lhs.var, FindAttrValue(head, "car-name")->var);
+  EXPECT_EQ(predicate->cmp_rhs.constant, Value::String("car-name_1"));
+  ASSERT_OK(CheckRuleSafety(rule));
+}
+
+TEST(RuleGeneratorTest, Example11NestedBookAuthorRules) {
+  // Fig. 6(b): ISBN/title correspondences through the nested book
+  // attribute.
+  const Assertion a = ParseOne(R"(
+assert S1.Book -> S2.Author {
+  attr: S1.Book.ISBN == S2.Author.book.ISBN;
+  attr: S1.Book.title == S2.Author.book.title;
+})");
+  RuleGenerator generator;
+  const std::vector<Rule> rules = ValueOrDie(generator.Generate(a));
+  ASSERT_EQ(rules.size(), 1u);
+  const Rule& rule = rules.front();
+  const OTerm& head = rule.head.front().oterm;
+  EXPECT_EQ(head.class_name, "IS(S2.Author)");
+  // The head carries a nested descriptor book: <ISBN: _, title: _>.
+  const TermArg* book = FindAttrValue(head, "book");
+  ASSERT_NE(book, nullptr);
+  ASSERT_TRUE(book->is_nested());
+  ASSERT_EQ(book->nested.size(), 2u);
+
+  const OTerm* body_book = FindOTerm(rule.body, "IS(S1.Book)");
+  ASSERT_NE(body_book, nullptr);
+  // Nested ISBN shares its variable with the body's ISBN.
+  const TermArg* nested_isbn = nullptr;
+  for (const AttrDescriptor& d : book->nested) {
+    if (d.attribute == "ISBN") nested_isbn = &d.value;
+  }
+  ASSERT_NE(nested_isbn, nullptr);
+  EXPECT_EQ(nested_isbn->var, FindAttrValue(*body_book, "ISBN")->var);
+}
+
+TEST(RuleGeneratorTest, DecomposeSplitsRepeatedAttributes) {
+  // Fig. 9/10: price participates in several correspondences; the
+  // assertion decomposes into one part per occurrence, replicating the
+  // unique time correspondence.
+  const Assertion a = ParseOne(R"(
+assert S2.car2 -> S1.car1 {
+  attr: S2.car2.time == S1.car1.time;
+  attr: S2.car2.car-name_1 <= S1.car1.price with S1.car1.car-name == car-name_1;
+  attr: S2.car2.car-name_2 <= S1.car1.price with S1.car1.car-name == car-name_2;
+  attr: S2.car2.car-name_3 <= S1.car1.price with S1.car1.car-name == car-name_3;
+})");
+  const std::vector<Assertion> parts = RuleGenerator::Decompose(a);
+  ASSERT_EQ(parts.size(), 3u);
+  for (const Assertion& part : parts) {
+    ASSERT_EQ(part.attr_corrs.size(), 2u);  // time + one price column
+    EXPECT_EQ(part.attr_corrs[0].lhs.leaf(), "time");
+  }
+  // Each part mentions a distinct car column.
+  EXPECT_NE(parts[0].attr_corrs[1].lhs.leaf(),
+            parts[1].attr_corrs[1].lhs.leaf());
+
+  RuleGenerator generator;
+  const std::vector<Rule> rules = ValueOrDie(generator.Generate(a));
+  EXPECT_EQ(rules.size(), 3u);
+}
+
+TEST(RuleGeneratorTest, DecomposeIsIdentityWithoutRepeats) {
+  const Assertion a = ParseOne(R"(
+assert S1(parent, brother) -> S2.uncle {
+  attr: S1.brother.Bssn# == S2.uncle.Ussn#;
+})");
+  EXPECT_EQ(RuleGenerator::Decompose(a).size(), 1u);
+}
+
+TEST(RuleGeneratorTest, CustomClassNaming) {
+  const Assertion a = ParseOne(R"(
+assert S1.a -> S2.b {
+  attr: S1.a.k == S2.b.k;
+})");
+  RuleGenerator generator(
+      [](const ClassRef& ref) { return "G_" + ref.class_name; });
+  const std::vector<Rule> rules = ValueOrDie(generator.Generate(a));
+  EXPECT_EQ(rules.front().head.front().oterm.class_name, "G_b");
+  EXPECT_EQ(rules.front().body.front().oterm.class_name, "G_a");
+}
+
+TEST(RuleGeneratorTest, HeadSourcesAndProvenance) {
+  const Assertion a = ParseOne(R"(
+assert S1(parent, brother) -> S2.uncle {
+  attr: S1.brother.Bssn# == S2.uncle.Ussn#;
+})");
+  RuleGenerator generator;
+  const std::vector<Rule> rules = ValueOrDie(generator.Generate(a));
+  ASSERT_EQ(rules.front().head_sources.size(), 1u);
+  EXPECT_EQ(rules.front().head_sources.front(), "S2");
+  EXPECT_NE(rules.front().provenance.find("derivation"), std::string::npos);
+}
+
+TEST(RuleGeneratorTest, RejectsNonDerivations) {
+  const Assertion a = ParseOne("assert S1.a == S2.b;");
+  RuleGenerator generator;
+  EXPECT_FALSE(generator.Generate(a).ok());
+}
+
+TEST(RuleGeneratorTest, PathOutsideAssertionClassesFails) {
+  const Assertion a = ParseOne(R"(
+assert S1.a -> S2.b {
+  attr: S1.OTHER.k == S2.b.k;
+})");
+  RuleGenerator generator;
+  EXPECT_FALSE(generator.Generate(a).ok());
+}
+
+TEST(RuleSafetyTest, HeadVariableMustBeBound) {
+  Rule rule;
+  OTerm head;
+  head.object = TermArg::Variable("x");
+  head.class_name = "c";
+  head.attrs.push_back({"a", false, TermArg::Variable("unbound")});
+  rule.head.push_back(Literal::OfOTerm(head));
+  OTerm body;
+  body.object = TermArg::Variable("x");
+  body.class_name = "d";
+  rule.body.push_back(Literal::OfOTerm(body));
+  EXPECT_FALSE(CheckRuleSafety(rule).ok());
+}
+
+TEST(RuleSafetyTest, UnderscoreVariablesAreExistential) {
+  Rule rule;
+  OTerm head;
+  head.object = TermArg::Variable("_o");
+  head.class_name = "c";
+  rule.head.push_back(Literal::OfOTerm(head));
+  OTerm body;
+  body.object = TermArg::Variable("x");
+  body.class_name = "d";
+  rule.body.push_back(Literal::OfOTerm(body));
+  EXPECT_OK(CheckRuleSafety(rule));
+}
+
+TEST(RuleSafetyTest, NegatedLiteralVariablesMustBeBound) {
+  Rule rule;
+  OTerm head;
+  head.object = TermArg::Variable("x");
+  head.class_name = "c";
+  rule.head.push_back(Literal::OfOTerm(head));
+  OTerm pos;
+  pos.object = TermArg::Variable("x");
+  pos.class_name = "d";
+  rule.body.push_back(Literal::OfOTerm(pos));
+  OTerm neg;
+  neg.object = TermArg::Variable("y");  // unbound
+  neg.class_name = "e";
+  rule.body.push_back(Literal::OfOTerm(neg, /*negated=*/true));
+  EXPECT_FALSE(CheckRuleSafety(rule).ok());
+}
+
+TEST(RuleSafetyTest, EqualityPropagatesBindings) {
+  // <x: c> <= <y: d>, x = y is safe: equality binds x.
+  Rule rule;
+  OTerm head;
+  head.object = TermArg::Variable("x");
+  head.class_name = "c";
+  rule.head.push_back(Literal::OfOTerm(head));
+  OTerm body;
+  body.object = TermArg::Variable("y");
+  body.class_name = "d";
+  rule.body.push_back(Literal::OfOTerm(body));
+  rule.body.push_back(Literal::OfCompare(
+      TermArg::Variable("x"), CompareOp::kEq, TermArg::Variable("y")));
+  EXPECT_OK(CheckRuleSafety(rule));
+}
+
+TEST(RuleSafetyTest, InequalityOverUnboundVariableIsUnsafe) {
+  Rule rule;
+  OTerm head;
+  head.object = TermArg::Variable("y");
+  head.class_name = "c";
+  rule.head.push_back(Literal::OfOTerm(head));
+  OTerm body;
+  body.object = TermArg::Variable("y");
+  body.class_name = "d";
+  rule.body.push_back(Literal::OfOTerm(body));
+  rule.body.push_back(Literal::OfCompare(
+      TermArg::Variable("z"), CompareOp::kLt, TermArg::Variable("y")));
+  EXPECT_FALSE(CheckRuleSafety(rule).ok());
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,134 @@
+#include "rules/substitution.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+TEST(SubstitutionTest, MapAndEmpty) {
+  ReverseSubstitution theta;
+  EXPECT_TRUE(theta.empty());
+  EXPECT_EQ(theta.Map("x"), "x");
+  ASSERT_TRUE(theta.AddBinding("x", "x1"));
+  EXPECT_EQ(theta.Map("x"), "x1");
+  EXPECT_EQ(theta.Map("y"), "y");
+}
+
+TEST(SubstitutionTest, BindingTokensMustBeDistinct) {
+  ReverseSubstitution theta;
+  ASSERT_TRUE(theta.AddBinding("x", "x1"));
+  EXPECT_TRUE(theta.AddBinding("x", "x1"));   // same binding: fine
+  EXPECT_FALSE(theta.AddBinding("x", "x2"));  // Def. 5.1: c_i distinct
+}
+
+TEST(SubstitutionTest, AppliesToVariables) {
+  // Definition 5.2's example: B = <o1: IS(S2.uncle) | Ussn#: x,
+  // niece_nephew: y>, θ = {x/x2, y/x3}.
+  OTerm b;
+  b.object = TermArg::Variable("o1");
+  b.class_name = "IS(S2.uncle)";
+  b.attrs.push_back({"Ussn#", false, TermArg::Variable("x")});
+  b.attrs.push_back({"niece_nephew", false, TermArg::Variable("y")});
+  ReverseSubstitution theta({{"x", "x2"}, {"y", "x3"}});
+  const OTerm result = theta.Apply(b);
+  EXPECT_EQ(result.ToString(),
+            "<o1: IS(S2.uncle) | Ussn#: x2, niece_nephew: x3>");
+}
+
+TEST(SubstitutionTest, AppliesToConstants) {
+  // A reverse substitution replaces constants with variables.
+  ReverseSubstitution theta({{"\"March\"", "t"}});
+  const TermArg arg = theta.Apply(TermArg::Constant(Value::String("March")));
+  EXPECT_TRUE(arg.is_variable());
+  EXPECT_EQ(arg.var, "t");
+}
+
+TEST(SubstitutionTest, AppliesToBareStringConstants) {
+  // Assertion predicates write string constants without quotes
+  // (with car-name = car-name_1).
+  ReverseSubstitution delta({{"car-name", "y3"}});
+  const TermArg arg =
+      delta.Apply(TermArg::Constant(Value::String("car-name")));
+  EXPECT_TRUE(arg.is_variable());
+  EXPECT_EQ(arg.var, "y3");
+}
+
+TEST(SubstitutionTest, AppliesToAttributeNames) {
+  // Method (ii): an attribute *name* becomes a variable (Example 10's
+  // δ = {car-name/y3}).
+  AttrDescriptor d{"car-name", false, TermArg::Variable("v")};
+  ReverseSubstitution delta({{"car-name", "y3"}});
+  const AttrDescriptor out = delta.Apply(d);
+  EXPECT_TRUE(out.attr_is_variable);
+  EXPECT_EQ(out.attribute, "y3");
+}
+
+TEST(SubstitutionTest, AppliesInsideNestedDescriptors) {
+  OTerm author;
+  author.object = TermArg::Variable("y");
+  author.class_name = "IS(S2.Author)";
+  author.attrs.push_back(
+      {"book", false,
+       TermArg::Nested({{"ISBN", false, TermArg::Variable("a")},
+                        {"title", false, TermArg::Variable("b")}})});
+  ReverseSubstitution theta({{"a", "y1"}, {"b", "y2"}});
+  const OTerm out = theta.Apply(author);
+  EXPECT_EQ(out.ToString(),
+            "<y: IS(S2.Author) | book: <ISBN: y1, title: y2>>");
+}
+
+TEST(SubstitutionTest, AppliesToCompareAndPredicateLiterals) {
+  ReverseSubstitution theta({{"x", "x1"}});
+  Literal cmp = Literal::OfCompare(TermArg::Variable("x"), CompareOp::kEq,
+                                   TermArg::Constant(Value::Integer(1)));
+  EXPECT_EQ(theta.Apply(cmp).ToString(), "x1 == 1");
+  Literal pred = Literal::OfPredicate(
+      "p", {TermArg::Variable("x"), TermArg::Variable("y")});
+  EXPECT_EQ(theta.Apply(pred).ToString(), "p(x1, y)");
+}
+
+TEST(SubstitutionTest, CompositionPerDefinition53) {
+  // θ = {a/x, b/y}, δ = {x/z}: θδ = {a/z, b/y, x/z}.
+  ReverseSubstitution theta({{"a", "x"}, {"b", "y"}});
+  ReverseSubstitution delta({{"x", "z"}});
+  const ReverseSubstitution composed = theta.Compose(delta);
+  EXPECT_EQ(composed.Map("a"), "z");
+  EXPECT_EQ(composed.Map("b"), "y");
+  EXPECT_EQ(composed.Map("x"), "z");
+}
+
+TEST(SubstitutionTest, CompositionDropsIdentityBindings) {
+  // θ = {a/x}, δ = {x/a}: a/xδ = a/a is dropped; x/a is appended.
+  ReverseSubstitution theta({{"a", "x"}});
+  ReverseSubstitution delta({{"x", "a"}});
+  const ReverseSubstitution composed = theta.Compose(delta);
+  EXPECT_EQ(composed.bindings().size(), 1u);
+  EXPECT_EQ(composed.Map("x"), "a");
+  EXPECT_EQ(composed.Map("a"), "a");
+}
+
+TEST(SubstitutionTest, CompositionDropsShadowedDeltaBindings) {
+  // δ's binding d_j/y_j is dropped when d_j ∈ {c_1, ..., c_n}.
+  ReverseSubstitution theta({{"a", "x"}});
+  ReverseSubstitution delta({{"a", "z"}});
+  const ReverseSubstitution composed = theta.Compose(delta);
+  EXPECT_EQ(composed.Map("a"), "x");
+}
+
+TEST(SubstitutionTest, CompositionWithEmptyIsIdentity) {
+  ReverseSubstitution theta({{"a", "x"}});
+  EXPECT_EQ(theta.Compose(ReverseSubstitution()).ToString(),
+            theta.ToString());
+  EXPECT_EQ(ReverseSubstitution().Compose(theta).ToString(),
+            theta.ToString());
+}
+
+TEST(SubstitutionTest, ToStringFormat) {
+  ReverseSubstitution theta({{"z", "x1"}, {"w", "x1"}});
+  EXPECT_EQ(theta.ToString(), "{z/x1, w/x1}");
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,50 @@
+#ifndef OOINT_TESTS_TEST_UTIL_H_
+#define OOINT_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// gtest glue for Status / Result.
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    const ::ooint::Status _s = ::ooint::testing::ToStatus((expr));   \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();                           \
+  } while (false)
+
+#define EXPECT_OK(expr)                                              \
+  do {                                                               \
+    const ::ooint::Status _s = ::ooint::testing::ToStatus((expr));   \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();                           \
+  } while (false)
+
+#define ASSERT_NOT_OK(expr)                                          \
+  do {                                                               \
+    const ::ooint::Status _s = ::ooint::testing::ToStatus((expr));   \
+    ASSERT_FALSE(_s.ok()) << "expected an error";                    \
+  } while (false)
+
+namespace ooint::testing {
+
+inline Status ToStatus(const Status& status) { return status; }
+
+template <typename T>
+Status ToStatus(const Result<T>& result) {
+  return result.status();
+}
+
+/// Unwraps a Result, aborting the test on error (works for types
+/// without a default constructor).
+template <typename T>
+T ValueOrDie(Result<T> result) {
+  if (!result.ok()) {
+    ADD_FAILURE() << result.status().ToString();
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace ooint::testing
+
+#endif  // OOINT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,126 @@
+#include "transform/rel_to_oo.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+RelationalSchema MakePatientDb() {
+  RelationalSchema db("PatientDB");
+  EXPECT_OK(db.AddRelation(
+      {"ward", {{"wid", ValueKind::kInteger, true, "", ""},
+                {"name", ValueKind::kString, false, "", ""}}}));
+  EXPECT_OK(db.AddRelation(
+      {"patient-records",
+       {{"pid", ValueKind::kInteger, true, "", ""},
+        {"name", ValueKind::kString, false, "", ""},
+        {"ward", ValueKind::kInteger, false, "ward", "wid"}}}));
+  // Subtype table: its whole PK is a foreign key to patient-records.
+  EXPECT_OK(db.AddRelation(
+      {"icu-patient",
+       {{"pid", ValueKind::kInteger, true, "patient-records", "pid"},
+        {"severity", ValueKind::kInteger, false, "", ""}}}));
+  return db;
+}
+
+TEST(RelationalSchemaTest, ValidateCatchesBrokenForeignKeys) {
+  RelationalSchema db("X");
+  ASSERT_OK(db.AddRelation(
+      {"a", {{"id", ValueKind::kInteger, true, "", ""},
+             {"ref", ValueKind::kInteger, false, "ghost", "id"}}}));
+  EXPECT_EQ(db.Validate().code(), StatusCode::kNotFound);
+
+  RelationalSchema db2("Y");
+  ASSERT_OK(db2.AddRelation(
+      {"a", {{"id", ValueKind::kInteger, true, "", ""}}}));
+  ASSERT_OK(db2.AddRelation(
+      {"b", {{"ref", ValueKind::kInteger, false, "a", "ghost"}}}));
+  EXPECT_EQ(db2.Validate().code(), StatusCode::kNotFound);
+}
+
+TEST(RelationalSchemaTest, ValidateCatchesDuplicateColumns) {
+  RelationalSchema db("X");
+  ASSERT_OK(db.AddRelation(
+      {"a", {{"id", ValueKind::kInteger, true, "", ""},
+             {"id", ValueKind::kString, false, "", ""}}}));
+  EXPECT_EQ(db.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationalSchemaTest, RejectsDuplicateRelations) {
+  RelationalSchema db("X");
+  ASSERT_OK(db.AddRelation({"a", {}}));
+  EXPECT_EQ(db.AddRelation({"a", {}}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RelToOoTest, RelationsBecomeClasses) {
+  const Schema schema = ValueOrDie(TransformToOO(MakePatientDb()));
+  EXPECT_EQ(schema.NumClasses(), 3u);
+  EXPECT_NE(schema.FindClass("ward"), kInvalidClassId);
+  EXPECT_NE(schema.FindClass("patient-records"), kInvalidClassId);
+  EXPECT_TRUE(schema.finalized());
+  EXPECT_EQ(schema.name(), "PatientDB");
+}
+
+TEST(RelToOoTest, ColumnsBecomeAttributes) {
+  const Schema schema = ValueOrDie(TransformToOO(MakePatientDb()));
+  const ClassDef& patient =
+      schema.class_def(schema.FindClass("patient-records"));
+  const Attribute* name = patient.FindAttribute("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->type.scalar, ValueKind::kString);
+  // The key column is kept as an attribute (rule R4).
+  EXPECT_NE(patient.FindAttribute("pid"), nullptr);
+}
+
+TEST(RelToOoTest, ForeignKeysBecomeAggregations) {
+  const Schema schema = ValueOrDie(TransformToOO(MakePatientDb()));
+  const ClassDef& patient =
+      schema.class_def(schema.FindClass("patient-records"));
+  const AggregationFunction* ward = patient.FindAggregation("ward");
+  ASSERT_NE(ward, nullptr);
+  EXPECT_EQ(ward->range_class, "ward");
+  EXPECT_EQ(ward->cardinality, Cardinality::ManyToOne());
+  // The FK column is not duplicated as an attribute.
+  EXPECT_EQ(patient.FindAttribute("ward"), nullptr);
+}
+
+TEST(RelToOoTest, SubtypeTablesBecomeIsALinks) {
+  const Schema schema = ValueOrDie(TransformToOO(MakePatientDb()));
+  const ClassId icu = schema.FindClass("icu-patient");
+  const ClassId patient = schema.FindClass("patient-records");
+  EXPECT_TRUE(schema.IsSubclassOf(icu, patient));
+  // The subtype's key stays as an attribute; no aggregation is created.
+  const ClassDef& icu_class = schema.class_def(icu);
+  EXPECT_NE(icu_class.FindAttribute("pid"), nullptr);
+  EXPECT_TRUE(icu_class.aggregations().empty());
+}
+
+TEST(RelToOoTest, OneToOneForPrimaryKeyForeignKeyPart) {
+  // A PK column that is also an FK (in a composite key) maps [1:1].
+  RelationalSchema db("X");
+  ASSERT_OK(db.AddRelation(
+      {"a", {{"id", ValueKind::kInteger, true, "", ""}}}));
+  ASSERT_OK(db.AddRelation(
+      {"link",
+       {{"a_id", ValueKind::kInteger, true, "a", "id"},
+        {"tag", ValueKind::kString, true, "", ""}}}));
+  const Schema schema = ValueOrDie(TransformToOO(db));
+  const AggregationFunction* fn =
+      schema.class_def(schema.FindClass("link")).FindAggregation("a_id");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->cardinality, Cardinality::OneToOne());
+}
+
+TEST(RelToOoTest, PropagatesValidationFailure) {
+  RelationalSchema db("X");
+  ASSERT_OK(db.AddRelation(
+      {"a", {{"ref", ValueKind::kInteger, false, "ghost", "id"}}}));
+  EXPECT_FALSE(TransformToOO(db).ok());
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,29 @@
+// The umbrella header is self-contained and exposes the whole pipeline.
+
+#include "ooint.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(UmbrellaTest, WholePipelineThroughOneInclude) {
+  const Schema s1 = ValueOrDie(SchemaParser::Parse(
+      "schema S1 { class a { k: string; } }"));
+  const Schema s2 = ValueOrDie(SchemaParser::Parse(
+      "schema S2 { class b { k: string; } }"));
+  const AssertionSet assertions = ValueOrDie(AssertionParser::Parse(
+      "assert S1.a == S2.b { attr: S1.a.k == S2.b.k; }"));
+  ASSERT_OK(assertions.Validate(s1, s2));
+  EXPECT_FALSE(HasErrors(CheckConsistency(s1, s2, assertions)));
+  const IntegrationOutcome outcome =
+      ValueOrDie(Integrator::Integrate(s1, s2, assertions));
+  EXPECT_EQ(outcome.schema.classes().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ooint

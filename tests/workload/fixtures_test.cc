@@ -1,0 +1,98 @@
+#include "workload/fixtures.h"
+
+#include <gtest/gtest.h>
+
+#include "assertions/parser.h"
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(FixturesTest, UniversityShape) {
+  const Fixture f = ValueOrDie(MakeUniversityFixture());
+  EXPECT_EQ(f.s1.NumClasses(), 4u);
+  EXPECT_EQ(f.s2.NumClasses(), 4u);
+  EXPECT_TRUE(f.s1.IsSubclassOf(f.s1.FindClass("teaching_assistant"),
+                                f.s1.FindClass("person")));
+  EXPECT_TRUE(f.s2.IsSubclassOf(f.s2.FindClass("professor"),
+                                f.s2.FindClass("human")));
+}
+
+TEST(FixturesTest, AllFixturesParseAndValidate) {
+  for (auto maker :
+       {&MakeUniversityFixture, &MakeGenealogyFixture,
+        &MakeBibliographyFixture, &MakeStockFixture, &MakeShowcaseFixture}) {
+    const Fixture f = ValueOrDie(maker());
+    const AssertionSet set =
+        ValueOrDie(AssertionParser::Parse(f.assertion_text));
+    EXPECT_GE(set.size(), 1u);
+    EXPECT_OK(set.Validate(f.s1, f.s2));
+  }
+}
+
+TEST(FixturesTest, CarFixtureScalesWithColumns) {
+  const Fixture f = ValueOrDie(MakeCarFixture(5));
+  const ClassDef& car2 = f.s2.class_def(f.s2.FindClass("car2"));
+  EXPECT_EQ(car2.attributes().size(), 6u);  // time + 5 price columns
+  const AssertionSet set =
+      ValueOrDie(AssertionParser::Parse(f.assertion_text));
+  EXPECT_EQ(set.AllDerivations().size(), 5u);
+  EXPECT_OK(set.Validate(f.s1, f.s2));
+}
+
+TEST(FixturesTest, GenealogyPopulationIsConsistent) {
+  Fixture f = ValueOrDie(MakeGenealogyFixture());
+  InstanceStore s1(&f.s1);
+  InstanceStore s2(&f.s2);
+  ASSERT_OK(PopulateGenealogy(&s1, &s2, 5, /*materialize_uncles=*/true));
+  EXPECT_EQ(s1.size(), 10u);  // parent + brother per family
+  EXPECT_EQ(s2.size(), 5u);
+  // The parent's ssn appears in the brother's `brothers` set.
+  const std::vector<Oid> brothers =
+      ValueOrDie(s2.Extent("uncle"));
+  EXPECT_EQ(brothers.size(), 5u);
+  const std::vector<Oid> parents = ValueOrDie(s1.Extent("parent"));
+  for (const Oid& oid : parents) {
+    const Object* parent = s1.Find(oid);
+    ASSERT_NE(parent, nullptr);
+    const Value& ssn = parent->Get("Pssn#");
+    const std::vector<Oid> hits = s1.FindByAttribute(
+        f.s1.FindClass("brother"), "brothers",
+        Value::Set({ssn}));
+    // At least one brother object lists this parent.
+    bool found = false;
+    for (const Oid& b : ValueOrDie(s1.Extent("brother"))) {
+      if (s1.Find(b)->Get("brothers").SetContains(ssn)) found = true;
+    }
+    EXPECT_TRUE(found) << ssn.ToString();
+    (void)hits;
+  }
+}
+
+TEST(FixturesTest, BibliographyPopulationLinksNestedObjects) {
+  Fixture f = ValueOrDie(MakeBibliographyFixture());
+  InstanceStore store(&f.s1);
+  ASSERT_OK(PopulateBibliography(&store, 3));
+  EXPECT_EQ(store.size(), 6u);  // 3 books + 3 person_infos
+  for (const Oid& oid : ValueOrDie(store.Extent("Book"))) {
+    const Object* book = store.Find(oid);
+    const Value& author = book->Get("author");
+    ASSERT_EQ(author.kind(), ValueKind::kOid);
+    EXPECT_NE(store.Find(author.AsOid()), nullptr);
+  }
+}
+
+TEST(FixturesTest, EmplDeptHasMutualAggregations) {
+  const Fixture f = ValueOrDie(MakeEmplDeptFixture());
+  const ClassDef& empl = f.s1.class_def(f.s1.FindClass("Empl"));
+  const ClassDef& dept = f.s1.class_def(f.s1.FindClass("Dept"));
+  ASSERT_NE(empl.FindAggregation("work_in"), nullptr);
+  ASSERT_NE(dept.FindAggregation("manager"), nullptr);
+  EXPECT_EQ(empl.FindAggregation("work_in")->range_class_id,
+            f.s1.FindClass("Dept"));
+}
+
+}  // namespace
+}  // namespace ooint

@@ -1,0 +1,126 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(SchemaGeneratorTest, BuildsCompleteDaryTree) {
+  SchemaGenOptions options;
+  options.num_classes = 7;
+  options.degree = 2;
+  const Schema schema = ValueOrDie(GenerateSchema(options));
+  EXPECT_EQ(schema.NumClasses(), 7u);
+  EXPECT_TRUE(schema.finalized());
+  // Binary tree of 7: c0 root, c1/c2 children of c0, etc.
+  EXPECT_EQ(schema.Roots().size(), 1u);
+  EXPECT_EQ(schema.ChildrenOf(schema.FindClass("c0")).size(), 2u);
+  EXPECT_TRUE(schema.IsSubclassOf(schema.FindClass("c6"),
+                                  schema.FindClass("c0")));
+  EXPECT_EQ(schema.NumIsAEdges(), 6u);
+}
+
+TEST(SchemaGeneratorTest, ClassesCarryKeyAndAttrs) {
+  SchemaGenOptions options;
+  options.num_classes = 3;
+  options.attrs_per_class = 2;
+  const Schema schema = ValueOrDie(GenerateSchema(options));
+  const ClassDef& c = schema.class_def(0);
+  EXPECT_NE(c.FindAttribute("key"), nullptr);
+  EXPECT_NE(c.FindAttribute("a0"), nullptr);
+  EXPECT_NE(c.FindAttribute("a1"), nullptr);
+  EXPECT_EQ(c.FindAttribute("a2"), nullptr);
+}
+
+TEST(SchemaGeneratorTest, RejectsDegenerateOptions) {
+  SchemaGenOptions zero;
+  zero.num_classes = 0;
+  EXPECT_FALSE(GenerateSchema(zero).ok());
+  SchemaGenOptions no_degree;
+  no_degree.degree = 0;
+  EXPECT_FALSE(GenerateSchema(no_degree).ok());
+}
+
+TEST(SchemaGeneratorTest, CounterpartIsIsomorphic) {
+  SchemaGenOptions options;
+  options.num_classes = 15;
+  options.degree = 2;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+  EXPECT_EQ(s2.name(), "S2");
+  EXPECT_EQ(s2.NumClasses(), s1.NumClasses());
+  EXPECT_EQ(s2.NumIsAEdges(), s1.NumIsAEdges());
+  EXPECT_NE(s2.FindClass("d14"), kInvalidClassId);
+  // Same structure, renamed: parent of d14 is d6.
+  EXPECT_EQ(s2.ParentsOf(s2.FindClass("d14")),
+            std::vector<ClassId>{s2.FindClass("d6")});
+}
+
+TEST(AssertionGeneratorTest, FullEquivalenceSetting) {
+  SchemaGenOptions options;
+  options.num_classes = 15;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+  AssertionGenOptions mix;  // default: all equivalences
+  const AssertionSet set =
+      ValueOrDie(GenerateAssertions(s1, s2, "c", "d", mix));
+  EXPECT_EQ(set.size(), 15u);
+  ASSERT_OK(set.Validate(s1, s2));
+  for (const Assertion& a : set.assertions()) {
+    EXPECT_EQ(a.rel, SetRel::kEquivalent);
+    EXPECT_EQ(a.attr_corrs.size(), 1u);  // key == key
+  }
+}
+
+TEST(AssertionGeneratorTest, GeneratedSetsAlwaysValidate) {
+  SchemaGenOptions options;
+  options.num_classes = 31;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    AssertionGenOptions mix;
+    mix.equivalence_fraction = 0.3;
+    mix.inclusion_fraction = 0.3;
+    mix.disjoint_fraction = 0.2;
+    mix.derivation_fraction = 0.1;
+    mix.seed = seed;
+    const AssertionSet set =
+        ValueOrDie(GenerateAssertions(s1, s2, "c", "d", mix));
+    EXPECT_OK(set.Validate(s1, s2));
+  }
+}
+
+TEST(AssertionGeneratorTest, DeterministicForSameSeed) {
+  SchemaGenOptions options;
+  options.num_classes = 31;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+  AssertionGenOptions mix;
+  mix.equivalence_fraction = 0.5;
+  mix.inclusion_fraction = 0.3;
+  mix.seed = 99;
+  const AssertionSet a =
+      ValueOrDie(GenerateAssertions(s1, s2, "c", "d", mix));
+  const AssertionSet b =
+      ValueOrDie(GenerateAssertions(s1, s2, "c", "d", mix));
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(AssertionGeneratorTest, RejectsMismatchedSchemas) {
+  SchemaGenOptions small;
+  small.num_classes = 3;
+  SchemaGenOptions big;
+  big.num_classes = 7;
+  const Schema s1 = ValueOrDie(GenerateSchema(small));
+  big.name = "S2";
+  big.class_prefix = "d";
+  const Schema s2 = ValueOrDie(GenerateSchema(big));
+  EXPECT_FALSE(GenerateAssertions(s1, s2, "c", "d", {}).ok());
+}
+
+}  // namespace
+}  // namespace ooint
