@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accumulation.dir/bench_accumulation.cc.o"
+  "CMakeFiles/bench_accumulation.dir/bench_accumulation.cc.o.d"
+  "bench_accumulation"
+  "bench_accumulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

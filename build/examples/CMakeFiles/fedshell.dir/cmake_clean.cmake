@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedshell.dir/fedshell.cpp.o"
+  "CMakeFiles/fedshell.dir/fedshell.cpp.o.d"
+  "fedshell"
+  "fedshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedshell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

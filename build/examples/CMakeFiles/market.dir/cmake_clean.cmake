@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market.dir/market.cpp.o"
+  "CMakeFiles/market.dir/market.cpp.o.d"
+  "market"
+  "market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assertions/assertion.cc" "src/assertions/CMakeFiles/ooint_assertions.dir/assertion.cc.o" "gcc" "src/assertions/CMakeFiles/ooint_assertions.dir/assertion.cc.o.d"
+  "/root/repo/src/assertions/assertion_set.cc" "src/assertions/CMakeFiles/ooint_assertions.dir/assertion_set.cc.o" "gcc" "src/assertions/CMakeFiles/ooint_assertions.dir/assertion_set.cc.o.d"
+  "/root/repo/src/assertions/kinds.cc" "src/assertions/CMakeFiles/ooint_assertions.dir/kinds.cc.o" "gcc" "src/assertions/CMakeFiles/ooint_assertions.dir/kinds.cc.o.d"
+  "/root/repo/src/assertions/parser.cc" "src/assertions/CMakeFiles/ooint_assertions.dir/parser.cc.o" "gcc" "src/assertions/CMakeFiles/ooint_assertions.dir/parser.cc.o.d"
+  "/root/repo/src/assertions/path.cc" "src/assertions/CMakeFiles/ooint_assertions.dir/path.cc.o" "gcc" "src/assertions/CMakeFiles/ooint_assertions.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ooint_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

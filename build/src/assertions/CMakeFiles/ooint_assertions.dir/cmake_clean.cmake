@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_assertions.dir/assertion.cc.o"
+  "CMakeFiles/ooint_assertions.dir/assertion.cc.o.d"
+  "CMakeFiles/ooint_assertions.dir/assertion_set.cc.o"
+  "CMakeFiles/ooint_assertions.dir/assertion_set.cc.o.d"
+  "CMakeFiles/ooint_assertions.dir/kinds.cc.o"
+  "CMakeFiles/ooint_assertions.dir/kinds.cc.o.d"
+  "CMakeFiles/ooint_assertions.dir/parser.cc.o"
+  "CMakeFiles/ooint_assertions.dir/parser.cc.o.d"
+  "CMakeFiles/ooint_assertions.dir/path.cc.o"
+  "CMakeFiles/ooint_assertions.dir/path.cc.o.d"
+  "libooint_assertions.a"
+  "libooint_assertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

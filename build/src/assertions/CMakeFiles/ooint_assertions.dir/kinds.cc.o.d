@@ -1,0 +1,3 @@
+src/assertions/CMakeFiles/ooint_assertions.dir/kinds.cc.o: \
+ /root/repo/src/assertions/kinds.cc /usr/include/stdc-predef.h \
+ /root/repo/src/assertions/kinds.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_common.dir/lexer.cc.o"
+  "CMakeFiles/ooint_common.dir/lexer.cc.o.d"
+  "CMakeFiles/ooint_common.dir/status.cc.o"
+  "CMakeFiles/ooint_common.dir/status.cc.o.d"
+  "CMakeFiles/ooint_common.dir/string_util.cc.o"
+  "CMakeFiles/ooint_common.dir/string_util.cc.o.d"
+  "libooint_common.a"
+  "libooint_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libooint_common.a"
+)

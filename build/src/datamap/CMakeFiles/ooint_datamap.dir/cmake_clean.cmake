@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_datamap.dir/data_mapping.cc.o"
+  "CMakeFiles/ooint_datamap.dir/data_mapping.cc.o.d"
+  "libooint_datamap.a"
+  "libooint_datamap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_datamap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federation/explain.cc" "src/federation/CMakeFiles/ooint_federation.dir/explain.cc.o" "gcc" "src/federation/CMakeFiles/ooint_federation.dir/explain.cc.o.d"
+  "/root/repo/src/federation/fsm.cc" "src/federation/CMakeFiles/ooint_federation.dir/fsm.cc.o" "gcc" "src/federation/CMakeFiles/ooint_federation.dir/fsm.cc.o.d"
+  "/root/repo/src/federation/fsm_agent.cc" "src/federation/CMakeFiles/ooint_federation.dir/fsm_agent.cc.o" "gcc" "src/federation/CMakeFiles/ooint_federation.dir/fsm_agent.cc.o.d"
+  "/root/repo/src/federation/fsm_client.cc" "src/federation/CMakeFiles/ooint_federation.dir/fsm_client.cc.o" "gcc" "src/federation/CMakeFiles/ooint_federation.dir/fsm_client.cc.o.d"
+  "/root/repo/src/federation/identity.cc" "src/federation/CMakeFiles/ooint_federation.dir/identity.cc.o" "gcc" "src/federation/CMakeFiles/ooint_federation.dir/identity.cc.o.d"
+  "/root/repo/src/federation/materialize.cc" "src/federation/CMakeFiles/ooint_federation.dir/materialize.cc.o" "gcc" "src/federation/CMakeFiles/ooint_federation.dir/materialize.cc.o.d"
+  "/root/repo/src/federation/query_parser.cc" "src/federation/CMakeFiles/ooint_federation.dir/query_parser.cc.o" "gcc" "src/federation/CMakeFiles/ooint_federation.dir/query_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/integrate/CMakeFiles/ooint_integrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/ooint_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ooint_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ooint_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamap/CMakeFiles/ooint_datamap.dir/DependInfo.cmake"
+  "/root/repo/build/src/assertions/CMakeFiles/ooint_assertions.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_federation.dir/explain.cc.o"
+  "CMakeFiles/ooint_federation.dir/explain.cc.o.d"
+  "CMakeFiles/ooint_federation.dir/fsm.cc.o"
+  "CMakeFiles/ooint_federation.dir/fsm.cc.o.d"
+  "CMakeFiles/ooint_federation.dir/fsm_agent.cc.o"
+  "CMakeFiles/ooint_federation.dir/fsm_agent.cc.o.d"
+  "CMakeFiles/ooint_federation.dir/fsm_client.cc.o"
+  "CMakeFiles/ooint_federation.dir/fsm_client.cc.o.d"
+  "CMakeFiles/ooint_federation.dir/identity.cc.o"
+  "CMakeFiles/ooint_federation.dir/identity.cc.o.d"
+  "CMakeFiles/ooint_federation.dir/materialize.cc.o"
+  "CMakeFiles/ooint_federation.dir/materialize.cc.o.d"
+  "CMakeFiles/ooint_federation.dir/query_parser.cc.o"
+  "CMakeFiles/ooint_federation.dir/query_parser.cc.o.d"
+  "libooint_federation.a"
+  "libooint_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integrate/aif.cc" "src/integrate/CMakeFiles/ooint_integrate.dir/aif.cc.o" "gcc" "src/integrate/CMakeFiles/ooint_integrate.dir/aif.cc.o.d"
+  "/root/repo/src/integrate/consistency.cc" "src/integrate/CMakeFiles/ooint_integrate.dir/consistency.cc.o" "gcc" "src/integrate/CMakeFiles/ooint_integrate.dir/consistency.cc.o.d"
+  "/root/repo/src/integrate/context.cc" "src/integrate/CMakeFiles/ooint_integrate.dir/context.cc.o" "gcc" "src/integrate/CMakeFiles/ooint_integrate.dir/context.cc.o.d"
+  "/root/repo/src/integrate/integrated_schema.cc" "src/integrate/CMakeFiles/ooint_integrate.dir/integrated_schema.cc.o" "gcc" "src/integrate/CMakeFiles/ooint_integrate.dir/integrated_schema.cc.o.d"
+  "/root/repo/src/integrate/integrator.cc" "src/integrate/CMakeFiles/ooint_integrate.dir/integrator.cc.o" "gcc" "src/integrate/CMakeFiles/ooint_integrate.dir/integrator.cc.o.d"
+  "/root/repo/src/integrate/naive_integrator.cc" "src/integrate/CMakeFiles/ooint_integrate.dir/naive_integrator.cc.o" "gcc" "src/integrate/CMakeFiles/ooint_integrate.dir/naive_integrator.cc.o.d"
+  "/root/repo/src/integrate/principles.cc" "src/integrate/CMakeFiles/ooint_integrate.dir/principles.cc.o" "gcc" "src/integrate/CMakeFiles/ooint_integrate.dir/principles.cc.o.d"
+  "/root/repo/src/integrate/trace.cc" "src/integrate/CMakeFiles/ooint_integrate.dir/trace.cc.o" "gcc" "src/integrate/CMakeFiles/ooint_integrate.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/ooint_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/assertions/CMakeFiles/ooint_assertions.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ooint_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamap/CMakeFiles/ooint_datamap.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

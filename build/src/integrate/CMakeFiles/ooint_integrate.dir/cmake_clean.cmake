@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_integrate.dir/aif.cc.o"
+  "CMakeFiles/ooint_integrate.dir/aif.cc.o.d"
+  "CMakeFiles/ooint_integrate.dir/consistency.cc.o"
+  "CMakeFiles/ooint_integrate.dir/consistency.cc.o.d"
+  "CMakeFiles/ooint_integrate.dir/context.cc.o"
+  "CMakeFiles/ooint_integrate.dir/context.cc.o.d"
+  "CMakeFiles/ooint_integrate.dir/integrated_schema.cc.o"
+  "CMakeFiles/ooint_integrate.dir/integrated_schema.cc.o.d"
+  "CMakeFiles/ooint_integrate.dir/integrator.cc.o"
+  "CMakeFiles/ooint_integrate.dir/integrator.cc.o.d"
+  "CMakeFiles/ooint_integrate.dir/naive_integrator.cc.o"
+  "CMakeFiles/ooint_integrate.dir/naive_integrator.cc.o.d"
+  "CMakeFiles/ooint_integrate.dir/principles.cc.o"
+  "CMakeFiles/ooint_integrate.dir/principles.cc.o.d"
+  "CMakeFiles/ooint_integrate.dir/trace.cc.o"
+  "CMakeFiles/ooint_integrate.dir/trace.cc.o.d"
+  "libooint_integrate.a"
+  "libooint_integrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libooint_integrate.a"
+)

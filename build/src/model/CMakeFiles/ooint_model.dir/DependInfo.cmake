@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cardinality.cc" "src/model/CMakeFiles/ooint_model.dir/cardinality.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/cardinality.cc.o.d"
+  "/root/repo/src/model/class_def.cc" "src/model/CMakeFiles/ooint_model.dir/class_def.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/class_def.cc.o.d"
+  "/root/repo/src/model/instance_parser.cc" "src/model/CMakeFiles/ooint_model.dir/instance_parser.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/instance_parser.cc.o.d"
+  "/root/repo/src/model/instance_store.cc" "src/model/CMakeFiles/ooint_model.dir/instance_store.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/instance_store.cc.o.d"
+  "/root/repo/src/model/object.cc" "src/model/CMakeFiles/ooint_model.dir/object.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/object.cc.o.d"
+  "/root/repo/src/model/oid.cc" "src/model/CMakeFiles/ooint_model.dir/oid.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/oid.cc.o.d"
+  "/root/repo/src/model/schema.cc" "src/model/CMakeFiles/ooint_model.dir/schema.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/schema.cc.o.d"
+  "/root/repo/src/model/schema_parser.cc" "src/model/CMakeFiles/ooint_model.dir/schema_parser.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/schema_parser.cc.o.d"
+  "/root/repo/src/model/value.cc" "src/model/CMakeFiles/ooint_model.dir/value.cc.o" "gcc" "src/model/CMakeFiles/ooint_model.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_model.dir/cardinality.cc.o"
+  "CMakeFiles/ooint_model.dir/cardinality.cc.o.d"
+  "CMakeFiles/ooint_model.dir/class_def.cc.o"
+  "CMakeFiles/ooint_model.dir/class_def.cc.o.d"
+  "CMakeFiles/ooint_model.dir/instance_parser.cc.o"
+  "CMakeFiles/ooint_model.dir/instance_parser.cc.o.d"
+  "CMakeFiles/ooint_model.dir/instance_store.cc.o"
+  "CMakeFiles/ooint_model.dir/instance_store.cc.o.d"
+  "CMakeFiles/ooint_model.dir/object.cc.o"
+  "CMakeFiles/ooint_model.dir/object.cc.o.d"
+  "CMakeFiles/ooint_model.dir/oid.cc.o"
+  "CMakeFiles/ooint_model.dir/oid.cc.o.d"
+  "CMakeFiles/ooint_model.dir/schema.cc.o"
+  "CMakeFiles/ooint_model.dir/schema.cc.o.d"
+  "CMakeFiles/ooint_model.dir/schema_parser.cc.o"
+  "CMakeFiles/ooint_model.dir/schema_parser.cc.o.d"
+  "CMakeFiles/ooint_model.dir/value.cc.o"
+  "CMakeFiles/ooint_model.dir/value.cc.o.d"
+  "libooint_model.a"
+  "libooint_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/assertion_graph.cc" "src/rules/CMakeFiles/ooint_rules.dir/assertion_graph.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/assertion_graph.cc.o.d"
+  "/root/repo/src/rules/evaluator.cc" "src/rules/CMakeFiles/ooint_rules.dir/evaluator.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/evaluator.cc.o.d"
+  "/root/repo/src/rules/fact.cc" "src/rules/CMakeFiles/ooint_rules.dir/fact.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/fact.cc.o.d"
+  "/root/repo/src/rules/matcher.cc" "src/rules/CMakeFiles/ooint_rules.dir/matcher.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/matcher.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/rules/CMakeFiles/ooint_rules.dir/rule.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/rule.cc.o.d"
+  "/root/repo/src/rules/rule_generator.cc" "src/rules/CMakeFiles/ooint_rules.dir/rule_generator.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/rule_generator.cc.o.d"
+  "/root/repo/src/rules/substitution.cc" "src/rules/CMakeFiles/ooint_rules.dir/substitution.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/substitution.cc.o.d"
+  "/root/repo/src/rules/term.cc" "src/rules/CMakeFiles/ooint_rules.dir/term.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/term.cc.o.d"
+  "/root/repo/src/rules/topdown.cc" "src/rules/CMakeFiles/ooint_rules.dir/topdown.cc.o" "gcc" "src/rules/CMakeFiles/ooint_rules.dir/topdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assertions/CMakeFiles/ooint_assertions.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamap/CMakeFiles/ooint_datamap.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ooint_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

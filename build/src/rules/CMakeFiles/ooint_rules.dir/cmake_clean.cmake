@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_rules.dir/assertion_graph.cc.o"
+  "CMakeFiles/ooint_rules.dir/assertion_graph.cc.o.d"
+  "CMakeFiles/ooint_rules.dir/evaluator.cc.o"
+  "CMakeFiles/ooint_rules.dir/evaluator.cc.o.d"
+  "CMakeFiles/ooint_rules.dir/fact.cc.o"
+  "CMakeFiles/ooint_rules.dir/fact.cc.o.d"
+  "CMakeFiles/ooint_rules.dir/matcher.cc.o"
+  "CMakeFiles/ooint_rules.dir/matcher.cc.o.d"
+  "CMakeFiles/ooint_rules.dir/rule.cc.o"
+  "CMakeFiles/ooint_rules.dir/rule.cc.o.d"
+  "CMakeFiles/ooint_rules.dir/rule_generator.cc.o"
+  "CMakeFiles/ooint_rules.dir/rule_generator.cc.o.d"
+  "CMakeFiles/ooint_rules.dir/substitution.cc.o"
+  "CMakeFiles/ooint_rules.dir/substitution.cc.o.d"
+  "CMakeFiles/ooint_rules.dir/term.cc.o"
+  "CMakeFiles/ooint_rules.dir/term.cc.o.d"
+  "CMakeFiles/ooint_rules.dir/topdown.cc.o"
+  "CMakeFiles/ooint_rules.dir/topdown.cc.o.d"
+  "libooint_rules.a"
+  "libooint_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

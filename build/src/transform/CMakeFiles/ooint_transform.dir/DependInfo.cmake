@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/rel_to_oo.cc" "src/transform/CMakeFiles/ooint_transform.dir/rel_to_oo.cc.o" "gcc" "src/transform/CMakeFiles/ooint_transform.dir/rel_to_oo.cc.o.d"
+  "/root/repo/src/transform/relational.cc" "src/transform/CMakeFiles/ooint_transform.dir/relational.cc.o" "gcc" "src/transform/CMakeFiles/ooint_transform.dir/relational.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ooint_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

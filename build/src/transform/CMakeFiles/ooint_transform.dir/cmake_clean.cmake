@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_transform.dir/rel_to_oo.cc.o"
+  "CMakeFiles/ooint_transform.dir/rel_to_oo.cc.o.d"
+  "CMakeFiles/ooint_transform.dir/relational.cc.o"
+  "CMakeFiles/ooint_transform.dir/relational.cc.o.d"
+  "libooint_transform.a"
+  "libooint_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

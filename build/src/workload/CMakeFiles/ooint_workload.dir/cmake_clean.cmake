@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooint_workload.dir/fixtures.cc.o"
+  "CMakeFiles/ooint_workload.dir/fixtures.cc.o.d"
+  "CMakeFiles/ooint_workload.dir/generator.cc.o"
+  "CMakeFiles/ooint_workload.dir/generator.cc.o.d"
+  "libooint_workload.a"
+  "libooint_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooint_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

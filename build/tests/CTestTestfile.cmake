@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
+subdirs("common")
+subdirs("model")
+subdirs("datamap")
+subdirs("assertions")
+subdirs("rules")
+subdirs("integrate")
+subdirs("transform")
+subdirs("federation")
+subdirs("workload")

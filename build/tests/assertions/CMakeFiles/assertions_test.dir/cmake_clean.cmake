@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assertions_test.dir/assertion_set_test.cc.o"
+  "CMakeFiles/assertions_test.dir/assertion_set_test.cc.o.d"
+  "CMakeFiles/assertions_test.dir/kinds_test.cc.o"
+  "CMakeFiles/assertions_test.dir/kinds_test.cc.o.d"
+  "CMakeFiles/assertions_test.dir/parser_test.cc.o"
+  "CMakeFiles/assertions_test.dir/parser_test.cc.o.d"
+  "CMakeFiles/assertions_test.dir/path_test.cc.o"
+  "CMakeFiles/assertions_test.dir/path_test.cc.o.d"
+  "CMakeFiles/assertions_test.dir/roundtrip_property_test.cc.o"
+  "CMakeFiles/assertions_test.dir/roundtrip_property_test.cc.o.d"
+  "assertions_test"
+  "assertions_test.pdb"
+  "assertions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assertions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

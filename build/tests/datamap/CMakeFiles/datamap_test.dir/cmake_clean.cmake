@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datamap_test.dir/data_mapping_test.cc.o"
+  "CMakeFiles/datamap_test.dir/data_mapping_test.cc.o.d"
+  "datamap_test"
+  "datamap_test.pdb"
+  "datamap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datamap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/federation/appendix_b_test.cc" "tests/federation/CMakeFiles/federation_test.dir/appendix_b_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/appendix_b_test.cc.o.d"
+  "/root/repo/tests/federation/explain_test.cc" "tests/federation/CMakeFiles/federation_test.dir/explain_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/explain_test.cc.o.d"
+  "/root/repo/tests/federation/fsm_test.cc" "tests/federation/CMakeFiles/federation_test.dir/fsm_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/fsm_test.cc.o.d"
+  "/root/repo/tests/federation/hospital_pipeline_test.cc" "tests/federation/CMakeFiles/federation_test.dir/hospital_pipeline_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/hospital_pipeline_test.cc.o.d"
+  "/root/repo/tests/federation/identity_test.cc" "tests/federation/CMakeFiles/federation_test.dir/identity_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/identity_test.cc.o.d"
+  "/root/repo/tests/federation/materialize_test.cc" "tests/federation/CMakeFiles/federation_test.dir/materialize_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/materialize_test.cc.o.d"
+  "/root/repo/tests/federation/multi_round_test.cc" "tests/federation/CMakeFiles/federation_test.dir/multi_round_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/multi_round_test.cc.o.d"
+  "/root/repo/tests/federation/principle4_eval_test.cc" "tests/federation/CMakeFiles/federation_test.dir/principle4_eval_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/principle4_eval_test.cc.o.d"
+  "/root/repo/tests/federation/query_parser_test.cc" "tests/federation/CMakeFiles/federation_test.dir/query_parser_test.cc.o" "gcc" "tests/federation/CMakeFiles/federation_test.dir/query_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ooint_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/ooint_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrate/CMakeFiles/ooint_integrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ooint_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/ooint_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/assertions/CMakeFiles/ooint_assertions.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamap/CMakeFiles/ooint_datamap.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ooint_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

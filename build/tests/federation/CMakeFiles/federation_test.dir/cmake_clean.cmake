@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_test.dir/appendix_b_test.cc.o"
+  "CMakeFiles/federation_test.dir/appendix_b_test.cc.o.d"
+  "CMakeFiles/federation_test.dir/explain_test.cc.o"
+  "CMakeFiles/federation_test.dir/explain_test.cc.o.d"
+  "CMakeFiles/federation_test.dir/fsm_test.cc.o"
+  "CMakeFiles/federation_test.dir/fsm_test.cc.o.d"
+  "CMakeFiles/federation_test.dir/hospital_pipeline_test.cc.o"
+  "CMakeFiles/federation_test.dir/hospital_pipeline_test.cc.o.d"
+  "CMakeFiles/federation_test.dir/identity_test.cc.o"
+  "CMakeFiles/federation_test.dir/identity_test.cc.o.d"
+  "CMakeFiles/federation_test.dir/materialize_test.cc.o"
+  "CMakeFiles/federation_test.dir/materialize_test.cc.o.d"
+  "CMakeFiles/federation_test.dir/multi_round_test.cc.o"
+  "CMakeFiles/federation_test.dir/multi_round_test.cc.o.d"
+  "CMakeFiles/federation_test.dir/principle4_eval_test.cc.o"
+  "CMakeFiles/federation_test.dir/principle4_eval_test.cc.o.d"
+  "CMakeFiles/federation_test.dir/query_parser_test.cc.o"
+  "CMakeFiles/federation_test.dir/query_parser_test.cc.o.d"
+  "federation_test"
+  "federation_test.pdb"
+  "federation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integrate/aggregation_scale_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/aggregation_scale_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/aggregation_scale_test.cc.o.d"
+  "/root/repo/tests/integrate/appendix_a_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/appendix_a_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/appendix_a_test.cc.o.d"
+  "/root/repo/tests/integrate/consistency_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/consistency_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/consistency_test.cc.o.d"
+  "/root/repo/tests/integrate/fig15_suppression_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/fig15_suppression_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/fig15_suppression_test.cc.o.d"
+  "/root/repo/tests/integrate/integrated_schema_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/integrated_schema_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/integrated_schema_test.cc.o.d"
+  "/root/repo/tests/integrate/principles_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/principles_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/principles_test.cc.o.d"
+  "/root/repo/tests/integrate/property_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/property_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/property_test.cc.o.d"
+  "/root/repo/tests/integrate/pruning_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/pruning_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/pruning_test.cc.o.d"
+  "/root/repo/tests/integrate/trace_test.cc" "tests/integrate/CMakeFiles/integrate_test.dir/trace_test.cc.o" "gcc" "tests/integrate/CMakeFiles/integrate_test.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ooint_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/ooint_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrate/CMakeFiles/ooint_integrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ooint_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/ooint_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/assertions/CMakeFiles/ooint_assertions.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamap/CMakeFiles/ooint_datamap.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ooint_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_test.dir/aggregation_scale_test.cc.o"
+  "CMakeFiles/integrate_test.dir/aggregation_scale_test.cc.o.d"
+  "CMakeFiles/integrate_test.dir/appendix_a_test.cc.o"
+  "CMakeFiles/integrate_test.dir/appendix_a_test.cc.o.d"
+  "CMakeFiles/integrate_test.dir/consistency_test.cc.o"
+  "CMakeFiles/integrate_test.dir/consistency_test.cc.o.d"
+  "CMakeFiles/integrate_test.dir/fig15_suppression_test.cc.o"
+  "CMakeFiles/integrate_test.dir/fig15_suppression_test.cc.o.d"
+  "CMakeFiles/integrate_test.dir/integrated_schema_test.cc.o"
+  "CMakeFiles/integrate_test.dir/integrated_schema_test.cc.o.d"
+  "CMakeFiles/integrate_test.dir/principles_test.cc.o"
+  "CMakeFiles/integrate_test.dir/principles_test.cc.o.d"
+  "CMakeFiles/integrate_test.dir/property_test.cc.o"
+  "CMakeFiles/integrate_test.dir/property_test.cc.o.d"
+  "CMakeFiles/integrate_test.dir/pruning_test.cc.o"
+  "CMakeFiles/integrate_test.dir/pruning_test.cc.o.d"
+  "CMakeFiles/integrate_test.dir/trace_test.cc.o"
+  "CMakeFiles/integrate_test.dir/trace_test.cc.o.d"
+  "integrate_test"
+  "integrate_test.pdb"
+  "integrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_test.dir/cardinality_test.cc.o"
+  "CMakeFiles/model_test.dir/cardinality_test.cc.o.d"
+  "CMakeFiles/model_test.dir/instance_parser_test.cc.o"
+  "CMakeFiles/model_test.dir/instance_parser_test.cc.o.d"
+  "CMakeFiles/model_test.dir/instance_store_test.cc.o"
+  "CMakeFiles/model_test.dir/instance_store_test.cc.o.d"
+  "CMakeFiles/model_test.dir/oid_test.cc.o"
+  "CMakeFiles/model_test.dir/oid_test.cc.o.d"
+  "CMakeFiles/model_test.dir/schema_parser_test.cc.o"
+  "CMakeFiles/model_test.dir/schema_parser_test.cc.o.d"
+  "CMakeFiles/model_test.dir/schema_test.cc.o"
+  "CMakeFiles/model_test.dir/schema_test.cc.o.d"
+  "CMakeFiles/model_test.dir/value_test.cc.o"
+  "CMakeFiles/model_test.dir/value_test.cc.o.d"
+  "model_test"
+  "model_test.pdb"
+  "model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rules/assertion_graph_test.cc" "tests/rules/CMakeFiles/rules_test.dir/assertion_graph_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/assertion_graph_test.cc.o.d"
+  "/root/repo/tests/rules/evaluator_agreement_test.cc" "tests/rules/CMakeFiles/rules_test.dir/evaluator_agreement_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/evaluator_agreement_test.cc.o.d"
+  "/root/repo/tests/rules/evaluator_edge_test.cc" "tests/rules/CMakeFiles/rules_test.dir/evaluator_edge_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/evaluator_edge_test.cc.o.d"
+  "/root/repo/tests/rules/evaluator_test.cc" "tests/rules/CMakeFiles/rules_test.dir/evaluator_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/evaluator_test.cc.o.d"
+  "/root/repo/tests/rules/fig9_schematic_test.cc" "tests/rules/CMakeFiles/rules_test.dir/fig9_schematic_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/fig9_schematic_test.cc.o.d"
+  "/root/repo/tests/rules/filtered_topdown_test.cc" "tests/rules/CMakeFiles/rules_test.dir/filtered_topdown_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/filtered_topdown_test.cc.o.d"
+  "/root/repo/tests/rules/rule_generator_test.cc" "tests/rules/CMakeFiles/rules_test.dir/rule_generator_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/rule_generator_test.cc.o.d"
+  "/root/repo/tests/rules/section2_rules_test.cc" "tests/rules/CMakeFiles/rules_test.dir/section2_rules_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/section2_rules_test.cc.o.d"
+  "/root/repo/tests/rules/substitution_test.cc" "tests/rules/CMakeFiles/rules_test.dir/substitution_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/substitution_test.cc.o.d"
+  "/root/repo/tests/rules/topdown_test.cc" "tests/rules/CMakeFiles/rules_test.dir/topdown_test.cc.o" "gcc" "tests/rules/CMakeFiles/rules_test.dir/topdown_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ooint_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/ooint_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrate/CMakeFiles/ooint_integrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ooint_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/ooint_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/assertions/CMakeFiles/ooint_assertions.dir/DependInfo.cmake"
+  "/root/repo/build/src/datamap/CMakeFiles/ooint_datamap.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ooint_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ooint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

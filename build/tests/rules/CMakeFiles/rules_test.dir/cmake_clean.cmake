@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_test.dir/assertion_graph_test.cc.o"
+  "CMakeFiles/rules_test.dir/assertion_graph_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/evaluator_agreement_test.cc.o"
+  "CMakeFiles/rules_test.dir/evaluator_agreement_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/evaluator_edge_test.cc.o"
+  "CMakeFiles/rules_test.dir/evaluator_edge_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/evaluator_test.cc.o"
+  "CMakeFiles/rules_test.dir/evaluator_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/fig9_schematic_test.cc.o"
+  "CMakeFiles/rules_test.dir/fig9_schematic_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/filtered_topdown_test.cc.o"
+  "CMakeFiles/rules_test.dir/filtered_topdown_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/rule_generator_test.cc.o"
+  "CMakeFiles/rules_test.dir/rule_generator_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/section2_rules_test.cc.o"
+  "CMakeFiles/rules_test.dir/section2_rules_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/substitution_test.cc.o"
+  "CMakeFiles/rules_test.dir/substitution_test.cc.o.d"
+  "CMakeFiles/rules_test.dir/topdown_test.cc.o"
+  "CMakeFiles/rules_test.dir/topdown_test.cc.o.d"
+  "rules_test"
+  "rules_test.pdb"
+  "rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

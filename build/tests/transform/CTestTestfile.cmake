@@ -1,0 +1,6 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/transform
+# Build directory: /root/repo/build/tests/transform
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
