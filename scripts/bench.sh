@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the evaluator benchmarks and writes the JSON snapshot the docs
+# reference (BENCH_eval.json at the repo root).
+#
+# Usage: scripts/bench.sh [benchmark_filter]
+#   scripts/bench.sh                      # full bench_eval suite
+#   scripts/bench.sh 'BM_BottomUp.*'      # subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-.}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_eval" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target bench_eval
+fi
+
+"$BUILD_DIR/bench/bench_eval" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_eval.json \
+  --benchmark_out_format=json
+echo "Wrote $(pwd)/BENCH_eval.json"

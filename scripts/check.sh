@@ -1,8 +1,30 @@
 #!/usr/bin/env bash
 # Full verification loop: configure, build, test, run every benchmark.
+#
+# Usage: scripts/check.sh [--asan]
+#   --asan  build into build-asan/ with OOINT_SANITIZE=address,undefined
+#           and run the tests under the sanitizers (benchmarks skipped:
+#           sanitized timings are meaningless).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/bench_*; do "$b"; done
+
+BUILD_DIR=build
+CONFIG_ARGS=()
+RUN_BENCH=1
+if [[ "${1:-}" == "--asan" ]]; then
+  BUILD_DIR=build-asan
+  CONFIG_ARGS+=(-DOOINT_SANITIZE=address,undefined)
+  RUN_BENCH=0
+fi
+
+# Prefer Ninja when available; fall back to the default generator.
+if command -v ninja >/dev/null 2>&1; then
+  CONFIG_ARGS+=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CONFIG_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+if [[ "$RUN_BENCH" == 1 ]]; then
+  for b in "$BUILD_DIR"/bench/bench_*; do "$b"; done
+fi

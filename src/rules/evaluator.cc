@@ -1,10 +1,37 @@
 #include "rules/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <set>
 
 #include "common/string_util.h"
 
 namespace ooint {
+
+namespace {
+
+/// True when every variable occurring in `literal` is bound.
+bool AllVarsBound(const Literal& literal, const Bindings& bindings) {
+  std::vector<std::string> vars;
+  CollectVariables(literal, &vars);
+  for (const std::string& v : vars) {
+    if (bindings.find(v) == bindings.end()) return false;
+  }
+  return true;
+}
+
+int BoundVarCount(const Literal& literal, const Bindings& bindings) {
+  std::vector<std::string> vars;
+  CollectVariables(literal, &vars);
+  int bound = 0;
+  for (const std::string& v : vars) {
+    if (bindings.find(v) != bindings.end()) ++bound;
+  }
+  return bound;
+}
+
+}  // namespace
 
 void Evaluator::AddSource(const std::string& schema_name,
                           const InstanceStore* store) {
@@ -52,12 +79,8 @@ Status Evaluator::AddRule(Rule rule) {
 
 void Evaluator::Reset() {
   evaluated_ = false;
-  all_facts_.clear();
-  facts_.clear();
-  fact_keys_.clear();
-  skolem_attr_keys_.clear();
-  by_oid_.clear();
-  skolem_counter_ = 0;
+  store_.Clear();
+  skolem_seen_.clear();
   stats_ = Stats();
 }
 
@@ -66,16 +89,8 @@ FactMatcher Evaluator::MakeMatcher() const {
                      mappings_);
 }
 
-bool Evaluator::InsertFact(Fact fact) {
-  const std::string key = fact.CanonicalKey();
-  if (!fact_keys_.insert(key).second) return false;
-  all_facts_.push_back(std::move(fact));
-  const Fact& stored = all_facts_.back();
-  facts_[stored.concept_name].push_back(&stored);
-  if (!stored.oid.empty()) {
-    by_oid_.emplace(stored.oid, &stored);
-  }
-  return true;
+const Fact* Evaluator::InsertFact(Fact fact) {
+  return store_.Insert(std::move(fact));
 }
 
 Status Evaluator::LoadBaseFacts() {
@@ -150,98 +165,327 @@ Status Evaluator::Evaluate() {
   int max_stratum = 0;
   OOINT_RETURN_IF_ERROR(Stratify(&strata, &max_stratum));
   stats_.strata = static_cast<size_t>(max_stratum) + 1;
+  const FactMatcher matcher = MakeMatcher();
+
+  // Per-rule join plans: the positions of positive fact literals (the
+  // delta-restrictable ones), with their concepts interned up front.
+  struct RulePlan {
+    const Rule* rule;
+    std::vector<std::pair<size_t, ConceptId>> positive;
+  };
 
   for (int stratum = 0; stratum <= max_stratum; ++stratum) {
-    std::vector<const Rule*> active;
+    const auto stratum_start = std::chrono::steady_clock::now();
+    std::vector<RulePlan> active;
     for (const Rule& rule : rules_) {
       const std::vector<std::string> heads = rule.HeadConceptNames();
-      if (!heads.empty() && strata[heads.front()] == stratum) {
-        active.push_back(&rule);
-      }
-    }
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      ++stats_.iterations;
-      for (const Rule* rule : active) {
-        std::vector<Fact> new_facts;
-        OOINT_RETURN_IF_ERROR(ApplyRule(*rule, &new_facts));
-        for (Fact& fact : new_facts) {
-          if (InsertFact(std::move(fact))) {
-            ++stats_.derived_facts;
-            changed = true;
-          }
+      if (heads.empty() || strata[heads.front()] != stratum) continue;
+      RulePlan plan{&rule, {}};
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const Literal& literal = rule.body[i];
+        if (literal.negated) continue;
+        if (literal.kind == Literal::Kind::kOTerm) {
+          plan.positive.emplace_back(
+              i, store_.InternConcept(literal.oterm.class_name));
+        } else if (literal.kind == Literal::Kind::kPredicate) {
+          plan.positive.emplace_back(
+              i, store_.InternConcept(literal.pred_name));
         }
       }
+      active.push_back(std::move(plan));
     }
+
+    if (strategy_ == EvalStrategy::kNaive) {
+      // Textbook fixpoint: every rule over the whole universe, strict
+      // left-to-right joins, linear scans. Kept as the differential
+      // oracle for the semi-naive path.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        ++stats_.iterations;
+        for (const RulePlan& plan : active) {
+          JoinContext ctx;
+          ctx.rule = plan.rule;
+          ctx.reorder = false;
+          ctx.use_index = false;
+          size_t inserted = 0;
+          OOINT_RETURN_IF_ERROR(ApplyRule(matcher, ctx, &inserted));
+          if (inserted > 0) changed = true;
+        }
+      }
+    } else {
+      // Semi-naive rounds. The delta window of concept_id c in a round is
+      // [prev[c], cur[c]) over c's extent ordinals; the first round of a
+      // stratum seeds the delta with every fact visible so far (base
+      // facts plus lower strata) and evaluates rules unrestricted.
+      std::vector<std::uint32_t> prev;
+      bool first = true;
+      while (true) {
+        std::vector<std::uint32_t> cur(store_.concept_count());
+        for (ConceptId c = 0; c < cur.size(); ++c) {
+          cur[c] = static_cast<std::uint32_t>(store_.CountOf(c));
+        }
+        prev.resize(cur.size(), 0);
+        size_t delta_total = 0;
+        for (size_t c = 0; c < cur.size(); ++c) delta_total += cur[c] - prev[c];
+        // The converged (empty) round is recorded too, so the trace
+        // reads seed, growth..., 0.
+        stats_.delta_sizes.push_back(delta_total);
+        if (!first && delta_total == 0) break;
+        ++stats_.iterations;
+
+        for (const RulePlan& plan : active) {
+          if (first) {
+            JoinContext ctx;
+            ctx.rule = plan.rule;
+            size_t inserted = 0;
+            OOINT_RETURN_IF_ERROR(ApplyRule(matcher, ctx, &inserted));
+            continue;
+          }
+          // A new instantiation must use at least one delta fact in some
+          // positive position; run once per position with a non-empty
+          // delta (rules without positive literals fired exhaustively in
+          // the first round).
+          for (const auto& [index, concept_id] : plan.positive) {
+            const std::uint32_t begin = prev[concept_id];
+            const std::uint32_t end = cur[concept_id];
+            if (begin >= end) continue;
+            JoinContext ctx;
+            ctx.rule = plan.rule;
+            ctx.delta_literal = static_cast<int>(index);
+            ctx.delta_begin = begin;
+            ctx.delta_end = end;
+            size_t inserted = 0;
+            OOINT_RETURN_IF_ERROR(ApplyRule(matcher, ctx, &inserted));
+          }
+        }
+        prev = std::move(cur);
+        first = false;
+      }
+    }
+    stats_.stratum_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - stratum_start)
+            .count());
   }
   evaluated_ = true;
   return Status::OK();
 }
 
-const std::vector<const Fact*>& Evaluator::CurrentFacts(
+std::vector<const Fact*> Evaluator::FactsOf(
     const std::string& concept_name) const {
-  static const std::vector<const Fact*> kEmpty;
-  auto it = facts_.find(concept_name);
-  return it == facts_.end() ? kEmpty : it->second;
-}
-
-std::vector<const Fact*> Evaluator::FactsOf(const std::string& concept_name) const {
-  return CurrentFacts(concept_name);
+  return store_.FactsOf(concept_name);
 }
 
 const Fact* Evaluator::FindByOid(const Oid& oid) const {
-  auto it = by_oid_.find(oid);
-  return it == by_oid_.end() ? nullptr : it->second;
+  return store_.FindByOid(oid);
 }
 
-Status Evaluator::SolveBody(const FactMatcher& matcher,
-                            const std::vector<Literal>& body, size_t index,
+void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
+                                  const Literal& literal,
+                                  const Bindings& bindings,
+                                  std::vector<std::uint32_t>* candidates,
+                                  ConceptId* concept_id) const {
+  const std::string& name = literal.kind == Literal::Kind::kOTerm
+                                ? literal.oterm.class_name
+                                : literal.pred_name;
+  *concept_id = store_.FindConcept(name);
+  if (*concept_id == kNoConcept) return;
+  std::uint32_t begin = 0;
+  std::uint32_t end = static_cast<std::uint32_t>(store_.CountOf(*concept_id));
+  if (static_cast<int>(literal_index) == ctx.delta_literal) {
+    begin = ctx.delta_begin;
+    end = std::min(end, ctx.delta_end);
+  }
+  if (begin >= end) return;
+
+  const std::vector<std::uint32_t>* best = nullptr;
+  if (ctx.use_index) {
+    // OID probes are exact only without a data-mapping registry (mapped
+    // OIDs compare equal without being bytewise equal); value probes are
+    // likewise skipped for OID-kind values under mappings and for
+    // set-kind values (the matcher compares sets element-wise).
+    auto probeable = [this](const Value& v) {
+      if (v.kind() == ValueKind::kSet) return false;
+      if (v.kind() == ValueKind::kOid && mappings_ != nullptr) return false;
+      return true;
+    };
+    auto consider = [&](const std::string& attr, const Value& v) {
+      if (!probeable(v)) return;
+      const std::vector<std::uint32_t>* hits =
+          store_.Probe(*concept_id, attr, v);
+      if (hits == nullptr) {
+        static const std::vector<std::uint32_t> kNone;
+        best = &kNone;  // a bound position with no hits: empty join
+      } else if (best == nullptr || hits->size() < best->size()) {
+        best = hits;
+      }
+    };
+    if (literal.kind == Literal::Kind::kOTerm) {
+      Value object;
+      if (ResolveArg(literal.oterm.object, bindings, &object) &&
+          object.kind() == ValueKind::kOid && mappings_ == nullptr) {
+        store_.ProbeOid(*concept_id, object.AsOid(), candidates);
+        candidates->erase(std::lower_bound(candidates->begin(),
+                                           candidates->end(), end),
+                          candidates->end());
+        candidates->erase(candidates->begin(),
+                          std::lower_bound(candidates->begin(),
+                                           candidates->end(), begin));
+        ++stats_.index_probes;
+        return;
+      }
+      for (const AttrDescriptor& d : literal.oterm.attrs) {
+        std::string attr = d.attribute;
+        if (d.attr_is_variable) {
+          auto it = bindings.find(d.attribute);
+          if (it == bindings.end() ||
+              it->second.kind() != ValueKind::kString) {
+            continue;
+          }
+          attr = it->second.AsString();
+        }
+        Value v;
+        if (!ResolveArg(d.value, bindings, &v)) continue;
+        consider(attr, v);
+      }
+    } else {
+      for (size_t i = 0; i < literal.args.size(); ++i) {
+        Value v;
+        if (!ResolveArg(literal.args[i], bindings, &v)) continue;
+        consider(StrCat(i), v);
+      }
+    }
+  }
+
+  if (best != nullptr) {
+    ++stats_.index_probes;
+    auto from = std::lower_bound(best->begin(), best->end(), begin);
+    auto to = std::lower_bound(best->begin(), best->end(), end);
+    candidates->assign(from, to);
+    return;
+  }
+  ++stats_.index_scans;
+  candidates->resize(end - begin);
+  std::iota(candidates->begin(), candidates->end(), begin);
+}
+
+Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
+                            std::vector<char>* done, size_t remaining,
                             Solution solution,
                             std::vector<Solution>* solutions) const {
-  if (index == body.size()) {
+  if (remaining == 0) {
     solutions->push_back(std::move(solution));
     return Status::OK();
   }
-  const Literal& literal = body[index];
+  const std::vector<Literal>& body = ctx.rule->body;
+
+  // Pick the next literal. The naive oracle keeps the written order;
+  // otherwise: (1) an already-decidable filter (a comparison with both
+  // sides bound, an equality able to bind its one unbound side, or a
+  // fully bound negated literal) runs immediately, (2) among positive
+  // fact literals the one with the most bound variables wins (the delta
+  // literal breaks ties — its window is the smallest extent), (3) any
+  // leftover keeps the old left-to-right semantics.
+  size_t pick = body.size();
+  if (!ctx.reorder) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!(*done)[i]) {
+        pick = i;
+        break;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < body.size() && pick == body.size(); ++i) {
+      if ((*done)[i]) continue;
+      const Literal& literal = body[i];
+      if (literal.kind == Literal::Kind::kCompare) {
+        Value tmp;
+        const bool lhs_ok = ResolveArg(literal.cmp_lhs, solution.bindings, &tmp);
+        const bool rhs_ok = ResolveArg(literal.cmp_rhs, solution.bindings, &tmp);
+        if ((lhs_ok && rhs_ok) ||
+            (literal.cmp_op == CompareOp::kEq && !literal.negated &&
+             (lhs_ok || rhs_ok))) {
+          pick = i;
+        }
+      } else if (literal.negated) {
+        if (AllVarsBound(literal, solution.bindings)) pick = i;
+      }
+    }
+    if (pick == body.size()) {
+      int best_score = -1;
+      for (size_t i = 0; i < body.size(); ++i) {
+        if ((*done)[i]) continue;
+        const Literal& literal = body[i];
+        if (literal.kind == Literal::Kind::kCompare || literal.negated) {
+          continue;
+        }
+        int score = 2 * BoundVarCount(literal, solution.bindings);
+        if (static_cast<int>(i) == ctx.delta_literal) ++score;
+        if (score > best_score) {
+          best_score = score;
+          pick = i;
+        }
+      }
+    }
+    if (pick == body.size()) {
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (!(*done)[i]) {
+          pick = i;
+          break;
+        }
+      }
+    }
+  }
+
+  const Literal& literal = body[pick];
+  (*done)[pick] = 1;
+  auto recurse = [&](Solution next) {
+    return SolveBody(matcher, ctx, done, remaining - 1, std::move(next),
+                     solutions);
+  };
+  Status status = Status::OK();
   switch (literal.kind) {
     case Literal::Kind::kOTerm: {
-      const std::vector<const Fact*>& candidates =
-          CurrentFacts(literal.oterm.class_name);
+      ConceptId concept_id = kNoConcept;
+      std::vector<std::uint32_t> candidates;
+      CollectCandidates(ctx, pick, literal, solution.bindings, &candidates,
+                        &concept_id);
       if (!literal.negated) {
-        for (const Fact* fact : candidates) {
+        for (std::uint32_t ordinal : candidates) {
+          const Fact* fact = store_.FactAt(concept_id, ordinal);
           std::vector<Bindings> matches;
           matcher.MatchOTerm(literal.oterm, *fact, solution.bindings,
                              &matches);
           for (Bindings& match : matches) {
             Solution next = solution;
             next.bindings = std::move(match);
-            next.matched.push_back(fact);
-            OOINT_RETURN_IF_ERROR(SolveBody(matcher, body, index + 1,
-                                            std::move(next), solutions));
+            next.matched[pick] = fact;
+            status = recurse(std::move(next));
+            if (!status.ok()) break;
           }
+          if (!status.ok()) break;
         }
       } else {
         bool found = false;
-        for (const Fact* fact : candidates) {
+        for (std::uint32_t ordinal : candidates) {
           std::vector<Bindings> matches;
-          matcher.MatchOTerm(literal.oterm, *fact, solution.bindings,
-                             &matches);
+          matcher.MatchOTerm(literal.oterm, *store_.FactAt(concept_id, ordinal),
+                             solution.bindings, &matches);
           if (!matches.empty()) {
             found = true;
             break;
           }
         }
-        if (!found) {
-          OOINT_RETURN_IF_ERROR(SolveBody(matcher, body, index + 1,
-                                          std::move(solution), solutions));
-        }
+        if (!found) status = recurse(std::move(solution));
       }
-      return Status::OK();
+      break;
     }
     case Literal::Kind::kPredicate: {
-      const std::vector<const Fact*>& candidates =
-          CurrentFacts(literal.pred_name);
+      ConceptId concept_id = kNoConcept;
+      std::vector<std::uint32_t> candidates;
+      CollectCandidates(ctx, pick, literal, solution.bindings, &candidates,
+                        &concept_id);
       auto match_args = [&](const Fact& fact, Bindings* b) -> bool {
         for (size_t i = 0; i < literal.args.size(); ++i) {
           auto it = fact.attrs.find(StrCat(i));
@@ -265,30 +509,28 @@ Status Evaluator::SolveBody(const FactMatcher& matcher,
         return true;
       };
       if (!literal.negated) {
-        for (const Fact* fact : candidates) {
+        for (std::uint32_t ordinal : candidates) {
+          const Fact* fact = store_.FactAt(concept_id, ordinal);
           Bindings next = solution.bindings;
           if (match_args(*fact, &next)) {
             Solution s = solution;
             s.bindings = std::move(next);
-            OOINT_RETURN_IF_ERROR(
-                SolveBody(matcher, body, index + 1, std::move(s), solutions));
+            status = recurse(std::move(s));
+            if (!status.ok()) break;
           }
         }
       } else {
         bool found = false;
-        for (const Fact* fact : candidates) {
+        for (std::uint32_t ordinal : candidates) {
           Bindings next = solution.bindings;
-          if (match_args(*fact, &next)) {
+          if (match_args(*store_.FactAt(concept_id, ordinal), &next)) {
             found = true;
             break;
           }
         }
-        if (!found) {
-          OOINT_RETURN_IF_ERROR(SolveBody(matcher, body, index + 1,
-                                          std::move(solution), solutions));
-        }
+        if (!found) status = recurse(std::move(solution));
       }
-      return Status::OK();
+      break;
     }
     case Literal::Kind::kCompare: {
       Value lhs;
@@ -300,15 +542,17 @@ Status Evaluator::SolveBody(const FactMatcher& matcher,
         // Equality with exactly one bound side binds the other.
         const TermArg& unbound = lhs_ok ? literal.cmp_rhs : literal.cmp_lhs;
         const Value& value = lhs_ok ? lhs : rhs;
-        if (!unbound.is_variable()) return Status::OK();
-        Solution next = solution;
-        next.bindings[unbound.var] = value;
-        return SolveBody(matcher, body, index + 1, std::move(next),
-                         solutions);
+        if (unbound.is_variable()) {
+          Solution next = solution;
+          next.bindings[unbound.var] = value;
+          status = recurse(std::move(next));
+        }
+        break;
       }
       if (!lhs_ok || !rhs_ok) {
-        return Status::FailedPrecondition(StrCat(
+        status = Status::FailedPrecondition(StrCat(
             "comparison over unbound variables: ", literal.ToString()));
+        break;
       }
       bool truth = false;
       if (literal.cmp_op == CompareOp::kEq) {
@@ -317,25 +561,30 @@ Status Evaluator::SolveBody(const FactMatcher& matcher,
         truth = !matcher.ValuesEqual(lhs, rhs);
       } else {
         Result<bool> cmp = Compare(lhs, literal.cmp_op, rhs);
-        if (!cmp.ok()) return cmp.status();
+        if (!cmp.ok()) {
+          status = cmp.status();
+          break;
+        }
         truth = cmp.value();
       }
-      if (truth != literal.negated) {
-        return SolveBody(matcher, body, index + 1, std::move(solution),
-                         solutions);
-      }
-      return Status::OK();
+      if (truth != literal.negated) status = recurse(std::move(solution));
+      break;
     }
   }
-  return Status::Internal("unreachable literal kind");
+  (*done)[pick] = 0;
+  return status;
 }
 
-Status Evaluator::ApplyRule(const Rule& rule, std::vector<Fact>* new_facts) {
+Status Evaluator::ApplyRule(const FactMatcher& matcher, const JoinContext& ctx,
+                            size_t* inserted) {
   ++stats_.rule_applications;
-  const FactMatcher matcher = MakeMatcher();
+  const Rule& rule = *ctx.rule;
   std::vector<Solution> solutions;
-  OOINT_RETURN_IF_ERROR(
-      SolveBody(matcher, rule.body, 0, Solution(), &solutions));
+  Solution init;
+  init.matched.assign(rule.body.size(), nullptr);
+  std::vector<char> done(rule.body.size(), 0);
+  OOINT_RETURN_IF_ERROR(SolveBody(matcher, ctx, &done, rule.body.size(),
+                                  std::move(init), &solutions));
 
   const Literal& head = rule.head.front();
   for (const Solution& solution : solutions) {
@@ -350,7 +599,10 @@ Status Evaluator::ApplyRule(const Rule& rule, std::vector<Fact>* new_facts) {
         }
         fact.attrs[StrCat(i)] = std::move(v);
       }
-      new_facts->push_back(std::move(fact));
+      if (InsertFact(std::move(fact)) != nullptr) {
+        ++stats_.derived_facts;
+        ++*inserted;
+      }
       continue;
     }
 
@@ -420,19 +672,34 @@ Status Evaluator::ApplyRule(const Rule& rule, std::vector<Fact>* new_facts) {
       }
     }
     if (skolem) {
-      // De-duplicate derived entities by their attribute values.
-      const std::string key = fact.AttrKey();
-      auto& seen = skolem_attr_keys_[fact.concept_name];
-      if (seen.count(key) != 0) continue;
-      seen.insert(key);
-      fact.oid = Oid("derived", "ooint", "global", fact.concept_name,
-                     ++skolem_counter_);
+      // De-duplicate derived entities by their attribute values; the
+      // skolem OID is content-addressed (the hash of those values) so
+      // both fixpoint strategies assign identical OIDs regardless of
+      // derivation order.
+      const std::uint64_t key = HashFactAttrs(fact);
+      std::vector<const Fact*>& seen = skolem_seen_[key];
+      bool duplicate = false;
+      for (const Fact* f : seen) {
+        if (f->concept_name == fact.concept_name && f->attrs == fact.attrs) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      fact.oid = Oid("derived", "ooint", "global", fact.concept_name, key);
+      const Fact* stored = InsertFact(std::move(fact));
+      if (stored != nullptr) {
+        seen.push_back(stored);
+        ++stats_.derived_facts;
+        ++*inserted;
+      }
     } else {
       // Merge the attributes of every matched body fact describing the
       // same entity, so membership rules (<x: IS_AB> <= <x: A>, ...)
-      // carry the entity's data into the integrated class.
+      // carry the entity's data into the integrated class. Slots are in
+      // body order, keeping the merge independent of the join order.
       for (const Fact* matched : solution.matched) {
-        if (matched->oid.empty()) continue;
+        if (matched == nullptr || matched->oid.empty()) continue;
         if (!matcher.ValuesEqual(Value::OfOid(matched->oid),
                                  Value::OfOid(fact.oid))) {
           continue;
@@ -441,8 +708,11 @@ Status Evaluator::ApplyRule(const Rule& rule, std::vector<Fact>* new_facts) {
           fact.attrs.emplace(name, value);
         }
       }
+      if (InsertFact(std::move(fact)) != nullptr) {
+        ++stats_.derived_facts;
+        ++*inserted;
+      }
     }
-    new_facts->push_back(std::move(fact));
   }
   return Status::OK();
 }
@@ -452,9 +722,16 @@ Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
     return Status::FailedPrecondition("call Evaluate() before Query()");
   }
   const FactMatcher matcher = MakeMatcher();
+  // Constant descriptors in the pattern probe the value index directly.
+  const Literal literal = Literal::OfOTerm(pattern);
+  JoinContext ctx;
+  ConceptId concept_id = kNoConcept;
+  std::vector<std::uint32_t> candidates;
+  CollectCandidates(ctx, 0, literal, Bindings(), &candidates, &concept_id);
   std::vector<Bindings> out;
-  for (const Fact* fact : CurrentFacts(pattern.class_name)) {
-    matcher.MatchOTerm(pattern, *fact, Bindings(), &out);
+  for (std::uint32_t ordinal : candidates) {
+    matcher.MatchOTerm(pattern, *store_.FactAt(concept_id, ordinal), Bindings(),
+                       &out);
   }
   // De-duplicate bindings.
   std::set<std::string> seen;

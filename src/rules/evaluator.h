@@ -1,20 +1,28 @@
 #ifndef OOINT_RULES_EVALUATOR_H_
 #define OOINT_RULES_EVALUATOR_H_
 
-#include <deque>
+#include <cstdint>
 #include <map>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "datamap/data_mapping.h"
 #include "model/instance_store.h"
 #include "rules/fact.h"
+#include "rules/fact_store.h"
 #include "rules/matcher.h"
 #include "rules/rule.h"
 
 namespace ooint {
+
+/// Fixpoint strategy. kSemiNaive (the default) evaluates each rule only
+/// against body instantiations that touch at least one fact derived in
+/// the previous round (delta-driven, with bound-first indexed joins);
+/// kNaive is the textbook re-evaluate-everything loop kept as the
+/// differential-testing oracle — both derive the same fact sets.
+enum class EvalStrategy { kSemiNaive, kNaive };
 
 /// Bottom-up evaluator of the "virtual" rules the integration principles
 /// generate (Section 5, Appendix B).
@@ -27,6 +35,12 @@ namespace ooint {
 /// Rules then derive virtual-class membership and derived objects on
 /// top. Evaluation runs stratum by stratum (stratified negation: the
 /// ¬IS_AB patterns of Principles 3 and 4) to a fixpoint.
+///
+/// The fixpoint is semi-naive: per-concept_id delta windows track the facts
+/// each round added, and every rule application constrains one positive
+/// body literal to the delta while the join order is chosen bound-first
+/// against the FactStore's (concept_id, attribute, value) and OID hash
+/// indexes (see DESIGN.md "Evaluation strategy").
 ///
 /// Equality between two OID values consults the DataMappingRegistry when
 /// one is configured — the paper's "oi1 = oi2 (in terms of data
@@ -56,6 +70,9 @@ class Evaluator {
     mappings_ = registry;
   }
 
+  void set_strategy(EvalStrategy strategy) { strategy_ = strategy; }
+  EvalStrategy strategy() const { return strategy_; }
+
   /// Runs stratified fixpoint evaluation. Idempotent until rules or
   /// sources change (call Reset() to re-run).
   Status Evaluate();
@@ -75,6 +92,14 @@ class Evaluator {
     size_t rule_applications = 0;
     size_t iterations = 0;
     size_t strata = 0;
+    /// Literal expansions answered by an index lookup vs. by scanning a
+    /// concept_id extent (or delta window).
+    size_t index_probes = 0;
+    size_t index_scans = 0;
+    /// Total delta facts fed into each fixpoint round, in order.
+    std::vector<size_t> delta_sizes;
+    /// Wall-clock milliseconds spent per stratum.
+    std::vector<double> stratum_ms;
   };
   const Stats& stats() const { return stats_; }
 
@@ -89,38 +114,58 @@ class Evaluator {
     std::string class_name;
   };
 
-  /// Loads base facts for every bound concept_name into facts_.
+  /// Loads base facts for every bound concept_name into the store.
   Status LoadBaseFacts();
   /// Assigns strata to concepts; error on negation cycles.
   Status Stratify(std::map<std::string, int>* strata, int* max_stratum) const;
 
   /// One body solution: the variable bindings plus the facts matched by
-  /// positive O-term literals (used to merge attributes into derived
-  /// facts about the same entity).
+  /// positive O-term literals, slotted by body position so attribute
+  /// merging is independent of the join order chosen at runtime.
   struct Solution {
     Bindings bindings;
-    std::vector<const Fact*> matched;
+    std::vector<const Fact*> matched;  // body.size() slots, may be null
+  };
+
+  /// Per-ApplyRule join context: which body literal (if any) is
+  /// restricted to the delta window of its concept_id, and whether the
+  /// naive oracle semantics (left-to-right, scan-only) are requested.
+  struct JoinContext {
+    const Rule* rule = nullptr;
+    int delta_literal = -1;
+    std::uint32_t delta_begin = 0;
+    std::uint32_t delta_end = 0;
+    bool reorder = true;
+    bool use_index = true;
   };
 
   /// The shared unification machinery, wired to this evaluator's fact
   /// universe and data mappings.
   FactMatcher MakeMatcher() const;
 
-  /// All current facts of `concept_name` (stable pointers).
-  const std::vector<const Fact*>& CurrentFacts(
-      const std::string& concept_name) const;
+  /// Records a fact if it is new; returns the stored fact or nullptr.
+  const Fact* InsertFact(Fact fact);
 
-  /// Records a fact if it is new; returns whether anything was added.
-  bool InsertFact(Fact fact);
+  /// Evaluates one rule under `ctx` and inserts the derived facts;
+  /// `inserted` reports how many were new.
+  Status ApplyRule(const FactMatcher& matcher, const JoinContext& ctx,
+                   size_t* inserted);
 
-  /// Evaluates one rule against current facts; appends newly derived
-  /// facts (not yet inserted) to `new_facts`.
-  Status ApplyRule(const Rule& rule, std::vector<Fact>* new_facts);
-
-  /// Joins the rule body left-to-right.
-  Status SolveBody(const FactMatcher& matcher,
-                   const std::vector<Literal>& body, size_t index,
+  /// Solves the remaining body literals (done[i] marks consumed ones),
+  /// choosing the next literal bound-first (see DESIGN.md).
+  Status SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
+                   std::vector<char>* done, size_t remaining,
                    Solution solution, std::vector<Solution>* solutions) const;
+
+  /// Candidate facts for a positive or negated fact literal: an index
+  /// probe when some argument/descriptor is bound to a hashable value,
+  /// otherwise the concept_id extent; restricted to the delta window when
+  /// `literal_index` is the context's delta literal. Ordinals refer to
+  /// the concept_id's extent.
+  void CollectCandidates(const JoinContext& ctx, size_t literal_index,
+                         const Literal& literal, const Bindings& bindings,
+                         std::vector<std::uint32_t>* candidates,
+                         ConceptId* concept_id) const;
 
   const Fact* FindByOid(const Oid& oid) const;
 
@@ -128,15 +173,15 @@ class Evaluator {
   std::vector<ConceptBinding> bindings_decl_;
   std::vector<Rule> rules_;
   const DataMappingRegistry* mappings_ = nullptr;
+  EvalStrategy strategy_ = EvalStrategy::kSemiNaive;
 
   bool evaluated_ = false;
-  std::deque<Fact> all_facts_;  // stable storage
-  std::map<std::string, std::vector<const Fact*>> facts_;
-  std::set<std::string> fact_keys_;
-  std::map<std::string, std::set<std::string>> skolem_attr_keys_;
-  std::map<Oid, const Fact*> by_oid_;
-  std::uint64_t skolem_counter_ = 0;
-  Stats stats_;
+  FactStore store_;
+  /// Skolem de-duplication: hash of (concept_id, attrs) -> stored facts,
+  /// exact-verified (derived entities are identified by their attribute
+  /// values; see ApplyRule).
+  std::unordered_map<std::uint64_t, std::vector<const Fact*>> skolem_seen_;
+  mutable Stats stats_;  // probe/scan counters tick inside const joins
 };
 
 }  // namespace ooint

@@ -1,0 +1,214 @@
+#include "rules/fact_store.h"
+
+#include <cstring>
+
+namespace ooint {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t FnvBytes(std::uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
+  return FnvBytes(seed ^ kFnvOffset, &v, sizeof(v));
+}
+
+std::uint64_t HashString(const std::string& s) {
+  return FnvBytes(kFnvOffset, s.data(), s.size());
+}
+
+std::uint64_t HashOid(const Oid& oid) {
+  std::uint64_t h = HashString(oid.agent());
+  h = HashCombine(h, HashString(oid.dbms()));
+  h = HashCombine(h, HashString(oid.database()));
+  h = HashCombine(h, HashString(oid.relation()));
+  return HashCombine(h, oid.number());
+}
+
+std::uint64_t HashValue(const Value& value) {
+  std::uint64_t h = static_cast<std::uint64_t>(value.kind()) + 1;
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBoolean:
+      h = HashCombine(h, value.AsBoolean() ? 1 : 0);
+      break;
+    case ValueKind::kInteger:
+      h = HashCombine(h, static_cast<std::uint64_t>(value.AsInteger()));
+      break;
+    case ValueKind::kReal: {
+      const double d = value.AsReal();
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      h = HashCombine(h, bits);
+      break;
+    }
+    case ValueKind::kCharacter:
+      h = HashCombine(h, static_cast<std::uint64_t>(value.AsCharacter()));
+      break;
+    case ValueKind::kString:
+      h = HashCombine(h, HashString(value.AsString()));
+      break;
+    case ValueKind::kDate: {
+      const Date& d = value.AsDate();
+      h = HashCombine(h, static_cast<std::uint64_t>(d.year) * 10000 +
+                             static_cast<std::uint64_t>(d.month) * 100 +
+                             static_cast<std::uint64_t>(d.day));
+      break;
+    }
+    case ValueKind::kOid:
+      h = HashCombine(h, HashOid(value.AsOid()));
+      break;
+    case ValueKind::kSet:
+      // Element order is part of set identity (Value::operator==
+      // compares the stored vectors), so hashing in order is exact.
+      for (const Value& e : value.AsSet()) h = HashCombine(h, HashValue(e));
+      break;
+  }
+  return h;
+}
+
+std::uint64_t HashFactAttrs(const Fact& fact) {
+  std::uint64_t h = HashString(fact.concept_name);
+  for (const auto& [name, value] : fact.attrs) {
+    h = HashCombine(h, HashString(name));
+    h = HashCombine(h, HashValue(value));
+  }
+  return h;
+}
+
+std::uint64_t HashFactCanonical(const Fact& fact) {
+  return HashCombine(HashFactAttrs(fact), HashOid(fact.oid));
+}
+
+ConceptId FactStore::InternConcept(const std::string& name) {
+  auto [it, inserted] =
+      concept_ids_.emplace(name, static_cast<ConceptId>(concept_names_.size()));
+  if (inserted) {
+    concept_names_.push_back(name);
+    by_concept_.emplace_back();
+  }
+  return it->second;
+}
+
+ConceptId FactStore::FindConcept(const std::string& name) const {
+  auto it = concept_ids_.find(name);
+  return it == concept_ids_.end() ? kNoConcept : it->second;
+}
+
+const std::string& FactStore::ConceptName(ConceptId id) const {
+  return concept_names_[id];
+}
+
+const std::vector<const Fact*>& FactStore::FactsOf(ConceptId id) const {
+  static const std::vector<const Fact*> kEmpty;
+  return id == kNoConcept || id >= by_concept_.size() ? kEmpty
+                                                      : by_concept_[id];
+}
+
+const std::vector<const Fact*>& FactStore::FactsOf(
+    const std::string& name) const {
+  return FactsOf(FindConcept(name));
+}
+
+size_t FactStore::CountOf(ConceptId id) const { return FactsOf(id).size(); }
+
+void FactStore::IndexAttr(ConceptId concept_id, std::uint32_t ordinal,
+                          const std::string& attr, const Value& value) {
+  std::uint64_t key = HashCombine(concept_id, HashString(attr));
+  key = HashCombine(key, HashValue(value));
+  by_attr_[key].push_back(ordinal);
+}
+
+const std::vector<std::uint32_t>* FactStore::Probe(ConceptId concept_id,
+                                                   const std::string& attr,
+                                                   const Value& value) const {
+  std::uint64_t key = HashCombine(concept_id, HashString(attr));
+  key = HashCombine(key, HashValue(value));
+  auto it = by_attr_.find(key);
+  return it == by_attr_.end() ? nullptr : &it->second;
+}
+
+const Fact* FactStore::Insert(Fact fact) {
+  const std::uint64_t canonical = HashFactCanonical(fact);
+  std::vector<const Fact*>& bucket = dedup_[canonical];
+  for (const Fact* existing : bucket) {
+    if (existing->oid == fact.oid &&
+        existing->concept_name == fact.concept_name &&
+        existing->attrs == fact.attrs) {
+      return nullptr;
+    }
+  }
+  const ConceptId concept_id = InternConcept(fact.concept_name);
+  all_.push_back(std::move(fact));
+  const Fact& stored = all_.back();
+  std::vector<const Fact*>& extent = by_concept_[concept_id];
+  const auto ordinal = static_cast<std::uint32_t>(extent.size());
+  extent.push_back(&stored);
+  bucket.push_back(&stored);
+  if (!stored.oid.empty()) {
+    by_oid_[HashOid(stored.oid)].push_back({concept_id, ordinal});
+  }
+  for (const auto& [name, value] : stored.attrs) {
+    IndexAttr(concept_id, ordinal, name, value);
+    if (value.kind() == ValueKind::kSet) {
+      for (const Value& element : value.AsSet()) {
+        IndexAttr(concept_id, ordinal, name, element);
+      }
+    }
+  }
+  return &stored;
+}
+
+void FactStore::ProbeOid(ConceptId concept_id, const Oid& oid,
+                         std::vector<std::uint32_t>* out) const {
+  auto it = by_oid_.find(HashOid(oid));
+  if (it == by_oid_.end()) return;
+  for (const OidEntry& entry : it->second) {
+    if (entry.concept_id == concept_id) out->push_back(entry.ordinal);
+  }
+}
+
+const Fact* FactStore::FindByOid(const Oid& oid) const {
+  auto it = by_oid_.find(HashOid(oid));
+  if (it == by_oid_.end()) return nullptr;
+  // Entries are appended in insertion order; the first exact match is
+  // the first-inserted fact with this OID (the precedence contract).
+  for (const OidEntry& entry : it->second) {
+    const Fact* fact = FactAt(entry.concept_id, entry.ordinal);
+    if (fact->oid == oid) return fact;
+  }
+  return nullptr;
+}
+
+const Fact* FactStore::FindByOid(const Oid& oid, ConceptId concept_id) const {
+  auto it = by_oid_.find(HashOid(oid));
+  if (it == by_oid_.end()) return nullptr;
+  for (const OidEntry& entry : it->second) {
+    if (entry.concept_id != concept_id) continue;
+    const Fact* fact = FactAt(entry.concept_id, entry.ordinal);
+    if (fact->oid == oid) return fact;
+  }
+  return nullptr;
+}
+
+void FactStore::Clear() {
+  all_.clear();
+  concept_names_.clear();
+  concept_ids_.clear();
+  by_concept_.clear();
+  dedup_.clear();
+  by_oid_.clear();
+  by_attr_.clear();
+}
+
+}  // namespace ooint

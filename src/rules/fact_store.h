@@ -1,0 +1,122 @@
+#ifndef OOINT_RULES_FACT_STORE_H_
+#define OOINT_RULES_FACT_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rules/fact.h"
+
+namespace ooint {
+
+/// 64-bit content hashes used by the fact store and the evaluators'
+/// de-duplication sets (FNV-1a based). Hashes are an accelerator only:
+/// every user verifies candidates with exact equality, so a collision
+/// can cost time but never correctness.
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v);
+std::uint64_t HashString(const std::string& s);
+std::uint64_t HashOid(const Oid& oid);
+std::uint64_t HashValue(const Value& value);
+/// Hash of (concept_id, attrs) — the Fact::AttrKey() identity.
+std::uint64_t HashFactAttrs(const Fact& fact);
+/// Hash of (concept_id, oid, attrs) — the Fact::CanonicalKey() identity.
+std::uint64_t HashFactCanonical(const Fact& fact);
+
+/// Interned concept_id names: the evaluators address concepts by dense
+/// 32-bit ids instead of re-hashing strings on every join step.
+using ConceptId = std::uint32_t;
+inline constexpr ConceptId kNoConcept = 0xffffffffu;
+
+/// The shared indexed fact universe of both federated evaluators
+/// (Appendix B). Replaces the ad-hoc deque + per-concept_id map + key set +
+/// OID map quadruple the bottom-up evaluator used to carry.
+///
+/// Provides:
+///  - stable storage (facts never move once inserted);
+///  - hashed exact de-duplication on (concept_id, oid, attrs);
+///  - per-concept_id extents in insertion order, addressable by ordinal
+///    (which is what makes semi-naive delta ranges representable as
+///    [begin, end) ordinal windows);
+///  - an OID hash index with *defined* collision precedence: when two
+///    facts carry the same OID (e.g. two concepts derive the same
+///    entity), FindByOid returns the first-inserted fact — base facts
+///    load before derived facts, so base data wins — and the
+///    concept_id-aware overload disambiguates explicitly;
+///  - a (concept_id, attribute, value) hash index used for bound-first
+///    join probing; set-valued attributes are indexed element-wise to
+///    mirror FactMatcher's element-level matching convention.
+class FactStore {
+ public:
+  FactStore() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  ConceptId InternConcept(const std::string& name);
+  /// Returns the id of `name`, or kNoConcept if it was never interned.
+  ConceptId FindConcept(const std::string& name) const;
+  const std::string& ConceptName(ConceptId id) const;
+  size_t concept_count() const { return concept_names_.size(); }
+
+  /// Inserts `fact` unless an identical fact (concept_id, oid, attrs) is
+  /// already stored. Returns the stored fact, or nullptr on duplicate.
+  const Fact* Insert(Fact fact);
+
+  size_t size() const { return all_.size(); }
+
+  /// The extent of a concept_id in insertion order (stable pointers).
+  const std::vector<const Fact*>& FactsOf(ConceptId id) const;
+  const std::vector<const Fact*>& FactsOf(const std::string& name) const;
+  size_t CountOf(ConceptId id) const;
+
+  /// The fact at per-concept_id insertion ordinal `ordinal`.
+  const Fact* FactAt(ConceptId id, std::uint32_t ordinal) const {
+    return FactsOf(id)[ordinal];
+  }
+
+  /// First-inserted fact with `oid` across all concepts (see class
+  /// comment for the precedence contract); nullptr if absent.
+  const Fact* FindByOid(const Oid& oid) const;
+  /// First-inserted fact with `oid` belonging to `concept_id`.
+  const Fact* FindByOid(const Oid& oid, ConceptId concept_id) const;
+
+  /// Per-concept_id ordinals of facts whose attribute `attr` equals
+  /// `value` (or is a set containing `value`), via the hash index.
+  /// Returns nullptr when no fact matches. Candidates may include
+  /// hash-collision false positives; callers re-verify via the matcher.
+  const std::vector<std::uint32_t>* Probe(ConceptId concept_id,
+                                          const std::string& attr,
+                                          const Value& value) const;
+
+  /// Appends the per-concept_id ordinals (ascending) of `concept_id` facts
+  /// whose OID hashes like `oid`. May include collision false
+  /// positives; callers re-verify.
+  void ProbeOid(ConceptId concept_id, const Oid& oid,
+                std::vector<std::uint32_t>* out) const;
+
+  void Clear();
+
+ private:
+  struct OidEntry {
+    ConceptId concept_id;
+    std::uint32_t ordinal;
+  };
+
+  void IndexAttr(ConceptId concept_id, std::uint32_t ordinal,
+                 const std::string& attr, const Value& value);
+
+  std::deque<Fact> all_;  // stable storage
+  std::vector<std::string> concept_names_;
+  std::unordered_map<std::string, ConceptId> concept_ids_;
+  std::vector<std::vector<const Fact*>> by_concept_;
+  // canonical hash -> facts with that hash (exact-verified on insert)
+  std::unordered_map<std::uint64_t, std::vector<const Fact*>> dedup_;
+  // oid hash -> entries in insertion order (exact-verified on lookup)
+  std::unordered_map<std::uint64_t, std::vector<OidEntry>> by_oid_;
+  // hash(concept_id, attr, value) -> per-concept_id ordinals
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_attr_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_FACT_STORE_H_

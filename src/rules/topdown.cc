@@ -1,6 +1,7 @@
 #include "rules/topdown.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/string_util.h"
 #include "rules/matcher.h"
@@ -71,7 +72,7 @@ Result<std::vector<Fact>> TopDownEvaluator::BaseFacts(
       const Object* object = source.store->Find(oid);
       if (object == nullptr) continue;
       Fact fact = Fact::FromObject(concept_name, *object);
-      universe_.emplace(fact.oid, fact);
+      universe_.Insert(fact);
       out.push_back(std::move(fact));
     }
   }
@@ -86,11 +87,7 @@ Result<std::vector<Fact>> TopDownEvaluator::ApplyRule(
   // The join is performed by accumulating binding sets, which is
   // equivalent to temp_1 ⋈ ... ⋈ temp_n on the shared variables.
   FactMatcher matcher(
-      [this](const Oid& oid) -> const Fact* {
-        auto it = universe_.find(oid);
-        return it == universe_.end() ? nullptr : &it->second;
-      },
-      nullptr);
+      [this](const Oid& oid) { return universe_.FindByOid(oid); }, nullptr);
 
   // Pre-evaluate each body concept_name (the recursive calls of Appendix B).
   std::map<std::string, std::vector<Fact>> body_facts;
@@ -148,7 +145,9 @@ Result<std::vector<Fact>> TopDownEvaluator::ApplyRule(
   // Instantiate the head for each solution.
   const OTerm& head = rule.head.front().oterm;
   std::vector<Fact> out;
-  std::set<std::string> seen;
+  // Hashed exact de-duplication on (concept, oid, attrs); skolem OIDs
+  // are content-addressed, so pre-skolem duplicates collapse here too.
+  std::unordered_map<std::uint64_t, std::vector<size_t>> seen;
   for (const Bindings& bindings : solutions) {
     Fact fact;
     fact.concept_name = head.class_name;
@@ -191,13 +190,23 @@ Result<std::vector<Fact>> TopDownEvaluator::ApplyRule(
       fact.oid = head.object.constant.AsOid();
       skolem = false;
     }
-    const std::string key = fact.AttrKey();
-    if (!seen.insert(StrCat(fact.oid.ToString(), "#", key)).second) continue;
     if (skolem) {
       fact.oid = Oid("derived", "ooint", "global", fact.concept_name,
-                     ++skolem_counter_);
+                     HashFactAttrs(fact));
     }
-    universe_.emplace(fact.oid, fact);
+    std::vector<size_t>& bucket = seen[HashFactCanonical(fact)];
+    bool duplicate = false;
+    for (size_t index : bucket) {
+      const Fact& other = out[index];
+      if (other.oid == fact.oid && other.concept_name == fact.concept_name &&
+          other.attrs == fact.attrs) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    bucket.push_back(out.size());
+    universe_.Insert(fact);
     out.push_back(std::move(fact));
   }
   return out;
@@ -280,8 +289,24 @@ Result<std::vector<Fact>> TopDownEvaluator::Evaluate(
     return base.status();
   }
   std::vector<Fact> result = std::move(base).value();
-  std::set<std::string> seen;
-  for (const Fact& fact : result) seen.insert(fact.CanonicalKey());
+  // Hashed exact de-duplication on (concept, oid, attrs). Skolem OIDs
+  // are content-addressed hashes of (concept, attrs), so derived facts
+  // that agree on attributes collapse under canonical identity too.
+  std::unordered_map<std::uint64_t, std::vector<size_t>> seen;
+  auto is_duplicate = [&](const Fact& fact) {
+    std::vector<size_t>& bucket = seen[HashFactCanonical(fact)];
+    for (size_t index : bucket) {
+      const Fact& other = result[index];
+      if (other.oid == fact.oid && other.concept_name == fact.concept_name &&
+          other.attrs == fact.attrs) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (size_t i = 0; i < result.size(); ++i) {
+    seen[HashFactCanonical(result[i])].push_back(i);
+  }
 
   // result := temp ∪ temp' for every rule defining q.
   auto rules = rules_by_head_.find(concept_name);
@@ -293,15 +318,9 @@ Result<std::vector<Fact>> TopDownEvaluator::Evaluate(
         return derived.status();
       }
       for (Fact& fact : derived.value()) {
-        // Skolemized facts differ only by OID; de-duplicate on attrs.
-        const std::string key = StrCat(fact.concept_name, "#", fact.AttrKey());
-        if (seen.insert(fact.oid.relation() == fact.concept_name &&
-                                fact.oid.agent() == "derived"
-                            ? key
-                            : fact.CanonicalKey())
-                .second) {
-          result.push_back(std::move(fact));
-        }
+        if (is_duplicate(fact)) continue;
+        seen[HashFactCanonical(fact)].push_back(result.size());
+        result.push_back(std::move(fact));
       }
     }
   }

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "model/instance_store.h"
 #include "rules/fact.h"
+#include "rules/fact_store.h"
 #include "rules/rule.h"
 
 namespace ooint {
@@ -95,8 +96,10 @@ class TopDownEvaluator {
 
   std::map<std::string, std::vector<Fact>> memo_;
   std::set<std::string> in_progress_;
-  std::map<Oid, Fact> universe_;  // OID -> fact, for nested descriptors
-  std::uint64_t skolem_counter_ = 0;
+  /// Every fact seen so far (base and derived), indexed by OID for
+  /// nested-descriptor navigation — the same indexed store the
+  /// bottom-up evaluator uses.
+  FactStore universe_;
   Stats stats_;
 };
 

@@ -1,0 +1,121 @@
+// Unit coverage for the indexed FactStore: interning, de-duplication,
+// extent ordinals, the (concept, attribute, value) probe index, and —
+// most importantly — the *defined* OID collision precedence that
+// replaced the old map-emplace accident (first-inserted fact wins; the
+// concept-aware overload disambiguates).
+
+#include <gtest/gtest.h>
+
+#include "rules/fact_store.h"
+
+namespace ooint {
+namespace {
+
+Oid MakeOid(const std::string& relation, std::uint32_t number) {
+  return Oid("S1", "ontos", "db", relation, number);
+}
+
+Fact MakeFact(const std::string& concept_name, const Oid& oid,
+              std::map<std::string, Value> attrs) {
+  Fact fact;
+  fact.concept_name = concept_name;
+  fact.oid = oid;
+  fact.attrs = std::move(attrs);
+  return fact;
+}
+
+TEST(FactStoreTest, InsertDeduplicatesExactly) {
+  FactStore store;
+  Fact fact = MakeFact("person", MakeOid("person", 1),
+                       {{"name", Value::String("Ann")}});
+  ASSERT_NE(store.Insert(fact), nullptr);
+  EXPECT_EQ(store.Insert(fact), nullptr);  // identical -> duplicate
+  EXPECT_EQ(store.size(), 1u);
+  // Any differing component is a distinct fact.
+  Fact other_attr = fact;
+  other_attr.attrs["name"] = Value::String("Bob");
+  EXPECT_NE(store.Insert(other_attr), nullptr);
+  Fact other_oid = fact;
+  other_oid.oid = MakeOid("person", 2);
+  EXPECT_NE(store.Insert(other_oid), nullptr);
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(FactStoreTest, ExtentsKeepInsertionOrderWithStablePointers) {
+  FactStore store;
+  const Fact* a = store.Insert(
+      MakeFact("p", MakeOid("p", 1), {{"n", Value::Integer(1)}}));
+  const Fact* b = store.Insert(
+      MakeFact("q", MakeOid("q", 1), {{"n", Value::Integer(2)}}));
+  const Fact* c = store.Insert(
+      MakeFact("p", MakeOid("p", 2), {{"n", Value::Integer(3)}}));
+  const ConceptId p = store.FindConcept("p");
+  ASSERT_NE(p, kNoConcept);
+  ASSERT_EQ(store.CountOf(p), 2u);
+  EXPECT_EQ(store.FactAt(p, 0), a);
+  EXPECT_EQ(store.FactAt(p, 1), c);
+  EXPECT_EQ(store.FactsOf("q").front(), b);
+  EXPECT_EQ(store.ConceptName(p), "p");
+  EXPECT_EQ(store.FindConcept("absent"), kNoConcept);
+}
+
+TEST(FactStoreTest, OidCollisionPrecedenceIsFirstInserted) {
+  // Two concepts deriving the same entity used to hit an unordered-map
+  // emplace race; the contract is now explicit: FindByOid(oid) returns
+  // the FIRST-inserted fact (base facts load before derived ones, so
+  // base data wins), and the concept-aware overload picks per concept.
+  FactStore store;
+  const Oid shared = MakeOid("person", 7);
+  const Fact* base = store.Insert(
+      MakeFact("IS(S1.person)", shared, {{"name", Value::String("Ann")}}));
+  const Fact* derived = store.Insert(
+      MakeFact("IS_AB(person)", shared, {{"vip", Value::Boolean(true)}}));
+  ASSERT_NE(base, nullptr);
+  ASSERT_NE(derived, nullptr);
+  EXPECT_EQ(store.FindByOid(shared), base);
+  EXPECT_EQ(store.FindByOid(shared, store.FindConcept("IS(S1.person)")), base);
+  EXPECT_EQ(store.FindByOid(shared, store.FindConcept("IS_AB(person)")),
+            derived);
+  EXPECT_EQ(store.FindByOid(MakeOid("person", 8)), nullptr);
+
+  std::vector<std::uint32_t> ordinals;
+  store.ProbeOid(store.FindConcept("IS_AB(person)"), shared, &ordinals);
+  ASSERT_EQ(ordinals.size(), 1u);
+  EXPECT_EQ(store.FactAt(store.FindConcept("IS_AB(person)"), ordinals[0]),
+            derived);
+}
+
+TEST(FactStoreTest, ProbeFindsAttrValuesAndSetElements) {
+  FactStore store;
+  store.Insert(MakeFact("doc", MakeOid("doc", 1),
+                        {{"title", Value::String("A")},
+                         {"tags", Value::Set({Value::String("db"),
+                                              Value::String("oo")})}}));
+  store.Insert(MakeFact("doc", MakeOid("doc", 2),
+                        {{"title", Value::String("B")}}));
+  const ConceptId doc = store.FindConcept("doc");
+  const auto* by_title = store.Probe(doc, "title", Value::String("B"));
+  ASSERT_NE(by_title, nullptr);
+  ASSERT_EQ(by_title->size(), 1u);
+  EXPECT_EQ(store.FactAt(doc, (*by_title)[0])->oid, MakeOid("doc", 2));
+  // Set-valued attributes are indexed element-wise (mirrors the
+  // matcher's element-level convention).
+  const auto* by_tag = store.Probe(doc, "tags", Value::String("oo"));
+  ASSERT_NE(by_tag, nullptr);
+  ASSERT_EQ(by_tag->size(), 1u);
+  EXPECT_EQ(store.FactAt(doc, (*by_tag)[0])->oid, MakeOid("doc", 1));
+  EXPECT_EQ(store.Probe(doc, "title", Value::String("Z")), nullptr);
+}
+
+TEST(FactStoreTest, ClearResetsEverything) {
+  FactStore store;
+  store.Insert(MakeFact("p", MakeOid("p", 1), {{"n", Value::Integer(1)}}));
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.concept_count(), 0u);
+  EXPECT_EQ(store.FindConcept("p"), kNoConcept);
+  EXPECT_EQ(store.FindByOid(MakeOid("p", 1)), nullptr);
+}
+
+}  // namespace
+}  // namespace ooint
