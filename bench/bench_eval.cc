@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "assertions/parser.h"
+#include "federation/agent_connection.h"
 #include "rules/evaluator.h"
 #include "rules/rule_generator.h"
 #include "rules/topdown.h"
@@ -65,6 +66,30 @@ void BM_BottomUpEvaluation(benchmark::State& state) {
   state.counters["derived"] = static_cast<double>(derived);
   state.counters["facts_per_family"] =
       static_cast<double>(derived) / families;
+}
+
+void BM_EvaluationWithConnections(benchmark::State& state) {
+  // The fault-free cost of the AgentConnection layer (per-call breaker
+  // gate + virtual-clock bookkeeping, no injector, no faults) relative
+  // to BM_BottomUpEvaluation's direct store pointers. Budget: <5%.
+  const size_t families = static_cast<size_t>(state.range(0));
+  const GenealogyWorld world = MakeWorld(families);
+  size_t derived = 0;
+  for (auto _ : state) {
+    Evaluator evaluator;
+    evaluator.AddSource("S1", std::make_unique<AgentConnection>(
+                                  "S1", world.s1_store.get()));
+    evaluator.AddSource("S2", std::make_unique<AgentConnection>(
+                                  "S2", world.s2_store.get()));
+    (void)evaluator.BindConcept("IS(S1.parent)", "S1", "parent");
+    (void)evaluator.BindConcept("IS(S1.brother)", "S1", "brother");
+    (void)evaluator.BindConcept("IS(S2.uncle)", "S2", "uncle");
+    for (const Rule& rule : world.rules) (void)evaluator.AddRule(rule);
+    if (!evaluator.Evaluate().ok()) state.SkipWithError("evaluation failed");
+    derived = evaluator.stats().derived_facts;
+    benchmark::DoNotOptimize(evaluator.FactsOf("IS(S2.uncle)"));
+  }
+  state.counters["derived"] = static_cast<double>(derived);
 }
 
 void BM_BottomUpEvaluationNaive(benchmark::State& state) {
@@ -159,6 +184,8 @@ void BM_TopDownFilteredEvaluation(benchmark::State& state) {
 }
 
 BENCHMARK(BM_BottomUpEvaluation)->Arg(10)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvaluationWithConnections)->Arg(10)->Arg(100)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BottomUpEvaluationNaive)->Arg(10)->Arg(100)
     ->Unit(benchmark::kMillisecond);

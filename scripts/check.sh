@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # Full verification loop: configure, build, test, run every benchmark.
 #
-# Usage: scripts/check.sh [--asan]
+# Usage: scripts/check.sh [--asan|--all]
 #   --asan  build into build-asan/ with OOINT_SANITIZE=address,undefined
 #           and run the tests under the sanitizers (benchmarks skipped:
 #           sanitized timings are meaningless).
+#   --all   the plain pass followed by the --asan pass — the CI matrix
+#           in one command.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--all" ]]; then
+  "$0"
+  exec "$0" --asan
+fi
 
 BUILD_DIR=build
 CONFIG_ARGS=()

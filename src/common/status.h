@@ -19,11 +19,24 @@ enum class StatusCode {
   kTypeError,
   kUnsupported,
   kInternal,
+  /// A component database (FSM-agent) could not be reached: the agent is
+  /// down, its circuit breaker is open, or it keeps returning garbage.
+  /// Transient — callers may retry.
+  kUnavailable,
+  /// A call (or its whole retry budget) ran past its deadline. Transient.
+  kDeadlineExceeded,
+  /// Not a status: one past the last real code, so tests and switches
+  /// can iterate every enumerator. Keep this last.
+  kStatusCodeSentinel,
 };
 
 /// Returns a stable human-readable name for a status code, e.g.
 /// "InvalidArgument".
 const char* StatusCodeName(StatusCode code);
+
+/// True for codes that mark transient, retry-worthy failures
+/// (kUnavailable, kDeadlineExceeded) as opposed to permanent errors.
+bool IsTransientCode(StatusCode code);
 
 /// A cheap value type carrying an error code and message.
 ///
@@ -62,6 +75,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,180 @@
+#include "federation/agent_connection.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ooint {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashName(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "Closed";
+    case BreakerState::kOpen:
+      return "Open";
+    case BreakerState::kHalfOpen:
+      return "HalfOpen";
+  }
+  return "Unknown";
+}
+
+AgentConnection::AgentConnection(std::string agent_name,
+                                 const InstanceStore* store,
+                                 RetryPolicy retry, BreakerPolicy breaker,
+                                 FaultInjector* injector)
+    : agent_name_(std::move(agent_name)),
+      store_(store),
+      retry_(retry),
+      breaker_(breaker),
+      injector_(injector),
+      jitter_state_(retry.jitter_seed ^ HashName(agent_name_)) {}
+
+double AgentConnection::NextJitter() {
+  const double unit =
+      static_cast<double>(SplitMix64(&jitter_state_) >> 11) * 0x1.0p-53;
+  return 0.5 + 0.5 * unit;
+}
+
+Status AgentConnection::Attempt(const std::string& class_name,
+                                std::vector<const Object*>* out) {
+  Fault fault = injector_ != nullptr
+                    ? injector_->Next(agent_name_)
+                    : Fault{FaultKind::kNone, 0, 0};
+  if (fault.kind == FaultKind::kDeadlineExceeded ||
+      fault.latency_ms > retry_.per_call_deadline_ms) {
+    // The caller waits out the whole per-call deadline before giving up.
+    now_ms_ += retry_.per_call_deadline_ms;
+    return Status::DeadlineExceeded(
+        StrCat("agent '", agent_name_, "' exceeded the ",
+               retry_.per_call_deadline_ms, "ms per-call deadline"));
+  }
+  now_ms_ += fault.latency_ms;
+  if (fault.kind == FaultKind::kUnavailable) {
+    return Status::Unavailable(
+        StrCat("agent '", agent_name_, "' is unavailable"));
+  }
+
+  Result<std::vector<Oid>> extent = store_->Extent(class_name);
+  if (!extent.ok()) return extent.status();  // permanent; never retried
+  out->clear();
+  out->reserve(extent.value().size());
+  for (const Oid& oid : extent.value()) {
+    const Object* object = store_->Find(oid);
+    if (object != nullptr) out->push_back(object);
+  }
+  if (fault.kind == FaultKind::kTruncatedExtent && out->size() > fault.keep) {
+    // A short read: we got a prefix but know the payload was cut off.
+    // Surfacing the partial payload would silently drop facts, so the
+    // attempt counts as a transient failure and is retried.
+    out->resize(fault.keep);
+    return Status::Unavailable(
+        StrCat("truncated extent of '", class_name, "' from agent '",
+               agent_name_, "'"));
+  }
+  return Status::OK();
+}
+
+void AgentConnection::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen &&
+      ++half_open_successes_ >= breaker_.half_open_successes) {
+    state_ = BreakerState::kClosed;
+  }
+}
+
+bool AgentConnection::RecordFailure() {
+  ++consecutive_failures_;
+  const bool trip =
+      state_ == BreakerState::kHalfOpen ||
+      (state_ == BreakerState::kClosed &&
+       consecutive_failures_ >= breaker_.failure_threshold);
+  if (trip) {
+    state_ = BreakerState::kOpen;
+    opened_at_ms_ = now_ms_;
+    consecutive_failures_ = 0;
+    ++stats_.trips;
+  }
+  return trip;
+}
+
+Result<std::vector<const Object*>> AgentConnection::FetchExtent(
+    const std::string& class_name) {
+  ++stats_.calls;
+
+  if (state_ == BreakerState::kOpen) {
+    if (now_ms_ - opened_at_ms_ < breaker_.open_cooldown_ms) {
+      ++stats_.breaker_rejections;
+      ++stats_.failures;
+      return Status::Unavailable(
+          StrCat("circuit open for agent '", agent_name_, "' (cooling down)"));
+    }
+    state_ = BreakerState::kHalfOpen;
+    half_open_successes_ = 0;
+  }
+
+  const double call_start_ms = now_ms_;
+  double backoff = retry_.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    if (attempt > 1) ++stats_.retries;
+    std::vector<const Object*> objects;
+    const Status status = Attempt(class_name, &objects);
+    if (status.ok()) {
+      RecordSuccess();
+      ++stats_.successes;
+      return objects;
+    }
+    const bool tripped = RecordFailure();
+    if (tripped || !IsTransientCode(status.code())) {
+      ++stats_.failures;
+      return status;
+    }
+    if (attempt >= retry_.max_attempts) {
+      ++stats_.failures;
+      return Status(status.code(),
+                    StrCat(status.message(), " (after ", attempt,
+                           " attempts)"));
+    }
+    const double sleep =
+        std::min(backoff, retry_.max_backoff_ms) * NextJitter();
+    if (now_ms_ - call_start_ms + sleep > retry_.total_deadline_ms) {
+      ++stats_.failures;
+      return Status::DeadlineExceeded(
+          StrCat("retry budget (", retry_.total_deadline_ms,
+                 "ms) exhausted for agent '", agent_name_,
+                 "'; last error: ", status.ToString()));
+    }
+    now_ms_ += sleep;
+    backoff *= retry_.backoff_multiplier;
+  }
+}
+
+std::string AgentHealth::ToString() const {
+  return StrCat(agent_name, ": state=", BreakerStateName(breaker_state),
+                " calls=", stats.calls, " attempts=", stats.attempts,
+                " retries=", stats.retries, " failures=", stats.failures,
+                " rejections=", stats.breaker_rejections,
+                " trips=", stats.trips);
+}
+
+}  // namespace ooint

@@ -1,0 +1,153 @@
+#ifndef OOINT_FEDERATION_AGENT_CONNECTION_H_
+#define OOINT_FEDERATION_AGENT_CONNECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/fault_injector.h"
+#include "model/instance_store.h"
+#include "rules/evaluator.h"
+
+namespace ooint {
+
+/// Retry/backoff/deadline parameters of one agent connection. All times
+/// are *virtual* milliseconds on the connection's deterministic clock —
+/// nothing here ever sleeps a real thread (the in-process stores answer
+/// instantly); the clock exists so deadlines, backoff schedules and
+/// breaker cooldowns compose reproducibly under fault injection.
+struct RetryPolicy {
+  /// Total tries per call, the first attempt included.
+  int max_attempts = 4;
+  /// Backoff before the second attempt; doubles (×`backoff_multiplier`)
+  /// per retry, capped by `max_backoff_ms`, scaled by a deterministic
+  /// jitter factor in [0.5, 1).
+  double initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 200;
+  /// One attempt may take this long before it counts as timed out.
+  double per_call_deadline_ms = 50;
+  /// The whole call — attempts plus backoff sleeps — must fit in this
+  /// budget; exceeding it fails the call with kDeadlineExceeded even if
+  /// retries remain.
+  double total_deadline_ms = 500;
+  /// Seed of the jitter stream (deterministic per connection).
+  std::uint64_t jitter_seed = 0x5deece66dULL;
+};
+
+/// Circuit-breaker thresholds (closed → open → half-open → closed).
+struct BreakerPolicy {
+  /// Consecutive failed attempts that trip the breaker.
+  int failure_threshold = 3;
+  /// Virtual ms an open breaker rejects calls before allowing a
+  /// half-open probe.
+  double open_cooldown_ms = 1000;
+  /// Successful half-open probes required to close again.
+  int half_open_successes = 1;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+/// The fault-tolerant channel between the evaluator/FSM and one
+/// FSM-agent's InstanceStore (Fig. 1's middle layer made failure-aware).
+///
+/// Every extent read goes through Call semantics:
+///   1. An open breaker rejects the call immediately (kUnavailable)
+///      until its cooldown elapses, then admits one half-open probe.
+///   2. Each attempt consults the FaultInjector (when configured); slow
+///      responses past the per-call deadline become kDeadlineExceeded,
+///      truncated payloads are treated as transient failures.
+///   3. Transient failures (kUnavailable / kDeadlineExceeded) retry
+///      under exponential backoff with deterministic jitter, while the
+///      total virtual time stays inside `retry.total_deadline_ms`.
+///   4. Consecutive attempt failures trip the breaker; a failed
+///      half-open probe re-opens it, `half_open_successes` successful
+///      probes close it.
+///
+/// The connection implements the evaluator's ExtentSource, so a
+/// federated Evaluator can treat remote-ish agents and local stores
+/// uniformly; per-connection counters expose the health the FSM client
+/// reports.
+class AgentConnection : public ExtentSource {
+ public:
+  AgentConnection(std::string agent_name, const InstanceStore* store,
+                  RetryPolicy retry = {}, BreakerPolicy breaker = {},
+                  FaultInjector* injector = nullptr);
+
+  const std::string& agent_name() const { return agent_name_; }
+
+  // ExtentSource:
+  const Schema& schema() const override { return store_->schema(); }
+  Result<std::vector<const Object*>> FetchExtent(
+      const std::string& class_name) override;
+
+  BreakerState breaker_state() const { return state_; }
+
+  /// Observability counters (monotonic over the connection's life).
+  struct Stats {
+    /// Logical calls (FetchExtent invocations).
+    std::size_t calls = 0;
+    /// Physical attempts (a call may retry several times).
+    std::size_t attempts = 0;
+    std::size_t successes = 0;
+    /// Calls that ultimately failed (after retries or fast-failed).
+    std::size_t failures = 0;
+    /// Attempts beyond the first, across all calls.
+    std::size_t retries = 0;
+    /// Calls rejected immediately by an open breaker.
+    std::size_t breaker_rejections = 0;
+    /// closed→open (or half-open→open) transitions.
+    std::size_t trips = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// The connection's virtual clock (ms since construction).
+  double now_ms() const { return now_ms_; }
+
+  /// Advances the virtual clock — lets tests (and callers modeling idle
+  /// time) let an open breaker's cooldown elapse.
+  void AdvanceClock(double ms) { now_ms_ += ms; }
+
+ private:
+  /// One attempt against the underlying store, fault schedule applied.
+  /// Advances the clock by the attempt's (deadline-clamped) latency.
+  Status Attempt(const std::string& class_name,
+                 std::vector<const Object*>* out);
+
+  void RecordSuccess();
+  /// Returns true when the failure tripped (or re-opened) the breaker.
+  bool RecordFailure();
+
+  /// Deterministic jitter factor in [0.5, 1).
+  double NextJitter();
+
+  std::string agent_name_;
+  const InstanceStore* store_;
+  RetryPolicy retry_;
+  BreakerPolicy breaker_;
+  FaultInjector* injector_;
+
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  double opened_at_ms_ = 0;
+  double now_ms_ = 0;
+  std::uint64_t jitter_state_;
+  Stats stats_;
+};
+
+/// Per-agent health snapshot the FSM client exposes.
+struct AgentHealth {
+  std::string agent_name;
+  BreakerState breaker_state = BreakerState::kClosed;
+  AgentConnection::Stats stats;
+
+  std::string ToString() const;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_AGENT_CONNECTION_H_

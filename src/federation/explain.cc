@@ -19,12 +19,18 @@ std::string QueryPlan::ToString() const {
   for (size_t rule : rules) {
     out += StrCat("  rule #", rule, "\n");
   }
-  out += StrCat("  agents: ", Join(agents, ", "), "\n}");
+  out += StrCat("  agents: ", Join(agents, ", "), "\n");
+  if (degraded()) {
+    out += StrCat("  DEGRADED: skipped ", Join(skipped_agents, ", "),
+                  "; incomplete ", Join(incomplete_concepts, ", "), "\n");
+  }
+  out += "}";
   return out;
 }
 
 Result<QueryPlan> ExplainQuery(const GlobalSchema& global,
-                               const std::string& concept_name) {
+                               const std::string& concept_name,
+                               const DegradedInfo* degraded) {
   QueryPlan plan;
   plan.concept_name = concept_name;
 
@@ -60,6 +66,21 @@ Result<QueryPlan> ExplainQuery(const GlobalSchema& global,
   }
   plan.rules.assign(rule_set.begin(), rule_set.end());
   plan.agents.assign(agent_set.begin(), agent_set.end());
+
+  if (degraded != nullptr && degraded->degraded()) {
+    for (const std::string& agent : plan.agents) {
+      if (degraded->SkippedAgentNamed(agent)) {
+        plan.skipped_agents.push_back(agent);
+      }
+    }
+    for (const std::string& concept_ref : plan.concepts) {
+      if (std::find(degraded->incomplete_concepts.begin(),
+                    degraded->incomplete_concepts.end(),
+                    concept_ref) != degraded->incomplete_concepts.end()) {
+        plan.incomplete_concepts.push_back(concept_ref);
+      }
+    }
+  }
   return plan;
 }
 

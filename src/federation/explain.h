@@ -25,6 +25,15 @@ struct QueryPlan {
   std::vector<size_t> rules;
   /// Agents contacted (schema names, deduplicated).
   std::vector<std::string> agents;
+  /// When a DegradedInfo was supplied: the plan's agents that are
+  /// currently skipped, and the plan's concepts whose extents are
+  /// therefore incomplete. Empty for a healthy federation.
+  std::vector<std::string> skipped_agents;
+  std::vector<std::string> incomplete_concepts;
+
+  /// True when the plan touches a skipped agent — the answer this plan
+  /// produces is sound but possibly incomplete.
+  bool degraded() const { return !skipped_agents.empty(); }
 
   std::string ToString() const;
 };
@@ -33,9 +42,12 @@ struct QueryPlan {
 /// transitively collects the rules defining the concept, the concepts
 /// their bodies reference, and the ground sources feeding them. A
 /// concept with no rules and no ground sources yields a valid plan with
-/// empty scans (the query returns nothing).
+/// empty scans (the query returns nothing). Passing the federation's
+/// current DegradedInfo (FsmClient::degraded()) annotates the plan with
+/// the skipped agents and incomplete concepts it actually touches.
 Result<QueryPlan> ExplainQuery(const GlobalSchema& global,
-                               const std::string& concept_name);
+                               const std::string& concept_name,
+                               const DegradedInfo* degraded = nullptr);
 
 }  // namespace ooint
 

@@ -1,0 +1,122 @@
+#include "federation/fault_injector.h"
+
+namespace ooint {
+
+namespace {
+
+/// splitmix64: tiny, high-quality, and fully deterministic — the same
+/// generator the FactStore hashes build on.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashName(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double UnitInterval(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "None";
+    case FaultKind::kUnavailable:
+      return "Unavailable";
+    case FaultKind::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case FaultKind::kSlowResponse:
+      return "SlowResponse";
+    case FaultKind::kTruncatedExtent:
+      return "TruncatedExtent";
+  }
+  return "Unknown";
+}
+
+Fault FaultInjector::MakeFault(FaultKind kind) {
+  Fault fault;
+  fault.kind = kind;
+  switch (kind) {
+    case FaultKind::kNone:
+      fault.latency_ms = 1;
+      break;
+    case FaultKind::kUnavailable:
+      fault.latency_ms = 1;  // fast rejection
+      break;
+    case FaultKind::kDeadlineExceeded:
+      fault.latency_ms = 0;  // connection charges its own deadline
+      break;
+    case FaultKind::kSlowResponse:
+      fault.latency_ms = 250;  // well past any sane per-call deadline
+      break;
+    case FaultKind::kTruncatedExtent:
+      fault.latency_ms = 1;
+      fault.keep = 1;
+      break;
+  }
+  return fault;
+}
+
+FaultInjector::AgentSchedule& FaultInjector::ScheduleFor(
+    const std::string& agent) {
+  AgentSchedule& schedule = schedules_[agent];
+  if (seeded_ && !schedule.stream_seeded) {
+    schedule.stream = seed_ ^ HashName(agent);
+    schedule.stream_seeded = true;
+  }
+  return schedule;
+}
+
+void FaultInjector::Push(const std::string& agent, Fault fault) {
+  ScheduleFor(agent).scripted.push_back(fault);
+}
+
+void FaultInjector::PushN(const std::string& agent, FaultKind kind,
+                          int count) {
+  for (int i = 0; i < count; ++i) Push(agent, MakeFault(kind));
+}
+
+void FaultInjector::AlwaysFail(const std::string& agent, FaultKind kind) {
+  AgentSchedule& schedule = ScheduleFor(agent);
+  schedule.always = kind;
+  schedule.always_set = true;
+}
+
+Fault FaultInjector::Next(const std::string& agent) {
+  AgentSchedule& schedule = ScheduleFor(agent);
+  ++schedule.calls;
+  if (!schedule.scripted.empty()) {
+    const Fault fault = schedule.scripted.front();
+    schedule.scripted.pop_front();
+    return fault;
+  }
+  if (schedule.always_set) return MakeFault(schedule.always);
+  if (seeded_ && fault_rate_ > 0) {
+    if (UnitInterval(SplitMix64(&schedule.stream)) < fault_rate_) {
+      static const FaultKind kKinds[] = {
+          FaultKind::kUnavailable, FaultKind::kDeadlineExceeded,
+          FaultKind::kSlowResponse, FaultKind::kTruncatedExtent};
+      const std::uint64_t pick = SplitMix64(&schedule.stream) % 4;
+      return MakeFault(kKinds[pick]);
+    }
+  }
+  return MakeFault(FaultKind::kNone);
+}
+
+std::size_t FaultInjector::calls(const std::string& agent) const {
+  auto it = schedules_.find(agent);
+  return it == schedules_.end() ? 0 : it->second.calls;
+}
+
+}  // namespace ooint

@@ -1,0 +1,107 @@
+#ifndef OOINT_FEDERATION_FAULT_INJECTOR_H_
+#define OOINT_FEDERATION_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace ooint {
+
+/// What a fault-injection schedule does to one connection attempt.
+enum class FaultKind {
+  /// The attempt succeeds normally.
+  kNone,
+  /// The agent is unreachable: the attempt fails with kUnavailable.
+  kUnavailable,
+  /// The agent answers with a hard deadline error (kDeadlineExceeded).
+  kDeadlineExceeded,
+  /// The agent answers, but only after `latency_ms` of (virtual) time —
+  /// the connection's per-call deadline decides whether that is a
+  /// success or a timeout.
+  kSlowResponse,
+  /// The agent answers in time but the payload is cut off after `keep`
+  /// objects. Connections treat a truncated response as a transient
+  /// failure (like a short read) and retry it.
+  kTruncatedExtent,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled fault.
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  /// Virtual time the attempt takes. Defaults per kind (see MakeFault).
+  double latency_ms = 0;
+  /// kTruncatedExtent: number of leading objects that survive.
+  std::size_t keep = 0;
+};
+
+/// Deterministic per-agent fault schedules for the connection layer.
+///
+/// Two modes compose:
+///  - *Scripted*: Push/PushN/AlwaysFail enqueue faults an agent's next
+///    attempts will see, in FIFO order.
+///  - *Seeded*: with a seed and fault rate configured, attempts with an
+///    empty script draw from a splitmix64 stream derived from
+///    (seed, agent name) — the same seed always yields the same
+///    schedule, independent of wall clock or evaluation order across
+///    agents.
+///
+/// The injector never touches real time; latencies are virtual
+/// milliseconds interpreted by AgentConnection's virtual clock, which
+/// keeps every test and every seeded scenario exactly reproducible.
+class FaultInjector {
+ public:
+  /// Script-only injector: agents behave until faults are pushed.
+  FaultInjector() = default;
+
+  /// Seeded injector: every attempt faults with probability
+  /// `fault_rate`, with the kind drawn uniformly from the four fault
+  /// kinds.
+  explicit FaultInjector(std::uint64_t seed, double fault_rate = 0.3)
+      : seed_(seed), fault_rate_(fault_rate), seeded_(true) {}
+
+  /// Enqueues `fault` for `agent`'s next unscripted attempt.
+  void Push(const std::string& agent, Fault fault);
+
+  /// Enqueues `count` faults of `kind` (default latency/keep).
+  void PushN(const std::string& agent, FaultKind kind, int count);
+
+  /// Makes every future attempt against `agent` fail with `kind`
+  /// (after any already-scripted faults are consumed).
+  void AlwaysFail(const std::string& agent, FaultKind kind);
+
+  /// The fault the next attempt against `agent` sees; consumes one
+  /// scripted entry (or one seeded draw). Called by AgentConnection
+  /// once per attempt, never for breaker fast-failures.
+  Fault Next(const std::string& agent);
+
+  /// Attempts scheduled against `agent` so far.
+  std::size_t calls(const std::string& agent) const;
+
+  /// A fault of `kind` with the default latency/keep for that kind.
+  static Fault MakeFault(FaultKind kind);
+
+ private:
+  struct AgentSchedule {
+    std::deque<Fault> scripted;
+    FaultKind always = FaultKind::kNone;
+    bool always_set = false;
+    std::uint64_t stream = 0;
+    bool stream_seeded = false;
+    std::size_t calls = 0;
+  };
+
+  AgentSchedule& ScheduleFor(const std::string& agent);
+
+  std::map<std::string, AgentSchedule> schedules_;
+  std::uint64_t seed_ = 0;
+  double fault_rate_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_FEDERATION_FAULT_INJECTOR_H_

@@ -346,12 +346,8 @@ Result<GlobalSchema> Fsm::IntegrateAll(Strategy strategy) {
   return global;
 }
 
-Result<std::unique_ptr<Evaluator>> Fsm::MakeEvaluator(
-    const GlobalSchema& global) const {
-  auto evaluator = std::make_unique<Evaluator>();
-  for (const std::unique_ptr<FsmAgent>& agent : agents_) {
-    evaluator->AddSource(agent->schema().name(), &agent->store());
-  }
+Status Fsm::ConfigureEvaluator(Evaluator* evaluator,
+                               const GlobalSchema& global) const {
   for (const auto& [concept_name, sources] : global.ground_sources) {
     for (const ClassRef& source : sources) {
       OOINT_RETURN_IF_ERROR(evaluator->BindConcept(
@@ -366,8 +362,33 @@ Result<std::unique_ptr<Evaluator>> Fsm::MakeEvaluator(
     // Unsupported rules (disjunctive heads) stay documentation-only.
   }
   evaluator->SetDataMappings(&mappings_);
-  OOINT_RETURN_IF_ERROR(evaluator->Evaluate());
+  return evaluator->Evaluate();
+}
+
+Result<std::unique_ptr<Evaluator>> Fsm::MakeEvaluator(
+    const GlobalSchema& global) const {
+  auto evaluator = std::make_unique<Evaluator>();
+  for (const std::unique_ptr<FsmAgent>& agent : agents_) {
+    evaluator->AddSource(agent->schema().name(), &agent->store());
+  }
+  OOINT_RETURN_IF_ERROR(ConfigureEvaluator(evaluator.get(), global));
   return evaluator;
+}
+
+Result<FederatedEvaluator> Fsm::MakeFederatedEvaluator(
+    const GlobalSchema& global, const FederationOptions& options) const {
+  FederatedEvaluator fed;
+  fed.evaluator = std::make_unique<Evaluator>();
+  fed.evaluator->set_failure_policy(options.failure_policy);
+  for (const std::unique_ptr<FsmAgent>& agent : agents_) {
+    auto connection = std::make_unique<AgentConnection>(
+        agent->schema().name(), &agent->store(), options.retry,
+        options.breaker, options.injector);
+    fed.connections.push_back(connection.get());
+    fed.evaluator->AddSource(agent->schema().name(), std::move(connection));
+  }
+  OOINT_RETURN_IF_ERROR(ConfigureEvaluator(fed.evaluator.get(), global));
+  return fed;
 }
 
 }  // namespace ooint

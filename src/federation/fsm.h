@@ -9,6 +9,7 @@
 #include "assertions/assertion_set.h"
 #include "common/result.h"
 #include "datamap/data_mapping.h"
+#include "federation/agent_connection.h"
 #include "federation/fsm_agent.h"
 #include "integrate/consistency.h"
 #include "integrate/integrator.h"
@@ -35,6 +36,29 @@ struct GlobalSchema {
   IntegratedSchema last_round{"IS"};
   /// Number of pairwise integration rounds performed.
   size_t rounds = 0;
+};
+
+/// How the federation behaves when component databases fail (see
+/// DESIGN.md "Degraded federation semantics").
+struct FederationOptions {
+  /// Strict fails the whole evaluation on the first unreachable agent;
+  /// partial answers from the reachable ones and reports the rest.
+  FailurePolicy failure_policy = FailurePolicy::kStrict;
+  /// Per-connection retry/backoff/deadline parameters.
+  RetryPolicy retry;
+  /// Per-connection circuit-breaker thresholds.
+  BreakerPolicy breaker;
+  /// Optional deterministic fault schedule (testing/chaos drills).
+  /// Borrowed; must outlive the evaluator built from these options.
+  FaultInjector* injector = nullptr;
+};
+
+/// A federated evaluator plus views of the per-agent connections it
+/// owns (for health reporting). Connections are keyed by agent schema
+/// name, in agents() order.
+struct FederatedEvaluator {
+  std::unique_ptr<Evaluator> evaluator;
+  std::vector<AgentConnection*> connections;
 };
 
 /// The Federated System Manager (Fig. 1, middle layer): registers the
@@ -83,12 +107,26 @@ class Fsm {
   Result<GlobalSchema> IntegrateAll(Strategy strategy = Strategy::kAccumulation);
 
   /// Builds a federated evaluator over `global`: agent stores as
-  /// sources, ground-source concept bindings, and every definite rule.
-  /// Evaluate() has already been run on the returned evaluator.
+  /// sources (direct, infallible pointers), ground-source concept
+  /// bindings, and every definite rule. Evaluate() has already been run
+  /// on the returned evaluator.
   Result<std::unique_ptr<Evaluator>> MakeEvaluator(
       const GlobalSchema& global) const;
 
+  /// Like MakeEvaluator, but every agent is reached through a
+  /// fault-tolerant AgentConnection configured by `options` (retries,
+  /// deadlines, circuit breaking, optional fault injection). Under
+  /// FailurePolicy::kPartial a degraded federation still evaluates; the
+  /// evaluator's degraded() record says what was skipped.
+  Result<FederatedEvaluator> MakeFederatedEvaluator(
+      const GlobalSchema& global, const FederationOptions& options = {}) const;
+
  private:
+  /// Shared tail of the evaluator builders: concept bindings, rules,
+  /// data mappings, then the fixpoint run.
+  Status ConfigureEvaluator(Evaluator* evaluator,
+                            const GlobalSchema& global) const;
+
   /// One working operand of the pairwise integration process: a schema
   /// (local or intermediate) plus the provenance maps needed to rewrite
   /// assertions and rules into its namespace.

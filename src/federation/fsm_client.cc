@@ -4,15 +4,36 @@
 
 namespace ooint {
 
-Status FsmClient::Connect(Fsm::Strategy strategy) {
+Status FsmClient::Connect(Fsm::Strategy strategy,
+                          const FederationOptions& options) {
+  // A failed (re)connect must leave the client safely disconnected, not
+  // holding a stale or half-built evaluator.
+  evaluator_.reset();
+  connections_.clear();
   Result<GlobalSchema> global = fsm_->IntegrateAll(strategy);
   if (!global.ok()) return global.status();
   global_ = std::move(global).value();
-  Result<std::unique_ptr<Evaluator>> evaluator =
-      fsm_->MakeEvaluator(global_);
-  if (!evaluator.ok()) return evaluator.status();
-  evaluator_ = std::move(evaluator).value();
+  Result<FederatedEvaluator> fed =
+      fsm_->MakeFederatedEvaluator(global_, options);
+  if (!fed.ok()) return fed.status();
+  evaluator_ = std::move(fed.value().evaluator);
+  connections_ = std::move(fed.value().connections);
   return Status::OK();
+}
+
+const DegradedInfo& FsmClient::degraded() const {
+  static const DegradedInfo kComplete;
+  return evaluator_ == nullptr ? kComplete : evaluator_->degraded();
+}
+
+std::vector<AgentHealth> FsmClient::ConnectionHealth() const {
+  std::vector<AgentHealth> health;
+  health.reserve(connections_.size());
+  for (const AgentConnection* connection : connections_) {
+    health.push_back({connection->agent_name(), connection->breaker_state(),
+                      connection->stats()});
+  }
+  return health;
 }
 
 Result<std::string> FsmClient::GlobalNameOf(

@@ -47,12 +47,34 @@ class Query {
 /// Connects to an Fsm, triggers global-schema construction, and runs
 /// queries against the federated evaluator, transparently combining
 /// local extents and derived (virtual) objects.
+///
+/// Every agent is reached through a fault-tolerant AgentConnection; a
+/// client connected with FailurePolicy::kPartial keeps answering when
+/// agents are down, and degraded() says exactly what the answers are
+/// missing. Run/Extent before a successful Connect() (or after a failed
+/// one) return kFailedPrecondition instead of touching a null evaluator.
 class FsmClient {
  public:
   explicit FsmClient(Fsm* fsm) : fsm_(fsm) {}
 
-  /// Builds (or rebuilds) the global schema and its evaluator.
-  Status Connect(Fsm::Strategy strategy = Fsm::Strategy::kAccumulation);
+  /// Builds (or rebuilds) the global schema and its evaluator. On
+  /// failure the client reverts to the disconnected state. Under
+  /// options.failure_policy == kPartial, Connect succeeds even when
+  /// agents are unreachable (check degraded()); under kStrict the first
+  /// agent error — e.g. kUnavailable, kDeadlineExceeded — is returned.
+  Status Connect(Fsm::Strategy strategy = Fsm::Strategy::kAccumulation,
+                 const FederationOptions& options = {});
+
+  bool connected() const { return evaluator_ != nullptr; }
+
+  /// The degradation record of the last successful Connect(): which
+  /// agents were skipped and which global concepts are incomplete.
+  /// Empty when fully connected (or not connected at all).
+  const DegradedInfo& degraded() const;
+
+  /// Per-agent connection health (retry/trip/failure counters and
+  /// breaker states), in agent registration order.
+  std::vector<AgentHealth> ConnectionHealth() const;
 
   const GlobalSchema& global() const { return global_; }
 
@@ -70,6 +92,8 @@ class FsmClient {
   Fsm* fsm_;
   GlobalSchema global_;
   std::unique_ptr<Evaluator> evaluator_;
+  /// Owned by evaluator_; kept for health reporting.
+  std::vector<AgentConnection*> connections_;
 };
 
 }  // namespace ooint

@@ -31,11 +31,67 @@ int BoundVarCount(const Literal& literal, const Bindings& bindings) {
   return bound;
 }
 
+/// The always-available, in-process implementation of ExtentSource.
+class DirectStoreSource : public ExtentSource {
+ public:
+  explicit DirectStoreSource(const InstanceStore* store) : store_(store) {}
+
+  const Schema& schema() const override { return store_->schema(); }
+
+  Result<std::vector<const Object*>> FetchExtent(
+      const std::string& class_name) override {
+    Result<std::vector<Oid>> extent = store_->Extent(class_name);
+    if (!extent.ok()) return extent.status();
+    std::vector<const Object*> objects;
+    objects.reserve(extent.value().size());
+    for (const Oid& oid : extent.value()) {
+      const Object* object = store_->Find(oid);
+      if (object != nullptr) objects.push_back(object);
+    }
+    return objects;
+  }
+
+ private:
+  const InstanceStore* store_;
+};
+
 }  // namespace
+
+bool DegradedInfo::SkippedAgentNamed(const std::string& schema_name) const {
+  for (const SkippedAgent& agent : skipped) {
+    if (agent.schema_name == schema_name) return true;
+  }
+  return false;
+}
+
+std::string DegradedInfo::ToString() const {
+  if (!degraded()) return "complete";
+  std::string out = "degraded {\n";
+  for (const SkippedAgent& agent : skipped) {
+    out += StrCat("  skipped ", agent.schema_name, ": ",
+                  agent.status.ToString(), "\n");
+  }
+  out += StrCat("  incomplete: ", Join(incomplete_concepts, ", "), "\n");
+  if (!unsound_concepts.empty()) {
+    out += StrCat("  possibly unsound (via negation): ",
+                  Join(unsound_concepts, ", "), "\n");
+  }
+  out += "}";
+  return out;
+}
 
 void Evaluator::AddSource(const std::string& schema_name,
                           const InstanceStore* store) {
-  sources_.push_back({schema_name, store});
+  AddSource(schema_name, std::make_unique<DirectStoreSource>(store));
+}
+
+void Evaluator::AddSource(const std::string& schema_name,
+                          std::unique_ptr<ExtentSource> source) {
+  Source entry;
+  entry.schema_name = schema_name;
+  entry.source = source.get();
+  entry.owned = std::move(source);
+  sources_.push_back(std::move(entry));
 }
 
 Status Evaluator::BindConcept(const std::string& concept_name,
@@ -43,7 +99,7 @@ Status Evaluator::BindConcept(const std::string& concept_name,
                               const std::string& class_name) {
   for (size_t i = 0; i < sources_.size(); ++i) {
     if (sources_[i].schema_name != schema_name) continue;
-    if (sources_[i].store->schema().FindClass(class_name) ==
+    if (sources_[i].source->schema().FindClass(class_name) ==
         kInvalidClassId) {
       return Status::NotFound(StrCat("class '", class_name,
                                      "' not in source schema '", schema_name,
@@ -82,6 +138,7 @@ void Evaluator::Reset() {
   store_.Clear();
   skolem_seen_.clear();
   stats_ = Stats();
+  degraded_ = DegradedInfo();
 }
 
 FactMatcher Evaluator::MakeMatcher() const {
@@ -94,20 +151,69 @@ const Fact* Evaluator::InsertFact(Fact fact) {
 }
 
 Status Evaluator::LoadBaseFacts() {
+  // Concept -> false, seeded with every directly incomplete concept;
+  // PropagateIncompleteness flips the flag to true past a negation.
+  std::map<std::string, bool> direct;
   for (const ConceptBinding& binding : bindings_decl_) {
     const Source& source = sources_[binding.source_index];
-    Result<std::vector<Oid>> extent =
-        source.store->Extent(binding.class_name);
-    if (!extent.ok()) return extent.status();
-    for (const Oid& oid : extent.value()) {
-      const Object* object = source.store->Find(oid);
+    Result<std::vector<const Object*>> extent =
+        source.source->FetchExtent(binding.class_name);
+    if (!extent.ok()) {
+      if (failure_policy_ == FailurePolicy::kStrict) return extent.status();
+      if (!degraded_.SkippedAgentNamed(source.schema_name)) {
+        degraded_.skipped.push_back({source.schema_name, extent.status()});
+      }
+      direct.emplace(binding.concept_name, false);
+      continue;
+    }
+    for (const Object* object : extent.value()) {
       if (object == nullptr) continue;
       if (InsertFact(Fact::FromObject(binding.concept_name, *object))) {
         ++stats_.base_facts;
       }
     }
   }
+  if (!direct.empty()) PropagateIncompleteness(direct);
   return Status::OK();
+}
+
+void Evaluator::PropagateIncompleteness(
+    const std::map<std::string, bool>& direct) {
+  // Fixpoint over the rule dependency graph: a head concept inherits
+  // incompleteness from any body concept, and inherits (or acquires,
+  // when the edge itself is negated) the via-negation taint that breaks
+  // the sound-subset guarantee.
+  std::map<std::string, bool> reached = direct;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules_) {
+      for (const Literal& literal : rule.body) {
+        std::string body_concept;
+        if (literal.kind == Literal::Kind::kOTerm) {
+          body_concept = literal.oterm.class_name;
+        } else if (literal.kind == Literal::Kind::kPredicate) {
+          body_concept = literal.pred_name;
+        } else {
+          continue;
+        }
+        auto hit = reached.find(body_concept);
+        if (hit == reached.end()) continue;
+        const bool tainted = hit->second || literal.negated;
+        for (const std::string& head : rule.HeadConceptNames()) {
+          auto [it, inserted] = reached.emplace(head, tainted);
+          if (inserted || (tainted && !it->second)) {
+            it->second = it->second || tainted;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [concept_name, tainted] : reached) {
+    degraded_.incomplete_concepts.push_back(concept_name);
+    if (tainted) degraded_.unsound_concepts.push_back(concept_name);
+  }
 }
 
 Status Evaluator::Stratify(std::map<std::string, int>* strata,

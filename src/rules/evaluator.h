@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,63 @@ namespace ooint {
 /// kNaive is the textbook re-evaluate-everything loop kept as the
 /// differential-testing oracle — both derive the same fact sets.
 enum class EvalStrategy { kSemiNaive, kNaive };
+
+/// A fallible handle to one component database's extension. The direct
+/// in-process InstanceStore is one implementation; the federation layer
+/// provides another (AgentConnection) that models a remote, failure-prone
+/// agent with deadlines, retries and a circuit breaker. Schema metadata
+/// is assumed cached at connection time and is therefore infallible;
+/// every *extent read* can fail.
+class ExtentSource {
+ public:
+  virtual ~ExtentSource() = default;
+
+  /// The source's (finalized) local schema.
+  virtual const Schema& schema() const = 0;
+
+  /// One extent read: every object of `class_name`, including instances
+  /// of transitive subclasses. Pointers remain owned by the source and
+  /// must stay valid until the next mutation of the underlying store.
+  virtual Result<std::vector<const Object*>> FetchExtent(
+      const std::string& class_name) = 0;
+};
+
+/// What Evaluate() does when an extent read fails.
+enum class FailurePolicy {
+  /// Fail fast: the first source error aborts evaluation and is
+  /// returned to the caller unchanged.
+  kStrict,
+  /// Keep going: evaluation proceeds over the reachable sources and the
+  /// result is a *sound but possibly incomplete* answer, described by
+  /// DegradedInfo.
+  kPartial,
+};
+
+/// The degradation record of a partial-mode evaluation: which agents
+/// were skipped (and the status that condemned them) and which global
+/// concepts are therefore possibly incomplete — the concepts bound to a
+/// skipped agent plus everything derivable from them through rules.
+struct DegradedInfo {
+  struct SkippedAgent {
+    std::string schema_name;
+    /// The final status of the failed extent read (after any retries).
+    Status status;
+  };
+  /// One entry per skipped agent (first failing status wins).
+  std::vector<SkippedAgent> skipped;
+  /// Sorted, deduplicated names of possibly-incomplete global concepts.
+  /// Concepts reached through a *negated* body literal are included
+  /// too: a missing fact can then make the partial answer unsound, so
+  /// such concepts are also listed in `unsound_concepts`.
+  std::vector<std::string> incomplete_concepts;
+  /// Concepts whose partial extent may contain facts the fault-free
+  /// evaluation would not derive (incompleteness crossed a negation).
+  std::vector<std::string> unsound_concepts;
+
+  bool degraded() const { return !skipped.empty(); }
+  bool SkippedAgentNamed(const std::string& schema_name) const;
+  std::string ToString() const;
+};
 
 /// Bottom-up evaluator of the "virtual" rules the integration principles
 /// generate (Section 5, Appendix B).
@@ -53,8 +111,14 @@ class Evaluator {
  public:
   Evaluator() = default;
 
-  /// Registers a component database. `store` must outlive the evaluator.
+  /// Registers a component database through a direct in-process handle.
+  /// `store` must outlive the evaluator.
   void AddSource(const std::string& schema_name, const InstanceStore* store);
+
+  /// Registers a component database through a fallible connection the
+  /// evaluator takes ownership of (the federation's AgentConnection).
+  void AddSource(const std::string& schema_name,
+                 std::unique_ptr<ExtentSource> source);
 
   /// Declares that facts of local class `class_name` in source
   /// `schema_name` populate the global concept_name `concept_name`.
@@ -72,6 +136,15 @@ class Evaluator {
 
   void set_strategy(EvalStrategy strategy) { strategy_ = strategy; }
   EvalStrategy strategy() const { return strategy_; }
+
+  /// Strict (default) fails fast on the first unreachable source;
+  /// partial evaluates what it can and records the rest in degraded().
+  void set_failure_policy(FailurePolicy policy) { failure_policy_ = policy; }
+  FailurePolicy failure_policy() const { return failure_policy_; }
+
+  /// The degradation record of the last Evaluate() (empty when every
+  /// source answered, or under FailurePolicy::kStrict).
+  const DegradedInfo& degraded() const { return degraded_; }
 
   /// Runs stratified fixpoint evaluation. Idempotent until rules or
   /// sources change (call Reset() to re-run).
@@ -106,7 +179,9 @@ class Evaluator {
  private:
   struct Source {
     std::string schema_name;
-    const InstanceStore* store;
+    /// Borrowed view; points at `owned` when the evaluator owns it.
+    ExtentSource* source;
+    std::unique_ptr<ExtentSource> owned;
   };
   struct ConceptBinding {
     std::string concept_name;
@@ -115,7 +190,14 @@ class Evaluator {
   };
 
   /// Loads base facts for every bound concept_name into the store.
+  /// Under FailurePolicy::kPartial a failing extent read marks the
+  /// agent skipped (degraded_) instead of aborting.
   Status LoadBaseFacts();
+
+  /// Fills degraded_.incomplete_concepts / unsound_concepts: the
+  /// closure of `direct` under "appears in the body of a rule" edges,
+  /// tracking whether the path crossed a negated literal.
+  void PropagateIncompleteness(const std::map<std::string, bool>& direct);
   /// Assigns strata to concepts; error on negation cycles.
   Status Stratify(std::map<std::string, int>* strata, int* max_stratum) const;
 
@@ -174,6 +256,8 @@ class Evaluator {
   std::vector<Rule> rules_;
   const DataMappingRegistry* mappings_ = nullptr;
   EvalStrategy strategy_ = EvalStrategy::kSemiNaive;
+  FailurePolicy failure_policy_ = FailurePolicy::kStrict;
+  DegradedInfo degraded_;
 
   bool evaluated_ = false;
   FactStore store_;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "common/result.h"
 #include "test_util.h"
 
@@ -33,6 +36,9 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
   EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -45,6 +51,34 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, EveryCodeHasADistinctName) {
+  // Iterates the whole enum (the sentinel bounds it), so adding a code
+  // without teaching StatusCodeName about it fails here instead of
+  // silently printing "Unknown".
+  std::set<std::string> names;
+  for (int i = 0; i < static_cast<int>(StatusCode::kStatusCodeSentinel);
+       ++i) {
+    const char* name = StatusCodeName(static_cast<StatusCode>(i));
+    EXPECT_STRNE(name, "Unknown") << "code " << i << " has no name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate status code name '" << name << "'";
+  }
+  EXPECT_STREQ(StatusCodeName(StatusCode::kStatusCodeSentinel), "Unknown");
+}
+
+TEST(StatusTest, TransientCodesAreExactlyTheRetryableOnes) {
+  for (int i = 0; i < static_cast<int>(StatusCode::kStatusCodeSentinel);
+       ++i) {
+    const StatusCode code = static_cast<StatusCode>(i);
+    const bool expect = code == StatusCode::kUnavailable ||
+                        code == StatusCode::kDeadlineExceeded;
+    EXPECT_EQ(IsTransientCode(code), expect) << StatusCodeName(code);
+  }
 }
 
 Status FailsWhenNegative(int x) {

@@ -1,0 +1,313 @@
+#include "federation/agent_connection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "federation/fault_injector.h"
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+/// One in-process "component database": a person class with a few
+/// instances, the payload every connection test fetches.
+class AgentConnectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClassDef person("person");
+    person.AddAttribute("ssn", ValueKind::kString);
+    ASSERT_OK(schema_.AddClass(std::move(person)).status());
+    ASSERT_OK(schema_.Finalize());
+    store_ = std::make_unique<InstanceStore>(&schema_);
+    for (int i = 0; i < 3; ++i) {
+      Object* object = ValueOrDie(store_->NewObject("person"));
+      object->Set("ssn", Value::String("ssn-" + std::to_string(i)));
+    }
+  }
+
+  /// A policy that never trips the breaker, for pure retry tests.
+  static BreakerPolicy NoTrips() {
+    BreakerPolicy breaker;
+    breaker.failure_threshold = 1000;
+    return breaker;
+  }
+
+  Schema schema_{"S1"};
+  std::unique_ptr<InstanceStore> store_;
+};
+
+TEST_F(AgentConnectionTest, FaultFreePassthroughReturnsFullExtent) {
+  AgentConnection connection("S1", store_.get());
+  const std::vector<const Object*> extent =
+      ValueOrDie(connection.FetchExtent("person"));
+  EXPECT_EQ(extent.size(), 3u);
+  EXPECT_EQ(connection.stats().calls, 1u);
+  EXPECT_EQ(connection.stats().attempts, 1u);
+  EXPECT_EQ(connection.stats().successes, 1u);
+  EXPECT_EQ(connection.stats().retries, 0u);
+  EXPECT_EQ(connection.breaker_state(), BreakerState::kClosed);
+}
+
+TEST_F(AgentConnectionTest, UnknownClassIsPermanentNotRetried) {
+  FaultInjector injector;
+  AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                             &injector);
+  const Result<std::vector<const Object*>> result =
+      connection.FetchExtent("ghost");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // NotFound is permanent: exactly one attempt, no retries.
+  EXPECT_EQ(connection.stats().attempts, 1u);
+  EXPECT_EQ(injector.calls("S1"), 1u);
+}
+
+TEST_F(AgentConnectionTest, RetriesTransientFailuresThenSucceeds) {
+  FaultInjector injector;
+  injector.PushN("S1", FaultKind::kUnavailable, 2);
+  AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                             &injector);
+  const std::vector<const Object*> extent =
+      ValueOrDie(connection.FetchExtent("person"));
+  EXPECT_EQ(extent.size(), 3u);
+  EXPECT_EQ(connection.stats().attempts, 3u);
+  EXPECT_EQ(connection.stats().retries, 2u);
+  EXPECT_EQ(connection.stats().successes, 1u);
+  EXPECT_EQ(connection.stats().failures, 0u);
+  // Two backoff sleeps happened on the virtual clock.
+  EXPECT_GT(connection.now_ms(), 0);
+}
+
+TEST_F(AgentConnectionTest, ExhaustsAttemptsAndReportsCount) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kUnavailable);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  AgentConnection connection("S1", store_.get(), retry, NoTrips(), &injector);
+  const Result<std::vector<const Object*>> result =
+      connection.FetchExtent("person");
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("after 4 attempts"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(connection.stats().attempts, 4u);
+  EXPECT_EQ(connection.stats().failures, 1u);
+}
+
+TEST_F(AgentConnectionTest, SlowResponsesBecomeDeadlineExceeded) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kSlowResponse);
+  RetryPolicy retry;
+  retry.per_call_deadline_ms = 50;
+  retry.total_deadline_ms = 10000;  // plenty; attempts are the limit
+  AgentConnection connection("S1", store_.get(), retry, NoTrips(), &injector);
+  const Result<std::vector<const Object*>> result =
+      connection.FetchExtent("person");
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Every attempt waited out the whole per-call deadline.
+  EXPECT_GE(connection.now_ms(), retry.max_attempts * 50.0);
+}
+
+TEST_F(AgentConnectionTest, RetryBudgetBoundsTotalVirtualTime) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kUnavailable);
+  RetryPolicy retry;
+  retry.max_attempts = 100;
+  retry.initial_backoff_ms = 10;
+  retry.total_deadline_ms = 40;  // only a couple of backoffs fit
+  AgentConnection connection("S1", store_.get(), retry, NoTrips(), &injector);
+  const Result<std::vector<const Object*>> result =
+      connection.FetchExtent("person");
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("retry budget"),
+            std::string::npos);
+  EXPECT_LE(connection.now_ms(), retry.total_deadline_ms + 100.0);
+  EXPECT_LT(connection.stats().attempts, 100u);
+}
+
+TEST_F(AgentConnectionTest, TruncatedExtentIsRetriedToFullPayload) {
+  FaultInjector injector;
+  injector.Push("S1", FaultInjector::MakeFault(FaultKind::kTruncatedExtent));
+  AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                             &injector);
+  // The truncated first attempt is treated as a short read and retried;
+  // the caller never sees the partial payload.
+  const std::vector<const Object*> extent =
+      ValueOrDie(connection.FetchExtent("person"));
+  EXPECT_EQ(extent.size(), 3u);
+  EXPECT_EQ(connection.stats().retries, 1u);
+}
+
+TEST_F(AgentConnectionTest, PersistentTruncationFailsTheCall) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kTruncatedExtent);
+  AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                             &injector);
+  const Result<std::vector<const Object*>> result =
+      connection.FetchExtent("person");
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(AgentConnectionTest, BackoffScheduleIsDeterministic) {
+  auto run = [this]() {
+    FaultInjector injector;
+    injector.PushN("S1", FaultKind::kUnavailable, 3);
+    AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                               &injector);
+    (void)connection.FetchExtent("person");
+    return connection.now_ms();
+  };
+  const double first = run();
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(first, run());  // same seed, same jittered schedule, bit-exact
+}
+
+// --- Circuit breaker state machine -----------------------------------
+
+/// A retry policy whose calls are single attempts, so each call maps to
+/// exactly one breaker-visible failure.
+RetryPolicy OneShot() {
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  return retry;
+}
+
+TEST_F(AgentConnectionTest, BreakerTripsAfterConsecutiveFailures) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kUnavailable);
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 3;
+  AgentConnection connection("S1", store_.get(), OneShot(), breaker,
+                             &injector);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(connection.FetchExtent("person").ok());
+    EXPECT_EQ(connection.breaker_state(), BreakerState::kClosed);
+  }
+  EXPECT_FALSE(connection.FetchExtent("person").ok());
+  EXPECT_EQ(connection.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(connection.stats().trips, 1u);
+
+  // While open, calls fail fast: no attempt reaches the fault schedule.
+  const std::size_t attempts_before = injector.calls("S1");
+  const Result<std::vector<const Object*>> rejected =
+      connection.FetchExtent("person");
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status().message().find("circuit open"),
+            std::string::npos);
+  EXPECT_EQ(injector.calls("S1"), attempts_before);
+  EXPECT_EQ(connection.stats().breaker_rejections, 1u);
+}
+
+TEST_F(AgentConnectionTest, HalfOpenProbeSuccessClosesTheBreaker) {
+  FaultInjector injector;
+  injector.PushN("S1", FaultKind::kUnavailable, 3);  // trip, then heal
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 3;
+  breaker.open_cooldown_ms = 500;
+  AgentConnection connection("S1", store_.get(), OneShot(), breaker,
+                             &injector);
+  for (int i = 0; i < 3; ++i) (void)connection.FetchExtent("person");
+  ASSERT_EQ(connection.breaker_state(), BreakerState::kOpen);
+
+  // Cooldown not yet elapsed: still rejecting.
+  EXPECT_FALSE(connection.FetchExtent("person").ok());
+  EXPECT_EQ(connection.stats().breaker_rejections, 1u);
+
+  connection.AdvanceClock(500);
+  // The half-open probe goes through to the (now healthy) agent and
+  // closes the breaker.
+  const std::vector<const Object*> extent =
+      ValueOrDie(connection.FetchExtent("person"));
+  EXPECT_EQ(extent.size(), 3u);
+  EXPECT_EQ(connection.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(connection.stats().trips, 1u);
+}
+
+TEST_F(AgentConnectionTest, HalfOpenProbeFailureReopensTheBreaker) {
+  FaultInjector injector;
+  injector.PushN("S1", FaultKind::kUnavailable, 4);  // trip + failed probe
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 3;
+  breaker.open_cooldown_ms = 500;
+  AgentConnection connection("S1", store_.get(), OneShot(), breaker,
+                             &injector);
+  for (int i = 0; i < 3; ++i) (void)connection.FetchExtent("person");
+  ASSERT_EQ(connection.breaker_state(), BreakerState::kOpen);
+
+  connection.AdvanceClock(500);
+  const std::size_t attempts_before = connection.stats().attempts;
+  EXPECT_FALSE(connection.FetchExtent("person").ok());
+  // The failed probe re-opens immediately — one attempt, no retry storm.
+  EXPECT_EQ(connection.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(connection.stats().attempts, attempts_before + 1);
+  EXPECT_EQ(connection.stats().trips, 2u);
+
+  // A later cooldown + healthy agent still recovers.
+  connection.AdvanceClock(500);
+  EXPECT_OK(connection.FetchExtent("person").status());
+  EXPECT_EQ(connection.breaker_state(), BreakerState::kClosed);
+}
+
+TEST_F(AgentConnectionTest, HalfOpenCanRequireMultipleProbeSuccesses) {
+  FaultInjector injector;
+  injector.PushN("S1", FaultKind::kUnavailable, 2);
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 2;
+  breaker.open_cooldown_ms = 100;
+  breaker.half_open_successes = 2;
+  AgentConnection connection("S1", store_.get(), OneShot(), breaker,
+                             &injector);
+  for (int i = 0; i < 2; ++i) (void)connection.FetchExtent("person");
+  ASSERT_EQ(connection.breaker_state(), BreakerState::kOpen);
+
+  connection.AdvanceClock(100);
+  EXPECT_OK(connection.FetchExtent("person").status());
+  EXPECT_EQ(connection.breaker_state(), BreakerState::kHalfOpen);
+  EXPECT_OK(connection.FetchExtent("person").status());
+  EXPECT_EQ(connection.breaker_state(), BreakerState::kClosed);
+}
+
+TEST_F(AgentConnectionTest, HealthSnapshotRendersCounters) {
+  FaultInjector injector;
+  injector.PushN("S1", FaultKind::kUnavailable, 1);
+  AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                             &injector);
+  EXPECT_OK(connection.FetchExtent("person").status());
+  const AgentHealth health{connection.agent_name(),
+                           connection.breaker_state(), connection.stats()};
+  const std::string rendered = health.ToString();
+  EXPECT_NE(rendered.find("S1"), std::string::npos);
+  EXPECT_NE(rendered.find("state=Closed"), std::string::npos);
+  EXPECT_NE(rendered.find("retries=1"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, SeededSchedulesAreReproduciblePerAgent) {
+  FaultInjector a(42, 0.5);
+  FaultInjector b(42, 0.5);
+  for (int i = 0; i < 64; ++i) {
+    const Fault fa = a.Next("S1");
+    const Fault fb = b.Next("S1");
+    EXPECT_EQ(fa.kind, fb.kind) << "diverged at draw " << i;
+  }
+  // Distinct agents get distinct (but still deterministic) streams.
+  FaultInjector c(42, 0.5);
+  bool any_difference = false;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next("S2").kind != c.Next("S1").kind) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjectorTest, ScriptedFaultsPrecedeSeededDraws) {
+  FaultInjector injector(7, 0.0);  // seeded but never faults on its own
+  injector.Push("S1", FaultInjector::MakeFault(FaultKind::kUnavailable));
+  EXPECT_EQ(injector.Next("S1").kind, FaultKind::kUnavailable);
+  EXPECT_EQ(injector.Next("S1").kind, FaultKind::kNone);
+  EXPECT_EQ(injector.calls("S1"), 2u);
+  EXPECT_EQ(injector.calls("S2"), 0u);
+}
+
+}  // namespace
+}  // namespace ooint

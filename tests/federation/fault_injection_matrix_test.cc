@@ -1,0 +1,265 @@
+// The degraded-federation matrix: every seeded or scripted fault
+// schedule × {strict, partial} failure policy, against the genealogy
+// federation (Appendix B). The invariants checked for every cell:
+//
+//  - partial-mode answers are a *sound subset* of the fault-free
+//    answers (the rule set is negation-free, so dropping base facts can
+//    only drop derived facts);
+//  - DegradedInfo names exactly the agents whose extent reads failed,
+//    and every concept bound to a skipped agent is marked incomplete;
+//  - strict mode fails iff partial mode degraded, surfacing the
+//    injected transient status code;
+//  - a fault-free schedule leaves both modes identical to the baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "federation/explain.h"
+#include "federation/fault_injector.h"
+#include "federation/fsm_client.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+constexpr size_t kFamilies = 3;
+
+struct Schedule {
+  std::string name;
+  std::function<void(FaultInjector*)> configure;
+  /// Agents this schedule makes durably unreachable ("" = none); seeded
+  /// schedules leave it open and the test derives expectations from the
+  /// partial run itself.
+  std::set<std::string> expected_skipped;
+  bool deterministic = true;
+};
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = ValueOrDie(MakeGenealogyFixture());
+    std::unique_ptr<FsmAgent> a1 =
+        ValueOrDie(FsmAgent::Create("agent1", "ooint", "db1", fixture_.s1));
+    std::unique_ptr<FsmAgent> a2 =
+        ValueOrDie(FsmAgent::Create("agent2", "ooint", "db2", fixture_.s2));
+    ASSERT_OK(PopulateGenealogy(&a1->store(), &a2->store(), kFamilies));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(a1)));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(a2)));
+    ASSERT_OK(fsm_.DeclareAssertions(fixture_.assertion_text));
+  }
+
+  /// All uncle-query answers as a comparable set of "who/kid" strings.
+  static std::set<std::string> UncleAnswers(const FsmClient& client) {
+    const std::string global_name =
+        ValueOrDie(client.GlobalNameOf("S2", "uncle"));
+    Query query(global_name);
+    query.Select("Ussn#", "who").Select("niece_nephew", "kid");
+    std::set<std::string> answers;
+    for (const Bindings& row : ValueOrDie(client.Run(query))) {
+      answers.insert(row.at("who").ToString() + "/" +
+                     row.at("kid").ToString());
+    }
+    return answers;
+  }
+
+  Fixture fixture_;
+  Fsm fsm_;
+};
+
+std::vector<Schedule> MakeSchedules() {
+  std::vector<Schedule> schedules;
+  schedules.push_back({"fault-free",
+                       [](FaultInjector*) {},
+                       {},
+                       true});
+  schedules.push_back({"s1-down",
+                       [](FaultInjector* injector) {
+                         injector->AlwaysFail("S1", FaultKind::kUnavailable);
+                       },
+                       {"S1"},
+                       true});
+  schedules.push_back({"s2-down",
+                       [](FaultInjector* injector) {
+                         injector->AlwaysFail("S2", FaultKind::kUnavailable);
+                       },
+                       {"S2"},
+                       true});
+  schedules.push_back({"s1-slow",
+                       [](FaultInjector* injector) {
+                         injector->AlwaysFail("S1", FaultKind::kSlowResponse);
+                       },
+                       {"S1"},
+                       true});
+  schedules.push_back({"s1-truncating",
+                       [](FaultInjector* injector) {
+                         injector->AlwaysFail("S1",
+                                              FaultKind::kTruncatedExtent);
+                       },
+                       {"S1"},
+                       true});
+  schedules.push_back({"all-down",
+                       [](FaultInjector* injector) {
+                         injector->AlwaysFail("S1",
+                                              FaultKind::kDeadlineExceeded);
+                         injector->AlwaysFail("S2", FaultKind::kUnavailable);
+                       },
+                       {"S1", "S2"},
+                       true});
+  schedules.push_back({"s1-flaky-recovers",
+                       [](FaultInjector* injector) {
+                         // Two transient faults per extent read at most;
+                         // the default 4-attempt retry loop rides them
+                         // out, so nothing is skipped.
+                         injector->PushN("S1", FaultKind::kUnavailable, 2);
+                       },
+                       {},
+                       true});
+  for (const std::uint64_t seed : {11ULL, 23ULL, 47ULL}) {
+    schedules.push_back({"seeded-" + std::to_string(seed),
+                         [seed](FaultInjector* injector) {
+                           *injector = FaultInjector(seed, 0.45);
+                         },
+                         {},
+                         false});
+  }
+  return schedules;
+}
+
+TEST_F(FaultMatrixTest, EveryScheduleInBothModes) {
+  // The fault-free baseline every cell is compared against.
+  FsmClient baseline_client(&fsm_);
+  ASSERT_OK(baseline_client.Connect());
+  const std::set<std::string> baseline = UncleAnswers(baseline_client);
+  ASSERT_FALSE(baseline.empty());
+  ASSERT_FALSE(baseline_client.degraded().degraded());
+
+  for (const Schedule& schedule : MakeSchedules()) {
+    SCOPED_TRACE(schedule.name);
+
+    // --- partial mode -------------------------------------------------
+    FaultInjector partial_injector;
+    schedule.configure(&partial_injector);
+    FederationOptions partial_options;
+    partial_options.failure_policy = FailurePolicy::kPartial;
+    partial_options.injector = &partial_injector;
+    FsmClient partial_client(&fsm_);
+    ASSERT_OK(partial_client.Connect(Fsm::Strategy::kAccumulation,
+                                     partial_options));
+    const std::set<std::string> partial = UncleAnswers(partial_client);
+    const DegradedInfo& degraded = partial_client.degraded();
+
+    // Soundness: partial answers never invent rows.
+    EXPECT_TRUE(std::includes(baseline.begin(), baseline.end(),
+                              partial.begin(), partial.end()))
+        << "partial answers are not a subset of the fault-free answers";
+    // The negation-free genealogy rules never taint anything.
+    EXPECT_TRUE(degraded.unsound_concepts.empty());
+
+    // DegradedInfo names exactly the skipped agents.
+    std::set<std::string> skipped;
+    for (const DegradedInfo::SkippedAgent& agent : degraded.skipped) {
+      EXPECT_TRUE(IsTransientCode(agent.status.code()))
+          << agent.status.ToString();
+      skipped.insert(agent.schema_name);
+    }
+    if (schedule.deterministic) {
+      EXPECT_EQ(skipped, schedule.expected_skipped);
+    }
+    // Every concept bound to a skipped agent is marked incomplete.
+    for (const auto& [concept_name, sources] :
+         partial_client.global().ground_sources) {
+      for (const ClassRef& source : sources) {
+        if (skipped.count(source.schema) == 0) continue;
+        EXPECT_TRUE(std::binary_search(degraded.incomplete_concepts.begin(),
+                                       degraded.incomplete_concepts.end(),
+                                       concept_name))
+            << concept_name << " bound to skipped " << source.schema
+            << " but not marked incomplete";
+      }
+    }
+    if (skipped.empty()) {
+      EXPECT_EQ(partial, baseline);
+      EXPECT_FALSE(degraded.degraded());
+    }
+    // Losing S1 (parents and brothers) starves the uncle derivation.
+    if (skipped.count("S1") > 0) EXPECT_TRUE(partial.empty());
+
+    // The query plan surfaces the degradation to the user.
+    const std::string global_name =
+        ValueOrDie(partial_client.GlobalNameOf("S2", "uncle"));
+    const QueryPlan plan = ValueOrDie(
+        ExplainQuery(partial_client.global(), global_name, &degraded));
+    EXPECT_EQ(plan.degraded(), !skipped.empty());
+    if (plan.degraded()) {
+      EXPECT_NE(plan.ToString().find("DEGRADED"), std::string::npos);
+    }
+
+    // --- strict mode --------------------------------------------------
+    FaultInjector strict_injector;
+    schedule.configure(&strict_injector);
+    FederationOptions strict_options;
+    strict_options.failure_policy = FailurePolicy::kStrict;
+    strict_options.injector = &strict_injector;
+    FsmClient strict_client(&fsm_);
+    const Status strict =
+        strict_client.Connect(Fsm::Strategy::kAccumulation, strict_options);
+    if (degraded.degraded()) {
+      // Strict fails fast with the first injected transient code — the
+      // same one partial mode recorded for its first skipped agent.
+      ASSERT_FALSE(strict.ok());
+      EXPECT_EQ(strict.code(), degraded.skipped.front().status.code())
+          << strict.ToString();
+      // ... and the failed client stays safely disconnected.
+      EXPECT_FALSE(strict_client.connected());
+      EXPECT_EQ(strict_client.Run(Query("IS(S2.uncle)")).status().code(),
+                StatusCode::kFailedPrecondition);
+    } else {
+      ASSERT_OK(strict);
+      EXPECT_EQ(UncleAnswers(strict_client), baseline);
+    }
+  }
+}
+
+TEST_F(FaultMatrixTest, PartialModeReportsConnectionHealth) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kUnavailable);
+  FederationOptions options;
+  options.failure_policy = FailurePolicy::kPartial;
+  options.injector = &injector;
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, options));
+
+  const std::vector<AgentHealth> health = client.ConnectionHealth();
+  ASSERT_EQ(health.size(), 2u);
+  ASSERT_EQ(health[0].agent_name, "S1");
+  EXPECT_GT(health[0].stats.failures, 0u);
+  EXPECT_GT(health[0].stats.retries, 0u);
+  EXPECT_EQ(health[1].agent_name, "S2");
+  EXPECT_EQ(health[1].stats.failures, 0u);
+  // The S1 breaker tripped under the consecutive failures.
+  EXPECT_GT(health[0].stats.trips, 0u);
+  EXPECT_NE(health[0].ToString().find("S1"), std::string::npos);
+}
+
+TEST_F(FaultMatrixTest, DegradedInfoRendersHumanReadably) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kUnavailable);
+  FederationOptions options;
+  options.failure_policy = FailurePolicy::kPartial;
+  options.injector = &injector;
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, options));
+  const std::string rendered = client.degraded().ToString();
+  EXPECT_NE(rendered.find("skipped S1"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("incomplete:"), std::string::npos) << rendered;
+}
+
+}  // namespace
+}  // namespace ooint

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "federation/fsm_client.h"
 #include "test_util.h"
 #include "workload/fixtures.h"
 
@@ -157,6 +158,24 @@ TEST_F(ThreeSchemaFsmTest, AccumulationMergesAllThree) {
   EXPECT_NE(merged.FindAttribute("extra_1"), nullptr);
   EXPECT_NE(merged.FindAttribute("extra_2"), nullptr);
   EXPECT_NE(merged.FindAttribute("extra_3"), nullptr);
+}
+
+TEST(FsmClientGuardTest, RunAndExtentBeforeConnectFailCleanly) {
+  Fsm fsm;  // deliberately empty: Connect() cannot succeed either
+  FsmClient client(&fsm);
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(client.Run(Query("IS(ghost)")).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.Extent("IS(ghost)").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(client.degraded().degraded());
+  EXPECT_TRUE(client.ConnectionHealth().empty());
+
+  // A failed Connect leaves the client disconnected, not half-built.
+  EXPECT_FALSE(client.Connect().ok());
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(client.Run(Query("IS(ghost)")).status().code(),
+            StatusCode::kFailedPrecondition);
 }
 
 TEST_F(ThreeSchemaFsmTest, BalancedStrategyAgreesOnGroundSources) {
