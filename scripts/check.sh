@@ -1,18 +1,37 @@
 #!/usr/bin/env bash
 # Full verification loop: configure, build, test, run every benchmark.
 #
-# Usage: scripts/check.sh [--asan|--all]
-#   --asan  build into build-asan/ with OOINT_SANITIZE=address,undefined
-#           and run the tests under the sanitizers (benchmarks skipped:
-#           sanitized timings are meaningless).
-#   --all   the plain pass followed by the --asan pass — the CI matrix
-#           in one command.
+# Usage: scripts/check.sh [--asan|--all|--soak [N]]
+#   --asan      build into build-asan/ with OOINT_SANITIZE=address,undefined
+#               and run the tests under the sanitizers (benchmarks skipped:
+#               sanitized timings are meaningless).
+#   --all       the plain pass followed by the --asan pass — the CI matrix
+#               in one command.
+#   --soak [N]  build, then run the randomized conformance harness over N
+#               seeds (default 5000) starting from a fresh offset; failing
+#               seeds are shrunk to minimal repros and printed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--all" ]]; then
   "$0"
   exec "$0" --asan
+fi
+
+if [[ "${1:-}" == "--soak" ]]; then
+  COUNT="${2:-5000}"
+  # A date-derived start offset explores fresh seed ranges on each day
+  # while staying reproducible within one (override with SOAK_START).
+  START="${SOAK_START:-$(( $(date +%Y%m%d) * 1000 ))}"
+  CONFIG_ARGS=()
+  # Only pick a generator on a fresh configure; an existing cache pins it.
+  if command -v ninja >/dev/null 2>&1 && [[ ! -f build/CMakeCache.txt ]]; then
+    CONFIG_ARGS+=(-G Ninja)
+  fi
+  cmake -B build -S . "${CONFIG_ARGS[@]}"
+  cmake --build build -j --target conformance_soak
+  echo "== conformance soak: $COUNT seeds from $START =="
+  exec ./build/tests/harness/conformance_soak "$COUNT" "$START"
 fi
 
 BUILD_DIR=build
@@ -24,8 +43,9 @@ if [[ "${1:-}" == "--asan" ]]; then
   RUN_BENCH=0
 fi
 
-# Prefer Ninja when available; fall back to the default generator.
-if command -v ninja >/dev/null 2>&1; then
+# Prefer Ninja when available; fall back to the default generator. An
+# existing cache pins whatever generator configured it first.
+if command -v ninja >/dev/null 2>&1 && [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
   CONFIG_ARGS+=(-G Ninja)
 fi
 

@@ -187,20 +187,32 @@ std::vector<ConsistencyFinding> CheckConsistency(
           blocker.rel != SetRel::kDerivation) {
         continue;
       }
-      // Orient the blocker's classes onto lhs/rhs sides.
-      auto covers = [&](const ClassRef& above, const ClassRef& below) {
+      // Orient the blocker's classes onto lhs/rhs sides. The optimized
+      // traversal skips every pair at or below the blocker pair (one
+      // endpoint may coincide with a blocker class — e.g. c ⊇ d under
+      // c' ∅ d with c below c' is pruned as soon as the disjoint pair
+      // is processed), so "covered" means below-or-equal; requiring at
+      // least one strict descent keeps the blocker pair itself exempt.
+      auto covers = [&](const ClassRef& above, const ClassRef& below,
+                        bool allow_equal) {
         if (above.schema != below.schema) return false;
         const Schema& schema = (above.schema == s1.name()) ? s1 : s2;
-        if (above.class_name == below.class_name) return false;
+        if (!allow_equal && above.class_name == below.class_name) {
+          return false;
+        }
         return IsAncestorOrSelf(schema, above.class_name, below.class_name);
       };
       bool lhs_covered = false;
+      bool lhs_strict = false;
       for (const ClassRef& c : blocker.lhs) {
-        if (covers(c, lhs) || covers(c, rhs)) lhs_covered = true;
+        if (covers(c, lhs, true) || covers(c, rhs, true)) lhs_covered = true;
+        if (covers(c, lhs, false) || covers(c, rhs, false)) lhs_strict = true;
       }
-      const bool rhs_covered =
-          covers(blocker.rhs, rhs) || covers(blocker.rhs, lhs);
-      if (lhs_covered && rhs_covered) {
+      const bool rhs_covered = covers(blocker.rhs, rhs, true) ||
+                               covers(blocker.rhs, lhs, true);
+      const bool rhs_strict = covers(blocker.rhs, rhs, false) ||
+                              covers(blocker.rhs, lhs, false);
+      if (lhs_covered && rhs_covered && (lhs_strict || rhs_strict)) {
         findings.push_back(
             {ConsistencyFinding::Severity::kWarning,
              ConsistencyFinding::Kind::kShadowedByObservation3,

@@ -10,22 +10,43 @@
 
 namespace ooint {
 
-/// Parameters of the synthetic schema generator (the Section 6.3
-/// analysis setting: is-a trees of height h and degree d).
+/// Shape of a generated is-a graph.
+enum class IsAShape {
+  /// The Section 6.3 analysis setting: a complete `degree`-ary tree
+  /// truncated at `num_classes` nodes.
+  kCompleteTree,
+  /// A seeded random DAG: each class draws 0..`max_parents` parents
+  /// among the lower-indexed classes (so the graph is acyclic by
+  /// construction), including multiple-inheritance diamonds and
+  /// forests with several roots.
+  kRandomDag,
+};
+
+/// Parameters of the synthetic schema generator.
 struct SchemaGenOptions {
   std::string name = "S1";
-  /// Total class count n; the tree is a complete `degree`-ary tree
-  /// truncated at n nodes.
+  /// Total class count n.
   size_t num_classes = 15;
-  /// Fan-out d of the is-a tree.
+  IsAShape shape = IsAShape::kCompleteTree;
+  /// kCompleteTree: fan-out d of the is-a tree.
   size_t degree = 2;
+  /// kRandomDag: maximum is-a parents per class (multiple inheritance
+  /// when > 1).
+  size_t max_parents = 2;
+  /// kRandomDag: probability that a class beyond the first is an extra
+  /// root (no parents).
+  double root_probability = 0.1;
+  /// kRandomDag: probability of each parent slot beyond the first being
+  /// filled.
+  double extra_parent_probability = 0.25;
   /// Scalar attributes per class (a key attribute "key" is always
   /// added).
   size_t attrs_per_class = 3;
   /// When set, every non-root class also carries an aggregation
-  /// function "ref_parent" to its parent class, with a cardinality that
-  /// alternates between [m:1] and [1:1] by index — material for
-  /// Principle 6's constraint-lattice resolution.
+  /// function "ref_parent" to its (first) parent class, with a
+  /// cardinality that alternates between [m:1] and [1:1] by index for
+  /// trees and is drawn from the whole lattice for random DAGs —
+  /// material for Principle 6's constraint-lattice resolution.
   bool with_aggregations = false;
   /// Prefix of generated class names ("<prefix><index>").
   std::string class_prefix = "c";
@@ -37,7 +58,8 @@ Result<Schema> GenerateSchema(const SchemaGenOptions& options);
 
 /// Builds the isomorphic counterpart of `schema` with classes renamed to
 /// `class_prefix` — the §6.3 setting where "each concept from S1 has
-/// exactly one equivalent counterpart from S2".
+/// exactly one equivalent counterpart from S2". Works for any is-a
+/// shape, trees and DAGs alike.
 Result<Schema> GenerateCounterpartSchema(const Schema& schema,
                                          const std::string& new_name,
                                          const std::string& class_prefix);
@@ -45,7 +67,8 @@ Result<Schema> GenerateCounterpartSchema(const Schema& schema,
 /// Mix of assertion kinds generated between a schema and its
 /// counterpart. Fractions apply per class, in priority order
 /// equivalence > inclusion > disjoint > derivation; the remainder gets
-/// no assertion. All fractions in [0, 1], summing to at most 1.
+/// no assertion. All fractions must lie in [0, 1] and sum to at most 1;
+/// GenerateAssertions returns InvalidArgument otherwise.
 struct AssertionGenOptions {
   double equivalence_fraction = 1.0;
   double inclusion_fraction = 0.0;
@@ -69,6 +92,49 @@ Result<AssertionSet> GenerateAssertions(const Schema& s1, const Schema& s2,
                                         const std::string& s1_prefix,
                                         const std::string& s2_prefix,
                                         const AssertionGenOptions& options);
+
+/// Mix of assertion kinds for *arbitrary* (non-isomorphic) schema
+/// pairs: partners are drawn at random, all five assertion kinds of
+/// Table 1 appear (≡, ⊆/⊇, ∩, ∅, →), and `inconsistent_fraction`
+/// deliberately plants inclusion pairs that force a cycle in the
+/// integrated is-a hierarchy (material for the consistency checker).
+/// Fractions must lie in [0, 1] and the five kind fractions must sum to
+/// at most 1.
+struct RandomAssertionGenOptions {
+  double equivalence_fraction = 0.3;
+  double inclusion_fraction = 0.2;
+  double overlap_fraction = 0.1;
+  double disjoint_fraction = 0.1;
+  double derivation_fraction = 0.1;
+  /// Probability (per class with a parent) of planting a cycle-forcing
+  /// inclusion pair. Sets generated with this > 0 are expected to fail
+  /// CheckConsistency with kHierarchyCycle sometimes.
+  double inconsistent_fraction = 0.0;
+  /// Whether assertions carry attribute correspondences on the key
+  /// attribute (emitted only when both classes declare "key").
+  bool attribute_correspondences = true;
+  /// Whether equivalences between classes that both carry the generated
+  /// ref_parent aggregation also declare those functions equivalent.
+  bool aggregation_correspondences = false;
+  /// When true (the default), every s2 class is used by at most one
+  /// set-relation assertion, so each class on either side participates
+  /// in at most one of ≡/⊆/⊇/∩/∅ — the regime in which the naive and
+  /// optimized integrators are comparable (observations 1–2 prune pairs
+  /// around an already-matched class; a second assertion on such a pair
+  /// would be silently skipped by the optimized traversal only).
+  /// Derivations and planted inconsistencies are exempt.
+  bool unique_partners = true;
+  std::uint64_t seed = 7;
+};
+
+/// Generates a random assertion set between two arbitrary finalized
+/// schemas (no size or shape relationship required). Every class of
+/// `s1` draws at most one set-relation partner in `s2`; derivations are
+/// generated in both directions. The result always passes
+/// AssertionSet::Validate(s1, s2).
+Result<AssertionSet> GenerateRandomAssertions(
+    const Schema& s1, const Schema& s2,
+    const RandomAssertionGenOptions& options);
 
 }  // namespace ooint
 

@@ -1,0 +1,123 @@
+// Error paths of the assertion language: what Add and Validate reject,
+// and with which status codes / messages. The randomized conformance
+// shrinker relies on these errors being deterministic — an over-eager
+// shrink step that severs a referenced class must surface as a clean
+// error, never as silent misbehaviour.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "assertions/assertion_set.h"
+#include "assertions/parser.h"
+#include "model/schema_parser.h"
+#include "test_util.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+constexpr char kS1[] = R"(schema S1 {
+  class person {
+    name: string;
+  }
+  class employee {
+    name: string;
+    salary: integer;
+  }
+  is_a(employee, person);
+})";
+
+constexpr char kS2[] = R"(schema S2 {
+  class worker {
+    name: string;
+  }
+})";
+
+class AssertionErrorPathsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1_ = ValueOrDie(SchemaParser::Parse(kS1));
+    s2_ = ValueOrDie(SchemaParser::Parse(kS2));
+  }
+
+  Status ValidateOne(const std::string& text) {
+    AssertionSet set;
+    Status added = set.Add(ValueOrDie(AssertionParser::ParseOne(text)));
+    if (!added.ok()) return added;
+    return set.Validate(s1_, s2_);
+  }
+
+  Schema s1_{"S1"};
+  Schema s2_{"S2"};
+};
+
+TEST_F(AssertionErrorPathsTest, UnknownClassIsNotFound) {
+  const Status status = ValidateOne("assert S1.manager == S2.worker;");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("unknown class"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("S1.manager"), std::string::npos);
+}
+
+TEST_F(AssertionErrorPathsTest, UnknownSchemaIsNotFound) {
+  const Status status = ValidateOne("assert S3.person == S2.worker;");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("unknown schema"), std::string::npos);
+}
+
+TEST_F(AssertionErrorPathsTest, DanglingAttributeIsRejected) {
+  const Status status = ValidateOne(
+      "assert S1.employee == S2.worker {\n"
+      "  attr: S1.employee.badge == S2.worker.name;\n"
+      "}");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("badge"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(AssertionErrorPathsTest, DuplicateAssertionIsAlreadyExists) {
+  AssertionSet set;
+  ASSERT_OK(set.Add(ValueOrDie(
+      AssertionParser::ParseOne("assert S1.person == S2.worker;"))));
+  // Same unordered pair, different relation: still a duplicate.
+  const Status dup = set.Add(ValueOrDie(
+      AssertionParser::ParseOne("assert S1.person <= S2.worker;")));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST_F(AssertionErrorPathsTest, MirroredDuplicateIsAlreadyExists) {
+  AssertionSet set;
+  ASSERT_OK(set.Add(ValueOrDie(
+      AssertionParser::ParseOne("assert S1.person <= S2.worker;"))));
+  // The pair key is orientation-agnostic.
+  const Status dup = set.Add(ValueOrDie(
+      AssertionParser::ParseOne("assert S2.worker >= S1.person;")));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(AssertionErrorPathsTest, DerivationDoesNotCollideWithSetRelation) {
+  AssertionSet set;
+  ASSERT_OK(set.Add(ValueOrDie(
+      AssertionParser::ParseOne("assert S1.person == S2.worker;"))));
+  ASSERT_OK(set.Add(ValueOrDie(AssertionParser::ParseOne(
+      "assert S1.person -> S2.worker {\n"
+      "  attr: S1.person.name == S2.worker.name;\n"
+      "}"))));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST_F(AssertionErrorPathsTest, CrossSchemaValueCorrespondenceRejected) {
+  const Status status = ValidateOne(
+      "assert S1(person, employee) -> S2.worker {\n"
+      "  value(S2): S1.person.name == S2.worker.name;\n"
+      "}");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("must stay inside"), std::string::npos)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace ooint

@@ -65,6 +65,45 @@ INSTANTIATE_TEST_SUITE_P(
                       RoundTripCase{63, 0, 0, 0, 1.0, 8}),
     CaseName);
 
+// The generalized (non-isomorphic) workloads round-trip too: random
+// schema pairs, all five assertion kinds, planted inconsistencies and
+// both derivation directions.
+TEST(AssertionRoundTripTest, RandomPairWorkloadsRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SchemaGenOptions o1;
+    o1.num_classes = 10;
+    o1.shape = IsAShape::kRandomDag;
+    o1.with_aggregations = true;
+    o1.seed = seed;
+    const Schema s1 = ValueOrDie(GenerateSchema(o1));
+    SchemaGenOptions o2 = o1;
+    o2.name = "S2";
+    o2.class_prefix = "d";
+    o2.num_classes = 7;
+    o2.seed = seed + 1000;
+    const Schema s2 = ValueOrDie(GenerateSchema(o2));
+
+    RandomAssertionGenOptions mix;
+    mix.equivalence_fraction = 0.2;
+    mix.inclusion_fraction = 0.2;
+    mix.overlap_fraction = 0.2;
+    mix.disjoint_fraction = 0.1;
+    mix.derivation_fraction = 0.2;
+    mix.inconsistent_fraction = 0.3;
+    mix.aggregation_correspondences = true;
+    mix.seed = seed;
+    const AssertionSet original =
+        ValueOrDie(GenerateRandomAssertions(s1, s2, mix));
+
+    const std::string once = original.ToString();
+    const AssertionSet reparsed = ValueOrDie(AssertionParser::Parse(once));
+    EXPECT_EQ(reparsed.ToString(), once);
+    EXPECT_EQ(reparsed.size(), original.size());
+    EXPECT_OK(reparsed.Validate(s1, s2));
+  }
+}
+
 /// The fixtures' hand-written assertion texts are also stable.
 TEST(AssertionRoundTripTest, FixtureTextsAreStable) {
   // (covered per-fixture in parser_test.cc; here we just guard the

@@ -1,0 +1,64 @@
+// Randomized counterpart of fault_injection_matrix_test: instead of a
+// hand-enumerated schedule matrix, fault schedules, schemas and
+// assertion sets are all drawn by the conformance harness, and the
+// kStrict / kPartial agreement properties are asserted on every seed
+// that reaches the federation stage.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "harness/conformance.h"
+#include "test_util.h"
+
+namespace ooint {
+namespace harness {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+// Force every seed into a faulty schedule and check both policies: the
+// partial-answer oracle family internally runs kPartial and kStrict
+// under the same per-agent schedule and asserts strict-fails ⟺
+// partial-degrades, partial ⊆ baseline, and incompleteness marking.
+TEST(RandomFaultConformanceTest, StrictAndPartialAgreeUnderRandomFaults) {
+  CaseOptions options;
+  options.fault_rate = 0.5;
+  size_t federated_cases = 0;
+  size_t faulty_cases = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ConcreteCase c = ValueOrDie(MakeCase(seed, options));
+    const OracleOutcome outcome = ValueOrDie(CheckCase(c));
+    EXPECT_TRUE(outcome.ok()) << outcome.ToString() << "\n" << RenderCase(c);
+    if (outcome.ran.count(OracleFamily::kPartialAnswers) > 0) {
+      ++federated_cases;
+      if (c.fault_rate > 0.0) ++faulty_cases;
+    }
+  }
+  // The sweep must actually exercise the federation under faults, in
+  // both regimes (faulty and fault-free schedules).
+  EXPECT_GE(federated_cases, 40u);
+  EXPECT_GE(faulty_cases, 15u);
+  EXPECT_LT(faulty_cases, federated_cases);
+}
+
+// High fault rates must never escalate a partial run into an outright
+// error or an unsound answer — only into reported degradation.
+TEST(RandomFaultConformanceTest, SaturatedFaultRateStaysSound) {
+  CaseOptions options;
+  options.fault_rate = 0.9;
+  options.allow_inconsistent = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ConcreteCase c = ValueOrDie(MakeCase(seed, options));
+    const OracleOutcome outcome = ValueOrDie(CheckCase(c));
+    EXPECT_TRUE(outcome.ok()) << outcome.ToString() << "\n" << RenderCase(c);
+  }
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace ooint

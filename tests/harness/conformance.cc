@@ -1,0 +1,886 @@
+#include "harness/conformance.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/string_util.h"
+#include "federation/fault_injector.h"
+#include "federation/fsm.h"
+#include "federation/fsm_agent.h"
+#include "integrate/consistency.h"
+#include "integrate/integrator.h"
+#include "integrate/naive_integrator.h"
+#include "model/schema_parser.h"
+#include "workload/generator.h"
+
+namespace ooint {
+namespace harness {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Draw(std::uint64_t seed, std::uint64_t salt) {
+  return SplitMix64(seed ^ (salt * 0x2545f4914f6cdd1dULL));
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* OracleFamilyName(OracleFamily family) {
+  switch (family) {
+    case OracleFamily::kConsistency:
+      return "consistency";
+    case OracleFamily::kIntegratorAgreement:
+      return "integrator-agreement";
+    case OracleFamily::kEvaluatorAgreement:
+      return "evaluator-agreement";
+    case OracleFamily::kMetamorphic:
+      return "metamorphic";
+    case OracleFamily::kPartialAnswers:
+      return "partial-answers";
+  }
+  return "?";
+}
+
+std::string OracleOutcome::ToString() const {
+  std::vector<std::string> families;
+  for (OracleFamily f : ran) families.push_back(OracleFamilyName(f));
+  std::string out = StrCat("ran {", Join(families, ", "), "}");
+  if (failures.empty()) return out + ", all properties held";
+  out += StrCat(", ", failures.size(), " failure(s):\n");
+  for (const std::string& f : failures) out += "  - " + f + "\n";
+  return out;
+}
+
+Result<ConcreteCase> MakeCase(std::uint64_t seed,
+                              const CaseOptions& options) {
+  if (options.max_classes < 3) {
+    return Status::InvalidArgument("max_classes must be at least 3");
+  }
+  ConcreteCase c;
+  c.seed = seed;
+
+  SchemaGenOptions o1;
+  o1.name = "S1";
+  o1.class_prefix = "c";
+  o1.num_classes = 3 + Draw(seed, 1) % (options.max_classes - 2);
+  o1.shape = (Draw(seed, 2) % 2 == 0) ? IsAShape::kCompleteTree
+                                      : IsAShape::kRandomDag;
+  o1.degree = 2 + Draw(seed, 3) % 3;
+  o1.max_parents = 1 + Draw(seed, 4) % 2;
+  o1.attrs_per_class = 1 + Draw(seed, 5) % 3;
+  o1.with_aggregations = Draw(seed, 6) % 2 == 0;
+  o1.seed = Draw(seed, 7);
+  OOINT_ASSIGN_OR_RETURN(c.s1, GenerateSchema(o1));
+
+  const bool counterpart_mode = Draw(seed, 8) % 2 == 0;
+  c.counterpart = counterpart_mode;
+  AssertionSet set;
+  if (counterpart_mode) {
+    OOINT_ASSIGN_OR_RETURN(c.s2,
+                           GenerateCounterpartSchema(c.s1, "S2", "d"));
+    // A handful of curated mixes: the §6.3 all-equivalent setting plus
+    // mixed-kind and inclusion-heavy regimes.
+    struct Mix {
+      double eq, inc, dis, der;
+    };
+    static const Mix kMixes[] = {{1.0, 0.0, 0.0, 0.0},
+                                 {0.5, 0.3, 0.1, 0.1},
+                                 {0.3, 0.3, 0.2, 0.2},
+                                 {0.2, 0.6, 0.0, 0.2},
+                                 {0.6, 0.0, 0.2, 0.2}};
+    const Mix& mix = kMixes[Draw(seed, 9) % 5];
+    AssertionGenOptions ao;
+    ao.equivalence_fraction = mix.eq;
+    ao.inclusion_fraction = mix.inc;
+    ao.disjoint_fraction = mix.dis;
+    ao.derivation_fraction = mix.der;
+    ao.aggregation_correspondences =
+        o1.with_aggregations && Draw(seed, 10) % 2 == 0;
+    ao.seed = Draw(seed, 11);
+    OOINT_ASSIGN_OR_RETURN(set,
+                           GenerateAssertions(c.s1, c.s2, "c", "d", ao));
+  } else {
+    SchemaGenOptions o2;
+    o2.name = "S2";
+    o2.class_prefix = "d";
+    o2.num_classes = 3 + Draw(seed, 12) % (options.max_classes - 2);
+    o2.shape = (Draw(seed, 13) % 2 == 0) ? IsAShape::kCompleteTree
+                                         : IsAShape::kRandomDag;
+    o2.degree = 2 + Draw(seed, 14) % 3;
+    o2.max_parents = 1 + Draw(seed, 15) % 2;
+    o2.attrs_per_class = 1 + Draw(seed, 16) % 3;
+    o2.with_aggregations = o1.with_aggregations;
+    o2.seed = Draw(seed, 17);
+    OOINT_ASSIGN_OR_RETURN(c.s2, GenerateSchema(o2));
+
+    struct Mix {
+      double eq, inc, ovl, dis, der;
+    };
+    static const Mix kMixes[] = {{0.3, 0.2, 0.1, 0.1, 0.1},
+                                 {0.5, 0.2, 0.0, 0.0, 0.1},
+                                 {0.2, 0.2, 0.2, 0.2, 0.2},
+                                 {0.1, 0.5, 0.1, 0.1, 0.1}};
+    const Mix& mix = kMixes[Draw(seed, 18) % 4];
+    RandomAssertionGenOptions ro;
+    ro.equivalence_fraction = mix.eq;
+    ro.inclusion_fraction = mix.inc;
+    ro.overlap_fraction = mix.ovl;
+    ro.disjoint_fraction = mix.dis;
+    ro.derivation_fraction = mix.der;
+    ro.inconsistent_fraction =
+        (options.allow_inconsistent && Draw(seed, 19) % 4 == 0) ? 0.4 : 0.0;
+    ro.aggregation_correspondences =
+        o1.with_aggregations && Draw(seed, 20) % 2 == 0;
+    ro.seed = Draw(seed, 21);
+    OOINT_ASSIGN_OR_RETURN(set, GenerateRandomAssertions(c.s1, c.s2, ro));
+  }
+  c.assertions = set.assertions();
+
+  PopulateOptions p1;
+  p1.num_objects = options.num_objects;
+  p1.seed = Draw(seed, 22);
+  OOINT_ASSIGN_OR_RETURN(c.instances1, GenerateInstances(c.s1, p1));
+  PopulateOptions p2;
+  p2.num_objects = options.num_objects;
+  p2.seed = Draw(seed, 23);
+  OOINT_ASSIGN_OR_RETURN(c.instances2, GenerateInstances(c.s2, p2));
+
+  c.fault_rate = (Draw(seed, 24) % 2 == 0) ? options.fault_rate : 0.0;
+  c.fault_seed = Draw(seed, 25);
+  return c;
+}
+
+Result<AssertionSet> BuildAssertionSet(const ConcreteCase& c) {
+  AssertionSet set;
+  for (const Assertion& assertion : c.assertions) {
+    OOINT_RETURN_IF_ERROR(set.Add(assertion));
+  }
+  OOINT_RETURN_IF_ERROR(set.Validate(c.s1, c.s2));
+  return set;
+}
+
+namespace {
+
+/// True when the integrated hierarchy contains a cycle: the closure
+/// holds a mutual pair, or a class is its own parent.
+bool HasCycle(const IntegratedSchema& schema) {
+  const std::set<std::pair<std::string, std::string>> closure =
+      schema.IsAClosure();
+  for (const auto& [child, parent] : closure) {
+    if (closure.count({parent, child}) > 0) return true;
+  }
+  for (const IntegratedClass& cls : schema.classes()) {
+    if (schema.HasIsA(cls.name, cls.name)) return true;
+  }
+  return false;
+}
+
+/// Name-independent identity keys for integrated classes: source-ful
+/// classes are keyed by (kind, sorted source refs) — with `unrename`
+/// mapping renamed source refs back to the original namespace — and
+/// synthetic classes (empty sources, e.g. Principle 3's virtual
+/// intersections) by (kind, sorted keys of their is-a parents),
+/// resolved to a fixpoint. The keys make integration outcomes
+/// comparable across class renamings and operand swaps.
+std::map<std::string, std::string> CanonicalKeys(
+    const IntegratedSchema& schema,
+    const std::map<std::string, std::string>& unrename) {
+  std::map<std::string, std::string> keys;
+  for (const IntegratedClass& cls : schema.classes()) {
+    if (cls.sources.empty()) continue;
+    std::vector<std::string> sources;
+    for (const ClassRef& ref : cls.sources) {
+      const std::string rendered = ref.ToString();
+      const auto it = unrename.find(rendered);
+      sources.push_back(it != unrename.end() ? it->second : rendered);
+    }
+    std::sort(sources.begin(), sources.end());
+    keys[cls.name] =
+        StrCat(ISClassKindName(cls.kind), "|", Join(sources, ","));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const IntegratedClass& cls : schema.classes()) {
+      if (keys.count(cls.name) > 0) continue;
+      std::vector<std::string> parent_keys;
+      bool ready = true;
+      for (const std::string& parent : schema.ParentsOf(cls.name)) {
+        const auto it = keys.find(parent);
+        if (it == keys.end()) {
+          ready = false;
+          break;
+        }
+        parent_keys.push_back(it->second);
+      }
+      if (!ready) continue;
+      std::sort(parent_keys.begin(), parent_keys.end());
+      keys[cls.name] = StrCat(ISClassKindName(cls.kind), "|under{",
+                              Join(parent_keys, ","), "}");
+      changed = true;
+    }
+  }
+  for (const IntegratedClass& cls : schema.classes()) {
+    if (keys.count(cls.name) == 0) {
+      keys[cls.name] = StrCat(ISClassKindName(cls.kind), "|?");
+    }
+  }
+  return keys;
+}
+
+/// A name-independent summary of an integration outcome, for the
+/// metamorphic comparisons (renaming, commutativity).
+struct Canonical {
+  std::multiset<std::string> classes;
+  std::multiset<std::string> edges;
+  size_t rule_count = 0;
+
+  friend bool operator==(const Canonical& a, const Canonical& b) {
+    return a.classes == b.classes && a.edges == b.edges &&
+           a.rule_count == b.rule_count;
+  }
+};
+
+Canonical Canonicalize(const IntegratedSchema& schema,
+                       const std::map<std::string, std::string>& unrename) {
+  Canonical out;
+  const std::map<std::string, std::string> keys =
+      CanonicalKeys(schema, unrename);
+  for (const auto& [name, key] : keys) out.classes.insert(key);
+  for (const auto& [child, parent] : schema.IsAClosure()) {
+    out.edges.insert(keys.at(child) + " -> " + keys.at(parent));
+  }
+  out.rule_count = schema.rules().size();
+  return out;
+}
+
+std::string DescribeDifference(const Canonical& a, const Canonical& b) {
+  if (a.rule_count != b.rule_count) {
+    return StrCat("rule counts ", a.rule_count, " vs ", b.rule_count);
+  }
+  if (a.classes != b.classes) {
+    std::vector<std::string> only_a;
+    std::set_difference(a.classes.begin(), a.classes.end(),
+                        b.classes.begin(), b.classes.end(),
+                        std::back_inserter(only_a));
+    std::vector<std::string> only_b;
+    std::set_difference(b.classes.begin(), b.classes.end(),
+                        a.classes.begin(), a.classes.end(),
+                        std::back_inserter(only_b));
+    return StrCat("class sets differ (", a.classes.size(), " vs ",
+                  b.classes.size(), "; first extra left: ",
+                  only_a.empty() ? "-" : only_a.front(),
+                  "; first extra right: ",
+                  only_b.empty() ? "-" : only_b.front(), ")");
+  }
+  if (a.edges != b.edges) {
+    std::vector<std::string> only_a;
+    std::set_difference(a.edges.begin(), a.edges.end(), b.edges.begin(),
+                        b.edges.end(), std::back_inserter(only_a));
+    std::vector<std::string> only_b;
+    std::set_difference(b.edges.begin(), b.edges.end(), a.edges.begin(),
+                        a.edges.end(), std::back_inserter(only_b));
+    return StrCat("is-a closures differ (first extra left: ",
+                  only_a.empty() ? "-" : only_a.front(),
+                  "; first extra right: ",
+                  only_b.empty() ? "-" : only_b.front(), ")");
+  }
+  return "equal";
+}
+
+/// Rebuilds `schema` with every class name prefixed by `prefix`.
+Result<Schema> RenameSchemaClasses(const Schema& schema,
+                                   const std::string& prefix) {
+  Schema out(schema.name());
+  for (size_t i = 0; i < schema.NumClasses(); ++i) {
+    const ClassDef& original = schema.class_def(static_cast<ClassId>(i));
+    ClassDef renamed(prefix + original.name());
+    for (const Attribute& attr : original.attributes()) {
+      if (attr.type.is_class()) {
+        renamed.AddAttribute({attr.name,
+                              AttributeType::OfClass(prefix +
+                                                     attr.type.class_name),
+                              attr.multi_valued});
+      } else {
+        renamed.AddAttribute(attr);
+      }
+    }
+    for (const AggregationFunction& fn : original.aggregations()) {
+      renamed.AddAggregation(fn.name, prefix + fn.range_class,
+                             fn.cardinality);
+    }
+    OOINT_RETURN_IF_ERROR(out.AddClass(std::move(renamed)).status());
+  }
+  for (size_t i = 0; i < schema.NumClasses(); ++i) {
+    const ClassDef& child = schema.class_def(static_cast<ClassId>(i));
+    for (ClassId parent : schema.ParentsOf(static_cast<ClassId>(i))) {
+      OOINT_RETURN_IF_ERROR(
+          out.AddIsA(prefix + child.name(),
+                     prefix + schema.class_def(parent).name()));
+    }
+  }
+  OOINT_RETURN_IF_ERROR(out.Finalize());
+  return out;
+}
+
+Path RenamePath(const Path& path, const std::string& schema_name,
+                const std::string& prefix) {
+  if (path.schema() != schema_name) return path;
+  return Path(path.schema(), prefix + path.class_name(), path.components(),
+              path.name_ref());
+}
+
+/// Rewrites every reference to a class of `schema_name` with the
+/// prefixed name.
+Assertion RenameAssertion(const Assertion& original,
+                          const std::string& schema_name,
+                          const std::string& prefix) {
+  Assertion out = original;
+  for (ClassRef& ref : out.lhs) {
+    if (ref.schema == schema_name) ref.class_name = prefix + ref.class_name;
+  }
+  if (out.rhs.schema == schema_name) {
+    out.rhs.class_name = prefix + out.rhs.class_name;
+  }
+  for (AttributeCorrespondence& corr : out.attr_corrs) {
+    corr.lhs = RenamePath(corr.lhs, schema_name, prefix);
+    corr.rhs = RenamePath(corr.rhs, schema_name, prefix);
+    if (corr.with.has_value()) {
+      corr.with->attribute =
+          RenamePath(corr.with->attribute, schema_name, prefix);
+    }
+  }
+  for (AggCorrespondence& corr : out.agg_corrs) {
+    corr.lhs = RenamePath(corr.lhs, schema_name, prefix);
+    corr.rhs = RenamePath(corr.rhs, schema_name, prefix);
+  }
+  for (ValueCorrespondence& corr : out.value_corrs) {
+    corr.lhs = RenamePath(corr.lhs, schema_name, prefix);
+    corr.rhs = RenamePath(corr.rhs, schema_name, prefix);
+  }
+  return out;
+}
+
+/// Fact multisets per global concept (AttrKey ignores the
+/// strategy-dependent skolem OIDs of derived facts).
+std::map<std::string, std::multiset<std::string>> Snapshot(
+    const Evaluator& evaluator, const GlobalSchema& global) {
+  std::set<std::string> concepts;
+  for (const auto& [name, sources] : global.ground_sources) {
+    concepts.insert(name);
+  }
+  for (const Rule& rule : global.rules) {
+    for (const std::string& name : rule.HeadConceptNames()) {
+      concepts.insert(name);
+    }
+  }
+  std::map<std::string, std::multiset<std::string>> out;
+  for (const std::string& name : concepts) {
+    std::multiset<std::string> keys;
+    for (const Fact* fact : evaluator.FactsOf(name)) {
+      keys.insert(fact->AttrKey());
+    }
+    out[name] = std::move(keys);
+  }
+  return out;
+}
+
+/// One federation built from a case: agents, populated stores,
+/// declared assertions, and the integrated global schema.
+struct Federation {
+  Fsm fsm;
+  GlobalSchema global;
+};
+
+Result<std::unique_ptr<Federation>> BuildFederation(const ConcreteCase& c) {
+  auto federation = std::make_unique<Federation>();
+  OOINT_ASSIGN_OR_RETURN(
+      std::unique_ptr<FsmAgent> a1,
+      FsmAgent::Create("agent1", "ooint", "db1", c.s1));
+  OOINT_ASSIGN_OR_RETURN(
+      std::unique_ptr<FsmAgent> a2,
+      FsmAgent::Create("agent2", "ooint", "db2", c.s2));
+  OOINT_RETURN_IF_ERROR(ApplySpec(c.instances1, &a1->store()).status());
+  OOINT_RETURN_IF_ERROR(ApplySpec(c.instances2, &a2->store()).status());
+  OOINT_RETURN_IF_ERROR(federation->fsm.RegisterAgent(std::move(a1)));
+  OOINT_RETURN_IF_ERROR(federation->fsm.RegisterAgent(std::move(a2)));
+  for (const Assertion& assertion : c.assertions) {
+    OOINT_RETURN_IF_ERROR(federation->fsm.AddAssertion(assertion));
+  }
+  OOINT_ASSIGN_OR_RETURN(federation->global,
+                         federation->fsm.IntegrateAll());
+  return federation;
+}
+
+/// True when `inner` is a sub-multiset of `outer`.
+bool IsSubMultiset(const std::multiset<std::string>& inner,
+                   const std::multiset<std::string>& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+}  // namespace
+
+Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
+  OracleOutcome outcome;
+  OOINT_ASSIGN_OR_RETURN(const AssertionSet set, BuildAssertionSet(c));
+
+  const std::vector<ConsistencyFinding> findings =
+      CheckConsistency(c.s1, c.s2, set);
+  const bool errors = HasErrors(findings);
+  bool shadowed = false;
+  for (const ConsistencyFinding& finding : findings) {
+    if (finding.kind == ConsistencyFinding::Kind::kShadowedByObservation3) {
+      shadowed = true;
+    }
+  }
+
+  const Result<IntegrationOutcome> naive =
+      NaiveIntegrator::Integrate(c.s1, c.s2, set);
+  const Result<IntegrationOutcome> optimized =
+      Integrator::Integrate(c.s1, c.s2, set);
+
+  // --- Family 1: consistency-checker / integrator agreement ----------
+  outcome.ran.insert(OracleFamily::kConsistency);
+  if (!errors) {
+    if (!naive.ok()) {
+      outcome.failures.push_back(StrCat(
+          "consistency: checker found no errors but the naive integrator "
+          "failed: ",
+          naive.status().ToString()));
+    } else if (HasCycle(naive.value().schema)) {
+      outcome.failures.push_back(
+          "consistency: checker found no errors but the naive integrator "
+          "produced a cyclic is-a hierarchy");
+    }
+    if (!optimized.ok()) {
+      outcome.failures.push_back(StrCat(
+          "consistency: checker found no errors but the optimized "
+          "integrator failed: ",
+          optimized.status().ToString()));
+    } else if (HasCycle(optimized.value().schema)) {
+      outcome.failures.push_back(
+          "consistency: checker found no errors but the optimized "
+          "integrator produced a cyclic is-a hierarchy");
+    }
+  } else {
+    // The naive integrator records every assertion, so a checker-found
+    // forced cycle must surface in its output (or fail integration).
+    if (naive.ok() && !HasCycle(naive.value().schema)) {
+      outcome.failures.push_back(
+          "consistency: checker reported a hierarchy cycle but the naive "
+          "integrator accepted the set with an acyclic hierarchy");
+    }
+    // No requirement on the optimized integrator here: its labelled
+    // traversal visits only the pairs observations 1-3 leave relevant,
+    // so a checker-found forced cycle (e.g. `c3 ⊆ d0; c9 ⊇ d0` with c9
+    // below c3) can be invisible to it without any recorded pruning.
+    // The checker exists precisely because the optimized algorithm
+    // cannot police such sets itself.
+  }
+
+  // --- Family 2: naive vs. optimized integrator agreement ------------
+  // Comparable only on checker-clean, shadow-free workloads: assertions
+  // below disjoint/derivation pairs are skipped by the optimized
+  // traversal by design (Section 6.1, observation 3). On arbitrary
+  // random pairs the label machinery additionally drops "crossing"
+  // assertions (e.g. a derivation whose lhs sits below an
+  // inclusion-matched ancestor), so those cases are comparable only
+  // when the optimized run did not prune anything at all; counterpart
+  // workloads are nesting-consistent by construction and always
+  // comparable.
+  const bool comparable =
+      c.counterpart ||
+      (optimized.ok() &&
+       optimized.value().stats.pairs_skipped_by_labels == 0 &&
+       optimized.value().stats.sibling_pairs_removed == 0);
+  if (!errors && !shadowed && naive.ok() && optimized.ok() && comparable) {
+    outcome.ran.insert(OracleFamily::kIntegratorAgreement);
+    const IntegratedSchema& ns = naive.value().schema;
+    const IntegratedSchema& os = optimized.value().schema;
+    if (ns.classes().size() != os.classes().size()) {
+      outcome.failures.push_back(
+          StrCat("integrator-agreement: class counts differ (naive ",
+                 ns.classes().size(), ", optimized ", os.classes().size(),
+                 ")"));
+    }
+    for (const IntegratedClass& cls : ns.classes()) {
+      const IntegratedClass* other = os.FindClass(cls.name);
+      if (other == nullptr) {
+        outcome.failures.push_back(
+            StrCat("integrator-agreement: class ", cls.name,
+                   " produced by naive only"));
+        continue;
+      }
+      if (cls.kind != other->kind) {
+        outcome.failures.push_back(
+            StrCat("integrator-agreement: class ", cls.name,
+                   " has kind ", ISClassKindName(cls.kind), " (naive) vs ",
+                   ISClassKindName(other->kind), " (optimized)"));
+      }
+      if (cls.attributes.size() != other->attributes.size()) {
+        outcome.failures.push_back(StrCat(
+            "integrator-agreement: class ", cls.name,
+            " attribute counts differ (naive ", cls.attributes.size(),
+            ", optimized ", other->attributes.size(), ")"));
+      }
+    }
+    if (ns.IsAClosure() != os.IsAClosure()) {
+      outcome.failures.push_back(
+          "integrator-agreement: is-a closures differ");
+    }
+    std::multiset<std::string> naive_rules;
+    for (const Rule& rule : ns.rules()) naive_rules.insert(rule.ToString());
+    std::multiset<std::string> optimized_rules;
+    for (const Rule& rule : os.rules()) {
+      optimized_rules.insert(rule.ToString());
+    }
+    if (naive_rules != optimized_rules) {
+      outcome.failures.push_back("integrator-agreement: rule sets differ");
+    }
+    // No pairs_checked bound here: the Section 6.3 work-saving claim
+    // holds on structured counterpart workloads (covered by
+    // tests/integrate/property_test.cc); on arbitrary random pairs the
+    // labelled traversal can legitimately re-visit a pair the naive
+    // sweep counts once.
+  }
+
+  // --- Family 4: metamorphic invariances -----------------------------
+  if (!errors && !shadowed && optimized.ok()) {
+    outcome.ran.insert(OracleFamily::kMetamorphic);
+    // (a) Assertion-order permutation: exact output equality.
+    {
+      std::vector<size_t> order(c.assertions.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1],
+                  order[Draw(c.seed, 0x9000 + i) % i]);
+      }
+      AssertionSet permuted;
+      Status add_status = Status::OK();
+      for (size_t index : order) {
+        const Status added = permuted.Add(c.assertions[index]);
+        if (!added.ok()) add_status = added;
+      }
+      if (!add_status.ok()) {
+        outcome.failures.push_back(StrCat(
+            "metamorphic: permuted assertion set failed to build: ",
+            add_status.ToString()));
+      } else {
+        const Result<IntegrationOutcome> permuted_outcome =
+            Integrator::Integrate(c.s1, c.s2, permuted);
+        if (!permuted_outcome.ok()) {
+          outcome.failures.push_back(StrCat(
+              "metamorphic: integration failed after permuting assertion "
+              "order: ",
+              permuted_outcome.status().ToString()));
+        } else {
+          const Canonical before = Canonicalize(optimized.value().schema, {});
+          const Canonical after =
+              Canonicalize(permuted_outcome.value().schema, {});
+          if (!(before == after)) {
+            outcome.failures.push_back(StrCat(
+                "metamorphic: assertion-order permutation changed the "
+                "integration outcome — ",
+                DescribeDifference(before, after)));
+          }
+        }
+      }
+    }
+    // (b) Class renaming: outcome invariant up to the induced renaming.
+    {
+      const std::string prefix = "ren_";
+      const Result<Schema> renamed_s1 = RenameSchemaClasses(c.s1, prefix);
+      if (!renamed_s1.ok()) {
+        outcome.failures.push_back(
+            StrCat("metamorphic: class renaming failed to rebuild s1: ",
+                   renamed_s1.status().ToString()));
+      } else {
+        AssertionSet renamed_set;
+        Status add_status = Status::OK();
+        for (const Assertion& assertion : c.assertions) {
+          const Status added = renamed_set.Add(
+              RenameAssertion(assertion, c.s1.name(), prefix));
+          if (!added.ok()) add_status = added;
+        }
+        std::map<std::string, std::string> unrename;
+        for (size_t i = 0; i < c.s1.NumClasses(); ++i) {
+          const std::string& name =
+              c.s1.class_def(static_cast<ClassId>(i)).name();
+          unrename[c.s1.name() + "." + prefix + name] =
+              c.s1.name() + "." + name;
+        }
+        const Result<IntegrationOutcome> renamed_outcome =
+            add_status.ok()
+                ? Integrator::Integrate(renamed_s1.value(), c.s2,
+                                        renamed_set)
+                : Result<IntegrationOutcome>(add_status);
+        if (!renamed_outcome.ok()) {
+          outcome.failures.push_back(StrCat(
+              "metamorphic: integration failed after renaming s1 "
+              "classes: ",
+              renamed_outcome.status().ToString()));
+        } else {
+          const Canonical before = Canonicalize(optimized.value().schema, {});
+          const Canonical after =
+              Canonicalize(renamed_outcome.value().schema, unrename);
+          if (!(before == after)) {
+            outcome.failures.push_back(StrCat(
+                "metamorphic: class renaming changed the integration "
+                "outcome — ",
+                DescribeDifference(before, after)));
+          }
+        }
+      }
+    }
+    // (c) Commutativity: S1 ⊕ S2 ≅ S2 ⊕ S1. The set is mirrored with
+    // Assertion::Reversed so every assertion reads S2-side first.
+    // Derivations are directional and cannot be reoriented, so the
+    // check only applies to derivation-free sets.
+    const bool has_derivation =
+        std::any_of(c.assertions.begin(), c.assertions.end(),
+                    [](const Assertion& assertion) {
+                      return assertion.rel == SetRel::kDerivation;
+                    });
+    if (!has_derivation) {
+      AssertionSet mirrored;
+      Status mirror_status = Status::OK();
+      for (const Assertion& assertion : c.assertions) {
+        const Status added = mirrored.Add(assertion.Reversed());
+        if (!added.ok()) mirror_status = added;
+      }
+      const Result<IntegrationOutcome> swapped =
+          mirror_status.ok()
+              ? Integrator::Integrate(c.s2, c.s1, mirrored)
+              : Result<IntegrationOutcome>(mirror_status);
+      if (!swapped.ok()) {
+        outcome.failures.push_back(
+            StrCat("metamorphic: integration failed with operands "
+                   "swapped: ",
+                   swapped.status().ToString()));
+      } else {
+        const Canonical before = Canonicalize(optimized.value().schema, {});
+        const Canonical after = Canonicalize(swapped.value().schema, {});
+        if (!(before == after)) {
+          outcome.failures.push_back(
+              StrCat("metamorphic: S1+S2 and S2+S1 integrate "
+                     "differently — ",
+                     DescribeDifference(before, after)));
+        }
+      }
+    }
+  }
+
+  // --- Families 3 and 5: evaluation over the federation ---------------
+  if (!errors && optimized.ok()) {
+    const Result<std::unique_ptr<Federation>> federation_result =
+        BuildFederation(c);
+    if (!federation_result.ok()) {
+      outcome.ran.insert(OracleFamily::kEvaluatorAgreement);
+      outcome.failures.push_back(
+          StrCat("evaluator-agreement: the federation failed to "
+                 "integrate or populate: ",
+                 federation_result.status().ToString()));
+      return outcome;
+    }
+    Federation& federation = *federation_result.value();
+    const Result<std::unique_ptr<Evaluator>> baseline_result =
+        federation.fsm.MakeEvaluator(federation.global);
+    if (!baseline_result.ok()) {
+      outcome.ran.insert(OracleFamily::kEvaluatorAgreement);
+      outcome.failures.push_back(StrCat(
+          "evaluator-agreement: the fault-free evaluator failed: ",
+          baseline_result.status().ToString()));
+      return outcome;
+    }
+    Evaluator& baseline = *baseline_result.value();
+
+    // Family 3: kSemiNaive vs kNaive on the same rules and facts.
+    outcome.ran.insert(OracleFamily::kEvaluatorAgreement);
+    const std::map<std::string, std::multiset<std::string>> semi_naive =
+        Snapshot(baseline, federation.global);
+    baseline.Reset();
+    baseline.set_strategy(EvalStrategy::kNaive);
+    const Status naive_eval = baseline.Evaluate();
+    if (!naive_eval.ok()) {
+      outcome.failures.push_back(
+          StrCat("evaluator-agreement: naive re-evaluation failed: ",
+                 naive_eval.ToString()));
+    } else {
+      const std::map<std::string, std::multiset<std::string>> naive_facts =
+          Snapshot(baseline, federation.global);
+      if (semi_naive != naive_facts) {
+        for (const auto& [name, keys] : semi_naive) {
+          const auto it = naive_facts.find(name);
+          if (it == naive_facts.end() || it->second != keys) {
+            outcome.failures.push_back(StrCat(
+                "evaluator-agreement: concept ", name,
+                " has ", keys.size(), " facts under kSemiNaive vs ",
+                it == naive_facts.end() ? 0 : it->second.size(),
+                " under kNaive"));
+          }
+        }
+      }
+    }
+    // Restore the semi-naive state for the partial-answer comparison.
+    baseline.Reset();
+    baseline.set_strategy(EvalStrategy::kSemiNaive);
+    OOINT_RETURN_IF_ERROR(baseline.Evaluate());
+
+    // Family 5: partial answers under the case's fault schedule.
+    outcome.ran.insert(OracleFamily::kPartialAnswers);
+    FaultInjector partial_injector(c.fault_seed, c.fault_rate);
+    FederationOptions partial_options;
+    partial_options.failure_policy = FailurePolicy::kPartial;
+    partial_options.injector = &partial_injector;
+    const Result<FederatedEvaluator> partial =
+        federation.fsm.MakeFederatedEvaluator(federation.global,
+                                              partial_options);
+    if (!partial.ok()) {
+      outcome.failures.push_back(
+          StrCat("partial-answers: partial-mode evaluation failed "
+                 "outright: ",
+                 partial.status().ToString()));
+      return outcome;
+    }
+    const DegradedInfo& degraded = partial.value().evaluator->degraded();
+
+    FaultInjector strict_injector(c.fault_seed, c.fault_rate);
+    FederationOptions strict_options;
+    strict_options.failure_policy = FailurePolicy::kStrict;
+    strict_options.injector = &strict_injector;
+    const Result<FederatedEvaluator> strict =
+        federation.fsm.MakeFederatedEvaluator(federation.global,
+                                              strict_options);
+    if (strict.ok() == degraded.degraded()) {
+      outcome.failures.push_back(StrCat(
+          "partial-answers: strict mode ", strict.ok() ? "succeeded" : "failed",
+          " but partial mode ", degraded.degraded() ? "degraded" : "did not degrade",
+          " under the same fault schedule"));
+    }
+
+    const std::map<std::string, std::multiset<std::string>> partial_facts =
+        Snapshot(*partial.value().evaluator, federation.global);
+    const std::set<std::string> unsound(degraded.unsound_concepts.begin(),
+                                        degraded.unsound_concepts.end());
+    const std::set<std::string> incomplete(
+        degraded.incomplete_concepts.begin(),
+        degraded.incomplete_concepts.end());
+    for (const auto& [name, keys] : semi_naive) {
+      if (unsound.count(name) > 0) continue;
+      const auto it = partial_facts.find(name);
+      const std::multiset<std::string> empty;
+      const std::multiset<std::string>& partial_keys =
+          it == partial_facts.end() ? empty : it->second;
+      if (!IsSubMultiset(partial_keys, keys)) {
+        outcome.failures.push_back(StrCat(
+            "partial-answers: concept ", name,
+            " has partial answers that are not a subset of the "
+            "fault-free answers (", partial_keys.size(), " vs ",
+            keys.size(), ")"));
+      }
+      if (incomplete.count(name) == 0 && partial_keys != keys) {
+        outcome.failures.push_back(StrCat(
+            "partial-answers: concept ", name,
+            " is not marked incomplete but lost facts (",
+            partial_keys.size(), " vs ", keys.size(), ")"));
+      }
+    }
+    // Incompleteness marking must be explained by the skipped agents:
+    // a skipped agent implies at least one incomplete concept, and
+    // every marked concept must lie in the rule-dependency closure of
+    // the concepts bound to a skipped agent. (The converse does not
+    // hold — a "skipped" agent may still have served its other
+    // extents, since faults are injected per fetch, not per agent.)
+    std::set<std::string> skipped;
+    for (const DegradedInfo::SkippedAgent& agent : degraded.skipped) {
+      skipped.insert(agent.schema_name);
+    }
+    if (!skipped.empty() && incomplete.empty()) {
+      outcome.failures.push_back(
+          "partial-answers: agents were skipped but no concept is "
+          "marked incomplete");
+    }
+    std::set<std::string> explainable;
+    for (const auto& [name, sources] : federation.global.ground_sources) {
+      for (const ClassRef& source : sources) {
+        if (skipped.count(source.schema) > 0) explainable.insert(name);
+      }
+    }
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const Rule& rule : federation.global.rules) {
+        bool body_hit = false;
+        for (const std::string& body : rule.BodyConceptNames(false)) {
+          if (explainable.count(body) > 0) {
+            body_hit = true;
+            break;
+          }
+        }
+        if (!body_hit) continue;
+        for (const std::string& head : rule.HeadConceptNames()) {
+          if (explainable.insert(head).second) grew = true;
+        }
+      }
+    }
+    for (const std::string& name : incomplete) {
+      if (explainable.count(name) == 0) {
+        outcome.failures.push_back(StrCat(
+            "partial-answers: concept ", name, " is marked incomplete "
+            "but no skipped agent can explain it"));
+      }
+    }
+    if (!degraded.degraded()) {
+      if (partial_facts != semi_naive) {
+        outcome.failures.push_back(
+            "partial-answers: no degradation reported but the partial "
+            "answers differ from the fault-free answers");
+      }
+    }
+  }
+
+  return outcome;
+}
+
+std::string RenderCase(const ConcreteCase& c) {
+  std::string out = StrCat("# conformance case, seed ", c.seed, " (size ",
+                           c.Size(), ")\n");
+  out += StrCat("# fault schedule: seed=", c.fault_seed, " rate=",
+                std::to_string(c.fault_rate), "\n\n");
+  out += StrCat("# --- schema ", c.s1.name(), " ---\n");
+  out += SchemaToText(c.s1);
+  out += StrCat("\n# --- schema ", c.s2.name(), " ---\n");
+  out += SchemaToText(c.s2);
+  out += "\n# --- assertions ---\n";
+  for (const Assertion& assertion : c.assertions) {
+    out += assertion.ToString();
+    out += "\n";
+  }
+  out += StrCat("\n# --- instances of ", c.s1.name(), " ---\n");
+  out += StoreSpecToText(c.instances1);
+  out += StrCat("\n# --- instances of ", c.s2.name(), " ---\n");
+  out += StoreSpecToText(c.instances2);
+  return out;
+}
+
+}  // namespace harness
+}  // namespace ooint

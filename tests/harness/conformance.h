@@ -1,0 +1,120 @@
+#ifndef OOINT_TESTS_HARNESS_CONFORMANCE_H_
+#define OOINT_TESTS_HARNESS_CONFORMANCE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "assertions/assertion.h"
+#include "assertions/assertion_set.h"
+#include "common/result.h"
+#include "model/schema.h"
+#include "workload/populator.h"
+
+namespace ooint {
+namespace harness {
+
+/// The five oracle families of the randomized conformance harness
+/// (DESIGN.md "Randomized conformance harness").
+enum class OracleFamily {
+  /// Consistency-checker / integrator agreement on rejection: an
+  /// assertion set the checker finds error-free must integrate into an
+  /// acyclic hierarchy under both algorithms; one the checker rejects
+  /// with a hierarchy cycle must fail or surface the cycle.
+  kConsistency,
+  /// Naive vs. optimized integrator equality (classes, is-a closure,
+  /// rules, pair-check bound) on workloads free of observation-3 shadows.
+  kIntegratorAgreement,
+  /// kSemiNaive vs. kNaive fixpoint equality over the generated
+  /// instances of the integrated federation.
+  kEvaluatorAgreement,
+  /// Metamorphic invariances of integration: assertion-order
+  /// permutation, class renaming, and S1⊕S2 ≅ S2⊕S1 commutativity (up
+  /// to the induced isomorphism).
+  kMetamorphic,
+  /// Degraded-federation soundness: under a random fault schedule,
+  /// partial answers of non-unsound concepts are a subset of the
+  /// fault-free answers, skipped agents' concepts are marked
+  /// incomplete, and strict mode fails iff partial mode degraded.
+  kPartialAnswers,
+};
+
+const char* OracleFamilyName(OracleFamily family);
+
+/// A fully concrete, self-contained test case: two schemas, the
+/// assertions between them, one generated population per schema, and a
+/// fault schedule. Everything the oracles consume and the shrinker
+/// minimizes.
+struct ConcreteCase {
+  std::uint64_t seed = 0;
+  Schema s1{"S1"};
+  Schema s2{"S2"};
+  std::vector<Assertion> assertions;
+  StoreSpec instances1;
+  StoreSpec instances2;
+  std::uint64_t fault_seed = 0;
+  double fault_rate = 0.0;
+  /// Whether s2 is the isomorphic counterpart of s1 (the §6.3 setting,
+  /// where assertions are nesting-consistent by construction and the
+  /// naive and optimized integrators are fully comparable).
+  bool counterpart = false;
+
+  /// Shrinker size metric: classes + assertions + objects.
+  size_t Size() const {
+    return s1.NumClasses() + s2.NumClasses() + assertions.size() +
+           instances1.size() + instances2.size();
+  }
+};
+
+/// Knobs of the per-seed case generator.
+struct CaseOptions {
+  /// Upper bound on classes per schema (at least 3 are generated).
+  size_t max_classes = 12;
+  /// Objects per instance store.
+  size_t num_objects = 20;
+  /// Fault rate used when the seed draws a faulty schedule (about half
+  /// the seeds run fault-free).
+  double fault_rate = 0.35;
+  /// Whether seeds may draw deliberately inconsistent assertion sets.
+  bool allow_inconsistent = true;
+};
+
+/// Builds the deterministic case for `seed`: schema shapes (tree /
+/// random DAG), pairing mode (isomorphic counterpart / independent
+/// random pair), assertion mix, populations and fault schedule are all
+/// derived from the seed.
+Result<ConcreteCase> MakeCase(std::uint64_t seed, const CaseOptions& options);
+
+/// The verdict of running every applicable oracle family on one case.
+struct OracleOutcome {
+  /// Families whose property was actually checked (a family is skipped
+  /// when its precondition fails, e.g. integrator agreement on a
+  /// shadowed or inconsistent workload).
+  std::set<OracleFamily> ran;
+  /// Human-readable descriptions of every violated property.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string ToString() const;
+};
+
+/// Rebuilds the AssertionSet of a case (fails on structurally invalid
+/// cases, e.g. after an over-eager shrink step).
+Result<AssertionSet> BuildAssertionSet(const ConcreteCase& c);
+
+/// Runs every applicable oracle family. An error status means the case
+/// could not be materialized (infrastructure, not a conformance
+/// failure); the shrinker's predicate treats that as "not failing".
+Result<OracleOutcome> CheckCase(const ConcreteCase& c);
+
+/// Renders the case as replayable fixture text: both schemas in the
+/// schema-definition language, the assertions in the assertion
+/// language, both populations in the data-definition language, and the
+/// fault schedule — the repro format the shrinker prints.
+std::string RenderCase(const ConcreteCase& c);
+
+}  // namespace harness
+}  // namespace ooint
+
+#endif  // OOINT_TESTS_HARNESS_CONFORMANCE_H_

@@ -1,0 +1,84 @@
+#include "harness/conformance.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "test_util.h"
+
+namespace ooint {
+namespace harness {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+TEST(MakeCaseTest, IsDeterministic) {
+  const CaseOptions options;
+  for (std::uint64_t seed : {1u, 17u, 99u}) {
+    const ConcreteCase a = ValueOrDie(MakeCase(seed, options));
+    const ConcreteCase b = ValueOrDie(MakeCase(seed, options));
+    EXPECT_EQ(RenderCase(a), RenderCase(b)) << "seed " << seed;
+  }
+}
+
+TEST(MakeCaseTest, DifferentSeedsDiffer) {
+  const CaseOptions options;
+  const ConcreteCase a = ValueOrDie(MakeCase(3, options));
+  const ConcreteCase b = ValueOrDie(MakeCase(4, options));
+  EXPECT_NE(RenderCase(a), RenderCase(b));
+}
+
+TEST(MakeCaseTest, RespectsClassBound) {
+  CaseOptions options;
+  options.max_classes = 6;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ConcreteCase c = ValueOrDie(MakeCase(seed, options));
+    EXPECT_LE(c.s1.NumClasses(), options.max_classes) << "seed " << seed;
+    EXPECT_LE(c.s2.NumClasses(), options.max_classes) << "seed " << seed;
+    EXPECT_GE(c.s1.NumClasses(), 3u) << "seed " << seed;
+  }
+}
+
+// The harness's main tier-1 sweep: 200 seeded random cases, every
+// applicable oracle family checked on each, zero conformance failures,
+// and — cumulatively — all five families exercised.
+TEST(ConformanceSweepTest, TwoHundredSeedsPassEveryOracle) {
+  const CaseOptions options;
+  std::set<OracleFamily> covered;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ConcreteCase c = ValueOrDie(MakeCase(seed, options));
+    const OracleOutcome outcome = ValueOrDie(CheckCase(c));
+    EXPECT_TRUE(outcome.ok()) << outcome.ToString() << "\n" << RenderCase(c);
+    covered.insert(outcome.ran.begin(), outcome.ran.end());
+  }
+  EXPECT_TRUE(covered.count(OracleFamily::kConsistency));
+  EXPECT_TRUE(covered.count(OracleFamily::kIntegratorAgreement));
+  EXPECT_TRUE(covered.count(OracleFamily::kEvaluatorAgreement));
+  EXPECT_TRUE(covered.count(OracleFamily::kMetamorphic));
+  EXPECT_TRUE(covered.count(OracleFamily::kPartialAnswers));
+}
+
+TEST(ConformanceSweepTest, ConsistencyOracleAlwaysRuns) {
+  const CaseOptions options;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ConcreteCase c = ValueOrDie(MakeCase(seed, options));
+    const OracleOutcome outcome = ValueOrDie(CheckCase(c));
+    EXPECT_TRUE(outcome.ran.count(OracleFamily::kConsistency))
+        << "seed " << seed;
+  }
+}
+
+TEST(RenderCaseTest, MentionsEverySection) {
+  const ConcreteCase c = ValueOrDie(MakeCase(5, CaseOptions()));
+  const std::string text = RenderCase(c);
+  EXPECT_NE(text.find("schema S1"), std::string::npos) << text;
+  EXPECT_NE(text.find("seed"), std::string::npos);
+  EXPECT_NE(text.find("insert"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace ooint

@@ -1,0 +1,66 @@
+// Replays the checked-in seed corpus (tests/harness/seed_corpus.txt)
+// through the conformance oracles. The corpus pins seeds that soak
+// runs found interesting — between them they must exercise all five
+// oracle families, so a regression in any family fails tier-1 even
+// without a long soak.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/conformance.h"
+#include "test_util.h"
+
+#ifndef OOINT_HARNESS_CORPUS
+#error "OOINT_HARNESS_CORPUS must point at seed_corpus.txt"
+#endif
+
+namespace ooint {
+namespace harness {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+std::vector<std::uint64_t> LoadCorpus() {
+  std::ifstream in(OOINT_HARNESS_CORPUS);
+  EXPECT_TRUE(in.good()) << "cannot open " << OOINT_HARNESS_CORPUS;
+  std::vector<std::uint64_t> seeds;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::uint64_t seed;
+    while (tokens >> seed) seeds.push_back(seed);
+  }
+  return seeds;
+}
+
+TEST(SeedCorpusTest, EveryCorpusSeedPasses) {
+  const std::vector<std::uint64_t> seeds = LoadCorpus();
+  ASSERT_GE(seeds.size(), 10u) << "corpus suspiciously small";
+  const CaseOptions options;
+  std::set<OracleFamily> covered;
+  for (std::uint64_t seed : seeds) {
+    SCOPED_TRACE("corpus seed " + std::to_string(seed));
+    const ConcreteCase c = ValueOrDie(MakeCase(seed, options));
+    const OracleOutcome outcome = ValueOrDie(CheckCase(c));
+    EXPECT_TRUE(outcome.ok()) << outcome.ToString() << "\n" << RenderCase(c);
+    covered.insert(outcome.ran.begin(), outcome.ran.end());
+  }
+  // The corpus is curated to cover every family on its own.
+  EXPECT_TRUE(covered.count(OracleFamily::kConsistency));
+  EXPECT_TRUE(covered.count(OracleFamily::kIntegratorAgreement));
+  EXPECT_TRUE(covered.count(OracleFamily::kEvaluatorAgreement));
+  EXPECT_TRUE(covered.count(OracleFamily::kMetamorphic));
+  EXPECT_TRUE(covered.count(OracleFamily::kPartialAnswers));
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace ooint

@@ -1,0 +1,279 @@
+#include "harness/shrinker.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace ooint {
+namespace harness {
+
+namespace {
+
+/// True when `assertion` references class `cls` of schema `schema`
+/// anywhere — as an endpoint or inside any correspondence path.
+bool Mentions(const Assertion& assertion, const std::string& schema,
+              const std::string& cls) {
+  const auto path_mentions = [&](const Path& path) {
+    return path.schema() == schema && path.class_name() == cls;
+  };
+  for (const ClassRef& ref : assertion.lhs) {
+    if (ref.schema == schema && ref.class_name == cls) return true;
+  }
+  if (assertion.rhs.schema == schema && assertion.rhs.class_name == cls) {
+    return true;
+  }
+  for (const AttributeCorrespondence& corr : assertion.attr_corrs) {
+    if (path_mentions(corr.lhs) || path_mentions(corr.rhs)) return true;
+    if (corr.with.has_value() && path_mentions(corr.with->attribute)) {
+      return true;
+    }
+  }
+  for (const AggCorrespondence& corr : assertion.agg_corrs) {
+    if (path_mentions(corr.lhs) || path_mentions(corr.rhs)) return true;
+  }
+  for (const ValueCorrespondence& corr : assertion.value_corrs) {
+    if (path_mentions(corr.lhs) || path_mentions(corr.rhs)) return true;
+  }
+  return false;
+}
+
+/// Rebuilds `schema` without class `victim`. Attributes typed by the
+/// victim, aggregations ranging over it, and is-a edges through it are
+/// dropped (children are not re-parented — a smaller hierarchy is fine
+/// for a repro).
+Result<Schema> RebuildWithoutClass(const Schema& schema,
+                                   const std::string& victim) {
+  Schema out(schema.name());
+  for (size_t i = 0; i < schema.NumClasses(); ++i) {
+    const ClassDef& original = schema.class_def(static_cast<ClassId>(i));
+    if (original.name() == victim) continue;
+    ClassDef kept(original.name());
+    for (const Attribute& attr : original.attributes()) {
+      if (attr.type.is_class() && attr.type.class_name == victim) continue;
+      kept.AddAttribute(attr);
+    }
+    for (const AggregationFunction& fn : original.aggregations()) {
+      if (fn.range_class == victim) continue;
+      kept.AddAggregation(fn.name, fn.range_class, fn.cardinality);
+    }
+    OOINT_RETURN_IF_ERROR(out.AddClass(std::move(kept)).status());
+  }
+  for (size_t i = 0; i < schema.NumClasses(); ++i) {
+    const ClassDef& child = schema.class_def(static_cast<ClassId>(i));
+    if (child.name() == victim) continue;
+    for (ClassId parent_id : schema.ParentsOf(static_cast<ClassId>(i))) {
+      const std::string& parent = schema.class_def(parent_id).name();
+      if (parent == victim) continue;
+      OOINT_RETURN_IF_ERROR(out.AddIsA(child.name(), parent));
+    }
+  }
+  OOINT_RETURN_IF_ERROR(out.Finalize());
+  return out;
+}
+
+/// Keeps only the objects at indexes in `keep` (sorted), remapping
+/// aggregation targets and dropping references to removed objects or
+/// to aggregation functions the (possibly rebuilt) schema no longer
+/// declares on the object's class.
+StoreSpec FilterObjects(const StoreSpec& spec,
+                        const std::vector<size_t>& keep,
+                        const Schema& schema) {
+  std::map<size_t, size_t> remap;
+  for (size_t new_index = 0; new_index < keep.size(); ++new_index) {
+    remap[keep[new_index]] = new_index;
+  }
+  StoreSpec out;
+  out.objects.reserve(keep.size());
+  for (size_t old_index : keep) {
+    ObjectSpec object = spec.objects[old_index];
+    const ClassId id = schema.FindClass(object.class_name);
+    const ClassDef* def =
+        (id == kInvalidClassId) ? nullptr : &schema.class_def(id);
+    std::map<std::string, std::vector<size_t>> kept_targets;
+    for (const auto& [fn, targets] : object.agg_targets) {
+      if (def == nullptr || def->FindAggregation(fn) == nullptr) continue;
+      std::vector<size_t> remapped;
+      for (size_t target : targets) {
+        const auto it = remap.find(target);
+        if (it != remap.end()) remapped.push_back(it->second);
+      }
+      if (!remapped.empty()) kept_targets[fn] = std::move(remapped);
+    }
+    object.agg_targets = std::move(kept_targets);
+    out.objects.push_back(std::move(object));
+  }
+  return out;
+}
+
+/// All object indexes of `spec` except those whose class is `victim`.
+std::vector<size_t> IndexesWithoutClass(const StoreSpec& spec,
+                                        const std::string& victim) {
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < spec.objects.size(); ++i) {
+    if (spec.objects[i].class_name != victim) keep.push_back(i);
+  }
+  return keep;
+}
+
+/// The case without assertion indexes in `drop` (sorted).
+ConcreteCase WithoutAssertions(const ConcreteCase& c,
+                               const std::set<size_t>& drop) {
+  ConcreteCase out = c;
+  out.assertions.clear();
+  for (size_t i = 0; i < c.assertions.size(); ++i) {
+    if (drop.count(i) == 0) out.assertions.push_back(c.assertions[i]);
+  }
+  return out;
+}
+
+/// The case without class `victim` of schema side 1 or 2 (cascading
+/// into assertions and instances), or nullopt when the rebuild fails.
+std::optional<ConcreteCase> WithoutClass(const ConcreteCase& c, int side,
+                                         const std::string& victim) {
+  const Schema& old_schema = (side == 1) ? c.s1 : c.s2;
+  Result<Schema> rebuilt = RebuildWithoutClass(old_schema, victim);
+  if (!rebuilt.ok()) return std::nullopt;
+  ConcreteCase out = c;
+  const std::string schema_name = old_schema.name();
+  if (side == 1) {
+    out.s1 = std::move(rebuilt).value();
+  } else {
+    out.s2 = std::move(rebuilt).value();
+  }
+  std::vector<Assertion> kept;
+  for (const Assertion& assertion : c.assertions) {
+    if (!Mentions(assertion, schema_name, victim)) {
+      kept.push_back(assertion);
+    }
+  }
+  out.assertions = std::move(kept);
+  if (side == 1) {
+    out.instances1 = FilterObjects(
+        c.instances1, IndexesWithoutClass(c.instances1, victim), out.s1);
+  } else {
+    out.instances2 = FilterObjects(
+        c.instances2, IndexesWithoutClass(c.instances2, victim), out.s2);
+  }
+  return out;
+}
+
+/// A chunked greedy minimization pass over a list of `count` elements:
+/// tries dropping runs of size count/2, count/4, ..., 1, re-querying
+/// `try_without` (which returns true when the failure survived and the
+/// drop was adopted; element count shrinks accordingly via `size`).
+void ChunkedDrop(const std::function<size_t()>& size,
+                 const std::function<bool(const std::set<size_t>&)>&
+                     try_without,
+                 size_t* attempts, size_t max_attempts) {
+  size_t chunk = std::max<size_t>(1, size() / 2);
+  while (chunk >= 1) {
+    size_t start = 0;
+    while (start < size()) {
+      if (*attempts >= max_attempts) return;
+      std::set<size_t> drop;
+      for (size_t i = start; i < std::min(start + chunk, size()); ++i) {
+        drop.insert(i);
+      }
+      if (drop.empty()) break;
+      ++*attempts;
+      if (try_without(drop)) {
+        // Adopted: the elements shifted down; retry the same start.
+        continue;
+      }
+      start += chunk;
+    }
+    if (chunk == 1) break;
+    chunk /= 2;
+  }
+}
+
+}  // namespace
+
+ConcreteCase Shrink(const ConcreteCase& failing,
+                    const CasePredicate& still_fails, ShrinkStats* stats,
+                    size_t max_attempts) {
+  ConcreteCase current = failing;
+  ShrinkStats local;
+  local.initial_size = failing.Size();
+
+  bool progress = true;
+  while (progress && local.attempts < max_attempts) {
+    progress = false;
+
+    // Pass 1: drop assertions, chunked.
+    ChunkedDrop(
+        [&] { return current.assertions.size(); },
+        [&](const std::set<size_t>& drop) {
+          ConcreteCase candidate = WithoutAssertions(current, drop);
+          if (!still_fails(candidate)) return false;
+          current = std::move(candidate);
+          ++local.accepted;
+          progress = true;
+          return true;
+        },
+        &local.attempts, max_attempts);
+
+    // Pass 2: drop classes, one at a time, from both schemas.
+    for (int side = 1; side <= 2; ++side) {
+      const Schema& schema = (side == 1) ? current.s1 : current.s2;
+      size_t index = 0;
+      while (index < schema.NumClasses() && local.attempts < max_attempts) {
+        const Schema& live = (side == 1) ? current.s1 : current.s2;
+        if (index >= live.NumClasses()) break;
+        const std::string victim =
+            live.class_def(static_cast<ClassId>(index)).name();
+        std::optional<ConcreteCase> candidate =
+            WithoutClass(current, side, victim);
+        ++local.attempts;
+        if (candidate.has_value() && still_fails(*candidate)) {
+          current = std::move(*candidate);
+          ++local.accepted;
+          progress = true;
+          // Same index now names the next class.
+        } else {
+          ++index;
+        }
+      }
+    }
+
+    // Pass 3: drop instance objects, chunked, from both stores.
+    for (int side = 1; side <= 2; ++side) {
+      ChunkedDrop(
+          [&] {
+            return (side == 1) ? current.instances1.size()
+                               : current.instances2.size();
+          },
+          [&](const std::set<size_t>& drop) {
+            const StoreSpec& spec =
+                (side == 1) ? current.instances1 : current.instances2;
+            std::vector<size_t> keep;
+            for (size_t i = 0; i < spec.objects.size(); ++i) {
+              if (drop.count(i) == 0) keep.push_back(i);
+            }
+            ConcreteCase candidate = current;
+            const Schema& schema =
+                (side == 1) ? candidate.s1 : candidate.s2;
+            StoreSpec filtered = FilterObjects(spec, keep, schema);
+            if (side == 1) {
+              candidate.instances1 = std::move(filtered);
+            } else {
+              candidate.instances2 = std::move(filtered);
+            }
+            if (!still_fails(candidate)) return false;
+            current = std::move(candidate);
+            ++local.accepted;
+            progress = true;
+            return true;
+          },
+          &local.attempts, max_attempts);
+    }
+  }
+
+  local.final_size = current.Size();
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace harness
+}  // namespace ooint

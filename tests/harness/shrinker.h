@@ -1,0 +1,45 @@
+#ifndef OOINT_TESTS_HARNESS_SHRINKER_H_
+#define OOINT_TESTS_HARNESS_SHRINKER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "harness/conformance.h"
+
+namespace ooint {
+namespace harness {
+
+/// Returns true when the case still exhibits the failure being
+/// minimized. Predicates must treat cases that fail to materialize
+/// (BuildAssertionSet / CheckCase infrastructure errors) as NOT
+/// failing, so the shrinker never trades a conformance failure for a
+/// broken case.
+using CasePredicate = std::function<bool(const ConcreteCase&)>;
+
+struct ShrinkStats {
+  /// Candidate cases evaluated (predicate invocations).
+  size_t attempts = 0;
+  /// Candidates that kept the failure and were adopted.
+  size_t accepted = 0;
+  /// Sizes before and after (ConcreteCase::Size).
+  size_t initial_size = 0;
+  size_t final_size = 0;
+};
+
+/// Greedy delta debugging over a failing case. Each round tries, in
+/// order: dropping assertion chunks (halves, then quarters, ..., then
+/// singletons), dropping whole classes from either schema (with every
+/// referencing assertion, instance and aggregation cascade-removed),
+/// and dropping instance objects (chunked, with index remapping).
+/// Rounds repeat until a fixpoint or `max_attempts` predicate calls.
+/// The result is the smallest case found that still satisfies
+/// `still_fails` — `failing` itself must satisfy it on entry.
+ConcreteCase Shrink(const ConcreteCase& failing,
+                    const CasePredicate& still_fails,
+                    ShrinkStats* stats = nullptr,
+                    size_t max_attempts = 3000);
+
+}  // namespace harness
+}  // namespace ooint
+
+#endif  // OOINT_TESTS_HARNESS_SHRINKER_H_

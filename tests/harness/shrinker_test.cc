@@ -1,0 +1,125 @@
+#include "harness/shrinker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "assertions/assertion_set.h"
+#include "assertions/parser.h"
+#include "harness/conformance.h"
+#include "integrate/consistency.h"
+#include "model/instance_parser.h"
+#include "model/instance_store.h"
+#include "model/schema_parser.h"
+#include "test_util.h"
+#include "workload/populator.h"
+
+namespace ooint {
+namespace harness {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+bool HasDisjoint(const ConcreteCase& c) {
+  for (const Assertion& assertion : c.assertions) {
+    if (assertion.rel == SetRel::kDisjoint) return true;
+  }
+  return false;
+}
+
+/// A seed whose case satisfies `wanted`, scanning from 1.
+template <typename Pred>
+std::optional<ConcreteCase> FindCase(const Pred& wanted, std::uint64_t limit) {
+  const CaseOptions options;
+  for (std::uint64_t seed = 1; seed <= limit; ++seed) {
+    Result<ConcreteCase> made = MakeCase(seed, options);
+    if (made.ok() && wanted(made.value())) return std::move(made).value();
+  }
+  return std::nullopt;
+}
+
+// Shrinking against a purely structural predicate must strip everything
+// the predicate does not pin: a single disjoint assertion survives, and
+// the schemas collapse to (roughly) its two endpoint classes.
+TEST(ShrinkerTest, StructuralPredicateShrinksToCore) {
+  std::optional<ConcreteCase> found = FindCase(HasDisjoint, 100);
+  ASSERT_TRUE(found.has_value()) << "no seed with a disjoint assertion";
+  ShrinkStats stats;
+  const ConcreteCase minimized = Shrink(*found, HasDisjoint, &stats);
+  EXPECT_TRUE(HasDisjoint(minimized));
+  EXPECT_LE(minimized.assertions.size(), 1u);
+  EXPECT_LE(minimized.instances1.size() + minimized.instances2.size(), 0u);
+  // One class per side can remain beyond the endpoints only when is-a
+  // edges pin them; allow a little slack but require real shrinkage.
+  EXPECT_LE(minimized.Size(), 6u) << RenderCase(minimized);
+  EXPECT_LT(stats.final_size, stats.initial_size);
+  EXPECT_GE(stats.accepted, 1u);
+}
+
+// The acceptance-criterion scenario: a case the consistency checker
+// rejects shrinks to a repro of at most 6 classes total while still
+// being rejected.
+TEST(ShrinkerTest, InconsistentCaseShrinksToSmallRepro) {
+  const auto rejected = [](const ConcreteCase& c) {
+    const Result<AssertionSet> set = BuildAssertionSet(c);
+    if (!set.ok()) return false;
+    return HasErrors(CheckConsistency(c.s1, c.s2, set.value()));
+  };
+  std::optional<ConcreteCase> found = FindCase(rejected, 200);
+  ASSERT_TRUE(found.has_value()) << "no inconsistent seed in range";
+  ShrinkStats stats;
+  const ConcreteCase minimized = Shrink(*found, rejected, &stats);
+  EXPECT_TRUE(rejected(minimized));
+  EXPECT_LE(minimized.s1.NumClasses() + minimized.s2.NumClasses(), 6u)
+      << RenderCase(minimized);
+  EXPECT_LE(minimized.assertions.size(), 3u) << RenderCase(minimized);
+}
+
+// Minimized repros must replay through the public text formats: the
+// schema, assertion and data-definition languages all re-parse what
+// RenderCase is built from.
+TEST(ShrinkerTest, ReproTextReplays) {
+  const ConcreteCase c = ValueOrDie(MakeCase(11, CaseOptions()));
+
+  const Schema s1 = ValueOrDie(SchemaParser::Parse(SchemaToText(c.s1)));
+  const Schema s2 = ValueOrDie(SchemaParser::Parse(SchemaToText(c.s2)));
+  EXPECT_EQ(s1.NumClasses(), c.s1.NumClasses());
+  EXPECT_EQ(s2.NumClasses(), c.s2.NumClasses());
+
+  const AssertionSet set = ValueOrDie(BuildAssertionSet(c));
+  const AssertionSet reparsed = ValueOrDie(AssertionParser::Parse(set.ToString()));
+  EXPECT_EQ(reparsed.size(), set.size());
+  EXPECT_OK(reparsed.Validate(s1, s2));
+
+  InstanceStore store1(&s1);
+  InstanceStore store2(&s2);
+  const size_t loaded1 = ValueOrDie(
+      InstanceParser::Load(StoreSpecToText(c.instances1), &store1));
+  const size_t loaded2 = ValueOrDie(
+      InstanceParser::Load(StoreSpecToText(c.instances2), &store2));
+  EXPECT_EQ(loaded1, c.instances1.size());
+  EXPECT_EQ(loaded2, c.instances2.size());
+}
+
+// An over-eager shrink step that breaks the case structurally must be
+// rejected by well-formed predicates (CheckCase returns an error, not a
+// failing outcome), so Shrink never adopts it.
+TEST(ShrinkerTest, PredicateErrorsTreatedAsNotFailing) {
+  const ConcreteCase c = ValueOrDie(MakeCase(2, CaseOptions()));
+  size_t calls = 0;
+  const auto never = [&calls](const ConcreteCase&) {
+    ++calls;
+    return false;
+  };
+  ShrinkStats stats;
+  const ConcreteCase minimized = Shrink(c, never, &stats);
+  EXPECT_EQ(minimized.Size(), c.Size());
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.attempts, calls);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace ooint

@@ -1,0 +1,93 @@
+// Soak driver for the randomized conformance harness: runs MakeCase +
+// CheckCase over a contiguous seed range, shrinks every failure to a
+// minimal repro, and prints the repro fixture text. Exit code 0 iff
+// every seed passed.
+//
+//   conformance_soak [count] [start-seed]
+//
+// scripts/check.sh --soak [N] builds and runs it; CI runs a bounded
+// soak on every PR and uploads the repro files of failing seeds.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "harness/conformance.h"
+#include "harness/shrinker.h"
+
+int main(int argc, char** argv) {
+  using ooint::harness::CaseOptions;
+  using ooint::harness::CheckCase;
+  using ooint::harness::ConcreteCase;
+  using ooint::harness::MakeCase;
+  using ooint::harness::OracleFamily;
+  using ooint::harness::OracleFamilyName;
+  using ooint::harness::OracleOutcome;
+  using ooint::harness::RenderCase;
+  using ooint::harness::Shrink;
+  using ooint::harness::ShrinkStats;
+
+  const std::uint64_t count =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  const std::uint64_t start =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  const CaseOptions options;
+
+  std::map<OracleFamily, std::uint64_t> coverage;
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = start; seed < start + count; ++seed) {
+    const ooint::Result<ConcreteCase> made = MakeCase(seed, options);
+    if (!made.ok()) {
+      std::printf("seed %llu: case generation failed: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  made.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const ooint::Result<OracleOutcome> checked = CheckCase(made.value());
+    if (!checked.ok()) {
+      std::printf("seed %llu: case failed to materialize: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  checked.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    for (OracleFamily family : checked.value().ran) ++coverage[family];
+    if (!checked.value().ok()) {
+      ++failures;
+      std::printf("seed %llu FAILED: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  checked.value().ToString().c_str());
+      const auto still_fails = [](const ConcreteCase& candidate) {
+        const ooint::Result<OracleOutcome> result = CheckCase(candidate);
+        return result.ok() && !result.value().ok();
+      };
+      ShrinkStats stats;
+      const ConcreteCase minimized =
+          Shrink(made.value(), still_fails, &stats);
+      std::printf(
+          "seed %llu minimized repro (size %zu -> %zu, %zu/%zu attempts "
+          "accepted):\n%s\n",
+          static_cast<unsigned long long>(seed), stats.initial_size,
+          stats.final_size, stats.accepted, stats.attempts,
+          RenderCase(minimized).c_str());
+    }
+    if ((seed - start + 1) % 50 == 0) {
+      std::printf("... %llu/%llu seeds checked, %llu failure(s)\n",
+                  static_cast<unsigned long long>(seed - start + 1),
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(failures));
+    }
+  }
+
+  std::printf("soak done: %llu seeds, %llu failure(s); family coverage:",
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(failures));
+  for (const auto& [family, hits] : coverage) {
+    std::printf(" %s=%llu", OracleFamilyName(family),
+                static_cast<unsigned long long>(hits));
+  }
+  std::printf("\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <set>
+
 #include "test_util.h"
 
 namespace ooint {
@@ -120,6 +124,188 @@ TEST(AssertionGeneratorTest, RejectsMismatchedSchemas) {
   big.class_prefix = "d";
   const Schema s2 = ValueOrDie(GenerateSchema(big));
   EXPECT_FALSE(GenerateAssertions(s1, s2, "c", "d", {}).ok());
+}
+
+TEST(SchemaGeneratorTest, RandomDagRespectsParentBound) {
+  SchemaGenOptions options;
+  options.shape = IsAShape::kRandomDag;
+  options.num_classes = 20;
+  options.max_parents = 2;
+  options.seed = 5;
+  const Schema schema = ValueOrDie(GenerateSchema(options));
+  EXPECT_EQ(schema.NumClasses(), 20u);
+  EXPECT_TRUE(schema.finalized());
+  bool multiple_inheritance = false;
+  for (size_t i = 0; i < schema.NumClasses(); ++i) {
+    const std::vector<ClassId> parents =
+        schema.ParentsOf(static_cast<ClassId>(i));
+    EXPECT_LE(parents.size(), options.max_parents);
+    // Acyclic by construction: parents have lower indexes.
+    for (ClassId parent : parents) {
+      EXPECT_LT(static_cast<size_t>(parent), i);
+    }
+    if (parents.size() > 1) multiple_inheritance = true;
+  }
+  EXPECT_TRUE(multiple_inheritance);
+}
+
+TEST(SchemaGeneratorTest, RandomDagIsDeterministic) {
+  SchemaGenOptions options;
+  options.shape = IsAShape::kRandomDag;
+  options.num_classes = 12;
+  options.seed = 77;
+  const Schema a = ValueOrDie(GenerateSchema(options));
+  const Schema b = ValueOrDie(GenerateSchema(options));
+  EXPECT_EQ(a.NumIsAEdges(), b.NumIsAEdges());
+  for (size_t i = 0; i < a.NumClasses(); ++i) {
+    EXPECT_EQ(a.ParentsOf(static_cast<ClassId>(i)),
+              b.ParentsOf(static_cast<ClassId>(i)));
+  }
+}
+
+TEST(AssertionGeneratorTest, RejectsOutOfRangeFractions) {
+  SchemaGenOptions options;
+  options.num_classes = 7;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  const Schema s2 = ValueOrDie(GenerateCounterpartSchema(s1, "S2", "d"));
+
+  AssertionGenOptions negative;
+  negative.inclusion_fraction = -0.1;
+  EXPECT_EQ(GenerateAssertions(s1, s2, "c", "d", negative).status().code(),
+            StatusCode::kInvalidArgument);
+
+  AssertionGenOptions above_one;
+  above_one.disjoint_fraction = 1.5;
+  EXPECT_EQ(GenerateAssertions(s1, s2, "c", "d", above_one).status().code(),
+            StatusCode::kInvalidArgument);
+
+  AssertionGenOptions oversum;
+  oversum.equivalence_fraction = 0.7;
+  oversum.inclusion_fraction = 0.7;
+  EXPECT_EQ(GenerateAssertions(s1, s2, "c", "d", oversum).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RandomAssertionGeneratorTest, RejectsOutOfRangeFractions) {
+  SchemaGenOptions options;
+  options.num_classes = 7;
+  const Schema s1 = ValueOrDie(GenerateSchema(options));
+  options.name = "S2";
+  options.class_prefix = "d";
+  const Schema s2 = ValueOrDie(GenerateSchema(options));
+
+  RandomAssertionGenOptions negative;
+  negative.overlap_fraction = -0.2;
+  EXPECT_EQ(GenerateRandomAssertions(s1, s2, negative).status().code(),
+            StatusCode::kInvalidArgument);
+
+  RandomAssertionGenOptions above_one;
+  above_one.inconsistent_fraction = 2.0;
+  EXPECT_EQ(GenerateRandomAssertions(s1, s2, above_one).status().code(),
+            StatusCode::kInvalidArgument);
+
+  RandomAssertionGenOptions oversum;
+  oversum.equivalence_fraction = 0.4;
+  oversum.inclusion_fraction = 0.4;
+  oversum.overlap_fraction = 0.4;
+  EXPECT_EQ(GenerateRandomAssertions(s1, s2, oversum).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RandomAssertionGeneratorTest, GeneratesAllFiveKindsAndValidates) {
+  SchemaGenOptions o1;
+  o1.num_classes = 15;
+  o1.shape = IsAShape::kRandomDag;
+  const Schema s1 = ValueOrDie(GenerateSchema(o1));
+  SchemaGenOptions o2 = o1;
+  o2.name = "S2";
+  o2.class_prefix = "d";
+  o2.seed = 1234;
+  const Schema s2 = ValueOrDie(GenerateSchema(o2));
+
+  std::set<SetRel> seen;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    RandomAssertionGenOptions mix;
+    mix.equivalence_fraction = 0.2;
+    mix.inclusion_fraction = 0.2;
+    mix.overlap_fraction = 0.2;
+    mix.disjoint_fraction = 0.2;
+    mix.derivation_fraction = 0.2;
+    mix.seed = seed;
+    const AssertionSet set =
+        ValueOrDie(GenerateRandomAssertions(s1, s2, mix));
+    EXPECT_OK(set.Validate(s1, s2));
+    for (const Assertion& a : set.assertions()) seen.insert(a.rel);
+  }
+  EXPECT_TRUE(seen.count(SetRel::kEquivalent));
+  EXPECT_TRUE(seen.count(SetRel::kSubset) || seen.count(SetRel::kSuperset));
+  EXPECT_TRUE(seen.count(SetRel::kOverlap));
+  EXPECT_TRUE(seen.count(SetRel::kDisjoint));
+  EXPECT_TRUE(seen.count(SetRel::kDerivation));
+}
+
+TEST(RandomAssertionGeneratorTest, UniquePartnersClaimEachS2ClassOnce) {
+  SchemaGenOptions o1;
+  o1.num_classes = 10;
+  const Schema s1 = ValueOrDie(GenerateSchema(o1));
+  SchemaGenOptions o2 = o1;
+  o2.name = "S2";
+  o2.class_prefix = "d";
+  o2.num_classes = 6;  // fewer partners than classes: probing must skip
+  const Schema s2 = ValueOrDie(GenerateSchema(o2));
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RandomAssertionGenOptions mix;
+    mix.equivalence_fraction = 0.5;
+    mix.inclusion_fraction = 0.5;
+    mix.overlap_fraction = 0.0;
+    mix.disjoint_fraction = 0.0;
+    mix.derivation_fraction = 0.0;
+    mix.seed = seed;
+    const AssertionSet set =
+        ValueOrDie(GenerateRandomAssertions(s1, s2, mix));
+    std::map<std::string, int> uses;
+    for (const Assertion& a : set.assertions()) {
+      if (a.rel == SetRel::kDerivation) continue;
+      ++uses[a.rhs.class_name];
+    }
+    for (const auto& [cls, count] : uses) {
+      EXPECT_LE(count, 1) << "s2 class " << cls << " claimed twice, seed "
+                          << seed;
+    }
+  }
+}
+
+TEST(RandomAssertionGeneratorTest, InconsistentFractionPlantsCycles) {
+  SchemaGenOptions o1;
+  o1.num_classes = 12;
+  const Schema s1 = ValueOrDie(GenerateSchema(o1));
+  SchemaGenOptions o2 = o1;
+  o2.name = "S2";
+  o2.class_prefix = "d";
+  const Schema s2 = ValueOrDie(GenerateSchema(o2));
+
+  // With heavy planting, some seed must produce a set whose subset
+  // pairs force a cycle; every generated set still validates
+  // structurally.
+  bool planted = false;
+  for (std::uint64_t seed = 0; seed < 10 && !planted; ++seed) {
+    RandomAssertionGenOptions mix;
+    mix.equivalence_fraction = 0.3;
+    mix.inconsistent_fraction = 0.9;
+    mix.seed = seed;
+    const AssertionSet set =
+        ValueOrDie(GenerateRandomAssertions(s1, s2, mix));
+    EXPECT_OK(set.Validate(s1, s2));
+    size_t subsets = 0;
+    for (const Assertion& a : set.assertions()) {
+      if (a.rel == SetRel::kSubset || a.rel == SetRel::kSuperset) {
+        ++subsets;
+      }
+    }
+    if (subsets >= 2) planted = true;
+  }
+  EXPECT_TRUE(planted);
 }
 
 }  // namespace

@@ -1,0 +1,113 @@
+#include "workload/populator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "model/instance_parser.h"
+#include "model/instance_store.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+Schema MakeAggSchema(std::uint64_t seed) {
+  SchemaGenOptions options;
+  options.num_classes = 8;
+  options.shape = IsAShape::kRandomDag;
+  options.with_aggregations = true;
+  options.seed = seed;
+  return ValueOrDie(GenerateSchema(options));
+}
+
+TEST(PopulatorTest, CoversEveryClass) {
+  const Schema schema = MakeAggSchema(3);
+  PopulateOptions options;
+  options.num_objects = 24;
+  const StoreSpec spec = ValueOrDie(GenerateInstances(schema, options));
+  EXPECT_EQ(spec.size(), 24u);
+  std::set<std::string> classes;
+  for (const ObjectSpec& object : spec.objects) {
+    classes.insert(object.class_name);
+  }
+  EXPECT_EQ(classes.size(), schema.NumClasses());
+}
+
+TEST(PopulatorTest, TargetsPrecedeSources) {
+  const Schema schema = MakeAggSchema(4);
+  PopulateOptions options;
+  options.num_objects = 30;
+  const StoreSpec spec = ValueOrDie(GenerateInstances(schema, options));
+  bool any_target = false;
+  for (size_t i = 0; i < spec.objects.size(); ++i) {
+    for (const auto& [fn, targets] : spec.objects[i].agg_targets) {
+      for (size_t target : targets) {
+        EXPECT_LT(target, i) << "forward aggregation reference";
+        any_target = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_target);
+}
+
+TEST(PopulatorTest, DeterministicForSameSeed) {
+  const Schema schema = MakeAggSchema(5);
+  PopulateOptions options;
+  options.seed = 21;
+  const StoreSpec a = ValueOrDie(GenerateInstances(schema, options));
+  const StoreSpec b = ValueOrDie(GenerateInstances(schema, options));
+  EXPECT_EQ(StoreSpecToText(a), StoreSpecToText(b));
+  options.seed = 22;
+  const StoreSpec c = ValueOrDie(GenerateInstances(schema, options));
+  EXPECT_NE(StoreSpecToText(a), StoreSpecToText(c));
+}
+
+TEST(PopulatorTest, ApplySpecMaterializesEveryObject) {
+  const Schema schema = MakeAggSchema(6);
+  PopulateOptions options;
+  options.num_objects = 20;
+  const StoreSpec spec = ValueOrDie(GenerateInstances(schema, options));
+  InstanceStore store(&schema);
+  const std::vector<Oid> oids = ValueOrDie(ApplySpec(spec, &store));
+  EXPECT_EQ(oids.size(), spec.size());
+  EXPECT_EQ(store.size(), spec.size());
+}
+
+TEST(PopulatorTest, TextRoundTripsThroughInstanceParser) {
+  const Schema schema = MakeAggSchema(7);
+  PopulateOptions options;
+  options.num_objects = 16;
+  const StoreSpec spec = ValueOrDie(GenerateInstances(schema, options));
+  InstanceStore store(&schema);
+  const size_t loaded =
+      ValueOrDie(InstanceParser::Load(StoreSpecToText(spec), &store));
+  EXPECT_EQ(loaded, spec.size());
+  EXPECT_EQ(store.size(), spec.size());
+}
+
+TEST(PopulatorTest, RejectsForwardReferences) {
+  const Schema schema = MakeAggSchema(8);
+  StoreSpec bad;
+  ObjectSpec object;
+  object.class_name = schema.class_def(0).name();
+  bad.objects.push_back(object);
+  // Reference an index beyond the spec.
+  StoreSpec forward = bad;
+  const ClassDef& with_agg = schema.class_def(
+      static_cast<ClassId>(schema.NumClasses() - 1));
+  if (!with_agg.aggregations().empty()) {
+    ObjectSpec source;
+    source.class_name = with_agg.name();
+    source.agg_targets[with_agg.aggregations().front().name] = {5};
+    forward.objects.push_back(source);
+    InstanceStore store(&schema);
+    EXPECT_FALSE(ApplySpec(forward, &store).ok());
+  }
+}
+
+}  // namespace
+}  // namespace ooint
