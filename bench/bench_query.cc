@@ -1,0 +1,271 @@
+// Experiment E12: demand-driven federated queries.
+//
+// Two worlds, one question: what does a *selective* query cost under
+// QueryMode::kMaterialized (full fixpoint, then match) vs
+// QueryMode::kDemandDriven (magic-set rewrite + relevance pruning +
+// per-connection cache)?
+//
+// Chain world (recursive closure, where magic sets win asymptotically):
+// two disjoint chains of `nodes` edges on agent S1, an irrelevant agent
+// S2, and the transitive path program. The full fixpoint derives
+// O(nodes^2) path facts; the demand run of path(n0, y) derives only the
+// O(nodes) suffix reachable from n0 and never contacts S2.
+//
+//   BM_FullFixpointQuery    evaluate everything, then match.
+//   BM_MagicQuery           EvaluateDemand on the same federated
+//                           (AgentConnection-backed) evaluator.
+//
+// Genealogy world (the paper's Appendix B federation, end-to-end
+// through FsmClient):
+//
+//   BM_MaterializedClientQuery   Connect() pays the fixpoint.
+//   BM_DemandClientQuery         Connect() integrates only; the query
+//                                pays a goal-directed fixpoint.
+//   BM_MagicQueryWarmCache       the same query re-asked: answered by
+//                                the per-connection query cache.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "federation/agent_connection.h"
+#include "federation/fsm.h"
+#include "federation/fsm_client.h"
+#include "model/schema_parser.h"
+#include "rules/evaluator.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+// --- Chain world -----------------------------------------------------
+
+Literal EdgeLiteral(const std::string& src_var, const std::string& dst_var) {
+  OTerm t;
+  t.object = TermArg::Variable("e");
+  t.class_name = "edge";
+  t.attrs.push_back({"src", false, TermArg::Variable(src_var)});
+  t.attrs.push_back({"dst", false, TermArg::Variable(dst_var)});
+  return Literal::OfOTerm(std::move(t));
+}
+
+Rule PathBaseRule() {
+  Rule rule;
+  rule.head.push_back(Literal::OfPredicate(
+      "path", {TermArg::Variable("x"), TermArg::Variable("y")}));
+  rule.body.push_back(EdgeLiteral("x", "y"));
+  rule.provenance = "bench(path-base)";
+  return rule;
+}
+
+// Left-linear recursion: with the query's first argument bound, the
+// magic rewrite keeps the demand set at {n0} and derives only
+// path(n0, *). (The right-linear form would transitively demand every
+// suffix and derive O(nodes^2) facts even under magic.)
+Rule PathStepRule() {
+  Rule rule;
+  rule.head.push_back(Literal::OfPredicate(
+      "path", {TermArg::Variable("x"), TermArg::Variable("z")}));
+  rule.body.push_back(Literal::OfPredicate(
+      "path", {TermArg::Variable("x"), TermArg::Variable("y")}));
+  rule.body.push_back(EdgeLiteral("y", "z"));
+  rule.provenance = "bench(path-step)";
+  return rule;
+}
+
+struct ChainWorld {
+  Schema s1{"S1"};
+  Schema s2{"S2"};
+  std::unique_ptr<InstanceStore> s1_store;
+  std::unique_ptr<InstanceStore> s2_store;
+};
+
+ChainWorld MakeChainWorld(size_t nodes) {
+  ChainWorld world;
+  world.s1 = SchemaParser::Parse(R"(
+schema S1 {
+  class edge { src: string; dst: string; }
+}
+)").value();
+  world.s2 = SchemaParser::Parse(R"(
+schema S2 {
+  class island { m: string; }
+}
+)").value();
+  world.s1_store = std::make_unique<InstanceStore>(&world.s1);
+  world.s1_store->SetOidContext("agent1", "ooint", "S1db");
+  world.s2_store = std::make_unique<InstanceStore>(&world.s2);
+  world.s2_store->SetOidContext("agent2", "ooint", "S2db");
+  for (size_t i = 0; i + 1 < nodes; ++i) {
+    world.s1_store->NewObject("edge")
+        .value()
+        ->Set("src", Value::String(StrCat("n", i)))
+        .Set("dst", Value::String(StrCat("n", i + 1)));
+    world.s1_store->NewObject("edge")
+        .value()
+        ->Set("src", Value::String(StrCat("m", i)))
+        .Set("dst", Value::String(StrCat("m", i + 1)));
+  }
+  world.s2_store->NewObject("island").value()->Set("m", Value::String("i"));
+  return world;
+}
+
+std::unique_ptr<Evaluator> MakeChainEvaluator(const ChainWorld& world) {
+  auto evaluator = std::make_unique<Evaluator>();
+  evaluator->AddSource(
+      "S1", std::make_unique<AgentConnection>("S1", world.s1_store.get()));
+  evaluator->AddSource(
+      "S2", std::make_unique<AgentConnection>("S2", world.s2_store.get()));
+  (void)evaluator->BindConcept("edge", "S1", "edge");
+  (void)evaluator->BindConcept("island", "S2", "island");
+  (void)evaluator->AddRule(PathBaseRule());
+  (void)evaluator->AddRule(PathStepRule());
+  return evaluator;
+}
+
+OTerm PathQuery() {
+  OTerm pattern;
+  pattern.object = TermArg::Variable("_self");
+  pattern.class_name = "path";
+  pattern.attrs.push_back({"0", false, TermArg::Constant(Value::String("n0"))});
+  pattern.attrs.push_back({"1", false, TermArg::Variable("y")});
+  return pattern;
+}
+
+void BM_FullFixpointQuery(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const ChainWorld world = MakeChainWorld(nodes);
+  const OTerm pattern = PathQuery();
+  size_t rows = 0;
+  size_t derived = 0;
+  for (auto _ : state) {
+    std::unique_ptr<Evaluator> evaluator = MakeChainEvaluator(world);
+    if (!evaluator->Evaluate().ok()) state.SkipWithError("evaluation failed");
+    auto result = evaluator->Query(pattern);
+    if (!result.ok()) state.SkipWithError("query failed");
+    rows = result.value().size();
+    derived = evaluator->stats().derived_facts;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["derived"] = static_cast<double>(derived);
+}
+
+void BM_MagicQuery(benchmark::State& state) {
+  const size_t nodes = static_cast<size_t>(state.range(0));
+  const ChainWorld world = MakeChainWorld(nodes);
+  const OTerm pattern = PathQuery();
+  size_t rows = 0;
+  size_t derived = 0;
+  size_t extents = 0;
+  for (auto _ : state) {
+    std::unique_ptr<Evaluator> evaluator = MakeChainEvaluator(world);
+    auto outcome = evaluator->EvaluateDemand(pattern);
+    if (!outcome.ok()) state.SkipWithError("demand evaluation failed");
+    rows = outcome.value().rows.size();
+    derived = outcome.value().stats.derived_facts;
+    extents = outcome.value().stats.extents_fetched;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["derived"] = static_cast<double>(derived);
+  state.counters["extents"] = static_cast<double>(extents);
+}
+
+// --- Genealogy world (FsmClient end-to-end) --------------------------
+
+std::unique_ptr<Fsm> MakeFederation(size_t families) {
+  const Fixture fixture = MakeGenealogyFixture().value();
+  auto fsm = std::make_unique<Fsm>();
+  std::unique_ptr<FsmAgent> a1 =
+      FsmAgent::Create("agent1", "ooint", "db1", fixture.s1).value();
+  std::unique_ptr<FsmAgent> a2 =
+      FsmAgent::Create("agent2", "ooint", "db2", fixture.s2).value();
+  (void)PopulateGenealogy(&a1->store(), &a2->store(), families);
+  (void)fsm->RegisterAgent(std::move(a1));
+  (void)fsm->RegisterAgent(std::move(a2));
+  (void)fsm->DeclareAssertions(fixture.assertion_text);
+  return fsm;
+}
+
+Query UncleQuery(const FsmClient& client) {
+  Query query(client.GlobalNameOf("S2", "uncle").value());
+  query.Where("niece_nephew", Value::String("C1a"));
+  query.Select("Ussn#", "who");
+  return query;
+}
+
+void BM_MaterializedClientQuery(benchmark::State& state) {
+  const size_t families = static_cast<size_t>(state.range(0));
+  std::unique_ptr<Fsm> fsm = MakeFederation(families);
+  size_t rows = 0;
+  for (auto _ : state) {
+    FsmClient client(fsm.get());
+    if (!client.Connect().ok()) state.SkipWithError("connect failed");
+    auto result = client.Run(UncleQuery(client));
+    if (!result.ok()) state.SkipWithError("query failed");
+    rows = result.value().size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_DemandClientQuery(benchmark::State& state) {
+  const size_t families = static_cast<size_t>(state.range(0));
+  std::unique_ptr<Fsm> fsm = MakeFederation(families);
+  size_t rows = 0;
+  for (auto _ : state) {
+    FederationOptions options;
+    options.query_mode = QueryMode::kDemandDriven;
+    FsmClient client(fsm.get());
+    if (!client.Connect(Fsm::Strategy::kAccumulation, options).ok()) {
+      state.SkipWithError("connect failed");
+    }
+    auto result = client.Run(UncleQuery(client));
+    if (!result.ok()) state.SkipWithError("query failed");
+    rows = result.value().size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_MagicQueryWarmCache(benchmark::State& state) {
+  const size_t families = static_cast<size_t>(state.range(0));
+  std::unique_ptr<Fsm> fsm = MakeFederation(families);
+  FederationOptions options;
+  options.query_mode = QueryMode::kDemandDriven;
+  FsmClient client(fsm.get());
+  if (!client.Connect(Fsm::Strategy::kAccumulation, options).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const Query query = UncleQuery(client);
+  if (!client.Run(query).ok()) {  // warm the cache
+    state.SkipWithError("query failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Run(query).value());
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(client.query_cache_stats().hits);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_FullFixpointQuery)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MagicQuery)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaterializedClientQuery)->Arg(16)->Arg(128)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DemandClientQuery)->Arg(16)->Arg(128)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MagicQueryWarmCache)->Arg(16)->Arg(128)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ooint
+
+BENCHMARK_MAIN();

@@ -1,24 +1,40 @@
 #!/usr/bin/env bash
-# Runs the evaluator benchmarks and writes the JSON snapshot the docs
-# reference (BENCH_eval.json at the repo root).
+# Runs a benchmark suite in a Release build and writes the JSON
+# snapshot the docs reference (BENCH_<suite>.json at the repo root),
+# stamped with the git SHA and build type it was measured at.
 #
-# Usage: scripts/bench.sh [benchmark_filter]
-#   scripts/bench.sh                      # full bench_eval suite
-#   scripts/bench.sh 'BM_BottomUp.*'      # subset
+# Usage: scripts/bench.sh [target] [benchmark_filter]
+#   scripts/bench.sh                             # bench_eval, full suite
+#   scripts/bench.sh bench_query                 # the demand-query suite
+#   scripts/bench.sh bench_eval 'BM_BottomUp.*'  # subset
+#
+# The Release build lives in build-bench/ (override with BUILD_DIR) so
+# benchmark numbers never come from the default debug tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-.}"
-BUILD_DIR="${BUILD_DIR:-build}"
-
-if [[ ! -x "$BUILD_DIR/bench/bench_eval" ]]; then
-  cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" -j --target bench_eval
+TARGET="${1:-bench_eval}"
+FILTER="${2:-.}"
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+OUT="BENCH_${TARGET#bench_}.json"
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD -- 2>/dev/null; then
+  GIT_SHA="${GIT_SHA}-dirty"
 fi
 
-"$BUILD_DIR/bench/bench_eval" \
+CONFIG_ARGS=(-DCMAKE_BUILD_TYPE="$BUILD_TYPE")
+if command -v ninja >/dev/null 2>&1 && [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  CONFIG_ARGS+=(-G Ninja)
+fi
+cmake -B "$BUILD_DIR" -S . "${CONFIG_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j --target "$TARGET"
+
+"$BUILD_DIR/bench/$TARGET" \
   --benchmark_filter="$FILTER" \
+  --benchmark_context=git_sha="$GIT_SHA" \
+  --benchmark_context=build_type="$BUILD_TYPE" \
   --benchmark_format=json \
-  --benchmark_out=BENCH_eval.json \
+  --benchmark_out="$OUT" \
   --benchmark_out_format=json
-echo "Wrote $(pwd)/BENCH_eval.json"
+echo "Wrote $(pwd)/$OUT (git_sha=$GIT_SHA, build_type=$BUILD_TYPE)"

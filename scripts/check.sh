@@ -53,5 +53,9 @@ cmake -B "$BUILD_DIR" -S . "${CONFIG_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 if [[ "$RUN_BENCH" == 1 ]]; then
-  for b in "$BUILD_DIR"/bench/bench_*; do "$b"; done
+  # Smoke mode: one short iteration per benchmark proves they still run
+  # (including bench_query's demand-driven suite) without turning the
+  # verification loop into a measurement session — scripts/bench.sh is
+  # the tool for real (Release) numbers.
+  for b in "$BUILD_DIR"/bench/bench_*; do "$b" --benchmark_min_time=0.01; done
 fi

@@ -20,6 +20,24 @@ std::string QueryPlan::ToString() const {
     out += StrCat("  rule #", rule, "\n");
   }
   out += StrCat("  agents: ", Join(agents, ", "), "\n");
+  if (!pruned_agents.empty()) {
+    out += StrCat("  relevance-pruned agents (never contacted): ",
+                  Join(pruned_agents, ", "), "\n");
+  }
+  if (demand_mode) {
+    out += magic_applied
+               ? StrCat("  demand-driven: magic rewrite, adornment [",
+                        goal_adornment, "]\n")
+               : StrCat("  demand-driven: full evaluation fallback (",
+                        fallback_reason, ")\n");
+  }
+  if (counters.present) {
+    out += StrCat("  counters: derived=", counters.facts_derived,
+                  " extents_fetched=", counters.extents_fetched,
+                  " join_probes=", counters.join_probes,
+                  " cache_hits=", counters.cache_hits,
+                  counters.from_cache ? " (answered from cache)" : "", "\n");
+  }
   if (degraded()) {
     out += StrCat("  DEGRADED: skipped ", Join(skipped_agents, ", "),
                   "; incomplete ", Join(incomplete_concepts, ", "), "\n");
@@ -66,6 +84,18 @@ Result<QueryPlan> ExplainQuery(const GlobalSchema& global,
   }
   plan.rules.assign(rule_set.begin(), rule_set.end());
   plan.agents.assign(agent_set.begin(), agent_set.end());
+
+  // Agents with ground sources entirely outside the plan: relevance
+  // pruning guarantees a demand-driven run of this query never contacts
+  // them.
+  std::set<std::string> all_agents;
+  for (const auto& [name, sources] : global.ground_sources) {
+    (void)name;
+    for (const ClassRef& source : sources) all_agents.insert(source.schema);
+  }
+  for (const std::string& agent : all_agents) {
+    if (!agent_set.count(agent)) plan.pruned_agents.push_back(agent);
+  }
 
   if (degraded != nullptr && degraded->degraded()) {
     for (const std::string& agent : plan.agents) {

@@ -30,6 +30,29 @@ struct QueryPlan {
   /// therefore incomplete. Empty for a healthy federation.
   std::vector<std::string> skipped_agents;
   std::vector<std::string> incomplete_concepts;
+  /// Agents registered with ground sources that the plan does *not*
+  /// touch: a demand-driven query never contacts them (relevance
+  /// pruning). Unlike skipped_agents this loses nothing — the answer is
+  /// identical to a full evaluation's.
+  std::vector<std::string> pruned_agents;
+
+  /// Demand-mode annotations, filled by FsmClient::Explain when the
+  /// client was connected with QueryMode::kDemandDriven.
+  bool demand_mode = false;
+  bool magic_applied = false;
+  std::string goal_adornment;
+  std::string fallback_reason;
+  /// Measured evaluation counters of the client's cached outcome for
+  /// this exact query, when one exists (present == true).
+  struct Counters {
+    bool present = false;
+    bool from_cache = false;
+    size_t facts_derived = 0;
+    size_t extents_fetched = 0;
+    size_t join_probes = 0;
+    size_t cache_hits = 0;
+  };
+  Counters counters;
 
   /// True when the plan touches a skipped agent — the answer this plan
   /// produces is sound but possibly incomplete.

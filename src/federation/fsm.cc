@@ -347,7 +347,8 @@ Result<GlobalSchema> Fsm::IntegrateAll(Strategy strategy) {
 }
 
 Status Fsm::ConfigureEvaluator(Evaluator* evaluator,
-                               const GlobalSchema& global) const {
+                               const GlobalSchema& global,
+                               bool evaluate) const {
   for (const auto& [concept_name, sources] : global.ground_sources) {
     for (const ClassRef& source : sources) {
       OOINT_RETURN_IF_ERROR(evaluator->BindConcept(
@@ -362,6 +363,7 @@ Status Fsm::ConfigureEvaluator(Evaluator* evaluator,
     // Unsupported rules (disjunctive heads) stay documentation-only.
   }
   evaluator->SetDataMappings(&mappings_);
+  if (!evaluate) return Status::OK();
   return evaluator->Evaluate();
 }
 
@@ -387,7 +389,9 @@ Result<FederatedEvaluator> Fsm::MakeFederatedEvaluator(
     fed.connections.push_back(connection.get());
     fed.evaluator->AddSource(agent->schema().name(), std::move(connection));
   }
-  OOINT_RETURN_IF_ERROR(ConfigureEvaluator(fed.evaluator.get(), global));
+  OOINT_RETURN_IF_ERROR(ConfigureEvaluator(
+      fed.evaluator.get(), global,
+      /*evaluate=*/options.query_mode != QueryMode::kDemandDriven));
   return fed;
 }
 

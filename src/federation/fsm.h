@@ -38,12 +38,28 @@ struct GlobalSchema {
   size_t rounds = 0;
 };
 
+/// How FsmClient answers queries (see DESIGN.md "Demand-driven
+/// evaluation").
+enum class QueryMode {
+  /// Connect() materializes the full global closure once; queries are
+  /// pattern matches against it. Best for extent-heavy traffic.
+  kMaterialized,
+  /// Connect() only integrates schemas; each query runs a goal-directed
+  /// (magic-set rewritten, relevance-pruned) fixpoint, memoized in a
+  /// per-connection cache. Best for selective interactive traffic.
+  /// Agent faults surface per query rather than at Connect() time.
+  kDemandDriven,
+};
+
 /// How the federation behaves when component databases fail (see
 /// DESIGN.md "Degraded federation semantics").
 struct FederationOptions {
   /// Strict fails the whole evaluation on the first unreachable agent;
   /// partial answers from the reachable ones and reports the rest.
   FailurePolicy failure_policy = FailurePolicy::kStrict;
+  /// How FsmClient::Run answers (materialize-at-connect vs. per-query
+  /// demand-driven evaluation).
+  QueryMode query_mode = QueryMode::kMaterialized;
   /// Per-connection retry/backoff/deadline parameters.
   RetryPolicy retry;
   /// Per-connection circuit-breaker thresholds.
@@ -123,9 +139,10 @@ class Fsm {
 
  private:
   /// Shared tail of the evaluator builders: concept bindings, rules,
-  /// data mappings, then the fixpoint run.
-  Status ConfigureEvaluator(Evaluator* evaluator,
-                            const GlobalSchema& global) const;
+  /// data mappings, then — unless `evaluate` is false (demand-driven
+  /// clients run per-query fixpoints instead) — the fixpoint run.
+  Status ConfigureEvaluator(Evaluator* evaluator, const GlobalSchema& global,
+                            bool evaluate = true) const;
 
   /// One working operand of the pairwise integration process: a schema
   /// (local or intermediate) plus the provenance maps needed to rewrite

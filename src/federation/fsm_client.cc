@@ -10,6 +10,12 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
   // holding a stale or half-built evaluator.
   evaluator_.reset();
   connections_.clear();
+  // Cached outcomes hold pointers into the old evaluator's sources and
+  // predate whatever made the caller reconnect: always a new epoch.
+  InvalidateQueryCache();
+  ++fault_epoch_;
+  demand_degraded_ = DegradedInfo();
+  query_mode_ = options.query_mode;
   Result<GlobalSchema> global = fsm_->IntegrateAll(strategy);
   if (!global.ok()) return global.status();
   global_ = std::move(global).value();
@@ -23,7 +29,9 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
 
 const DegradedInfo& FsmClient::degraded() const {
   static const DegradedInfo kComplete;
-  return evaluator_ == nullptr ? kComplete : evaluator_->degraded();
+  if (evaluator_ == nullptr) return kComplete;
+  if (query_mode_ == QueryMode::kDemandDriven) return demand_degraded_;
+  return evaluator_->degraded();
 }
 
 std::vector<AgentHealth> FsmClient::ConnectionHealth() const {
@@ -49,9 +57,55 @@ Result<std::string> FsmClient::GlobalNameOf(
                                  ".", class_name));
 }
 
+std::string FsmClient::HealthSignature() const {
+  std::string signature;
+  for (const AgentConnection* connection : connections_) {
+    signature += StrCat(connection->agent_name(), "=",
+                        BreakerStateName(connection->breaker_state()), ";");
+  }
+  return signature;
+}
+
+void FsmClient::InvalidateQueryCache() const {
+  cache_.clear();
+  ++cache_stats_.invalidations;
+}
+
+void FsmClient::BumpFaultEpoch() {
+  ++fault_epoch_;
+  ++cache_stats_.invalidations;
+}
+
+Result<std::shared_ptr<const Evaluator::DemandOutcome>> FsmClient::Demand(
+    const OTerm& pattern) const {
+  const std::string key = pattern.ToString();
+  auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.epoch == fault_epoch_ &&
+      it->second.health_signature == HealthSignature()) {
+    ++cache_stats_.hits;
+    demand_degraded_ = it->second.outcome->degraded;
+    return it->second.outcome;
+  }
+  ++cache_stats_.misses;
+  Result<Evaluator::DemandOutcome> outcome = evaluator_->EvaluateDemand(pattern);
+  if (!outcome.ok()) return outcome.status();
+  auto shared = std::make_shared<const Evaluator::DemandOutcome>(
+      std::move(outcome).value());
+  demand_degraded_ = shared->degraded;
+  // The signature is taken *after* evaluation: if this very run tripped
+  // a breaker, entries stored under the old signature (including this
+  // one's contemporaries) will miss and recompute.
+  cache_[key] = CacheEntry{shared, fault_epoch_, HealthSignature()};
+  return shared;
+}
+
 Result<std::vector<Bindings>> FsmClient::Run(const Query& query) const {
   if (evaluator_ == nullptr) {
     return Status::FailedPrecondition("call Connect() before Run()");
+  }
+  if (query_mode_ == QueryMode::kDemandDriven) {
+    OOINT_ASSIGN_OR_RETURN(auto outcome, Demand(query.pattern()));
+    return outcome->rows;
   }
   return evaluator_->Query(query.pattern());
 }
@@ -61,7 +115,48 @@ Result<std::vector<const Fact*>> FsmClient::Extent(
   if (evaluator_ == nullptr) {
     return Status::FailedPrecondition("call Connect() before Extent()");
   }
+  if (query_mode_ == QueryMode::kDemandDriven) {
+    // The unbound pattern: demand degenerates to the full (but still
+    // relevance-restricted) closure of the concept, which is exactly
+    // its materialized extent.
+    OTerm pattern;
+    pattern.object = TermArg::Variable("_self");
+    pattern.class_name = concept_name;
+    OOINT_ASSIGN_OR_RETURN(auto outcome, Demand(pattern));
+    return outcome->goal_facts;
+  }
   return evaluator_->FactsOf(concept_name);
+}
+
+Result<QueryPlan> FsmClient::Explain(const Query& query) const {
+  if (evaluator_ == nullptr) {
+    return Status::FailedPrecondition("call Connect() before Explain()");
+  }
+  const DegradedInfo& info = degraded();
+  OOINT_ASSIGN_OR_RETURN(
+      QueryPlan plan,
+      ExplainQuery(global_, query.pattern().class_name, &info));
+  plan.demand_mode = query_mode_ == QueryMode::kDemandDriven;
+  if (!plan.demand_mode) return plan;
+
+  auto it = cache_.find(query.pattern().ToString());
+  if (it != cache_.end()) {
+    const Evaluator::DemandOutcome& outcome = *it->second.outcome;
+    plan.magic_applied = outcome.magic_applied;
+    plan.goal_adornment = outcome.goal_adornment;
+    plan.fallback_reason = outcome.fallback_reason;
+    // The measured pruning beats the static estimate (nested
+    // descriptors can force a fallback to fetching everything).
+    plan.pruned_agents = outcome.pruned_agents;
+    plan.counters.present = true;
+    plan.counters.from_cache = it->second.epoch == fault_epoch_ &&
+                               it->second.health_signature == HealthSignature();
+    plan.counters.facts_derived = outcome.stats.derived_facts;
+    plan.counters.extents_fetched = outcome.stats.extents_fetched;
+    plan.counters.join_probes = outcome.stats.index_probes;
+    plan.counters.cache_hits = cache_stats_.hits;
+  }
+  return plan;
 }
 
 }  // namespace ooint

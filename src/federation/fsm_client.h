@@ -1,10 +1,13 @@
 #ifndef OOINT_FEDERATION_FSM_CLIENT_H_
 #define OOINT_FEDERATION_FSM_CLIENT_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "federation/explain.h"
 #include "federation/fsm.h"
 
 namespace ooint {
@@ -53,6 +56,19 @@ class Query {
 /// agents are down, and degraded() says exactly what the answers are
 /// missing. Run/Extent before a successful Connect() (or after a failed
 /// one) return kFailedPrecondition instead of touching a null evaluator.
+///
+/// With FederationOptions::query_mode == QueryMode::kDemandDriven,
+/// Connect() skips the eager fixpoint: each Run()/Extent() evaluates
+/// goal-directed (magic-set rewritten, relevance-pruned — see
+/// Evaluator::EvaluateDemand) and memoizes the outcome in a query cache
+/// keyed on the pattern's text. A cached answer is served only while
+/// its *fault epoch* and the breaker-state signature it was computed
+/// under still hold: Connect() bumps the epoch, BumpFaultEpoch() lets
+/// callers invalidate on external fault-schedule changes, and any
+/// breaker transition (trip, recovery) changes the signature — so a
+/// degraded answer is never replayed as healthy or vice versa. Note
+/// that in demand mode agent faults surface per query, not at
+/// Connect(); degraded() reports the last served query's record.
 class FsmClient {
  public:
   explicit FsmClient(Fsm* fsm) : fsm_(fsm) {}
@@ -85,15 +101,61 @@ class FsmClient {
   /// Runs a query; each result row maps the query's variables to values.
   Result<std::vector<Bindings>> Run(const Query& query) const;
 
-  /// All facts (local + derived) of a global concept.
+  /// All facts (local + derived) of a global concept. In demand mode
+  /// the returned pointers stay valid until the cache entry that owns
+  /// them is invalidated (reconnect, epoch bump, breaker change,
+  /// InvalidateQueryCache) or evicted.
   Result<std::vector<const Fact*>> Extent(const std::string& concept_name) const;
 
+  /// The plan for `query`, annotated with the connection's mode, the
+  /// relevance-pruned agents, and — when this exact query has a cached
+  /// demand outcome — its measured evaluation counters.
+  Result<QueryPlan> Explain(const Query& query) const;
+
+  /// Hit/miss/invalidation counters of the demand-mode query cache.
+  struct QueryCacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t invalidations = 0;
+  };
+  const QueryCacheStats& query_cache_stats() const { return cache_stats_; }
+
+  /// Drops every cached query outcome (counts one invalidation).
+  void InvalidateQueryCache() const;
+
+  /// Declares that the fault environment changed mid-session (e.g. a
+  /// new fault schedule was scripted into the injector): every cached
+  /// outcome predates the change and will be recomputed.
+  void BumpFaultEpoch();
+  std::uint64_t fault_epoch() const { return fault_epoch_; }
+
  private:
+  /// One memoized demand evaluation. The outcome is shared so Extent()
+  /// pointers survive until the last user lets go.
+  struct CacheEntry {
+    std::shared_ptr<const Evaluator::DemandOutcome> outcome;
+    std::uint64_t epoch = 0;
+    /// Breaker states of every connection when the outcome was stored;
+    /// a mismatch at lookup time means the fault environment moved.
+    std::string health_signature;
+  };
+
+  /// Evaluates `pattern` demand-driven through the cache.
+  Result<std::shared_ptr<const Evaluator::DemandOutcome>> Demand(
+      const OTerm& pattern) const;
+  std::string HealthSignature() const;
+
   Fsm* fsm_;
   GlobalSchema global_;
   std::unique_ptr<Evaluator> evaluator_;
   /// Owned by evaluator_; kept for health reporting.
   std::vector<AgentConnection*> connections_;
+  QueryMode query_mode_ = QueryMode::kMaterialized;
+  std::uint64_t fault_epoch_ = 0;
+  mutable std::map<std::string, CacheEntry> cache_;
+  mutable QueryCacheStats cache_stats_;
+  /// Degradation of the most recently served demand query.
+  mutable DegradedInfo demand_degraded_;
 };
 
 }  // namespace ooint

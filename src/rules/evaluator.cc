@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "rules/magic.h"
 
 namespace ooint {
 
@@ -65,11 +66,19 @@ bool DegradedInfo::SkippedAgentNamed(const std::string& schema_name) const {
 }
 
 std::string DegradedInfo::ToString() const {
-  if (!degraded()) return "complete";
+  if (!degraded()) {
+    if (pruned_agents.empty()) return "complete";
+    return StrCat("complete (relevance-pruned agents, not contacted: ",
+                  Join(pruned_agents, ", "), ")");
+  }
   std::string out = "degraded {\n";
   for (const SkippedAgent& agent : skipped) {
-    out += StrCat("  skipped ", agent.schema_name, ": ",
+    out += StrCat("  skipped (fault) ", agent.schema_name, ": ",
                   agent.status.ToString(), "\n");
+  }
+  if (!pruned_agents.empty()) {
+    out += StrCat("  relevance-pruned (not contacted, answer unaffected): ",
+                  Join(pruned_agents, ", "), "\n");
   }
   out += StrCat("  incomplete: ", Join(incomplete_concepts, ", "), "\n");
   if (!unsound_concepts.empty()) {
@@ -92,6 +101,19 @@ void Evaluator::AddSource(const std::string& schema_name,
   entry.source = source.get();
   entry.owned = std::move(source);
   sources_.push_back(std::move(entry));
+}
+
+void Evaluator::AddBorrowedSource(const std::string& schema_name,
+                                  ExtentSource* source) {
+  Source entry;
+  entry.schema_name = schema_name;
+  entry.source = source;
+  sources_.push_back(std::move(entry));
+}
+
+void Evaluator::AddFact(Fact fact) {
+  seed_facts_.push_back(std::move(fact));
+  evaluated_ = false;
 }
 
 Status Evaluator::BindConcept(const std::string& concept_name,
@@ -154,8 +176,12 @@ Status Evaluator::LoadBaseFacts() {
   // Concept -> false, seeded with every directly incomplete concept;
   // PropagateIncompleteness flips the flag to true past a negation.
   std::map<std::string, bool> direct;
+  for (const Fact& seed : seed_facts_) {
+    if (InsertFact(seed)) ++stats_.base_facts;
+  }
   for (const ConceptBinding& binding : bindings_decl_) {
     const Source& source = sources_[binding.source_index];
+    ++stats_.extents_fetched;
     Result<std::vector<const Object*>> extent =
         source.source->FetchExtent(binding.class_name);
     if (!extent.ok()) {
@@ -850,6 +876,92 @@ Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
     if (seen.insert(key).second) unique.push_back(std::move(b));
   }
   return unique;
+}
+
+Result<Evaluator::DemandOutcome> Evaluator::EvaluateDemand(
+    const OTerm& pattern) const {
+  DemandOutcome out;
+  const GoalBinding goal = ExtractGoalBinding(pattern);
+  MagicProgram program = MagicRewrite(rules_, goal);
+  out.magic_applied = program.applied;
+  out.goal_adornment = program.goal_adornment;
+  out.fallback_reason = program.fallback_reason;
+
+  auto sub = std::make_shared<Evaluator>();
+  sub->strategy_ = strategy_;
+  sub->failure_policy_ = failure_policy_;
+  sub->mappings_ = mappings_;
+  for (const Source& source : sources_) {
+    sub->AddBorrowedSource(source.schema_name, source.source);
+  }
+
+  // Relevance pruning: bind (and later fetch) only the concepts the
+  // goal can reach through rule bodies. Nested descriptors navigate
+  // stored OIDs to arbitrary concepts, so they force full binding.
+  const bool prune = program.relevance_safe;
+  const std::set<std::string> reachable(program.reachable_concepts.begin(),
+                                        program.reachable_concepts.end());
+  std::set<std::string> contacted;
+  for (const ConceptBinding& binding : bindings_decl_) {
+    if (prune && !reachable.count(binding.concept_name)) continue;
+    // Source indices transfer unchanged: sub's sources mirror ours.
+    sub->bindings_decl_.push_back(binding);
+    contacted.insert(sources_[binding.source_index].schema_name);
+  }
+  for (const ConceptBinding& binding : bindings_decl_) {
+    const std::string& schema_name = sources_[binding.source_index].schema_name;
+    if (!contacted.count(schema_name)) {
+      if (out.pruned_agents.empty() ||
+          out.pruned_agents.back() != schema_name) {
+        out.pruned_agents.push_back(schema_name);
+      }
+    }
+  }
+  std::sort(out.pruned_agents.begin(), out.pruned_agents.end());
+  out.pruned_agents.erase(
+      std::unique(out.pruned_agents.begin(), out.pruned_agents.end()),
+      out.pruned_agents.end());
+
+  if (program.applied) {
+    for (Rule& rule : program.rules) {
+      OOINT_RETURN_IF_ERROR(sub->AddRule(std::move(rule)));
+    }
+    for (Fact& seed : program.seeds) sub->AddFact(std::move(seed));
+  } else {
+    for (const Rule& rule : rules_) {
+      if (prune) {
+        const std::vector<std::string> heads = rule.HeadConceptNames();
+        bool relevant = false;
+        for (const std::string& head : heads) {
+          if (reachable.count(head)) { relevant = true; break; }
+        }
+        if (!relevant) continue;
+      }
+      OOINT_RETURN_IF_ERROR(sub->AddRule(rule));
+    }
+  }
+  for (const Fact& seed : seed_facts_) sub->AddFact(seed);
+
+  OOINT_RETURN_IF_ERROR(sub->Evaluate());
+  OOINT_ASSIGN_OR_RETURN(out.rows, sub->Query(pattern));
+  out.goal_facts = sub->FactsOf(pattern.class_name);
+
+  // Outward degradation: drop internal magic predicates, mirror the
+  // pruned agents in (distinct from fault-skipped ones).
+  out.degraded = sub->degraded();
+  auto drop_magic = [](std::vector<std::string>* names) {
+    names->erase(std::remove_if(names->begin(), names->end(),
+                                [](const std::string& name) {
+                                  return IsMagicConceptName(name);
+                                }),
+                 names->end());
+  };
+  drop_magic(&out.degraded.incomplete_concepts);
+  drop_magic(&out.degraded.unsound_concepts);
+  out.degraded.pruned_agents = out.pruned_agents;
+  out.stats = sub->stats();
+  out.sub = std::move(sub);
+  return out;
 }
 
 }  // namespace ooint

@@ -76,6 +76,12 @@ struct DegradedInfo {
   /// Concepts whose partial extent may contain facts the fault-free
   /// evaluation would not derive (incompleteness crossed a negation).
   std::vector<std::string> unsound_concepts;
+  /// Agents a demand-driven query never contacted because no concept of
+  /// theirs is reachable from the goal (see Evaluator::EvaluateDemand).
+  /// Distinct from `skipped`: pruning costs nothing and loses nothing —
+  /// the answer is exactly what a full evaluation would return for the
+  /// goal — so pruned agents never appear in incomplete_concepts.
+  std::vector<std::string> pruned_agents;
 
   bool degraded() const { return !skipped.empty(); }
   bool SkippedAgentNamed(const std::string& schema_name) const;
@@ -119,6 +125,16 @@ class Evaluator {
   /// evaluator takes ownership of (the federation's AgentConnection).
   void AddSource(const std::string& schema_name,
                  std::unique_ptr<ExtentSource> source);
+
+  /// Registers a component database through a borrowed connection —
+  /// `source` must outlive the evaluator. Used by EvaluateDemand() to
+  /// share the parent's agent connections (and their breaker state) with
+  /// the per-query sub-evaluator.
+  void AddBorrowedSource(const std::string& schema_name, ExtentSource* source);
+
+  /// Adds a ground fact loaded alongside the base extents on the next
+  /// Evaluate() — the demand path plants magic seed facts this way.
+  void AddFact(Fact fact);
 
   /// Declares that facts of local class `class_name` in source
   /// `schema_name` populate the global concept_name `concept_name`.
@@ -173,8 +189,45 @@ class Evaluator {
     std::vector<size_t> delta_sizes;
     /// Wall-clock milliseconds spent per stratum.
     std::vector<double> stratum_ms;
+    /// Extent reads actually issued against sources (one per bound
+    /// concept that was not relevance-pruned).
+    size_t extents_fetched = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Everything a demand-driven query returns. `sub` owns the fact
+  /// universe `goal_facts` point into — keep the outcome alive as long
+  /// as the pointers are used.
+  struct DemandOutcome {
+    std::vector<Bindings> rows;
+    std::vector<const Fact*> goal_facts;
+    /// Whether the magic-set rewrite ran (vs. relevance-only fallback),
+    /// the goal's adornment, and — when not applied — why.
+    bool magic_applied = false;
+    std::string goal_adornment;
+    std::string fallback_reason;
+    /// Schemas whose extents the query provably cannot touch; their
+    /// sources were never contacted.
+    std::vector<std::string> pruned_agents;
+    /// Degradation of the sub-evaluation (fault-skipped agents etc.),
+    /// with pruned_agents mirrored in and magic predicates filtered out.
+    DegradedInfo degraded;
+    Stats stats;
+    std::shared_ptr<Evaluator> sub;
+  };
+
+  /// Goal-directed evaluation of one query pattern: rewrites the rule
+  /// program with magic sets (rules/magic.h), binds only the concepts
+  /// reachable from the goal — so irrelevant agents are never fetched
+  /// from — and runs the fixpoint in a private sub-evaluator that
+  /// borrows this evaluator's sources. Falls back to evaluating the
+  /// reachable subprogram unrewritten when the rewrite cannot adorn the
+  /// program soundly (outcome.fallback_reason records why). Answers are
+  /// always exactly Query(pattern) under a full Evaluate().
+  ///
+  /// Does not touch this evaluator's own fact store or stats; usable
+  /// whether or not Evaluate() has run.
+  Result<DemandOutcome> EvaluateDemand(const OTerm& pattern) const;
 
  private:
   struct Source {
@@ -254,6 +307,8 @@ class Evaluator {
   std::vector<Source> sources_;
   std::vector<ConceptBinding> bindings_decl_;
   std::vector<Rule> rules_;
+  /// Ground facts planted by AddFact(), loaded before the fixpoint.
+  std::vector<Fact> seed_facts_;
   const DataMappingRegistry* mappings_ = nullptr;
   EvalStrategy strategy_ = EvalStrategy::kSemiNaive;
   FailurePolicy failure_policy_ = FailurePolicy::kStrict;

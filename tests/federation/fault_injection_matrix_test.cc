@@ -257,7 +257,7 @@ TEST_F(FaultMatrixTest, DegradedInfoRendersHumanReadably) {
   FsmClient client(&fsm_);
   ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, options));
   const std::string rendered = client.degraded().ToString();
-  EXPECT_NE(rendered.find("skipped S1"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("skipped (fault) S1"), std::string::npos) << rendered;
   EXPECT_NE(rendered.find("incomplete:"), std::string::npos) << rendered;
 }
 

@@ -1,0 +1,278 @@
+// Demand-driven FsmClient: the per-connection query cache and its three
+// invalidation triggers (reconnect, breaker-state change, fault-epoch
+// bump), relevance pruning at the federation level, and the Explain()
+// counter overlay. The stale-answer regression scenario: a healthy
+// cached answer must never be replayed after the fault environment
+// moved underneath it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "federation/explain.h"
+#include "federation/fault_injector.h"
+#include "federation/fsm_client.h"
+#include "model/schema_parser.h"
+#include "test_util.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+using ::ooint::testing::ValueOrDie;
+
+constexpr size_t kFamilies = 3;
+
+class QueryCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = ValueOrDie(MakeGenealogyFixture());
+    std::unique_ptr<FsmAgent> a1 =
+        ValueOrDie(FsmAgent::Create("agent1", "ooint", "db1", fixture_.s1));
+    std::unique_ptr<FsmAgent> a2 =
+        ValueOrDie(FsmAgent::Create("agent2", "ooint", "db2", fixture_.s2));
+    ASSERT_OK(PopulateGenealogy(&a1->store(), &a2->store(), kFamilies));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(a1)));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(a2)));
+    ASSERT_OK(fsm_.DeclareAssertions(fixture_.assertion_text));
+  }
+
+  /// Registers a third agent whose only class shares nothing with the
+  /// genealogy rules — the relevance-pruning bait.
+  void AddIslandAgent() {
+    Schema island = ValueOrDie(SchemaParser::Parse(R"(
+      schema S3 {
+        class island { m: string; }
+      }
+    )"));
+    std::unique_ptr<FsmAgent> a3 =
+        ValueOrDie(FsmAgent::Create("agent3", "ooint", "db3", island));
+    ASSERT_OK(fsm_.RegisterAgent(std::move(a3)));
+  }
+
+  static FederationOptions DemandOptions(FaultInjector* injector = nullptr) {
+    FederationOptions options;
+    options.failure_policy = FailurePolicy::kPartial;
+    options.query_mode = QueryMode::kDemandDriven;
+    options.injector = injector;
+    return options;
+  }
+
+  Query UncleQuery(const FsmClient& client) const {
+    Query query(ValueOrDie(client.GlobalNameOf("S2", "uncle")));
+    query.Select("Ussn#", "who").Select("niece_nephew", "kid");
+    return query;
+  }
+
+  static std::set<std::string> Answers(const std::vector<Bindings>& rows) {
+    std::set<std::string> answers;
+    for (const Bindings& row : rows) {
+      answers.insert(row.at("who").ToString() + "/" +
+                     row.at("kid").ToString());
+    }
+    return answers;
+  }
+
+  Fixture fixture_;
+  Fsm fsm_;
+};
+
+TEST_F(QueryCacheTest, DemandModeMatchesMaterializedAnswers) {
+  FsmClient materialized(&fsm_);
+  ASSERT_OK(materialized.Connect());
+  FsmClient demand(&fsm_);
+  ASSERT_OK(demand.Connect(Fsm::Strategy::kAccumulation, DemandOptions()));
+
+  const Query query = UncleQuery(demand);
+  const std::set<std::string> baseline =
+      Answers(ValueOrDie(materialized.Run(query)));
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(Answers(ValueOrDie(demand.Run(query))), baseline);
+  EXPECT_FALSE(demand.degraded().degraded());
+}
+
+TEST_F(QueryCacheTest, RepeatQueryHitsTheCache) {
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, DemandOptions()));
+  const Query query = UncleQuery(client);
+
+  const std::set<std::string> first = Answers(ValueOrDie(client.Run(query)));
+  EXPECT_EQ(client.query_cache_stats().hits, 0u);
+  EXPECT_EQ(client.query_cache_stats().misses, 1u);
+
+  const std::set<std::string> second = Answers(ValueOrDie(client.Run(query)));
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(client.query_cache_stats().hits, 1u);
+  EXPECT_EQ(client.query_cache_stats().misses, 1u);
+
+  // Extent() flows through the same cache under a different key.
+  const std::string uncle = ValueOrDie(client.GlobalNameOf("S2", "uncle"));
+  EXPECT_OK(client.Extent(uncle));
+  EXPECT_OK(client.Extent(uncle));
+  EXPECT_EQ(client.query_cache_stats().hits, 2u);
+  EXPECT_EQ(client.query_cache_stats().misses, 2u);
+}
+
+TEST_F(QueryCacheTest, ReconnectInvalidatesTheCache) {
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, DemandOptions()));
+  const Query query = UncleQuery(client);
+  const std::set<std::string> first = Answers(ValueOrDie(client.Run(query)));
+  const std::uint64_t epoch_before = client.fault_epoch();
+
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, DemandOptions()));
+  EXPECT_GT(client.fault_epoch(), epoch_before);
+  EXPECT_EQ(Answers(ValueOrDie(client.Run(query))), first);
+  // Both runs were misses: the reconnect dropped the entry.
+  EXPECT_EQ(client.query_cache_stats().hits, 0u);
+  EXPECT_EQ(client.query_cache_stats().misses, 2u);
+  EXPECT_GE(client.query_cache_stats().invalidations, 1u);
+}
+
+// The stale-answer regression. A healthy answer is cached; then the
+// fault environment changes and a *different* query trips S1's breaker.
+// The cached entry's health signature no longer matches, so re-running
+// the first query recomputes (degraded) instead of replaying the
+// healthy answer with a straight face.
+TEST_F(QueryCacheTest, BreakerTransitionInvalidatesOtherEntries) {
+  FaultInjector injector;
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation,
+                           DemandOptions(&injector)));
+  const Query query = UncleQuery(client);
+  const std::set<std::string> healthy = Answers(ValueOrDie(client.Run(query)));
+  ASSERT_FALSE(healthy.empty());
+  ASSERT_FALSE(client.degraded().degraded());
+
+  // The fault schedule changes mid-session: S1 goes dark.
+  injector.AlwaysFail("S1", FaultKind::kUnavailable);
+
+  // A different query (different cache key) contacts S1 and trips its
+  // breaker.
+  const std::string parent = ValueOrDie(client.GlobalNameOf("S1", "parent"));
+  EXPECT_OK(client.Extent(parent));
+  EXPECT_TRUE(client.degraded().degraded());
+  bool tripped = false;
+  for (const AgentHealth& health : client.ConnectionHealth()) {
+    if (health.agent_name == "S1") tripped = health.stats.trips > 0;
+  }
+  ASSERT_TRUE(tripped) << "test premise: S1's breaker must trip";
+
+  // Re-running the first query must MISS (signature moved) and report
+  // the degradation, not serve the stale healthy answer.
+  const size_t misses_before = client.query_cache_stats().misses;
+  const std::set<std::string> after = Answers(ValueOrDie(client.Run(query)));
+  EXPECT_EQ(client.query_cache_stats().misses, misses_before + 1);
+  EXPECT_TRUE(client.degraded().degraded());
+  EXPECT_TRUE(client.degraded().SkippedAgentNamed("S1"));
+  // Sound subset: losing S1 starves the uncle derivation.
+  EXPECT_TRUE(std::includes(healthy.begin(), healthy.end(), after.begin(),
+                            after.end()));
+}
+
+TEST_F(QueryCacheTest, FaultEpochBumpInvalidatesWithoutBreakerMovement) {
+  FaultInjector injector;
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation,
+                           DemandOptions(&injector)));
+  const Query query = UncleQuery(client);
+  const std::set<std::string> healthy = Answers(ValueOrDie(client.Run(query)));
+
+  // The injector is rescripted but no breaker has moved yet: a cache
+  // hit here would be stale. The caller declares the change.
+  injector.AlwaysFail("S1", FaultKind::kDeadlineExceeded);
+  client.BumpFaultEpoch();
+
+  const size_t misses_before = client.query_cache_stats().misses;
+  const std::set<std::string> after = Answers(ValueOrDie(client.Run(query)));
+  EXPECT_EQ(client.query_cache_stats().misses, misses_before + 1);
+  EXPECT_TRUE(client.degraded().degraded());
+  EXPECT_TRUE(std::includes(healthy.begin(), healthy.end(), after.begin(),
+                            after.end()));
+}
+
+TEST_F(QueryCacheTest, ExplicitInvalidationDropsEntries) {
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, DemandOptions()));
+  const Query query = UncleQuery(client);
+  EXPECT_OK(client.Run(query));
+  client.InvalidateQueryCache();
+  EXPECT_OK(client.Run(query));
+  EXPECT_EQ(client.query_cache_stats().hits, 0u);
+  EXPECT_EQ(client.query_cache_stats().misses, 2u);
+}
+
+// Relevance pruning at the federation level: an agent whose classes the
+// goal cannot reach is never contacted — even when it is scripted to
+// fail every call, it costs no retries, no backoff, no breaker trips,
+// and is reported as pruned rather than skipped.
+TEST_F(QueryCacheTest, PrunedAgentPaysNoFaultToleranceCosts) {
+  AddIslandAgent();
+  FaultInjector injector;
+  injector.AlwaysFail("S3", FaultKind::kUnavailable);
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation,
+                           DemandOptions(&injector)));
+
+  const Query query = UncleQuery(client);
+  const std::set<std::string> answers = Answers(ValueOrDie(client.Run(query)));
+  ASSERT_FALSE(answers.empty());
+
+  // The answer is complete — S3's permanent outage is invisible.
+  const DegradedInfo& degraded = client.degraded();
+  EXPECT_FALSE(degraded.degraded());
+  ASSERT_EQ(degraded.pruned_agents.size(), 1u);
+  EXPECT_EQ(degraded.pruned_agents[0], "S3");
+  EXPECT_NE(degraded.ToString().find("relevance-pruned"), std::string::npos);
+
+  // Pruned means never contacted: zero calls, zero retries, zero trips.
+  for (const AgentHealth& health : client.ConnectionHealth()) {
+    if (health.agent_name != "S3") continue;
+    EXPECT_EQ(health.stats.calls, 0u);
+    EXPECT_EQ(health.stats.retries, 0u);
+    EXPECT_EQ(health.stats.trips, 0u);
+  }
+  // And pruned is disjoint from fault-skipped.
+  for (const DegradedInfo::SkippedAgent& skipped : degraded.skipped) {
+    EXPECT_NE(skipped.schema_name, "S3");
+  }
+}
+
+TEST_F(QueryCacheTest, ExplainOverlaysDemandCountersAndPruning) {
+  AddIslandAgent();
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, DemandOptions()));
+
+  Query query(ValueOrDie(client.GlobalNameOf("S2", "uncle")));
+  query.Where("niece_nephew", Value::String("C0a")).Select("Ussn#", "who");
+
+  // Before the query runs: the plan knows the mode and the statically
+  // pruned agents, but has no measured counters yet.
+  QueryPlan before = ValueOrDie(client.Explain(query));
+  EXPECT_TRUE(before.demand_mode);
+  EXPECT_FALSE(before.counters.present);
+  ASSERT_EQ(before.pruned_agents.size(), 1u);
+  EXPECT_EQ(before.pruned_agents[0], "S3");
+
+  ASSERT_FALSE(ValueOrDie(client.Run(query)).empty());
+  QueryPlan after = ValueOrDie(client.Explain(query));
+  EXPECT_TRUE(after.demand_mode);
+  EXPECT_TRUE(after.magic_applied);
+  EXPECT_FALSE(after.goal_adornment.empty());
+  ASSERT_TRUE(after.counters.present);
+  EXPECT_TRUE(after.counters.from_cache);
+  EXPECT_GT(after.counters.facts_derived, 0u);
+  EXPECT_GT(after.counters.extents_fetched, 0u);
+  const std::string rendered = after.ToString();
+  EXPECT_NE(rendered.find("demand-driven: magic rewrite"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("relevance-pruned agents"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("counters:"), std::string::npos) << rendered;
+}
+
+}  // namespace
+}  // namespace ooint

@@ -55,6 +55,8 @@ const char* OracleFamilyName(OracleFamily family) {
       return "metamorphic";
     case OracleFamily::kPartialAnswers:
       return "partial-answers";
+    case OracleFamily::kDemandQuery:
+      return "demand-query";
   }
   return "?";
 }
@@ -435,6 +437,19 @@ bool IsSubMultiset(const std::multiset<std::string>& inner,
                    const std::multiset<std::string>& outer) {
   return std::includes(outer.begin(), outer.end(), inner.begin(),
                        inner.end());
+}
+
+/// Query rows as comparable keys (every variable, object included).
+std::multiset<std::string> RowKeys(const std::vector<Bindings>& rows) {
+  std::multiset<std::string> keys;
+  for (const Bindings& row : rows) {
+    std::string key;
+    for (const auto& [var, value] : row) {
+      key += var + "=" + value.ToString() + ";";
+    }
+    keys.insert(key);
+  }
+  return keys;
 }
 
 }  // namespace
@@ -854,6 +869,136 @@ Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
         outcome.failures.push_back(
             "partial-answers: no degradation reported but the partial "
             "answers differ from the fault-free answers");
+      }
+    }
+
+    // --- Family 6: demand-driven query agreement ----------------------
+    // Sampled bound goals: the demand-driven (magic-rewritten or
+    // fallback) answer must equal the full fixpoint's answer to the
+    // same pattern. Fault-free the claim is unconditional; under the
+    // case's fault schedule it is conditioned on the demand outcome's
+    // own degradation record, since the sub-evaluation draws its own
+    // faults: equal when the goal is untouched, subset when it is
+    // incomplete, no claim when unsound. Relevance-pruned agents are
+    // never fault-skipped — pruning means never contacted.
+    outcome.ran.insert(OracleFamily::kDemandQuery);
+    std::vector<std::string> goal_pool;
+    for (const auto& [name, keys] : semi_naive) {
+      if (!keys.empty()) goal_pool.push_back(name);
+    }
+    size_t goals_checked = 0;
+    for (std::uint64_t k = 0; k < 8 && goals_checked < 3 && !goal_pool.empty();
+         ++k) {
+      const std::string& goal =
+          goal_pool[Draw(c.seed, 60 + k) % goal_pool.size()];
+      const std::vector<const Fact*> goal_facts = baseline.FactsOf(goal);
+      if (goal_facts.empty()) continue;
+      const Fact* sample =
+          goal_facts[Draw(c.seed, 70 + k) % goal_facts.size()];
+      // Bind on a scalar attribute (a set constant would test value
+      // matching, not demand propagation).
+      std::vector<std::pair<std::string, Value>> scalars;
+      for (const auto& [attr, value] : sample->attrs) {
+        if (value.kind() != ValueKind::kSet) scalars.emplace_back(attr, value);
+      }
+      if (scalars.empty()) continue;
+      const auto& [bind_attr, bind_value] =
+          scalars[Draw(c.seed, 80 + k) % scalars.size()];
+      OTerm pattern;
+      pattern.object = TermArg::Variable("_self");
+      pattern.class_name = goal;
+      pattern.attrs.push_back({bind_attr, false, TermArg::Constant(bind_value)});
+      ++goals_checked;
+
+      const Result<std::vector<Bindings>> expected = baseline.Query(pattern);
+      if (!expected.ok()) {
+        outcome.failures.push_back(
+            StrCat("demand-query: full-fixpoint query on ", goal,
+                   " failed: ", expected.status().ToString()));
+        continue;
+      }
+      const std::multiset<std::string> expected_keys =
+          RowKeys(expected.value());
+
+      const Result<Evaluator::DemandOutcome> demand =
+          baseline.EvaluateDemand(pattern);
+      if (!demand.ok()) {
+        outcome.failures.push_back(
+            StrCat("demand-query: fault-free demand evaluation of ", goal,
+                   " failed: ", demand.status().ToString()));
+        continue;
+      }
+      if (RowKeys(demand.value().rows) != expected_keys) {
+        outcome.failures.push_back(StrCat(
+            "demand-query: goal ", goal, " bound on ", bind_attr, " has ",
+            demand.value().rows.size(), " demand-driven rows vs ",
+            expected.value().size(), " from the full fixpoint ",
+            demand.value().magic_applied
+                ? StrCat("(magic, adornment [",
+                         demand.value().goal_adornment, "])")
+                : StrCat("(fallback: ", demand.value().fallback_reason, ")")));
+      }
+      if (demand.value().degraded.degraded()) {
+        outcome.failures.push_back(
+            StrCat("demand-query: fault-free demand evaluation of ", goal,
+                   " reported degradation: ",
+                   demand.value().degraded.ToString()));
+      }
+
+      if (c.fault_rate > 0.0) {
+        FaultInjector injector(Draw(c.fault_seed, 90 + k), c.fault_rate);
+        FederationOptions options;
+        options.failure_policy = FailurePolicy::kPartial;
+        options.query_mode = QueryMode::kDemandDriven;
+        options.injector = &injector;
+        const Result<FederatedEvaluator> fed =
+            federation.fsm.MakeFederatedEvaluator(federation.global, options);
+        if (!fed.ok()) {
+          outcome.failures.push_back(
+              StrCat("demand-query: demand-mode federated evaluator "
+                     "failed outright: ",
+                     fed.status().ToString()));
+          continue;
+        }
+        const Result<Evaluator::DemandOutcome> faulted =
+            fed.value().evaluator->EvaluateDemand(pattern);
+        if (!faulted.ok()) {
+          outcome.failures.push_back(
+              StrCat("demand-query: faulted demand evaluation of ", goal,
+                     " failed under kPartial: ",
+                     faulted.status().ToString()));
+          continue;
+        }
+        const Evaluator::DemandOutcome& out = faulted.value();
+        for (const std::string& pruned : out.pruned_agents) {
+          if (out.degraded.SkippedAgentNamed(pruned)) {
+            outcome.failures.push_back(StrCat(
+                "demand-query: agent ", pruned,
+                " is reported both relevance-pruned and fault-skipped"));
+          }
+        }
+        const bool unsound =
+            std::find(out.degraded.unsound_concepts.begin(),
+                      out.degraded.unsound_concepts.end(),
+                      goal) != out.degraded.unsound_concepts.end();
+        const bool incomplete =
+            std::find(out.degraded.incomplete_concepts.begin(),
+                      out.degraded.incomplete_concepts.end(),
+                      goal) != out.degraded.incomplete_concepts.end();
+        if (unsound) continue;  // no claim about tainted answers
+        const std::multiset<std::string> faulted_keys = RowKeys(out.rows);
+        if (!incomplete && faulted_keys != expected_keys) {
+          outcome.failures.push_back(StrCat(
+              "demand-query: goal ", goal, " is not marked incomplete "
+              "under the fault schedule but its demand answers diverge "
+              "from the fault-free ones (", faulted_keys.size(), " vs ",
+              expected_keys.size(), ")"));
+        } else if (!IsSubMultiset(faulted_keys, expected_keys)) {
+          outcome.failures.push_back(StrCat(
+              "demand-query: goal ", goal, " has faulted demand answers "
+              "that are not a subset of the fault-free ones (",
+              faulted_keys.size(), " vs ", expected_keys.size(), ")"));
+        }
       }
     }
   }

@@ -15,7 +15,7 @@
 namespace ooint {
 namespace harness {
 
-/// The five oracle families of the randomized conformance harness
+/// The six oracle families of the randomized conformance harness
 /// (DESIGN.md "Randomized conformance harness").
 enum class OracleFamily {
   /// Consistency-checker / integrator agreement on rejection: an
@@ -38,6 +38,15 @@ enum class OracleFamily {
   /// fault-free answers, skipped agents' concepts are marked
   /// incomplete, and strict mode fails iff partial mode degraded.
   kPartialAnswers,
+  /// Demand-driven query agreement: for sampled bound goals, the
+  /// magic-rewritten (or fallback) demand evaluation answers exactly
+  /// like the full fixpoint filtered by the binding — fault-free
+  /// unconditionally, and under the case's fault schedule with the
+  /// claim conditioned on the outcome's own degradation record
+  /// (equal when the goal is unaffected, subset when incomplete, no
+  /// claim when unsound). Relevance-pruned agents must be disjoint
+  /// from fault-skipped ones.
+  kDemandQuery,
 };
 
 const char* OracleFamilyName(OracleFamily family);
