@@ -56,7 +56,7 @@ void BM_BottomUpEvaluation(benchmark::State& state) {
     if (!evaluator.Evaluate().ok()) state.SkipWithError("evaluation failed");
     derived = evaluator.stats().derived_facts;
     benchmark::DoNotOptimize(evaluator.FactsOf("IS(S2.uncle)"));
-    state.counters["iterations"] =
+    state.counters["fixpoint_iterations"] =
         static_cast<double>(evaluator.stats().iterations);
     state.counters["index_probes"] =
         static_cast<double>(evaluator.stats().index_probes);

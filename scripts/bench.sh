@@ -28,12 +28,34 @@ if command -v ninja >/dev/null 2>&1 && [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; t
   CONFIG_ARGS+=(-G Ninja)
 fi
 cmake -B "$BUILD_DIR" -S . "${CONFIG_ARGS[@]}"
+
+# A snapshot is only trustworthy from an optimized library. A reused
+# BUILD_DIR configured with a different build type would silently taint
+# every number (CMake ignores a changed -DCMAKE_BUILD_TYPE on an
+# existing cache), so a mismatched cache fails fast.
+CACHED_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+if [[ -n "$CACHED_TYPE" && "$CACHED_TYPE" != "$BUILD_TYPE" ]]; then
+  echo "error: $BUILD_DIR is configured as $CACHED_TYPE, not $BUILD_TYPE." >&2
+  echo "       Delete $BUILD_DIR or point BUILD_DIR at a $BUILD_TYPE tree." >&2
+  exit 1
+fi
+EXTRA_CONTEXT=()
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "=======================================================================" >&2
+  echo "WARNING: benchmarking a $BUILD_TYPE library." >&2
+  echo "         These numbers are NOT comparable to the committed Release" >&2
+  echo "         snapshots; $OUT will be stamped library_build_type=debug." >&2
+  echo "=======================================================================" >&2
+  EXTRA_CONTEXT+=(--benchmark_context=library_build_type="$(echo "$BUILD_TYPE" | tr '[:upper:]' '[:lower:]')")
+fi
+
 cmake --build "$BUILD_DIR" -j --target "$TARGET"
 
 "$BUILD_DIR/bench/$TARGET" \
   --benchmark_filter="$FILTER" \
   --benchmark_context=git_sha="$GIT_SHA" \
   --benchmark_context=build_type="$BUILD_TYPE" \
+  ${EXTRA_CONTEXT[@]+"${EXTRA_CONTEXT[@]}"} \
   --benchmark_format=json \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json

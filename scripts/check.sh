@@ -1,21 +1,31 @@
 #!/usr/bin/env bash
 # Full verification loop: configure, build, test, run every benchmark.
 #
-# Usage: scripts/check.sh [--asan|--all|--soak [N]]
+# Usage: scripts/check.sh [--asan|--tsan|--all|--soak [N]]
 #   --asan      build into build-asan/ with OOINT_SANITIZE=address,undefined
 #               and run the tests under the sanitizers (benchmarks skipped:
 #               sanitized timings are meaningless).
-#   --all       the plain pass followed by the --asan pass — the CI matrix
-#               in one command.
+#   --tsan      build into build-tsan/ with OOINT_SANITIZE=thread and run
+#               the concurrency-relevant suites (thread pool, parallel
+#               evaluation, federation, fault injection, conformance) with
+#               the parallel runtime forced to 4 workers, then smoke-run
+#               bench_parallel so the overlapped-fetch path executes under
+#               the race detector.
+#   --all       the plain pass, the --asan pass, then the --tsan pass —
+#               the CI matrix in one command.
 #   --soak [N]  build, then run the randomized conformance harness over N
 #               seeds (default 5000) starting from a fresh offset; failing
-#               seeds are shrunk to minimal repros and printed.
+#               seeds are shrunk to minimal repros and printed. Honors
+#               OOINT_SOAK_THREADS: when set (>1), the parallel-vs-serial
+#               oracle pins its worker-pool size to it instead of drawing
+#               from {2, 4, 8} per seed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--all" ]]; then
   "$0"
-  exec "$0" --asan
+  "$0" --asan
+  exec "$0" --tsan
 fi
 
 if [[ "${1:-}" == "--soak" ]]; then
@@ -30,17 +40,34 @@ if [[ "${1:-}" == "--soak" ]]; then
   fi
   cmake -B build -S . "${CONFIG_ARGS[@]}"
   cmake --build build -j --target conformance_soak
-  echo "== conformance soak: $COUNT seeds from $START =="
+  if [[ -n "${OOINT_SOAK_THREADS:-}" ]]; then
+    echo "== conformance soak: $COUNT seeds from $START (parallel oracle pinned to ${OOINT_SOAK_THREADS} threads) =="
+  else
+    echo "== conformance soak: $COUNT seeds from $START =="
+  fi
+  # conformance_soak reads OOINT_SOAK_THREADS itself; exec inherits it.
   exec ./build/tests/harness/conformance_soak "$COUNT" "$START"
 fi
 
 BUILD_DIR=build
 CONFIG_ARGS=()
 RUN_BENCH=1
+TEST_FILTER=""
 if [[ "${1:-}" == "--asan" ]]; then
   BUILD_DIR=build-asan
   CONFIG_ARGS+=(-DOOINT_SANITIZE=address,undefined)
   RUN_BENCH=0
+fi
+if [[ "${1:-}" == "--tsan" ]]; then
+  BUILD_DIR=build-tsan
+  CONFIG_ARGS+=(-DOOINT_SANITIZE=thread)
+  RUN_BENCH=0
+  # The suites that exercise shared state across threads; the rest of
+  # the tree is single-threaded and only slows the (expensive) TSan run.
+  TEST_FILTER="ThreadPool|Parallel|Connection|Breaker|Fault|QueryCache|Demand|Federat|Conformance|Evaluat"
+  # Force the conformance sweep's parallel-vs-serial oracle onto a
+  # fixed 4-worker pool so every seed runs the parallel runtime.
+  export OOINT_SOAK_THREADS=4
 fi
 
 # Prefer Ninja when available; fall back to the default generator. An
@@ -51,7 +78,17 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${CONFIG_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure
+if [[ -n "$TEST_FILTER" ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$TEST_FILTER"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+fi
+if [[ "${1:-}" == "--tsan" ]]; then
+  # One short pass over the thread sweeps: the overlapped fetches, the
+  # parallel rounds and the concurrent serving path all run under the
+  # race detector (timings are meaningless and discarded).
+  "$BUILD_DIR"/bench/bench_parallel --benchmark_min_time=0.01
+fi
 if [[ "$RUN_BENCH" == 1 ]]; then
   # Smoke mode: one short iteration per benchmark proves they still run
   # (including bench_query's demand-driven suite) without turning the

@@ -1,6 +1,8 @@
 #include "federation/agent_connection.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/string_util.h"
 
@@ -49,6 +51,14 @@ AgentConnection::AgentConnection(std::string agent_name,
       injector_(injector),
       jitter_state_(retry.jitter_seed ^ HashName(agent_name_)) {}
 
+void AgentConnection::Wait(double ms) {
+  now_ms_ += ms;
+  if (retry_.real_time_scale > 0 && ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms * retry_.real_time_scale));
+  }
+}
+
 double AgentConnection::NextJitter() {
   const double unit =
       static_cast<double>(SplitMix64(&jitter_state_) >> 11) * 0x1.0p-53;
@@ -63,12 +73,12 @@ Status AgentConnection::Attempt(const std::string& class_name,
   if (fault.kind == FaultKind::kDeadlineExceeded ||
       fault.latency_ms > retry_.per_call_deadline_ms) {
     // The caller waits out the whole per-call deadline before giving up.
-    now_ms_ += retry_.per_call_deadline_ms;
+    Wait(retry_.per_call_deadline_ms);
     return Status::DeadlineExceeded(
         StrCat("agent '", agent_name_, "' exceeded the ",
                retry_.per_call_deadline_ms, "ms per-call deadline"));
   }
-  now_ms_ += fault.latency_ms;
+  Wait(fault.latency_ms);
   if (fault.kind == FaultKind::kUnavailable) {
     return Status::Unavailable(
         StrCat("agent '", agent_name_, "' is unavailable"));
@@ -119,6 +129,7 @@ bool AgentConnection::RecordFailure() {
 
 Result<std::vector<const Object*>> AgentConnection::FetchExtent(
     const std::string& class_name) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.calls;
 
   if (state_ == BreakerState::kOpen) {
@@ -164,7 +175,7 @@ Result<std::vector<const Object*>> AgentConnection::FetchExtent(
                  "ms) exhausted for agent '", agent_name_,
                  "'; last error: ", status.ToString()));
     }
-    now_ms_ += sleep;
+    Wait(sleep);
     backoff *= retry_.backoff_multiplier;
   }
 }

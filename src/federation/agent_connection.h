@@ -2,6 +2,7 @@
 #define OOINT_FEDERATION_AGENT_CONNECTION_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,12 @@ struct RetryPolicy {
   double total_deadline_ms = 500;
   /// Seed of the jitter stream (deterministic per connection).
   std::uint64_t jitter_seed = 0x5deece66dULL;
+  /// Real seconds slept per virtual millisecond waited (latency and
+  /// backoff alike). 0 — the default — keeps every wait instantaneous,
+  /// preserving the deterministic instant-answer behaviour; benchmarks
+  /// set a small scale so overlapped fetching shows real wall-clock
+  /// savings without inflating run times.
+  double real_time_scale = 0;
 };
 
 /// Circuit-breaker thresholds (closed → open → half-open → closed).
@@ -84,7 +91,10 @@ class AgentConnection : public ExtentSource {
   Result<std::vector<const Object*>> FetchExtent(
       const std::string& class_name) override;
 
-  BreakerState breaker_state() const { return state_; }
+  BreakerState breaker_state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
 
   /// Observability counters (monotonic over the connection's life).
   struct Stats {
@@ -102,20 +112,38 @@ class AgentConnection : public ExtentSource {
     /// closed→open (or half-open→open) transitions.
     std::size_t trips = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters; taken under the connection lock so it is
+  /// internally consistent even while other threads call FetchExtent.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   /// The connection's virtual clock (ms since construction).
-  double now_ms() const { return now_ms_; }
+  double now_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_ms_;
+  }
 
   /// Advances the virtual clock — lets tests (and callers modeling idle
   /// time) let an open breaker's cooldown elapse.
-  void AdvanceClock(double ms) { now_ms_ += ms; }
+  void AdvanceClock(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ms_ += ms;
+  }
 
  private:
   /// One attempt against the underlying store, fault schedule applied.
   /// Advances the clock by the attempt's (deadline-clamped) latency.
   Status Attempt(const std::string& class_name,
                  std::vector<const Object*>* out);
+
+  /// Advances the virtual clock by `ms` and, when `real_time_scale` is
+  /// set, sleeps the calling thread for ms × scale real milliseconds.
+  /// Called with mu_ held: calls to one agent are serial by contract,
+  /// so sleeping under the connection's own lock blocks nobody who
+  /// could otherwise make progress against this agent.
+  void Wait(double ms);
 
   void RecordSuccess();
   /// Returns true when the failure tripped (or re-opened) the breaker.
@@ -130,6 +158,11 @@ class AgentConnection : public ExtentSource {
   BreakerPolicy breaker_;
   FaultInjector* injector_;
 
+  /// Guards all mutable state below. FetchExtent holds it end to end, so
+  /// concurrent callers of one connection serialize (the overlapped
+  /// fetcher only parallelizes across *distinct* connections, keeping
+  /// each agent's fault/jitter/breaker evolution identical to serial).
+  mutable std::mutex mu_;
   BreakerState state_ = BreakerState::kClosed;
   int consecutive_failures_ = 0;
   int half_open_successes_ = 0;

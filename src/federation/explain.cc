@@ -31,6 +31,10 @@ std::string QueryPlan::ToString() const {
                : StrCat("  demand-driven: full evaluation fallback (",
                         fallback_reason, ")\n");
   }
+  if (num_threads > 1) {
+    out += StrCat("  parallel: threads=", num_threads,
+                  " fetch_overlap_saved_ms=", fetch_overlap_saved_ms, "\n");
+  }
   if (counters.present) {
     out += StrCat("  counters: derived=", counters.facts_derived,
                   " extents_fetched=", counters.extents_fetched,

@@ -54,6 +54,13 @@ struct QueryPlan {
   };
   Counters counters;
 
+  /// Runtime parallelism annotations (FsmClient::Explain). The overlap
+  /// saving is the summed per-agent fetch time minus the measured batch
+  /// wall time — how much latency concurrent fetching hid; 0 when the
+  /// client runs single-threaded or nothing was fetched overlapped.
+  int num_threads = 1;
+  double fetch_overlap_saved_ms = 0;
+
   /// True when the plan touches a skipped agent — the answer this plan
   /// produces is sound but possibly incomplete.
   bool degraded() const { return !skipped_agents.empty(); }

@@ -79,21 +79,26 @@ FaultInjector::AgentSchedule& FaultInjector::ScheduleFor(
 }
 
 void FaultInjector::Push(const std::string& agent, Fault fault) {
+  std::lock_guard<std::mutex> lock(*mu_);
   ScheduleFor(agent).scripted.push_back(fault);
 }
 
 void FaultInjector::PushN(const std::string& agent, FaultKind kind,
                           int count) {
-  for (int i = 0; i < count; ++i) Push(agent, MakeFault(kind));
+  std::lock_guard<std::mutex> lock(*mu_);
+  AgentSchedule& schedule = ScheduleFor(agent);
+  for (int i = 0; i < count; ++i) schedule.scripted.push_back(MakeFault(kind));
 }
 
 void FaultInjector::AlwaysFail(const std::string& agent, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(*mu_);
   AgentSchedule& schedule = ScheduleFor(agent);
   schedule.always = kind;
   schedule.always_set = true;
 }
 
 Fault FaultInjector::Next(const std::string& agent) {
+  std::lock_guard<std::mutex> lock(*mu_);
   AgentSchedule& schedule = ScheduleFor(agent);
   ++schedule.calls;
   if (!schedule.scripted.empty()) {
@@ -115,6 +120,7 @@ Fault FaultInjector::Next(const std::string& agent) {
 }
 
 std::size_t FaultInjector::calls(const std::string& agent) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   auto it = schedules_.find(agent);
   return it == schedules_.end() ? 0 : it->second.calls;
 }

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 namespace ooint {
@@ -96,6 +98,13 @@ class FaultInjector {
 
   AgentSchedule& ScheduleFor(const std::string& agent);
 
+  /// One injector is shared by every connection of a federation; with
+  /// overlapped fetching those connections draw from distinct threads,
+  /// so the schedule map is locked. Per-agent draw order is still
+  /// serial (the connection lock covers each agent's whole call). Heap
+  /// allocated so the injector stays movable (tests re-seed by
+  /// move-assigning a fresh injector).
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
   std::map<std::string, AgentSchedule> schedules_;
   std::uint64_t seed_ = 0;
   double fault_rate_ = 0;

@@ -382,6 +382,10 @@ Result<FederatedEvaluator> Fsm::MakeFederatedEvaluator(
   FederatedEvaluator fed;
   fed.evaluator = std::make_unique<Evaluator>();
   fed.evaluator->set_failure_policy(options.failure_policy);
+  if (options.num_threads > 1) {
+    fed.evaluator->set_thread_pool(
+        std::make_shared<ThreadPool>(options.num_threads));
+  }
   for (const std::unique_ptr<FsmAgent>& agent : agents_) {
     auto connection = std::make_unique<AgentConnection>(
         agent->schema().name(), &agent->store(), options.retry,
@@ -393,6 +397,24 @@ Result<FederatedEvaluator> Fsm::MakeFederatedEvaluator(
       fed.evaluator.get(), global,
       /*evaluate=*/options.query_mode != QueryMode::kDemandDriven));
   return fed;
+}
+
+std::vector<Fsm::AgentExtentResult> Fsm::FetchExtentsAsync(
+    const std::vector<AgentExtentRequest>& requests, ThreadPool* pool) {
+  std::vector<ExtentRequest> lowered;
+  lowered.reserve(requests.size());
+  for (const AgentExtentRequest& request : requests) {
+    lowered.push_back({request.connection, request.class_name});
+  }
+  const std::vector<ExtentReply> replies =
+      FetchExtentsOverlapped(lowered, pool);
+  std::vector<AgentExtentResult> results(replies.size());
+  for (size_t i = 0; i < replies.size(); ++i) {
+    results[i].status = replies[i].status;
+    results[i].objects = replies[i].objects;
+    results[i].wall_ms = replies[i].wall_ms;
+  }
+  return results;
 }
 
 }  // namespace ooint

@@ -1,5 +1,8 @@
 #include "federation/fsm_client.h"
 
+#include <algorithm>
+#include <mutex>
+
 #include "common/string_util.h"
 
 namespace ooint {
@@ -13,8 +16,11 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
   // Cached outcomes hold pointers into the old evaluator's sources and
   // predate whatever made the caller reconnect: always a new epoch.
   InvalidateQueryCache();
-  ++fault_epoch_;
-  demand_degraded_ = DegradedInfo();
+  fault_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    demand_degraded_ = DegradedInfo();
+  }
   query_mode_ = options.query_mode;
   Result<GlobalSchema> global = fsm_->IntegrateAll(strategy);
   if (!global.ok()) return global.status();
@@ -27,10 +33,12 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
   return Status::OK();
 }
 
-const DegradedInfo& FsmClient::degraded() const {
-  static const DegradedInfo kComplete;
-  if (evaluator_ == nullptr) return kComplete;
-  if (query_mode_ == QueryMode::kDemandDriven) return demand_degraded_;
+DegradedInfo FsmClient::degraded() const {
+  if (evaluator_ == nullptr) return DegradedInfo();
+  if (query_mode_ == QueryMode::kDemandDriven) {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    return demand_degraded_;
+  }
   return evaluator_->degraded();
 }
 
@@ -67,35 +75,49 @@ std::string FsmClient::HealthSignature() const {
 }
 
 void FsmClient::InvalidateQueryCache() const {
-  cache_.clear();
-  ++cache_stats_.invalidations;
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    cache_.clear();
+  }
+  cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FsmClient::BumpFaultEpoch() {
-  ++fault_epoch_;
-  ++cache_stats_.invalidations;
+  fault_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Result<std::shared_ptr<const Evaluator::DemandOutcome>> FsmClient::Demand(
     const OTerm& pattern) const {
   const std::string key = pattern.ToString();
-  auto it = cache_.find(key);
-  if (it != cache_.end() && it->second.epoch == fault_epoch_ &&
-      it->second.health_signature == HealthSignature()) {
-    ++cache_stats_.hits;
-    demand_degraded_ = it->second.outcome->degraded;
-    return it->second.outcome;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.epoch == fault_epoch() &&
+        it->second.health_signature == HealthSignature()) {
+      std::shared_ptr<const Evaluator::DemandOutcome> outcome =
+          it->second.outcome;
+      lock.unlock();
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::shared_mutex> write(cache_mu_);
+      demand_degraded_ = outcome->degraded;
+      return outcome;
+    }
   }
-  ++cache_stats_.misses;
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  // Evaluate outside the lock so concurrent queries for different keys
+  // (and even racing misses on the same key) overlap; the later store
+  // simply wins.
   Result<Evaluator::DemandOutcome> outcome = evaluator_->EvaluateDemand(pattern);
   if (!outcome.ok()) return outcome.status();
   auto shared = std::make_shared<const Evaluator::DemandOutcome>(
       std::move(outcome).value());
-  demand_degraded_ = shared->degraded;
   // The signature is taken *after* evaluation: if this very run tripped
   // a breaker, entries stored under the old signature (including this
   // one's contemporaries) will miss and recompute.
-  cache_[key] = CacheEntry{shared, fault_epoch_, HealthSignature()};
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  demand_degraded_ = shared->degraded;
+  cache_[key] = CacheEntry{shared, fault_epoch(), HealthSignature()};
   return shared;
 }
 
@@ -132,13 +154,22 @@ Result<QueryPlan> FsmClient::Explain(const Query& query) const {
   if (evaluator_ == nullptr) {
     return Status::FailedPrecondition("call Connect() before Explain()");
   }
-  const DegradedInfo& info = degraded();
+  const DegradedInfo info = degraded();
   OOINT_ASSIGN_OR_RETURN(
       QueryPlan plan,
       ExplainQuery(global_, query.pattern().class_name, &info));
   plan.demand_mode = query_mode_ == QueryMode::kDemandDriven;
-  if (!plan.demand_mode) return plan;
+  plan.num_threads = num_threads();
+  if (!plan.demand_mode) {
+    // Materialized connections fetched at Connect(); the evaluator's
+    // counters say how much latency the overlapped batch hid.
+    const Evaluator::Stats& stats = evaluator_->stats();
+    plan.fetch_overlap_saved_ms =
+        std::max(0.0, stats.fetch_ms_sum - stats.fetch_wall_ms);
+    return plan;
+  }
 
+  std::shared_lock<std::shared_mutex> lock(cache_mu_);
   auto it = cache_.find(query.pattern().ToString());
   if (it != cache_.end()) {
     const Evaluator::DemandOutcome& outcome = *it->second.outcome;
@@ -149,12 +180,14 @@ Result<QueryPlan> FsmClient::Explain(const Query& query) const {
     // descriptors can force a fallback to fetching everything).
     plan.pruned_agents = outcome.pruned_agents;
     plan.counters.present = true;
-    plan.counters.from_cache = it->second.epoch == fault_epoch_ &&
+    plan.counters.from_cache = it->second.epoch == fault_epoch() &&
                                it->second.health_signature == HealthSignature();
     plan.counters.facts_derived = outcome.stats.derived_facts;
     plan.counters.extents_fetched = outcome.stats.extents_fetched;
     plan.counters.join_probes = outcome.stats.index_probes;
-    plan.counters.cache_hits = cache_stats_.hits;
+    plan.counters.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    plan.fetch_overlap_saved_ms = std::max(
+        0.0, outcome.stats.fetch_ms_sum - outcome.stats.fetch_wall_ms);
   }
   return plan;
 }

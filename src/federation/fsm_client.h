@@ -1,9 +1,11 @@
 #ifndef OOINT_FEDERATION_FSM_CLIENT_H_
 #define OOINT_FEDERATION_FSM_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -85,8 +87,10 @@ class FsmClient {
 
   /// The degradation record of the last successful Connect(): which
   /// agents were skipped and which global concepts are incomplete.
-  /// Empty when fully connected (or not connected at all).
-  const DegradedInfo& degraded() const;
+  /// Empty when fully connected (or not connected at all). Returned by
+  /// value: in demand mode the record tracks the last served query and
+  /// may be rewritten by concurrent queries.
+  DegradedInfo degraded() const;
 
   /// Per-agent connection health (retry/trip/failure counters and
   /// breaker states), in agent registration order.
@@ -118,7 +122,15 @@ class FsmClient {
     size_t misses = 0;
     size_t invalidations = 0;
   };
-  const QueryCacheStats& query_cache_stats() const { return cache_stats_; }
+  /// Snapshot of the cache counters (atomics internally, so concurrent
+  /// queries tick them without the cache lock).
+  QueryCacheStats query_cache_stats() const {
+    QueryCacheStats stats;
+    stats.hits = cache_hits_.load(std::memory_order_relaxed);
+    stats.misses = cache_misses_.load(std::memory_order_relaxed);
+    stats.invalidations = cache_invalidations_.load(std::memory_order_relaxed);
+    return stats;
+  }
 
   /// Drops every cached query outcome (counts one invalidation).
   void InvalidateQueryCache() const;
@@ -127,7 +139,15 @@ class FsmClient {
   /// new fault schedule was scripted into the injector): every cached
   /// outcome predates the change and will be recomputed.
   void BumpFaultEpoch();
-  std::uint64_t fault_epoch() const { return fault_epoch_; }
+  std::uint64_t fault_epoch() const {
+    return fault_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Worker threads of the connection's federation runtime (1 when the
+  /// client was connected without a pool).
+  int num_threads() const {
+    return evaluator_ == nullptr ? 1 : evaluator_->thread_count();
+  }
 
  private:
   /// One memoized demand evaluation. The outcome is shared so Extent()
@@ -151,9 +171,18 @@ class FsmClient {
   /// Owned by evaluator_; kept for health reporting.
   std::vector<AgentConnection*> connections_;
   QueryMode query_mode_ = QueryMode::kMaterialized;
-  std::uint64_t fault_epoch_ = 0;
+  std::atomic<std::uint64_t> fault_epoch_{0};
+  /// Reader/writer lock over cache_ and demand_degraded_: concurrent
+  /// queries share the lock for lookups and take it exclusively only to
+  /// store a freshly computed outcome. Demand evaluation itself runs
+  /// outside the lock (two racing misses on one key both evaluate; the
+  /// later store wins — identical outcomes in a fault-free federation).
+  /// Connect/BumpFaultEpoch/InvalidateQueryCache are writer operations.
+  mutable std::shared_mutex cache_mu_;
   mutable std::map<std::string, CacheEntry> cache_;
-  mutable QueryCacheStats cache_stats_;
+  mutable std::atomic<size_t> cache_hits_{0};
+  mutable std::atomic<size_t> cache_misses_{0};
+  mutable std::atomic<size_t> cache_invalidations_{0};
   /// Degradation of the most recently served demand query.
   mutable DegradedInfo demand_degraded_;
 };

@@ -58,6 +58,47 @@ class DirectStoreSource : public ExtentSource {
 
 }  // namespace
 
+std::vector<ExtentReply> FetchExtentsOverlapped(
+    const std::vector<ExtentRequest>& requests, ThreadPool* pool) {
+  std::vector<ExtentReply> replies(requests.size());
+  auto fetch_one = [&requests, &replies](size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<std::vector<const Object*>> extent =
+        requests[i].source->FetchExtent(requests[i].class_name);
+    replies[i].wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (extent.ok()) {
+      replies[i].objects = std::move(extent).value();
+    } else {
+      replies[i].status = extent.status();
+    }
+  };
+  if (pool == nullptr || pool->size() < 2 || requests.size() < 2) {
+    for (size_t i = 0; i < requests.size(); ++i) fetch_one(i);
+    return replies;
+  }
+  // One task per distinct source, in first-appearance order; requests
+  // of one source stay serial and ordered within their task (see the
+  // header's determinism contract).
+  std::vector<std::vector<size_t>> groups;
+  std::map<const ExtentSource*, size_t> group_of;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto [it, inserted] = group_of.emplace(requests[i].source, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(groups.size());
+  for (const std::vector<size_t>& group : groups) {
+    tasks.emplace_back([&fetch_one, group] {
+      for (size_t i : group) fetch_one(i);
+    });
+  }
+  pool->RunAll(std::move(tasks));
+  return replies;
+}
+
 bool DegradedInfo::SkippedAgentNamed(const std::string& schema_name) const {
   for (const SkippedAgent& agent : skipped) {
     if (agent.schema_name == schema_name) return true;
@@ -178,6 +219,50 @@ Status Evaluator::LoadBaseFacts() {
   std::map<std::string, bool> direct;
   for (const Fact& seed : seed_facts_) {
     if (InsertFact(seed)) ++stats_.base_facts;
+  }
+  const bool overlap =
+      pool_ != nullptr && pool_->size() > 1 && bindings_decl_.size() > 1;
+  if (overlap) {
+    // Concurrent fetch: all bindings issued at once, grouped per source
+    // (so each source's retry/backoff/fault stream stays serial and
+    // ordered), then merged in declaration order — the store receives
+    // base facts in exactly the serial order.
+    std::vector<ExtentRequest> requests;
+    requests.reserve(bindings_decl_.size());
+    for (const ConceptBinding& binding : bindings_decl_) {
+      requests.push_back(
+          {sources_[binding.source_index].source, binding.class_name});
+    }
+    const auto batch_start = std::chrono::steady_clock::now();
+    std::vector<ExtentReply> replies =
+        FetchExtentsOverlapped(requests, pool_.get());
+    stats_.fetch_wall_ms += std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - batch_start)
+                                .count();
+    for (size_t i = 0; i < replies.size(); ++i) {
+      const ConceptBinding& binding = bindings_decl_[i];
+      const Source& source = sources_[binding.source_index];
+      ++stats_.extents_fetched;
+      stats_.fetch_ms_sum += replies[i].wall_ms;
+      if (!replies[i].status.ok()) {
+        if (failure_policy_ == FailurePolicy::kStrict) {
+          return replies[i].status;
+        }
+        if (!degraded_.SkippedAgentNamed(source.schema_name)) {
+          degraded_.skipped.push_back({source.schema_name, replies[i].status});
+        }
+        direct.emplace(binding.concept_name, false);
+        continue;
+      }
+      for (const Object* object : replies[i].objects) {
+        if (object == nullptr) continue;
+        if (InsertFact(Fact::FromObject(binding.concept_name, *object))) {
+          ++stats_.base_facts;
+        }
+      }
+    }
+    if (!direct.empty()) PropagateIncompleteness(direct);
+    return Status::OK();
   }
   for (const ConceptBinding& binding : bindings_decl_) {
     const Source& source = sources_[binding.source_index];
@@ -350,6 +435,15 @@ Status Evaluator::Evaluate() {
       // [prev[c], cur[c]) over c's extent ordinals; the first round of a
       // stratum seeds the delta with every fact visible so far (base
       // facts plus lower strata) and evaluates rules unrestricted.
+      //
+      // With a multi-thread pool each round splits into a parallel
+      // *solve* phase (tasks join against the frozen round-start store,
+      // ticking task-local counters) and a serial *merge* phase that
+      // inserts every task's solutions in deterministic task order. A
+      // fact the serial engine derives mid-round becomes visible one
+      // round later here; the fixpoint closes over the same monotone
+      // operator either way, so the final fact sets are identical.
+      const bool parallel = pool_ != nullptr && pool_->size() > 1;
       std::vector<std::uint32_t> prev;
       bool first = true;
       while (true) {
@@ -365,6 +459,81 @@ Status Evaluator::Evaluate() {
         stats_.delta_sizes.push_back(delta_total);
         if (!first && delta_total == 0) break;
         ++stats_.iterations;
+
+        if (parallel) {
+          // Build the round's task list: one task per delta window
+          // chunk. Chunking only depends on the round-start counts and
+          // the pool size, so the task list (and the merge order) is
+          // deterministic for a given num_threads.
+          struct RoundTask {
+            const RulePlan* plan = nullptr;
+            JoinContext ctx;
+            std::vector<Solution> solutions;
+            Stats local;
+            Status status;
+          };
+          std::vector<RoundTask> round;
+          const std::uint32_t kMinChunk = 16;
+          const std::uint32_t target_tasks =
+              static_cast<std::uint32_t>(2 * pool_->size());
+          auto chunked = [&](const RulePlan& plan, size_t literal,
+                             std::uint32_t begin, std::uint32_t end) {
+            const std::uint32_t len = end - begin;
+            std::uint32_t chunk = (len + target_tasks - 1) / target_tasks;
+            if (chunk < kMinChunk) chunk = kMinChunk;
+            for (std::uint32_t at = begin; at < end; at += chunk) {
+              RoundTask task;
+              task.plan = &plan;
+              task.ctx.rule = plan.rule;
+              task.ctx.delta_literal = static_cast<int>(literal);
+              task.ctx.delta_begin = at;
+              task.ctx.delta_end = std::min(end, at + chunk);
+              round.push_back(std::move(task));
+            }
+          };
+          for (const RulePlan& plan : active) {
+            if (first) {
+              if (plan.positive.empty()) {
+                RoundTask task;
+                task.plan = &plan;
+                task.ctx.rule = plan.rule;
+                round.push_back(std::move(task));
+                continue;
+              }
+              // The first round is unrestricted; chunk over the first
+              // positive literal's whole extent instead of a delta. An
+              // empty extent means the rule cannot fire at all.
+              const auto& [index, concept_id] = plan.positive.front();
+              chunked(plan, index, 0, cur[concept_id]);
+              continue;
+            }
+            for (const auto& [index, concept_id] : plan.positive) {
+              if (prev[concept_id] >= cur[concept_id]) continue;
+              chunked(plan, index, prev[concept_id], cur[concept_id]);
+            }
+          }
+          std::vector<std::function<void()>> tasks;
+          tasks.reserve(round.size());
+          for (RoundTask& task : round) {
+            task.ctx.stats = &task.local;
+            tasks.emplace_back([this, &matcher, &task] {
+              task.status = SolveRule(matcher, task.ctx, &task.solutions);
+            });
+          }
+          pool_->RunAll(std::move(tasks));
+          for (RoundTask& task : round) {
+            OOINT_RETURN_IF_ERROR(task.status);
+            ++stats_.rule_applications;
+            stats_.index_probes += task.local.index_probes;
+            stats_.index_scans += task.local.index_scans;
+            size_t inserted = 0;
+            OOINT_RETURN_IF_ERROR(InsertSolutions(*task.plan->rule, matcher,
+                                                  task.solutions, &inserted));
+          }
+          prev = std::move(cur);
+          first = false;
+          continue;
+        }
 
         for (const RulePlan& plan : active) {
           if (first) {
@@ -421,6 +590,9 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
   const std::string& name = literal.kind == Literal::Kind::kOTerm
                                 ? literal.oterm.class_name
                                 : literal.pred_name;
+  // Counter sink: task-local under parallel solve / concurrent Query,
+  // the evaluator's own (mutable) stats otherwise.
+  Stats& counters = ctx.stats != nullptr ? *ctx.stats : stats_;
   *concept_id = store_.FindConcept(name);
   if (*concept_id == kNoConcept) return;
   std::uint32_t begin = 0;
@@ -464,7 +636,7 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
         candidates->erase(candidates->begin(),
                           std::lower_bound(candidates->begin(),
                                            candidates->end(), begin));
-        ++stats_.index_probes;
+        ++counters.index_probes;
         return;
       }
       for (const AttrDescriptor& d : literal.oterm.attrs) {
@@ -491,13 +663,13 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
   }
 
   if (best != nullptr) {
-    ++stats_.index_probes;
+    ++counters.index_probes;
     auto from = std::lower_bound(best->begin(), best->end(), begin);
     auto to = std::lower_bound(best->begin(), best->end(), end);
     candidates->assign(from, to);
     return;
   }
-  ++stats_.index_scans;
+  ++counters.index_scans;
   candidates->resize(end - begin);
   std::iota(candidates->begin(), candidates->end(), begin);
 }
@@ -710,14 +882,24 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
 Status Evaluator::ApplyRule(const FactMatcher& matcher, const JoinContext& ctx,
                             size_t* inserted) {
   ++stats_.rule_applications;
-  const Rule& rule = *ctx.rule;
   std::vector<Solution> solutions;
+  OOINT_RETURN_IF_ERROR(SolveRule(matcher, ctx, &solutions));
+  return InsertSolutions(*ctx.rule, matcher, solutions, inserted);
+}
+
+Status Evaluator::SolveRule(const FactMatcher& matcher, const JoinContext& ctx,
+                            std::vector<Solution>* solutions) const {
+  const Rule& rule = *ctx.rule;
   Solution init;
   init.matched.assign(rule.body.size(), nullptr);
   std::vector<char> done(rule.body.size(), 0);
-  OOINT_RETURN_IF_ERROR(SolveBody(matcher, ctx, &done, rule.body.size(),
-                                  std::move(init), &solutions));
+  return SolveBody(matcher, ctx, &done, rule.body.size(), std::move(init),
+                   solutions);
+}
 
+Status Evaluator::InsertSolutions(const Rule& rule, const FactMatcher& matcher,
+                                  const std::vector<Solution>& solutions,
+                                  size_t* inserted) {
   const Literal& head = rule.head.front();
   for (const Solution& solution : solutions) {
     Fact fact;
@@ -855,11 +1037,20 @@ Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
   }
   const FactMatcher matcher = MakeMatcher();
   // Constant descriptors in the pattern probe the value index directly.
+  // Counters tick into a local Stats merged under a lock, so concurrent
+  // queries on one evaluated federation never race on stats_.
   const Literal literal = Literal::OfOTerm(pattern);
+  Stats local;
   JoinContext ctx;
+  ctx.stats = &local;
   ConceptId concept_id = kNoConcept;
   std::vector<std::uint32_t> candidates;
   CollectCandidates(ctx, 0, literal, Bindings(), &candidates, &concept_id);
+  {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    stats_.index_probes += local.index_probes;
+    stats_.index_scans += local.index_scans;
+  }
   std::vector<Bindings> out;
   for (std::uint32_t ordinal : candidates) {
     matcher.MatchOTerm(pattern, *store_.FactAt(concept_id, ordinal), Bindings(),
@@ -891,6 +1082,7 @@ Result<Evaluator::DemandOutcome> Evaluator::EvaluateDemand(
   sub->strategy_ = strategy_;
   sub->failure_policy_ = failure_policy_;
   sub->mappings_ = mappings_;
+  sub->pool_ = pool_;  // demand fixpoints parallelize like the parent
   for (const Source& source : sources_) {
     sub->AddBorrowedSource(source.schema_name, source.source);
   }

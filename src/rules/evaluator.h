@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "datamap/data_mapping.h"
 #include "model/instance_store.h"
 #include "rules/fact.h"
@@ -44,6 +46,33 @@ class ExtentSource {
   virtual Result<std::vector<const Object*>> FetchExtent(
       const std::string& class_name) = 0;
 };
+
+/// One extent read of a concurrent batch (see FetchExtentsOverlapped).
+struct ExtentRequest {
+  ExtentSource* source = nullptr;
+  std::string class_name;
+};
+
+/// The answer to one ExtentRequest. Not a Result<> so a whole batch can
+/// be preallocated; `status` is OK iff `objects` is meaningful.
+struct ExtentReply {
+  Status status;
+  std::vector<const Object*> objects;
+  /// Real wall-clock milliseconds the fetch took (retries, backoff and
+  /// scaled sleeps included) — the per-agent cost Explain aggregates
+  /// into overlap savings.
+  double wall_ms = 0;
+};
+
+/// Issues the batch concurrently on `pool` (serially when `pool` is
+/// null or single-threaded) and returns replies in request order.
+/// Requests against the *same* source are grouped into one task and run
+/// serially in request order — a source's fault schedule, retry stream
+/// and breaker state then evolve exactly as under a serial fetch, which
+/// is what keeps parallel federations bit-identical to serial ones;
+/// only distinct sources overlap.
+std::vector<ExtentReply> FetchExtentsOverlapped(
+    const std::vector<ExtentRequest>& requests, ThreadPool* pool);
 
 /// What Evaluate() does when an extent read fails.
 enum class FailurePolicy {
@@ -153,6 +182,21 @@ class Evaluator {
   void set_strategy(EvalStrategy strategy) { strategy_ = strategy; }
   EvalStrategy strategy() const { return strategy_; }
 
+  /// Shares a worker pool with the evaluator. With a pool of two or
+  /// more threads, Evaluate() overlaps extent fetches across distinct
+  /// sources and runs each semi-naive round's rule applications in
+  /// parallel (solve phases read a frozen store snapshot; all insertion
+  /// happens in a serial, deterministically ordered merge — see
+  /// DESIGN.md "Parallel execution model"). Derived fact sets are
+  /// identical to the serial engine's. A null or single-thread pool is
+  /// today's serial behaviour; the kNaive oracle always runs serially.
+  /// EvaluateDemand's sub-evaluators inherit the pool.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) {
+    pool_ = std::move(pool);
+  }
+  const std::shared_ptr<ThreadPool>& thread_pool() const { return pool_; }
+  int thread_count() const { return pool_ == nullptr ? 1 : pool_->size(); }
+
   /// Strict (default) fails fast on the first unreachable source;
   /// partial evaluates what it can and records the rest in degraded().
   void set_failure_policy(FailurePolicy policy) { failure_policy_ = policy; }
@@ -192,6 +236,11 @@ class Evaluator {
     /// Extent reads actually issued against sources (one per bound
     /// concept that was not relevance-pruned).
     size_t extents_fetched = 0;
+    /// Overlapped-fetch accounting (zero on the serial path): the sum
+    /// of per-request wall times vs. the wall time of the whole batch.
+    /// Their difference is the latency the overlap hid.
+    double fetch_ms_sum = 0;
+    double fetch_wall_ms = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -272,6 +321,11 @@ class Evaluator {
     std::uint32_t delta_end = 0;
     bool reorder = true;
     bool use_index = true;
+    /// Where probe/scan counters tick. Null means the evaluator's own
+    /// stats_; parallel solve tasks and concurrent queries point this
+    /// at a task-local Stats merged after the barrier, so const join
+    /// code never writes shared state from worker threads.
+    Stats* stats = nullptr;
   };
 
   /// The shared unification machinery, wired to this evaluator's fact
@@ -282,9 +336,24 @@ class Evaluator {
   const Fact* InsertFact(Fact fact);
 
   /// Evaluates one rule under `ctx` and inserts the derived facts;
-  /// `inserted` reports how many were new.
+  /// `inserted` reports how many were new. SolveRule + InsertSolutions.
   Status ApplyRule(const FactMatcher& matcher, const JoinContext& ctx,
                    size_t* inserted);
+
+  /// The read-only half of ApplyRule: solves the body against the
+  /// current store without inserting anything. Safe to run from several
+  /// threads at once provided the store is not mutated concurrently
+  /// (ctx.stats must then point at a task-local Stats).
+  Status SolveRule(const FactMatcher& matcher, const JoinContext& ctx,
+                   std::vector<Solution>* solutions) const;
+
+  /// The write half: instantiates `rule`'s head for every solution and
+  /// inserts the new facts (skolem de-duplication included). Serial
+  /// only — the parallel fixpoint calls this in the barrier's merge
+  /// phase, in deterministic task order.
+  Status InsertSolutions(const Rule& rule, const FactMatcher& matcher,
+                         const std::vector<Solution>& solutions,
+                         size_t* inserted);
 
   /// Solves the remaining body literals (done[i] marks consumed ones),
   /// choosing the next literal bound-first (see DESIGN.md).
@@ -321,6 +390,14 @@ class Evaluator {
   /// values; see ApplyRule).
   std::unordered_map<std::uint64_t, std::vector<const Fact*>> skolem_seen_;
   mutable Stats stats_;  // probe/scan counters tick inside const joins
+  /// Guards stats_ merges from concurrent const Query() calls. Heap
+  /// allocated so the evaluator stays movable (tests and factories
+  /// return evaluators by value).
+  mutable std::unique_ptr<std::mutex> stats_mu_ =
+      std::make_unique<std::mutex>();
+  /// Optional worker pool (see set_thread_pool); shared with demand
+  /// sub-evaluators.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace ooint

@@ -1,6 +1,7 @@
 #include "harness/conformance.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
@@ -57,6 +58,8 @@ const char* OracleFamilyName(OracleFamily family) {
       return "partial-answers";
     case OracleFamily::kDemandQuery:
       return "demand-query";
+    case OracleFamily::kParallelSerial:
+      return "parallel-vs-serial";
   }
   return "?";
 }
@@ -1000,6 +1003,124 @@ Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
               faulted_keys.size(), " vs ", expected_keys.size(), ")"));
         }
       }
+    }
+
+    // --- Family 7: parallel-vs-serial runtime equality ----------------
+    // num_threads may change wall-clock behaviour only. One seed-drawn
+    // pool size in {2, 4, 8} (or OOINT_SOAK_THREADS) re-runs the
+    // materialized fixpoint, the partial-mode run and one demand-driven
+    // goal: fact multisets, degradation records and answers must be
+    // exactly what the serial runs above produced.
+    outcome.ran.insert(OracleFamily::kParallelSerial);
+    int threads = 2 << (Draw(c.seed, 100) % 3);
+    if (const char* env = std::getenv("OOINT_SOAK_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 1) threads = parsed;
+    }
+    FederationOptions fault_free_options;
+    fault_free_options.num_threads = threads;
+    const Result<FederatedEvaluator> par = federation.fsm.MakeFederatedEvaluator(
+        federation.global, fault_free_options);
+    if (!par.ok()) {
+      outcome.failures.push_back(StrCat(
+          "parallel-vs-serial: fault-free parallel evaluation with ",
+          threads, " threads failed: ", par.status().ToString()));
+    } else if (Snapshot(*par.value().evaluator, federation.global) !=
+               semi_naive) {
+      outcome.failures.push_back(StrCat(
+          "parallel-vs-serial: the ", threads, "-thread fact multisets "
+          "differ from the serial fixpoint"));
+    }
+
+    FaultInjector par_injector(c.fault_seed, c.fault_rate);
+    FederationOptions par_partial_options;
+    par_partial_options.failure_policy = FailurePolicy::kPartial;
+    par_partial_options.injector = &par_injector;
+    par_partial_options.num_threads = threads;
+    const Result<FederatedEvaluator> par_partial =
+        federation.fsm.MakeFederatedEvaluator(federation.global,
+                                              par_partial_options);
+    if (!par_partial.ok()) {
+      outcome.failures.push_back(StrCat(
+          "parallel-vs-serial: partial-mode parallel evaluation with ",
+          threads, " threads failed: ", par_partial.status().ToString()));
+    } else {
+      const DegradedInfo& par_degraded =
+          par_partial.value().evaluator->degraded();
+      bool skips_match =
+          par_degraded.skipped.size() == degraded.skipped.size();
+      for (size_t i = 0; skips_match && i < degraded.skipped.size(); ++i) {
+        skips_match = par_degraded.skipped[i].schema_name ==
+                          degraded.skipped[i].schema_name &&
+                      par_degraded.skipped[i].status.code() ==
+                          degraded.skipped[i].status.code();
+      }
+      if (!skips_match ||
+          par_degraded.incomplete_concepts != degraded.incomplete_concepts ||
+          par_degraded.unsound_concepts != degraded.unsound_concepts) {
+        outcome.failures.push_back(StrCat(
+            "parallel-vs-serial: the ", threads, "-thread partial run "
+            "degraded differently from the serial one — the identical "
+            "fault schedule must be consumed in the identical order"));
+      }
+      if (Snapshot(*par_partial.value().evaluator, federation.global) !=
+          partial_facts) {
+        outcome.failures.push_back(StrCat(
+            "parallel-vs-serial: the ", threads, "-thread partial-answer "
+            "multisets differ from the serial partial run"));
+      }
+    }
+
+    for (std::uint64_t k = 0; k < 4 && !goal_pool.empty(); ++k) {
+      const std::string& goal =
+          goal_pool[Draw(c.seed, 110 + k) % goal_pool.size()];
+      const std::vector<const Fact*> goal_facts = baseline.FactsOf(goal);
+      if (goal_facts.empty()) continue;
+      const Fact* sample =
+          goal_facts[Draw(c.seed, 120 + k) % goal_facts.size()];
+      std::vector<std::pair<std::string, Value>> scalars;
+      for (const auto& [attr, value] : sample->attrs) {
+        if (value.kind() != ValueKind::kSet) scalars.emplace_back(attr, value);
+      }
+      if (scalars.empty()) continue;
+      const auto& [bind_attr, bind_value] =
+          scalars[Draw(c.seed, 130 + k) % scalars.size()];
+      OTerm pattern;
+      pattern.object = TermArg::Variable("_self");
+      pattern.class_name = goal;
+      pattern.attrs.push_back(
+          {bind_attr, false, TermArg::Constant(bind_value)});
+      const Result<std::vector<Bindings>> expected = baseline.Query(pattern);
+      if (!expected.ok()) continue;  // family 6 already reports this
+
+      FederationOptions demand_options;
+      demand_options.query_mode = QueryMode::kDemandDriven;
+      demand_options.num_threads = threads;
+      const Result<FederatedEvaluator> demand_fed =
+          federation.fsm.MakeFederatedEvaluator(federation.global,
+                                                demand_options);
+      if (!demand_fed.ok()) {
+        outcome.failures.push_back(StrCat(
+            "parallel-vs-serial: the demand-mode parallel evaluator "
+            "failed outright: ",
+            demand_fed.status().ToString()));
+        break;
+      }
+      const Result<Evaluator::DemandOutcome> par_demand =
+          demand_fed.value().evaluator->EvaluateDemand(pattern);
+      if (!par_demand.ok()) {
+        outcome.failures.push_back(StrCat(
+            "parallel-vs-serial: ", threads, "-thread demand evaluation "
+            "of ", goal, " failed: ", par_demand.status().ToString()));
+      } else if (RowKeys(par_demand.value().rows) !=
+                 RowKeys(expected.value())) {
+        outcome.failures.push_back(StrCat(
+            "parallel-vs-serial: goal ", goal, " bound on ", bind_attr,
+            " has ", par_demand.value().rows.size(), " rows under ",
+            threads, "-thread demand evaluation vs ",
+            expected.value().size(), " from the serial full fixpoint"));
+      }
+      break;  // one demand goal per case keeps the sweep fast
     }
   }
 

@@ -15,7 +15,7 @@
 namespace ooint {
 namespace harness {
 
-/// The six oracle families of the randomized conformance harness
+/// The seven oracle families of the randomized conformance harness
 /// (DESIGN.md "Randomized conformance harness").
 enum class OracleFamily {
   /// Consistency-checker / integrator agreement on rejection: an
@@ -47,6 +47,14 @@ enum class OracleFamily {
   /// claim when unsound). Relevance-pruned agents must be disjoint
   /// from fault-skipped ones.
   kDemandQuery,
+  /// Parallel-runtime transparency: with a seed-drawn num_threads in
+  /// {2, 4, 8} (overridable via OOINT_SOAK_THREADS), the parallel
+  /// federation derives exactly the serial fact multisets — fault-free,
+  /// and under the case's fault schedule with an identical DegradedInfo
+  /// record (same skipped agents in the same order, same statuses, same
+  /// incomplete concepts). Parallel demand evaluation must answer bound
+  /// goals exactly like the serial full fixpoint.
+  kParallelSerial,
 };
 
 const char* OracleFamilyName(OracleFamily family);

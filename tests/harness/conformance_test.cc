@@ -43,7 +43,7 @@ TEST(MakeCaseTest, RespectsClassBound) {
 
 // The harness's main tier-1 sweep: 200 seeded random cases, every
 // applicable oracle family checked on each, zero conformance failures,
-// and — cumulatively — all six families exercised.
+// and — cumulatively — all seven families exercised.
 TEST(ConformanceSweepTest, TwoHundredSeedsPassEveryOracle) {
   const CaseOptions options;
   std::set<OracleFamily> covered;
@@ -60,6 +60,7 @@ TEST(ConformanceSweepTest, TwoHundredSeedsPassEveryOracle) {
   EXPECT_TRUE(covered.count(OracleFamily::kMetamorphic));
   EXPECT_TRUE(covered.count(OracleFamily::kPartialAnswers));
   EXPECT_TRUE(covered.count(OracleFamily::kDemandQuery));
+  EXPECT_TRUE(covered.count(OracleFamily::kParallelSerial));
 }
 
 TEST(ConformanceSweepTest, ConsistencyOracleAlwaysRuns) {

@@ -59,6 +59,7 @@ TEST(SeedCorpusTest, EveryCorpusSeedPasses) {
   EXPECT_TRUE(covered.count(OracleFamily::kEvaluatorAgreement));
   EXPECT_TRUE(covered.count(OracleFamily::kMetamorphic));
   EXPECT_TRUE(covered.count(OracleFamily::kPartialAnswers));
+  EXPECT_TRUE(covered.count(OracleFamily::kParallelSerial));
 }
 
 }  // namespace
