@@ -1,0 +1,265 @@
+// Experiment E14: columnar FactStore memory and throughput.
+//
+// A synthetic federation extent (reused string vocabulary, integers,
+// reals, dates, OIDs, occasional set attributes — the attribute mix of
+// a populated IS(S.class) concept) is inserted into the columnar
+// FactStore and into the pre-columnar ReferenceFactStore at
+// n ∈ {10^4, 10^5, 10^6}. Reported per store: insert throughput
+// (facts/s), packed-scan throughput (postings/s drained from the
+// (concept, attribute, value) index), and bytes/fact; the
+// BM_MemoryReduction suite reports the columnar-vs-reference ratio
+// (target: >= 5x at n = 10^6).
+//
+// `bench_storage --budget_check` skips the benchmarks and instead
+// fails (exit 1) when the columnar store's measured bytes/fact at
+// n = 10^5 exceeds the checked-in budget by more than 15% — the
+// regression guard scripts/check.sh runs in its bench-smoke step.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "rules/fact_store.h"
+#include "rules/ref_fact_store.h"
+
+namespace ooint {
+namespace {
+
+/// Checked-in bytes/fact budget for the columnar store on the E14
+/// workload at n = 10^5 (see EXPERIMENTS.md E14). --budget_check fails
+/// when the measured value exceeds this by >15%.
+constexpr double kBytesPerFactBudget = 260.0;
+
+constexpr const char* kConcepts[] = {
+    "IS(S1.person)", "IS(S1.employee)", "IS(S2.patient)", "IS_AB(staff)"};
+constexpr const char* kRelations[] = {"person", "employee", "patient",
+                                      "staff"};
+
+/// Reused vocabularies: long enough to defeat SSO (so the reference
+/// store pays a heap allocation per occurrence) and small enough that
+/// dictionary encoding pays off — the shape symbol interning targets.
+std::vector<std::string> MakeVocabulary(const char* prefix, size_t n) {
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(StrCat(prefix, "-vocabulary-entry-", i));
+  }
+  return v;
+}
+
+struct Workload {
+  std::vector<std::string> names = MakeVocabulary("name", 1000);
+  std::vector<std::string> departments = MakeVocabulary("department", 40);
+  std::vector<std::string> tags = MakeVocabulary("tag", 12);
+
+  Fact MakeFact(std::uint64_t i) const {
+    Fact fact;
+    fact.concept_name = kConcepts[i % 4];
+    fact.oid = Oid("FSM-agent1", "ontos", "FederatedDB", kRelations[i % 4], i);
+    fact.attrs["name"] = Value::String(names[i % names.size()]);
+    fact.attrs["department"] =
+        Value::String(departments[(i / 7) % departments.size()]);
+    fact.attrs["age"] = Value::Integer(20 + static_cast<std::int64_t>(i % 60));
+    fact.attrs["salary"] = Value::Real(30000.0 + (i % 1000) * 7.5);
+    fact.attrs["hired"] =
+        Value::OfDate(Date{static_cast<int>(1990 + i % 30),
+                           static_cast<int>(1 + i % 12),
+                           static_cast<int>(1 + i % 28)});
+    if (i % 8 == 0) {
+      fact.attrs["tags"] =
+          Value::Set({Value::String(tags[i % tags.size()]),
+                      Value::String(tags[(i + 5) % tags.size()])});
+    }
+    if (i % 16 == 0 && i > 0) {
+      fact.attrs["manager"] = Value::OfOid(
+          Oid("FSM-agent1", "ontos", "FederatedDB", kRelations[(i / 2) % 4],
+              i / 2));
+    }
+    return fact;
+  }
+};
+
+const Workload& SharedWorkload() {
+  static const Workload* workload = new Workload();
+  return *workload;
+}
+
+std::vector<Fact> MakeFacts(size_t n) {
+  const Workload& workload = SharedWorkload();
+  std::vector<Fact> facts;
+  facts.reserve(n);
+  for (size_t i = 0; i < n; ++i) facts.push_back(workload.MakeFact(i));
+  return facts;
+}
+
+void BM_ColumnarInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Fact> facts = MakeFacts(n);
+  double bytes_per_fact = 0;
+  for (auto _ : state) {
+    FactStore store;
+    for (const Fact& fact : facts) benchmark::DoNotOptimize(store.Insert(fact));
+    bytes_per_fact =
+        static_cast<double>(store.memory().packed_total()) / store.size();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.counters["bytes_per_fact"] = bytes_per_fact;
+}
+
+void BM_ReferenceInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Fact> facts = MakeFacts(n);
+  double bytes_per_fact = 0;
+  for (auto _ : state) {
+    ReferenceFactStore store;
+    for (const Fact& fact : facts) benchmark::DoNotOptimize(store.Insert(fact));
+    bytes_per_fact = static_cast<double>(store.ApproxBytes()) / store.size();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.counters["bytes_per_fact"] = bytes_per_fact;
+}
+
+void BM_ColumnarProbeScan(benchmark::State& state) {
+  // Drain every (concept, "department", value) postings list — the
+  // join-candidate stream the evaluator's CollectCandidates consumes.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload& workload = SharedWorkload();
+  FactStore store;
+  for (const Fact& fact : MakeFacts(n)) store.Insert(fact);
+  std::int64_t postings = 0;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    postings = 0;
+    for (const char* concept_name : kConcepts) {
+      const ConceptId cid = store.FindConcept(concept_name);
+      for (const std::string& department : workload.departments) {
+        PostingsCursor cursor =
+            store.Probe(cid, "department", Value::String(department));
+        std::uint32_t ordinal = 0;
+        while (cursor.Next(&ordinal)) {
+          sum += ordinal;
+          ++postings;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * postings);
+  state.counters["postings"] = static_cast<double>(postings);
+}
+
+void BM_ReferenceProbeScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload& workload = SharedWorkload();
+  ReferenceFactStore store;
+  for (const Fact& fact : MakeFacts(n)) store.Insert(fact);
+  std::int64_t postings = 0;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    postings = 0;
+    for (const char* concept_name : kConcepts) {
+      const ConceptId cid = store.FindConcept(concept_name);
+      for (const std::string& department : workload.departments) {
+        if (const std::vector<std::uint32_t>* ordinals =
+                store.Probe(cid, "department", Value::String(department))) {
+          for (std::uint32_t ordinal : *ordinals) {
+            sum += ordinal;
+            ++postings;
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * postings);
+  state.counters["postings"] = static_cast<double>(postings);
+}
+
+void BM_MemoryReduction(benchmark::State& state) {
+  // Both stores on the identical extent; the counters carry the E14
+  // headline numbers (the timing of this benchmark is irrelevant).
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<Fact> facts = MakeFacts(n);
+  FactStore columnar;
+  ReferenceFactStore reference;
+  for (const Fact& fact : facts) {
+    columnar.Insert(fact);
+    reference.Insert(fact);
+  }
+  const double columnar_bytes =
+      static_cast<double>(columnar.memory().packed_total());
+  const double reference_bytes = static_cast<double>(reference.ApproxBytes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(columnar.size());
+  }
+  state.counters["columnar_bytes_per_fact"] = columnar_bytes / columnar.size();
+  state.counters["reference_bytes_per_fact"] =
+      reference_bytes / reference.size();
+  state.counters["memory_reduction"] = reference_bytes / columnar_bytes;
+}
+
+BENCHMARK(BM_ColumnarInsert)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReferenceInsert)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColumnarProbeScan)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ReferenceProbeScan)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryReduction)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+/// The regression guard: measured columnar bytes/fact at n = 10^5 must
+/// stay within 15% of the checked-in budget.
+int RunBudgetCheck() {
+  constexpr size_t kBudgetN = 100000;
+  FactStore store;
+  for (const Fact& fact : MakeFacts(kBudgetN)) store.Insert(fact);
+  const double bytes_per_fact =
+      static_cast<double>(store.memory().packed_total()) / store.size();
+  const double limit = kBytesPerFactBudget * 1.15;
+  std::printf("bench_storage budget check: %.1f bytes/fact at n=%zu "
+              "(budget %.1f, limit %.1f)\n",
+              bytes_per_fact, kBudgetN, kBytesPerFactBudget, limit);
+  if (bytes_per_fact > limit) {
+    std::fprintf(stderr,
+                 "FAIL: columnar bytes/fact regressed more than 15%% over "
+                 "the checked-in budget. Either fix the regression or, if "
+                 "the increase is intended, update kBytesPerFactBudget in "
+                 "bench/bench_storage.cc and the E14 table.\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ooint
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget_check") == 0) {
+      return ooint::RunBudgetCheck();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -95,4 +95,7 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   # verification loop into a measurement session — scripts/bench.sh is
   # the tool for real (Release) numbers.
   for b in "$BUILD_DIR"/bench/bench_*; do "$b" --benchmark_min_time=0.01; done
+  # Columnar-store memory regression guard: fails when bytes/fact
+  # exceeds the checked-in budget by >15% (bench/bench_storage.cc).
+  "$BUILD_DIR"/bench/bench_storage --budget_check
 fi

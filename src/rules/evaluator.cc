@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <numeric>
 #include <set>
 
@@ -205,11 +206,11 @@ void Evaluator::Reset() {
 }
 
 FactMatcher Evaluator::MakeMatcher() const {
-  return FactMatcher([this](const Oid& oid) { return FindByOid(oid); },
-                     mappings_);
+  return FactMatcher(
+      [this](const Oid& oid) { return store_.ViewByOid(oid); }, mappings_);
 }
 
-const Fact* Evaluator::InsertFact(Fact fact) {
+FactId Evaluator::InsertFact(Fact fact) {
   return store_.Insert(std::move(fact));
 }
 
@@ -218,7 +219,7 @@ Status Evaluator::LoadBaseFacts() {
   // PropagateIncompleteness flips the flag to true past a negation.
   std::map<std::string, bool> direct;
   for (const Fact& seed : seed_facts_) {
-    if (InsertFact(seed)) ++stats_.base_facts;
+    if (InsertFact(seed) != kNoFact) ++stats_.base_facts;
   }
   const bool overlap =
       pool_ != nullptr && pool_->size() > 1 && bindings_decl_.size() > 1;
@@ -256,7 +257,8 @@ Status Evaluator::LoadBaseFacts() {
       }
       for (const Object* object : replies[i].objects) {
         if (object == nullptr) continue;
-        if (InsertFact(Fact::FromObject(binding.concept_name, *object))) {
+        if (InsertFact(Fact::FromObject(binding.concept_name, *object)) !=
+            kNoFact) {
           ++stats_.base_facts;
         }
       }
@@ -279,7 +281,8 @@ Status Evaluator::LoadBaseFacts() {
     }
     for (const Object* object : extent.value()) {
       if (object == nullptr) continue;
-      if (InsertFact(Fact::FromObject(binding.concept_name, *object))) {
+      if (InsertFact(Fact::FromObject(binding.concept_name, *object)) !=
+          kNoFact) {
         ++stats_.base_facts;
       }
     }
@@ -578,10 +581,6 @@ std::vector<const Fact*> Evaluator::FactsOf(
   return store_.FactsOf(concept_name);
 }
 
-const Fact* Evaluator::FindByOid(const Oid& oid) const {
-  return store_.FindByOid(oid);
-}
-
 void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
                                   const Literal& literal,
                                   const Bindings& bindings,
@@ -603,7 +602,8 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
   }
   if (begin >= end) return;
 
-  const std::vector<std::uint32_t>* best = nullptr;
+  bool have_best = false;
+  PostingsCursor best;
   if (ctx.use_index) {
     // OID probes are exact only without a data-mapping registry (mapped
     // OIDs compare equal without being bytewise equal); value probes are
@@ -616,12 +616,12 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
     };
     auto consider = [&](const std::string& attr, const Value& v) {
       if (!probeable(v)) return;
-      const std::vector<std::uint32_t>* hits =
-          store_.Probe(*concept_id, attr, v);
-      if (hits == nullptr) {
-        static const std::vector<std::uint32_t> kNone;
-        best = &kNone;  // a bound position with no hits: empty join
-      } else if (best == nullptr || hits->size() < best->size()) {
+      // An empty cursor on a bound position is an empty join (the old
+      // "no hash bucket" outcome); otherwise the smallest posting list
+      // wins, first-considered on ties.
+      PostingsCursor hits = store_.Probe(*concept_id, attr, v);
+      if (!have_best || hits.count() < best.count()) {
+        have_best = true;
         best = hits;
       }
     };
@@ -662,11 +662,15 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
     }
   }
 
-  if (best != nullptr) {
+  if (have_best) {
     ++counters.index_probes;
-    auto from = std::lower_bound(best->begin(), best->end(), begin);
-    auto to = std::lower_bound(best->begin(), best->end(), end);
-    candidates->assign(from, to);
+    // Postings stream in non-decreasing ordinal order; keep the
+    // [begin, end) window.
+    std::uint32_t ordinal = 0;
+    while (best.Next(&ordinal)) {
+      if (ordinal >= end) break;
+      if (ordinal >= begin) candidates->push_back(ordinal);
+    }
     return;
   }
   ++counters.index_scans;
@@ -757,9 +761,9 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
                         &concept_id);
       if (!literal.negated) {
         for (std::uint32_t ordinal : candidates) {
-          const Fact* fact = store_.FactAt(concept_id, ordinal);
+          const FactView fact = store_.ViewAt(concept_id, ordinal);
           std::vector<Bindings> matches;
-          matcher.MatchOTerm(literal.oterm, *fact, solution.bindings,
+          matcher.MatchOTerm(literal.oterm, fact, solution.bindings,
                              &matches);
           for (Bindings& match : matches) {
             Solution next = solution;
@@ -774,7 +778,7 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
         bool found = false;
         for (std::uint32_t ordinal : candidates) {
           std::vector<Bindings> matches;
-          matcher.MatchOTerm(literal.oterm, *store_.FactAt(concept_id, ordinal),
+          matcher.MatchOTerm(literal.oterm, store_.ViewAt(concept_id, ordinal),
                              solution.bindings, &matches);
           if (!matches.empty()) {
             found = true;
@@ -790,21 +794,25 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
       std::vector<std::uint32_t> candidates;
       CollectCandidates(ctx, pick, literal, solution.bindings, &candidates,
                         &concept_id);
-      auto match_args = [&](const Fact& fact, Bindings* b) -> bool {
+      // Positional attribute names ("0", "1", ...) formatted into a
+      // stack buffer — no per-candidate allocation on this hot path.
+      auto match_args = [&](const FactView& fact, Bindings* b) -> bool {
         for (size_t i = 0; i < literal.args.size(); ++i) {
-          auto it = fact.attrs.find(StrCat(i));
-          if (it == fact.attrs.end()) return false;
+          char name[16];
+          const int len = std::snprintf(name, sizeof(name), "%zu", i);
+          const ValueHandle stored = fact.Find(std::string_view(name, len));
+          if (!stored.valid()) return false;
           const TermArg& arg = literal.args[i];
           if (arg.is_constant()) {
-            if (!matcher.ValuesEqual(arg.constant, it->second)) return false;
+            if (!matcher.ValuesEqual(arg.constant, stored)) return false;
           } else if (arg.is_variable()) {
             auto bound = b->find(arg.var);
             if (bound != b->end()) {
-              if (!matcher.ValuesEqual(bound->second, it->second)) {
+              if (!matcher.ValuesEqual(bound->second, stored)) {
                 return false;
               }
             } else {
-              b->emplace(arg.var, it->second);
+              b->emplace(arg.var, stored.Materialize());
             }
           } else {
             return false;
@@ -814,9 +822,9 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
       };
       if (!literal.negated) {
         for (std::uint32_t ordinal : candidates) {
-          const Fact* fact = store_.FactAt(concept_id, ordinal);
+          const FactView fact = store_.ViewAt(concept_id, ordinal);
           Bindings next = solution.bindings;
-          if (match_args(*fact, &next)) {
+          if (match_args(fact, &next)) {
             Solution s = solution;
             s.bindings = std::move(next);
             status = recurse(std::move(s));
@@ -827,7 +835,7 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
         bool found = false;
         for (std::uint32_t ordinal : candidates) {
           Bindings next = solution.bindings;
-          if (match_args(*store_.FactAt(concept_id, ordinal), &next)) {
+          if (match_args(store_.ViewAt(concept_id, ordinal), &next)) {
             found = true;
             break;
           }
@@ -891,7 +899,7 @@ Status Evaluator::SolveRule(const FactMatcher& matcher, const JoinContext& ctx,
                             std::vector<Solution>* solutions) const {
   const Rule& rule = *ctx.rule;
   Solution init;
-  init.matched.assign(rule.body.size(), nullptr);
+  init.matched.assign(rule.body.size(), FactView());
   std::vector<char> done(rule.body.size(), 0);
   return SolveBody(matcher, ctx, &done, rule.body.size(), std::move(init),
                    solutions);
@@ -913,7 +921,7 @@ Status Evaluator::InsertSolutions(const Rule& rule, const FactMatcher& matcher,
         }
         fact.attrs[StrCat(i)] = std::move(v);
       }
-      if (InsertFact(std::move(fact)) != nullptr) {
+      if (InsertFact(std::move(fact)) != kNoFact) {
         ++stats_.derived_facts;
         ++*inserted;
       }
@@ -991,18 +999,20 @@ Status Evaluator::InsertSolutions(const Rule& rule, const FactMatcher& matcher,
       // both fixpoint strategies assign identical OIDs regardless of
       // derivation order.
       const std::uint64_t key = HashFactAttrs(fact);
-      std::vector<const Fact*>& seen = skolem_seen_[key];
+      std::vector<FactId>& seen = skolem_seen_[key];
       bool duplicate = false;
-      for (const Fact* f : seen) {
-        if (f->concept_name == fact.concept_name && f->attrs == fact.attrs) {
+      for (FactId f : seen) {
+        // Exact verification against the packed store — no
+        // materialization, no string keys (the old AttrKey() path).
+        if (store_.EquivalentAttrs(f, fact)) {
           duplicate = true;
           break;
         }
       }
       if (duplicate) continue;
       fact.oid = Oid("derived", "ooint", "global", fact.concept_name, key);
-      const Fact* stored = InsertFact(std::move(fact));
-      if (stored != nullptr) {
+      const FactId stored = InsertFact(std::move(fact));
+      if (stored != kNoFact) {
         seen.push_back(stored);
         ++stats_.derived_facts;
         ++*inserted;
@@ -1012,17 +1022,22 @@ Status Evaluator::InsertSolutions(const Rule& rule, const FactMatcher& matcher,
       // same entity, so membership rules (<x: IS_AB> <= <x: A>, ...)
       // carry the entity's data into the integrated class. Slots are in
       // body order, keeping the merge independent of the join order.
-      for (const Fact* matched : solution.matched) {
-        if (matched == nullptr || matched->oid.empty()) continue;
-        if (!matcher.ValuesEqual(Value::OfOid(matched->oid),
+      for (const FactView& matched : solution.matched) {
+        if (!matched.valid() || matched.oid_empty()) continue;
+        if (!matcher.ValuesEqual(Value::OfOid(matched.oid()),
                                  Value::OfOid(fact.oid))) {
           continue;
         }
-        for (const auto& [name, value] : matched->attrs) {
-          fact.attrs.emplace(name, value);
+        const size_t count = matched.attr_count();
+        for (size_t i = 0; i < count; ++i) {
+          std::string name(matched.attr_name(i));
+          if (fact.attrs.find(name) == fact.attrs.end()) {
+            fact.attrs.emplace(std::move(name),
+                               matched.attr_value(i).Materialize());
+          }
         }
       }
-      if (InsertFact(std::move(fact)) != nullptr) {
+      if (InsertFact(std::move(fact)) != kNoFact) {
         ++stats_.derived_facts;
         ++*inserted;
       }
@@ -1053,18 +1068,31 @@ Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
   }
   std::vector<Bindings> out;
   for (std::uint32_t ordinal : candidates) {
-    matcher.MatchOTerm(pattern, *store_.FactAt(concept_id, ordinal), Bindings(),
+    matcher.MatchOTerm(pattern, store_.ViewAt(concept_id, ordinal), Bindings(),
                        &out);
   }
-  // De-duplicate bindings.
-  std::set<std::string> seen;
+  // De-duplicate bindings on a 64-bit digest with exact verification —
+  // no per-row key strings (the old StrCat/ToString concatenation
+  // allocated a key per candidate row).
+  std::unordered_map<std::uint64_t, std::vector<size_t>> seen;
   std::vector<Bindings> unique;
   for (Bindings& b : out) {
-    std::string key;
+    std::uint64_t key = 0;
     for (const auto& [var, value] : b) {
-      key += StrCat(var, "=", value.ToString(), ";");
+      key = HashCombine(key, HashString(var));
+      key = HashCombine(key, HashValue(value));
     }
-    if (seen.insert(key).second) unique.push_back(std::move(b));
+    std::vector<size_t>& bucket = seen[key];
+    bool duplicate = false;
+    for (size_t idx : bucket) {
+      if (unique[idx] == b) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    bucket.push_back(unique.size());
+    unique.push_back(std::move(b));
   }
   return unique;
 }

@@ -278,6 +278,11 @@ class Evaluator {
   /// whether or not Evaluate() has run.
   Result<DemandOutcome> EvaluateDemand(const OTerm& pattern) const;
 
+  /// The evaluated fact universe (read-only) — the conformance
+  /// harness's store-differential oracle replays it into reference and
+  /// columnar stores.
+  const FactStore& fact_store() const { return store_; }
+
  private:
   struct Source {
     std::string schema_name;
@@ -308,7 +313,7 @@ class Evaluator {
   /// merging is independent of the join order chosen at runtime.
   struct Solution {
     Bindings bindings;
-    std::vector<const Fact*> matched;  // body.size() slots, may be null
+    std::vector<FactView> matched;  // body.size() slots, may be invalid
   };
 
   /// Per-ApplyRule join context: which body literal (if any) is
@@ -332,8 +337,8 @@ class Evaluator {
   /// universe and data mappings.
   FactMatcher MakeMatcher() const;
 
-  /// Records a fact if it is new; returns the stored fact or nullptr.
-  const Fact* InsertFact(Fact fact);
+  /// Records a fact if it is new; returns its FactId or kNoFact.
+  FactId InsertFact(Fact fact);
 
   /// Evaluates one rule under `ctx` and inserts the derived facts;
   /// `inserted` reports how many were new. SolveRule + InsertSolutions.
@@ -371,8 +376,6 @@ class Evaluator {
                          std::vector<std::uint32_t>* candidates,
                          ConceptId* concept_id) const;
 
-  const Fact* FindByOid(const Oid& oid) const;
-
   std::vector<Source> sources_;
   std::vector<ConceptBinding> bindings_decl_;
   std::vector<Rule> rules_;
@@ -385,10 +388,10 @@ class Evaluator {
 
   bool evaluated_ = false;
   FactStore store_;
-  /// Skolem de-duplication: hash of (concept_id, attrs) -> stored facts,
-  /// exact-verified (derived entities are identified by their attribute
-  /// values; see ApplyRule).
-  std::unordered_map<std::uint64_t, std::vector<const Fact*>> skolem_seen_;
+  /// Skolem de-duplication: hash of (concept_id, attrs) -> stored fact
+  /// ids, exact-verified against the packed store (derived entities are
+  /// identified by their attribute values; see ApplyRule).
+  std::unordered_map<std::uint64_t, std::vector<FactId>> skolem_seen_;
   mutable Stats stats_;  // probe/scan counters tick inside const joins
   /// Guards stats_ merges from concurrent const Query() calls. Heap
   /// allocated so the evaluator stays movable (tests and factories

@@ -16,6 +16,86 @@ std::uint64_t FnvBytes(std::uint64_t h, const void* data, size_t n) {
   }
   return h;
 }
+
+std::uint64_t RealBits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Strong 64-bit combine for the store's INTERNAL digests and index
+/// keys. The legacy HashCombine below is preserved byte-identically for
+/// observable-hash parity, but it degenerates on small operands: FNV
+/// over an 8-byte little-endian value whose top 7 bytes are zero mixes
+/// only `seed ^ low_byte`, so HashCombine(3, 8) == HashCombine(4, 15).
+/// That is fatal for keys built from small dense ids (concept ids,
+/// attribute symbol ids): cross-key postings lists would merge and
+/// Probe would emit ordinals of a *different* concept, past the probed
+/// extent. Internal keys are never observable, so they get a full
+/// splitmix64 avalanche per combine instead.
+std::uint64_t MixCombine(std::uint64_t seed, std::uint64_t v) {
+  return MixHash(seed ^ (MixHash(v) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                         (seed >> 2)));
+}
+
+// Inline-int range: 60-bit two's complement.
+constexpr std::int64_t kIntInlineMin = -(1ll << 59);
+constexpr std::int64_t kIntInlineMax = (1ll << 59) - 1;
+// Inline-date range: 24-bit biased year, 8-bit month and day.
+constexpr int kYearBias = 1 << 23;
+
+bool DateFitsInline(const Date& d) {
+  return d.year >= -kYearBias && d.year < kYearBias && d.month >= 0 &&
+         d.month <= 255 && d.day >= 0 && d.day <= 255;
+}
+
+/// Deep footprint of one materialized Fact (boundary-cache accounting;
+/// mirrors ReferenceFactStore's estimate).
+size_t MaterializedValueBytes(const Value& value) {
+  size_t bytes = sizeof(Value);
+  switch (value.kind()) {
+    case ValueKind::kString:
+      if (value.AsString().capacity() > sizeof(std::string)) {
+        bytes += value.AsString().capacity();
+      }
+      break;
+    case ValueKind::kOid: {
+      const Oid& oid = value.AsOid();
+      for (const std::string* s : {&oid.agent(), &oid.dbms(), &oid.database(),
+                                   &oid.relation()}) {
+        if (s->capacity() > sizeof(std::string)) bytes += s->capacity();
+      }
+      break;
+    }
+    case ValueKind::kSet:
+      for (const Value& e : value.AsSet()) bytes += MaterializedValueBytes(e);
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+constexpr size_t kMapNodeOverhead = 48;
+
+size_t MaterializedFactBytes(const Fact& fact) {
+  size_t bytes = sizeof(Fact);
+  if (fact.concept_name.capacity() > sizeof(std::string)) {
+    bytes += fact.concept_name.capacity();
+  }
+  for (const std::string* s :
+       {&fact.oid.agent(), &fact.oid.dbms(), &fact.oid.database(),
+        &fact.oid.relation()}) {
+    if (s->capacity() > sizeof(std::string)) bytes += s->capacity();
+  }
+  for (const auto& [name, value] : fact.attrs) {
+    bytes += kMapNodeOverhead + sizeof(std::string);
+    if (name.capacity() > sizeof(std::string)) bytes += name.capacity();
+    bytes += MaterializedValueBytes(value);
+  }
+  return bytes;
+}
+
 }  // namespace
 
 std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
@@ -90,125 +170,759 @@ std::uint64_t HashFactCanonical(const Fact& fact) {
   return HashCombine(HashFactAttrs(fact), HashOid(fact.oid));
 }
 
-ConceptId FactStore::InternConcept(const std::string& name) {
-  auto [it, inserted] =
-      concept_ids_.emplace(name, static_cast<ConceptId>(concept_names_.size()));
-  if (inserted) {
-    concept_names_.push_back(name);
-    by_concept_.emplace_back();
+// --- ValueHandle -----------------------------------------------------------
+
+namespace {
+ValueKind KindOfTag(PackedTag tag) {
+  switch (tag) {
+    case PackedTag::kNull:
+      return ValueKind::kNull;
+    case PackedTag::kBool:
+      return ValueKind::kBoolean;
+    case PackedTag::kChar:
+      return ValueKind::kCharacter;
+    case PackedTag::kIntInline:
+    case PackedTag::kIntBoxed:
+      return ValueKind::kInteger;
+    case PackedTag::kReal:
+      return ValueKind::kReal;
+    case PackedTag::kString:
+      return ValueKind::kString;
+    case PackedTag::kDateInline:
+    case PackedTag::kDateBoxed:
+      return ValueKind::kDate;
+    case PackedTag::kOid:
+      return ValueKind::kOid;
+    case PackedTag::kSet:
+      return ValueKind::kSet;
   }
-  return it->second;
+  return ValueKind::kNull;
+}
+}  // namespace
+
+ValueKind ValueHandle::kind() const {
+  return value_ != nullptr ? value_->kind()
+                           : KindOfTag(FactStore::TagOf(packed_));
+}
+
+size_t ValueHandle::set_size() const {
+  if (value_ != nullptr) return value_->AsSet().size();
+  return store_->set_runs_[FactStore::PayloadOf(packed_)].second;
+}
+
+ValueHandle ValueHandle::set_element(size_t i) const {
+  if (value_ != nullptr) return ValueHandle(&value_->AsSet()[i]);
+  const auto& run = store_->set_runs_[FactStore::PayloadOf(packed_)];
+  return ValueHandle(store_, store_->set_elements_[run.first + i]);
+}
+
+bool ValueHandle::Equals(const Value& other) const {
+  if (value_ != nullptr) return *value_ == other;
+  return store_->PackedEqualsValue(packed_, other);
+}
+
+Value ValueHandle::Materialize() const {
+  if (value_ != nullptr) return *value_;
+  return store_->DecodeValue(packed_);
+}
+
+Oid ValueHandle::MaterializeOid() const {
+  if (value_ != nullptr) return value_->AsOid();
+  return store_->MaterializeOid(
+      static_cast<std::uint32_t>(FactStore::PayloadOf(packed_)));
+}
+
+// --- FactView --------------------------------------------------------------
+
+bool FactView::oid_empty() const {
+  if (fact_ != nullptr) return fact_->oid.empty();
+  return store_->records_[id_].oid_id == kNoId;
+}
+
+Oid FactView::oid() const {
+  if (fact_ != nullptr) return fact_->oid;
+  const std::uint32_t oid_id = store_->records_[id_].oid_id;
+  return oid_id == kNoId ? Oid() : store_->MaterializeOid(oid_id);
+}
+
+size_t FactView::attr_count() const {
+  if (fact_ != nullptr) return fact_->attrs.size();
+  return store_->records_[id_].attr_count;
+}
+
+std::string_view FactView::attr_name(size_t i) const {
+  if (fact_ != nullptr) {
+    auto it = fact_->attrs.begin();
+    std::advance(it, i);
+    return it->first;
+  }
+  const auto& rec = store_->records_[id_];
+  return store_->symbols_.view(store_->attr_names_[rec.attr_begin + i]);
+}
+
+ValueHandle FactView::attr_value(size_t i) const {
+  if (fact_ != nullptr) {
+    auto it = fact_->attrs.begin();
+    std::advance(it, i);
+    return ValueHandle(&it->second);
+  }
+  const auto& rec = store_->records_[id_];
+  return ValueHandle(store_, store_->attr_values_[rec.attr_begin + i]);
+}
+
+ValueHandle FactView::Find(std::string_view name) const {
+  if (fact_ != nullptr) {
+    auto it = fact_->attrs.find(std::string(name));
+    return it == fact_->attrs.end() ? ValueHandle() : ValueHandle(&it->second);
+  }
+  const std::uint32_t sym = store_->symbols_.Find(name);
+  if (sym == kNoId) return ValueHandle();
+  const auto& rec = store_->records_[id_];
+  for (std::uint32_t i = 0; i < rec.attr_count; ++i) {
+    if (store_->attr_names_[rec.attr_begin + i] == sym) {
+      return ValueHandle(store_, store_->attr_values_[rec.attr_begin + i]);
+    }
+  }
+  return ValueHandle();
+}
+
+// --- FactStore -------------------------------------------------------------
+
+ConceptId FactStore::InternConcept(const std::string& name) {
+  return concept_table_.FindOrInsert(
+      HashString(name),
+      [&](std::uint32_t id) {
+        return symbols_.view(concept_symbols_[id]) == name;
+      },
+      [&] {
+        concept_symbols_.push_back(symbols_.Intern(name));
+        by_concept_.emplace_back();
+        return static_cast<std::uint32_t>(concept_symbols_.size() - 1);
+      });
 }
 
 ConceptId FactStore::FindConcept(const std::string& name) const {
-  auto it = concept_ids_.find(name);
-  return it == concept_ids_.end() ? kNoConcept : it->second;
+  return concept_table_.Find(HashString(name), [&](std::uint32_t id) {
+    return symbols_.view(concept_symbols_[id]) == name;
+  });
 }
 
 const std::string& FactStore::ConceptName(ConceptId id) const {
-  return concept_names_[id];
+  return symbols_.at(concept_symbols_[id]);
 }
 
-const std::vector<const Fact*>& FactStore::FactsOf(ConceptId id) const {
-  static const std::vector<const Fact*> kEmpty;
-  return id == kNoConcept || id >= by_concept_.size() ? kEmpty
-                                                      : by_concept_[id];
+std::uint32_t FactStore::InternOid(const Oid& oid) {
+  const std::uint32_t agent = symbols_.Intern(oid.agent());
+  const std::uint32_t dbms = symbols_.Intern(oid.dbms());
+  const std::uint32_t database = symbols_.Intern(oid.database());
+  const std::uint32_t relation = symbols_.Intern(oid.relation());
+  std::uint64_t h = MixCombine(agent, dbms);
+  h = MixCombine(h, database);
+  h = MixCombine(h, relation);
+  h = MixCombine(h, oid.number()) & digest_mask_;
+  return oid_table_.FindOrInsert(
+      h,
+      [&](std::uint32_t id) {
+        const PackedOid& p = oids_[id];
+        return p.agent == agent && p.dbms == dbms && p.database == database &&
+               p.relation == relation && p.number == oid.number();
+      },
+      [&] {
+        oids_.push_back({agent, dbms, database, relation, oid.number()});
+        return static_cast<std::uint32_t>(oids_.size() - 1);
+      });
 }
 
-const std::vector<const Fact*>& FactStore::FactsOf(
-    const std::string& name) const {
-  return FactsOf(FindConcept(name));
+std::uint32_t FactStore::FindOid(const Oid& oid) const {
+  const std::uint32_t agent = symbols_.Find(oid.agent());
+  const std::uint32_t dbms = symbols_.Find(oid.dbms());
+  const std::uint32_t database = symbols_.Find(oid.database());
+  const std::uint32_t relation = symbols_.Find(oid.relation());
+  if (agent == kNoId || dbms == kNoId || database == kNoId ||
+      relation == kNoId) {
+    return kNoId;
+  }
+  std::uint64_t h = MixCombine(agent, dbms);
+  h = MixCombine(h, database);
+  h = MixCombine(h, relation);
+  h = MixCombine(h, oid.number()) & digest_mask_;
+  return oid_table_.Find(h, [&](std::uint32_t id) {
+    const PackedOid& p = oids_[id];
+    return p.agent == agent && p.dbms == dbms && p.database == database &&
+           p.relation == relation && p.number == oid.number();
+  });
 }
 
-size_t FactStore::CountOf(ConceptId id) const { return FactsOf(id).size(); }
-
-void FactStore::IndexAttr(ConceptId concept_id, std::uint32_t ordinal,
-                          const std::string& attr, const Value& value) {
-  std::uint64_t key = HashCombine(concept_id, HashString(attr));
-  key = HashCombine(key, HashValue(value));
-  by_attr_[key].push_back(ordinal);
+Oid FactStore::MaterializeOid(std::uint32_t oid_id) const {
+  const PackedOid& p = oids_[oid_id];
+  return Oid(symbols_.at(p.agent), symbols_.at(p.dbms),
+             symbols_.at(p.database), symbols_.at(p.relation), p.number);
 }
 
-const std::vector<std::uint32_t>* FactStore::Probe(ConceptId concept_id,
-                                                   const std::string& attr,
-                                                   const Value& value) const {
-  std::uint64_t key = HashCombine(concept_id, HashString(attr));
-  key = HashCombine(key, HashValue(value));
-  auto it = by_attr_.find(key);
-  return it == by_attr_.end() ? nullptr : &it->second;
-}
-
-const Fact* FactStore::Insert(Fact fact) {
-  const std::uint64_t canonical = HashFactCanonical(fact);
-  std::vector<const Fact*>& bucket = dedup_[canonical];
-  for (const Fact* existing : bucket) {
-    if (existing->oid == fact.oid &&
-        existing->concept_name == fact.concept_name &&
-        existing->attrs == fact.attrs) {
-      return nullptr;
+PackedValue FactStore::EncodeValue(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      return Pack(PackedTag::kNull, 0);
+    case ValueKind::kBoolean:
+      return Pack(PackedTag::kBool, value.AsBoolean() ? 1 : 0);
+    case ValueKind::kCharacter:
+      return Pack(PackedTag::kChar,
+                  static_cast<unsigned char>(value.AsCharacter()));
+    case ValueKind::kInteger: {
+      const std::int64_t v = value.AsInteger();
+      if (v >= kIntInlineMin && v <= kIntInlineMax) {
+        return Pack(PackedTag::kIntInline, static_cast<std::uint64_t>(v));
+      }
+      const std::uint32_t id = int_table_.FindOrInsert(
+          static_cast<std::uint64_t>(v),
+          [&](std::uint32_t i) { return boxed_ints_[i] == v; },
+          [&] {
+            boxed_ints_.push_back(v);
+            return static_cast<std::uint32_t>(boxed_ints_.size() - 1);
+          });
+      return Pack(PackedTag::kIntBoxed, id);
+    }
+    case ValueKind::kReal: {
+      // Pooled by BIT PATTERN: -0.0 and 0.0 get distinct ids (their
+      // digests must stay distinct — the reference store's behavior),
+      // and every NaN payload its own id.
+      const std::uint64_t bits = RealBits(value.AsReal());
+      const std::uint32_t id = real_table_.FindOrInsert(
+          bits, [&](std::uint32_t i) { return RealBits(reals_[i]) == bits; },
+          [&] {
+            reals_.push_back(value.AsReal());
+            return static_cast<std::uint32_t>(reals_.size() - 1);
+          });
+      return Pack(PackedTag::kReal, id);
+    }
+    case ValueKind::kString:
+      return Pack(PackedTag::kString, symbols_.Intern(value.AsString()));
+    case ValueKind::kDate: {
+      const Date& d = value.AsDate();
+      if (DateFitsInline(d)) {
+        const std::uint64_t payload =
+            (static_cast<std::uint64_t>(d.year + kYearBias) << 16) |
+            (static_cast<std::uint64_t>(d.month) << 8) |
+            static_cast<std::uint64_t>(d.day);
+        return Pack(PackedTag::kDateInline, payload);
+      }
+      std::uint64_t h = MixCombine(static_cast<std::uint64_t>(d.year),
+                                   static_cast<std::uint64_t>(d.month));
+      h = MixCombine(h, static_cast<std::uint64_t>(d.day));
+      const std::uint32_t id = date_table_.FindOrInsert(
+          h, [&](std::uint32_t i) { return boxed_dates_[i] == d; },
+          [&] {
+            boxed_dates_.push_back(d);
+            return static_cast<std::uint32_t>(boxed_dates_.size() - 1);
+          });
+      return Pack(PackedTag::kDateBoxed, id);
+    }
+    case ValueKind::kOid:
+      return Pack(PackedTag::kOid, InternOid(value.AsOid()));
+    case ValueKind::kSet: {
+      // Encode the elements first (recursion may append other runs),
+      // then lay this set down as one contiguous run in element order
+      // (order is part of set identity).
+      std::vector<PackedValue> elements;
+      elements.reserve(value.AsSet().size());
+      for (const Value& e : value.AsSet()) elements.push_back(EncodeValue(e));
+      const auto begin = static_cast<std::uint32_t>(set_elements_.size());
+      set_elements_.insert(set_elements_.end(), elements.begin(),
+                           elements.end());
+      set_runs_.emplace_back(begin,
+                             static_cast<std::uint32_t>(elements.size()));
+      return Pack(PackedTag::kSet, set_runs_.size() - 1);
     }
   }
-  const ConceptId concept_id = InternConcept(fact.concept_name);
-  all_.push_back(std::move(fact));
-  const Fact& stored = all_.back();
-  std::vector<const Fact*>& extent = by_concept_[concept_id];
-  const auto ordinal = static_cast<std::uint32_t>(extent.size());
-  extent.push_back(&stored);
-  bucket.push_back(&stored);
-  if (!stored.oid.empty()) {
-    by_oid_[HashOid(stored.oid)].push_back({concept_id, ordinal});
+  return Pack(PackedTag::kNull, 0);
+}
+
+std::int64_t FactStore::DecodeInt(PackedValue v) const {
+  if (TagOf(v) == PackedTag::kIntBoxed) return boxed_ints_[PayloadOf(v)];
+  std::uint64_t payload = PayloadOf(v);
+  if (payload & (1ull << 59)) payload |= ~kPayloadMask;  // sign-extend
+  return static_cast<std::int64_t>(payload);
+}
+
+Date FactStore::DecodeDate(PackedValue v) const {
+  if (TagOf(v) == PackedTag::kDateBoxed) return boxed_dates_[PayloadOf(v)];
+  const std::uint64_t payload = PayloadOf(v);
+  Date d;
+  d.year = static_cast<int>((payload >> 16) & 0xffffff) - kYearBias;
+  d.month = static_cast<int>((payload >> 8) & 0xff);
+  d.day = static_cast<int>(payload & 0xff);
+  return d;
+}
+
+Value FactStore::DecodeValue(PackedValue v) const {
+  switch (TagOf(v)) {
+    case PackedTag::kNull:
+      return Value::Null();
+    case PackedTag::kBool:
+      return Value::Boolean(PayloadOf(v) != 0);
+    case PackedTag::kChar:
+      return Value::Character(static_cast<char>(
+          static_cast<unsigned char>(PayloadOf(v))));
+    case PackedTag::kIntInline:
+    case PackedTag::kIntBoxed:
+      return Value::Integer(DecodeInt(v));
+    case PackedTag::kReal:
+      return Value::Real(reals_[PayloadOf(v)]);
+    case PackedTag::kString:
+      return Value::String(symbols_.at(PayloadOf(v)));
+    case PackedTag::kDateInline:
+    case PackedTag::kDateBoxed:
+      return Value::OfDate(DecodeDate(v));
+    case PackedTag::kOid:
+      return Value::OfOid(
+          MaterializeOid(static_cast<std::uint32_t>(PayloadOf(v))));
+    case PackedTag::kSet: {
+      const auto& run = set_runs_[PayloadOf(v)];
+      std::vector<Value> elements;
+      elements.reserve(run.second);
+      for (std::uint32_t i = 0; i < run.second; ++i) {
+        elements.push_back(DecodeValue(set_elements_[run.first + i]));
+      }
+      return Value::Set(std::move(elements));
+    }
   }
-  for (const auto& [name, value] : stored.attrs) {
-    IndexAttr(concept_id, ordinal, name, value);
-    if (value.kind() == ValueKind::kSet) {
-      for (const Value& element : value.AsSet()) {
-        IndexAttr(concept_id, ordinal, name, element);
+  return Value::Null();
+}
+
+bool FactStore::PackedEqualsValue(PackedValue a, const Value& b) const {
+  if (KindOfTag(TagOf(a)) != b.kind()) return false;
+  switch (TagOf(a)) {
+    case PackedTag::kNull:
+      return true;
+    case PackedTag::kBool:
+      return (PayloadOf(a) != 0) == b.AsBoolean();
+    case PackedTag::kChar:
+      return static_cast<char>(static_cast<unsigned char>(PayloadOf(a))) ==
+             b.AsCharacter();
+    case PackedTag::kIntInline:
+    case PackedTag::kIntBoxed:
+      return DecodeInt(a) == b.AsInteger();
+    case PackedTag::kReal:
+      // IEEE semantics (Value::operator== parity): NaN != NaN even
+      // against itself; -0.0 == 0.0 across distinct pool ids.
+      return reals_[PayloadOf(a)] == b.AsReal();
+    case PackedTag::kString:
+      return symbols_.view(PayloadOf(a)) == b.AsString();
+    case PackedTag::kDateInline:
+    case PackedTag::kDateBoxed:
+      return DecodeDate(a) == b.AsDate();
+    case PackedTag::kOid: {
+      const PackedOid& p = oids_[PayloadOf(a)];
+      const Oid& o = b.AsOid();
+      return p.number == o.number() && symbols_.view(p.agent) == o.agent() &&
+             symbols_.view(p.dbms) == o.dbms() &&
+             symbols_.view(p.database) == o.database() &&
+             symbols_.view(p.relation) == o.relation();
+    }
+    case PackedTag::kSet: {
+      const auto& run = set_runs_[PayloadOf(a)];
+      const std::vector<Value>& elements = b.AsSet();
+      if (run.second != elements.size()) return false;
+      for (std::uint32_t i = 0; i < run.second; ++i) {
+        if (!PackedEqualsValue(set_elements_[run.first + i], elements[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FactStore::PackedEqualsPacked(PackedValue a, PackedValue b) const {
+  const PackedTag ta = TagOf(a);
+  const PackedTag tb = TagOf(b);
+  if (KindOfTag(ta) != KindOfTag(tb)) return false;
+  switch (ta) {
+    case PackedTag::kNull:
+      return true;
+    case PackedTag::kBool:
+    case PackedTag::kChar:
+      return PayloadOf(a) == PayloadOf(b);
+    case PackedTag::kIntInline:
+    case PackedTag::kIntBoxed:
+      return DecodeInt(a) == DecodeInt(b);
+    case PackedTag::kReal:
+      // IEEE ==, not id ==: -0.0 and 0.0 are distinct pool entries but
+      // equal values; NaN is never equal (so NaN facts never
+      // de-duplicate — the reference store's behavior).
+      return reals_[PayloadOf(a)] == reals_[PayloadOf(b)];
+    case PackedTag::kString:
+    case PackedTag::kOid:
+      return PayloadOf(a) == PayloadOf(b);  // dictionary ids are exact
+    case PackedTag::kDateInline:
+    case PackedTag::kDateBoxed:
+      return DecodeDate(a) == DecodeDate(b);
+    case PackedTag::kSet: {
+      const auto& ra = set_runs_[PayloadOf(a)];
+      const auto& rb = set_runs_[PayloadOf(b)];
+      if (ra.second != rb.second) return false;
+      for (std::uint32_t i = 0; i < ra.second; ++i) {
+        if (!PackedEqualsPacked(set_elements_[ra.first + i],
+                                set_elements_[rb.first + i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FactStore::ValueDigest(PackedValue v) const {
+  std::uint64_t h = static_cast<std::uint64_t>(KindOfTag(TagOf(v))) + 1;
+  switch (TagOf(v)) {
+    case PackedTag::kNull:
+      break;
+    case PackedTag::kBool:
+    case PackedTag::kChar:
+      h = MixCombine(h, PayloadOf(v));
+      break;
+    case PackedTag::kIntInline:
+    case PackedTag::kIntBoxed:
+      h = MixCombine(h, static_cast<std::uint64_t>(DecodeInt(v)));
+      break;
+    case PackedTag::kReal:
+      // Bit pattern, not value: keeps the -0.0 / 0.0 digest split.
+      h = MixCombine(h, RealBits(reals_[PayloadOf(v)]));
+      break;
+    case PackedTag::kString:
+    case PackedTag::kOid:
+      h = MixCombine(h, PayloadOf(v));
+      break;
+    case PackedTag::kDateInline:
+    case PackedTag::kDateBoxed: {
+      const Date d = DecodeDate(v);
+      h = MixCombine(h, static_cast<std::uint64_t>(d.year) * 10000 +
+                            static_cast<std::uint64_t>(d.month) * 100 +
+                            static_cast<std::uint64_t>(d.day));
+      break;
+    }
+    case PackedTag::kSet: {
+      const auto& run = set_runs_[PayloadOf(v)];
+      for (std::uint32_t i = 0; i < run.second; ++i) {
+        h = MixCombine(h, ValueDigest(set_elements_[run.first + i]));
+      }
+      break;
+    }
+  }
+  return h;
+}
+
+bool FactStore::TryLookupDigest(const Value& value, std::uint64_t* out) const {
+  std::uint64_t h = static_cast<std::uint64_t>(value.kind()) + 1;
+  switch (value.kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBoolean:
+      h = MixCombine(h, value.AsBoolean() ? 1 : 0);
+      break;
+    case ValueKind::kCharacter:
+      h = MixCombine(h,
+                     static_cast<unsigned char>(value.AsCharacter()));
+      break;
+    case ValueKind::kInteger:
+      h = MixCombine(h, static_cast<std::uint64_t>(value.AsInteger()));
+      break;
+    case ValueKind::kReal:
+      h = MixCombine(h, RealBits(value.AsReal()));
+      break;
+    case ValueKind::kString: {
+      const std::uint32_t id = symbols_.Find(value.AsString());
+      if (id == kNoId) return false;  // never stored -> empty join
+      h = MixCombine(h, id);
+      break;
+    }
+    case ValueKind::kDate: {
+      const Date& d = value.AsDate();
+      h = MixCombine(h, static_cast<std::uint64_t>(d.year) * 10000 +
+                            static_cast<std::uint64_t>(d.month) * 100 +
+                            static_cast<std::uint64_t>(d.day));
+      break;
+    }
+    case ValueKind::kOid: {
+      const std::uint32_t id = FindOid(value.AsOid());
+      if (id == kNoId) return false;
+      h = MixCombine(h, id);
+      break;
+    }
+    case ValueKind::kSet:
+      for (const Value& e : value.AsSet()) {
+        std::uint64_t eh = 0;
+        if (!TryLookupDigest(e, &eh)) return false;
+        h = MixCombine(h, eh);
+      }
+      break;
+  }
+  *out = h;
+  return true;
+}
+
+std::uint64_t FactStore::AttrIndexKey(ConceptId concept_id,
+                                      std::uint32_t attr_id,
+                                      std::uint64_t value_digest) const {
+  // Only the VALUE digest is masked by the collision-test knob: forced
+  // collisions then stay within one (concept, attribute) pair, so a
+  // colliding probe still yields valid ordinals of the probed concept
+  // (false positives among values, which callers re-verify) and never
+  // ordinals of a foreign extent.
+  std::uint64_t key = MixCombine(concept_id, attr_id);
+  return MixCombine(key, value_digest & digest_mask_);
+}
+
+FactId FactStore::Insert(Fact fact) {
+  const ConceptId concept_id = InternConcept(fact.concept_name);
+  const std::uint32_t oid_id = fact.oid.empty() ? kNoId : InternOid(fact.oid);
+
+  scratch_attrs_.clear();
+  for (const auto& [name, value] : fact.attrs) {
+    // std::map iterates sorted by name, so the run is stored in
+    // lexicographic name order — the iteration order FactView exposes.
+    scratch_attrs_.emplace_back(symbols_.Intern(name), EncodeValue(value));
+  }
+
+  // Canonical digest over interned identities; bit-pattern reals keep
+  // every distinction HashFactCanonical makes.
+  std::uint64_t digest = MixCombine(0x84222325u, concept_id);
+  digest = MixCombine(digest, oid_id == kNoId ? ~0ull : oid_id);
+  for (const auto& [attr_id, packed] : scratch_attrs_) {
+    digest = MixCombine(digest, attr_id);
+    digest = MixCombine(digest, ValueDigest(packed));
+  }
+  digest &= digest_mask_;
+
+  PostingsCursor bucket = dedup_.Find(digest);
+  std::uint32_t candidate = 0;
+  while (bucket.Next(&candidate)) {
+    const FactRecord& rec = records_[candidate];
+    if (rec.concept_id != concept_id || rec.oid_id != oid_id ||
+        rec.attr_count != scratch_attrs_.size()) {
+      continue;
+    }
+    bool equal = true;
+    for (std::uint32_t i = 0; i < rec.attr_count; ++i) {
+      if (attr_names_[rec.attr_begin + i] != scratch_attrs_[i].first ||
+          !PackedEqualsPacked(attr_values_[rec.attr_begin + i],
+                              scratch_attrs_[i].second)) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return kNoFact;  // duplicate
+  }
+
+  const auto id = static_cast<FactId>(records_.size());
+  const auto attr_begin = static_cast<std::uint32_t>(attr_names_.size());
+  for (const auto& [attr_id, packed] : scratch_attrs_) {
+    attr_names_.push_back(attr_id);
+    attr_values_.push_back(packed);
+  }
+  std::vector<FactId>& extent = by_concept_[concept_id];
+  const auto ordinal = static_cast<std::uint32_t>(extent.size());
+  records_.push_back({concept_id, ordinal, oid_id, attr_begin,
+                      static_cast<std::uint32_t>(scratch_attrs_.size())});
+  extent.push_back(id);
+
+  dedup_.Add(digest, id);
+  if (oid_id != kNoId) by_oid_.Add(oid_id, id);
+  for (const auto& [attr_id, packed] : scratch_attrs_) {
+    by_attr_.Add(AttrIndexKey(concept_id, attr_id, ValueDigest(packed)),
+                 ordinal);
+    if (TagOf(packed) == PackedTag::kSet) {
+      // Sets are indexed element-wise too (the matcher's set-membership
+      // convention).
+      const auto& run = set_runs_[PayloadOf(packed)];
+      for (std::uint32_t i = 0; i < run.second; ++i) {
+        by_attr_.Add(
+            AttrIndexKey(concept_id, attr_id,
+                         ValueDigest(set_elements_[run.first + i])),
+            ordinal);
       }
     }
   }
-  return &stored;
+  return id;
 }
 
-void FactStore::ProbeOid(ConceptId concept_id, const Oid& oid,
-                         std::vector<std::uint32_t>* out) const {
-  auto it = by_oid_.find(HashOid(oid));
-  if (it == by_oid_.end()) return;
-  for (const OidEntry& entry : it->second) {
-    if (entry.concept_id == concept_id) out->push_back(entry.ordinal);
+size_t FactStore::CountOf(ConceptId id) const {
+  return id == kNoConcept || id >= by_concept_.size() ? 0
+                                                      : by_concept_[id].size();
+}
+
+Fact FactStore::BuildFact(FactId id) const {
+  const FactRecord& rec = records_[id];
+  Fact fact;
+  fact.concept_name = symbols_.at(concept_symbols_[rec.concept_id]);
+  if (rec.oid_id != kNoId) fact.oid = MaterializeOid(rec.oid_id);
+  for (std::uint32_t i = 0; i < rec.attr_count; ++i) {
+    fact.attrs.emplace_hint(fact.attrs.end(),
+                            symbols_.at(attr_names_[rec.attr_begin + i]),
+                            DecodeValue(attr_values_[rec.attr_begin + i]));
   }
+  return fact;
+}
+
+const Fact* FactStore::Materialize(FactId id) const {
+  std::lock_guard<std::mutex> lock(*cache_mu_);
+  if (cache_.size() < records_.size()) cache_.resize(records_.size());
+  std::unique_ptr<Fact>& slot = cache_[id];
+  if (slot == nullptr) slot = std::make_unique<Fact>(BuildFact(id));
+  return slot.get();
+}
+
+const Fact* FactStore::FactById(FactId id) const { return Materialize(id); }
+
+const Fact* FactStore::FactAt(ConceptId id, std::uint32_t ordinal) const {
+  return Materialize(by_concept_[id][ordinal]);
+}
+
+std::vector<const Fact*> FactStore::FactsOf(ConceptId id) const {
+  std::vector<const Fact*> facts;
+  if (id == kNoConcept || id >= by_concept_.size()) return facts;
+  facts.reserve(by_concept_[id].size());
+  for (FactId fid : by_concept_[id]) facts.push_back(Materialize(fid));
+  return facts;
+}
+
+std::vector<const Fact*> FactStore::FactsOf(const std::string& name) const {
+  return FactsOf(FindConcept(name));
 }
 
 const Fact* FactStore::FindByOid(const Oid& oid) const {
-  auto it = by_oid_.find(HashOid(oid));
-  if (it == by_oid_.end()) return nullptr;
-  // Entries are appended in insertion order; the first exact match is
-  // the first-inserted fact with this OID (the precedence contract).
-  for (const OidEntry& entry : it->second) {
-    const Fact* fact = FactAt(entry.concept_id, entry.ordinal);
-    if (fact->oid == oid) return fact;
-  }
+  if (oid.empty()) return nullptr;
+  const std::uint32_t oid_id = FindOid(oid);
+  if (oid_id == kNoId) return nullptr;
+  // Fact ids are appended ascending, so the first posting is the
+  // first-inserted fact with this OID (the precedence contract). The
+  // index is keyed by dictionary id — exact, no hash re-verification.
+  PostingsCursor cursor = by_oid_.Find(oid_id);
+  std::uint32_t fid = 0;
+  if (cursor.Next(&fid)) return Materialize(fid);
   return nullptr;
 }
 
 const Fact* FactStore::FindByOid(const Oid& oid, ConceptId concept_id) const {
-  auto it = by_oid_.find(HashOid(oid));
-  if (it == by_oid_.end()) return nullptr;
-  for (const OidEntry& entry : it->second) {
-    if (entry.concept_id != concept_id) continue;
-    const Fact* fact = FactAt(entry.concept_id, entry.ordinal);
-    if (fact->oid == oid) return fact;
+  if (oid.empty()) return nullptr;
+  const std::uint32_t oid_id = FindOid(oid);
+  if (oid_id == kNoId) return nullptr;
+  PostingsCursor cursor = by_oid_.Find(oid_id);
+  std::uint32_t fid = 0;
+  while (cursor.Next(&fid)) {
+    if (records_[fid].concept_id == concept_id) return Materialize(fid);
   }
   return nullptr;
 }
 
+FactView FactStore::ViewByOid(const Oid& oid) const {
+  if (oid.empty()) return FactView();
+  const std::uint32_t oid_id = FindOid(oid);
+  if (oid_id == kNoId) return FactView();
+  PostingsCursor cursor = by_oid_.Find(oid_id);
+  std::uint32_t fid = 0;
+  if (cursor.Next(&fid)) return FactView(this, fid);
+  return FactView();
+}
+
+PostingsCursor FactStore::Probe(ConceptId concept_id, const std::string& attr,
+                                const Value& value) const {
+  const std::uint32_t attr_id = symbols_.Find(attr);
+  if (attr_id == kNoId) return PostingsCursor();
+  std::uint64_t digest = 0;
+  if (!TryLookupDigest(value, &digest)) return PostingsCursor();
+  return by_attr_.Find(AttrIndexKey(concept_id, attr_id, digest));
+}
+
+void FactStore::ProbeOid(ConceptId concept_id, const Oid& oid,
+                         std::vector<std::uint32_t>* out) const {
+  if (oid.empty()) return;
+  const std::uint32_t oid_id = FindOid(oid);
+  if (oid_id == kNoId) return;
+  PostingsCursor cursor = by_oid_.Find(oid_id);
+  std::uint32_t fid = 0;
+  while (cursor.Next(&fid)) {
+    const FactRecord& rec = records_[fid];
+    if (rec.concept_id == concept_id) out->push_back(rec.ordinal);
+  }
+}
+
+bool FactStore::EquivalentAttrs(FactId id, const Fact& fact) const {
+  const FactRecord& rec = records_[id];
+  if (symbols_.view(concept_symbols_[rec.concept_id]) != fact.concept_name) {
+    return false;
+  }
+  if (rec.attr_count != fact.attrs.size()) return false;
+  std::uint32_t i = 0;
+  for (const auto& [name, value] : fact.attrs) {
+    if (symbols_.view(attr_names_[rec.attr_begin + i]) != name) return false;
+    if (!PackedEqualsValue(attr_values_[rec.attr_begin + i], value)) {
+      return false;
+    }
+    ++i;
+  }
+  return true;
+}
+
 void FactStore::Clear() {
-  all_.clear();
-  concept_names_.clear();
-  concept_ids_.clear();
+  symbols_.Clear();
+  concept_symbols_.clear();
+  concept_table_.Clear();
+  oids_.clear();
+  oid_table_.Clear();
+  reals_.clear();
+  real_table_.Clear();
+  boxed_ints_.clear();
+  int_table_.Clear();
+  boxed_dates_.clear();
+  date_table_.Clear();
+  set_runs_.clear();
+  set_elements_.clear();
+  records_.clear();
+  attr_names_.clear();
+  attr_values_.clear();
   by_concept_.clear();
-  dedup_.clear();
-  by_oid_.clear();
-  by_attr_.clear();
+  by_attr_.Clear();
+  by_oid_.Clear();
+  dedup_.Clear();
+  std::lock_guard<std::mutex> lock(*cache_mu_);
+  // Release capacity too, so memory().materialized_bytes drops to zero.
+  std::vector<std::unique_ptr<Fact>>().swap(cache_);
+}
+
+FactStore::MemoryBreakdown FactStore::memory() const {
+  MemoryBreakdown m;
+  m.record_bytes = records_.capacity() * sizeof(FactRecord) +
+                   by_concept_.capacity() * sizeof(std::vector<FactId>);
+  for (const std::vector<FactId>& extent : by_concept_) {
+    m.record_bytes += extent.capacity() * sizeof(FactId);
+  }
+  m.attr_bytes = attr_names_.capacity() * sizeof(std::uint32_t) +
+                 attr_values_.capacity() * sizeof(PackedValue);
+  m.symbol_bytes = symbols_.ApproxBytes() +
+                   concept_symbols_.capacity() * sizeof(std::uint32_t) +
+                   concept_table_.ApproxBytes();
+  m.value_pool_bytes =
+      oids_.capacity() * sizeof(PackedOid) + oid_table_.ApproxBytes() +
+      reals_.capacity() * sizeof(double) + real_table_.ApproxBytes() +
+      boxed_ints_.capacity() * sizeof(std::int64_t) +
+      int_table_.ApproxBytes() + boxed_dates_.capacity() * sizeof(Date) +
+      date_table_.ApproxBytes() +
+      set_runs_.capacity() * sizeof(set_runs_[0]) +
+      set_elements_.capacity() * sizeof(PackedValue);
+  m.attr_index_bytes = by_attr_.ApproxBytes();
+  m.oid_index_bytes = by_oid_.ApproxBytes();
+  m.dedup_bytes = dedup_.ApproxBytes();
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    m.materialized_bytes = cache_.capacity() * sizeof(cache_[0]);
+    for (const std::unique_ptr<Fact>& fact : cache_) {
+      if (fact != nullptr) m.materialized_bytes += MaterializedFactBytes(*fact);
+    }
+  }
+  return m;
 }
 
 }  // namespace ooint

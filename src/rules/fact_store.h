@@ -2,51 +2,153 @@
 #define OOINT_RULES_FACT_STORE_H_
 
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_map>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "rules/columnar.h"
 #include "rules/fact.h"
 
 namespace ooint {
 
-/// 64-bit content hashes used by the fact store and the evaluators'
-/// de-duplication sets (FNV-1a based). Hashes are an accelerator only:
-/// every user verifies candidates with exact equality, so a collision
-/// can cost time but never correctness.
+/// 64-bit content hashes used across the evaluators (FNV-1a based).
+/// Hashes are an accelerator only: every user verifies candidates with
+/// exact equality, so a collision can cost time but never correctness.
+/// HashFactAttrs also content-addresses skolem OIDs (the derived-OID
+/// numbers both fixpoint strategies assign), so its definition is part
+/// of the observable output and must not change.
 std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v);
 std::uint64_t HashString(const std::string& s);
 std::uint64_t HashOid(const Oid& oid);
 std::uint64_t HashValue(const Value& value);
-/// Hash of (concept_id, attrs) — the Fact::AttrKey() identity.
+/// Hash of (concept, attrs) — the Fact::AttrKey() identity.
 std::uint64_t HashFactAttrs(const Fact& fact);
-/// Hash of (concept_id, oid, attrs) — the Fact::CanonicalKey() identity.
+/// Hash of (concept, oid, attrs) — the Fact::CanonicalKey() identity.
 std::uint64_t HashFactCanonical(const Fact& fact);
 
-/// Interned concept_id names: the evaluators address concepts by dense
+/// Interned concept names: the evaluators address concepts by dense
 /// 32-bit ids instead of re-hashing strings on every join step.
 using ConceptId = std::uint32_t;
 inline constexpr ConceptId kNoConcept = 0xffffffffu;
 
+/// Global insertion index of a stored fact (dense, insertion-ordered).
+using FactId = std::uint32_t;
+inline constexpr FactId kNoFact = 0xffffffffu;
+
+class FactStore;
+
+/// A dictionary-encoded value: 4-bit tag in the top nibble, 60-bit
+/// payload (inline scalar, pool index, or set-run index) below. The
+/// encoding is store-relative — two PackedValues compare only within
+/// the store that produced them.
+using PackedValue = std::uint64_t;
+
+enum class PackedTag : std::uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kChar = 2,
+  kIntInline = 3,  // 60-bit two's complement
+  kIntBoxed = 4,   // index into the int pool
+  kReal = 5,       // index into the real pool (deduped by bit pattern)
+  kString = 6,     // symbol id
+  kDateInline = 7, // (year+2^23) << 16 | month << 8 | day
+  kDateBoxed = 8,  // index into the date pool
+  kOid = 9,        // oid-dictionary id
+  kSet = 10,       // set-run index (contiguous elements, order kept)
+};
+
+/// A value either materialized (a Value somewhere stable) or packed in
+/// a FactStore. The matcher compares, inspects and selectively
+/// materializes through this handle so packed facts are matched without
+/// ever rebuilding their std::map representation.
+class ValueHandle {
+ public:
+  ValueHandle() = default;  // invalid (attribute absent)
+  explicit ValueHandle(const Value* value) : value_(value) {}
+  ValueHandle(const FactStore* store, PackedValue packed)
+      : store_(store), packed_(packed) {}
+
+  bool valid() const { return value_ != nullptr || store_ != nullptr; }
+  ValueKind kind() const;
+
+  /// Set access (kind() == kSet): element count and element handles in
+  /// stored order.
+  size_t set_size() const;
+  ValueHandle set_element(size_t i) const;
+
+  /// Exact Value::operator== semantics (IEEE for reals, ordered
+  /// element-wise for sets) without materializing.
+  bool Equals(const Value& other) const;
+
+  Value Materialize() const;
+  /// kind() == kOid only.
+  Oid MaterializeOid() const;
+
+ private:
+  const Value* value_ = nullptr;
+  const FactStore* store_ = nullptr;
+  PackedValue packed_ = 0;
+};
+
+/// A fact either materialized (a Fact somewhere stable, e.g. the
+/// top-down evaluator's memo rows) or packed in a FactStore. This is
+/// what the matcher and the evaluator's join paths traverse; attribute
+/// iteration order is lexicographic by name in both backings (std::map
+/// order / the packed runs are stored sorted by name).
+class FactView {
+ public:
+  FactView() = default;  // invalid
+  explicit FactView(const Fact* fact) : fact_(fact) {}
+  FactView(const FactStore* store, FactId id) : store_(store), id_(id) {}
+
+  bool valid() const { return fact_ != nullptr || store_ != nullptr; }
+  bool oid_empty() const;
+  Oid oid() const;
+
+  size_t attr_count() const;
+  std::string_view attr_name(size_t i) const;
+  ValueHandle attr_value(size_t i) const;
+  /// Invalid handle when the fact has no attribute named `name`.
+  ValueHandle Find(std::string_view name) const;
+
+ private:
+  const Fact* fact_ = nullptr;
+  const FactStore* store_ = nullptr;
+  FactId id_ = kNoFact;
+};
+
 /// The shared indexed fact universe of both federated evaluators
-/// (Appendix B). Replaces the ad-hoc deque + per-concept_id map + key set +
-/// OID map quadruple the bottom-up evaluator used to carry.
+/// (Appendix B), stored columnar (DESIGN.md 4h): concept names,
+/// attribute names, string values and OID components are interned into
+/// one symbol pool; each fact is a fixed-size record whose attributes
+/// are a sorted (AttrId, PackedValue) run in shared arrays; and the
+/// de-duplication, OID and (concept, attribute, value) indexes are
+/// delta/varint-packed ordinal postings behind open-addressing tables.
 ///
-/// Provides:
-///  - stable storage (facts never move once inserted);
-///  - hashed exact de-duplication on (concept_id, oid, attrs);
-///  - per-concept_id extents in insertion order, addressable by ordinal
-///    (which is what makes semi-naive delta ranges representable as
-///    [begin, end) ordinal windows);
-///  - an OID hash index with *defined* collision precedence: when two
-///    facts carry the same OID (e.g. two concepts derive the same
-///    entity), FindByOid returns the first-inserted fact — base facts
-///    load before derived facts, so base data wins — and the
-///    concept_id-aware overload disambiguates explicitly;
-///  - a (concept_id, attribute, value) hash index used for bound-first
-///    join probing; set-valued attributes are indexed element-wise to
-///    mirror FactMatcher's element-level matching convention.
+/// Contract (unchanged from the pre-columnar store, which survives as
+/// ReferenceFactStore — a differential oracle enforces bit-identical
+/// fact sets):
+///  - hashed exact de-duplication on (concept, oid, attrs);
+///  - per-concept extents in insertion order, addressable by ordinal
+///    (semi-naive delta ranges are [begin, end) ordinal windows);
+///  - FindByOid returns the FIRST-inserted fact with the OID (base
+///    facts load before derived ones, so base data wins); the
+///    concept-aware overload disambiguates;
+///  - Probe streams the per-concept ordinals of facts whose attribute
+///    equals the value (or is a set containing it; sets are indexed
+///    element-wise to mirror the matcher's convention). Candidates may
+///    include 64-bit-key collision false positives; callers re-verify
+///    via the matcher. A value absent from the dictionaries yields an
+///    empty cursor — exactly the old "no hash bucket" empty join.
+///
+/// Boundary APIs that hand out `const Fact*` (FactsOf, FactAt,
+/// FindByOid, FactById) materialize lazily into a mutex-guarded cache;
+/// the evaluation hot paths use FactView/PostingsCursor and never
+/// materialize. Materialized pointers stay valid for the store's
+/// lifetime (until Clear()).
 class FactStore {
  public:
   FactStore() = default;
@@ -56,65 +158,193 @@ class FactStore {
   /// Returns the id of `name`, or kNoConcept if it was never interned.
   ConceptId FindConcept(const std::string& name) const;
   const std::string& ConceptName(ConceptId id) const;
-  size_t concept_count() const { return concept_names_.size(); }
+  size_t concept_count() const { return concept_symbols_.size(); }
 
-  /// Inserts `fact` unless an identical fact (concept_id, oid, attrs) is
-  /// already stored. Returns the stored fact, or nullptr on duplicate.
-  const Fact* Insert(Fact fact);
+  /// Inserts `fact` unless an identical fact (concept, oid, attrs) is
+  /// already stored. Returns the new FactId, or kNoFact on duplicate.
+  FactId Insert(Fact fact);
 
-  size_t size() const { return all_.size(); }
+  size_t size() const { return records_.size(); }
 
-  /// The extent of a concept_id in insertion order (stable pointers).
-  const std::vector<const Fact*>& FactsOf(ConceptId id) const;
-  const std::vector<const Fact*>& FactsOf(const std::string& name) const;
+  /// The extent of a concept in insertion order. Materializes every
+  /// fact of the concept — a boundary API, not a join path.
+  std::vector<const Fact*> FactsOf(ConceptId id) const;
+  std::vector<const Fact*> FactsOf(const std::string& name) const;
   size_t CountOf(ConceptId id) const;
 
-  /// The fact at per-concept_id insertion ordinal `ordinal`.
-  const Fact* FactAt(ConceptId id, std::uint32_t ordinal) const {
-    return FactsOf(id)[ordinal];
-  }
+  /// The fact at per-concept insertion ordinal `ordinal` (materializing).
+  const Fact* FactAt(ConceptId id, std::uint32_t ordinal) const;
+  /// The fact with global insertion index `id` (materializing).
+  const Fact* FactById(FactId id) const;
 
-  /// First-inserted fact with `oid` across all concepts (see class
-  /// comment for the precedence contract); nullptr if absent.
+  /// Packed access for the join paths (no materialization).
+  FactId IdAt(ConceptId id, std::uint32_t ordinal) const {
+    return by_concept_[id][ordinal];
+  }
+  FactView ViewAt(ConceptId id, std::uint32_t ordinal) const {
+    return FactView(this, IdAt(id, ordinal));
+  }
+  FactView ViewById(FactId id) const { return FactView(this, id); }
+  ConceptId ConceptOf(FactId id) const { return records_[id].concept_id; }
+  std::uint32_t OrdinalOf(FactId id) const { return records_[id].ordinal; }
+
+  /// First-inserted fact with `oid` (see class comment); nullptr if
+  /// absent. Materializing.
   const Fact* FindByOid(const Oid& oid) const;
   /// First-inserted fact with `oid` belonging to `concept_id`.
   const Fact* FindByOid(const Oid& oid, ConceptId concept_id) const;
+  /// Packed equivalent of FindByOid for the matcher's resolver.
+  FactView ViewByOid(const Oid& oid) const;
 
-  /// Per-concept_id ordinals of facts whose attribute `attr` equals
-  /// `value` (or is a set containing `value`), via the hash index.
-  /// Returns nullptr when no fact matches. Candidates may include
-  /// hash-collision false positives; callers re-verify via the matcher.
-  const std::vector<std::uint32_t>* Probe(ConceptId concept_id,
-                                          const std::string& attr,
-                                          const Value& value) const;
+  /// Streaming per-concept ordinals (non-decreasing) of facts whose
+  /// attribute `attr` equals `value` (or is a set containing it). The
+  /// cursor is a snapshot — see PostingsCursor for the lifetime
+  /// contract (this replaces the old raw `const vector<uint32_t>*`,
+  /// which concurrent-round inserts could invalidate).
+  PostingsCursor Probe(ConceptId concept_id, const std::string& attr,
+                       const Value& value) const;
 
-  /// Appends the per-concept_id ordinals (ascending) of `concept_id` facts
-  /// whose OID hashes like `oid`. May include collision false
-  /// positives; callers re-verify.
+  /// Appends the per-concept ordinals (ascending) of `concept_id`
+  /// facts carrying exactly `oid`. Exact — the OID index is keyed by
+  /// dictionary id, so unlike the old hash index it admits no
+  /// collision false positives.
   void ProbeOid(ConceptId concept_id, const Oid& oid,
                 std::vector<std::uint32_t>* out) const;
 
+  /// True iff the stored fact has `fact`'s concept name and exactly its
+  /// attribute map — the skolem-deduplication verification, evaluated
+  /// against the packed run without interning or materializing.
+  bool EquivalentAttrs(FactId id, const Fact& fact) const;
+
   void Clear();
 
+  /// Byte accounting of every columnar structure (capacity-based; the
+  /// bytes/fact numerator reported by bench_storage and the regression
+  /// budget guard).
+  struct MemoryBreakdown {
+    size_t record_bytes = 0;      // fact records + per-concept extents
+    size_t attr_bytes = 0;        // packed attribute runs
+    size_t symbol_bytes = 0;      // symbol pool
+    size_t value_pool_bytes = 0;  // real/int/date pools, set runs, oids
+    size_t attr_index_bytes = 0;  // by_attr postings
+    size_t oid_index_bytes = 0;   // by_oid postings
+    size_t dedup_bytes = 0;       // dedup postings
+    size_t materialized_bytes = 0;  // lazy boundary cache (not packed)
+
+    /// The columnar footprint (what the ≥5x target measures).
+    size_t packed_total() const {
+      return record_bytes + attr_bytes + symbol_bytes + value_pool_bytes +
+             attr_index_bytes + oid_index_bytes + dedup_bytes;
+    }
+    size_t total() const { return packed_total() + materialized_bytes; }
+  };
+  MemoryBreakdown memory() const;
+
+  /// Collision-test knob: truncates the de-duplication digests, the
+  /// by_attr keys and the OID-dictionary probing hashes to the low
+  /// `bits` bits, forcing distinct (concept, attr, value) triples and
+  /// distinct OIDs to collide so tests can assert the exact-verification
+  /// paths never produce false positives. 64 restores exactness.
+  void set_digest_bits_for_testing(int bits) {
+    digest_mask_ = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  }
+
  private:
-  struct OidEntry {
-    ConceptId concept_id;
-    std::uint32_t ordinal;
+  friend class ValueHandle;
+  friend class FactView;
+
+  struct PackedOid {
+    std::uint32_t agent;
+    std::uint32_t dbms;
+    std::uint32_t database;
+    std::uint32_t relation;
+    std::uint64_t number;
   };
 
-  void IndexAttr(ConceptId concept_id, std::uint32_t ordinal,
-                 const std::string& attr, const Value& value);
+  struct FactRecord {
+    ConceptId concept_id;
+    std::uint32_t ordinal;     // within the concept's extent
+    std::uint32_t oid_id;      // kNoId when the fact has no OID
+    std::uint32_t attr_begin;  // into attr_names_/attr_values_
+    std::uint32_t attr_count;
+  };
 
-  std::deque<Fact> all_;  // stable storage
-  std::vector<std::string> concept_names_;
-  std::unordered_map<std::string, ConceptId> concept_ids_;
-  std::vector<std::vector<const Fact*>> by_concept_;
-  // canonical hash -> facts with that hash (exact-verified on insert)
-  std::unordered_map<std::uint64_t, std::vector<const Fact*>> dedup_;
-  // oid hash -> entries in insertion order (exact-verified on lookup)
-  std::unordered_map<std::uint64_t, std::vector<OidEntry>> by_oid_;
-  // hash(concept_id, attr, value) -> per-concept_id ordinals
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_attr_;
+  static constexpr std::uint64_t kPayloadMask = (1ull << 60) - 1;
+  static PackedValue Pack(PackedTag tag, std::uint64_t payload) {
+    return (static_cast<std::uint64_t>(tag) << 60) | (payload & kPayloadMask);
+  }
+  static PackedTag TagOf(PackedValue v) {
+    return static_cast<PackedTag>(v >> 60);
+  }
+  static std::uint64_t PayloadOf(PackedValue v) { return v & kPayloadMask; }
+
+  std::uint32_t InternOid(const Oid& oid);
+  /// kNoId unless every component of `oid` is already interned.
+  std::uint32_t FindOid(const Oid& oid) const;
+  Oid MaterializeOid(std::uint32_t oid_id) const;
+
+  PackedValue EncodeValue(const Value& value);
+  Value DecodeValue(PackedValue v) const;
+  std::int64_t DecodeInt(PackedValue v) const;
+  Date DecodeDate(PackedValue v) const;
+
+  bool PackedEqualsValue(PackedValue a, const Value& b) const;
+  bool PackedEqualsPacked(PackedValue a, PackedValue b) const;
+
+  /// Identity digest of a packed value: exact on dictionary ids,
+  /// bit-pattern on reals (preserving the reference store's property
+  /// that -0.0 and 0.0 never share a de-duplication bucket).
+  std::uint64_t ValueDigest(PackedValue v) const;
+  /// The digest EncodeValue+ValueDigest would produce for `value`, using
+  /// lookup-only dictionary access: false when the value (or any
+  /// dictionary-encoded part of it) was never stored — the probe-miss
+  /// empty join.
+  bool TryLookupDigest(const Value& value, std::uint64_t* out) const;
+  std::uint64_t AttrIndexKey(ConceptId concept_id, std::uint32_t attr_id,
+                             std::uint64_t value_digest) const;
+
+  Fact BuildFact(FactId id) const;
+  const Fact* Materialize(FactId id) const;
+
+  // --- dictionaries ---
+  SymbolPool symbols_;
+  std::vector<std::uint32_t> concept_symbols_;  // ConceptId -> symbol
+  IdTable concept_table_;
+  std::vector<PackedOid> oids_;
+  IdTable oid_table_;
+  std::vector<double> reals_;
+  IdTable real_table_;
+  std::vector<std::int64_t> boxed_ints_;
+  IdTable int_table_;
+  std::vector<Date> boxed_dates_;
+  IdTable date_table_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> set_runs_;
+  std::vector<PackedValue> set_elements_;
+
+  // --- facts ---
+  std::vector<FactRecord> records_;
+  std::vector<std::uint32_t> attr_names_;   // symbol ids, run-sorted by name
+  std::vector<PackedValue> attr_values_;    // parallel to attr_names_
+  std::vector<std::vector<FactId>> by_concept_;
+
+  // --- indexes ---
+  PostingsIndex by_attr_;  // AttrIndexKey -> per-concept ordinals
+  PostingsIndex by_oid_;   // oid id -> fact ids (insertion order)
+  PostingsIndex dedup_;    // canonical digest -> fact ids
+
+  std::uint64_t digest_mask_ = ~0ull;
+
+  // Scratch for Insert (encode-then-compare); member to avoid per-call
+  // allocation.
+  std::vector<std::pair<std::uint32_t, PackedValue>> scratch_attrs_;
+
+  // --- lazy boundary materialization ---
+  mutable std::vector<std::unique_ptr<Fact>> cache_;
+  /// Guards cache_ against concurrent boundary reads (e.g. overlapping
+  /// FsmClient::Extent calls). Heap-allocated so the store stays
+  /// movable.
+  mutable std::unique_ptr<std::mutex> cache_mu_ =
+      std::make_unique<std::mutex>();
 };
 
 }  // namespace ooint

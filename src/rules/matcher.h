@@ -8,6 +8,7 @@
 
 #include "datamap/data_mapping.h"
 #include "rules/fact.h"
+#include "rules/fact_store.h"
 #include "rules/term.h"
 
 namespace ooint {
@@ -30,28 +31,53 @@ bool ResolveArg(const TermArg& arg, const Bindings& bindings, Value* out);
 ///    (resolved via the injected OidResolver) and matches recursively;
 ///  - OID equality consults the data-mapping registry when configured
 ///    ("oi1 = oi2 in terms of data mapping").
+///
+/// Facts are matched through FactView, so packed store facts are
+/// traversed in place — values materialize only when they bind a
+/// variable. The `const Fact&` overloads wrap materialized facts (the
+/// top-down evaluator's memo rows) in a view.
 class FactMatcher {
  public:
-  using OidResolver = std::function<const Fact*(const Oid&)>;
+  using OidResolver = std::function<FactView(const Oid&)>;
 
   FactMatcher(OidResolver resolver, const DataMappingRegistry* mappings)
       : resolver_(std::move(resolver)), mappings_(mappings) {}
 
   /// Value equality with cross-database OID identity.
   bool ValuesEqual(const Value& a, const Value& b) const;
+  /// Same, with the right-hand side still packed (alloc-free unless the
+  /// mapping registry is consulted).
+  bool ValuesEqual(const Value& a, const ValueHandle& b) const;
 
   /// Appends to `out` every extension of `bindings` under which
   /// `pattern` matches `fact`.
-  void MatchOTerm(const OTerm& pattern, const Fact& fact,
+  void MatchOTerm(const OTerm& pattern, const FactView& fact,
                   const Bindings& bindings, std::vector<Bindings>* out) const;
+  void MatchOTerm(const OTerm& pattern, const Fact& fact,
+                  const Bindings& bindings, std::vector<Bindings>* out) const {
+    MatchOTerm(pattern, FactView(&fact), bindings, out);
+  }
 
   /// Matches the descriptor list starting at `index`.
   void MatchDescriptors(const std::vector<AttrDescriptor>& descriptors,
-                        size_t index, const Fact& fact,
+                        size_t index, const FactView& fact,
                         const Bindings& bindings,
                         std::vector<Bindings>* out) const;
+  void MatchDescriptors(const std::vector<AttrDescriptor>& descriptors,
+                        size_t index, const Fact& fact,
+                        const Bindings& bindings,
+                        std::vector<Bindings>* out) const {
+    MatchDescriptors(descriptors, index, FactView(&fact), bindings, out);
+  }
 
  private:
+  /// Matches descriptor `index` against one (name, stored value) pair of
+  /// the fact, then continues down the descriptor list.
+  void MatchAttr(const std::vector<AttrDescriptor>& descriptors, size_t index,
+                 const FactView& fact, std::string_view name,
+                 const ValueHandle& stored, const Bindings& bindings,
+                 std::vector<Bindings>* out) const;
+
   OidResolver resolver_;
   const DataMappingRegistry* mappings_;
 };

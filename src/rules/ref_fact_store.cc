@@ -1,0 +1,208 @@
+#include "rules/ref_fact_store.h"
+
+namespace ooint {
+
+namespace {
+
+/// Footprint estimate of one Value, including owned heap blocks.
+size_t ValueBytes(const Value& value) {
+  size_t bytes = sizeof(Value);
+  switch (value.kind()) {
+    case ValueKind::kString:
+      if (value.AsString().capacity() > sizeof(std::string)) {
+        bytes += value.AsString().capacity();
+      }
+      break;
+    case ValueKind::kOid: {
+      const Oid& oid = value.AsOid();
+      for (const std::string* s : {&oid.agent(), &oid.dbms(), &oid.database(),
+                                   &oid.relation()}) {
+        if (s->capacity() > sizeof(std::string)) bytes += s->capacity();
+      }
+      break;
+    }
+    case ValueKind::kSet:
+      for (const Value& e : value.AsSet()) bytes += ValueBytes(e);
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+/// Rough per-node overhead of libstdc++'s red-black tree / hash nodes.
+constexpr size_t kMapNodeOverhead = 48;
+constexpr size_t kHashNodeOverhead = 40;
+
+size_t FactBytes(const Fact& fact) {
+  size_t bytes = sizeof(Fact);
+  if (fact.concept_name.capacity() > sizeof(std::string)) {
+    bytes += fact.concept_name.capacity();
+  }
+  for (const std::string* s :
+       {&fact.oid.agent(), &fact.oid.dbms(), &fact.oid.database(),
+        &fact.oid.relation()}) {
+    if (s->capacity() > sizeof(std::string)) bytes += s->capacity();
+  }
+  for (const auto& [name, value] : fact.attrs) {
+    bytes += kMapNodeOverhead + sizeof(std::string);
+    if (name.capacity() > sizeof(std::string)) bytes += name.capacity();
+    bytes += ValueBytes(value);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+ConceptId ReferenceFactStore::InternConcept(const std::string& name) {
+  auto [it, inserted] =
+      concept_ids_.emplace(name, static_cast<ConceptId>(concept_names_.size()));
+  if (inserted) {
+    concept_names_.push_back(name);
+    by_concept_.emplace_back();
+  }
+  return it->second;
+}
+
+ConceptId ReferenceFactStore::FindConcept(const std::string& name) const {
+  auto it = concept_ids_.find(name);
+  return it == concept_ids_.end() ? kNoConcept : it->second;
+}
+
+const std::string& ReferenceFactStore::ConceptName(ConceptId id) const {
+  return concept_names_[id];
+}
+
+const std::vector<const Fact*>& ReferenceFactStore::FactsOf(
+    ConceptId id) const {
+  static const std::vector<const Fact*> kEmpty;
+  return id == kNoConcept || id >= by_concept_.size() ? kEmpty
+                                                      : by_concept_[id];
+}
+
+const std::vector<const Fact*>& ReferenceFactStore::FactsOf(
+    const std::string& name) const {
+  return FactsOf(FindConcept(name));
+}
+
+size_t ReferenceFactStore::CountOf(ConceptId id) const {
+  return FactsOf(id).size();
+}
+
+void ReferenceFactStore::IndexAttr(ConceptId concept_id, std::uint32_t ordinal,
+                                   const std::string& attr,
+                                   const Value& value) {
+  std::uint64_t key = HashCombine(concept_id, HashString(attr));
+  key = HashCombine(key, HashValue(value));
+  by_attr_[key].push_back(ordinal);
+}
+
+const std::vector<std::uint32_t>* ReferenceFactStore::Probe(
+    ConceptId concept_id, const std::string& attr, const Value& value) const {
+  std::uint64_t key = HashCombine(concept_id, HashString(attr));
+  key = HashCombine(key, HashValue(value));
+  auto it = by_attr_.find(key);
+  return it == by_attr_.end() ? nullptr : &it->second;
+}
+
+const Fact* ReferenceFactStore::Insert(Fact fact) {
+  const std::uint64_t canonical = HashFactCanonical(fact);
+  std::vector<const Fact*>& bucket = dedup_[canonical];
+  for (const Fact* existing : bucket) {
+    if (existing->oid == fact.oid &&
+        existing->concept_name == fact.concept_name &&
+        existing->attrs == fact.attrs) {
+      return nullptr;
+    }
+  }
+  const ConceptId concept_id = InternConcept(fact.concept_name);
+  all_.push_back(std::move(fact));
+  const Fact& stored = all_.back();
+  std::vector<const Fact*>& extent = by_concept_[concept_id];
+  const auto ordinal = static_cast<std::uint32_t>(extent.size());
+  extent.push_back(&stored);
+  bucket.push_back(&stored);
+  if (!stored.oid.empty()) {
+    by_oid_[HashOid(stored.oid)].push_back({concept_id, ordinal});
+  }
+  for (const auto& [name, value] : stored.attrs) {
+    IndexAttr(concept_id, ordinal, name, value);
+    if (value.kind() == ValueKind::kSet) {
+      for (const Value& element : value.AsSet()) {
+        IndexAttr(concept_id, ordinal, name, element);
+      }
+    }
+  }
+  return &stored;
+}
+
+void ReferenceFactStore::ProbeOid(ConceptId concept_id, const Oid& oid,
+                                  std::vector<std::uint32_t>* out) const {
+  auto it = by_oid_.find(HashOid(oid));
+  if (it == by_oid_.end()) return;
+  for (const OidEntry& entry : it->second) {
+    if (entry.concept_id == concept_id) out->push_back(entry.ordinal);
+  }
+}
+
+const Fact* ReferenceFactStore::FindByOid(const Oid& oid) const {
+  auto it = by_oid_.find(HashOid(oid));
+  if (it == by_oid_.end()) return nullptr;
+  // Entries are appended in insertion order; the first exact match is
+  // the first-inserted fact with this OID (the precedence contract).
+  for (const OidEntry& entry : it->second) {
+    const Fact* fact = FactAt(entry.concept_id, entry.ordinal);
+    if (fact->oid == oid) return fact;
+  }
+  return nullptr;
+}
+
+const Fact* ReferenceFactStore::FindByOid(const Oid& oid,
+                                          ConceptId concept_id) const {
+  auto it = by_oid_.find(HashOid(oid));
+  if (it == by_oid_.end()) return nullptr;
+  for (const OidEntry& entry : it->second) {
+    if (entry.concept_id != concept_id) continue;
+    const Fact* fact = FactAt(entry.concept_id, entry.ordinal);
+    if (fact->oid == oid) return fact;
+  }
+  return nullptr;
+}
+
+void ReferenceFactStore::Clear() {
+  all_.clear();
+  concept_names_.clear();
+  concept_ids_.clear();
+  by_concept_.clear();
+  dedup_.clear();
+  by_oid_.clear();
+  by_attr_.clear();
+}
+
+size_t ReferenceFactStore::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Fact& fact : all_) bytes += FactBytes(fact);
+  for (const auto& [name, id] : concept_ids_) {
+    (void)id;
+    bytes += kHashNodeOverhead + sizeof(std::string);
+    if (name.capacity() > sizeof(std::string)) bytes += name.capacity();
+  }
+  for (const std::vector<const Fact*>& extent : by_concept_) {
+    bytes += extent.capacity() * sizeof(const Fact*);
+  }
+  for (const auto& [key, facts] : dedup_) {
+    (void)key;
+    bytes += kHashNodeOverhead + facts.capacity() * sizeof(const Fact*);
+  }
+  for (const auto& [key, entries] : by_oid_) {
+    (void)key;
+    bytes += kHashNodeOverhead + entries.capacity() * sizeof(OidEntry);
+  }
+  for (const auto& [key, ordinals] : by_attr_) {
+    (void)key;
+    bytes += kHashNodeOverhead + ordinals.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace ooint

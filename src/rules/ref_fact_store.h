@@ -1,0 +1,90 @@
+#ifndef OOINT_RULES_REF_FACT_STORE_H_
+#define OOINT_RULES_REF_FACT_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rules/fact.h"
+#include "rules/fact_store.h"
+
+namespace ooint {
+
+/// The pre-columnar FactStore, kept verbatim as a reference
+/// implementation: a deque of materialized Facts plus unordered-map
+/// hash indexes. It is the differential-testing baseline for the
+/// columnar store (the old-vs-columnar conformance oracle and the unit
+/// differential test replay identical insert sequences into both and
+/// compare every observable), and bench_storage measures its bytes/fact
+/// as the denominator of the memory-reduction ratio.
+///
+/// Contract (identical to the old FactStore, bug-compat quirks
+/// included): hashed exact de-duplication on (concept, oid, attrs);
+/// per-concept extents in insertion order; first-inserted precedence on
+/// OID collisions; the (concept, attribute, value) index keyed on
+/// 64-bit content hashes with callers re-verifying candidates.
+class ReferenceFactStore {
+ public:
+  ReferenceFactStore() = default;
+
+  ConceptId InternConcept(const std::string& name);
+  ConceptId FindConcept(const std::string& name) const;
+  const std::string& ConceptName(ConceptId id) const;
+  size_t concept_count() const { return concept_names_.size(); }
+
+  /// Inserts `fact` unless an identical fact (concept, oid, attrs) is
+  /// already stored. Returns the stored fact, or nullptr on duplicate.
+  const Fact* Insert(Fact fact);
+
+  size_t size() const { return all_.size(); }
+
+  const std::vector<const Fact*>& FactsOf(ConceptId id) const;
+  const std::vector<const Fact*>& FactsOf(const std::string& name) const;
+  size_t CountOf(ConceptId id) const;
+
+  const Fact* FactAt(ConceptId id, std::uint32_t ordinal) const {
+    return FactsOf(id)[ordinal];
+  }
+
+  const Fact* FindByOid(const Oid& oid) const;
+  const Fact* FindByOid(const Oid& oid, ConceptId concept_id) const;
+
+  /// Hash-bucket probe; may contain collision false positives, callers
+  /// re-verify. Returns nullptr when no fact hashes like the value.
+  const std::vector<std::uint32_t>* Probe(ConceptId concept_id,
+                                          const std::string& attr,
+                                          const Value& value) const;
+
+  void ProbeOid(ConceptId concept_id, const Oid& oid,
+                std::vector<std::uint32_t>* out) const;
+
+  void Clear();
+
+  /// Estimated heap footprint (container capacities plus per-node
+  /// overhead estimates for the node-based containers) — the bytes/fact
+  /// denominator reported by bench_storage.
+  size_t ApproxBytes() const;
+
+ private:
+  struct OidEntry {
+    ConceptId concept_id;
+    std::uint32_t ordinal;
+  };
+
+  void IndexAttr(ConceptId concept_id, std::uint32_t ordinal,
+                 const std::string& attr, const Value& value);
+
+  std::deque<Fact> all_;  // stable storage
+  std::vector<std::string> concept_names_;
+  std::unordered_map<std::string, ConceptId> concept_ids_;
+  std::vector<std::vector<const Fact*>> by_concept_;
+  std::unordered_map<std::uint64_t, std::vector<const Fact*>> dedup_;
+  std::unordered_map<std::uint64_t, std::vector<OidEntry>> by_oid_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_attr_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_RULES_REF_FACT_STORE_H_

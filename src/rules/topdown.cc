@@ -87,7 +87,7 @@ Result<std::vector<Fact>> TopDownEvaluator::ApplyRule(
   // The join is performed by accumulating binding sets, which is
   // equivalent to temp_1 ⋈ ... ⋈ temp_n on the shared variables.
   FactMatcher matcher(
-      [this](const Oid& oid) { return universe_.FindByOid(oid); }, nullptr);
+      [this](const Oid& oid) { return universe_.ViewByOid(oid); }, nullptr);
 
   // Pre-evaluate each body concept_name (the recursive calls of Appendix B).
   std::map<std::string, std::vector<Fact>> body_facts;

@@ -14,6 +14,7 @@
 #include "integrate/integrator.h"
 #include "integrate/naive_integrator.h"
 #include "model/schema_parser.h"
+#include "rules/ref_fact_store.h"
 #include "workload/generator.h"
 
 namespace ooint {
@@ -60,6 +61,8 @@ const char* OracleFamilyName(OracleFamily family) {
       return "demand-query";
     case OracleFamily::kParallelSerial:
       return "parallel-vs-serial";
+    case OracleFamily::kStoreDifferential:
+      return "store-differential";
   }
   return "?";
 }
@@ -1121,6 +1124,154 @@ Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
             expected.value().size(), " from the serial full fixpoint"));
       }
       break;  // one demand goal per case keeps the sweep fast
+    }
+
+    // --- Family 8: columnar vs reference store differential -----------
+    // The baseline evaluation's fact universe (base + derived, in
+    // insertion order) replays into a fresh columnar FactStore and the
+    // pre-columnar ReferenceFactStore; every observable must agree.
+    outcome.ran.insert(OracleFamily::kStoreDifferential);
+    {
+      const FactStore& evaluated = baseline.fact_store();
+      std::vector<const Fact*> replay;
+      replay.reserve(evaluated.size());
+      for (FactId id = 0; id < evaluated.size(); ++id) {
+        replay.push_back(evaluated.FactById(id));
+      }
+      ReferenceFactStore ref;
+      FactStore col;
+      bool diverged = false;
+      for (const Fact* fact : replay) {
+        const bool ref_new = ref.Insert(*fact) != nullptr;
+        const bool col_new = col.Insert(*fact) != kNoFact;
+        if (!ref_new || !col_new) {
+          outcome.failures.push_back(StrCat(
+              "store-differential: replaying the evaluated universe hit a "
+              "duplicate (ref_new=", ref_new, " col_new=", col_new,
+              ") for ", fact->CanonicalKey()));
+          diverged = true;
+          break;
+        }
+      }
+      // Duplicate re-insertion must be rejected by both.
+      for (const Fact* fact : diverged ? std::vector<const Fact*>{} : replay) {
+        if (ref.Insert(*fact) != nullptr || col.Insert(*fact) != kNoFact) {
+          outcome.failures.push_back(StrCat(
+              "store-differential: a duplicate re-insertion was accepted "
+              "for ", fact->CanonicalKey()));
+          diverged = true;
+          break;
+        }
+      }
+      // Per-concept extents: bit-identical fact sequences.
+      for (ConceptId cid = 0; !diverged && cid < evaluated.concept_count();
+           ++cid) {
+        const std::string& concept_name = evaluated.ConceptName(cid);
+        const std::vector<const Fact*>& ref_extent = ref.FactsOf(concept_name);
+        const std::vector<const Fact*> col_extent = col.FactsOf(concept_name);
+        if (ref_extent.size() != col_extent.size()) {
+          outcome.failures.push_back(StrCat(
+              "store-differential: concept ", concept_name, " has ",
+              ref_extent.size(), " reference facts vs ", col_extent.size(),
+              " columnar facts"));
+          diverged = true;
+          break;
+        }
+        for (size_t i = 0; i < ref_extent.size(); ++i) {
+          if (ref_extent[i]->CanonicalKey() != col_extent[i]->CanonicalKey()) {
+            outcome.failures.push_back(StrCat(
+                "store-differential: concept ", concept_name, " ordinal ", i,
+                " differs: ", ref_extent[i]->CanonicalKey(), " vs ",
+                col_extent[i]->CanonicalKey()));
+            diverged = true;
+            break;
+          }
+        }
+      }
+      // FindByOid, both overloads, for every stored OID.
+      for (const Fact* fact : diverged ? std::vector<const Fact*>{} : replay) {
+        if (fact->oid.empty()) continue;
+        const Fact* by_ref = ref.FindByOid(fact->oid);
+        const Fact* by_col = col.FindByOid(fact->oid);
+        if (by_ref == nullptr || by_col == nullptr ||
+            by_ref->CanonicalKey() != by_col->CanonicalKey()) {
+          outcome.failures.push_back(StrCat(
+              "store-differential: FindByOid(", fact->oid.ToString(),
+              ") disagrees between the reference and columnar stores"));
+          break;
+        }
+        const ConceptId ref_cid = ref.FindConcept(fact->concept_name);
+        const ConceptId col_cid = col.FindConcept(fact->concept_name);
+        const Fact* scoped_ref = ref.FindByOid(fact->oid, ref_cid);
+        const Fact* scoped_col = col.FindByOid(fact->oid, col_cid);
+        if (scoped_ref == nullptr || scoped_col == nullptr ||
+            scoped_ref->CanonicalKey() != scoped_col->CanonicalKey()) {
+          outcome.failures.push_back(StrCat(
+              "store-differential: FindByOid(", fact->oid.ToString(), ", ",
+              fact->concept_name, ") disagrees between the stores"));
+          break;
+        }
+      }
+      // Verified probes: for every (fact, attr, scalar value / set
+      // element), the exact-match result sets must agree. Candidates are
+      // re-verified the way the matcher does (equal, or a set containing
+      // an equal element), since reference probes may carry hash-
+      // collision false positives.
+      auto probe_matches = [](const Fact& fact, const std::string& attr,
+                              const Value& v) {
+        auto it = fact.attrs.find(attr);
+        if (it == fact.attrs.end()) return false;
+        if (it->second == v) return true;
+        if (it->second.kind() != ValueKind::kSet) return false;
+        for (const Value& e : it->second.AsSet()) {
+          if (e == v) return true;
+        }
+        return false;
+      };
+      for (const Fact* fact : diverged ? std::vector<const Fact*>{} : replay) {
+        const ConceptId ref_cid = ref.FindConcept(fact->concept_name);
+        const ConceptId col_cid = col.FindConcept(fact->concept_name);
+        bool probe_diverged = false;
+        for (const auto& [attr, value] : fact->attrs) {
+          std::vector<const Value*> probes;
+          if (value.kind() == ValueKind::kSet) {
+            for (const Value& e : value.AsSet()) probes.push_back(&e);
+          } else {
+            probes.push_back(&value);
+          }
+          for (const Value* v : probes) {
+            std::multiset<std::string> ref_hits;
+            if (const std::vector<std::uint32_t>* ordinals =
+                    ref.Probe(ref_cid, attr, *v)) {
+              for (std::uint32_t ordinal : *ordinals) {
+                const Fact* hit = ref.FactAt(ref_cid, ordinal);
+                if (probe_matches(*hit, attr, *v)) {
+                  ref_hits.insert(hit->CanonicalKey());
+                }
+              }
+            }
+            std::multiset<std::string> col_hits;
+            PostingsCursor cursor = col.Probe(col_cid, attr, *v);
+            std::uint32_t ordinal = 0;
+            while (cursor.Next(&ordinal)) {
+              const Fact* hit = col.FactAt(col_cid, ordinal);
+              if (probe_matches(*hit, attr, *v)) {
+                col_hits.insert(hit->CanonicalKey());
+              }
+            }
+            if (ref_hits != col_hits) {
+              outcome.failures.push_back(StrCat(
+                  "store-differential: verified Probe(", fact->concept_name,
+                  ", ", attr, ") result sets differ (", ref_hits.size(),
+                  " vs ", col_hits.size(), ")"));
+              probe_diverged = true;
+              break;
+            }
+          }
+          if (probe_diverged) break;
+        }
+        if (probe_diverged) break;
+      }
     }
   }
 

@@ -15,7 +15,7 @@
 namespace ooint {
 namespace harness {
 
-/// The seven oracle families of the randomized conformance harness
+/// The eight oracle families of the randomized conformance harness
 /// (DESIGN.md "Randomized conformance harness").
 enum class OracleFamily {
   /// Consistency-checker / integrator agreement on rejection: an
@@ -55,6 +55,15 @@ enum class OracleFamily {
   /// incomplete concepts). Parallel demand evaluation must answer bound
   /// goals exactly like the serial full fixpoint.
   kParallelSerial,
+  /// Columnar-vs-reference store agreement: the baseline evaluation's
+  /// fact universe is replayed, in insertion order, into both a fresh
+  /// columnar FactStore and the pre-columnar ReferenceFactStore; the
+  /// two must agree on every observable — per-concept CanonicalKey
+  /// sequences (bit-identical fact sets in insertion order), FindByOid
+  /// for every stored OID (both overloads), verified Probe result sets
+  /// for every (fact, attribute, scalar value / set element), and
+  /// duplicate re-insertion answers.
+  kStoreDifferential,
 };
 
 const char* OracleFamilyName(OracleFamily family);

@@ -1,10 +1,16 @@
-// Unit coverage for the indexed FactStore: interning, de-duplication,
-// extent ordinals, the (concept, attribute, value) probe index, and —
-// most importantly — the *defined* OID collision precedence that
-// replaced the old map-emplace accident (first-inserted fact wins; the
-// concept-aware overload disambiguates).
+// Unit coverage for the columnar FactStore: interning, exact
+// de-duplication, extent ordinals, the packed (concept, attribute,
+// value) postings index, and the *defined* OID collision precedence
+// (first-inserted fact wins; the concept-aware overload disambiguates).
+// The materializing boundary (FactAt / FactById) must return stable
+// pointers, and FactView must expose attributes in the same
+// lexicographic order a materialized Fact's std::map iterates in.
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "rules/fact_store.h"
 
@@ -24,65 +30,128 @@ Fact MakeFact(const std::string& concept_name, const Oid& oid,
   return fact;
 }
 
+std::vector<std::uint32_t> Drain(PostingsCursor cursor) {
+  std::vector<std::uint32_t> out;
+  std::uint32_t ordinal = 0;
+  while (cursor.Next(&ordinal)) out.push_back(ordinal);
+  return out;
+}
+
 TEST(FactStoreTest, InsertDeduplicatesExactly) {
   FactStore store;
   Fact fact = MakeFact("person", MakeOid("person", 1),
                        {{"name", Value::String("Ann")}});
-  ASSERT_NE(store.Insert(fact), nullptr);
-  EXPECT_EQ(store.Insert(fact), nullptr);  // identical -> duplicate
+  ASSERT_NE(store.Insert(fact), kNoFact);
+  EXPECT_EQ(store.Insert(fact), kNoFact);  // identical -> duplicate
   EXPECT_EQ(store.size(), 1u);
   // Any differing component is a distinct fact.
   Fact other_attr = fact;
   other_attr.attrs["name"] = Value::String("Bob");
-  EXPECT_NE(store.Insert(other_attr), nullptr);
+  EXPECT_NE(store.Insert(other_attr), kNoFact);
   Fact other_oid = fact;
   other_oid.oid = MakeOid("person", 2);
-  EXPECT_NE(store.Insert(other_oid), nullptr);
+  EXPECT_NE(store.Insert(other_oid), kNoFact);
   EXPECT_EQ(store.size(), 3u);
 }
 
 TEST(FactStoreTest, ExtentsKeepInsertionOrderWithStablePointers) {
   FactStore store;
-  const Fact* a = store.Insert(
+  const FactId a = store.Insert(
       MakeFact("p", MakeOid("p", 1), {{"n", Value::Integer(1)}}));
-  const Fact* b = store.Insert(
+  const FactId b = store.Insert(
       MakeFact("q", MakeOid("q", 1), {{"n", Value::Integer(2)}}));
-  const Fact* c = store.Insert(
+  const FactId c = store.Insert(
       MakeFact("p", MakeOid("p", 2), {{"n", Value::Integer(3)}}));
   const ConceptId p = store.FindConcept("p");
   ASSERT_NE(p, kNoConcept);
   ASSERT_EQ(store.CountOf(p), 2u);
-  EXPECT_EQ(store.FactAt(p, 0), a);
-  EXPECT_EQ(store.FactAt(p, 1), c);
-  EXPECT_EQ(store.FactsOf("q").front(), b);
+  EXPECT_EQ(store.IdAt(p, 0), a);
+  EXPECT_EQ(store.IdAt(p, 1), c);
+  EXPECT_EQ(store.FactsOf("q").front(), store.FactById(b));
   EXPECT_EQ(store.ConceptName(p), "p");
   EXPECT_EQ(store.FindConcept("absent"), kNoConcept);
+
+  // Materialized pointers are stable across later inserts and repeated
+  // materialization.
+  const Fact* pa = store.FactAt(p, 0);
+  ASSERT_NE(pa, nullptr);
+  for (int i = 0; i < 64; ++i) {
+    store.Insert(MakeFact("p", MakeOid("p", 100 + i),
+                          {{"n", Value::Integer(100 + i)}}));
+  }
+  EXPECT_EQ(store.FactAt(p, 0), pa);
+  EXPECT_EQ(pa->attrs.at("n"), Value::Integer(1));
+}
+
+TEST(FactStoreTest, MaterializationRoundTripsEveryValueKind) {
+  FactStore store;
+  Fact fact = MakeFact(
+      "kinds", MakeOid("kinds", 1),
+      {{"null", Value::Null()},
+       {"bool", Value::Boolean(true)},
+       {"char", Value::Character('x')},
+       {"int_small", Value::Integer(-42)},
+       {"int_huge", Value::Integer((std::int64_t{1} << 61) + 7)},
+       {"int_neg_huge", Value::Integer(-((std::int64_t{1} << 61) + 7))},
+       {"real", Value::Real(3.5)},
+       {"string", Value::String("a string value")},
+       {"date", Value::OfDate(Date{1999, 12, 31})},
+       {"oid", Value::OfOid(MakeOid("other", 9))},
+       {"set", Value::Set({Value::Integer(1), Value::String("two"),
+                           Value::Set({Value::Boolean(false)})})}});
+  const FactId id = store.Insert(fact);
+  ASSERT_NE(id, kNoFact);
+
+  // Boundary materialization reproduces the fact bit-identically.
+  const Fact* stored = store.FactById(id);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->concept_name, fact.concept_name);
+  EXPECT_EQ(stored->oid, fact.oid);
+  EXPECT_EQ(stored->attrs, fact.attrs);
+  EXPECT_EQ(stored->CanonicalKey(), fact.CanonicalKey());
+
+  // FactView walks the packed runs in the map's lexicographic order.
+  const FactView view = store.ViewById(id);
+  ASSERT_TRUE(view.valid());
+  ASSERT_EQ(view.attr_count(), fact.attrs.size());
+  size_t i = 0;
+  for (const auto& [name, value] : fact.attrs) {
+    EXPECT_EQ(view.attr_name(i), name);
+    EXPECT_EQ(view.attr_value(i).Materialize(), value);
+    ++i;
+  }
+  // And the exact-equivalence check used by skolem dedup agrees.
+  EXPECT_TRUE(store.EquivalentAttrs(id, fact));
+  Fact tweaked = fact;
+  tweaked.attrs["bool"] = Value::Boolean(false);
+  EXPECT_FALSE(store.EquivalentAttrs(id, tweaked));
 }
 
 TEST(FactStoreTest, OidCollisionPrecedenceIsFirstInserted) {
   // Two concepts deriving the same entity used to hit an unordered-map
-  // emplace race; the contract is now explicit: FindByOid(oid) returns
-  // the FIRST-inserted fact (base facts load before derived ones, so
-  // base data wins), and the concept-aware overload picks per concept.
+  // emplace race; the contract is explicit: FindByOid(oid) returns the
+  // FIRST-inserted fact (base facts load before derived ones, so base
+  // data wins), and the concept-aware overload picks per concept.
   FactStore store;
   const Oid shared = MakeOid("person", 7);
-  const Fact* base = store.Insert(
+  const FactId base = store.Insert(
       MakeFact("IS(S1.person)", shared, {{"name", Value::String("Ann")}}));
-  const Fact* derived = store.Insert(
+  const FactId derived = store.Insert(
       MakeFact("IS_AB(person)", shared, {{"vip", Value::Boolean(true)}}));
-  ASSERT_NE(base, nullptr);
-  ASSERT_NE(derived, nullptr);
-  EXPECT_EQ(store.FindByOid(shared), base);
-  EXPECT_EQ(store.FindByOid(shared, store.FindConcept("IS(S1.person)")), base);
+  ASSERT_NE(base, kNoFact);
+  ASSERT_NE(derived, kNoFact);
+  EXPECT_EQ(store.FindByOid(shared), store.FactById(base));
+  EXPECT_EQ(store.FindByOid(shared, store.FindConcept("IS(S1.person)")),
+            store.FactById(base));
   EXPECT_EQ(store.FindByOid(shared, store.FindConcept("IS_AB(person)")),
-            derived);
+            store.FactById(derived));
   EXPECT_EQ(store.FindByOid(MakeOid("person", 8)), nullptr);
 
   std::vector<std::uint32_t> ordinals;
   store.ProbeOid(store.FindConcept("IS_AB(person)"), shared, &ordinals);
   ASSERT_EQ(ordinals.size(), 1u);
   EXPECT_EQ(store.FactAt(store.FindConcept("IS_AB(person)"), ordinals[0]),
-            derived);
+            store.FactById(derived));
 }
 
 TEST(FactStoreTest, ProbeFindsAttrValuesAndSetElements) {
@@ -94,27 +163,111 @@ TEST(FactStoreTest, ProbeFindsAttrValuesAndSetElements) {
   store.Insert(MakeFact("doc", MakeOid("doc", 2),
                         {{"title", Value::String("B")}}));
   const ConceptId doc = store.FindConcept("doc");
-  const auto* by_title = store.Probe(doc, "title", Value::String("B"));
-  ASSERT_NE(by_title, nullptr);
-  ASSERT_EQ(by_title->size(), 1u);
-  EXPECT_EQ(store.FactAt(doc, (*by_title)[0])->oid, MakeOid("doc", 2));
+  const std::vector<std::uint32_t> by_title =
+      Drain(store.Probe(doc, "title", Value::String("B")));
+  ASSERT_EQ(by_title.size(), 1u);
+  EXPECT_EQ(store.FactAt(doc, by_title[0])->oid, MakeOid("doc", 2));
   // Set-valued attributes are indexed element-wise (mirrors the
   // matcher's element-level convention).
-  const auto* by_tag = store.Probe(doc, "tags", Value::String("oo"));
-  ASSERT_NE(by_tag, nullptr);
-  ASSERT_EQ(by_tag->size(), 1u);
-  EXPECT_EQ(store.FactAt(doc, (*by_tag)[0])->oid, MakeOid("doc", 1));
-  EXPECT_EQ(store.Probe(doc, "title", Value::String("Z")), nullptr);
+  const std::vector<std::uint32_t> by_tag =
+      Drain(store.Probe(doc, "tags", Value::String("oo")));
+  ASSERT_EQ(by_tag.size(), 1u);
+  EXPECT_EQ(store.FactAt(doc, by_tag[0])->oid, MakeOid("doc", 1));
+  // A value never interned anywhere yields an empty cursor.
+  PostingsCursor miss = store.Probe(doc, "title", Value::String("Z"));
+  EXPECT_TRUE(miss.empty());
+  EXPECT_EQ(miss.count(), 0u);
+}
+
+TEST(FactStoreTest, ProbeCursorIsSnapshotSafeAcrossInserts) {
+  // The documented cursor contract: a cursor captures the posting count
+  // at creation and stays valid (and bounded to that snapshot) while
+  // later inserts append to the same list.
+  FactStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Insert(MakeFact("p", MakeOid("p", static_cast<std::uint32_t>(i)),
+                          {{"k", Value::Integer(1)},
+                           {"i", Value::Integer(i)}}));
+  }
+  const ConceptId p = store.FindConcept("p");
+  PostingsCursor cursor = store.Probe(p, "k", Value::Integer(1));
+  EXPECT_EQ(cursor.count(), 10u);
+  std::vector<std::uint32_t> seen;
+  std::uint32_t ordinal = 0;
+  // Interleave draining with inserts that extend the same posting list.
+  for (int i = 10; i < 200; ++i) {
+    if (cursor.Next(&ordinal)) seen.push_back(ordinal);
+    store.Insert(MakeFact("p", MakeOid("p", static_cast<std::uint32_t>(i)),
+                          {{"k", Value::Integer(1)},
+                           {"i", Value::Integer(i)}}));
+  }
+  while (cursor.Next(&ordinal)) seen.push_back(ordinal);
+  ASSERT_EQ(seen.size(), 10u);  // snapshot: only the facts present at Probe()
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+  // A fresh probe sees everything.
+  EXPECT_EQ(store.Probe(p, "k", Value::Integer(1)).count(), 200u);
+}
+
+TEST(FactStoreTest, NegativeZeroAndNaNKeepLegacyHashSemantics) {
+  // Bug-compat parity with the old store: reals are digested by bit
+  // pattern, so -0.0 and 0.0 never share a dedup bucket (two distinct
+  // facts), and NaN != NaN means a NaN fact never deduplicates.
+  FactStore store;
+  EXPECT_NE(store.Insert(MakeFact("r", MakeOid("r", 1),
+                                  {{"x", Value::Real(0.0)}})),
+            kNoFact);
+  EXPECT_NE(store.Insert(MakeFact("r", MakeOid("r", 1),
+                                  {{"x", Value::Real(-0.0)}})),
+            kNoFact);
+  EXPECT_EQ(store.size(), 2u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(store.Insert(MakeFact("r", MakeOid("r", 2),
+                                  {{"x", Value::Real(nan)}})),
+            kNoFact);
+  EXPECT_NE(store.Insert(MakeFact("r", MakeOid("r", 2),
+                                  {{"x", Value::Real(nan)}})),
+            kNoFact);
+  EXPECT_EQ(store.size(), 4u);
+}
+
+TEST(FactStoreTest, MemoryBreakdownIsPopulatedAndPackedStaysLean) {
+  FactStore store;
+  for (int i = 0; i < 1000; ++i) {
+    store.Insert(MakeFact(
+        "m", MakeOid("m", static_cast<std::uint32_t>(i)),
+        {{"name", Value::String(i % 10 == 0 ? "anchor" : "filler")},
+         {"rank", Value::Integer(i)}}));
+  }
+  const FactStore::MemoryBreakdown memory = store.memory();
+  EXPECT_GT(memory.record_bytes, 0u);
+  EXPECT_GT(memory.attr_bytes, 0u);
+  EXPECT_GT(memory.symbol_bytes, 0u);
+  EXPECT_GT(memory.attr_index_bytes, 0u);
+  EXPECT_GT(memory.oid_index_bytes, 0u);
+  EXPECT_EQ(memory.materialized_bytes, 0u);  // nothing materialized yet
+  // Packed storage should stay under ~300 bytes/fact on this shape
+  // (fixed costs — symbol pool, index slack — amortize further at
+  // larger n; bench_storage tracks the real budget at 10^6).
+  EXPECT_LT(memory.packed_total() / store.size(), 300u);
+  store.FactById(0);
+  EXPECT_GT(store.memory().materialized_bytes, 0u);
 }
 
 TEST(FactStoreTest, ClearResetsEverything) {
   FactStore store;
   store.Insert(MakeFact("p", MakeOid("p", 1), {{"n", Value::Integer(1)}}));
+  store.FactAt(store.FindConcept("p"), 0);  // populate the cache too
   store.Clear();
   EXPECT_EQ(store.size(), 0u);
   EXPECT_EQ(store.concept_count(), 0u);
   EXPECT_EQ(store.FindConcept("p"), kNoConcept);
   EXPECT_EQ(store.FindByOid(MakeOid("p", 1)), nullptr);
+  EXPECT_EQ(store.memory().materialized_bytes, 0u);
+  // The store is reusable after Clear.
+  EXPECT_NE(store.Insert(MakeFact("p", MakeOid("p", 1),
+                                  {{"n", Value::Integer(1)}})),
+            kNoFact);
+  EXPECT_EQ(store.size(), 1u);
 }
 
 }  // namespace
