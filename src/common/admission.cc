@@ -1,0 +1,71 @@
+#include "common/admission.h"
+
+#include <chrono>
+
+namespace ooint {
+
+Status AdmissionController::TryAcquire() {
+  using Clock = std::chrono::steady_clock;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stats_.active < policy_.max_concurrent) {
+    ++stats_.active;
+    ++stats_.admitted;
+    return Status::OK();
+  }
+  // Saturated. Either park in the bounded queue or shed immediately.
+  if (stats_.queued >= policy_.max_queue_depth) {
+    ++stats_.rejected_full;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(policy_.max_queue_depth) +
+        " waiting, " + std::to_string(stats_.active) + " running)");
+  }
+  ++stats_.queued;
+  if (stats_.queued > stats_.max_queued) stats_.max_queued = stats_.queued;
+  const Clock::time_point enqueued = Clock::now();
+  const bool bounded_wait = policy_.queue_wait_deadline_ms > 0;
+  const Clock::time_point give_up =
+      enqueued + std::chrono::milliseconds(policy_.queue_wait_deadline_ms);
+  bool got_slot = false;
+  while (true) {
+    if (stats_.active < policy_.max_concurrent) {
+      got_slot = true;
+      break;
+    }
+    if (bounded_wait) {
+      if (slot_free_.wait_until(lock, give_up) == std::cv_status::timeout &&
+          stats_.active >= policy_.max_concurrent) {
+        break;  // shed: waited the whole deadline without a slot
+      }
+    } else {
+      slot_free_.wait(lock);
+    }
+  }
+  --stats_.queued;
+  if (!got_slot) {
+    ++stats_.rejected_wait;
+    return Status::ResourceExhausted(
+        "queue-wait deadline (" +
+        std::to_string(policy_.queue_wait_deadline_ms) + " ms) expired");
+  }
+  ++stats_.active;
+  ++stats_.admitted;
+  stats_.total_wait_ms += std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - enqueued)
+                              .count();
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.active;
+  }
+  slot_free_.notify_one();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ooint

@@ -1,0 +1,123 @@
+#ifndef OOINT_COMMON_ADMISSION_H_
+#define OOINT_COMMON_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace ooint {
+
+/// Knobs for the bounded admission queue in front of the serving path.
+///
+/// Defaults keep admission *disabled* (max_concurrent == 0 means
+/// unlimited), so existing callers see byte-for-byte identical behavior
+/// until they opt in.
+struct AdmissionPolicy {
+  /// Queries allowed to run at once; 0 = unlimited (admission off).
+  int max_concurrent = 0;
+  /// Callers allowed to *wait* for a slot beyond the concurrency limit.
+  /// Arrivals past limit + queue depth are shed immediately with
+  /// kResourceExhausted. 0 = no queue: reject as soon as saturated
+  /// (fully deterministic — the mode the conformance harness uses).
+  int max_queue_depth = 0;
+  /// Real (wall-clock) milliseconds a queued caller may block before it
+  /// is shed with kResourceExhausted. Unlike retry/backoff this is real
+  /// time, not the virtual clock: a queued thread is genuinely parked.
+  /// 0 = queued callers never time out (only queue-full sheds).
+  std::int64_t queue_wait_deadline_ms = 0;
+};
+
+/// Counting-semaphore admission controller with a bounded wait queue.
+///
+/// Sits in front of the PR 5 thread pool: FsmClient acquires a slot per
+/// query before any evaluation work starts, and releases it on every
+/// exit path via the RAII AdmissionSlot. Over-limit arrivals are shed
+/// *fast* (kResourceExhausted) instead of piling onto workers, which
+/// bounds queue growth and keeps p99 latency of admitted queries flat
+/// under saturation (see bench_overload / EXPERIMENTS E15).
+///
+/// Thread-safe. Slot accounting is exact: every successful TryAcquire
+/// is balanced by exactly one Release (enforced by AdmissionSlot), so
+/// rejections can never leak capacity — conformance family 9 checks
+/// active == 0 and queued == 0 after every overload storm.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionPolicy policy) : policy_(policy) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  struct Stats {
+    std::int64_t admitted = 0;       ///< queries that got a slot
+    std::int64_t rejected_full = 0;  ///< shed: queue at max_queue_depth
+    std::int64_t rejected_wait = 0;  ///< shed: queue-wait deadline hit
+    std::int64_t active = 0;         ///< slots held right now
+    std::int64_t queued = 0;         ///< callers parked right now
+    std::int64_t max_queued = 0;     ///< high-water mark of `queued`
+    std::int64_t total_wait_ms = 0;  ///< real ms spent queued (admitted only)
+  };
+
+  /// Blocks until a slot is free (bounded by the policy's queue depth
+  /// and wait deadline) and acquires it, or sheds the caller with
+  /// kResourceExhausted. OK means the caller MUST balance with exactly
+  /// one Release() — use AdmissionSlot.
+  Status TryAcquire();
+
+  /// Returns a slot taken by a successful TryAcquire.
+  void Release();
+
+  Stats stats() const;
+
+  const AdmissionPolicy& policy() const { return policy_; }
+
+  /// True when the policy actually constrains anything.
+  bool enabled() const { return policy_.max_concurrent > 0; }
+
+ private:
+  const AdmissionPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  Stats stats_;
+};
+
+/// RAII admission slot: releases on destruction iff it holds one.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  /// Acquires from `controller` (may be null = admission off). After
+  /// construction, status() says whether the query may proceed.
+  explicit AdmissionSlot(AdmissionController* controller) {
+    if (controller == nullptr || !controller->enabled()) return;
+    status_ = controller->TryAcquire();
+    if (status_.ok()) controller_ = controller;
+  }
+  ~AdmissionSlot() {
+    if (controller_) controller_->Release();
+  }
+
+  AdmissionSlot(AdmissionSlot&& other) noexcept
+      : controller_(other.controller_), status_(std::move(other.status_)) {
+    other.controller_ = nullptr;
+  }
+  AdmissionSlot& operator=(AdmissionSlot&& other) noexcept {
+    if (this != &other) {
+      if (controller_) controller_->Release();
+      controller_ = other.controller_;
+      status_ = std::move(other.status_);
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  AdmissionController* controller_ = nullptr;
+  Status status_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_COMMON_ADMISSION_H_

@@ -1,0 +1,18 @@
+#include "common/cancel.h"
+
+namespace ooint {
+
+CancelToken CancelToken::WithBudget(double budget_ms) {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  token.state_->budget_ms = budget_ms;
+  return token;
+}
+
+CancelToken CancelToken::Cancellable() {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  return token;
+}
+
+}  // namespace ooint

@@ -1,0 +1,134 @@
+#ifndef OOINT_COMMON_CANCEL_H_
+#define OOINT_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace ooint {
+
+/// Cooperative cancellation + end-to-end deadline handle for one query.
+///
+/// A CancelToken is a cheap copyable handle onto shared per-query state:
+/// every copy observes the same budget, the same accumulated spend and
+/// the same cancelled flag, so one token can fan out across overlapped
+/// extent fetches and demand sub-evaluators and still account a single
+/// query-wide deadline.
+///
+/// Time is *virtual* milliseconds — the same clock AgentConnection's
+/// retries and backoffs run on. Connections Charge() every virtual wait
+/// they perform on behalf of the query, and the evaluator charges a
+/// fixed kRoundChargeMs per fixpoint round (and per top-down goal
+/// expansion) so pure derivation work is bounded too, even when no
+/// fetch is in flight. Deadline behavior is therefore fully
+/// deterministic: the same query over the same fault schedule truncates
+/// at exactly the same point on every run.
+///
+/// Boundary rule (mirrors AgentConnection's documented total-deadline
+/// rule): work that lands *exactly on* the deadline completes; the
+/// token reads as expired once spent >= budget. Nothing new may start
+/// at or past the deadline, but the wait that reached it is not
+/// retroactively failed. A budget of 0 is therefore expired before any
+/// work begins.
+///
+/// A default-constructed token is the "no deadline" token: it never
+/// expires, cannot be cancelled, and Charge() is a no-op — pass it
+/// wherever overload protection is disabled; it costs one null check.
+///
+/// Internally the spend accumulates in integer microseconds (atomic
+/// fetch_add), rounded per charge with llround — portable, lock-free,
+/// and still deterministic for the fractional jittered backoffs the
+/// connection layer produces.
+class CancelToken {
+ public:
+  static constexpr double kNoDeadline =
+      std::numeric_limits<double>::infinity();
+
+  /// Virtual ms the evaluator charges per semi-naive round / top-down
+  /// goal expansion (see class comment).
+  static constexpr double kRoundChargeMs = 1.0;
+
+  /// No-deadline token: never expires, Cancel() is a no-op.
+  CancelToken() = default;
+
+  /// Token with `budget_ms` of virtual time. Callers validate and
+  /// reject negative deadlines (InvalidArgument) before constructing a
+  /// token; a budget of 0 is already expired.
+  static CancelToken WithBudget(double budget_ms);
+
+  /// Token with no time budget but a usable Cancel() switch — models a
+  /// client going away mid-query (tests, conformance family 9).
+  static CancelToken Cancellable();
+
+  /// True if this token carries shared state (a budget or a cancel
+  /// switch); false for the default no-deadline token.
+  bool active() const { return state_ != nullptr; }
+
+  /// Flips the cancelled flag. No-op on a no-deadline token. Const:
+  /// like Charge, it mutates the *shared query state*, not this handle,
+  /// so any copy — including one passed by const reference — can
+  /// cancel or account for the query.
+  void Cancel() const {
+    if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// True iff Cancel() was called (deadline expiry does not set this).
+  bool cancelled() const {
+    return state_ && state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Adds `ms` virtual milliseconds of spend. Negative charges are
+  /// ignored; no-op on a no-deadline token.
+  void Charge(double ms) const {
+    if (state_ && ms > 0) {
+      state_->spent_us.fetch_add(std::llround(ms * 1000.0),
+                                 std::memory_order_relaxed);
+    }
+  }
+
+  /// Virtual milliseconds charged so far (0 for a no-deadline token).
+  double spent_ms() const {
+    return state_ == nullptr
+               ? 0
+               : static_cast<double>(
+                     state_->spent_us.load(std::memory_order_relaxed)) /
+                     1000.0;
+  }
+
+  /// The budget this token was created with (kNoDeadline if none).
+  double budget_ms() const {
+    return state_ ? state_->budget_ms : kNoDeadline;
+  }
+
+  /// Virtual milliseconds left before expiry; never negative.
+  /// kNoDeadline when the token has no time budget.
+  double remaining_ms() const {
+    if (!state_ || state_->budget_ms == kNoDeadline) return kNoDeadline;
+    const double left = state_->budget_ms - spent_ms();
+    return left > 0 ? left : 0;
+  }
+
+  /// True once the query must stop: explicitly cancelled, or the spend
+  /// has reached the budget (spent >= budget; see boundary rule above).
+  bool Expired() const {
+    if (!state_) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    return state_->budget_ms != kNoDeadline &&
+           spent_ms() >= state_->budget_ms;
+  }
+
+ private:
+  struct State {
+    double budget_ms = kNoDeadline;
+    std::atomic<std::int64_t> spent_us{0};
+    std::atomic<bool> cancelled{false};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ooint
+
+#endif  // OOINT_COMMON_CANCEL_H_

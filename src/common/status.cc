@@ -1,38 +1,45 @@
 #include "common/status.h"
 
+#include <cstddef>
+#include <iterator>
+
 namespace ooint {
+namespace {
+
+// One entry per StatusCode, in declaration order. The static_assert
+// below makes "added a code, forgot the name" a compile failure instead
+// of a silent "Unknown" fallthrough at runtime.
+constexpr const char* kStatusCodeNames[] = {
+    "OK",
+    "InvalidArgument",
+    "NotFound",
+    "AlreadyExists",
+    "FailedPrecondition",
+    "ParseError",
+    "TypeError",
+    "Unsupported",
+    "Internal",
+    "Unavailable",
+    "DeadlineExceeded",
+    "ResourceExhausted",
+};
+
+static_assert(std::size(kStatusCodeNames) ==
+                  static_cast<std::size_t>(StatusCode::kStatusCodeSentinel),
+              "kStatusCodeNames must have exactly one entry per StatusCode "
+              "(did you add a code without naming it here?)");
+
+}  // namespace
 
 const char* StatusCodeName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return "OK";
-    case StatusCode::kInvalidArgument:
-      return "InvalidArgument";
-    case StatusCode::kNotFound:
-      return "NotFound";
-    case StatusCode::kAlreadyExists:
-      return "AlreadyExists";
-    case StatusCode::kFailedPrecondition:
-      return "FailedPrecondition";
-    case StatusCode::kParseError:
-      return "ParseError";
-    case StatusCode::kTypeError:
-      return "TypeError";
-    case StatusCode::kUnsupported:
-      return "Unsupported";
-    case StatusCode::kInternal:
-      return "Internal";
-    case StatusCode::kUnavailable:
-      return "Unavailable";
-    case StatusCode::kDeadlineExceeded:
-      return "DeadlineExceeded";
-    case StatusCode::kStatusCodeSentinel:
-      break;
-  }
-  return "Unknown";
+  const auto index = static_cast<std::size_t>(code);
+  if (index >= std::size(kStatusCodeNames)) return "Unknown";
+  return kStatusCodeNames[index];
 }
 
 bool IsTransientCode(StatusCode code) {
+  // kResourceExhausted is deliberately absent: a shed query retried
+  // immediately would feed the very overload that shed it.
   return code == StatusCode::kUnavailable ||
          code == StatusCode::kDeadlineExceeded;
 }

@@ -25,6 +25,12 @@ enum class StatusCode {
   kUnavailable,
   /// A call (or its whole retry budget) ran past its deadline. Transient.
   kDeadlineExceeded,
+  /// The serving layer is saturated: the admission queue is full, the
+  /// queue-wait deadline expired, or a retry budget is spent. The query
+  /// was shed *fast* to protect the queries already running — callers
+  /// should back off, not retry immediately (deliberately NOT transient:
+  /// an eager retry would re-feed the overload).
+  kResourceExhausted,
   /// Not a status: one past the last real code, so tests and switches
   /// can iterate every enumerator. Keep this last.
   kStatusCodeSentinel,
@@ -81,6 +87,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

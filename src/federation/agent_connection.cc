@@ -49,14 +49,27 @@ AgentConnection::AgentConnection(std::string agent_name,
       retry_(retry),
       breaker_(breaker),
       injector_(injector),
-      jitter_state_(retry.jitter_seed ^ HashName(agent_name_)) {}
+      jitter_state_(retry.jitter_seed ^ HashName(agent_name_)),
+      retry_tokens_(retry.retry_budget_max) {}
 
-void AgentConnection::Wait(double ms) {
+void AgentConnection::Wait(double ms, const CancelToken& token) {
   now_ms_ += ms;
+  token.Charge(ms);
   if (retry_.real_time_scale > 0 && ms > 0) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(ms * retry_.real_time_scale));
   }
+}
+
+void AgentConnection::RefillRetryBudget() {
+  if (retry_.retry_budget_max <= 0) return;
+  const double elapsed_ms = now_ms_ - budget_refilled_at_ms_;
+  if (elapsed_ms <= 0) return;
+  retry_tokens_ =
+      std::min(retry_.retry_budget_max,
+               retry_tokens_ +
+                   elapsed_ms * retry_.retry_budget_refill_per_sec / 1000.0);
+  budget_refilled_at_ms_ = now_ms_;
 }
 
 double AgentConnection::NextJitter() {
@@ -66,19 +79,23 @@ double AgentConnection::NextJitter() {
 }
 
 Status AgentConnection::Attempt(const std::string& class_name,
+                                double deadline_ms, const CancelToken& token,
                                 std::vector<const Object*>* out) {
   Fault fault = injector_ != nullptr
                     ? injector_->Next(agent_name_)
                     : Fault{FaultKind::kNone, 0, 0};
+  // Boundary rule (see RetryPolicy): latency strictly greater than the
+  // effective deadline times out; latency exactly on it succeeds.
   if (fault.kind == FaultKind::kDeadlineExceeded ||
-      fault.latency_ms > retry_.per_call_deadline_ms) {
-    // The caller waits out the whole per-call deadline before giving up.
-    Wait(retry_.per_call_deadline_ms);
+      fault.latency_ms > deadline_ms) {
+    // The caller waits out the whole per-attempt deadline before giving
+    // up.
+    Wait(deadline_ms, token);
     return Status::DeadlineExceeded(
-        StrCat("agent '", agent_name_, "' exceeded the ",
-               retry_.per_call_deadline_ms, "ms per-call deadline"));
+        StrCat("agent '", agent_name_, "' exceeded the ", deadline_ms,
+               "ms per-call deadline"));
   }
-  Wait(fault.latency_ms);
+  Wait(fault.latency_ms, token);
   if (fault.kind == FaultKind::kUnavailable) {
     return Status::Unavailable(
         StrCat("agent '", agent_name_, "' is unavailable"));
@@ -129,8 +146,22 @@ bool AgentConnection::RecordFailure() {
 
 Result<std::vector<const Object*>> AgentConnection::FetchExtent(
     const std::string& class_name) {
+  return FetchExtent(class_name, CancelToken());
+}
+
+Result<std::vector<const Object*>> AgentConnection::FetchExtent(
+    const std::string& class_name, const CancelToken& token) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.calls;
+
+  if (token.Expired()) {
+    // The query is already out of time: reject without an attempt, a
+    // fault draw, or any breaker movement.
+    ++stats_.failures;
+    return Status::DeadlineExceeded(
+        StrCat("query deadline expired before calling agent '", agent_name_,
+               "'"));
+  }
 
   if (state_ == BreakerState::kOpen) {
     if (now_ms_ - opened_at_ms_ < breaker_.open_cooldown_ms) {
@@ -148,8 +179,17 @@ Result<std::vector<const Object*>> AgentConnection::FetchExtent(
   for (int attempt = 1;; ++attempt) {
     ++stats_.attempts;
     if (attempt > 1) ++stats_.retries;
+    // The effective per-attempt deadline: the static cap, tightened by
+    // whatever the query has left. An attempt never waits past the
+    // point the whole query would be declared dead anyway.
+    double deadline_ms = retry_.per_call_deadline_ms;
+    const double remaining_ms = token.remaining_ms();
+    if (remaining_ms != CancelToken::kNoDeadline &&
+        remaining_ms < deadline_ms) {
+      deadline_ms = remaining_ms;
+    }
     std::vector<const Object*> objects;
-    const Status status = Attempt(class_name, &objects);
+    const Status status = Attempt(class_name, deadline_ms, token, &objects);
     if (status.ok()) {
       RecordSuccess();
       ++stats_.successes;
@@ -166,8 +206,31 @@ Result<std::vector<const Object*>> AgentConnection::FetchExtent(
                     StrCat(status.message(), " (after ", attempt,
                            " attempts)"));
     }
+    if (token.Expired()) {
+      // The failed attempt consumed the query's remaining budget;
+      // retrying would wait on the agent past the query's own death.
+      ++stats_.failures;
+      return Status::DeadlineExceeded(
+          StrCat("query deadline exhausted during retries against agent '",
+                 agent_name_, "'; last error: ", status.ToString()));
+    }
+    if (retry_.retry_budget_max > 0) {
+      // The per-agent retry-storm brake: one token per retry, shared by
+      // every concurrent caller of this connection.
+      RefillRetryBudget();
+      if (retry_tokens_ < 1.0) {
+        ++stats_.retries_denied_budget;
+        ++stats_.failures;
+        return Status(status.code(),
+                      StrCat(status.message(),
+                             " (retry denied: agent retry budget empty)"));
+      }
+      retry_tokens_ -= 1.0;
+    }
     const double sleep =
         std::min(backoff, retry_.max_backoff_ms) * NextJitter();
+    // Boundary rule (see RetryPolicy): a sleep landing exactly on the
+    // total deadline is taken; only strictly exceeding it fails.
     if (now_ms_ - call_start_ms + sleep > retry_.total_deadline_ms) {
       ++stats_.failures;
       return Status::DeadlineExceeded(
@@ -175,7 +238,7 @@ Result<std::vector<const Object*>> AgentConnection::FetchExtent(
                  "ms) exhausted for agent '", agent_name_,
                  "'; last error: ", status.ToString()));
     }
-    Wait(sleep);
+    Wait(sleep, token);
     backoff *= retry_.backoff_multiplier;
   }
 }

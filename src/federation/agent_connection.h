@@ -18,6 +18,16 @@ namespace ooint {
 /// nothing here ever sleeps a real thread (the in-process stores answer
 /// instantly); the clock exists so deadlines, backoff schedules and
 /// breaker cooldowns compose reproducibly under fault injection.
+///
+/// Deadline boundary rule (pinned; regression-tested): virtual time
+/// that lands *exactly on* a deadline still succeeds — only strictly
+/// exceeding it fails. Concretely: an attempt whose latency equals
+/// `per_call_deadline_ms` succeeds (latency > deadline times out), and
+/// a backoff sleep that would bring the call exactly to
+/// `total_deadline_ms` is taken (only a sleep that would strictly
+/// exceed it fails the call). CancelToken mirrors the same rule for
+/// query-wide deadlines: the wait that reaches the budget completes,
+/// nothing new starts at or past it.
 struct RetryPolicy {
   /// Total tries per call, the first attempt included.
   int max_attempts = 4;
@@ -28,11 +38,26 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   double max_backoff_ms = 200;
   /// One attempt may take this long before it counts as timed out.
+  /// When the call carries a CancelToken with a smaller remaining query
+  /// budget, the *effective* per-attempt deadline is that remainder —
+  /// derived per attempt, so a query never waits on an agent longer
+  /// than the query itself has left to live.
   double per_call_deadline_ms = 50;
   /// The whole call — attempts plus backoff sleeps — must fit in this
   /// budget; exceeding it fails the call with kDeadlineExceeded even if
   /// retries remain.
   double total_deadline_ms = 500;
+  /// Token-bucket retry budget shared by every call (and every
+  /// concurrent caller) of one connection: each retry past the first
+  /// attempt consumes one token, and an empty bucket makes the call
+  /// fail fast with its last error instead of retrying — the per-agent
+  /// brake that stops retry storms when many queries hammer one
+  /// flapping agent at once. 0 (the default) disables budgeting
+  /// entirely. The bucket starts full and refills at
+  /// `retry_budget_refill_per_sec` tokens per *virtual* second, capped
+  /// at `retry_budget_max`.
+  double retry_budget_max = 0;
+  double retry_budget_refill_per_sec = 1;
   /// Seed of the jitter stream (deterministic per connection).
   std::uint64_t jitter_seed = 0x5deece66dULL;
   /// Real seconds slept per virtual millisecond waited (latency and
@@ -90,6 +115,14 @@ class AgentConnection : public ExtentSource {
   const Schema& schema() const override { return store_->schema(); }
   Result<std::vector<const Object*>> FetchExtent(
       const std::string& class_name) override;
+  /// Token-aware fetch: every virtual wait (latency, backoff) is
+  /// charged to `token`, the per-attempt deadline is capped by the
+  /// token's remaining budget, an expired token is rejected up front
+  /// with kDeadlineExceeded (no attempt, no breaker movement), and
+  /// expiry between retries stops the retry loop. The plain overload is
+  /// this one with a never-expiring token.
+  Result<std::vector<const Object*>> FetchExtent(
+      const std::string& class_name, const CancelToken& token) override;
 
   BreakerState breaker_state() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -111,6 +144,9 @@ class AgentConnection : public ExtentSource {
     std::size_t breaker_rejections = 0;
     /// closed→open (or half-open→open) transitions.
     std::size_t trips = 0;
+    /// Retries not taken because the shared retry budget was empty
+    /// (the call failed fast with its last error instead).
+    std::size_t retries_denied_budget = 0;
   };
   /// Snapshot of the counters; taken under the connection lock so it is
   /// internally consistent even while other threads call FetchExtent.
@@ -134,16 +170,23 @@ class AgentConnection : public ExtentSource {
 
  private:
   /// One attempt against the underlying store, fault schedule applied.
-  /// Advances the clock by the attempt's (deadline-clamped) latency.
-  Status Attempt(const std::string& class_name,
-                 std::vector<const Object*>* out);
+  /// Advances the clock by the attempt's latency, clamped to
+  /// `deadline_ms` (the static per-call deadline, possibly tightened by
+  /// the query token's remaining budget).
+  Status Attempt(const std::string& class_name, double deadline_ms,
+                 const CancelToken& token, std::vector<const Object*>* out);
 
-  /// Advances the virtual clock by `ms` and, when `real_time_scale` is
-  /// set, sleeps the calling thread for ms × scale real milliseconds.
-  /// Called with mu_ held: calls to one agent are serial by contract,
-  /// so sleeping under the connection's own lock blocks nobody who
-  /// could otherwise make progress against this agent.
-  void Wait(double ms);
+  /// Advances the virtual clock by `ms`, charges the wait to `token`,
+  /// and, when `real_time_scale` is set, sleeps the calling thread for
+  /// ms × scale real milliseconds. Called with mu_ held: calls to one
+  /// agent are serial by contract, so sleeping under the connection's
+  /// own lock blocks nobody who could otherwise make progress against
+  /// this agent.
+  void Wait(double ms, const CancelToken& token);
+
+  /// Refills the shared retry token bucket from the virtual clock.
+  /// Called with mu_ held; no-op when budgeting is disabled.
+  void RefillRetryBudget();
 
   void RecordSuccess();
   /// Returns true when the failure tripped (or re-opened) the breaker.
@@ -169,6 +212,10 @@ class AgentConnection : public ExtentSource {
   double opened_at_ms_ = 0;
   double now_ms_ = 0;
   std::uint64_t jitter_state_;
+  /// Retry-budget token bucket (shared across calls and callers; only
+  /// meaningful when retry_.retry_budget_max > 0). Starts full.
+  double retry_tokens_ = 0;
+  double budget_refilled_at_ms_ = 0;
   Stats stats_;
 };
 

@@ -35,6 +35,19 @@ std::string QueryPlan::ToString() const {
     out += StrCat("  parallel: threads=", num_threads,
                   " fetch_overlap_saved_ms=", fetch_overlap_saved_ms, "\n");
   }
+  if (query_deadline_ms != CancelToken::kNoDeadline) {
+    out += StrCat("  deadline: ", query_deadline_ms, "ms per query\n");
+  }
+  if (admission_enabled) {
+    out += StrCat("  admission: limit=", admission_max_concurrent,
+                  " queue_depth=", admission_max_queue_depth,
+                  " admitted=", admission.admitted,
+                  " shed_full=", admission.rejected_full,
+                  " shed_wait=", admission.rejected_wait,
+                  " queued_now=", admission.queued,
+                  " max_queued=", admission.max_queued,
+                  " wait_ms=", admission.total_wait_ms, "\n");
+  }
   if (counters.present) {
     out += StrCat("  counters: derived=", counters.facts_derived,
                   " extents_fetched=", counters.extents_fetched,
@@ -42,9 +55,13 @@ std::string QueryPlan::ToString() const {
                   " cache_hits=", counters.cache_hits,
                   counters.from_cache ? " (answered from cache)" : "", "\n");
   }
-  if (degraded()) {
+  if (!skipped_agents.empty()) {
     out += StrCat("  DEGRADED: skipped ", Join(skipped_agents, ", "),
                   "; incomplete ", Join(incomplete_concepts, ", "), "\n");
+  }
+  if (deadline_truncated) {
+    out += StrCat("  DEADLINE-TRUNCATED (sound subset): ",
+                  Join(truncated_concepts, ", "), "\n");
   }
   out += "}";
   return out;
@@ -113,7 +130,13 @@ Result<QueryPlan> ExplainQuery(const GlobalSchema& global,
                     concept_ref) != degraded->incomplete_concepts.end()) {
         plan.incomplete_concepts.push_back(concept_ref);
       }
+      if (std::find(degraded->truncated_concepts.begin(),
+                    degraded->truncated_concepts.end(),
+                    concept_ref) != degraded->truncated_concepts.end()) {
+        plan.truncated_concepts.push_back(concept_ref);
+      }
     }
+    plan.deadline_truncated = !plan.truncated_concepts.empty();
   }
   return plan;
 }

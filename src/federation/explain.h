@@ -61,9 +61,28 @@ struct QueryPlan {
   int num_threads = 1;
   double fetch_overlap_saved_ms = 0;
 
-  /// True when the plan touches a skipped agent — the answer this plan
-  /// produces is sound but possibly incomplete.
-  bool degraded() const { return !skipped_agents.empty(); }
+  /// Overload-control annotations (FsmClient::Explain): the query
+  /// deadline every query runs under and a snapshot of the admission
+  /// controller (queue depth, wait time, shed counts). `admission` is
+  /// meaningful only when admission_enabled.
+  double query_deadline_ms = CancelToken::kNoDeadline;
+  bool admission_enabled = false;
+  int admission_max_concurrent = 0;
+  int admission_max_queue_depth = 0;
+  AdmissionController::Stats admission;
+
+  /// Concepts of this plan whose extents were cut short by the query
+  /// deadline (a sound subset — see DegradedInfo::deadline_truncated).
+  /// Disjoint from incomplete_concepts, which records fault-skips.
+  bool deadline_truncated = false;
+  std::vector<std::string> truncated_concepts;
+
+  /// True when the plan touches a skipped agent or was cut short by the
+  /// deadline — the answer this plan produces is sound but possibly
+  /// incomplete.
+  bool degraded() const {
+    return !skipped_agents.empty() || deadline_truncated;
+  }
 
   std::string ToString() const;
 };

@@ -75,7 +75,20 @@ FaultInjector::AgentSchedule& FaultInjector::ScheduleFor(
     schedule.stream = seed_ ^ HashName(agent);
     schedule.stream_seeded = true;
   }
+  if (latency_enabled_ && !schedule.latency_seeded) {
+    // Salted so the latency stream is independent of the fault stream
+    // even for the same (seed, agent) pair.
+    schedule.latency_stream =
+        seed_ ^ HashName(agent) ^ 0xa5a5a5a5deadbeefULL;
+    schedule.latency_seeded = true;
+  }
   return schedule;
+}
+
+void FaultInjector::set_latency_profile(const LatencyProfile& profile) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  latency_ = profile;
+  latency_enabled_ = true;
 }
 
 void FaultInjector::Push(const std::string& agent, Fault fault) {
@@ -116,7 +129,17 @@ Fault FaultInjector::Next(const std::string& agent) {
       return MakeFault(kKinds[pick]);
     }
   }
-  return MakeFault(FaultKind::kNone);
+  Fault ok = MakeFault(FaultKind::kNone);
+  if (latency_enabled_) {
+    // Successful attempt under a latency profile: shape its latency
+    // from the dedicated per-agent stream.
+    const double roll = UnitInterval(SplitMix64(&schedule.latency_stream));
+    const double jitter = UnitInterval(SplitMix64(&schedule.latency_stream));
+    ok.latency_ms = roll < latency_.slow_fraction
+                        ? latency_.slow_ms
+                        : latency_.base_ms + jitter * latency_.jitter_ms;
+  }
+  return ok;
 }
 
 std::size_t FaultInjector::calls(const std::string& agent) const {

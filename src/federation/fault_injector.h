@@ -40,6 +40,22 @@ struct Fault {
   std::size_t keep = 0;
 };
 
+/// Seeded per-attempt latency distribution for otherwise-successful
+/// attempts — the overload model: agents are *up* but *slow*. Each
+/// successful (kNone) draw samples
+///   latency = base_ms + U[0,1) * jitter_ms,
+/// and with probability `slow_fraction` is replaced by `slow_ms`
+/// (a heavy tail: the stragglers that blow per-call deadlines).
+/// Latencies interact with deadlines in AgentConnection, so a slow
+/// reply may still turn into a timeout there.
+struct LatencyProfile {
+  double base_ms = 1;
+  double jitter_ms = 0;
+  /// Probability an attempt is a straggler answering in slow_ms.
+  double slow_fraction = 0;
+  double slow_ms = 0;
+};
+
 /// Deterministic per-agent fault schedules for the connection layer.
 ///
 /// Two modes compose:
@@ -75,6 +91,15 @@ class FaultInjector {
   /// (after any already-scripted faults are consumed).
   void AlwaysFail(const std::string& agent, FaultKind kind);
 
+  /// Opt-in seeded latency shaping for successful attempts (the
+  /// overload model; see LatencyProfile). Draws come from a *separate*
+  /// per-agent splitmix64 stream salted differently from the fault
+  /// stream, so enabling a profile never perturbs an existing seeded
+  /// fault schedule — and leaving it off keeps every historical seeded
+  /// scenario byte-identical. Scripted faults and non-kNone seeded
+  /// draws keep their own latencies.
+  void set_latency_profile(const LatencyProfile& profile);
+
   /// The fault the next attempt against `agent` sees; consumes one
   /// scripted entry (or one seeded draw). Called by AgentConnection
   /// once per attempt, never for breaker fast-failures.
@@ -93,6 +118,10 @@ class FaultInjector {
     bool always_set = false;
     std::uint64_t stream = 0;
     bool stream_seeded = false;
+    /// Separate stream for LatencyProfile draws (salted; see .cc), so
+    /// latency shaping and fault scheduling never share random state.
+    std::uint64_t latency_stream = 0;
+    bool latency_seeded = false;
     std::size_t calls = 0;
   };
 
@@ -109,6 +138,8 @@ class FaultInjector {
   std::uint64_t seed_ = 0;
   double fault_rate_ = 0;
   bool seeded_ = false;
+  LatencyProfile latency_;
+  bool latency_enabled_ = false;
 };
 
 }  // namespace ooint

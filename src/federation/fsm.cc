@@ -379,9 +379,28 @@ Result<std::unique_ptr<Evaluator>> Fsm::MakeEvaluator(
 
 Result<FederatedEvaluator> Fsm::MakeFederatedEvaluator(
     const GlobalSchema& global, const FederationOptions& options) const {
+  if (options.query_deadline_ms < 0) {
+    return Status::InvalidArgument(
+        StrCat("query_deadline_ms must be >= 0 (or kNoDeadline), got ",
+               options.query_deadline_ms));
+  }
+  if (options.admission.max_concurrent < 0 ||
+      options.admission.max_queue_depth < 0 ||
+      options.admission.queue_wait_deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "admission policy values must be non-negative");
+  }
   FederatedEvaluator fed;
   fed.evaluator = std::make_unique<Evaluator>();
   fed.evaluator->set_failure_policy(options.failure_policy);
+  if (options.query_deadline_ms != CancelToken::kNoDeadline &&
+      options.query_mode != QueryMode::kDemandDriven) {
+    // Materialized mode runs its one big fixpoint here, at build time;
+    // the deadline bounds that run. Demand-driven clients instead mint
+    // a fresh token per query (FsmClient::Demand).
+    fed.evaluator->set_cancel_token(
+        CancelToken::WithBudget(options.query_deadline_ms));
+  }
   if (options.num_threads > 1) {
     fed.evaluator->set_thread_pool(
         std::make_shared<ThreadPool>(options.num_threads));

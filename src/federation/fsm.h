@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "assertions/assertion_set.h"
+#include "common/admission.h"
+#include "common/cancel.h"
 #include "common/result.h"
 #include "datamap/data_mapping.h"
 #include "federation/agent_connection.h"
@@ -74,6 +76,22 @@ struct FederationOptions {
   /// each semi-naive round; derived fact sets are identical either way
   /// (see DESIGN.md "Parallel execution model").
   int num_threads = 1;
+  /// End-to-end deadline, in *virtual* milliseconds, each query gets
+  /// (see DESIGN.md "Overload-robust serving"). kNoDeadline — the
+  /// default — disables deadlines entirely. A query that runs out of
+  /// budget unwinds with kDeadlineExceeded under kStrict, or returns a
+  /// sound subset of the full answer under kPartial, with the missing
+  /// concepts accounted in DegradedInfo as `deadline_truncated` —
+  /// disjoint from fault-skips. 0 is a valid (already-expired) deadline:
+  /// such queries fail fast before fetching anything; negative values
+  /// are rejected with kInvalidArgument when the evaluator is built.
+  double query_deadline_ms = CancelToken::kNoDeadline;
+  /// Admission control in front of the serving path (FsmClient::Run /
+  /// Extent / demand queries). Disabled by default; with
+  /// `admission.max_concurrent > 0`, over-limit queries queue up to
+  /// `max_queue_depth` deep (waiting at most `queue_wait_deadline_ms`
+  /// real ms) and are otherwise shed fast with kResourceExhausted.
+  AdmissionPolicy admission;
 };
 
 /// A federated evaluator plus views of the per-agent connections it

@@ -13,6 +13,8 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
   // holding a stale or half-built evaluator.
   evaluator_.reset();
   connections_.clear();
+  admission_.reset();
+  query_deadline_ms_ = CancelToken::kNoDeadline;
   // Cached outcomes hold pointers into the old evaluator's sources and
   // predate whatever made the caller reconnect: always a new epoch.
   InvalidateQueryCache();
@@ -30,6 +32,10 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
   if (!fed.ok()) return fed.status();
   evaluator_ = std::move(fed.value().evaluator);
   connections_ = std::move(fed.value().connections);
+  query_deadline_ms_ = options.query_deadline_ms;
+  if (options.admission.max_concurrent > 0) {
+    admission_ = std::make_unique<AdmissionController>(options.admission);
+  }
   return Status::OK();
 }
 
@@ -107,8 +113,14 @@ Result<std::shared_ptr<const Evaluator::DemandOutcome>> FsmClient::Demand(
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
   // Evaluate outside the lock so concurrent queries for different keys
   // (and even racing misses on the same key) overlap; the later store
-  // simply wins.
-  Result<Evaluator::DemandOutcome> outcome = evaluator_->EvaluateDemand(pattern);
+  // simply wins. Each miss runs under its own fresh deadline token (a
+  // cache hit costs no budget; only real evaluation does).
+  const CancelToken token =
+      query_deadline_ms_ == CancelToken::kNoDeadline
+          ? CancelToken()
+          : CancelToken::WithBudget(query_deadline_ms_);
+  Result<Evaluator::DemandOutcome> outcome =
+      evaluator_->EvaluateDemand(pattern, token);
   if (!outcome.ok()) return outcome.status();
   auto shared = std::make_shared<const Evaluator::DemandOutcome>(
       std::move(outcome).value());
@@ -117,7 +129,12 @@ Result<std::shared_ptr<const Evaluator::DemandOutcome>> FsmClient::Demand(
   // one's contemporaries) will miss and recompute.
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   demand_degraded_ = shared->degraded;
-  cache_[key] = CacheEntry{shared, fault_epoch(), HealthSignature()};
+  if (!shared->degraded.deadline_truncated) {
+    // A deadline-truncated answer is sound for *this* query's budget
+    // but must never be replayed to a later query as the full answer —
+    // truncated outcomes are served once and recomputed.
+    cache_[key] = CacheEntry{shared, fault_epoch(), HealthSignature()};
+  }
   return shared;
 }
 
@@ -125,6 +142,9 @@ Result<std::vector<Bindings>> FsmClient::Run(const Query& query) const {
   if (evaluator_ == nullptr) {
     return Status::FailedPrecondition("call Connect() before Run()");
   }
+  // Admission first: a shed query does no evaluation work at all.
+  const AdmissionSlot slot(admission_.get());
+  if (!slot.status().ok()) return slot.status();
   if (query_mode_ == QueryMode::kDemandDriven) {
     OOINT_ASSIGN_OR_RETURN(auto outcome, Demand(query.pattern()));
     return outcome->rows;
@@ -137,6 +157,8 @@ Result<std::vector<const Fact*>> FsmClient::Extent(
   if (evaluator_ == nullptr) {
     return Status::FailedPrecondition("call Connect() before Extent()");
   }
+  const AdmissionSlot slot(admission_.get());
+  if (!slot.status().ok()) return slot.status();
   if (query_mode_ == QueryMode::kDemandDriven) {
     // The unbound pattern: demand degenerates to the full (but still
     // relevance-restricted) closure of the concept, which is exactly
@@ -160,6 +182,13 @@ Result<QueryPlan> FsmClient::Explain(const Query& query) const {
       ExplainQuery(global_, query.pattern().class_name, &info));
   plan.demand_mode = query_mode_ == QueryMode::kDemandDriven;
   plan.num_threads = num_threads();
+  plan.query_deadline_ms = query_deadline_ms_;
+  if (admission_ != nullptr) {
+    plan.admission_enabled = true;
+    plan.admission_max_concurrent = admission_->policy().max_concurrent;
+    plan.admission_max_queue_depth = admission_->policy().max_queue_depth;
+    plan.admission = admission_->stats();
+  }
   if (!plan.demand_mode) {
     // Materialized connections fetched at Connect(); the evaluator's
     // counters say how much latency the overlapped batch hid.

@@ -132,6 +132,17 @@ class FsmClient {
     return stats;
   }
 
+  /// Admission-control snapshot of the serving path (all zeros when the
+  /// connection has admission disabled).
+  AdmissionController::Stats admission_stats() const {
+    return admission_ == nullptr ? AdmissionController::Stats{}
+                                 : admission_->stats();
+  }
+
+  /// The per-query deadline of the active connection (virtual ms;
+  /// CancelToken::kNoDeadline when unbounded).
+  double query_deadline_ms() const { return query_deadline_ms_; }
+
   /// Drops every cached query outcome (counts one invalidation).
   void InvalidateQueryCache() const;
 
@@ -171,6 +182,15 @@ class FsmClient {
   /// Owned by evaluator_; kept for health reporting.
   std::vector<AgentConnection*> connections_;
   QueryMode query_mode_ = QueryMode::kMaterialized;
+  /// Per-query deadline of the active connection (virtual ms;
+  /// kNoDeadline = unbounded). Demand queries mint a CancelToken with
+  /// this budget; materialized connections spend it at Connect().
+  double query_deadline_ms_ = CancelToken::kNoDeadline;
+  /// Admission controller of the serving path (null when the connection
+  /// was made without admission control). Run/Extent acquire a slot
+  /// before doing any work and shed with kResourceExhausted; Explain is
+  /// deliberately exempt so overload can be observed *during* overload.
+  std::unique_ptr<AdmissionController> admission_;
   std::atomic<std::uint64_t> fault_epoch_{0};
   /// Reader/writer lock over cache_ and demand_degraded_: concurrent
   /// queries share the lock for lookups and take it exclusively only to

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <numeric>
 #include <set>
 
@@ -57,15 +58,33 @@ class DirectStoreSource : public ExtentSource {
   const InstanceStore* store_;
 };
 
+/// The kDeadlineExceeded an expired/cancelled token unwinds with.
+Status DeadlineStatus(const CancelToken& token, const char* where) {
+  if (token.cancelled()) {
+    return Status::DeadlineExceeded(StrCat("query cancelled ", where));
+  }
+  return Status::DeadlineExceeded(
+      StrCat("query deadline (", token.budget_ms(), "ms) exceeded ", where,
+             " (", token.spent_ms(), "ms spent)"));
+}
+
 }  // namespace
 
 std::vector<ExtentReply> FetchExtentsOverlapped(
-    const std::vector<ExtentRequest>& requests, ThreadPool* pool) {
+    const std::vector<ExtentRequest>& requests, ThreadPool* pool,
+    const CancelToken& token) {
   std::vector<ExtentReply> replies(requests.size());
-  auto fetch_one = [&requests, &replies](size_t i) {
+  auto fetch_one = [&requests, &replies, &token](size_t i) {
+    if (token.Expired()) {
+      // Fast unwind: once the query is out of time, remaining fetches
+      // are not issued at all — no retries burned, no breaker movement.
+      replies[i].status = DeadlineStatus(token, "before extent fetch");
+      return;
+    }
+    replies[i].issued = true;
     const auto start = std::chrono::steady_clock::now();
     Result<std::vector<const Object*>> extent =
-        requests[i].source->FetchExtent(requests[i].class_name);
+        requests[i].source->FetchExtent(requests[i].class_name, token);
     replies[i].wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -122,10 +141,16 @@ std::string DegradedInfo::ToString() const {
     out += StrCat("  relevance-pruned (not contacted, answer unaffected): ",
                   Join(pruned_agents, ", "), "\n");
   }
-  out += StrCat("  incomplete: ", Join(incomplete_concepts, ", "), "\n");
+  if (!incomplete_concepts.empty() || !skipped.empty()) {
+    out += StrCat("  incomplete: ", Join(incomplete_concepts, ", "), "\n");
+  }
   if (!unsound_concepts.empty()) {
     out += StrCat("  possibly unsound (via negation): ",
                   Join(unsound_concepts, ", "), "\n");
+  }
+  if (deadline_truncated) {
+    out += StrCat("  deadline-truncated (sound subset): ",
+                  Join(truncated_concepts, ", "), "\n");
   }
   out += "}";
   return out;
@@ -218,6 +243,10 @@ Status Evaluator::LoadBaseFacts() {
   // Concept -> false, seeded with every directly incomplete concept;
   // PropagateIncompleteness flips the flag to true past a negation.
   std::map<std::string, bool> direct;
+  // Bound concepts whose fetch never completed because the query's
+  // deadline fired — a loss charged to the *query*, not to any agent
+  // (kPartial taxonomy: truncation, not a fault-skip).
+  std::vector<std::string> truncated;
   for (const Fact& seed : seed_facts_) {
     if (InsertFact(seed) != kNoFact) ++stats_.base_facts;
   }
@@ -236,16 +265,30 @@ Status Evaluator::LoadBaseFacts() {
     }
     const auto batch_start = std::chrono::steady_clock::now();
     std::vector<ExtentReply> replies =
-        FetchExtentsOverlapped(requests, pool_.get());
+        FetchExtentsOverlapped(requests, pool_.get(), token_);
     stats_.fetch_wall_ms += std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - batch_start)
                                 .count();
     for (size_t i = 0; i < replies.size(); ++i) {
       const ConceptBinding& binding = bindings_decl_[i];
       const Source& source = sources_[binding.source_index];
-      ++stats_.extents_fetched;
-      stats_.fetch_ms_sum += replies[i].wall_ms;
+      if (replies[i].issued) {
+        ++stats_.extents_fetched;
+        stats_.fetch_ms_sum += replies[i].wall_ms;
+      }
       if (!replies[i].status.ok()) {
+        // Attribution rule: a failure processed while the query's token
+        // is expired is the *query's* loss (truncation), whatever the
+        // proximate status — the clock ran out, retries stopped, and no
+        // agent should be condemned for it. Otherwise it is the agent's
+        // fault (skip).
+        if (!replies[i].issued || token_.Expired()) {
+          if (failure_policy_ == FailurePolicy::kStrict) {
+            return DeadlineStatus(token_, "during base extent loading");
+          }
+          truncated.push_back(binding.concept_name);
+          continue;
+        }
         if (failure_policy_ == FailurePolicy::kStrict) {
           return replies[i].status;
         }
@@ -264,14 +307,32 @@ Status Evaluator::LoadBaseFacts() {
       }
     }
     if (!direct.empty()) PropagateIncompleteness(direct);
+    if (!truncated.empty()) MarkTruncated(std::move(truncated));
     return Status::OK();
   }
   for (const ConceptBinding& binding : bindings_decl_) {
     const Source& source = sources_[binding.source_index];
+    if (token_.Expired()) {
+      // Out of time: the remaining extents are not fetched at all.
+      if (failure_policy_ == FailurePolicy::kStrict) {
+        return DeadlineStatus(token_, "during base extent loading");
+      }
+      truncated.push_back(binding.concept_name);
+      continue;
+    }
     ++stats_.extents_fetched;
     Result<std::vector<const Object*>> extent =
-        source.source->FetchExtent(binding.class_name);
+        source.source->FetchExtent(binding.class_name, token_);
     if (!extent.ok()) {
+      // Same attribution rule as the overlapped path: expired token =>
+      // the query's truncation, not the agent's fault.
+      if (token_.Expired()) {
+        if (failure_policy_ == FailurePolicy::kStrict) {
+          return DeadlineStatus(token_, "during base extent loading");
+        }
+        truncated.push_back(binding.concept_name);
+        continue;
+      }
       if (failure_policy_ == FailurePolicy::kStrict) return extent.status();
       if (!degraded_.SkippedAgentNamed(source.schema_name)) {
         degraded_.skipped.push_back({source.schema_name, extent.status()});
@@ -288,7 +349,17 @@ Status Evaluator::LoadBaseFacts() {
     }
   }
   if (!direct.empty()) PropagateIncompleteness(direct);
+  if (!truncated.empty()) MarkTruncated(std::move(truncated));
   return Status::OK();
+}
+
+void Evaluator::MarkTruncated(std::vector<std::string> concepts) {
+  degraded_.deadline_truncated = true;
+  std::vector<std::string>& out = degraded_.truncated_concepts;
+  out.insert(out.end(), std::make_move_iterator(concepts.begin()),
+             std::make_move_iterator(concepts.end()));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 void Evaluator::PropagateIncompleteness(
@@ -380,12 +451,65 @@ Status Evaluator::Stratify(std::map<std::string, int>* strata,
 Status Evaluator::Evaluate() {
   if (evaluated_) return Status::OK();
   Reset();
+  if (token_.Expired()) {
+    // Pre-expired token (zero deadline, or cancelled before start):
+    // fail before fetching any extent or mutating anything, under
+    // either failure policy — there is no partial answer to salvage.
+    return DeadlineStatus(token_, "before evaluation started");
+  }
+  const Status status = EvaluateImpl();
+  if (!status.ok() && token_.active()) {
+    // Deadline/cancellation unwind contract: the store, skolem table
+    // and stats are left bit-identical to a never-started evaluation
+    // (conformance family 9 checks exactly this).
+    Reset();
+  }
+  return status;
+}
+
+Status Evaluator::EvaluateImpl() {
   OOINT_RETURN_IF_ERROR(LoadBaseFacts());
   std::map<std::string, int> strata;
   int max_stratum = 0;
   OOINT_RETURN_IF_ERROR(Stratify(&strata, &max_stratum));
   stats_.strata = static_cast<size_t>(max_stratum) + 1;
   const FactMatcher matcher = MakeMatcher();
+
+  // Deadline fired while loading base extents (kPartial; kStrict
+  // unwound inside LoadBaseFacts): every derived concept is suspect
+  // because no derivation ran at all. The base facts loaded so far are
+  // genuine, so returning them is sound.
+  if (degraded_.deadline_truncated) {
+    std::vector<std::string> heads;
+    for (const Rule& rule : rules_) {
+      for (const std::string& head : rule.HeadConceptNames()) {
+        heads.push_back(head);
+      }
+    }
+    MarkTruncated(std::move(heads));
+    evaluated_ = true;
+    return Status::OK();
+  }
+
+  // Stops derivation at a round boundary once the token expires:
+  // kStrict unwinds with kDeadlineExceeded; kPartial marks every
+  // concept heading a rule in an unfinished stratum (>= `stratum`)
+  // truncated — lower strata completed, so their heads are exact.
+  bool deadline_stop = false;
+  auto StopAtDeadline = [&](int stratum) -> Status {
+    if (failure_policy_ == FailurePolicy::kStrict) {
+      return DeadlineStatus(token_, "during fixpoint evaluation");
+    }
+    std::vector<std::string> heads;
+    for (const Rule& rule : rules_) {
+      for (const std::string& head : rule.HeadConceptNames()) {
+        if (strata[head] >= stratum) heads.push_back(head);
+      }
+    }
+    MarkTruncated(std::move(heads));
+    deadline_stop = true;
+    return Status::OK();
+  };
 
   // Per-rule join plans: the positions of positive fact literals (the
   // delta-restrictable ones), with their concepts interned up front.
@@ -421,6 +545,13 @@ Status Evaluator::Evaluate() {
       // oracle for the semi-naive path.
       bool changed = true;
       while (changed) {
+        // Each naive iteration is one bounded unit of derivation work
+        // on the query's clock.
+        token_.Charge(CancelToken::kRoundChargeMs);
+        if (token_.Expired()) {
+          OOINT_RETURN_IF_ERROR(StopAtDeadline(stratum));
+          break;
+        }
         changed = false;
         ++stats_.iterations;
         for (const RulePlan& plan : active) {
@@ -450,6 +581,17 @@ Status Evaluator::Evaluate() {
       std::vector<std::uint32_t> prev;
       bool first = true;
       while (true) {
+        // Round boundary: the only place the fixpoint looks at the
+        // clock, so truncation is always at a whole-round granularity
+        // (every fact derived so far is a genuine derivation). Each
+        // round charges one bounded unit of virtual time — pure
+        // derivation cannot outrun the deadline even when every fetch
+        // was instantaneous.
+        token_.Charge(CancelToken::kRoundChargeMs);
+        if (token_.Expired()) {
+          OOINT_RETURN_IF_ERROR(StopAtDeadline(stratum));
+          break;
+        }
         std::vector<std::uint32_t> cur(store_.concept_count());
         for (ConceptId c = 0; c < cur.size(); ++c) {
           cur[c] = static_cast<std::uint32_t>(store_.CountOf(c));
@@ -571,6 +713,7 @@ Status Evaluator::Evaluate() {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - stratum_start)
             .count());
+    if (deadline_stop) break;  // kPartial truncation: stop all strata
   }
   evaluated_ = true;
   return Status::OK();
@@ -1098,7 +1241,13 @@ Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
 }
 
 Result<Evaluator::DemandOutcome> Evaluator::EvaluateDemand(
-    const OTerm& pattern) const {
+    const OTerm& pattern, const CancelToken& token) const {
+  if (token.Expired()) {
+    // Pre-expired (zero deadline / already-cancelled) queries fail
+    // before the magic rewrite, before any source is contacted and
+    // before any cache could be touched.
+    return DeadlineStatus(token, "before demand evaluation started");
+  }
   DemandOutcome out;
   const GoalBinding goal = ExtractGoalBinding(pattern);
   MagicProgram program = MagicRewrite(rules_, goal);
@@ -1110,6 +1259,7 @@ Result<Evaluator::DemandOutcome> Evaluator::EvaluateDemand(
   sub->strategy_ = strategy_;
   sub->failure_policy_ = failure_policy_;
   sub->mappings_ = mappings_;
+  sub->token_ = token;  // the query's deadline bounds the sub-fixpoint
   sub->pool_ = pool_;  // demand fixpoints parallelize like the parent
   for (const Source& source : sources_) {
     sub->AddBorrowedSource(source.schema_name, source.source);
@@ -1178,6 +1328,7 @@ Result<Evaluator::DemandOutcome> Evaluator::EvaluateDemand(
   };
   drop_magic(&out.degraded.incomplete_concepts);
   drop_magic(&out.degraded.unsound_concepts);
+  drop_magic(&out.degraded.truncated_concepts);
   out.degraded.pruned_agents = out.pruned_agents;
   out.stats = sub->stats();
   out.sub = std::move(sub);

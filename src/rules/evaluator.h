@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "datamap/data_mapping.h"
@@ -45,6 +46,19 @@ class ExtentSource {
   /// must stay valid until the next mutation of the underlying store.
   virtual Result<std::vector<const Object*>> FetchExtent(
       const std::string& class_name) = 0;
+
+  /// Token-aware extent read: sources that wait (AgentConnection) charge
+  /// every virtual wait to `token` and derive per-attempt deadlines from
+  /// its remaining budget, so one query-wide deadline bounds the whole
+  /// fetch including retries and backoff. The token is a *per-call*
+  /// parameter — connections are shared across concurrent queries, each
+  /// carrying its own token — and the default implementation ignores it
+  /// (instantaneous sources have nothing to charge).
+  virtual Result<std::vector<const Object*>> FetchExtent(
+      const std::string& class_name, const CancelToken& token) {
+    (void)token;
+    return FetchExtent(class_name);
+  }
 };
 
 /// One extent read of a concurrent batch (see FetchExtentsOverlapped).
@@ -62,6 +76,10 @@ struct ExtentReply {
   /// scaled sleeps included) — the per-agent cost Explain aggregates
   /// into overlap savings.
   double wall_ms = 0;
+  /// False when the fetch was never issued because the batch's cancel
+  /// token had already expired — the source was not contacted, so the
+  /// read does not count toward Stats::extents_fetched.
+  bool issued = false;
 };
 
 /// Issues the batch concurrently on `pool` (serially when `pool` is
@@ -70,9 +88,13 @@ struct ExtentReply {
 /// serially in request order — a source's fault schedule, retry stream
 /// and breaker state then evolve exactly as under a serial fetch, which
 /// is what keeps parallel federations bit-identical to serial ones;
-/// only distinct sources overlap.
+/// only distinct sources overlap. `token` bounds the whole batch: each
+/// fetch checks it immediately before issuing (an expired token yields
+/// kDeadlineExceeded without contacting the source) and the token is
+/// passed through to the sources so their waits charge against it.
 std::vector<ExtentReply> FetchExtentsOverlapped(
-    const std::vector<ExtentRequest>& requests, ThreadPool* pool);
+    const std::vector<ExtentRequest>& requests, ThreadPool* pool,
+    const CancelToken& token = {});
 
 /// What Evaluate() does when an extent read fails.
 enum class FailurePolicy {
@@ -111,8 +133,24 @@ struct DegradedInfo {
   /// the answer is exactly what a full evaluation would return for the
   /// goal — so pruned agents never appear in incomplete_concepts.
   std::vector<std::string> pruned_agents;
+  /// True when the query's deadline (or an explicit cancellation)
+  /// stopped evaluation early under FailurePolicy::kPartial: derivation
+  /// halted at a round boundary, so the answer is a *sound subset* of
+  /// the unbounded answer (stratified negation only ever reads
+  /// completed strata — truncation can lose facts, never invent them).
+  /// A third category, disjoint from fault-skips (`skipped`: an agent
+  /// misbehaved) and relevance-pruning (`pruned_agents`: the query
+  /// provably doesn't need the agent): here the *query* ran out of
+  /// time, no agent is at fault, and the loss is bounded by where the
+  /// clock stopped.
+  bool deadline_truncated = false;
+  /// Sorted, deduplicated names of concepts whose extents may be
+  /// missing facts because of the truncation: the bound concepts whose
+  /// fetch never completed plus every concept heading a rule in a
+  /// stratum the fixpoint did not finish.
+  std::vector<std::string> truncated_concepts;
 
-  bool degraded() const { return !skipped.empty(); }
+  bool degraded() const { return !skipped.empty() || deadline_truncated; }
   bool SkippedAgentNamed(const std::string& schema_name) const;
   std::string ToString() const;
 };
@@ -202,6 +240,20 @@ class Evaluator {
   void set_failure_policy(FailurePolicy policy) { failure_policy_ = policy; }
   FailurePolicy failure_policy() const { return failure_policy_; }
 
+  /// End-to-end deadline / cancellation for the next Evaluate(). The
+  /// token is checked before every extent fetch and at every fixpoint
+  /// round boundary (each round charges CancelToken::kRoundChargeMs;
+  /// connections charge their virtual waits), so an expired or
+  /// cancelled token unwinds within one bounded step. Under kStrict the
+  /// unwind returns kDeadlineExceeded and leaves the store bit-identical
+  /// to never-started (Reset() on the way out); under kPartial the
+  /// answer so far is returned with degraded().deadline_truncated set.
+  /// A token already expired at Evaluate() entry fails with
+  /// kDeadlineExceeded before fetching anything, under either policy.
+  /// The default token never expires.
+  void set_cancel_token(CancelToken token) { token_ = std::move(token); }
+  const CancelToken& cancel_token() const { return token_; }
+
   /// The degradation record of the last Evaluate() (empty when every
   /// source answered, or under FailurePolicy::kStrict).
   const DegradedInfo& degraded() const { return degraded_; }
@@ -276,7 +328,14 @@ class Evaluator {
   ///
   /// Does not touch this evaluator's own fact store or stats; usable
   /// whether or not Evaluate() has run.
-  Result<DemandOutcome> EvaluateDemand(const OTerm& pattern) const;
+  ///
+  /// `token` is the query's deadline/cancellation handle (see
+  /// set_cancel_token); it is a parameter — not inherited from this
+  /// evaluator — because concurrent queries share one parent evaluator
+  /// while each carries its own deadline. A token already expired at
+  /// entry returns kDeadlineExceeded before contacting any source.
+  Result<DemandOutcome> EvaluateDemand(const OTerm& pattern,
+                                       const CancelToken& token = {}) const;
 
   /// The evaluated fact universe (read-only) — the conformance
   /// harness's store-differential oracle replays it into reference and
@@ -376,6 +435,14 @@ class Evaluator {
                          std::vector<std::uint32_t>* candidates,
                          ConceptId* concept_id) const;
 
+  /// The body of Evaluate(): everything after the entry checks. Split
+  /// out so Evaluate() can Reset() on a deadline/cancel unwind.
+  Status EvaluateImpl();
+
+  /// Records a deadline truncation (kPartial): flags degraded_ and
+  /// merges `concepts` into truncated_concepts, sorted + deduplicated.
+  void MarkTruncated(std::vector<std::string> concepts);
+
   std::vector<Source> sources_;
   std::vector<ConceptBinding> bindings_decl_;
   std::vector<Rule> rules_;
@@ -384,6 +451,8 @@ class Evaluator {
   const DataMappingRegistry* mappings_ = nullptr;
   EvalStrategy strategy_ = EvalStrategy::kSemiNaive;
   FailurePolicy failure_policy_ = FailurePolicy::kStrict;
+  /// Per-query deadline/cancellation (never expires by default).
+  CancelToken token_;
   DegradedInfo degraded_;
 
   bool evaluated_ = false;

@@ -1,0 +1,157 @@
+#include "common/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ooint {
+namespace {
+
+TEST(AdmissionTest, DisabledControllerAdmitsEverything) {
+  AdmissionController controller(AdmissionPolicy{});  // max_concurrent = 0
+  EXPECT_FALSE(controller.enabled());
+  std::vector<AdmissionSlot> slots;
+  for (int i = 0; i < 100; ++i) {
+    slots.emplace_back(&controller);
+    EXPECT_TRUE(slots.back().status().ok());
+  }
+}
+
+TEST(AdmissionTest, NullControllerIsNoOp) {
+  AdmissionSlot slot(nullptr);
+  EXPECT_TRUE(slot.status().ok());
+}
+
+TEST(AdmissionTest, ShedsWhenSaturatedWithoutQueue) {
+  AdmissionPolicy policy;
+  policy.max_concurrent = 2;
+  policy.max_queue_depth = 0;
+  AdmissionController controller(policy);
+  EXPECT_TRUE(controller.enabled());
+
+  AdmissionSlot a(&controller);
+  AdmissionSlot b(&controller);
+  EXPECT_TRUE(a.status().ok());
+  EXPECT_TRUE(b.status().ok());
+
+  AdmissionSlot c(&controller);
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+
+  const AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.rejected_full, 1);
+  EXPECT_EQ(stats.active, 2);
+}
+
+TEST(AdmissionTest, ReleaseFreesTheSlot) {
+  AdmissionPolicy policy;
+  policy.max_concurrent = 1;
+  AdmissionController controller(policy);
+  {
+    AdmissionSlot slot(&controller);
+    EXPECT_TRUE(slot.status().ok());
+    EXPECT_EQ(controller.stats().active, 1);
+  }
+  EXPECT_EQ(controller.stats().active, 0);
+  AdmissionSlot again(&controller);
+  EXPECT_TRUE(again.status().ok());
+}
+
+TEST(AdmissionTest, MoveTransfersOwnership) {
+  AdmissionPolicy policy;
+  policy.max_concurrent = 1;
+  AdmissionController controller(policy);
+  AdmissionSlot outer;
+  {
+    AdmissionSlot inner(&controller);
+    ASSERT_TRUE(inner.status().ok());
+    outer = std::move(inner);
+  }
+  // inner's destruction must not have released the moved-from slot.
+  EXPECT_EQ(controller.stats().active, 1);
+  AdmissionSlot blocked(&controller);
+  EXPECT_EQ(blocked.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdmissionTest, QueuedCallerAdmittedWhenSlotFrees) {
+  AdmissionPolicy policy;
+  policy.max_concurrent = 1;
+  policy.max_queue_depth = 1;
+  AdmissionController controller(policy);
+
+  auto held = new AdmissionSlot(&controller);
+  ASSERT_TRUE(held->status().ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    AdmissionSlot slot(&controller);
+    EXPECT_TRUE(slot.status().ok());
+    admitted.store(true);
+  });
+  // Let the waiter park, then free the slot; the waiter must wake up.
+  while (controller.stats().queued == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(admitted.load());
+  delete held;
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+
+  const AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.max_queued, 1);
+}
+
+TEST(AdmissionTest, QueueDepthBoundsWaiters) {
+  AdmissionPolicy policy;
+  policy.max_concurrent = 1;
+  policy.max_queue_depth = 1;
+  AdmissionController controller(policy);
+
+  AdmissionSlot held(&controller);
+  ASSERT_TRUE(held.status().ok());
+
+  std::thread waiter([&] {
+    AdmissionSlot slot(&controller);  // parks (queue depth 1)
+    EXPECT_TRUE(slot.status().ok());  // admitted once `held` releases
+  });
+  while (controller.stats().queued == 0) {
+    std::this_thread::yield();
+  }
+  // Queue is full now: the next arrival is shed immediately.
+  AdmissionSlot shed(&controller);
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(controller.stats().rejected_full, 1);
+
+  { AdmissionSlot drop = std::move(held); }  // wakes the parked waiter
+  waiter.join();
+  const AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.admitted, 2);
+}
+
+TEST(AdmissionTest, QueueWaitDeadlineShedsParkedCallers) {
+  AdmissionPolicy policy;
+  policy.max_concurrent = 1;
+  policy.max_queue_depth = 4;
+  policy.queue_wait_deadline_ms = 5;  // real ms
+  AdmissionController controller(policy);
+
+  AdmissionSlot held(&controller);
+  ASSERT_TRUE(held.status().ok());
+
+  AdmissionSlot timed_out(&controller);
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kResourceExhausted);
+  const AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.rejected_wait, 1);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.active, 1);
+}
+
+}  // namespace
+}  // namespace ooint

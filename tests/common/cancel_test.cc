@@ -1,0 +1,91 @@
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+namespace ooint {
+namespace {
+
+TEST(CancelTokenTest, DefaultTokenNeverExpires) {
+  CancelToken token;
+  EXPECT_FALSE(token.active());
+  EXPECT_FALSE(token.Expired());
+  EXPECT_FALSE(token.cancelled());
+  token.Charge(1e9);
+  EXPECT_FALSE(token.Expired());
+  EXPECT_EQ(token.spent_ms(), 0);
+  EXPECT_EQ(token.budget_ms(), CancelToken::kNoDeadline);
+  EXPECT_EQ(token.remaining_ms(), CancelToken::kNoDeadline);
+  token.Cancel();  // no-op
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.Expired());
+}
+
+TEST(CancelTokenTest, BudgetAccountingAndExpiry) {
+  CancelToken token = CancelToken::WithBudget(10);
+  EXPECT_TRUE(token.active());
+  EXPECT_EQ(token.budget_ms(), 10);
+  EXPECT_FALSE(token.Expired());
+  token.Charge(4);
+  EXPECT_DOUBLE_EQ(token.spent_ms(), 4);
+  EXPECT_DOUBLE_EQ(token.remaining_ms(), 6);
+  token.Charge(5);
+  EXPECT_FALSE(token.Expired());
+  token.Charge(1.5);
+  EXPECT_TRUE(token.Expired());
+  EXPECT_EQ(token.remaining_ms(), 0);
+  // Deadline expiry is not cancellation.
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, BoundaryRuleSpentEqualBudgetIsExpired) {
+  // The pinned boundary rule: the wait that *reaches* the budget
+  // completes, but nothing new starts at or past it — spent == budget
+  // reads as expired.
+  CancelToken token = CancelToken::WithBudget(5);
+  token.Charge(5);
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST(CancelTokenTest, ZeroBudgetIsPreExpired) {
+  CancelToken token = CancelToken::WithBudget(0);
+  EXPECT_TRUE(token.active());
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST(CancelTokenTest, CopiesShareState) {
+  CancelToken token = CancelToken::WithBudget(10);
+  CancelToken copy = token;
+  copy.Charge(10);
+  EXPECT_TRUE(token.Expired());
+  EXPECT_DOUBLE_EQ(token.spent_ms(), 10);
+}
+
+TEST(CancelTokenTest, CancellableTokenCancels) {
+  CancelToken token = CancelToken::Cancellable();
+  EXPECT_TRUE(token.active());
+  EXPECT_FALSE(token.Expired());
+  token.Charge(1e9);  // no time budget: charges never expire it
+  EXPECT_FALSE(token.Expired());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST(CancelTokenTest, NegativeChargesIgnored) {
+  CancelToken token = CancelToken::WithBudget(1);
+  token.Charge(-50);
+  EXPECT_EQ(token.spent_ms(), 0);
+  EXPECT_FALSE(token.Expired());
+}
+
+TEST(CancelTokenTest, FractionalChargesAccumulateDeterministically) {
+  // Sub-millisecond jittered backoffs must account exactly: spend is
+  // integer microseconds, rounded per charge.
+  CancelToken token = CancelToken::WithBudget(1);
+  for (int i = 0; i < 10; ++i) token.Charge(0.1);
+  EXPECT_TRUE(token.Expired());
+  EXPECT_DOUBLE_EQ(token.spent_ms(), 1.0);
+}
+
+}  // namespace
+}  // namespace ooint

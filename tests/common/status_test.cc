@@ -39,6 +39,8 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -54,6 +56,15 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
   EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, ResourceExhaustedIsNotTransient) {
+  // Deliberate: a shed query must not be eagerly retried into the very
+  // overload that shed it (unlike kUnavailable/kDeadlineExceeded, which
+  // model per-agent conditions the backoff schedule is built for).
+  EXPECT_FALSE(IsTransientCode(StatusCode::kResourceExhausted));
 }
 
 TEST(StatusTest, EveryCodeHasADistinctName) {

@@ -164,6 +164,176 @@ TEST_F(AgentConnectionTest, BackoffScheduleIsDeterministic) {
   EXPECT_EQ(first, run());  // same seed, same jittered schedule, bit-exact
 }
 
+// --- Deadline boundary semantics (pinned; see RetryPolicy doc) --------
+
+TEST_F(AgentConnectionTest, LatencyExactlyOnPerCallDeadlineSucceeds) {
+  FaultInjector injector;
+  RetryPolicy retry;
+  retry.per_call_deadline_ms = 50;
+  // Latency landing exactly on the deadline is a success...
+  injector.Push("S1", Fault{FaultKind::kSlowResponse, 50, 0});
+  AgentConnection connection("S1", store_.get(), retry, NoTrips(), &injector);
+  const std::vector<const Object*> extent =
+      ValueOrDie(connection.FetchExtent("person"));
+  EXPECT_EQ(extent.size(), 3u);
+  EXPECT_EQ(connection.stats().retries, 0u);
+  EXPECT_EQ(connection.now_ms(), 50);
+
+  // ...and only strictly exceeding it times out.
+  injector.Push("S1", Fault{FaultKind::kSlowResponse, 50.001, 0});
+  retry.max_attempts = 1;
+  AgentConnection strict("S1", store_.get(), retry, NoTrips(), &injector);
+  EXPECT_EQ(strict.FetchExtent("person").status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(AgentConnectionTest, BackoffLandingExactlyOnTotalDeadlineIsTaken) {
+  // The first backoff sleep is jittered; measure it on a throwaway
+  // connection (same agent name + seed => bit-identical schedule), then
+  // pin the total deadline exactly on it.
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  auto fail_twice = [](FaultInjector* injector) {
+    injector->Push("S1", Fault{FaultKind::kUnavailable, 0, 0});
+    injector->Push("S1", Fault{FaultKind::kUnavailable, 0, 0});
+  };
+  FaultInjector probe_injector;
+  fail_twice(&probe_injector);
+  AgentConnection probe("S1", store_.get(), retry, NoTrips(),
+                        &probe_injector);
+  ASSERT_FALSE(probe.FetchExtent("person").ok());
+  ASSERT_EQ(probe.stats().attempts, 2u);
+  const double first_sleep_ms = probe.now_ms();
+  ASSERT_GT(first_sleep_ms, 0);
+
+  // Exactly on the boundary: the sleep is taken, the retry happens.
+  retry.total_deadline_ms = first_sleep_ms;
+  FaultInjector exact_injector;
+  fail_twice(&exact_injector);
+  AgentConnection exact("S1", store_.get(), retry, NoTrips(),
+                        &exact_injector);
+  const Result<std::vector<const Object*>> on_boundary =
+      exact.FetchExtent("person");
+  EXPECT_EQ(exact.stats().attempts, 2u);
+  EXPECT_NE(on_boundary.status().message().find("after 2 attempts"),
+            std::string::npos)
+      << on_boundary.status().ToString();
+
+  // Strictly past it: the sleep is refused, the call fails fast.
+  retry.total_deadline_ms = first_sleep_ms * 0.999;
+  FaultInjector over_injector;
+  fail_twice(&over_injector);
+  AgentConnection over("S1", store_.get(), retry, NoTrips(), &over_injector);
+  const Result<std::vector<const Object*>> past_boundary =
+      over.FetchExtent("person");
+  EXPECT_EQ(past_boundary.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(over.stats().attempts, 1u);
+  EXPECT_NE(past_boundary.status().message().find("retry budget"),
+            std::string::npos);
+}
+
+// --- Retry budget (token bucket, per connection) ----------------------
+
+TEST_F(AgentConnectionTest, EmptyRetryBudgetFailsFastWithLastError) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kUnavailable);
+  RetryPolicy retry;
+  retry.max_attempts = 10;
+  retry.retry_budget_max = 1;
+  retry.retry_budget_refill_per_sec = 0;  // never refills: pure drain
+  AgentConnection connection("S1", store_.get(), retry, NoTrips(), &injector);
+
+  // The bucket starts full (1 token): the first call affords exactly one
+  // retry, then its second failure is returned as-is, annotated.
+  const Result<std::vector<const Object*>> first =
+      connection.FetchExtent("person");
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(first.status().message().find("retry denied"), std::string::npos)
+      << first.status().ToString();
+  EXPECT_EQ(connection.stats().attempts, 2u);
+  EXPECT_EQ(connection.stats().retries_denied_budget, 1u);
+
+  // The bucket is empty now: later calls get one attempt, no retries.
+  const Result<std::vector<const Object*>> second =
+      connection.FetchExtent("person");
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(connection.stats().attempts, 3u);
+  EXPECT_EQ(connection.stats().retries, 1u);
+  EXPECT_EQ(connection.stats().retries_denied_budget, 2u);
+}
+
+TEST_F(AgentConnectionTest, RetryBudgetRefillsOnTheVirtualClock) {
+  FaultInjector injector;
+  injector.AlwaysFail("S1", FaultKind::kUnavailable);
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.retry_budget_max = 1;
+  retry.retry_budget_refill_per_sec = 1;  // 1 token per virtual second
+  AgentConnection connection("S1", store_.get(), retry, NoTrips(), &injector);
+
+  // Call 1 spends the initial token on its retry; call 2 is denied.
+  EXPECT_FALSE(connection.FetchExtent("person").ok());
+  EXPECT_FALSE(connection.FetchExtent("person").ok());
+  EXPECT_EQ(connection.stats().retries_denied_budget, 1u);
+
+  // A virtual second of idle time refills the bucket; the retry is
+  // afforded again — no real time passes anywhere.
+  connection.AdvanceClock(1000);
+  EXPECT_FALSE(connection.FetchExtent("person").ok());
+  EXPECT_EQ(connection.stats().retries_denied_budget, 1u);
+  EXPECT_EQ(connection.stats().retries, 2u);
+}
+
+// --- Query-deadline tokens -------------------------------------------
+
+TEST_F(AgentConnectionTest, PreExpiredTokenRejectedWithoutAnAttempt) {
+  FaultInjector injector;
+  AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                             &injector);
+  const CancelToken expired = CancelToken::WithBudget(0);
+  const Result<std::vector<const Object*>> result =
+      connection.FetchExtent("person", expired);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // No attempt, no fault draw, no breaker movement — the fault schedule
+  // must be exactly where it was, so later queries see an unperturbed
+  // seeded scenario.
+  EXPECT_EQ(connection.stats().attempts, 0u);
+  EXPECT_EQ(injector.calls("S1"), 0u);
+  EXPECT_EQ(connection.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(connection.stats().failures, 1u);
+}
+
+TEST_F(AgentConnectionTest, PerAttemptDeadlineCappedByRemainingBudget) {
+  FaultInjector injector;
+  // 30ms of latency fits the 50ms per-call deadline, but the query only
+  // has 20ms left: the effective deadline is 20ms and the attempt waits
+  // out exactly that, not 30 and not 50.
+  injector.Push("S1", Fault{FaultKind::kSlowResponse, 30, 0});
+  AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                             &injector);
+  const CancelToken token = CancelToken::WithBudget(20);
+  const Result<std::vector<const Object*>> result =
+      connection.FetchExtent("person", token);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("deadline exhausted"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(connection.now_ms(), 20);
+  EXPECT_TRUE(token.Expired());
+}
+
+TEST_F(AgentConnectionTest, WaitsAreChargedToTheToken) {
+  FaultInjector injector;
+  injector.Push("S1", Fault{FaultKind::kSlowResponse, 30, 0});
+  AgentConnection connection("S1", store_.get(), RetryPolicy(), NoTrips(),
+                             &injector);
+  const CancelToken token = CancelToken::WithBudget(1000);
+  const std::vector<const Object*> extent =
+      ValueOrDie(connection.FetchExtent("person", token));
+  EXPECT_EQ(extent.size(), 3u);
+  EXPECT_DOUBLE_EQ(token.spent_ms(), 30);
+}
+
 // --- Circuit breaker state machine -----------------------------------
 
 /// A retry policy whose calls are single attempts, so each call maps to
@@ -307,6 +477,62 @@ TEST(FaultInjectorTest, ScriptedFaultsPrecedeSeededDraws) {
   EXPECT_EQ(injector.Next("S1").kind, FaultKind::kNone);
   EXPECT_EQ(injector.calls("S1"), 2u);
   EXPECT_EQ(injector.calls("S2"), 0u);
+}
+
+TEST(FaultInjectorTest, LatencyProfileShapesSuccessfulDraws) {
+  FaultInjector injector(11, 0.0);
+  LatencyProfile profile;
+  profile.base_ms = 5;
+  profile.jitter_ms = 3;
+  injector.set_latency_profile(profile);
+  for (int i = 0; i < 32; ++i) {
+    const Fault fault = injector.Next("S1");
+    ASSERT_EQ(fault.kind, FaultKind::kNone);
+    EXPECT_GE(fault.latency_ms, 5.0);
+    EXPECT_LT(fault.latency_ms, 8.0);  // base + U[0,1) * jitter
+  }
+}
+
+TEST(FaultInjectorTest, LatencyProfileStragglersAnswerSlow) {
+  FaultInjector injector(11, 0.0);
+  LatencyProfile profile;
+  profile.base_ms = 1;
+  profile.slow_fraction = 1.0;  // every attempt is a straggler
+  profile.slow_ms = 250;
+  injector.set_latency_profile(profile);
+  EXPECT_EQ(injector.Next("S1").latency_ms, 250);
+}
+
+TEST(FaultInjectorTest, LatencyProfileIsDeterministicPerSeed) {
+  LatencyProfile profile;
+  profile.base_ms = 2;
+  profile.jitter_ms = 10;
+  profile.slow_fraction = 0.25;
+  profile.slow_ms = 100;
+  FaultInjector a(42, 0.0);
+  FaultInjector b(42, 0.0);
+  a.set_latency_profile(profile);
+  b.set_latency_profile(profile);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.Next("S1").latency_ms, b.Next("S1").latency_ms)
+        << "diverged at draw " << i;
+  }
+}
+
+TEST(FaultInjectorTest, LatencyProfileNeverPerturbsFaultSchedule) {
+  // The latency stream is salted separately from the fault stream, so
+  // enabling a profile must leave a seeded fault schedule byte-identical
+  // — every historical seeded scenario stays reproducible.
+  FaultInjector plain(42, 0.5);
+  FaultInjector shaped(42, 0.5);
+  LatencyProfile profile;
+  profile.base_ms = 7;
+  profile.jitter_ms = 13;
+  shaped.set_latency_profile(profile);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(plain.Next("S1").kind, shaped.Next("S1").kind)
+        << "fault schedule diverged at draw " << i;
+  }
 }
 
 }  // namespace

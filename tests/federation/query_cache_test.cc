@@ -194,6 +194,51 @@ TEST_F(QueryCacheTest, FaultEpochBumpInvalidatesWithoutBreakerMovement) {
                             after.end()));
 }
 
+// The stale-truncated-answer regression. A deadline-truncated answer is
+// a sound subset *for the query that ran out of time* — but it must
+// never be cached, or a later identical query with plenty of budget
+// would be served the truncated rows as if they were the full answer.
+TEST_F(QueryCacheTest, DeadlineTruncatedAnswersAreNeverCached) {
+  // Baseline: the full answer, no deadline.
+  FsmClient unbounded(&fsm_);
+  ASSERT_OK(unbounded.Connect(Fsm::Strategy::kAccumulation, DemandOptions()));
+  const Query query = UncleQuery(unbounded);
+  const std::set<std::string> full = Answers(ValueOrDie(unbounded.Run(query)));
+  ASSERT_FALSE(full.empty());
+
+  // A client whose queries carry a tiny deadline. Latency shaping makes
+  // the budget run out mid-evaluation rather than failing whole calls.
+  FaultInjector injector;
+  LatencyProfile profile;
+  profile.base_ms = 5;
+  injector.set_latency_profile(profile);
+  FederationOptions options = DemandOptions(&injector);
+  // Small enough that two 5ms fetches cannot both fit (the uncle rules
+  // span both agents), so an untruncated answer is impossible.
+  options.query_deadline_ms = 6;
+  FsmClient client(&fsm_);
+  ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, options));
+
+  const Result<std::vector<Bindings>> truncated = client.Run(query);
+  if (!truncated.ok()) {
+    // Under kPartial a hopeless budget can still fail outright; that
+    // outcome must not be cached either.
+    EXPECT_EQ(truncated.status().code(), StatusCode::kDeadlineExceeded);
+  } else {
+    ASSERT_TRUE(client.degraded().deadline_truncated);
+    const std::set<std::string> subset = Answers(truncated.value());
+    EXPECT_TRUE(std::includes(full.begin(), full.end(), subset.begin(),
+                              subset.end()));
+  }
+
+  // Re-running the identical query must MISS: truncated (and failed)
+  // outcomes are served once and recomputed, never replayed.
+  const size_t misses_before = client.query_cache_stats().misses;
+  (void)client.Run(query);
+  EXPECT_EQ(client.query_cache_stats().misses, misses_before + 1);
+  EXPECT_EQ(client.query_cache_stats().hits, 0u);
+}
+
 TEST_F(QueryCacheTest, ExplicitInvalidationDropsEntries) {
   FsmClient client(&fsm_);
   ASSERT_OK(client.Connect(Fsm::Strategy::kAccumulation, DemandOptions()));

@@ -6,6 +6,8 @@
 #include <memory>
 #include <set>
 
+#include "common/admission.h"
+#include "common/cancel.h"
 #include "common/string_util.h"
 #include "federation/fault_injector.h"
 #include "federation/fsm.h"
@@ -63,6 +65,8 @@ const char* OracleFamilyName(OracleFamily family) {
       return "parallel-vs-serial";
     case OracleFamily::kStoreDifferential:
       return "store-differential";
+    case OracleFamily::kOverload:
+      return "overload";
   }
   return "?";
 }
@@ -1271,6 +1275,162 @@ Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
           if (probe_diverged) break;
         }
         if (probe_diverged) break;
+      }
+    }
+
+    // --- Family 9: overload robustness --------------------------------
+    // Deadlines, cancellation and admission control. Everything here
+    // runs serial (num_threads == 1), so the deadline's truncation
+    // point is a pure function of the seed.
+    outcome.ran.insert(OracleFamily::kOverload);
+    {
+      // (a) Deadline-truncated answers are a sound subset of the
+      // unbounded fault-free answers, with exact DegradedInfo
+      // accounting. The budget is drawn small enough that many seeds
+      // truncate mid-load or mid-fixpoint. (0 is excluded here — an
+      // already-expired deadline fails the whole build under either
+      // policy; part (b) covers that.)
+      const double budget_ms = 1 + static_cast<double>(Draw(c.seed, 140) % 12);
+      FaultInjector overload_injector(c.fault_seed, c.fault_rate);
+      FederationOptions overload_options;
+      overload_options.failure_policy = FailurePolicy::kPartial;
+      overload_options.injector = &overload_injector;
+      overload_options.query_deadline_ms = budget_ms;
+      const Result<FederatedEvaluator> bounded =
+          federation.fsm.MakeFederatedEvaluator(federation.global,
+                                                overload_options);
+      if (!bounded.ok()) {
+        outcome.failures.push_back(StrCat(
+            "overload: kPartial evaluation under a ", budget_ms,
+            "ms deadline failed outright: ", bounded.status().ToString()));
+      } else {
+        const DegradedInfo& deg = bounded.value().evaluator->degraded();
+        const std::map<std::string, std::multiset<std::string>>
+            bounded_facts =
+                Snapshot(*bounded.value().evaluator, federation.global);
+        std::set<std::string> accounted(deg.incomplete_concepts.begin(),
+                                        deg.incomplete_concepts.end());
+        accounted.insert(deg.truncated_concepts.begin(),
+                         deg.truncated_concepts.end());
+        accounted.insert(deg.unsound_concepts.begin(),
+                         deg.unsound_concepts.end());
+        const std::set<std::string> unsound_bounded(
+            deg.unsound_concepts.begin(), deg.unsound_concepts.end());
+        for (const auto& [name, keys] : semi_naive) {
+          const auto it = bounded_facts.find(name);
+          const std::multiset<std::string> empty;
+          const std::multiset<std::string>& got =
+              it == bounded_facts.end() ? empty : it->second;
+          if (unsound_bounded.count(name) == 0 &&
+              !IsSubMultiset(got, keys)) {
+            outcome.failures.push_back(StrCat(
+                "overload: concept ", name, " under a ", budget_ms,
+                "ms deadline has answers that are not a subset of the "
+                "unbounded fault-free answers (", got.size(), " vs ",
+                keys.size(), ")"));
+          }
+          if (accounted.count(name) == 0 && got != keys) {
+            outcome.failures.push_back(StrCat(
+                "overload: concept ", name, " lost facts under a ",
+                budget_ms, "ms deadline without being accounted as "
+                "incomplete, deadline-truncated or unsound (", got.size(),
+                " vs ", keys.size(), ")"));
+          }
+        }
+      }
+      // Truncation must only ever appear under a finite deadline: the
+      // unbounded partial run above is the witness.
+      if (degraded.deadline_truncated) {
+        outcome.failures.push_back(
+            "overload: an unbounded partial run reported deadline "
+            "truncation");
+      }
+
+      // (b) Strict unwind: an out-of-budget (or cancelled) evaluation
+      // fails with kDeadlineExceeded and leaves the fact store
+      // identical to a never-started one.
+      FederationOptions strict_build;
+      strict_build.query_mode = QueryMode::kDemandDriven;  // build only
+      const Result<FederatedEvaluator> strict_fed =
+          federation.fsm.MakeFederatedEvaluator(federation.global,
+                                                strict_build);
+      if (strict_fed.ok()) {
+        Evaluator& ev = *strict_fed.value().evaluator;
+        ev.set_cancel_token(CancelToken::WithBudget(0));
+        const Status bounded_eval = ev.Evaluate();
+        if (bounded_eval.code() != StatusCode::kDeadlineExceeded) {
+          outcome.failures.push_back(StrCat(
+              "overload: a 0ms-deadline strict evaluation returned ",
+              StatusCodeName(bounded_eval.code()),
+              " instead of DeadlineExceeded"));
+        }
+        if (ev.fact_store().size() != 0) {
+          outcome.failures.push_back(StrCat(
+              "overload: a deadline-failed strict evaluation left ",
+              ev.fact_store().size(),
+              " facts behind (store must equal never-started)"));
+        }
+        const CancelToken cancel = CancelToken::Cancellable();
+        cancel.Cancel();
+        ev.set_cancel_token(cancel);
+        const Status cancelled_eval = ev.Evaluate();
+        if (cancelled_eval.code() != StatusCode::kDeadlineExceeded) {
+          outcome.failures.push_back(StrCat(
+              "overload: a cancelled strict evaluation returned ",
+              StatusCodeName(cancelled_eval.code()),
+              " instead of DeadlineExceeded"));
+        }
+        if (ev.fact_store().size() != 0) {
+          outcome.failures.push_back(
+              "overload: a cancelled strict evaluation left facts "
+              "behind");
+        }
+      }
+
+      // (c) Admission storm: offered > capacity with no queue, so the
+      // outcome is deterministic — no deadlock, no slot leak, exact
+      // accounting.
+      const int limit = 1 + static_cast<int>(Draw(c.seed, 141) % 3);
+      AdmissionPolicy policy;
+      policy.max_concurrent = limit;
+      policy.max_queue_depth = 0;
+      AdmissionController controller(policy);
+      const int offered =
+          limit + 2 + static_cast<int>(Draw(c.seed, 142) % 5);
+      std::vector<AdmissionSlot> held;
+      int admitted = 0;
+      int rejected = 0;
+      for (int i = 0; i < offered; ++i) {
+        AdmissionSlot slot(&controller);
+        if (slot.status().ok()) {
+          ++admitted;
+          held.push_back(std::move(slot));
+        } else if (slot.status().code() == StatusCode::kResourceExhausted) {
+          ++rejected;
+        } else {
+          outcome.failures.push_back(StrCat(
+              "overload: admission rejected with ",
+              StatusCodeName(slot.status().code()),
+              " instead of ResourceExhausted"));
+        }
+      }
+      if (admitted != limit || rejected != offered - limit) {
+        outcome.failures.push_back(StrCat(
+            "overload: admission accounting off — admitted ", admitted,
+            "/", limit, ", rejected ", rejected, "/", offered - limit));
+      }
+      held.clear();  // release every slot
+      const AdmissionController::Stats adm = controller.stats();
+      if (adm.active != 0 || adm.queued != 0) {
+        outcome.failures.push_back(StrCat(
+            "overload: admission leaked capacity after the storm "
+            "(active=",
+            adm.active, " queued=", adm.queued, ")"));
+      }
+      if (adm.admitted != admitted ||
+          adm.rejected_full + adm.rejected_wait != rejected) {
+        outcome.failures.push_back(
+            "overload: controller stats disagree with observed outcomes");
       }
     }
   }

@@ -15,7 +15,7 @@
 namespace ooint {
 namespace harness {
 
-/// The eight oracle families of the randomized conformance harness
+/// The nine oracle families of the randomized conformance harness
 /// (DESIGN.md "Randomized conformance harness").
 enum class OracleFamily {
   /// Consistency-checker / integrator agreement on rejection: an
@@ -64,6 +64,19 @@ enum class OracleFamily {
   /// for every (fact, attribute, scalar value / set element), and
   /// duplicate re-insertion answers.
   kStoreDifferential,
+  /// Overload robustness (deadlines, cancellation, admission): with a
+  /// seed-drawn end-to-end query deadline, the kPartial federated
+  /// answers are a sound subset of the unbounded fault-free answers and
+  /// the DegradedInfo accounting is exact — every concept outside
+  /// incomplete ∪ truncated ∪ unsound matches the fault-free answers
+  /// bit-for-bit, and truncation only appears with a finite deadline.
+  /// Under kStrict an out-of-budget (or cancelled) evaluation unwinds
+  /// with kDeadlineExceeded leaving the fact store identical to a
+  /// never-started one. A seed-drawn admission storm on the controller
+  /// neither deadlocks nor leaks slots (active == queued == 0 after,
+  /// admitted + rejected == offered). Runs serial (num_threads == 1) so
+  /// the deadline's truncation point is deterministic per seed.
+  kOverload,
 };
 
 const char* OracleFamilyName(OracleFamily family);

@@ -43,7 +43,7 @@ TEST(MakeCaseTest, RespectsClassBound) {
 
 // The harness's main tier-1 sweep: 200 seeded random cases, every
 // applicable oracle family checked on each, zero conformance failures,
-// and — cumulatively — all seven families exercised.
+// and — cumulatively — all families exercised.
 TEST(ConformanceSweepTest, TwoHundredSeedsPassEveryOracle) {
   const CaseOptions options;
   std::set<OracleFamily> covered;
@@ -61,6 +61,8 @@ TEST(ConformanceSweepTest, TwoHundredSeedsPassEveryOracle) {
   EXPECT_TRUE(covered.count(OracleFamily::kPartialAnswers));
   EXPECT_TRUE(covered.count(OracleFamily::kDemandQuery));
   EXPECT_TRUE(covered.count(OracleFamily::kParallelSerial));
+  EXPECT_TRUE(covered.count(OracleFamily::kStoreDifferential));
+  EXPECT_TRUE(covered.count(OracleFamily::kOverload));
 }
 
 TEST(ConformanceSweepTest, ConsistencyOracleAlwaysRuns) {
