@@ -1,0 +1,162 @@
+// Experiment E16: incremental view maintenance vs periodic full rebuild.
+//
+// A live-updates FsmClient serves the genealogy federation at n = 512
+// base objects (256 families x 2 S1 objects). A steady-state delta
+// stream replaces brothers — each batch deletes m brothers and inserts
+// m fresh ones bound to the same parents, so the world size and the
+// derived-fact population stay constant while every batch churns real
+// uncle derivations. The sweep varies the batch size as a fraction of
+// the world: 0.1%, 1% and 10% of the objects touched per batch.
+//
+//   BM_DeltaVsRebuild/permille:{1, 10, 100}
+//
+// Counters per run: the apply-latency distribution of the delta stream
+// (p50/p99), the maintained-fact throughput (facts the counting/DRed
+// engine inserted + deleted + rederived per second of apply time), the
+// mean latency of a full Refresh() — re-integrate, re-fetch every
+// extent, re-run the fixpoint, re-adopt — and speedup_vs_rebuild, the
+// ratio a periodic-rebuild deployment would pay per update batch.
+// The claim: >= 5x at the 1% point (and orders of magnitude at 0.1%).
+//
+// scripts/bench.sh bench_incremental writes BENCH_incremental.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "federation/agent_connection.h"
+#include "federation/fsm.h"
+#include "federation/fsm_client.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+constexpr size_t kFamilies = 256;  // 2 S1 objects each: n = 512
+
+std::unique_ptr<Fsm> MakeFederation() {
+  const Fixture fixture = MakeGenealogyFixture().value();
+  auto fsm = std::make_unique<Fsm>();
+  std::unique_ptr<FsmAgent> a1 =
+      FsmAgent::Create("agent1", "ooint", "db1", fixture.s1).value();
+  std::unique_ptr<FsmAgent> a2 =
+      FsmAgent::Create("agent2", "ooint", "db2", fixture.s2).value();
+  (void)PopulateGenealogy(&a1->store(), &a2->store(), kFamilies);
+  (void)fsm->RegisterAgent(std::move(a1));
+  (void)fsm->RegisterAgent(std::move(a2));
+  (void)fsm->DeclareAssertions(fixture.assertion_text);
+  return fsm;
+}
+
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t index = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+void BM_DeltaVsRebuild(benchmark::State& state) {
+  const size_t permille = static_cast<size_t>(state.range(0));
+  std::unique_ptr<Fsm> fsm = MakeFederation();
+  FederationOptions options;
+  options.live_updates = true;
+  FsmClient client(fsm.get());
+  if (!client.Connect(Fsm::Strategy::kAccumulation, options).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  InstanceStore& store = fsm->FindAgent("S1")->store();
+  const size_t world = store.size();
+  // Each replacement is one delete + one insert, so m replacements
+  // touch 2m objects of the world.
+  const size_t replacements =
+      std::max<size_t>(1, world * permille / 1000 / 2);
+
+  const std::vector<Oid> initial = store.Extent("brother").value();
+  std::deque<Oid> brothers(initial.begin(), initial.end());
+  std::uint64_t epoch = 0;
+  size_t next_id = kFamilies;
+  std::vector<double> apply_ms;
+
+  for (auto _ : state) {
+    ExtentDelta feed;
+    feed.agent_name = "S1";
+    feed.epoch = ++epoch;
+    for (size_t i = 0; i < replacements; ++i) {
+      const Oid victim = brothers.front();
+      brothers.pop_front();
+      const Object* old_brother = store.Find(victim);
+      if (old_brother == nullptr) continue;
+      const Value parents = old_brother->Get("brothers");
+      feed.deleted.push_back(*old_brother);
+      (void)store.Remove(victim);
+      Object* fresh = store.NewObject("brother").value();
+      fresh->Set("Bssn#", Value::String(StrCat("U", next_id)))
+          .Set("name", Value::String(StrCat("uncle_", next_id)))
+          .Set("brothers", parents);
+      ++next_id;
+      brothers.push_back(fresh->oid());
+      feed.inserted.push_back(*fresh);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const Status applied = client.ApplyDelta(feed);
+    apply_ms.push_back(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+    if (!applied.ok()) {
+      state.SkipWithError("delta application failed");
+      return;
+    }
+  }
+
+  const DeltaMaintenanceStats stats = client.maintenance_stats();
+  double apply_total_ms = 0;
+  for (double sample : apply_ms) apply_total_ms += sample;
+  const double maintained_facts = static_cast<double>(
+      stats.facts_inserted + stats.facts_deleted + stats.rederived);
+
+  // The alternative a delta stream replaces: a periodic full rebuild
+  // (re-integrate, re-fetch all extents, full fixpoint, re-adopt).
+  double rebuild_total_ms = 0;
+  constexpr int kRebuilds = 3;
+  for (int r = 0; r < kRebuilds; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    if (!client.Refresh().ok()) {
+      state.SkipWithError("refresh failed");
+      return;
+    }
+    rebuild_total_ms += std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  }
+  const double rebuild_mean_ms = rebuild_total_ms / kRebuilds;
+  const double apply_mean_ms =
+      apply_ms.empty() ? 0 : apply_total_ms / apply_ms.size();
+
+  state.counters["world_objects"] = static_cast<double>(world);
+  state.counters["delta_objects"] = static_cast<double>(2 * replacements);
+  state.counters["batches"] = static_cast<double>(stats.batches);
+  state.counters["apply_p50_ms"] = PercentileMs(apply_ms, 50);
+  state.counters["apply_p99_ms"] = PercentileMs(apply_ms, 99);
+  state.counters["maintained_facts_per_sec"] =
+      apply_total_ms > 0 ? maintained_facts / (apply_total_ms / 1000.0) : 0;
+  state.counters["rebuild_ms"] = rebuild_mean_ms;
+  state.counters["speedup_vs_rebuild"] =
+      apply_mean_ms > 0 ? rebuild_mean_ms / apply_mean_ms : 0;
+}
+
+BENCHMARK(BM_DeltaVsRebuild)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace ooint
+
+BENCHMARK_MAIN();

@@ -243,12 +243,33 @@ Result<std::vector<const Object*>> AgentConnection::FetchExtent(
   }
 }
 
+Status AgentConnection::AcceptDelta(const ExtentDelta& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (delta.epoch <= delta_epoch_) {
+    return Status::InvalidArgument(
+        StrCat("stale delta for agent '", agent_name_, "': epoch ",
+               delta.epoch, " does not advance past ", delta_epoch_));
+  }
+  delta_epoch_ = delta.epoch;
+  ++stats_.deltas_accepted;
+  stats_.delta_objects_inserted += delta.inserted.size();
+  stats_.delta_objects_deleted += delta.deleted.size();
+  return Status::OK();
+}
+
 std::string AgentHealth::ToString() const {
-  return StrCat(agent_name, ": state=", BreakerStateName(breaker_state),
-                " calls=", stats.calls, " attempts=", stats.attempts,
-                " retries=", stats.retries, " failures=", stats.failures,
-                " rejections=", stats.breaker_rejections,
-                " trips=", stats.trips);
+  std::string out =
+      StrCat(agent_name, ": state=", BreakerStateName(breaker_state),
+             " calls=", stats.calls, " attempts=", stats.attempts,
+             " retries=", stats.retries, " failures=", stats.failures,
+             " rejections=", stats.breaker_rejections,
+             " trips=", stats.trips);
+  if (stats.deltas_accepted > 0) {
+    out += StrCat(" deltas=", stats.deltas_accepted, " (+",
+                  stats.delta_objects_inserted, "/-",
+                  stats.delta_objects_deleted, " objects)");
+  }
+  return out;
 }
 
 }  // namespace ooint

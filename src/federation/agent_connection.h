@@ -83,6 +83,23 @@ enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
 const char* BreakerStateName(BreakerState state);
 
+/// One live update to a single agent's extents (DESIGN.md §4j): the
+/// objects inserted into and removed from the agent's InstanceStore
+/// since the previous delta, stamped with a per-agent epoch that must
+/// increase strictly — a replayed or reordered feed is rejected, never
+/// double-applied. Deleted objects are the *pre-removal* copies (their
+/// attribute values drive fact identity downstream); an insert and a
+/// delete of the same object in one delta is a net no-op.
+struct ExtentDelta {
+  /// The agent's schema name (AgentConnection::agent_name()).
+  std::string agent_name;
+  /// Strictly increasing per agent; a natural stamp is the store's
+  /// InstanceStore::data_epoch() after the mutations.
+  std::uint64_t epoch = 0;
+  std::vector<Object> inserted;
+  std::vector<Object> deleted;
+};
+
 /// The fault-tolerant channel between the evaluator/FSM and one
 /// FSM-agent's InstanceStore (Fig. 1's middle layer made failure-aware).
 ///
@@ -129,6 +146,21 @@ class AgentConnection : public ExtentSource {
     return state_;
   }
 
+  /// Validates and records one delta feed stamp: `delta.epoch` must
+  /// strictly exceed the last accepted epoch (gaps are fine — feeds may
+  /// batch several store mutations), else kInvalidArgument and no state
+  /// change. The connection only bookkeeps the stamp; applying the
+  /// delta to derived state is the client's job (FsmClient::ApplyDelta
+  /// calls this first, so a stale feed is rejected before any
+  /// maintenance work).
+  Status AcceptDelta(const ExtentDelta& delta);
+
+  /// The last accepted delta epoch (0 before any delta).
+  std::uint64_t delta_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return delta_epoch_;
+  }
+
   /// Observability counters (monotonic over the connection's life).
   struct Stats {
     /// Logical calls (FetchExtent invocations).
@@ -147,6 +179,11 @@ class AgentConnection : public ExtentSource {
     /// Retries not taken because the shared retry budget was empty
     /// (the call failed fast with its last error instead).
     std::size_t retries_denied_budget = 0;
+    /// Delta feeds accepted (AcceptDelta with a fresh epoch) and the
+    /// object-level changes they carried.
+    std::size_t deltas_accepted = 0;
+    std::size_t delta_objects_inserted = 0;
+    std::size_t delta_objects_deleted = 0;
   };
   /// Snapshot of the counters; taken under the connection lock so it is
   /// internally consistent even while other threads call FetchExtent.
@@ -216,6 +253,8 @@ class AgentConnection : public ExtentSource {
   /// meaningful when retry_.retry_budget_max > 0). Starts full.
   double retry_tokens_ = 0;
   double budget_refilled_at_ms_ = 0;
+  /// Last accepted live-update epoch (strictly increasing).
+  std::uint64_t delta_epoch_ = 0;
   Stats stats_;
 };
 

@@ -48,6 +48,16 @@ std::string QueryPlan::ToString() const {
                   " max_queued=", admission.max_queued,
                   " wait_ms=", admission.total_wait_ms, "\n");
   }
+  if (live_updates || delta_batches > 0) {
+    out += StrCat("  live-updates: batches=", delta_batches,
+                  " facts+=", delta_facts_inserted,
+                  " facts-=", delta_facts_deleted,
+                  " overdeleted=", delta_overdeleted,
+                  " rederived=", delta_rederived,
+                  " rounds=", delta_rounds,
+                  " cache_retained=", cache_entries_retained,
+                  " cache_evicted=", cache_entries_evicted, "\n");
+  }
   if (counters.present) {
     out += StrCat("  counters: derived=", counters.facts_derived,
                   " extents_fetched=", counters.extents_fetched,

@@ -71,6 +71,21 @@ struct QueryPlan {
   int admission_max_queue_depth = 0;
   AdmissionController::Stats admission;
 
+  /// Live-update annotations (FsmClient::Explain on a connection that
+  /// has seen ApplyDelta): the cumulative counting/DRed maintenance
+  /// story, and how the (agent, epoch)-scoped demand cache fared —
+  /// entries retained (their relevant agents untouched, still warm)
+  /// vs. evicted across all deltas so far.
+  bool live_updates = false;
+  size_t delta_batches = 0;
+  size_t delta_facts_inserted = 0;
+  size_t delta_facts_deleted = 0;
+  size_t delta_overdeleted = 0;
+  size_t delta_rederived = 0;
+  size_t delta_rounds = 0;
+  size_t cache_entries_retained = 0;
+  size_t cache_entries_evicted = 0;
+
   /// Concepts of this plan whose extents were cut short by the query
   /// deadline (a sound subset — see DegradedInfo::deadline_truncated).
   /// Disjoint from incomplete_concepts, which records fault-skips.

@@ -412,9 +412,14 @@ Result<FederatedEvaluator> Fsm::MakeFederatedEvaluator(
     fed.connections.push_back(connection.get());
     fed.evaluator->AddSource(agent->schema().name(), std::move(connection));
   }
+  // Demand-driven clients run per-query fixpoints; live-update clients
+  // let the incremental engine's adoption do the (counted) initial load
+  // — either way the eager fixpoint here would be wasted work and a
+  // second pass over every agent's fault schedule.
   OOINT_RETURN_IF_ERROR(ConfigureEvaluator(
       fed.evaluator.get(), global,
-      /*evaluate=*/options.query_mode != QueryMode::kDemandDriven));
+      /*evaluate=*/options.query_mode != QueryMode::kDemandDriven &&
+          !options.live_updates));
   return fed;
 }
 

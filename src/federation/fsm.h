@@ -92,6 +92,17 @@ struct FederationOptions {
   /// `max_queue_depth` deep (waiting at most `queue_wait_deadline_ms`
   /// real ms) and are otherwise shed fast with kResourceExhausted.
   AdmissionPolicy admission;
+  /// Live updates (DESIGN.md §4j): a kMaterialized client connected
+  /// with this flag runs its initial fixpoint through the counting /
+  /// DRed incremental engine and then accepts FsmClient::ApplyDelta
+  /// feeds, maintaining the derived store batch by batch instead of
+  /// rebuilding. The initial load is strict (a failing agent fails
+  /// Connect) regardless of failure_policy — incremental maintenance
+  /// over a partially loaded base would drift from every rebuild.
+  /// Demand-driven clients ignore the flag: they re-fetch per query and
+  /// only need the (agent, epoch) cache invalidation ApplyDelta always
+  /// performs.
+  bool live_updates = false;
 };
 
 /// A federated evaluator plus views of the per-agent connections it

@@ -9,12 +9,22 @@ namespace ooint {
 
 Status FsmClient::Connect(Fsm::Strategy strategy,
                           const FederationOptions& options) {
+  // Serving drains before the world is swapped out under it.
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  last_strategy_ = strategy;
+  last_options_ = options;
+  connected_once_ = true;
   // A failed (re)connect must leave the client safely disconnected, not
-  // holding a stale or half-built evaluator.
+  // holding a stale or half-built evaluator. The engine detaches its
+  // liveness filter on destruction, so it goes before the evaluator.
+  engine_.reset();
   evaluator_.reset();
   connections_.clear();
   admission_.reset();
   query_deadline_ms_ = CancelToken::kNoDeadline;
+  delta_batches_.store(0, std::memory_order_relaxed);
+  cache_delta_retained_.store(0, std::memory_order_relaxed);
+  cache_delta_evicted_.store(0, std::memory_order_relaxed);
   // Cached outcomes hold pointers into the old evaluator's sources and
   // predate whatever made the caller reconnect: always a new epoch.
   InvalidateQueryCache();
@@ -35,6 +45,19 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
   query_deadline_ms_ = options.query_deadline_ms;
   if (options.admission.max_concurrent > 0) {
     admission_ = std::make_unique<AdmissionController>(options.admission);
+  }
+  if (options.live_updates && query_mode_ == QueryMode::kMaterialized) {
+    // The eager fixpoint was skipped above; the engine does the counted
+    // initial load instead (strictly — see FederationOptions).
+    Result<std::unique_ptr<IncrementalEvaluator>> engine =
+        IncrementalEvaluator::Adopt(evaluator_.get());
+    if (!engine.ok()) {
+      evaluator_.reset();
+      connections_.clear();
+      admission_.reset();
+      return engine.status();
+    }
+    engine_ = std::move(engine).value();
   }
   return Status::OK();
 }
@@ -93,6 +116,72 @@ void FsmClient::BumpFaultEpoch() {
   cache_invalidations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+AgentConnection* FsmClient::FindConnection(
+    const std::string& agent_name) const {
+  for (AgentConnection* connection : connections_) {
+    if (connection->agent_name() == agent_name) return connection;
+  }
+  return nullptr;
+}
+
+bool FsmClient::EpochsCurrent(const CacheEntry& entry) const {
+  for (const auto& [agent, epoch] : entry.agent_epochs) {
+    const AgentConnection* connection = FindConnection(agent);
+    if (connection == nullptr || connection->delta_epoch() != epoch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status FsmClient::ApplyDelta(const ExtentDelta& delta) {
+  std::unique_lock<std::shared_mutex> data_lock(data_mu_);
+  if (evaluator_ == nullptr) {
+    return Status::FailedPrecondition("call Connect() before ApplyDelta()");
+  }
+  AgentConnection* connection = FindConnection(delta.agent_name);
+  if (connection == nullptr) {
+    return Status::NotFound(
+        StrCat("no agent connection named '", delta.agent_name, "'"));
+  }
+  if (query_mode_ == QueryMode::kMaterialized && engine_ == nullptr) {
+    return Status::FailedPrecondition(
+        "materialized connection cannot maintain its derived store; "
+        "Connect() with FederationOptions::live_updates to accept deltas");
+  }
+  // Epoch validation happens before any state changes: a stale feed is
+  // rejected with the connection (and the derived store) untouched.
+  Status accepted = connection->AcceptDelta(delta);
+  if (!accepted.ok()) return accepted;
+  if (engine_ != nullptr) {
+    Result<DeltaMaintenanceStats> batch = engine_->ApplyExtentDelta(
+        delta.agent_name, delta.inserted, delta.deleted);
+    if (!batch.ok()) return batch.status();
+  }
+  delta_batches_.fetch_add(1, std::memory_order_relaxed);
+  // Sweep the demand cache by (agent, epoch): only entries whose
+  // relevant agents include this delta's go cold; everything else stays
+  // warm (lookups still re-validate epochs via EpochsCurrent).
+  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.agent_epochs.count(delta.agent_name) > 0) {
+      it = cache_.erase(it);
+      cache_delta_evicted_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+      cache_delta_retained_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+Status FsmClient::Refresh() {
+  if (!connected_once_) {
+    return Status::FailedPrecondition("call Connect() before Refresh()");
+  }
+  return Connect(last_strategy_, last_options_);
+}
+
 Result<std::shared_ptr<const Evaluator::DemandOutcome>> FsmClient::Demand(
     const OTerm& pattern) const {
   const std::string key = pattern.ToString();
@@ -100,7 +189,8 @@ Result<std::shared_ptr<const Evaluator::DemandOutcome>> FsmClient::Demand(
     std::shared_lock<std::shared_mutex> lock(cache_mu_);
     auto it = cache_.find(key);
     if (it != cache_.end() && it->second.epoch == fault_epoch() &&
-        it->second.health_signature == HealthSignature()) {
+        it->second.health_signature == HealthSignature() &&
+        EpochsCurrent(it->second)) {
       std::shared_ptr<const Evaluator::DemandOutcome> outcome =
           it->second.outcome;
       lock.unlock();
@@ -133,7 +223,19 @@ Result<std::shared_ptr<const Evaluator::DemandOutcome>> FsmClient::Demand(
     // A deadline-truncated answer is sound for *this* query's budget
     // but must never be replayed to a later query as the full answer —
     // truncated outcomes are served once and recomputed.
-    cache_[key] = CacheEntry{shared, fault_epoch(), HealthSignature()};
+    CacheEntry entry{shared, fault_epoch(), HealthSignature(), {}};
+    // Snapshot the delta epochs of the outcome's *relevant* agents —
+    // everything the relevance pruning did not exclude. A later delta
+    // to a pruned agent cannot change this answer, so the entry
+    // survives it warm; a delta to any recorded agent evicts it.
+    for (const AgentConnection* connection : connections_) {
+      const std::string& name = connection->agent_name();
+      if (std::find(shared->pruned_agents.begin(), shared->pruned_agents.end(),
+                    name) == shared->pruned_agents.end()) {
+        entry.agent_epochs[name] = connection->delta_epoch();
+      }
+    }
+    cache_[key] = std::move(entry);
   }
   return shared;
 }
@@ -142,9 +244,11 @@ Result<std::vector<Bindings>> FsmClient::Run(const Query& query) const {
   if (evaluator_ == nullptr) {
     return Status::FailedPrecondition("call Connect() before Run()");
   }
-  // Admission first: a shed query does no evaluation work at all.
+  // Admission first: a shed query does no evaluation work at all, and a
+  // queued one must not block delta application while it waits.
   const AdmissionSlot slot(admission_.get());
   if (!slot.status().ok()) return slot.status();
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
   if (query_mode_ == QueryMode::kDemandDriven) {
     OOINT_ASSIGN_OR_RETURN(auto outcome, Demand(query.pattern()));
     return outcome->rows;
@@ -159,6 +263,7 @@ Result<std::vector<const Fact*>> FsmClient::Extent(
   }
   const AdmissionSlot slot(admission_.get());
   if (!slot.status().ok()) return slot.status();
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
   if (query_mode_ == QueryMode::kDemandDriven) {
     // The unbound pattern: demand degenerates to the full (but still
     // relevance-restricted) closure of the concept, which is exactly
@@ -176,6 +281,10 @@ Result<QueryPlan> FsmClient::Explain(const Query& query) const {
   if (evaluator_ == nullptr) {
     return Status::FailedPrecondition("call Connect() before Explain()");
   }
+  // Deliberately no admission slot (overload must stay observable
+  // during overload), but the data lock keeps the plan's maintenance
+  // stats consistent with a concurrent delta batch.
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
   const DegradedInfo info = degraded();
   OOINT_ASSIGN_OR_RETURN(
       QueryPlan plan,
@@ -188,6 +297,20 @@ Result<QueryPlan> FsmClient::Explain(const Query& query) const {
     plan.admission_max_concurrent = admission_->policy().max_concurrent;
     plan.admission_max_queue_depth = admission_->policy().max_queue_depth;
     plan.admission = admission_->stats();
+  }
+  plan.live_updates = engine_ != nullptr;
+  plan.delta_batches = delta_batches_.load(std::memory_order_relaxed);
+  plan.cache_entries_retained =
+      cache_delta_retained_.load(std::memory_order_relaxed);
+  plan.cache_entries_evicted =
+      cache_delta_evicted_.load(std::memory_order_relaxed);
+  if (engine_ != nullptr) {
+    const DeltaMaintenanceStats& maintenance = engine_->cumulative();
+    plan.delta_facts_inserted = maintenance.facts_inserted;
+    plan.delta_facts_deleted = maintenance.facts_deleted;
+    plan.delta_overdeleted = maintenance.overdeleted;
+    plan.delta_rederived = maintenance.rederived;
+    plan.delta_rounds = maintenance.rounds;
   }
   if (!plan.demand_mode) {
     // Materialized connections fetched at Connect(); the evaluator's

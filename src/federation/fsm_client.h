@@ -11,6 +11,7 @@
 
 #include "federation/explain.h"
 #include "federation/fsm.h"
+#include "rules/incremental.h"
 
 namespace ooint {
 
@@ -116,6 +117,40 @@ class FsmClient {
   /// demand outcome — its measured evaluation counters.
   Result<QueryPlan> Explain(const Query& query) const;
 
+  /// Applies one live extent delta (DESIGN.md §4j). The feed's epoch
+  /// must strictly advance the agent's last accepted one (stale feeds
+  /// are rejected with kInvalidArgument before any state changes). On a
+  /// kMaterialized connection made with FederationOptions::live_updates
+  /// the counting/DRed engine maintains the derived store so queries
+  /// answer exactly as a from-scratch fixpoint over the new base state
+  /// would; a demand-driven connection needs no maintenance (queries
+  /// re-fetch) and only takes the cache invalidation. Either way the
+  /// demand cache is swept by (agent, epoch): entries whose relevant
+  /// agents — all agents minus the outcome's relevance-pruned ones —
+  /// include the delta's agent are evicted, every other entry stays
+  /// warm. Delta application serializes against concurrent Run /
+  /// Extent / Explain calls (writer vs. shared readers), so serving
+  /// threads see each batch atomically.
+  Status ApplyDelta(const ExtentDelta& delta);
+
+  /// Full rebuild: re-runs Connect() with the last Connect's strategy
+  /// and options (re-integrates, re-fetches every extent, re-runs the
+  /// fixpoint, drops every cached outcome). The periodic-rebuild
+  /// baseline the incremental path is benchmarked against, and the
+  /// recovery lever when a maintenance step failed mid-batch.
+  Status Refresh();
+
+  /// Whether this connection maintains its derived store incrementally
+  /// (connected kMaterialized with FederationOptions::live_updates).
+  bool live_updates() const { return engine_ != nullptr; }
+
+  /// Cumulative counting/DRed maintenance stats since Connect (empty
+  /// on demand-driven or non-live connections).
+  DeltaMaintenanceStats maintenance_stats() const {
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    return engine_ == nullptr ? DeltaMaintenanceStats() : engine_->cumulative();
+  }
+
   /// Hit/miss/invalidation counters of the demand-mode query cache.
   struct QueryCacheStats {
     size_t hits = 0;
@@ -169,19 +204,38 @@ class FsmClient {
     /// Breaker states of every connection when the outcome was stored;
     /// a mismatch at lookup time means the fault environment moved.
     std::string health_signature;
+    /// Delta epochs of the outcome's *relevant* agents (every agent
+    /// except the relevance-pruned ones) when it was stored. ApplyDelta
+    /// evicts by key membership; lookups additionally re-validate the
+    /// epochs, so an entry that somehow outlived a delta to a relevant
+    /// agent is never served stale.
+    std::map<std::string, std::uint64_t> agent_epochs;
   };
 
-  /// Evaluates `pattern` demand-driven through the cache.
+  /// Evaluates `pattern` demand-driven through the cache. Caller must
+  /// hold data_mu_ (shared).
   Result<std::shared_ptr<const Evaluator::DemandOutcome>> Demand(
       const OTerm& pattern) const;
   std::string HealthSignature() const;
+  AgentConnection* FindConnection(const std::string& agent_name) const;
+  /// True when every relevant agent's delta epoch still matches the
+  /// entry's snapshot.
+  bool EpochsCurrent(const CacheEntry& entry) const;
 
   Fsm* fsm_;
   GlobalSchema global_;
   std::unique_ptr<Evaluator> evaluator_;
+  /// The counting/DRed maintenance engine of a live-updates connection
+  /// (null otherwise). Declared after evaluator_ so it is destroyed
+  /// first — its destructor detaches the liveness filter it installed.
+  std::unique_ptr<IncrementalEvaluator> engine_;
   /// Owned by evaluator_; kept for health reporting.
   std::vector<AgentConnection*> connections_;
   QueryMode query_mode_ = QueryMode::kMaterialized;
+  /// Arguments of the last Connect(), replayed by Refresh().
+  Fsm::Strategy last_strategy_ = Fsm::Strategy::kAccumulation;
+  FederationOptions last_options_;
+  bool connected_once_ = false;
   /// Per-query deadline of the active connection (virtual ms;
   /// kNoDeadline = unbounded). Demand queries mint a CancelToken with
   /// this budget; materialized connections spend it at Connect().
@@ -203,6 +257,17 @@ class FsmClient {
   mutable std::atomic<size_t> cache_hits_{0};
   mutable std::atomic<size_t> cache_misses_{0};
   mutable std::atomic<size_t> cache_invalidations_{0};
+  /// Reader/writer lock between delta application (writer) and the
+  /// serving path (shared readers: Run / Extent / Explain / demand
+  /// evaluation). Always acquired before cache_mu_ when both are
+  /// needed. Connect / Refresh are writer operations too.
+  mutable std::shared_mutex data_mu_;
+  /// Live-update counters: batches applied, and the per-delta cache
+  /// sweep outcomes (entries found warm and kept vs. evicted because a
+  /// relevant agent changed), cumulative since Connect.
+  std::atomic<size_t> delta_batches_{0};
+  mutable std::atomic<size_t> cache_delta_retained_{0};
+  mutable std::atomic<size_t> cache_delta_evicted_{0};
   /// Degradation of the most recently served demand query.
   mutable DegradedInfo demand_degraded_;
 };

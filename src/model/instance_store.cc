@@ -18,7 +18,21 @@ Result<Object*> InstanceStore::NewObject(const std::string& class_name) {
     return Status::AlreadyExists(StrCat("OID collision: ", oid.ToString()));
   }
   direct_extent_[id.value()].push_back(oid);
+  ++data_epoch_;
   return &it->second;
+}
+
+Status InstanceStore::Remove(const Oid& oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound(StrCat("no object with OID ", oid.ToString()));
+  }
+  const ClassId cid = it->second.class_id();
+  std::vector<Oid>& extent = direct_extent_[cid];
+  extent.erase(std::remove(extent.begin(), extent.end(), oid), extent.end());
+  objects_.erase(it);
+  ++data_epoch_;
+  return Status::OK();
 }
 
 Status InstanceStore::Insert(Object object) {
@@ -37,6 +51,7 @@ Status InstanceStore::Insert(Object object) {
         StrCat("object with OID ", oid.ToString(), " already exists"));
   }
   direct_extent_[cid].push_back(oid);
+  ++data_epoch_;
   return Status::OK();
 }
 

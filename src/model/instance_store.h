@@ -1,6 +1,7 @@
 #ifndef OOINT_MODEL_INSTANCE_STORE_H_
 #define OOINT_MODEL_INSTANCE_STORE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +35,18 @@ class InstanceStore {
   /// Inserts a fully formed object; its OID must be unused and its class
   /// id valid.
   Status Insert(Object object);
+
+  /// Removes the object with `oid`; NotFound when absent. Removal never
+  /// reuses OID numbers — NewObject counters only advance — so a store
+  /// replaying the same insert sequence assigns the same OIDs whether
+  /// or not removals were interleaved (what makes the delta-vs-rebuild
+  /// oracle's fresh replay exact).
+  Status Remove(const Oid& oid);
+
+  /// Monotonically increasing data version, bumped by every successful
+  /// NewObject / Insert / Remove — the live-update layer's freshness
+  /// stamp (DESIGN.md §4j).
+  std::uint64_t data_epoch() const { return data_epoch_; }
 
   /// Configures the OID prefix components (Section 3 naming scheme).
   void SetOidContext(std::string agent, std::string dbms,
@@ -77,6 +90,7 @@ class InstanceStore {
   // Per-class tuple numbering (Section 3 numbers "the tuples of a
   // relation", i.e. per relation/class).
   std::map<ClassId, std::uint64_t> next_number_;
+  std::uint64_t data_epoch_ = 0;
   std::map<Oid, Object> objects_;
   // class id -> OIDs of direct instances.
   std::map<ClassId, std::vector<Oid>> direct_extent_;

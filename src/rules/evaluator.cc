@@ -231,6 +231,7 @@ void Evaluator::Reset() {
 }
 
 FactMatcher Evaluator::MakeMatcher() const {
+  if (resolver_override_) return FactMatcher(resolver_override_, mappings_);
   return FactMatcher(
       [this](const Oid& oid) { return store_.ViewByOid(oid); }, mappings_);
 }
@@ -721,7 +722,18 @@ Status Evaluator::EvaluateImpl() {
 
 std::vector<const Fact*> Evaluator::FactsOf(
     const std::string& concept_name) const {
-  return store_.FactsOf(concept_name);
+  if (live_filter_ == nullptr) return store_.FactsOf(concept_name);
+  // Incremental mode: the extent minus the logically deleted facts.
+  std::vector<const Fact*> out;
+  const ConceptId id = store_.FindConcept(concept_name);
+  if (id == kNoConcept) return out;
+  const size_t count = store_.CountOf(id);
+  for (std::uint32_t ordinal = 0; ordinal < count; ++ordinal) {
+    const FactId fid = store_.IdAt(id, ordinal);
+    if (fid < live_filter_->size() && !(*live_filter_)[fid]) continue;
+    out.push_back(store_.FactAt(id, ordinal));
+  }
+  return out;
 }
 
 void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
@@ -737,6 +749,15 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
   Stats& counters = ctx.stats != nullptr ? *ctx.stats : stats_;
   *concept_id = store_.FindConcept(name);
   if (*concept_id == kNoConcept) return;
+  if (ctx.inc != nullptr &&
+      static_cast<int>(literal_index) == ctx.inc->pivot_literal) {
+    // Telescoped incremental join: this position sees exactly the pivot.
+    const FactId pivot = ctx.inc->pivot_fact;
+    if (pivot != kNoFact && store_.ConceptOf(pivot) == *concept_id) {
+      candidates->push_back(store_.OrdinalOf(pivot));
+    }
+    return;
+  }
   std::uint32_t begin = 0;
   std::uint32_t end = static_cast<std::uint32_t>(store_.CountOf(*concept_id));
   if (static_cast<int>(literal_index) == ctx.delta_literal) {
@@ -895,6 +916,11 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
     return SolveBody(matcher, ctx, done, remaining - 1, std::move(next),
                      solutions);
   };
+  // Incremental world filter: whether this position may see the fact.
+  auto admitted = [&](ConceptId concept_id, std::uint32_t ordinal) {
+    return ctx.inc == nullptr || !ctx.inc->admit ||
+           ctx.inc->admit(pick, store_.IdAt(concept_id, ordinal));
+  };
   Status status = Status::OK();
   switch (literal.kind) {
     case Literal::Kind::kOTerm: {
@@ -904,6 +930,7 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
                         &concept_id);
       if (!literal.negated) {
         for (std::uint32_t ordinal : candidates) {
+          if (!admitted(concept_id, ordinal)) continue;
           const FactView fact = store_.ViewAt(concept_id, ordinal);
           std::vector<Bindings> matches;
           matcher.MatchOTerm(literal.oterm, fact, solution.bindings,
@@ -920,6 +947,7 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
       } else {
         bool found = false;
         for (std::uint32_t ordinal : candidates) {
+          if (!admitted(concept_id, ordinal)) continue;
           std::vector<Bindings> matches;
           matcher.MatchOTerm(literal.oterm, store_.ViewAt(concept_id, ordinal),
                              solution.bindings, &matches);
@@ -965,6 +993,7 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
       };
       if (!literal.negated) {
         for (std::uint32_t ordinal : candidates) {
+          if (!admitted(concept_id, ordinal)) continue;
           const FactView fact = store_.ViewAt(concept_id, ordinal);
           Bindings next = solution.bindings;
           if (match_args(fact, &next)) {
@@ -977,6 +1006,7 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
       } else {
         bool found = false;
         for (std::uint32_t ordinal : candidates) {
+          if (!admitted(concept_id, ordinal)) continue;
           Bindings next = solution.bindings;
           if (match_args(store_.ViewAt(concept_id, ordinal), &next)) {
             found = true;
@@ -1048,139 +1078,147 @@ Status Evaluator::SolveRule(const FactMatcher& matcher, const JoinContext& ctx,
                    solutions);
 }
 
+Result<Evaluator::HeadFact> Evaluator::BuildHeadFact(
+    const Rule& rule, const FactMatcher& matcher, const Solution& solution) {
+  const Literal& head = rule.head.front();
+  HeadFact out;
+  Fact& fact = out.fact;
+  if (head.kind == Literal::Kind::kPredicate) {
+    fact.concept_name = head.pred_name;
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      Value v;
+      if (!ResolveArg(head.args[i], solution.bindings, &v)) {
+        return Status::FailedPrecondition(
+            StrCat("unbound head argument in rule: ", rule.ToString()));
+      }
+      fact.attrs[StrCat(i)] = std::move(v);
+    }
+    return out;
+  }
+
+  // O-term head.
+  fact.concept_name = head.oterm.class_name;
+
+  // Instantiate descriptors; nested descriptors flatten to dotted
+  // attribute names ("book.ISBN").
+  Status flatten_status = Status::OK();
+  auto flatten = [&](auto&& self, const std::vector<AttrDescriptor>& ds,
+                     const std::string& prefix) -> void {
+    for (const AttrDescriptor& d : ds) {
+      if (!flatten_status.ok()) return;
+      std::string name = d.attribute;
+      if (d.attr_is_variable) {
+        auto it = solution.bindings.find(d.attribute);
+        if (it == solution.bindings.end() ||
+            it->second.kind() != ValueKind::kString) {
+          flatten_status = Status::FailedPrecondition(
+              StrCat("unbound attribute-name variable '", d.attribute,
+                     "' in rule head"));
+          return;
+        }
+        name = it->second.AsString();
+      }
+      const std::string full = prefix.empty() ? name : StrCat(prefix, ".", name);
+      if (d.value.is_nested()) {
+        self(self, d.value.nested, full);
+        continue;
+      }
+      Value v;
+      if (d.value.is_constant()) {
+        v = d.value.constant;
+      } else {
+        auto it = solution.bindings.find(d.value.var);
+        if (it == solution.bindings.end()) {
+          if (!d.value.var.empty() && d.value.var[0] == '_') {
+            continue;  // existential attribute: leave unset
+          }
+          flatten_status = Status::FailedPrecondition(
+              StrCat("unbound head variable '", d.value.var, "'"));
+          return;
+        }
+        v = it->second;
+      }
+      fact.attrs[full] = std::move(v);
+    }
+  };
+  flatten(flatten, head.oterm.attrs, "");
+  OOINT_RETURN_IF_ERROR(flatten_status);
+
+  // Object position: bound variable / constant OID, or a skolem OID
+  // for existential ('_'-prefixed or unbound) object variables.
+  bool skolem = true;
+  if (head.oterm.object.is_constant()) {
+    if (head.oterm.object.constant.kind() == ValueKind::kOid) {
+      fact.oid = head.oterm.object.constant.AsOid();
+      skolem = false;
+    }
+  } else if (head.oterm.object.is_variable()) {
+    auto it = solution.bindings.find(head.oterm.object.var);
+    if (it != solution.bindings.end() &&
+        it->second.kind() == ValueKind::kOid) {
+      fact.oid = it->second.AsOid();
+      skolem = false;
+    }
+  }
+  if (skolem) {
+    // Derived entities are identified by their attribute values; the
+    // skolem OID is content-addressed (the hash of those values) so
+    // both fixpoint strategies — and the incremental engine — assign
+    // identical OIDs regardless of derivation order.
+    out.skolem = true;
+    out.skolem_key = HashFactAttrs(fact);
+    fact.oid =
+        Oid("derived", "ooint", "global", fact.concept_name, out.skolem_key);
+  } else {
+    // Merge the attributes of every matched body fact describing the
+    // same entity, so membership rules (<x: IS_AB> <= <x: A>, ...)
+    // carry the entity's data into the integrated class. Slots are in
+    // body order, keeping the merge independent of the join order.
+    for (const FactView& matched : solution.matched) {
+      if (!matched.valid() || matched.oid_empty()) continue;
+      if (!matcher.ValuesEqual(Value::OfOid(matched.oid()),
+                               Value::OfOid(fact.oid))) {
+        continue;
+      }
+      const size_t count = matched.attr_count();
+      for (size_t i = 0; i < count; ++i) {
+        std::string name(matched.attr_name(i));
+        if (fact.attrs.find(name) == fact.attrs.end()) {
+          fact.attrs.emplace(std::move(name),
+                             matched.attr_value(i).Materialize());
+        }
+      }
+    }
+  }
+  return out;
+}
+
 Status Evaluator::InsertSolutions(const Rule& rule, const FactMatcher& matcher,
                                   const std::vector<Solution>& solutions,
                                   size_t* inserted) {
-  const Literal& head = rule.head.front();
   for (const Solution& solution : solutions) {
-    Fact fact;
-    if (head.kind == Literal::Kind::kPredicate) {
-      fact.concept_name = head.pred_name;
-      for (size_t i = 0; i < head.args.size(); ++i) {
-        Value v;
-        if (!ResolveArg(head.args[i], solution.bindings, &v)) {
-          return Status::FailedPrecondition(
-              StrCat("unbound head argument in rule: ", rule.ToString()));
-        }
-        fact.attrs[StrCat(i)] = std::move(v);
-      }
-      if (InsertFact(std::move(fact)) != kNoFact) {
-        ++stats_.derived_facts;
-        ++*inserted;
-      }
-      continue;
-    }
-
-    // O-term head.
-    fact.concept_name = head.oterm.class_name;
-
-    // Instantiate descriptors; nested descriptors flatten to dotted
-    // attribute names ("book.ISBN").
-    Status flatten_status = Status::OK();
-    auto flatten = [&](auto&& self, const std::vector<AttrDescriptor>& ds,
-                       const std::string& prefix) -> void {
-      for (const AttrDescriptor& d : ds) {
-        if (!flatten_status.ok()) return;
-        std::string name = d.attribute;
-        if (d.attr_is_variable) {
-          auto it = solution.bindings.find(d.attribute);
-          if (it == solution.bindings.end() ||
-              it->second.kind() != ValueKind::kString) {
-            flatten_status = Status::FailedPrecondition(
-                StrCat("unbound attribute-name variable '", d.attribute,
-                       "' in rule head"));
-            return;
-          }
-          name = it->second.AsString();
-        }
-        const std::string full =
-            prefix.empty() ? name : StrCat(prefix, ".", name);
-        if (d.value.is_nested()) {
-          self(self, d.value.nested, full);
-          continue;
-        }
-        Value v;
-        if (d.value.is_constant()) {
-          v = d.value.constant;
-        } else {
-          auto it = solution.bindings.find(d.value.var);
-          if (it == solution.bindings.end()) {
-            if (!d.value.var.empty() && d.value.var[0] == '_') {
-              continue;  // existential attribute: leave unset
-            }
-            flatten_status = Status::FailedPrecondition(
-                StrCat("unbound head variable '", d.value.var, "'"));
-            return;
-          }
-          v = it->second;
-        }
-        fact.attrs[full] = std::move(v);
-      }
-    };
-    flatten(flatten, head.oterm.attrs, "");
-    OOINT_RETURN_IF_ERROR(flatten_status);
-
-    // Object position: bound variable / constant OID, or a skolem OID
-    // for existential ('_'-prefixed or unbound) object variables.
-    bool skolem = true;
-    if (head.oterm.object.is_constant()) {
-      if (head.oterm.object.constant.kind() == ValueKind::kOid) {
-        fact.oid = head.oterm.object.constant.AsOid();
-        skolem = false;
-      }
-    } else if (head.oterm.object.is_variable()) {
-      auto it = solution.bindings.find(head.oterm.object.var);
-      if (it != solution.bindings.end() &&
-          it->second.kind() == ValueKind::kOid) {
-        fact.oid = it->second.AsOid();
-        skolem = false;
-      }
-    }
-    if (skolem) {
-      // De-duplicate derived entities by their attribute values; the
-      // skolem OID is content-addressed (the hash of those values) so
-      // both fixpoint strategies assign identical OIDs regardless of
-      // derivation order.
-      const std::uint64_t key = HashFactAttrs(fact);
-      std::vector<FactId>& seen = skolem_seen_[key];
+    OOINT_ASSIGN_OR_RETURN(HeadFact head,
+                           BuildHeadFact(rule, matcher, solution));
+    if (head.skolem) {
+      // Skolem de-duplication by attribute values, exact-verified
+      // against the packed store — no materialization, no string keys.
+      std::vector<FactId>& seen = skolem_seen_[head.skolem_key];
       bool duplicate = false;
       for (FactId f : seen) {
-        // Exact verification against the packed store — no
-        // materialization, no string keys (the old AttrKey() path).
-        if (store_.EquivalentAttrs(f, fact)) {
+        if (store_.EquivalentAttrs(f, head.fact)) {
           duplicate = true;
           break;
         }
       }
       if (duplicate) continue;
-      fact.oid = Oid("derived", "ooint", "global", fact.concept_name, key);
-      const FactId stored = InsertFact(std::move(fact));
+      const FactId stored = InsertFact(std::move(head.fact));
       if (stored != kNoFact) {
         seen.push_back(stored);
         ++stats_.derived_facts;
         ++*inserted;
       }
     } else {
-      // Merge the attributes of every matched body fact describing the
-      // same entity, so membership rules (<x: IS_AB> <= <x: A>, ...)
-      // carry the entity's data into the integrated class. Slots are in
-      // body order, keeping the merge independent of the join order.
-      for (const FactView& matched : solution.matched) {
-        if (!matched.valid() || matched.oid_empty()) continue;
-        if (!matcher.ValuesEqual(Value::OfOid(matched.oid()),
-                                 Value::OfOid(fact.oid))) {
-          continue;
-        }
-        const size_t count = matched.attr_count();
-        for (size_t i = 0; i < count; ++i) {
-          std::string name(matched.attr_name(i));
-          if (fact.attrs.find(name) == fact.attrs.end()) {
-            fact.attrs.emplace(std::move(name),
-                               matched.attr_value(i).Materialize());
-          }
-        }
-      }
-      if (InsertFact(std::move(fact)) != kNoFact) {
+      if (InsertFact(std::move(head.fact)) != kNoFact) {
         ++stats_.derived_facts;
         ++*inserted;
       }
@@ -1211,6 +1249,10 @@ Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
   }
   std::vector<Bindings> out;
   for (std::uint32_t ordinal : candidates) {
+    if (live_filter_ != nullptr) {
+      const FactId fid = store_.IdAt(concept_id, ordinal);
+      if (fid < live_filter_->size() && !(*live_filter_)[fid]) continue;
+    }
     matcher.MatchOTerm(pattern, store_.ViewAt(concept_id, ordinal), Bindings(),
                        &out);
   }

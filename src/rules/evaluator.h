@@ -2,6 +2,7 @@
 #define OOINT_RULES_EVALUATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -343,6 +344,13 @@ class Evaluator {
   const FactStore& fact_store() const { return store_; }
 
  private:
+  /// The incremental maintenance engine (rules/incremental.h) drives the
+  /// evaluator's private join machinery (SolveBody-equivalent candidate
+  /// enumeration, head construction, the packed store) and installs the
+  /// liveness side column — it is an alternate fixpoint driver, not a
+  /// client, hence the friendship.
+  friend class IncrementalEvaluator;
+
   struct Source {
     std::string schema_name;
     /// Borrowed view; points at `owned` when the evaluator owns it.
@@ -375,6 +383,21 @@ class Evaluator {
     std::vector<FactView> matched;  // body.size() slots, may be invalid
   };
 
+  /// Incremental-maintenance join hooks (rules/incremental.h). The
+  /// counting/DRed engine pins one body position to a single pivot fact
+  /// and assigns every other fact literal a *world* — which FactIds it
+  /// may see (old vs. new liveness, telescoped round membership). Null
+  /// in JoinContext preserves the classic fixpoint bit for bit.
+  struct IncrementalHooks {
+    /// Whether body position `literal_index` may match fact `id`.
+    /// Applied to positive candidates and to negation checks alike.
+    std::function<bool(size_t, FactId)> admit;
+    /// When >= 0, candidates of this body position are exactly
+    /// `pivot_fact` (the delta pivot of the telescoped join).
+    int pivot_literal = -1;
+    FactId pivot_fact = kNoFact;
+  };
+
   /// Per-ApplyRule join context: which body literal (if any) is
   /// restricted to the delta window of its concept_id, and whether the
   /// naive oracle semantics (left-to-right, scan-only) are requested.
@@ -390,6 +413,8 @@ class Evaluator {
     /// at a task-local Stats merged after the barrier, so const join
     /// code never writes shared state from worker threads.
     Stats* stats = nullptr;
+    /// Incremental world/pivot hooks; null for the classic fixpoint.
+    const IncrementalHooks* inc = nullptr;
   };
 
   /// The shared unification machinery, wired to this evaluator's fact
@@ -410,6 +435,25 @@ class Evaluator {
   /// (ctx.stats must then point at a task-local Stats).
   Status SolveRule(const FactMatcher& matcher, const JoinContext& ctx,
                    std::vector<Solution>* solutions) const;
+
+  /// One instantiated rule head: the fact, plus whether its entity is a
+  /// content-addressed skolem (and under which HashFactAttrs key).
+  struct HeadFact {
+    Fact fact;
+    bool skolem = false;
+    std::uint64_t skolem_key = 0;
+  };
+
+  /// Instantiates `rule`'s head for one body solution: predicate heads
+  /// get positional attributes, O-term heads flatten their descriptors
+  /// (nested ones to dotted names), bound-OID heads merge the attributes
+  /// of the matched body facts describing the same entity, and
+  /// existential heads receive their content-addressed skolem OID. Pure
+  /// — the store is untouched; InsertSolutions and the incremental
+  /// evaluator share it so derived facts are bit-identical either way.
+  static Result<HeadFact> BuildHeadFact(const Rule& rule,
+                                        const FactMatcher& matcher,
+                                        const Solution& solution);
 
   /// The write half: instantiates `rule`'s head for every solution and
   /// inserts the new facts (skolem de-duplication included). Serial
@@ -457,6 +501,15 @@ class Evaluator {
 
   bool evaluated_ = false;
   FactStore store_;
+  /// Liveness side column, installed (and owned) by the incremental
+  /// evaluator once delta maintenance begins: the store stays
+  /// append-only, logically deleted facts are masked out of FactsOf()
+  /// and Query(), and OID resolution routes through
+  /// `resolver_override_` so nested-descriptor navigation never lands
+  /// on a dead fact. Null (the default) preserves the classic
+  /// everything-stored-is-live behaviour bit for bit.
+  const std::vector<std::uint8_t>* live_filter_ = nullptr;
+  FactMatcher::OidResolver resolver_override_;
   /// Skolem de-duplication: hash of (concept_id, attrs) -> stored fact
   /// ids, exact-verified against the packed store (derived entities are
   /// identified by their attribute values; see ApplyRule).

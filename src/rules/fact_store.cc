@@ -676,6 +676,58 @@ std::uint64_t FactStore::AttrIndexKey(ConceptId concept_id,
 }
 
 FactId FactStore::Insert(Fact fact) {
+  bool was_new = false;
+  const FactId id = InsertOrFind(std::move(fact), &was_new);
+  return was_new ? id : kNoFact;
+}
+
+FactId FactStore::FindExisting(const Fact& fact) const {
+  const ConceptId concept_id = FindConcept(fact.concept_name);
+  if (concept_id == kNoConcept) return kNoFact;
+  const std::uint32_t oid_id = fact.oid.empty() ? kNoId : FindOid(fact.oid);
+  if (!fact.oid.empty() && oid_id == kNoId) return kNoFact;
+
+  // The canonical digest Insert computes, via lookup-only access: a
+  // miss on any component means the exact fact cannot be stored.
+  std::uint64_t digest = MixCombine(0x84222325u, concept_id);
+  digest = MixCombine(digest, oid_id == kNoId ? ~0ull : oid_id);
+  for (const auto& [name, value] : fact.attrs) {
+    const std::uint32_t attr_id = symbols_.Find(name);
+    if (attr_id == kNoId) return kNoFact;
+    std::uint64_t value_digest = 0;
+    if (!TryLookupDigest(value, &value_digest)) return kNoFact;
+    digest = MixCombine(digest, attr_id);
+    digest = MixCombine(digest, value_digest);
+  }
+  digest &= digest_mask_;
+
+  PostingsCursor bucket = dedup_.Find(digest);
+  std::uint32_t candidate = 0;
+  while (bucket.Next(&candidate)) {
+    const FactRecord& rec = records_[candidate];
+    if (rec.concept_id != concept_id || rec.oid_id != oid_id ||
+        rec.attr_count != fact.attrs.size()) {
+      continue;
+    }
+    if (EquivalentAttrs(candidate, fact)) return candidate;
+  }
+  return kNoFact;
+}
+
+void FactStore::FactIdsWithOid(const Oid& oid, std::vector<FactId>* out) const {
+  const std::uint32_t oid_id = FindOid(oid);
+  if (oid_id == kNoId) return;
+  PostingsCursor cursor = by_oid_.Find(oid_id);
+  std::uint32_t id = 0;
+  while (cursor.Next(&id)) {
+    // The by_oid_ key is a dictionary id: exact, but distinct ids may
+    // share a postings slot on a 64-bit key collision — re-verify.
+    if (records_[id].oid_id == oid_id) out->push_back(id);
+  }
+}
+
+FactId FactStore::InsertOrFind(Fact fact, bool* was_new) {
+  if (was_new != nullptr) *was_new = false;
   const ConceptId concept_id = InternConcept(fact.concept_name);
   const std::uint32_t oid_id = fact.oid.empty() ? kNoId : InternOid(fact.oid);
 
@@ -713,9 +765,10 @@ FactId FactStore::Insert(Fact fact) {
         break;
       }
     }
-    if (equal) return kNoFact;  // duplicate
+    if (equal) return candidate;  // duplicate
   }
 
+  if (was_new != nullptr) *was_new = true;
   const auto id = static_cast<FactId>(records_.size());
   const auto attr_begin = static_cast<std::uint32_t>(attr_names_.size());
   for (const auto& [attr_id, packed] : scratch_attrs_) {

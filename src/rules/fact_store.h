@@ -164,6 +164,24 @@ class FactStore {
   /// already stored. Returns the new FactId, or kNoFact on duplicate.
   FactId Insert(Fact fact);
 
+  /// Like Insert, but on a duplicate returns the *existing* FactId
+  /// instead of kNoFact. `was_new` (optional) reports whether a record
+  /// was appended. The incremental evaluator uses this to revive facts
+  /// that were logically deleted: the store stays append-only, identity
+  /// is stable, and liveness lives in side columns keyed by FactId.
+  FactId InsertOrFind(Fact fact, bool* was_new = nullptr);
+
+  /// Lookup-only de-duplication probe: the FactId of the stored fact
+  /// identical to `fact` (concept, oid, attrs), or kNoFact. Never
+  /// interns — a fact mentioning any never-stored symbol or value
+  /// cannot be stored, so the miss is exact.
+  FactId FindExisting(const Fact& fact) const;
+
+  /// Appends the FactIds (ascending) of every stored fact carrying
+  /// exactly `oid`, across all concepts — the enumeration behind
+  /// liveness-aware OID resolution. Exact, like ProbeOid.
+  void FactIdsWithOid(const Oid& oid, std::vector<FactId>* out) const;
+
   size_t size() const { return records_.size(); }
 
   /// The extent of a concept in insertion order. Materializes every

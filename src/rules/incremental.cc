@@ -1,0 +1,990 @@
+#include "rules/incremental.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/string_util.h"
+#include "rules/matcher.h"
+#include "rules/term.h"
+
+namespace ooint {
+
+std::atomic<bool> IncrementalEvaluator::decrement_bug_{false};
+
+namespace {
+
+/// The concept name a fact literal ranges over ("" for comparisons).
+const std::string& LiteralConcept(const Literal& literal) {
+  static const std::string kEmpty;
+  if (literal.kind == Literal::Kind::kOTerm) return literal.oterm.class_name;
+  if (literal.kind == Literal::Kind::kPredicate) return literal.pred_name;
+  return kEmpty;
+}
+
+/// True when variable `var` occurs in some body literal of `rule`.
+bool VarInBody(const Rule& rule, const std::string& var) {
+  for (const Literal& literal : rule.body) {
+    std::vector<std::string> vars;
+    CollectVariables(literal, &vars);
+    for (const std::string& v : vars) {
+      if (v == var) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void DeltaMaintenanceStats::Accumulate(const DeltaMaintenanceStats& o) {
+  batches += o.batches;
+  base_inserted += o.base_inserted;
+  base_deleted += o.base_deleted;
+  noop_deletes += o.noop_deletes;
+  facts_inserted += o.facts_inserted;
+  facts_deleted += o.facts_deleted;
+  overdeleted += o.overdeleted;
+  rederived += o.rederived;
+  rounds += o.rounds;
+}
+
+std::string DeltaMaintenanceStats::ToString() const {
+  return StrCat("batches=", batches, " base+=", base_inserted,
+                " base-=", base_deleted, " noop_deletes=", noop_deletes,
+                " facts+=", facts_inserted, " facts-=", facts_deleted,
+                " overdeleted=", overdeleted, " rederived=", rederived,
+                " rounds=", rounds);
+}
+
+Result<std::unique_ptr<IncrementalEvaluator>> IncrementalEvaluator::Adopt(
+    Evaluator* ev) {
+  if (ev == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null evaluator");
+  }
+  std::unique_ptr<IncrementalEvaluator> engine(new IncrementalEvaluator(ev));
+  OOINT_RETURN_IF_ERROR(engine->Initialize());
+  return engine;
+}
+
+IncrementalEvaluator::~IncrementalEvaluator() {
+  // Revert the evaluator to classic (everything-stored-is-live) mode;
+  // callers that keep using it afterwards must Reset() + Evaluate().
+  if (ev_ != nullptr) {
+    ev_->live_filter_ = nullptr;
+    ev_->resolver_override_ = nullptr;
+  }
+}
+
+size_t IncrementalEvaluator::live_count() const {
+  size_t n = 0;
+  for (std::uint8_t b : live_) n += b;
+  return n;
+}
+
+void IncrementalEvaluator::Ensure(FactId id) {
+  if (id < live_.size()) return;
+  live_.resize(id + 1, 0);
+  base_count_.resize(id + 1, 0);
+  deriv_count_.resize(id + 1, 0);
+}
+
+void IncrementalEvaluator::Kill(FactId id) {
+  live_[id] = 0;
+  if (id < old_live_.size() && old_live_[id] != 0) {
+    net_dead_.insert(id);
+  } else {
+    net_born_.erase(id);
+  }
+}
+
+void IncrementalEvaluator::Birth(FactId id) {
+  live_[id] = 1;
+  if (id < old_live_.size() && old_live_[id] != 0) {
+    net_dead_.erase(id);
+  } else {
+    net_born_.insert(id);
+  }
+}
+
+int IncrementalEvaluator::StratumOf(const std::string& concept_name) const {
+  auto it = strata_.find(concept_name);
+  return it == strata_.end() ? 0 : it->second;
+}
+
+Status IncrementalEvaluator::Initialize() {
+  ev_->Reset();
+  strata_.clear();
+  max_stratum_ = 0;
+  OOINT_RETURN_IF_ERROR(ev_->Stratify(&strata_, &max_stratum_));
+  ComputeRecursion();
+  ev_->live_filter_ = &live_;
+  ev_->resolver_override_ = [this](const Oid& oid) { return ResolveOid(oid); };
+  OOINT_RETURN_IF_ERROR(LoadBase());
+  ev_->evaluated_ = true;
+  ev_->degraded_ = DegradedInfo();
+  return Status::OK();
+}
+
+void IncrementalEvaluator::ComputeRecursion() {
+  // reach[c] = head concepts transitively derivable from a positive
+  // occurrence of c; c is recursive iff c ∈ reach[c]. Stratification
+  // already forbids cycles through negation, so positive edges are the
+  // only recursion carrier.
+  recursive_.clear();
+  std::map<std::string, std::set<std::string>> reach;
+  bool changed = true;
+  for (const Rule& rule : ev_->rules_) {
+    const std::vector<std::string> heads = rule.HeadConceptNames();
+    for (const std::string& bc : rule.BodyConceptNames(true)) {
+      reach[bc].insert(heads.begin(), heads.end());
+    }
+  }
+  while (changed) {
+    changed = false;
+    for (auto& [c, heads] : reach) {
+      const size_t before = heads.size();
+      std::vector<std::string> frontier(heads.begin(), heads.end());
+      for (const std::string& h : frontier) {
+        auto it = reach.find(h);
+        if (it != reach.end()) {
+          heads.insert(it->second.begin(), it->second.end());
+        }
+      }
+      if (heads.size() != before) changed = true;
+    }
+  }
+  for (const auto& [c, heads] : reach) {
+    if (heads.count(c) > 0) recursive_.insert(c);
+  }
+}
+
+std::vector<IncrementalEvaluator::Plan> IncrementalEvaluator::PlansOf(
+    int stratum) const {
+  std::vector<Plan> plans;
+  for (const Rule& rule : ev_->rules_) {
+    const std::vector<std::string> heads = rule.HeadConceptNames();
+    if (heads.empty() || StratumOf(heads.front()) != stratum) continue;
+    Plan plan{&rule, {}, {}};
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Literal& literal = rule.body[i];
+      if (literal.kind == Literal::Kind::kCompare) continue;
+      if (literal.negated) {
+        plan.negated.emplace_back(i, LiteralConcept(literal));
+      } else {
+        plan.positive.emplace_back(i, LiteralConcept(literal));
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+Status IncrementalEvaluator::LoadBase() {
+  // Mirror of Evaluator::LoadBaseFacts, serial and strict: seeds first,
+  // then every concept binding in declaration order — the fact ids (and
+  // therefore the OID resolver's first-inserted precedence) come out
+  // identical to a from-scratch load.
+  BaseDelta initial;
+  for (const Fact& seed : ev_->seed_facts_) initial.inserts.push_back(seed);
+  for (const Evaluator::ConceptBinding& binding : ev_->bindings_decl_) {
+    const Evaluator::Source& source = ev_->sources_[binding.source_index];
+    Result<std::vector<const Object*>> extent =
+        source.source->FetchExtent(binding.class_name);
+    if (!extent.ok()) return extent.status();
+    for (const Object* object : extent.value()) {
+      if (object == nullptr) continue;
+      initial.inserts.push_back(
+          Fact::FromObject(binding.concept_name, *object));
+    }
+  }
+  DeltaMaintenanceStats adopt_stats;
+  return RunBatch(initial, /*initial=*/true, &adopt_stats);
+}
+
+Result<DeltaMaintenanceStats> IncrementalEvaluator::ApplyBaseDelta(
+    const BaseDelta& delta) {
+  DeltaMaintenanceStats stats;
+  stats.batches = 1;
+  OOINT_RETURN_IF_ERROR(RunBatch(delta, /*initial=*/false, &stats));
+  cumulative_.Accumulate(stats);
+  return stats;
+}
+
+Result<DeltaMaintenanceStats> IncrementalEvaluator::ApplyExtentDelta(
+    const std::string& schema_name, const std::vector<Object>& inserted,
+    const std::vector<Object>& deleted) {
+  BaseDelta delta;
+  for (const Evaluator::ConceptBinding& binding : ev_->bindings_decl_) {
+    const Evaluator::Source& source = ev_->sources_[binding.source_index];
+    if (source.schema_name != schema_name) continue;
+    const Schema& schema = source.source->schema();
+    Result<ClassId> bound = schema.GetClass(binding.class_name);
+    if (!bound.ok()) return bound.status();
+    for (const Object& object : inserted) {
+      if (!schema.IsSubclassOf(object.class_id(), bound.value())) continue;
+      delta.inserts.push_back(Fact::FromObject(binding.concept_name, object));
+    }
+    for (const Object& object : deleted) {
+      if (!schema.IsSubclassOf(object.class_id(), bound.value())) continue;
+      delta.deletes.push_back(Fact::FromObject(binding.concept_name, object));
+    }
+  }
+  return ApplyBaseDelta(delta);
+}
+
+Status IncrementalEvaluator::RunBatch(const BaseDelta& delta, bool initial,
+                                      DeltaMaintenanceStats* stats) {
+  old_live_ = live_;
+  net_born_.clear();
+  net_dead_.clear();
+  parked_overdeleted_.clear();
+
+  // Phase 0: base-fact application. Inserts before deletes, so an
+  // insert-then-delete of one fact inside one batch nets out.
+  for (const Fact& fact : delta.inserts) {
+    bool was_new = false;
+    FactId id = store().InsertOrFind(Fact(fact), &was_new);
+    Ensure(id);
+    ++base_count_[id];
+    ++stats->base_inserted;
+    if (live_[id] == 0) Birth(id);
+  }
+  for (const Fact& fact : delta.deletes) {
+    const FactId id = store().FindExisting(fact);
+    if (id == kNoFact || id >= live_.size() || live_[id] == 0 ||
+        base_count_[id] == 0) {
+      // Deleting a fact that was never (base-)inserted is a no-op.
+      ++stats->noop_deletes;
+      continue;
+    }
+    --base_count_[id];
+    ++stats->base_deleted;
+    if (base_count_[id] > 0) continue;
+    const std::string& cname = store().ConceptName(store().ConceptOf(id));
+    if (deriv_count_[id] <= 0) {
+      Kill(id);
+    } else if (IsRecursive(cname)) {
+      // DRed: a recursive fact that lost its base support may only be
+      // standing on a derivation cycle through itself — over-delete now,
+      // rederive against the post-delete world when its stratum runs.
+      Kill(id);
+      ++stats->overdeleted;
+      parked_overdeleted_[StratumOf(cname)].push_back(id);
+    }
+    // Non-recursive with derivations left: counts are exact, the fact
+    // legitimately survives on derived support alone.
+  }
+
+  for (int s = 0; s <= max_stratum_; ++s) {
+    const std::vector<Plan> plans = PlansOf(s);
+    std::map<FactId, std::uint32_t> death_round;
+    std::vector<FactId> overdeleted;
+    auto parked = parked_overdeleted_.find(s);
+    if (parked != parked_overdeleted_.end()) {
+      overdeleted = std::move(parked->second);
+    }
+    OOINT_RETURN_IF_ERROR(
+        DeletePhase(s, plans, &death_round, &overdeleted, stats));
+    std::vector<FactId> revived;
+    OOINT_RETURN_IF_ERROR(
+        RederivePhase(s, plans, overdeleted, &revived, stats));
+    OOINT_RETURN_IF_ERROR(InsertPhase(s, plans, revived, initial, stats));
+  }
+
+  stats->facts_inserted += net_born_.size();
+  stats->facts_deleted += net_dead_.size();
+  // Invariant: dead facts carry zero counts (a later revival starts
+  // from a clean slate).
+  for (FactId id : net_dead_) deriv_count_[id] = 0;
+
+  // Keep the adopted evaluator's headline stats meaningful.
+  ev_->stats_.strata = static_cast<size_t>(max_stratum_) + 1;
+  size_t base = 0;
+  size_t derived = 0;
+  for (FactId id = 0; id < live_.size(); ++id) {
+    if (live_[id] == 0) continue;
+    if (base_count_[id] > 0) {
+      ++base;
+    } else {
+      ++derived;
+    }
+  }
+  ev_->stats_.base_facts = base;
+  ev_->stats_.derived_facts = derived;
+  return Status::OK();
+}
+
+Status IncrementalEvaluator::DeletePhase(
+    int stratum, const std::vector<Plan>& plans,
+    std::map<FactId, std::uint32_t>* death_round,
+    std::vector<FactId>* overdeleted, DeltaMaintenanceStats* stats) {
+  (void)stratum;
+  if (plans.empty()) return Status::OK();
+  // Nested-descriptor OID hops during delete joins resolve in the
+  // batch-old world (the derivations being retracted existed there).
+  resolver_world_ = &old_live_;
+
+  std::vector<FactId> pivots(net_dead_.begin(), net_dead_.end());
+  for (FactId id : pivots) (*death_round)[id] = 1;
+
+  bool have_flips = false;
+  for (const Plan& plan : plans) {
+    if (!plan.negated.empty()) have_flips = true;
+  }
+  have_flips = have_flips && !net_born_.empty();
+
+  // Masks for the negation-flip post-checks.
+  std::vector<std::uint8_t> born_mask;
+  if (have_flips) {
+    born_mask.assign(live_.size(), 0);
+    for (FactId id : net_born_) born_mask[id] = 1;
+  }
+
+  const FactMatcher matcher = ev_->MakeMatcher();
+  std::uint32_t r = 1;
+  while (!pivots.empty() || (r == 1 && have_flips)) {
+    ++stats->rounds;
+    std::vector<FactId> next;
+    for (FactId pivot : pivots) {
+      const std::string& cname =
+          store().ConceptName(store().ConceptOf(pivot));
+      for (const Plan& plan : plans) {
+        for (const auto& [pos, concept_name] : plan.positive) {
+          if (concept_name != cname) continue;
+          std::vector<Evaluator::Solution> sols;
+          OOINT_RETURN_IF_ERROR(SolvePivot(*plan.rule, pos, pivot, r,
+                                           PivotMode::kDeleteRound,
+                                           *death_round, &sols));
+          for (const Evaluator::Solution& sol : sols) {
+            OOINT_ASSIGN_OR_RETURN(
+                Evaluator::HeadFact head,
+                Evaluator::BuildHeadFact(*plan.rule, matcher, sol));
+            const FactId target = store().FindExisting(head.fact);
+            if (target == kNoFact) continue;
+            DecrementDerivation(target, r, death_round, &next, overdeleted,
+                                stats);
+          }
+        }
+      }
+    }
+    if (r == 1 && have_flips) {
+      // Negation flips: a net-born lower-stratum fact g newly satisfies
+      // a negated literal, retracting every derivation whose negation
+      // check was unsatisfied in the old world. Solved by making the
+      // literal positive and pinning it to g; position-ordered
+      // telescoping within round 1 dedups against the positive pivots.
+      for (const Plan& plan : plans) {
+        for (const auto& [m, concept_name] : plan.negated) {
+          std::vector<FactId> flips;
+          for (FactId g : net_born_) {
+            if (store().ConceptName(store().ConceptOf(g)) == concept_name) {
+              flips.push_back(g);
+            }
+          }
+          if (flips.empty()) continue;
+          Rule mod = *plan.rule;
+          mod.body[m].negated = false;
+          for (FactId g : flips) {
+            std::vector<Evaluator::Solution> sols;
+            OOINT_RETURN_IF_ERROR(SolvePivot(mod, m, g, 1,
+                                             PivotMode::kFlipDown,
+                                             *death_round, &sols));
+            for (Evaluator::Solution& sol : sols) {
+              // The retracted derivation requires the negation to have
+              // been unsatisfied in the old world...
+              std::vector<FactId> matches;
+              MatchingFacts(plan.rule->body[m], sol.bindings, old_live_,
+                            &matches);
+              if (!matches.empty()) continue;
+              // ...and g to be the minimal net-born fact satisfying it
+              // now (several may appear at once; count the flip once).
+              matches.clear();
+              MatchingFacts(plan.rule->body[m], sol.bindings, born_mask,
+                            &matches);
+              if (matches.empty() || matches.front() != g) continue;
+              // The original rule never merges the negated literal's
+              // fact into the head.
+              sol.matched[m] = FactView();
+              OOINT_ASSIGN_OR_RETURN(
+                  Evaluator::HeadFact head,
+                  Evaluator::BuildHeadFact(*plan.rule, matcher, sol));
+              const FactId target = store().FindExisting(head.fact);
+              if (target == kNoFact) continue;
+              DecrementDerivation(target, 1, death_round, &next, overdeleted,
+                                  stats);
+            }
+          }
+        }
+      }
+    }
+    pivots = std::move(next);
+    ++r;
+  }
+  resolver_world_ = nullptr;
+  return Status::OK();
+}
+
+void IncrementalEvaluator::DecrementDerivation(
+    FactId target, std::uint32_t round,
+    std::map<FactId, std::uint32_t>* death_round, std::vector<FactId>* next,
+    std::vector<FactId>* overdeleted, DeltaMaintenanceStats* stats) {
+  Ensure(target);
+  std::int64_t& count = deriv_count_[target];
+  if (decrement_bug_.load(std::memory_order_relaxed) && count == 1) {
+    // Injected off-by-one (harness mutation check): the guard reads
+    // "> 1" instead of ">= 1", so the last derivation is never
+    // retracted and deletions under-propagate.
+  } else if (count > 0) {
+    --count;
+  }
+  if (live_[target] == 0) return;  // already dead / scheduled
+  if (base_count_[target] > 0) return;
+  const std::string& cname =
+      store().ConceptName(store().ConceptOf(target));
+  if (IsRecursive(cname)) {
+    // DRed over-deletion: any lost support without base support is
+    // suspect of standing on a cycle through itself.
+    Kill(target);
+    (*death_round)[target] = round + 1;
+    next->push_back(target);
+    overdeleted->push_back(target);
+    ++stats->overdeleted;
+  } else if (count <= 0) {
+    // Exact counting: the last derivation is gone.
+    Kill(target);
+    (*death_round)[target] = round + 1;
+    next->push_back(target);
+  }
+}
+
+Status IncrementalEvaluator::RederivePhase(
+    int stratum, const std::vector<Plan>& plans,
+    const std::vector<FactId>& overdeleted, std::vector<FactId>* revived,
+    DeltaMaintenanceStats* stats) {
+  (void)stratum;
+  if (overdeleted.empty()) return Status::OK();
+  // One pass against the frozen post-delete world: revivals do NOT
+  // enter the frozen world (derivations through a sibling revival are
+  // added by the insert phase, where revived facts pivot) — that is
+  // what keeps each derivation counted exactly once.
+  const std::vector<std::uint8_t> frozen = live_;
+  resolver_world_ = &frozen;
+  std::vector<FactId> targets = overdeleted;
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  std::map<const Rule*, std::vector<FactId>> full_cache;
+  Status status = Status::OK();
+  for (FactId h : targets) {
+    if (live_[h] != 0) continue;
+    Result<std::int64_t> count = CountDerivations(h, plans, frozen,
+                                                  &full_cache);
+    if (!count.ok()) {
+      status = count.status();
+      break;
+    }
+    if (count.value() > 0) {
+      deriv_count_[h] = count.value();
+      Birth(h);
+      revived->push_back(h);
+      ++stats->rederived;
+    } else {
+      deriv_count_[h] = 0;
+    }
+  }
+  resolver_world_ = nullptr;
+  return status;
+}
+
+Result<std::int64_t> IncrementalEvaluator::CountDerivations(
+    FactId fact_id, const std::vector<Plan>& plans,
+    const std::vector<std::uint8_t>& world,
+    std::map<const Rule*, std::vector<FactId>>* full_solutions) {
+  const Fact* fact = store().FactById(fact_id);
+  if (fact == nullptr) {
+    return Status::Internal("over-deleted fact vanished from the store");
+  }
+  const FactMatcher matcher = ev_->MakeMatcher();
+  std::int64_t total = 0;
+  for (const Plan& plan : plans) {
+    const Rule& rule = *plan.rule;
+    const std::vector<std::string> heads = rule.HeadConceptNames();
+    if (heads.empty() || heads.front() != fact->concept_name) continue;
+    Bindings seed;
+    const HeadUnify unify = UnifyHead(rule, *fact, matcher, &seed);
+    if (unify == HeadUnify::kNoMatch) continue;
+    // Rederivation sits between the deletion and insertion rounds of
+    // the batch order: positive factors show old-and-still-live facts
+    // only (derivations through batch-born facts are the insert
+    // phase's increments), negated factors the usual union world.
+    const auto admit = [this, &rule, &world](size_t i, FactId id) {
+      if (rule.body[i].negated) return InUnion(id);
+      return id < old_live_.size() && old_live_[id] != 0 &&
+             id < world.size() && world[id] != 0;
+    };
+    if (unify == HeadUnify::kBindings) {
+      // Head-restricted: the head's structure pins bindings, the join
+      // only explores derivations that can produce this fact. Each
+      // solution is still verified — merged attributes may diverge.
+      std::vector<Evaluator::Solution> sols;
+      OOINT_RETURN_IF_ERROR(SolveSeeded(rule, seed, admit, &sols));
+      for (const Evaluator::Solution& sol : sols) {
+        OOINT_ASSIGN_OR_RETURN(Evaluator::HeadFact head,
+                               Evaluator::BuildHeadFact(rule, matcher, sol));
+        if (store().FindExisting(head.fact) == fact_id) ++total;
+      }
+      continue;
+    }
+    // Structurally un-unifiable head (attribute-name variables, nested
+    // descriptors): full solve, cached across the pass's facts.
+    auto it = full_solutions->find(&rule);
+    if (it == full_solutions->end()) {
+      std::vector<Evaluator::Solution> sols;
+      OOINT_RETURN_IF_ERROR(SolveSeeded(rule, Bindings{}, admit, &sols));
+      std::vector<FactId> head_ids;
+      head_ids.reserve(sols.size());
+      for (const Evaluator::Solution& sol : sols) {
+        OOINT_ASSIGN_OR_RETURN(Evaluator::HeadFact head,
+                               Evaluator::BuildHeadFact(rule, matcher, sol));
+        head_ids.push_back(store().FindExisting(head.fact));
+      }
+      it = full_solutions->emplace(&rule, std::move(head_ids)).first;
+    }
+    for (FactId id : it->second) {
+      if (id == fact_id) ++total;
+    }
+  }
+  return total;
+}
+
+Status IncrementalEvaluator::InsertPhase(int stratum,
+                                         const std::vector<Plan>& plans,
+                                         const std::vector<FactId>& revived,
+                                         bool initial,
+                                         DeltaMaintenanceStats* stats) {
+  (void)stratum;
+  if (plans.empty()) return Status::OK();
+
+  std::map<FactId, std::uint32_t> birth_round;
+  std::vector<FactId> pivots(net_born_.begin(), net_born_.end());
+  // Facts over-deleted in this stratum and revived must re-increment
+  // their consumers within the stratum (those decrements happened in
+  // the delete phase); they pivot alongside the net-born facts.
+  pivots.insert(pivots.end(), revived.begin(), revived.end());
+  std::sort(pivots.begin(), pivots.end());
+  pivots.erase(std::unique(pivots.begin(), pivots.end()), pivots.end());
+  for (FactId id : pivots) birth_round[id] = 1;
+
+  bool have_flips = false;
+  for (const Plan& plan : plans) {
+    if (!plan.negated.empty()) have_flips = true;
+  }
+  have_flips = have_flips && !net_dead_.empty();
+  std::vector<std::uint8_t> dead_mask;
+  std::vector<FactId> dead_snapshot;
+  if (have_flips) {
+    dead_mask.assign(live_.size(), 0);
+    for (FactId id : net_dead_) {
+      dead_mask[id] = 1;
+      dead_snapshot.push_back(id);
+    }
+  }
+
+  bool have_const_rules = false;
+  if (initial) {
+    for (const Plan& plan : plans) {
+      if (plan.positive.empty()) have_const_rules = true;
+    }
+  }
+
+  const FactMatcher matcher = ev_->MakeMatcher();
+  std::uint32_t r = 1;
+  bool flips_done = !have_flips;
+  while (true) {
+    const bool do_const = r == 1 && have_const_rules;
+    if (pivots.empty() && !do_const) {
+      if (flips_done) break;
+      // The positive insertion rounds are dry: run the flip-ups (the
+      // last events of the batch order — a net-died fact g releases a
+      // negated literal, admitting derivations valid only in the new
+      // world). What they derive cascades through post-flip rounds.
+      flips_done = true;
+      ++stats->rounds;
+      std::vector<FactId> born_queue;
+      for (const Plan& plan : plans) {
+        for (const auto& [m, concept_name] : plan.negated) {
+          std::vector<FactId> flips;
+          for (FactId g : dead_snapshot) {
+            if (store().ConceptName(store().ConceptOf(g)) == concept_name) {
+              flips.push_back(g);
+            }
+          }
+          if (flips.empty()) continue;
+          Rule mod = *plan.rule;
+          mod.body[m].negated = false;
+          for (FactId g : flips) {
+            std::vector<Evaluator::Solution> sols;
+            OOINT_RETURN_IF_ERROR(SolvePivot(mod, m, g, r,
+                                             PivotMode::kFlipUp, birth_round,
+                                             &sols));
+            for (Evaluator::Solution& sol : sols) {
+              // The gained derivation requires the negation to hold in
+              // the new world...
+              std::vector<FactId> matches;
+              MatchingFacts(plan.rule->body[m], sol.bindings, live_,
+                            &matches);
+              if (!matches.empty()) continue;
+              // ...and g to be the minimal net-died fact that was
+              // blocking it (several may leave at once; one event).
+              matches.clear();
+              MatchingFacts(plan.rule->body[m], sol.bindings, dead_mask,
+                            &matches);
+              if (matches.empty() || matches.front() != g) continue;
+              sol.matched[m] = FactView();
+              OOINT_ASSIGN_OR_RETURN(
+                  Evaluator::HeadFact head,
+                  Evaluator::BuildHeadFact(*plan.rule, matcher, sol));
+              IncrementDerivation(std::move(head.fact), r, &birth_round,
+                                  &born_queue);
+            }
+          }
+        }
+      }
+      for (FactId id : born_queue) {
+        Birth(id);
+        pivots.push_back(id);
+      }
+      ++r;
+      continue;
+    }
+    ++stats->rounds;
+    const PivotMode mode = flips_done && have_flips
+                               ? PivotMode::kInsertPostFlip
+                               : PivotMode::kInsertRound;
+    std::vector<FactId> next;
+    std::vector<FactId> born_queue;
+    for (FactId pivot : pivots) {
+      const std::string& cname =
+          store().ConceptName(store().ConceptOf(pivot));
+      for (const Plan& plan : plans) {
+        for (const auto& [pos, concept_name] : plan.positive) {
+          if (concept_name != cname) continue;
+          std::vector<Evaluator::Solution> sols;
+          OOINT_RETURN_IF_ERROR(SolvePivot(*plan.rule, pos, pivot, r, mode,
+                                           birth_round, &sols));
+          for (const Evaluator::Solution& sol : sols) {
+            OOINT_ASSIGN_OR_RETURN(
+                Evaluator::HeadFact head,
+                Evaluator::BuildHeadFact(*plan.rule, matcher, sol));
+            IncrementDerivation(std::move(head.fact), r, &birth_round,
+                                &born_queue);
+          }
+        }
+      }
+    }
+    if (do_const) {
+      // Initial adoption only: rules without positive fact literals
+      // fire once, unrestricted (mirrors the classic first round).
+      for (const Plan& plan : plans) {
+        if (!plan.positive.empty()) continue;
+        std::vector<Evaluator::Solution> sols;
+        const auto admit = [this, &plan](size_t i, FactId id) {
+          return plan.rule->body[i].negated ? InUnion(id) : IsLive(id);
+        };
+        OOINT_RETURN_IF_ERROR(
+            SolveSeeded(*plan.rule, Bindings{}, admit, &sols));
+        for (const Evaluator::Solution& sol : sols) {
+          OOINT_ASSIGN_OR_RETURN(
+              Evaluator::HeadFact head,
+              Evaluator::BuildHeadFact(*plan.rule, matcher, sol));
+          IncrementDerivation(std::move(head.fact), r, &birth_round,
+                              &born_queue);
+        }
+      }
+    }
+    // Round boundary: births become visible (worlds inside a round are
+    // frozen — a fact derived mid-round joins the next round's pivots).
+    for (FactId id : born_queue) {
+      Birth(id);
+      next.push_back(id);
+    }
+    pivots = std::move(next);
+    ++r;
+  }
+  return Status::OK();
+}
+
+void IncrementalEvaluator::IncrementDerivation(
+    Fact fact, std::uint32_t round,
+    std::map<FactId, std::uint32_t>* birth_round,
+    std::vector<FactId>* born_queue) {
+  bool was_new = false;
+  const FactId id = store().InsertOrFind(std::move(fact), &was_new);
+  Ensure(id);
+  ++deriv_count_[id];
+  if (live_[id] == 0 && birth_round->count(id) == 0) {
+    (*birth_round)[id] = round + 1;
+    born_queue->push_back(id);
+  }
+}
+
+Status IncrementalEvaluator::SolvePivot(
+    const Rule& rule, size_t pos, FactId pivot, std::uint32_t round,
+    PivotMode mode, const std::map<FactId, std::uint32_t>& round_of,
+    std::vector<Evaluator::Solution>* solutions) {
+  Evaluator::JoinContext ctx;
+  ctx.rule = &rule;
+  // The pivot branch in CollectCandidates overrides the delta window;
+  // setting delta_literal only steers the join-order heuristic toward
+  // the (single-fact) pivot position.
+  ctx.delta_literal = static_cast<int>(pos);
+  ctx.delta_begin = 0;
+  ctx.delta_end = std::numeric_limits<std::uint32_t>::max();
+  ctx.stats = &scratch_stats_;
+  Evaluator::IncrementalHooks hooks;
+  hooks.pivot_literal = static_cast<int>(pos);
+  hooks.pivot_fact = pivot;
+  const Rule* body_rule = &rule;
+  const auto old_world = [this](FactId id) {
+    return id < old_live_.size() && old_live_[id] != 0;
+  };
+  // Telescoped worlds: a factor whose elementary change is ordered
+  // before the pivot's event shows its new state, one ordered after
+  // shows its old state (ties broken by body position). See PivotMode
+  // for the global event order the worlds encode.
+  switch (mode) {
+    case PivotMode::kDeleteRound:
+      hooks.admit = [this, body_rule, pos, round, &round_of, old_world](
+                        size_t i, FactId id) {
+        if (i == pos) return true;
+        // Negated literals: flip-downs applied, flip-ups not — born
+        // and died facts are both visible.
+        if (body_rule->body[i].negated) return InUnion(id);
+        if (!old_world(id)) return false;
+        auto it = round_of.find(id);
+        if (it == round_of.end()) return true;
+        return i < pos ? it->second > round : it->second >= round;
+      };
+      break;
+    case PivotMode::kFlipDown:
+      // First events of the batch: nothing else has happened yet, so
+      // positive factors read the fully-old world (deaths included).
+      // Negated factors: earlier positions' flip-downs applied (union),
+      // later ones not (old).
+      hooks.admit = [this, body_rule, pos, old_world](size_t i, FactId id) {
+        if (i == pos) return true;
+        if (body_rule->body[i].negated) {
+          return i < pos ? InUnion(id) : old_world(id);
+        }
+        return old_world(id);
+      };
+      break;
+    case PivotMode::kInsertRound:
+      hooks.admit = [this, body_rule, pos, round, &round_of](size_t i,
+                                                             FactId id) {
+        if (i == pos) return true;
+        if (body_rule->body[i].negated) return InUnion(id);
+        if (!IsLive(id)) return false;
+        if (i < pos) return true;
+        auto it = round_of.find(id);
+        return it == round_of.end() || it->second < round;
+      };
+      break;
+    case PivotMode::kInsertPostFlip:
+      // Cascades after the flip-ups: negation now reads the final
+      // world (died facts gone, born facts in).
+      hooks.admit = [this, body_rule, pos, round, &round_of](size_t i,
+                                                             FactId id) {
+        if (i == pos) return true;
+        if (body_rule->body[i].negated) return IsLive(id);
+        if (!IsLive(id)) return false;
+        if (i < pos) return true;
+        auto it = round_of.find(id);
+        return it == round_of.end() || it->second < round;
+      };
+      break;
+    case PivotMode::kFlipUp:
+      // After every deletion and insertion round: positive factors
+      // read the new world outright. Negated: earlier positions'
+      // flip-ups applied (new), later ones pending (union).
+      hooks.admit = [this, body_rule, pos](size_t i, FactId id) {
+        if (i == pos) return true;
+        if (body_rule->body[i].negated) {
+          return i < pos ? IsLive(id) : InUnion(id);
+        }
+        return IsLive(id);
+      };
+      break;
+  }
+  ctx.inc = &hooks;
+  const FactMatcher matcher = ev_->MakeMatcher();
+  return ev_->SolveRule(matcher, ctx, solutions);
+}
+
+Status IncrementalEvaluator::SolveSeeded(
+    const Rule& rule, const Bindings& seed,
+    const std::function<bool(size_t, FactId)>& admit,
+    std::vector<Evaluator::Solution>* solutions) {
+  Evaluator::JoinContext ctx;
+  ctx.rule = &rule;
+  ctx.stats = &scratch_stats_;
+  Evaluator::IncrementalHooks hooks;
+  hooks.admit = admit;
+  ctx.inc = &hooks;
+  const FactMatcher matcher = ev_->MakeMatcher();
+  Evaluator::Solution init;
+  init.bindings = seed;
+  init.matched.assign(rule.body.size(), FactView());
+  std::vector<char> done(rule.body.size(), 0);
+  return ev_->SolveBody(matcher, ctx, &done, rule.body.size(),
+                        std::move(init), solutions);
+}
+
+void IncrementalEvaluator::MatchingFacts(
+    const Literal& literal, const Bindings& bindings,
+    const std::vector<std::uint8_t>& world, std::vector<FactId>* out) const {
+  const ConceptId concept_id = store().FindConcept(LiteralConcept(literal));
+  if (concept_id == kNoConcept) return;
+  const FactMatcher matcher = ev_->MakeMatcher();
+  const size_t count = store().CountOf(concept_id);
+  for (std::uint32_t ordinal = 0; ordinal < count; ++ordinal) {
+    const FactId id = store().IdAt(concept_id, ordinal);
+    if (id >= world.size() || world[id] == 0) continue;
+    const FactView view = store().ViewAt(concept_id, ordinal);
+    if (literal.kind == Literal::Kind::kOTerm) {
+      std::vector<Bindings> matches;
+      matcher.MatchOTerm(literal.oterm, view, bindings, &matches);
+      if (!matches.empty()) out->push_back(id);
+      continue;
+    }
+    // Positional predicate match (mirrors SolveBody's match_args).
+    Bindings scratch = bindings;
+    bool ok = true;
+    for (size_t i = 0; i < literal.args.size() && ok; ++i) {
+      const ValueHandle stored = view.Find(StrCat(i));
+      if (!stored.valid()) {
+        ok = false;
+        break;
+      }
+      const TermArg& arg = literal.args[i];
+      if (arg.is_constant()) {
+        ok = matcher.ValuesEqual(arg.constant, stored);
+      } else if (arg.is_variable()) {
+        auto bound = scratch.find(arg.var);
+        if (bound != scratch.end()) {
+          ok = matcher.ValuesEqual(bound->second, stored);
+        } else {
+          scratch.emplace(arg.var, stored.Materialize());
+        }
+      } else {
+        ok = false;
+      }
+    }
+    if (ok) out->push_back(id);
+  }
+}
+
+IncrementalEvaluator::HeadUnify IncrementalEvaluator::UnifyHead(
+    const Rule& rule, const Fact& fact, const FactMatcher& matcher,
+    Bindings* seed) const {
+  const Literal& head = rule.head.front();
+  if (head.kind == Literal::Kind::kPredicate) {
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      auto it = fact.attrs.find(StrCat(i));
+      if (it == fact.attrs.end()) return HeadUnify::kNoMatch;
+      const TermArg& arg = head.args[i];
+      if (arg.is_constant()) {
+        if (!matcher.ValuesEqual(arg.constant, it->second)) {
+          return HeadUnify::kNoMatch;
+        }
+      } else if (arg.is_variable()) {
+        auto bound = seed->find(arg.var);
+        if (bound != seed->end()) {
+          if (!matcher.ValuesEqual(bound->second, it->second)) {
+            return HeadUnify::kNoMatch;
+          }
+        } else {
+          (*seed)[arg.var] = it->second;
+        }
+      } else {
+        return HeadUnify::kUnsupported;
+      }
+    }
+    return HeadUnify::kBindings;
+  }
+  if (head.kind != Literal::Kind::kOTerm) return HeadUnify::kUnsupported;
+  const OTerm& oterm = head.oterm;
+  if (oterm.object.is_constant()) {
+    if (oterm.object.constant.kind() != ValueKind::kOid) {
+      return HeadUnify::kUnsupported;
+    }
+    if (!matcher.ValuesEqual(oterm.object.constant, Value::OfOid(fact.oid))) {
+      return HeadUnify::kNoMatch;
+    }
+  } else if (oterm.object.is_variable()) {
+    const std::string& var = oterm.object.var;
+    // Only seed the object variable when the body binds it — an
+    // unbound object variable means a skolem head, and seeding it
+    // would make BuildHeadFact construct a different (bound-OID) fact.
+    if (!var.empty() && var[0] != '_' && VarInBody(rule, var)) {
+      auto bound = seed->find(var);
+      if (bound != seed->end()) {
+        if (!matcher.ValuesEqual(bound->second, Value::OfOid(fact.oid))) {
+          return HeadUnify::kNoMatch;
+        }
+      } else {
+        (*seed)[var] = Value::OfOid(fact.oid);
+      }
+    }
+  } else {
+    return HeadUnify::kUnsupported;
+  }
+  for (const AttrDescriptor& d : oterm.attrs) {
+    // Attribute-name variables and nested descriptors flatten in ways
+    // head unification cannot invert — fall back to the full solve.
+    if (d.attr_is_variable) return HeadUnify::kUnsupported;
+    if (d.value.is_nested()) return HeadUnify::kUnsupported;
+    auto it = fact.attrs.find(d.attribute);
+    if (d.value.is_constant()) {
+      if (it == fact.attrs.end() ||
+          !matcher.ValuesEqual(d.value.constant, it->second)) {
+        return HeadUnify::kNoMatch;
+      }
+      continue;
+    }
+    const std::string& var = d.value.var;
+    if (!var.empty() && var[0] == '_') continue;  // existential: unset
+    if (it == fact.attrs.end()) return HeadUnify::kNoMatch;
+    auto bound = seed->find(var);
+    if (bound != seed->end()) {
+      if (!matcher.ValuesEqual(bound->second, it->second)) {
+        return HeadUnify::kNoMatch;
+      }
+    } else {
+      (*seed)[var] = it->second;
+    }
+  }
+  return HeadUnify::kBindings;
+}
+
+FactView IncrementalEvaluator::ResolveOid(const Oid& oid) const {
+  const std::vector<std::uint8_t>& world =
+      resolver_world_ != nullptr ? *resolver_world_ : live_;
+  std::vector<FactId> ids;
+  store().FactIdsWithOid(oid, &ids);
+  // Ids stream ascending (insertion order), so the first admitted
+  // base-supported fact mirrors the classic store's first-inserted
+  // precedence (base extents load before derived facts); a derived
+  // fact only wins when no live base fact carries the OID.
+  FactId best = kNoFact;
+  for (FactId id : ids) {
+    if (id >= world.size() || world[id] == 0) continue;
+    if (id < base_count_.size() && base_count_[id] > 0) {
+      return store().ViewById(id);
+    }
+    if (best == kNoFact) best = id;
+  }
+  if (best == kNoFact) return FactView();
+  return store().ViewById(best);
+}
+
+}  // namespace ooint

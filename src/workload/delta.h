@@ -1,0 +1,89 @@
+#ifndef OOINT_WORKLOAD_DELTA_H_
+#define OOINT_WORKLOAD_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/schema.h"
+#include "workload/populator.h"
+
+namespace ooint {
+
+/// One live-update operation against a federation's agent stores, in a
+/// store-independent form (DESIGN.md §4j). Interpretation is fully
+/// deterministic — a delete selects its victim by `pick` modulo the
+/// class's current extent size, an op referencing a class the (possibly
+/// shrunk) schema no longer declares is a no-op — which is what lets
+/// the conformance shrinker drop and merge trace pieces without ever
+/// invalidating the trace.
+struct DeltaOp {
+  enum class Kind {
+    /// Inserts `object` into side `side`'s store and feeds it.
+    kInsert,
+    /// Removes the `pick % extent-size`-th live object of `class_name`
+    /// (skipped when the extent is empty) and feeds the pre-removal
+    /// copy.
+    kDelete,
+    /// Feeds a deletion of `object` *without* it ever being part of
+    /// the maintained base state — the delete-never-inserted edge case
+    /// (a no-op for the maintenance engine, not an error).
+    kPhantomDelete,
+  };
+
+  Kind kind = Kind::kInsert;
+  /// Which agent store the op targets: 1 or 2.
+  int side = 1;
+  /// kInsert / kPhantomDelete: the object, scalar attributes only.
+  ObjectSpec object;
+  /// kDelete: victim class and selector.
+  std::string class_name;
+  std::uint64_t pick = 0;
+
+  std::string ToString() const;
+};
+
+/// One batch of operations applied (and fed to FsmClient::ApplyDelta)
+/// atomically, followed by a conformance checkpoint.
+struct DeltaBatch {
+  std::vector<DeltaOp> ops;
+};
+
+/// A seeded interleaving of inserts / deletes across both agent
+/// stores: the workload of oracle family 10 (delta-vs-rebuild).
+struct DeltaTrace {
+  std::vector<DeltaBatch> batches;
+
+  size_t OpCount() const;
+  bool empty() const { return batches.empty(); }
+};
+
+/// Knobs of the trace generator.
+struct DeltaTraceGenOptions {
+  /// Batches per trace (min..max, seed-drawn).
+  size_t min_batches = 2;
+  size_t max_batches = 4;
+  /// Operations per batch (1..max, seed-drawn).
+  size_t max_ops_per_batch = 4;
+  /// Attribute values are drawn from the same-sized pool as the
+  /// instance generator's, so inserted objects join with the existing
+  /// population.
+  size_t value_pool = 8;
+  std::uint64_t seed = 99;
+};
+
+/// Builds a deterministic random delta trace against the (finalized)
+/// schema pair: each op draws a side, a kind (inserts dominate, with a
+/// steady stream of deletes and an occasional phantom delete), and —
+/// for inserts — a fresh scalar-only object of a seed-drawn class.
+Result<DeltaTrace> GenerateDeltaTrace(const Schema& s1, const Schema& s2,
+                                      const DeltaTraceGenOptions& options);
+
+/// Renders the trace batch by batch (the repro format RenderCase
+/// embeds).
+std::string DeltaTraceToText(const DeltaTrace& trace);
+
+}  // namespace ooint
+
+#endif  // OOINT_WORKLOAD_DELTA_H_

@@ -9,9 +9,11 @@
 #include "common/admission.h"
 #include "common/cancel.h"
 #include "common/string_util.h"
+#include "federation/agent_connection.h"
 #include "federation/fault_injector.h"
 #include "federation/fsm.h"
 #include "federation/fsm_agent.h"
+#include "federation/fsm_client.h"
 #include "integrate/consistency.h"
 #include "integrate/integrator.h"
 #include "integrate/naive_integrator.h"
@@ -67,6 +69,8 @@ const char* OracleFamilyName(OracleFamily family) {
       return "store-differential";
     case OracleFamily::kOverload:
       return "overload";
+    case OracleFamily::kDeltaRebuild:
+      return "delta-rebuild";
   }
   return "?";
 }
@@ -177,6 +181,12 @@ Result<ConcreteCase> MakeCase(std::uint64_t seed,
 
   c.fault_rate = (Draw(seed, 24) % 2 == 0) ? options.fault_rate : 0.0;
   c.fault_seed = Draw(seed, 25);
+
+  DeltaTraceGenOptions delta_options;
+  delta_options.value_pool = 8;  // matches PopulateOptions::value_pool
+  delta_options.seed = Draw(seed, 150);
+  OOINT_ASSIGN_OR_RETURN(c.delta_trace,
+                         GenerateDeltaTrace(c.s1, c.s2, delta_options));
   return c;
 }
 
@@ -408,6 +418,34 @@ std::map<std::string, std::multiset<std::string>> Snapshot(
   for (const std::string& name : concepts) {
     std::multiset<std::string> keys;
     for (const Fact* fact : evaluator.FactsOf(name)) {
+      keys.insert(fact->AttrKey());
+    }
+    out[name] = std::move(keys);
+  }
+  return out;
+}
+
+/// The serving-side counterpart of Snapshot: the same per-concept
+/// AttrKey multisets, but read through a connected FsmClient's
+/// Extent() — i.e. whatever the (incrementally maintained or
+/// demand-driven) client would actually serve.
+Result<std::map<std::string, std::multiset<std::string>>> ClientSnapshot(
+    const FsmClient& client, const GlobalSchema& global) {
+  std::set<std::string> concepts;
+  for (const auto& [name, sources] : global.ground_sources) {
+    concepts.insert(name);
+  }
+  for (const Rule& rule : global.rules) {
+    for (const std::string& name : rule.HeadConceptNames()) {
+      concepts.insert(name);
+    }
+  }
+  std::map<std::string, std::multiset<std::string>> out;
+  for (const std::string& name : concepts) {
+    OOINT_ASSIGN_OR_RETURN(const std::vector<const Fact*> facts,
+                           client.Extent(name));
+    std::multiset<std::string> keys;
+    for (const Fact* fact : facts) {
       keys.insert(fact->AttrKey());
     }
     out[name] = std::move(keys);
@@ -1433,6 +1471,247 @@ Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
             "overload: controller stats disagree with observed outcomes");
       }
     }
+
+    // --- Family 10: delta-vs-rebuild ----------------------------------
+    // The case's seeded delta trace is applied batch by batch to the
+    // live agent stores and fed to a live-updates client (counting /
+    // DRed maintenance) and a demand-driven client; after every batch
+    // the maintained store must be fact-set-identical to a from-scratch
+    // fixpoint over the same post-batch base state. Runs last: it
+    // mutates the stores every earlier family snapshots.
+    if (!c.delta_trace.empty()) {
+      outcome.ran.insert(OracleFamily::kDeltaRebuild);
+      FsmClient live(&federation.fsm);
+      FederationOptions live_options;
+      live_options.live_updates = true;
+      const Status live_connect =
+          live.Connect(Fsm::Strategy::kAccumulation, live_options);
+      FsmClient demand(&federation.fsm);
+      FederationOptions demand_options;
+      demand_options.query_mode = QueryMode::kDemandDriven;
+      const Status demand_connect =
+          demand.Connect(Fsm::Strategy::kAccumulation, demand_options);
+      if (!live_connect.ok() || !demand_connect.ok()) {
+        outcome.failures.push_back(StrCat(
+            "delta-rebuild: the ",
+            live_connect.ok() ? "demand-driven" : "live-updates",
+            " client failed to connect: ",
+            (live_connect.ok() ? demand_connect : live_connect)
+                .ToString()));
+      } else {
+        std::map<std::string, std::uint64_t> feed_epochs;
+        bool aborted = false;
+        for (size_t b = 0; b < c.delta_trace.batches.size() && !aborted;
+             ++b) {
+          // Interpret each op against the live stores, accumulating one
+          // feed per touched agent. Every step is deterministic and
+          // op-local, so shrunk traces stay interpretable (a missing
+          // class or an empty extent is a no-op).
+          std::map<std::string, ExtentDelta> feeds;
+          for (const DeltaOp& op : c.delta_trace.batches[b].ops) {
+            const Schema& schema = op.side == 1 ? c.s1 : c.s2;
+            FsmAgent* agent = federation.fsm.FindAgent(schema.name());
+            if (agent == nullptr) continue;
+            InstanceStore& store = agent->store();
+            ExtentDelta& feed = feeds[schema.name()];
+            feed.agent_name = schema.name();
+            switch (op.kind) {
+              case DeltaOp::Kind::kInsert: {
+                Result<Object*> fresh = store.NewObject(op.object.class_name);
+                if (!fresh.ok()) break;
+                for (const auto& [name, value] : op.object.attrs) {
+                  fresh.value()->Set(name, value);
+                }
+                feed.inserted.push_back(*fresh.value());
+                break;
+              }
+              case DeltaOp::Kind::kDelete: {
+                const Result<std::vector<Oid>> extent =
+                    store.Extent(op.class_name);
+                if (!extent.ok() || extent.value().empty()) break;
+                const Oid victim =
+                    extent.value()[op.pick % extent.value().size()];
+                const Object* object = store.Find(victim);
+                if (object == nullptr) break;
+                feed.deleted.push_back(*object);
+                (void)store.Remove(victim);
+                break;
+              }
+              case DeltaOp::Kind::kPhantomDelete: {
+                // Materialize the ghost just long enough to copy it,
+                // so its feed entry is shaped like a real object while
+                // the base state never contains it.
+                Result<Object*> ghost =
+                    store.NewObject(op.object.class_name);
+                if (!ghost.ok()) break;
+                for (const auto& [name, value] : op.object.attrs) {
+                  ghost.value()->Set(name, value);
+                }
+                const Object copy = *ghost.value();
+                (void)store.Remove(copy.oid());
+                feed.deleted.push_back(copy);
+                break;
+              }
+            }
+          }
+          for (auto& [agent_name, feed] : feeds) {
+            if (feed.inserted.empty() && feed.deleted.empty()) continue;
+            feed.epoch = ++feed_epochs[agent_name];
+            const Status live_applied = live.ApplyDelta(feed);
+            if (!live_applied.ok()) {
+              outcome.failures.push_back(StrCat(
+                  "delta-rebuild: batch ", b, " failed to apply to the "
+                  "live-updates client: ",
+                  live_applied.ToString()));
+              aborted = true;
+              break;
+            }
+            const Status demand_applied = demand.ApplyDelta(feed);
+            if (!demand_applied.ok()) {
+              outcome.failures.push_back(StrCat(
+                  "delta-rebuild: batch ", b, " failed to apply to the "
+                  "demand-driven client: ",
+                  demand_applied.ToString()));
+              aborted = true;
+              break;
+            }
+          }
+          if (aborted) break;
+
+          // Checkpoint: a from-scratch fixpoint over the same
+          // post-batch base state (store replay is exact — OID numbers
+          // are never reused).
+          const Result<std::unique_ptr<Evaluator>> rebuilt =
+              federation.fsm.MakeEvaluator(federation.global);
+          if (!rebuilt.ok()) {
+            outcome.failures.push_back(StrCat(
+                "delta-rebuild: the from-scratch rebuild after batch ", b,
+                " failed: ", rebuilt.status().ToString()));
+            break;
+          }
+          const std::map<std::string, std::multiset<std::string>>
+              rebuilt_facts = Snapshot(*rebuilt.value(), federation.global);
+          const Result<std::map<std::string, std::multiset<std::string>>>
+              live_facts = ClientSnapshot(live, federation.global);
+          if (!live_facts.ok()) {
+            outcome.failures.push_back(StrCat(
+                "delta-rebuild: reading the maintained extents after "
+                "batch ", b, " failed: ", live_facts.status().ToString()));
+            break;
+          }
+          if (live_facts.value() != rebuilt_facts) {
+            for (const auto& [name, keys] : rebuilt_facts) {
+              const auto it = live_facts.value().find(name);
+              const std::multiset<std::string> empty;
+              const std::multiset<std::string>& got =
+                  it == live_facts.value().end() ? empty : it->second;
+              if (got != keys) {
+                outcome.failures.push_back(StrCat(
+                    "delta-rebuild: after batch ", b, " concept ", name,
+                    " has ", got.size(),
+                    " maintained facts vs ", keys.size(),
+                    " in the from-scratch rebuild"));
+              }
+            }
+            break;
+          }
+
+          // Demand agreement: a goal sampled from the rebuild's
+          // non-empty concepts must answer identically through the
+          // delta-fed demand client.
+          std::vector<const std::string*> goal_pool;
+          for (const auto& [name, keys] : rebuilt_facts) {
+            if (!keys.empty()) goal_pool.push_back(&name);
+          }
+          if (!goal_pool.empty()) {
+            const std::string& goal =
+                *goal_pool[Draw(c.seed, 160 + b) % goal_pool.size()];
+            const Result<std::vector<const Fact*>> answered =
+                demand.Extent(goal);
+            if (!answered.ok()) {
+              outcome.failures.push_back(StrCat(
+                  "delta-rebuild: the demand client failed to answer ",
+                  goal, " after batch ", b, ": ",
+                  answered.status().ToString()));
+            } else {
+              std::multiset<std::string> got;
+              for (const Fact* fact : answered.value()) {
+                got.insert(fact->AttrKey());
+              }
+              if (got != rebuilt_facts.at(goal)) {
+                outcome.failures.push_back(StrCat(
+                    "delta-rebuild: after batch ", b,
+                    " the demand client answers ", goal, " with ",
+                    got.size(), " facts vs ",
+                    rebuilt_facts.at(goal).size(),
+                    " in the from-scratch rebuild"));
+              }
+            }
+          }
+        }
+
+        // Post-trace faulted leg: the family-5 guarantees must hold
+        // against the post-trace rebuild — subset everywhere sound,
+        // equality outside the incomplete set.
+        if (!aborted && c.fault_rate > 0) {
+          const Result<std::unique_ptr<Evaluator>> settled =
+              federation.fsm.MakeEvaluator(federation.global);
+          FaultInjector trace_injector(Draw(c.fault_seed, 170),
+                                       c.fault_rate);
+          FederationOptions faulted_options;
+          faulted_options.failure_policy = FailurePolicy::kPartial;
+          faulted_options.injector = &trace_injector;
+          const Result<FederatedEvaluator> faulted =
+              federation.fsm.MakeFederatedEvaluator(federation.global,
+                                                    faulted_options);
+          if (!settled.ok()) {
+            outcome.failures.push_back(StrCat(
+                "delta-rebuild: the post-trace rebuild failed: ",
+                settled.status().ToString()));
+          } else if (!faulted.ok()) {
+            outcome.failures.push_back(StrCat(
+                "delta-rebuild: the post-trace kPartial evaluation "
+                "failed outright: ",
+                faulted.status().ToString()));
+          } else {
+            const std::map<std::string, std::multiset<std::string>>
+                settled_facts =
+                    Snapshot(*settled.value(), federation.global);
+            const std::map<std::string, std::multiset<std::string>>
+                faulted_facts =
+                    Snapshot(*faulted.value().evaluator, federation.global);
+            const DegradedInfo& deg = faulted.value().evaluator->degraded();
+            const std::set<std::string> trace_unsound(
+                deg.unsound_concepts.begin(), deg.unsound_concepts.end());
+            std::set<std::string> trace_accounted(
+                deg.incomplete_concepts.begin(),
+                deg.incomplete_concepts.end());
+            trace_accounted.insert(deg.unsound_concepts.begin(),
+                                   deg.unsound_concepts.end());
+            for (const auto& [name, keys] : settled_facts) {
+              const auto it = faulted_facts.find(name);
+              const std::multiset<std::string> empty;
+              const std::multiset<std::string>& got =
+                  it == faulted_facts.end() ? empty : it->second;
+              if (trace_unsound.count(name) == 0 &&
+                  !IsSubMultiset(got, keys)) {
+                outcome.failures.push_back(StrCat(
+                    "delta-rebuild: post-trace faulted concept ", name,
+                    " is not a subset of the post-trace rebuild (",
+                    got.size(), " vs ", keys.size(), ")"));
+              }
+              if (trace_accounted.count(name) == 0 && got != keys) {
+                outcome.failures.push_back(StrCat(
+                    "delta-rebuild: post-trace faulted concept ", name,
+                    " lost facts without being accounted as incomplete "
+                    "or unsound (",
+                    got.size(), " vs ", keys.size(), ")"));
+              }
+            }
+          }
+        }
+      }
+    }
   }
 
   return outcome;
@@ -1456,6 +1735,10 @@ std::string RenderCase(const ConcreteCase& c) {
   out += StoreSpecToText(c.instances1);
   out += StrCat("\n# --- instances of ", c.s2.name(), " ---\n");
   out += StoreSpecToText(c.instances2);
+  if (!c.delta_trace.empty()) {
+    out += "\n# --- delta trace ---\n";
+    out += DeltaTraceToText(c.delta_trace);
+  }
   return out;
 }
 

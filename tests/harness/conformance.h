@@ -10,12 +10,13 @@
 #include "assertions/assertion_set.h"
 #include "common/result.h"
 #include "model/schema.h"
+#include "workload/delta.h"
 #include "workload/populator.h"
 
 namespace ooint {
 namespace harness {
 
-/// The nine oracle families of the randomized conformance harness
+/// The ten oracle families of the randomized conformance harness
 /// (DESIGN.md "Randomized conformance harness").
 enum class OracleFamily {
   /// Consistency-checker / integrator agreement on rejection: an
@@ -77,6 +78,18 @@ enum class OracleFamily {
   /// admitted + rejected == offered). Runs serial (num_threads == 1) so
   /// the deadline's truncation point is deterministic per seed.
   kOverload,
+  /// Delta-vs-rebuild (DESIGN.md §4j): the case's seeded delta trace
+  /// (random interleaving of inserts / deletes across both agent
+  /// stores) is applied batch by batch to a live-updates FsmClient;
+  /// after every batch the incrementally maintained store must be
+  /// fact-set-identical, concept by concept, to a from-scratch
+  /// fixpoint over the same (post-batch) base state, and a
+  /// demand-driven client fed the same deltas must answer a sampled
+  /// goal identically. After the full trace, a kPartial run under the
+  /// case's fault schedule must keep the family-5 guarantees against
+  /// the post-trace rebuild: subset everywhere sound, equality outside
+  /// the incomplete set.
+  kDeltaRebuild,
 };
 
 const char* OracleFamilyName(OracleFamily family);
@@ -98,11 +111,13 @@ struct ConcreteCase {
   /// where assertions are nesting-consistent by construction and the
   /// naive and optimized integrators are fully comparable).
   bool counterpart = false;
+  /// The live-update workload of family 10 (delta-vs-rebuild).
+  DeltaTrace delta_trace;
 
-  /// Shrinker size metric: classes + assertions + objects.
+  /// Shrinker size metric: classes + assertions + objects + trace ops.
   size_t Size() const {
     return s1.NumClasses() + s2.NumClasses() + assertions.size() +
-           instances1.size() + instances2.size();
+           instances1.size() + instances2.size() + delta_trace.OpCount();
   }
 };
 

@@ -63,6 +63,7 @@ TEST(ConformanceSweepTest, TwoHundredSeedsPassEveryOracle) {
   EXPECT_TRUE(covered.count(OracleFamily::kParallelSerial));
   EXPECT_TRUE(covered.count(OracleFamily::kStoreDifferential));
   EXPECT_TRUE(covered.count(OracleFamily::kOverload));
+  EXPECT_TRUE(covered.count(OracleFamily::kDeltaRebuild));
 }
 
 TEST(ConformanceSweepTest, ConsistencyOracleAlwaysRuns) {

@@ -1,7 +1,7 @@
 // Replays the checked-in seed corpus (tests/harness/seed_corpus.txt)
 // through the conformance oracles. The corpus pins seeds that soak
-// runs found interesting — between them they must exercise all five
-// oracle families, so a regression in any family fails tier-1 even
+// runs found interesting — between them they must exercise every
+// oracle family, so a regression in any family fails tier-1 even
 // without a long soak.
 
 #include <gtest/gtest.h>
@@ -60,6 +60,7 @@ TEST(SeedCorpusTest, EveryCorpusSeedPasses) {
   EXPECT_TRUE(covered.count(OracleFamily::kMetamorphic));
   EXPECT_TRUE(covered.count(OracleFamily::kPartialAnswers));
   EXPECT_TRUE(covered.count(OracleFamily::kParallelSerial));
+  EXPECT_TRUE(covered.count(OracleFamily::kDeltaRebuild));
 }
 
 }  // namespace

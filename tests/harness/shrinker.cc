@@ -268,6 +268,79 @@ ConcreteCase Shrink(const ConcreteCase& failing,
           },
           &local.attempts, max_attempts);
     }
+
+    // Pass 4: drop whole delta batches, chunked. Trace interpretation
+    // is op-local and deterministic (missing classes and empty extents
+    // are no-ops), so any sub-trace is a valid trace.
+    ChunkedDrop(
+        [&] { return current.delta_trace.batches.size(); },
+        [&](const std::set<size_t>& drop) {
+          ConcreteCase candidate = current;
+          candidate.delta_trace.batches.clear();
+          for (size_t i = 0; i < current.delta_trace.batches.size(); ++i) {
+            if (drop.count(i) == 0) {
+              candidate.delta_trace.batches.push_back(
+                  current.delta_trace.batches[i]);
+            }
+          }
+          if (!still_fails(candidate)) return false;
+          current = std::move(candidate);
+          ++local.accepted;
+          progress = true;
+          return true;
+        },
+        &local.attempts, max_attempts);
+
+    // Pass 5: merge adjacent batches (fold batch i into i-1) — fewer
+    // checkpoints, same operations; often exposes that the failure
+    // needs only one combined batch.
+    {
+      size_t index = 1;
+      while (index < current.delta_trace.batches.size() &&
+             local.attempts < max_attempts) {
+        ConcreteCase candidate = current;
+        DeltaBatch& into = candidate.delta_trace.batches[index - 1];
+        const DeltaBatch& from = candidate.delta_trace.batches[index];
+        into.ops.insert(into.ops.end(), from.ops.begin(), from.ops.end());
+        candidate.delta_trace.batches.erase(
+            candidate.delta_trace.batches.begin() + index);
+        ++local.attempts;
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          ++local.accepted;
+          progress = true;
+          // Same index now names the next batch.
+        } else {
+          ++index;
+        }
+      }
+    }
+
+    // Pass 6: drop individual ops across the whole trace, chunked over
+    // a flattened (batch, op) index; emptied batches are removed.
+    ChunkedDrop(
+        [&] { return current.delta_trace.OpCount(); },
+        [&](const std::set<size_t>& drop) {
+          ConcreteCase candidate = current;
+          candidate.delta_trace.batches.clear();
+          size_t flat = 0;
+          for (const DeltaBatch& batch : current.delta_trace.batches) {
+            DeltaBatch kept;
+            for (const DeltaOp& op : batch.ops) {
+              if (drop.count(flat) == 0) kept.ops.push_back(op);
+              ++flat;
+            }
+            if (!kept.ops.empty()) {
+              candidate.delta_trace.batches.push_back(std::move(kept));
+            }
+          }
+          if (!still_fails(candidate)) return false;
+          current = std::move(candidate);
+          ++local.accepted;
+          progress = true;
+          return true;
+        },
+        &local.attempts, max_attempts);
   }
 
   local.final_size = current.Size();

@@ -30,7 +30,9 @@ struct ShrinkStats {
 /// order: dropping assertion chunks (halves, then quarters, ..., then
 /// singletons), dropping whole classes from either schema (with every
 /// referencing assertion, instance and aggregation cascade-removed),
-/// and dropping instance objects (chunked, with index remapping).
+/// dropping instance objects (chunked, with index remapping), and
+/// minimizing the delta trace (dropping whole batches, merging
+/// adjacent batches, then dropping individual operations).
 /// Rounds repeat until a fixpoint or `max_attempts` predicate calls.
 /// The result is the smallest case found that still satisfies
 /// `still_fails` — `failing` itself must satisfy it on entry.

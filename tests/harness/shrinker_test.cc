@@ -13,6 +13,7 @@
 #include "model/instance_parser.h"
 #include "model/instance_store.h"
 #include "model/schema_parser.h"
+#include "rules/incremental.h"
 #include "test_util.h"
 #include "workload/populator.h"
 
@@ -101,6 +102,54 @@ TEST(ShrinkerTest, ReproTextReplays) {
       InstanceParser::Load(StoreSpecToText(c.instances2), &store2));
   EXPECT_EQ(loaded1, c.instances1.size());
   EXPECT_EQ(loaded2, c.instances2.size());
+}
+
+/// Flips the incremental engine's planted off-by-one on for a scope.
+struct DecrementBugGuard {
+  DecrementBugGuard() {
+    IncrementalEvaluator::set_decrement_bug_for_testing(true);
+  }
+  ~DecrementBugGuard() {
+    IncrementalEvaluator::set_decrement_bug_for_testing(false);
+  }
+};
+
+/// True when family 10 (delta-vs-rebuild) reports a failure on `c`.
+bool DeltaRebuildFails(const ConcreteCase& c) {
+  const Result<OracleOutcome> outcome = CheckCase(c);
+  if (!outcome.ok()) return false;  // broken case, not a repro
+  for (const std::string& failure : outcome.value().failures) {
+    if (failure.find("delta-rebuild") != std::string::npos) return true;
+  }
+  return false;
+}
+
+// The mutation check: with a deliberate off-by-one planted in the
+// engine's derivation-count decrement (the last derivation of a fact
+// never retracts it), the delta-vs-rebuild family must catch the
+// divergence within the tier-1 seed range and shrink it to a small,
+// parser-ready repro — and the same minimized case must pass once the
+// mutation is reverted, pinning the failure on the planted bug.
+TEST(ShrinkerTest, DeltaMutationIsCaughtAndShrinks) {
+  std::optional<ConcreteCase> found;
+  ShrinkStats stats;
+  ConcreteCase minimized;
+  {
+    const DecrementBugGuard bug;
+    found = FindCase(DeltaRebuildFails, 200);
+    ASSERT_TRUE(found.has_value())
+        << "no seed in 1..200 catches the decrement mutation";
+    minimized = Shrink(*found, DeltaRebuildFails, &stats);
+    EXPECT_TRUE(DeltaRebuildFails(minimized));
+  }
+  EXPECT_LT(stats.final_size, stats.initial_size);
+  EXPECT_GE(stats.accepted, 1u);
+  // The repro renders with its delta trace, replay-ready.
+  const std::string repro = RenderCase(minimized);
+  EXPECT_NE(repro.find("delta trace"), std::string::npos) << repro;
+  // With the mutation reverted the minimized case is clean: the repro
+  // pins the bug, not some unrelated conformance failure.
+  EXPECT_FALSE(DeltaRebuildFails(minimized)) << repro;
 }
 
 // An over-eager shrink step that breaks the case structurally must be
