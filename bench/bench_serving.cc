@@ -1,0 +1,450 @@
+// Experiment E17: streaming result pipeline and batched demand serving.
+//
+// Coalescing speedup: a closed loop of worker threads hammers a
+// demand-mode client with zipfian-popular goals, every request a cache
+// miss (the YCSB-C-with-invalidation shape). With coalesce_demand off,
+// every request runs its own goal-directed evaluation; with it on,
+// concurrent misses for the same goal share one single-flight
+// evaluator pass, so the popular goal's whole queue completes for the
+// price of one evaluation.
+//
+//   BM_CoalesceSpeedup   both storms, reports qps_per_query,
+//                        qps_coalesced and speedup_x (the ≥5x claim)
+//
+// Mixed workload: zipfian goal popularity, a 50% cache-hit mix,
+// occasionally faulted agents (kPartial soundness), and a client split
+// between whole-answer Run calls and paginated cursors.
+//
+//   BM_MixedWorkload     p50/p99/QPS of the blended request stream
+//
+// Top-k memory: on the n = 512-family world, a paginated top-10 cursor
+// (bounded heap) versus materializing the whole sorted answer. The
+// pipeline's peak_held_bytes is the deterministic RSS proxy (see
+// EXPERIMENTS.md E17).
+//
+//   BM_TopKMemory        whole_answer_kb vs topk_peak_kb, reduction_x
+//
+// scripts/bench.sh bench_serving writes BENCH_serving.json;
+// `bench_serving --p99_check` is the CI regression guard (p99 budget +
+// the top-k-beats-materialization invariant).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "federation/fault_injector.h"
+#include "federation/fsm.h"
+#include "federation/fsm_client.h"
+#include "federation/serving.h"
+#include "workload/fixtures.h"
+
+namespace ooint {
+namespace {
+
+constexpr size_t kFamilies = 32;
+/// The coalescing storm runs on a bigger world: longer evaluations give
+/// concurrent requests a wider window to pile onto one flight, which is
+/// exactly the regime (expensive goals, hot keys) where batching pays.
+constexpr size_t kCoalesceFamilies = 256;
+constexpr size_t kGoals = 8;
+/// Zipf exponent of goal popularity. 2.5 concentrates ~76% of traffic
+/// on the hottest goal — the regime where single-flight batching pays.
+constexpr double kZipfS = 2.5;
+
+/// Checked-in budget for --p99_check (see scripts/check.sh). The p99
+/// is measured on the fault-free, latency-free mixed workload so the
+/// guard tracks serving-path CPU, not injector sleeps.
+constexpr double kMixedP99BudgetMs = 50.0;
+
+std::unique_ptr<Fsm> MakeFederation(size_t families = kFamilies) {
+  const Fixture fixture = MakeGenealogyFixture().value();
+  auto fsm = std::make_unique<Fsm>();
+  std::unique_ptr<FsmAgent> a1 =
+      FsmAgent::Create("agent1", "ooint", "db1", fixture.s1).value();
+  std::unique_ptr<FsmAgent> a2 =
+      FsmAgent::Create("agent2", "ooint", "db2", fixture.s2).value();
+  (void)PopulateGenealogy(&a1->store(), &a2->store(), families);
+  (void)fsm->RegisterAgent(std::move(a1));
+  (void)fsm->RegisterAgent(std::move(a2));
+  (void)fsm->DeclareAssertions(fixture.assertion_text);
+  return fsm;
+}
+
+/// The goal pool: uncle-of("C{f}a") for f = 1..kGoals, each a distinct
+/// demand adornment seed and thus a distinct coalescing key.
+std::vector<Query> MakeGoalPool(const FsmClient& client) {
+  const std::string uncle = client.GlobalNameOf("S2", "uncle").value();
+  std::vector<Query> pool;
+  for (size_t f = 1; f <= kGoals; ++f) {
+    Query query(uncle);
+    query.Where("niece_nephew", Value::String("C" + std::to_string(f) + "a"));
+    query.Select("Ussn#", "who");
+    pool.push_back(query);
+  }
+  return pool;
+}
+
+/// Zipfian index sampler over [0, n): P(k) ∝ 1/(k+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) {
+    double total = 0;
+    for (size_t k = 1; k <= n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), s);
+      cumulative_.push_back(total);
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+  size_t Draw(std::mt19937* rng) const {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(*rng);
+    return static_cast<size_t>(
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+        cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t index = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+// --- Coalescing speedup -----------------------------------------------
+
+struct StormOutcome {
+  std::vector<double> latencies_ms;
+  std::int64_t failed = 0;
+  std::int64_t degraded = 0;
+  double wall_ms = 0;
+  ServingStats stats;
+};
+
+/// A closed-loop zipfian storm of always-missing demand queries.
+StormOutcome RunCoalesceStorm(Fsm* fsm, bool coalesce, int workers,
+                              double storm_ms) {
+  FederationOptions options;
+  options.failure_policy = FailurePolicy::kPartial;
+  options.query_mode = QueryMode::kDemandDriven;
+  options.coalesce_demand = coalesce;
+  FsmClient client(fsm);
+  if (!client.Connect(Fsm::Strategy::kAccumulation, options).ok()) return {};
+  const std::vector<Query> pool = MakeGoalPool(client);
+  const ZipfSampler zipf(pool.size(), kZipfS);
+
+  StormOutcome outcome;
+  std::mutex mu;
+  const auto storm_start = std::chrono::steady_clock::now();
+  const auto storm_end =
+      storm_start + std::chrono::duration<double, std::milli>(storm_ms);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      std::mt19937 rng(static_cast<unsigned>(w * 7919 + 17));
+      std::vector<double> latencies;
+      std::int64_t failed = 0;
+      while (std::chrono::steady_clock::now() < storm_end) {
+        // Every request recomputes: the storm measures evaluation
+        // sharing, not cache hits.
+        client.InvalidateQueryCache();
+        const Query& query = pool[zipf.Draw(&rng)];
+        const auto start = std::chrono::steady_clock::now();
+        const Result<std::vector<Bindings>> result = client.Run(query);
+        latencies.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+        if (!result.ok()) ++failed;
+        benchmark::DoNotOptimize(result);
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      outcome.latencies_ms.insert(outcome.latencies_ms.end(),
+                                  latencies.begin(), latencies.end());
+      outcome.failed += failed;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - storm_start)
+                        .count();
+  outcome.stats = client.serving_stats();
+  return outcome;
+}
+
+double Qps(const StormOutcome& outcome) {
+  return outcome.wall_ms > 0
+             ? static_cast<double>(outcome.latencies_ms.size()) /
+                   (outcome.wall_ms / 1000.0)
+             : 0;
+}
+
+void BM_CoalesceSpeedup(benchmark::State& state) {
+  static std::unique_ptr<Fsm>* fsm =
+      new std::unique_ptr<Fsm>(MakeFederation(kCoalesceFamilies));
+  const int workers = 32;
+  StormOutcome per_query, coalesced;
+  for (auto _ : state) {
+    per_query =
+        RunCoalesceStorm(fsm->get(), /*coalesce=*/false, workers, 500);
+    coalesced =
+        RunCoalesceStorm(fsm->get(), /*coalesce=*/true, workers, 500);
+  }
+  const double qps_per_query = Qps(per_query);
+  const double qps_coalesced = Qps(coalesced);
+  state.counters["workers"] = workers;
+  state.counters["goals"] = static_cast<double>(kGoals);
+  state.counters["zipf_s"] = kZipfS;
+  state.counters["qps_per_query"] = qps_per_query;
+  state.counters["qps_coalesced"] = qps_coalesced;
+  state.counters["speedup_x"] =
+      qps_per_query > 0 ? qps_coalesced / qps_per_query : 0;
+  state.counters["coalesce_hits"] =
+      static_cast<double>(coalesced.stats.coalesce_hits);
+  state.counters["coalesce_leaders"] =
+      static_cast<double>(coalesced.stats.coalesce_leaders);
+  state.counters["p99_per_query_ms"] = PercentileMs(per_query.latencies_ms, 99);
+  state.counters["p99_coalesced_ms"] = PercentileMs(coalesced.latencies_ms, 99);
+  state.counters["failed"] =
+      static_cast<double>(per_query.failed + coalesced.failed);
+}
+
+// --- Mixed workload ---------------------------------------------------
+
+/// One YCSB-style blended storm: zipfian goals, ~50% cache hits, 25% of
+/// requests paginate through a cursor, the rest take whole answers.
+/// With `faulted`, agents fail ~5% of fetches under kPartial.
+StormOutcome RunMixedStorm(Fsm* fsm, bool faulted, int workers,
+                           double storm_ms) {
+  FaultInjector injector(/*seed=*/4242, /*fault_rate=*/0.05);
+  FederationOptions options;
+  options.failure_policy = FailurePolicy::kPartial;
+  options.query_mode = QueryMode::kDemandDriven;
+  options.coalesce_demand = true;
+  if (faulted) options.injector = &injector;
+  FsmClient client(fsm);
+  if (!client.Connect(Fsm::Strategy::kAccumulation, options).ok()) return {};
+  const std::vector<Query> pool = MakeGoalPool(client);
+  const ZipfSampler zipf(pool.size(), kZipfS);
+
+  StormOutcome outcome;
+  std::mutex mu;
+  const auto storm_start = std::chrono::steady_clock::now();
+  const auto storm_end =
+      storm_start + std::chrono::duration<double, std::milli>(storm_ms);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      std::mt19937 rng(static_cast<unsigned>(w * 104729 + 7));
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      std::vector<double> latencies;
+      std::int64_t failed = 0, degraded = 0;
+      while (std::chrono::steady_clock::now() < storm_end) {
+        const Query& query = pool[zipf.Draw(&rng)];
+        if (coin(rng) < 0.5) client.InvalidateQueryCache();  // miss mix
+        const bool paginate = coin(rng) < 0.25;
+        const auto start = std::chrono::steady_clock::now();
+        bool ok = true, saw_degraded = false;
+        if (paginate) {
+          ServingOptions serving;
+          serving.page_size = 2;
+          Result<std::unique_ptr<ServingCursor>> cursor =
+              client.OpenCursor(query, serving);
+          if (!cursor.ok()) {
+            ok = false;
+          } else {
+            while (true) {
+              const Result<Page> page = cursor.value()->NextPage();
+              if (!page.ok()) {
+                ok = false;
+                break;
+              }
+              saw_degraded = saw_degraded || page.value().degraded.degraded();
+              if (!page.value().has_more) break;
+            }
+          }
+        } else {
+          const Result<std::vector<Bindings>> result = client.Run(query);
+          ok = result.ok();
+          benchmark::DoNotOptimize(result);
+        }
+        latencies.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+        if (!ok) ++failed;
+        if (saw_degraded) ++degraded;
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      outcome.latencies_ms.insert(outcome.latencies_ms.end(),
+                                  latencies.begin(), latencies.end());
+      outcome.failed += failed;
+      outcome.degraded += degraded;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - storm_start)
+                        .count();
+  outcome.stats = client.serving_stats();
+  return outcome;
+}
+
+void BM_MixedWorkload(benchmark::State& state) {
+  const bool faulted = state.range(0) != 0;
+  static std::unique_ptr<Fsm>* fsm =
+      new std::unique_ptr<Fsm>(MakeFederation());
+  StormOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunMixedStorm(fsm->get(), faulted, /*workers=*/8, 500);
+  }
+  state.counters["faulted"] = faulted ? 1 : 0;
+  state.counters["requests"] =
+      static_cast<double>(outcome.latencies_ms.size());
+  state.counters["qps"] = Qps(outcome);
+  state.counters["p50_ms"] = PercentileMs(outcome.latencies_ms, 50);
+  state.counters["p99_ms"] = PercentileMs(outcome.latencies_ms, 99);
+  state.counters["failed"] = static_cast<double>(outcome.failed);
+  state.counters["degraded"] = static_cast<double>(outcome.degraded);
+  state.counters["pages_served"] =
+      static_cast<double>(outcome.stats.pages_served);
+  state.counters["coalesce_hits"] =
+      static_cast<double>(outcome.stats.coalesce_hits);
+}
+
+// --- Top-k memory on the n = 512 world --------------------------------
+
+struct TopKMemoryOutcome {
+  size_t whole_bytes = 0;
+  size_t topk_peak_bytes = 0;
+  size_t rows = 0;
+};
+
+TopKMemoryOutcome RunTopKMemory(Fsm* fsm) {
+  FederationOptions options;
+  options.query_mode = QueryMode::kDemandDriven;
+  FsmClient client(fsm);
+  if (!client.Connect(Fsm::Strategy::kAccumulation, options).ok()) return {};
+  // The broad query: every (uncle, niece/nephew) pair in the world.
+  Query query(client.GlobalNameOf("S2", "uncle").value());
+  query.Select("Ussn#", "who").Select("niece_nephew", "kid");
+
+  TopKMemoryOutcome outcome;
+  const Result<std::vector<Bindings>> whole = client.Run(query);
+  if (!whole.ok()) return {};
+  outcome.rows = whole.value().size();
+  for (const Bindings& row : whole.value()) {
+    outcome.whole_bytes += ApproxBindingsBytes(row);
+  }
+
+  ServingOptions serving;
+  serving.page_size = 5;
+  serving.order_by = "who";
+  serving.limit = 10;
+  Result<std::unique_ptr<ServingCursor>> cursor =
+      client.OpenCursor(query, serving);
+  if (!cursor.ok()) return outcome;
+  while (true) {
+    const Result<Page> page = cursor.value()->NextPage();
+    if (!page.ok() || !page.value().has_more) break;
+  }
+  outcome.topk_peak_bytes = cursor.value()->pipeline_stats().peak_held_bytes;
+  return outcome;
+}
+
+void BM_TopKMemory(benchmark::State& state) {
+  static std::unique_ptr<Fsm>* fsm =
+      new std::unique_ptr<Fsm>(MakeFederation(/*families=*/512));
+  TopKMemoryOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunTopKMemory(fsm->get());
+  }
+  state.counters["rows"] = static_cast<double>(outcome.rows);
+  state.counters["whole_answer_kb"] =
+      static_cast<double>(outcome.whole_bytes) / 1024.0;
+  state.counters["topk_peak_kb"] =
+      static_cast<double>(outcome.topk_peak_bytes) / 1024.0;
+  state.counters["reduction_x"] =
+      outcome.topk_peak_bytes > 0
+          ? static_cast<double>(outcome.whole_bytes) /
+                static_cast<double>(outcome.topk_peak_bytes)
+          : 0;
+}
+
+BENCHMARK(BM_CoalesceSpeedup)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_MixedWorkload)->Arg(0)->Arg(1)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_TopKMemory)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The regression guard (scripts/check.sh): the fault-free mixed
+/// workload's p99 must stay within the checked-in budget (+50%
+/// headroom: debug builds and loaded CI boxes are noisy, gross
+/// regressions are not), and the bounded top-k cursor must hold less
+/// than the whole-answer materialization on the n = 512 world.
+int RunServingCheck() {
+  std::unique_ptr<Fsm> fsm = MakeFederation();
+  const StormOutcome mixed =
+      RunMixedStorm(fsm.get(), /*faulted=*/false, /*workers=*/8, 400);
+  const double p99 = PercentileMs(mixed.latencies_ms, 99);
+  const double limit = kMixedP99BudgetMs * 1.5;
+  std::printf("bench_serving p99 check: %.1f ms over %zu requests "
+              "(budget %.1f, limit %.1f)\n",
+              p99, mixed.latencies_ms.size(), kMixedP99BudgetMs, limit);
+  if (mixed.latencies_ms.empty() || mixed.failed > 0 || p99 > limit) {
+    std::fprintf(stderr,
+                 "FAIL: serving p99 regressed past the checked-in budget "
+                 "(or requests failed: %lld). Either fix the regression "
+                 "or, if intended, update kMixedP99BudgetMs in "
+                 "bench/bench_serving.cc and the E17 table.\n",
+                 static_cast<long long>(mixed.failed));
+    return 1;
+  }
+
+  std::unique_ptr<Fsm> big = MakeFederation(/*families=*/512);
+  const TopKMemoryOutcome memory = RunTopKMemory(big.get());
+  std::printf("bench_serving top-k memory check: peak %zu bytes vs "
+              "whole-answer %zu bytes over %zu rows\n",
+              memory.topk_peak_bytes, memory.whole_bytes, memory.rows);
+  if (memory.topk_peak_bytes == 0 || memory.whole_bytes == 0 ||
+      memory.topk_peak_bytes >= memory.whole_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: the bounded top-k cursor no longer holds less "
+                 "than whole-answer materialization.\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ooint
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--p99_check") == 0) {
+      return ooint::RunServingCheck();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

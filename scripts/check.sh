@@ -64,7 +64,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   RUN_BENCH=0
   # The suites that exercise shared state across threads; the rest of
   # the tree is single-threaded and only slows the (expensive) TSan run.
-  TEST_FILTER="ThreadPool|Parallel|Connection|Breaker|Fault|QueryCache|Demand|Federat|Conformance|Evaluat|Admission|Cancel|Overload|LiveUpdate|Incremental|Delta"
+  TEST_FILTER="ThreadPool|Parallel|Connection|Breaker|Fault|QueryCache|Demand|Federat|Conformance|Evaluat|Admission|Cancel|Overload|LiveUpdate|Incremental|Delta|Serving|Cursor|Pipeline"
   # Force the conformance sweep's parallel-vs-serial oracle onto a
   # fixed 4-worker pool so every seed runs the parallel runtime.
   export OOINT_SOAK_THREADS=4
@@ -98,4 +98,8 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   # Columnar-store memory regression guard: fails when bytes/fact
   # exceeds the checked-in budget by >15% (bench/bench_storage.cc).
   "$BUILD_DIR"/bench/bench_storage --budget_check
+  # Serving-path regression guard: fails when the mixed-workload p99
+  # exceeds its budget or bounded top-k stops beating whole-answer
+  # materialization on held bytes (bench/bench_serving.cc).
+  "$BUILD_DIR"/bench/bench_serving --p99_check
 fi

@@ -58,6 +58,16 @@ std::string QueryPlan::ToString() const {
                   " cache_retained=", cache_entries_retained,
                   " cache_evicted=", cache_entries_evicted, "\n");
   }
+  if (coalesce_demand || cursors_opened > 0) {
+    out += StrCat("  serving: coalesce=", coalesce_demand ? "on" : "off",
+                  " cursors=", cursors_opened,
+                  " expired=", cursors_expired,
+                  " pages=", pages_served,
+                  " rows=", rows_streamed,
+                  " heap_evictions=", serving_heap_evictions,
+                  " coalesce_hits=", coalesce_hits,
+                  " coalesce_leaders=", coalesce_leaders, "\n");
+  }
   if (counters.present) {
     out += StrCat("  counters: derived=", counters.facts_derived,
                   " extents_fetched=", counters.extents_fetched,

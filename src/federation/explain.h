@@ -86,6 +86,18 @@ struct QueryPlan {
   size_t cache_entries_retained = 0;
   size_t cache_entries_evicted = 0;
 
+  /// Serving-pipeline annotations (FsmClient::Explain): the connection's
+  /// cumulative cursor / streaming / coalescing counters (DESIGN.md
+  /// §4k). `coalesce_demand` mirrors the connection option.
+  bool coalesce_demand = false;
+  size_t cursors_opened = 0;
+  size_t cursors_expired = 0;
+  size_t pages_served = 0;
+  size_t rows_streamed = 0;
+  size_t serving_heap_evictions = 0;
+  size_t coalesce_hits = 0;
+  size_t coalesce_leaders = 0;
+
   /// Concepts of this plan whose extents were cut short by the query
   /// deadline (a sound subset — see DegradedInfo::deadline_truncated).
   /// Disjoint from incomplete_concepts, which records fault-skips.

@@ -103,6 +103,18 @@ struct FederationOptions {
   /// only need the (agent, epoch) cache invalidation ApplyDelta always
   /// performs.
   bool live_updates = false;
+  /// Single-flight coalescing of demand evaluations on the serving path
+  /// (DESIGN.md §4k): concurrent cache-missing queries whose goal
+  /// pattern is identical — hence identical magic-set adornment and
+  /// seeds — share one evaluator pass. The first miss leads, later
+  /// arrivals wait and adopt the leader's outcome, so N concurrent
+  /// requests for a zipfian-popular goal cost ~1 evaluation. A
+  /// deadline-truncated leader outcome is never adopted (truncated
+  /// answers are served once, not replayed — the PR 7 rule); joiners
+  /// then evaluate for themselves. Only meaningful with
+  /// QueryMode::kDemandDriven; off by default so single-client serial
+  /// workloads keep today's counters bit for bit.
+  bool coalesce_demand = false;
 };
 
 /// A federated evaluator plus views of the per-agent connections it

@@ -25,6 +25,21 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
   delta_batches_.store(0, std::memory_order_relaxed);
   cache_delta_retained_.store(0, std::memory_order_relaxed);
   cache_delta_evicted_.store(0, std::memory_order_relaxed);
+  // Serving state restarts with the connection. No in-flight leaders
+  // can exist here (they hold data_mu_ shared), so the window is empty.
+  coalesce_demand_ = false;
+  {
+    std::lock_guard<std::mutex> flight_lock(flight_mu_);
+    inflight_.clear();
+  }
+  cursors_opened_.store(0, std::memory_order_relaxed);
+  cursors_closed_.store(0, std::memory_order_relaxed);
+  cursors_expired_.store(0, std::memory_order_relaxed);
+  pages_served_.store(0, std::memory_order_relaxed);
+  rows_streamed_.store(0, std::memory_order_relaxed);
+  heap_evictions_.store(0, std::memory_order_relaxed);
+  coalesce_hits_.store(0, std::memory_order_relaxed);
+  coalesce_leaders_.store(0, std::memory_order_relaxed);
   // Cached outcomes hold pointers into the old evaluator's sources and
   // predate whatever made the caller reconnect: always a new epoch.
   InvalidateQueryCache();
@@ -43,6 +58,8 @@ Status FsmClient::Connect(Fsm::Strategy strategy,
   evaluator_ = std::move(fed.value().evaluator);
   connections_ = std::move(fed.value().connections);
   query_deadline_ms_ = options.query_deadline_ms;
+  coalesce_demand_ = options.coalesce_demand &&
+                     query_mode_ == QueryMode::kDemandDriven;
   if (options.admission.max_concurrent > 0) {
     admission_ = std::make_unique<AdmissionController>(options.admission);
   }
@@ -201,6 +218,66 @@ Result<std::shared_ptr<const Evaluator::DemandOutcome>> FsmClient::Demand(
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (!coalesce_demand_) return EvaluateAndCache(pattern, key);
+
+  // Single-flight window (DESIGN.md §4k): the first miss on a key
+  // leads; concurrent misses on the same key join and adopt the
+  // leader's outcome instead of re-running the magic-set pass over the
+  // same seeds. Everyone here already holds data_mu_ shared, so a
+  // joiner waiting on the leader cannot deadlock against a delta
+  // writer: the leader needs no further lock to finish.
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    auto [it, inserted] = inflight_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<InFlight>();
+    flight = it->second;
+    leader = inserted;
+  }
+  if (!leader) {
+    coalesce_hits_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&flight] { return flight->done; });
+    const Status status = flight->status;
+    const std::shared_ptr<const Evaluator::DemandOutcome> adopted =
+        flight->outcome;
+    wait_lock.unlock();
+    // Adopt healthy outcomes only. A deadline-truncated answer is
+    // served once, to the leader, and never replayed (the PR 7 rule);
+    // a failed leader tells us nothing about our own fault draw.
+    // Either way this joiner evaluates for itself.
+    if (status.ok() && adopted != nullptr &&
+        !adopted->degraded.deadline_truncated) {
+      std::unique_lock<std::shared_mutex> write(cache_mu_);
+      demand_degraded_ = adopted->degraded;
+      return adopted;
+    }
+    return EvaluateAndCache(pattern, key);
+  }
+  coalesce_leaders_.fetch_add(1, std::memory_order_relaxed);
+  Result<std::shared_ptr<const Evaluator::DemandOutcome>> result =
+      EvaluateAndCache(pattern, key);
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->status = result.ok() ? Status::OK() : result.status();
+    flight->outcome = result.ok() ? result.value() : nullptr;
+  }
+  flight->cv.notify_all();
+  {
+    // Close the window: later misses start a fresh flight (the cache
+    // answers them unless something invalidated this outcome already).
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
+  }
+  return result;
+}
+
+Result<std::shared_ptr<const Evaluator::DemandOutcome>>
+FsmClient::EvaluateAndCache(const OTerm& pattern,
+                            const std::string& key) const {
   // Evaluate outside the lock so concurrent queries for different keys
   // (and even racing misses on the same key) overlap; the later store
   // simply wins. Each miss runs under its own fresh deadline token (a
@@ -298,6 +375,15 @@ Result<QueryPlan> FsmClient::Explain(const Query& query) const {
     plan.admission_max_queue_depth = admission_->policy().max_queue_depth;
     plan.admission = admission_->stats();
   }
+  plan.coalesce_demand = coalesce_demand_;
+  plan.cursors_opened = cursors_opened_.load(std::memory_order_relaxed);
+  plan.cursors_expired = cursors_expired_.load(std::memory_order_relaxed);
+  plan.pages_served = pages_served_.load(std::memory_order_relaxed);
+  plan.rows_streamed = rows_streamed_.load(std::memory_order_relaxed);
+  plan.serving_heap_evictions =
+      heap_evictions_.load(std::memory_order_relaxed);
+  plan.coalesce_hits = coalesce_hits_.load(std::memory_order_relaxed);
+  plan.coalesce_leaders = coalesce_leaders_.load(std::memory_order_relaxed);
   plan.live_updates = engine_ != nullptr;
   plan.delta_batches = delta_batches_.load(std::memory_order_relaxed);
   plan.cache_entries_retained =
@@ -342,6 +428,92 @@ Result<QueryPlan> FsmClient::Explain(const Query& query) const {
         0.0, outcome.stats.fetch_ms_sum - outcome.stats.fetch_wall_ms);
   }
   return plan;
+}
+
+Result<std::unique_ptr<ServingCursor>> FsmClient::OpenCursor(
+    const Query& query, const ServingOptions& options) const {
+  if (evaluator_ == nullptr) {
+    return Status::FailedPrecondition("call Connect() before OpenCursor()");
+  }
+  if (options.page_size == 0) {
+    return Status::InvalidArgument("ServingOptions::page_size must be > 0");
+  }
+  if (options.idle_expiry_ms < 0) {
+    return Status::InvalidArgument(
+        "ServingOptions::idle_expiry_ms must be >= 0");
+  }
+  // The evaluation happens at open (or is coalesced / cache-served), so
+  // the admission slot guards this call, like Run(). NextPage() only
+  // drains the pipeline and is deliberately exempt.
+  const AdmissionSlot slot(admission_.get());
+  if (!slot.status().ok()) return slot.status();
+  std::shared_lock<std::shared_mutex> data_lock(data_mu_);
+
+  PipelineSpec spec;
+  spec.filters = options.filters;
+  spec.project = options.project;
+  // Pages always carry distinct rows — Run()'s answer semantics; the
+  // raw query stream is duplicate-inclusive (see OpenQueryStream).
+  spec.distinct = true;
+  spec.order_by = options.order_by;
+  spec.descending = options.descending;
+  spec.limit = options.limit;
+
+  std::unique_ptr<RowSource> source;
+  std::shared_ptr<const Evaluator::DemandOutcome> outcome;
+  DegradedInfo degraded;
+  bool pin_delta_epoch = false;
+  if (query_mode_ == QueryMode::kDemandDriven) {
+    OOINT_ASSIGN_OR_RETURN(outcome, Demand(query.pattern()));
+    degraded = outcome->degraded;
+    // Stream off the outcome's private sub-evaluator: candidates come
+    // from a PostingsCursor snapshot of its columnar store, and the
+    // shared outcome keeps that store alive — snapshot semantics across
+    // later deltas. The materialized rows are the (rare) fallback.
+    Result<std::unique_ptr<RowSource>> stream =
+        outcome->sub->OpenQueryStream(query.pattern());
+    if (stream.ok()) {
+      source = std::move(stream).value();
+    } else {
+      source = std::make_unique<VectorRowSource>(&outcome->rows);
+    }
+  } else {
+    // Materialized cursors read the live derived store; they pin the
+    // delta epoch and fail with the documented epoch error once
+    // ApplyDelta moves the store under them.
+    degraded = evaluator_->degraded();
+    OOINT_ASSIGN_OR_RETURN(source,
+                           evaluator_->OpenQueryStream(query.pattern()));
+    pin_delta_epoch = true;
+  }
+  auto pipeline =
+      std::make_unique<ResultPipeline>(std::move(source), std::move(spec));
+  cursors_opened_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<ServingCursor>(new ServingCursor(
+      this, options, std::move(outcome), std::move(pipeline),
+      std::move(degraded), fault_epoch(),
+      delta_batches_.load(std::memory_order_relaxed), pin_delta_epoch));
+}
+
+ServingStats FsmClient::serving_stats() const {
+  ServingStats stats;
+  stats.cursors_opened = cursors_opened_.load(std::memory_order_relaxed);
+  stats.cursors_closed = cursors_closed_.load(std::memory_order_relaxed);
+  stats.cursors_expired = cursors_expired_.load(std::memory_order_relaxed);
+  stats.pages_served = pages_served_.load(std::memory_order_relaxed);
+  stats.rows_streamed = rows_streamed_.load(std::memory_order_relaxed);
+  stats.heap_evictions = heap_evictions_.load(std::memory_order_relaxed);
+  stats.coalesce_hits = coalesce_hits_.load(std::memory_order_relaxed);
+  stats.coalesce_leaders = coalesce_leaders_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void FsmClient::AdvanceServingClock(double ms) {
+  if (ms <= 0) return;
+  double now = serving_now_ms_.load(std::memory_order_relaxed);
+  while (!serving_now_ms_.compare_exchange_weak(now, now + ms,
+                                                std::memory_order_acq_rel)) {
+  }
 }
 
 }  // namespace ooint

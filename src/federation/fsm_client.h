@@ -2,15 +2,18 @@
 #define OOINT_FEDERATION_FSM_CLIENT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "federation/explain.h"
 #include "federation/fsm.h"
+#include "federation/serving.h"
 #include "rules/incremental.h"
 
 namespace ooint {
@@ -117,6 +120,27 @@ class FsmClient {
   /// demand outcome — its measured evaluation counters.
   Result<QueryPlan> Explain(const Query& query) const;
 
+  /// Opens a resumable answer cursor over `query` (DESIGN.md §4k): the
+  /// evaluation runs (or is served from the demand cache / coalesced
+  /// into a concurrent leader's pass) now, and rows stream out page by
+  /// page through a filter → project → top-k pipeline instead of being
+  /// copied into one answer vector. See ServingCursor for the snapshot
+  /// vs. epoch-error pinning rules. Takes an admission slot like Run().
+  Result<std::unique_ptr<ServingCursor>> OpenCursor(
+      const Query& query, const ServingOptions& options = {}) const;
+
+  /// Cumulative serving counters (cursors, pages, rows, heap evictions,
+  /// coalescing) since Connect().
+  ServingStats serving_stats() const;
+
+  /// Advances the serving clock cursors age against (virtual ms, the
+  /// AgentConnection idiom). Idle expiry is opt-in per cursor via
+  /// ServingOptions::idle_expiry_ms.
+  void AdvanceServingClock(double ms);
+  double serving_now_ms() const {
+    return serving_now_ms_.load(std::memory_order_acquire);
+  }
+
   /// Applies one live extent delta (DESIGN.md §4j). The feed's epoch
   /// must strictly advance the agent's last accepted one (stale feeds
   /// are rejected with kInvalidArgument before any state changes). On a
@@ -196,6 +220,8 @@ class FsmClient {
   }
 
  private:
+  friend class ServingCursor;
+
   /// One memoized demand evaluation. The outcome is shared so Extent()
   /// pointers survive until the last user lets go.
   struct CacheEntry {
@@ -212,10 +238,25 @@ class FsmClient {
     std::map<std::string, std::uint64_t> agent_epochs;
   };
 
-  /// Evaluates `pattern` demand-driven through the cache. Caller must
-  /// hold data_mu_ (shared).
+  /// One in-flight demand evaluation of the coalescing window: the
+  /// leader publishes its outcome here and wakes the joiners.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const Evaluator::DemandOutcome> outcome;
+  };
+
+  /// Evaluates `pattern` demand-driven through the cache (and, with
+  /// FederationOptions::coalesce_demand, through the single-flight
+  /// window). Caller must hold data_mu_ (shared).
   Result<std::shared_ptr<const Evaluator::DemandOutcome>> Demand(
       const OTerm& pattern) const;
+  /// The uncoalesced miss path: evaluate, record degradation, store in
+  /// the cache unless truncated. Caller must hold data_mu_ (shared).
+  Result<std::shared_ptr<const Evaluator::DemandOutcome>> EvaluateAndCache(
+      const OTerm& pattern, const std::string& key) const;
   std::string HealthSignature() const;
   AgentConnection* FindConnection(const std::string& agent_name) const;
   /// True when every relevant agent's delta epoch still matches the
@@ -270,6 +311,26 @@ class FsmClient {
   mutable std::atomic<size_t> cache_delta_evicted_{0};
   /// Degradation of the most recently served demand query.
   mutable DegradedInfo demand_degraded_;
+  /// Whether this connection coalesces concurrent demand misses
+  /// (FederationOptions::coalesce_demand on a demand-driven Connect).
+  bool coalesce_demand_ = false;
+  /// The single-flight window: pattern key -> the in-flight evaluation
+  /// later arrivals join. Guarded by flight_mu_ (leaf lock: never held
+  /// while taking data_mu_ or cache_mu_).
+  mutable std::mutex flight_mu_;
+  mutable std::map<std::string, std::shared_ptr<InFlight>> inflight_;
+  /// Serving counters (see ServingStats). Atomics so cursors and
+  /// concurrent queries tick them without a lock.
+  mutable std::atomic<size_t> cursors_opened_{0};
+  mutable std::atomic<size_t> cursors_closed_{0};
+  mutable std::atomic<size_t> cursors_expired_{0};
+  mutable std::atomic<size_t> pages_served_{0};
+  mutable std::atomic<size_t> rows_streamed_{0};
+  mutable std::atomic<size_t> heap_evictions_{0};
+  mutable std::atomic<size_t> coalesce_hits_{0};
+  mutable std::atomic<size_t> coalesce_leaders_{0};
+  /// The virtual serving clock cursors age against (idle expiry).
+  std::atomic<double> serving_now_ms_{0};
 };
 
 }  // namespace ooint

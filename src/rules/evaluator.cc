@@ -1282,6 +1282,83 @@ Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
   return unique;
 }
 
+namespace {
+
+/// The lazily-evaluated half of OpenQueryStream: holds the candidate
+/// ordinals chosen by CollectCandidates and unifies one per pull.
+/// MatchOTerm can emit several rows per candidate (set attributes match
+/// element-wise), so a small per-candidate buffer drains first.
+class QueryStream : public RowSource {
+ public:
+  QueryStream(OTerm pattern, FactMatcher matcher, const FactStore* store,
+              const std::vector<std::uint8_t>* live_filter,
+              ConceptId concept_id, std::vector<std::uint32_t> candidates)
+      : pattern_(std::move(pattern)),
+        matcher_(std::move(matcher)),
+        store_(store),
+        live_filter_(live_filter),
+        concept_id_(concept_id),
+        candidates_(std::move(candidates)) {}
+
+  bool Next(Bindings* row) override {
+    while (true) {
+      if (pending_index_ < pending_.size()) {
+        *row = std::move(pending_[pending_index_++]);
+        return true;
+      }
+      if (next_candidate_ >= candidates_.size()) return false;
+      const std::uint32_t ordinal = candidates_[next_candidate_++];
+      if (live_filter_ != nullptr) {
+        const FactId fid = store_->IdAt(concept_id_, ordinal);
+        if (fid < live_filter_->size() && !(*live_filter_)[fid]) continue;
+      }
+      pending_.clear();
+      pending_index_ = 0;
+      matcher_.MatchOTerm(pattern_, store_->ViewAt(concept_id_, ordinal),
+                          Bindings(), &pending_);
+    }
+  }
+
+ private:
+  OTerm pattern_;
+  FactMatcher matcher_;
+  const FactStore* store_;
+  const std::vector<std::uint8_t>* live_filter_;
+  ConceptId concept_id_;
+  std::vector<std::uint32_t> candidates_;
+  size_t next_candidate_ = 0;
+  std::vector<Bindings> pending_;
+  size_t pending_index_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<RowSource>> Evaluator::OpenQueryStream(
+    const OTerm& pattern) const {
+  if (!evaluated_) {
+    return Status::FailedPrecondition(
+        "call Evaluate() before OpenQueryStream()");
+  }
+  // The candidate choice (value-index probe vs. ordinal scan) is made
+  // once, up front, exactly as Query() makes it; only the unification
+  // of each candidate is deferred to the pulls.
+  const Literal literal = Literal::OfOTerm(pattern);
+  Stats local;
+  JoinContext ctx;
+  ctx.stats = &local;
+  ConceptId concept_id = kNoConcept;
+  std::vector<std::uint32_t> candidates;
+  CollectCandidates(ctx, 0, literal, Bindings(), &candidates, &concept_id);
+  {
+    std::lock_guard<std::mutex> lock(*stats_mu_);
+    stats_.index_probes += local.index_probes;
+    stats_.index_scans += local.index_scans;
+  }
+  return std::unique_ptr<RowSource>(
+      new QueryStream(pattern, MakeMatcher(), &store_, live_filter_,
+                      concept_id, std::move(candidates)));
+}
+
 Result<Evaluator::DemandOutcome> Evaluator::EvaluateDemand(
     const OTerm& pattern, const CancelToken& token) const {
   if (token.Expired()) {

@@ -18,6 +18,7 @@
 #include "rules/fact.h"
 #include "rules/fact_store.h"
 #include "rules/matcher.h"
+#include "rules/result_pipeline.h"
 #include "rules/rule.h"
 
 namespace ooint {
@@ -271,6 +272,22 @@ class Evaluator {
   /// variable bindings — the query interface ("?-uncle(John, y)" becomes
   /// a pattern <_ : uncle | Ussn#: "John", niece_nephew: y>).
   Result<std::vector<Bindings>> Query(const OTerm& pattern) const;
+
+  /// Streaming variant of Query(): a pull source yielding the pattern's
+  /// match rows one at a time instead of materializing the full answer
+  /// vector. Candidates come from the same probe-or-scan choice as
+  /// Query() (a PostingsCursor snapshot of the best value index, or the
+  /// concept's ordinal range), and each Next() unifies one candidate
+  /// fact zero-copy off the columnar store. Unlike Query() the stream
+  /// does NOT de-duplicate — set attributes can match one fact several
+  /// ways — so consumers needing Query()'s distinct semantics run the
+  /// stream through a ResultPipeline with `distinct` set (the serving
+  /// layer always does). The source borrows this evaluator: it must not
+  /// outlive it, and the store must not gain facts while the stream is
+  /// open (the serving layer pins a snapshot or fails the cursor with
+  /// an epoch error — see FsmClient::OpenCursor).
+  Result<std::unique_ptr<RowSource>> OpenQueryStream(
+      const OTerm& pattern) const;
 
   struct Stats {
     size_t base_facts = 0;

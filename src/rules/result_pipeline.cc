@@ -1,0 +1,216 @@
+#include "rules/result_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "rules/fact_store.h"
+
+namespace ooint {
+
+namespace {
+
+size_t ApproxValueBytes(const Value& value) {
+  size_t bytes = sizeof(Value);
+  switch (value.kind()) {
+    case ValueKind::kString:
+      bytes += value.AsString().size();
+      break;
+    case ValueKind::kOid:
+      bytes += value.AsOid().ToString().size();
+      break;
+    case ValueKind::kSet:
+      for (const Value& element : value.AsSet()) {
+        bytes += ApproxValueBytes(element);
+      }
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+std::uint64_t RowDigest(const Bindings& row) {
+  std::uint64_t key = 0;
+  for (const auto& [var, value] : row) {
+    key = HashCombine(key, HashString(var));
+    key = HashCombine(key, HashValue(value));
+  }
+  return key;
+}
+
+}  // namespace
+
+size_t ApproxBindingsBytes(const Bindings& row) {
+  // Three pointers + color per red-black node, plus the key string.
+  constexpr size_t kNodeOverhead = 4 * sizeof(void*);
+  size_t bytes = sizeof(Bindings);
+  for (const auto& [var, value] : row) {
+    bytes += kNodeOverhead + var.size() + ApproxValueBytes(value);
+  }
+  return bytes;
+}
+
+bool RowOrder::operator()(const Bindings& a, const Bindings& b) const {
+  const auto ia = a.find(order_by);
+  const auto ib = b.find(order_by);
+  const bool ha = ia != a.end();
+  const bool hb = ib != b.end();
+  // Rows missing the sort variable go last in either direction.
+  if (ha != hb) return ha;
+  if (ha) {
+    if (ia->second != ib->second) {
+      return descending ? ib->second < ia->second : ia->second < ib->second;
+    }
+  }
+  // Deterministic tie-break on the full row (always ascending), which
+  // also makes incomparability coincide with row equality.
+  return a < b;
+}
+
+ResultPipeline::ResultPipeline(std::unique_ptr<RowSource> source,
+                               PipelineSpec spec)
+    : source_(std::move(source)), spec_(std::move(spec)) {}
+
+void ResultPipeline::HoldBytes(size_t bytes) {
+  held_bytes_ += bytes;
+  stats_.peak_held_bytes = std::max(stats_.peak_held_bytes, held_bytes_);
+}
+
+void ResultPipeline::ReleaseBytes(size_t bytes) {
+  held_bytes_ -= std::min(held_bytes_, bytes);
+}
+
+bool ResultPipeline::PassesFilters(const Bindings& row) const {
+  for (const RowFilter& filter : spec_.filters) {
+    const auto it = row.find(filter.var);
+    if (it == row.end()) return false;
+    const Result<bool> verdict = Compare(it->second, filter.op, filter.value);
+    // Incomparable kinds under an inequality: the predicate is not
+    // satisfied, the row is filtered (not an error — heterogeneous
+    // concepts legitimately mix value kinds per attribute).
+    if (!verdict.ok() || !verdict.value()) return false;
+  }
+  return true;
+}
+
+bool ResultPipeline::PullTransformed(Bindings* row) {
+  Bindings raw;
+  while (source_->Next(&raw)) {
+    ++stats_.rows_in;
+    if (!PassesFilters(raw)) {
+      ++stats_.rows_filtered;
+      continue;
+    }
+    if (spec_.project.empty()) {
+      *row = std::move(raw);
+      return true;
+    }
+    Bindings projected;
+    for (const std::string& var : spec_.project) {
+      const auto it = raw.find(var);
+      if (it != raw.end()) projected.emplace(it->first, it->second);
+    }
+    *row = std::move(projected);
+    return true;
+  }
+  return false;
+}
+
+bool ResultPipeline::DedupAdmit(const Bindings& row) {
+  const std::uint64_t digest = RowDigest(row);
+  std::vector<size_t>& bucket = seen_[digest];
+  for (size_t index : bucket) {
+    if (kept_[index] == row) return false;
+  }
+  bucket.push_back(kept_.size());
+  kept_.push_back(row);
+  HoldBytes(ApproxBindingsBytes(row));
+  return true;
+}
+
+bool ResultPipeline::Next(Bindings* row) {
+  if (exhausted_) return false;
+  if (spec_.limit > 0 && emitted_ >= spec_.limit) {
+    exhausted_ = true;
+    return false;
+  }
+
+  if (!spec_.order_by.empty()) {
+    if (!sorted_ready_) {
+      // Drain the upstream through the bounded heap: at most `limit`
+      // rows (plus the one in flight) are ever held, however large the
+      // answer set is. limit == 0 degrades to a full sort.
+      const RowOrder order{spec_.order_by, spec_.descending};
+      // With an unbounded sort the O(k) in-heap duplicate scan would be
+      // quadratic; dedup up front through the digest store instead.
+      const bool heap_dedup = spec_.distinct && spec_.limit > 0;
+      BoundedTopK<Bindings, RowOrder> topk(spec_.limit, order, heap_dedup);
+      Bindings incoming;
+      Bindings displaced;
+      while (PullTransformed(&incoming)) {
+        if (spec_.distinct && !heap_dedup && !DedupAdmit(incoming)) {
+          ++stats_.rows_deduped;
+          continue;
+        }
+        const size_t incoming_bytes =
+            heap_dedup ? ApproxBindingsBytes(incoming) : 0;
+        switch (topk.Push(std::move(incoming), &displaced)) {
+          case BoundedTopK<Bindings, RowOrder>::Offer::kKept:
+            if (heap_dedup) HoldBytes(incoming_bytes);
+            break;
+          case BoundedTopK<Bindings, RowOrder>::Offer::kKeptEvicted:
+            if (heap_dedup) {
+              HoldBytes(incoming_bytes);
+              ReleaseBytes(ApproxBindingsBytes(displaced));
+            }
+            break;
+          case BoundedTopK<Bindings, RowOrder>::Offer::kDuplicate:
+            ++stats_.rows_deduped;
+            break;
+          case BoundedTopK<Bindings, RowOrder>::Offer::kRejected:
+            break;
+        }
+      }
+      stats_.heap_evictions = topk.evictions();
+      sorted_ = topk.TakeSorted();
+      if (!heap_dedup) {
+        // Account the final sorted buffer (the dedup path counted rows
+        // as they were admitted into the store).
+        for (const Bindings& held : sorted_) {
+          if (!spec_.distinct) HoldBytes(ApproxBindingsBytes(held));
+        }
+      }
+      sorted_ready_ = true;
+    }
+    if (sorted_index_ >= sorted_.size()) {
+      exhausted_ = true;
+      return false;
+    }
+    *row = sorted_[sorted_index_++];
+    ++emitted_;
+    ++stats_.rows_out;
+    return true;
+  }
+
+  // Streaming path: one row at a time; only the dedup store (when
+  // distinct) accumulates.
+  Bindings candidate;
+  while (PullTransformed(&candidate)) {
+    if (spec_.distinct && !DedupAdmit(candidate)) {
+      ++stats_.rows_deduped;
+      continue;
+    }
+    if (!spec_.distinct) {
+      HoldBytes(ApproxBindingsBytes(candidate));
+      ReleaseBytes(ApproxBindingsBytes(candidate));
+    }
+    *row = std::move(candidate);
+    ++emitted_;
+    ++stats_.rows_out;
+    return true;
+  }
+  exhausted_ = true;
+  return false;
+}
+
+}  // namespace ooint

@@ -71,6 +71,8 @@ const char* OracleFamilyName(OracleFamily family) {
       return "overload";
     case OracleFamily::kDeltaRebuild:
       return "delta-rebuild";
+    case OracleFamily::kServing:
+      return "serving";
   }
   return "?";
 }
@@ -1469,6 +1471,175 @@ Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
           adm.rejected_full + adm.rejected_wait != rejected) {
         outcome.failures.push_back(
             "overload: controller stats disagree with observed outcomes");
+      }
+    }
+
+    // --- Family 11: serving-pipeline equivalence ----------------------
+    // Union-of-pages == whole answer set (no row duplicated across page
+    // boundaries, none lost) and top-k == the k-prefix of the fully
+    // sorted answers, on a demand-mode client. Fault-free, and under
+    // the case's fault schedule with kPartial — there the cursor is
+    // compared against the *same client's* Run answer, which shares the
+    // cached demand snapshot, so the properties hold whatever the
+    // faults removed. Page sizes are seed-drawn so boundaries land in
+    // arbitrary places (including exactly-full last pages).
+    outcome.ran.insert(OracleFamily::kServing);
+    {
+      auto row_key = [](const Bindings& row) {
+        std::string key;
+        for (const auto& [var, value] : row) {
+          key += var + "=" + value.ToString() + ";";
+        }
+        return key;
+      };
+      // Drains every page of `cursor`; returns false (with a failure
+      // recorded) on a cursor error or a runaway pagination loop.
+      auto drain = [&](ServingCursor* cursor, const char* leg,
+                       const std::string& goal, size_t max_rows,
+                       std::vector<Bindings>* rows) {
+        for (size_t pages = 0; pages <= max_rows + 2; ++pages) {
+          Result<Page> page = cursor->NextPage();
+          if (!page.ok()) {
+            outcome.failures.push_back(
+                StrCat("serving: ", leg, " cursor on ", goal,
+                       " failed at page ", pages, ": ",
+                       page.status().ToString()));
+            return false;
+          }
+          for (Bindings& row : page.value().rows) {
+            rows->push_back(std::move(row));
+          }
+          if (!page.value().has_more) return true;
+        }
+        outcome.failures.push_back(
+            StrCat("serving: ", leg, " cursor on ", goal,
+                   " kept reporting has_more past every possible row"));
+        return false;
+      };
+      auto check_serving = [&](const FsmClient& client, const char* leg,
+                               std::uint64_t k, const std::string& goal,
+                               const Query& query) {
+        const Result<std::vector<Bindings>> whole = client.Run(query);
+        if (!whole.ok()) {
+          outcome.failures.push_back(StrCat("serving: ", leg, " Run on ",
+                                            goal, " failed: ",
+                                            whole.status().ToString()));
+          return;
+        }
+        // (a) union of pages over a seed-drawn page size.
+        ServingOptions paged;
+        paged.page_size = 1 + Draw(c.seed, 178 + k) % 5;
+        Result<std::unique_ptr<ServingCursor>> cursor =
+            client.OpenCursor(query, paged);
+        if (!cursor.ok()) {
+          outcome.failures.push_back(
+              StrCat("serving: ", leg, " OpenCursor on ", goal,
+                     " failed: ", cursor.status().ToString()));
+          return;
+        }
+        std::vector<Bindings> paged_rows;
+        if (drain(cursor.value().get(), leg, goal, whole.value().size(),
+                  &paged_rows)) {
+          if (RowKeys(paged_rows) != RowKeys(whole.value())) {
+            outcome.failures.push_back(StrCat(
+                "serving: ", leg, " union of pages (page_size=",
+                paged.page_size, ") on ", goal, " has ", paged_rows.size(),
+                " rows vs ", whole.value().size(),
+                " from Run — a page boundary duplicated or lost a row"));
+          }
+        }
+        // (b) top-k == prefix of the fully sorted answers, in order.
+        ServingOptions topk;
+        topk.page_size = 1 + Draw(c.seed, 178 + k) % 5;
+        topk.order_by = "_self";
+        topk.limit = 1 + Draw(c.seed, 184 + k) % 3;
+        topk.descending = Draw(c.seed, 190 + k) % 2 == 1;
+        cursor = client.OpenCursor(query, topk);
+        if (!cursor.ok()) {
+          outcome.failures.push_back(
+              StrCat("serving: ", leg, " top-k OpenCursor on ", goal,
+                     " failed: ", cursor.status().ToString()));
+          return;
+        }
+        std::vector<Bindings> sorted = whole.value();
+        std::sort(sorted.begin(), sorted.end(),
+                  RowOrder{topk.order_by, topk.descending});
+        std::vector<Bindings> streamed;
+        if (!drain(cursor.value().get(), leg, goal, topk.limit, &streamed)) {
+          return;
+        }
+        const size_t expect_n =
+            std::min<size_t>(topk.limit, sorted.size());
+        if (streamed.size() != expect_n) {
+          outcome.failures.push_back(StrCat(
+              "serving: ", leg, " top-", topk.limit, " on ", goal,
+              " streamed ", streamed.size(), " rows, expected ", expect_n));
+          return;
+        }
+        for (size_t i = 0; i < expect_n; ++i) {
+          if (row_key(streamed[i]) != row_key(sorted[i])) {
+            outcome.failures.push_back(StrCat(
+                "serving: ", leg, " top-", topk.limit, " on ", goal,
+                " diverges from the sorted prefix at row ", i, " (",
+                row_key(streamed[i]), " vs ", row_key(sorted[i]), ")"));
+            break;
+          }
+        }
+      };
+
+      FsmClient serving_client(&federation.fsm);
+      FederationOptions serving_options;
+      serving_options.query_mode = QueryMode::kDemandDriven;
+      const Status serving_connect = serving_client.Connect(
+          Fsm::Strategy::kAccumulation, serving_options);
+      if (!serving_connect.ok()) {
+        outcome.failures.push_back(
+            StrCat("serving: demand-mode client failed to connect: ",
+                   serving_connect.ToString()));
+      } else {
+        size_t serving_checked = 0;
+        for (std::uint64_t k = 0;
+             k < 8 && serving_checked < 3 && !goal_pool.empty(); ++k) {
+          const std::string& goal =
+              goal_pool[Draw(c.seed, 160 + k) % goal_pool.size()];
+          const std::vector<const Fact*> goal_facts = baseline.FactsOf(goal);
+          if (goal_facts.empty()) continue;
+          const Fact* sample =
+              goal_facts[Draw(c.seed, 166 + k) % goal_facts.size()];
+          std::vector<std::pair<std::string, Value>> scalars;
+          for (const auto& [attr, value] : sample->attrs) {
+            if (value.kind() != ValueKind::kSet) {
+              scalars.emplace_back(attr, value);
+            }
+          }
+          if (scalars.empty()) continue;
+          const auto& [bind_attr, bind_value] =
+              scalars[Draw(c.seed, 172 + k) % scalars.size()];
+          ++serving_checked;
+          Query query(goal);
+          query.Where(bind_attr, bind_value);
+          check_serving(serving_client, "fault-free", k, goal, query);
+
+          if (c.fault_rate > 0.0) {
+            FaultInjector injector(Draw(c.fault_seed, 196 + k),
+                                   c.fault_rate);
+            FederationOptions faulted_options;
+            faulted_options.failure_policy = FailurePolicy::kPartial;
+            faulted_options.query_mode = QueryMode::kDemandDriven;
+            faulted_options.injector = &injector;
+            FsmClient faulted(&federation.fsm);
+            const Status faulted_connect = faulted.Connect(
+                Fsm::Strategy::kAccumulation, faulted_options);
+            if (!faulted_connect.ok()) {
+              outcome.failures.push_back(StrCat(
+                  "serving: faulted demand-mode client failed to "
+                  "connect: ",
+                  faulted_connect.ToString()));
+              continue;
+            }
+            check_serving(faulted, "faulted", k, goal, query);
+          }
+        }
       }
     }
 

@@ -16,7 +16,7 @@
 namespace ooint {
 namespace harness {
 
-/// The ten oracle families of the randomized conformance harness
+/// The eleven oracle families of the randomized conformance harness
 /// (DESIGN.md "Randomized conformance harness").
 enum class OracleFamily {
   /// Consistency-checker / integrator agreement on rejection: an
@@ -90,6 +90,16 @@ enum class OracleFamily {
   /// the post-trace rebuild: subset everywhere sound, equality outside
   /// the incomplete set.
   kDeltaRebuild,
+  /// Serving-pipeline equivalence (DESIGN.md §4k): for sampled bound
+  /// goals on a demand-mode client, (a) the union of all cursor pages
+  /// must be exactly the whole answer set of FsmClient::Run — no row
+  /// duplicated across page boundaries, none lost; (b) a top-k cursor
+  /// (order_by + limit) must stream exactly the k-prefix of the fully
+  /// sorted answers, in order; both re-checked under the case's random
+  /// fault schedule with kPartial, where the cursor is compared against
+  /// the *same client's* Run answer (same degraded snapshot), so the
+  /// property holds whatever the faults removed.
+  kServing,
 };
 
 const char* OracleFamilyName(OracleFamily family);

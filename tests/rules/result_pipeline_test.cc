@@ -1,0 +1,259 @@
+// Unit coverage for the streaming result pipeline (DESIGN.md §4k):
+// filter → project → distinct → sort/limit composition, the bounded
+// top-k heap (exact distinct top-k in O(k) memory), the total row
+// order the sort stage relies on, and the peak-held-bytes memory
+// accounting the E17 experiment reads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/topk.h"
+#include "rules/result_pipeline.h"
+
+namespace ooint {
+namespace {
+
+Bindings Row(std::initializer_list<std::pair<std::string, Value>> pairs) {
+  Bindings row;
+  for (const auto& [var, value] : pairs) row.emplace(var, value);
+  return row;
+}
+
+std::vector<Bindings> Drain(RowSource* source) {
+  std::vector<Bindings> rows;
+  Bindings row;
+  while (source->Next(&row)) rows.push_back(row);
+  return rows;
+}
+
+std::vector<Bindings> NumberedRows(int n) {
+  std::vector<Bindings> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row({{"x", Value::Integer(i)},
+                        {"name", Value::String("row" + std::to_string(i))}}));
+  }
+  return rows;
+}
+
+std::unique_ptr<ResultPipeline> MakePipeline(const std::vector<Bindings>* rows,
+                                             PipelineSpec spec) {
+  return std::make_unique<ResultPipeline>(
+      std::make_unique<VectorRowSource>(rows), std::move(spec));
+}
+
+TEST(PipelineFilterTest, ComparisonOpsAndMissingVars) {
+  const std::vector<Bindings> rows = NumberedRows(10);
+  PipelineSpec spec;
+  spec.filters.push_back({"x", CompareOp::kGe, Value::Integer(3)});
+  spec.filters.push_back({"x", CompareOp::kLt, Value::Integer(7)});
+  auto pipeline = MakePipeline(&rows, spec);
+  const std::vector<Bindings> out = Drain(pipeline.get());
+  ASSERT_EQ(out.size(), 4u);  // 3, 4, 5, 6
+  EXPECT_EQ(out.front().at("x"), Value::Integer(3));
+  EXPECT_EQ(out.back().at("x"), Value::Integer(6));
+  EXPECT_EQ(pipeline->stats().rows_in, 10u);
+  EXPECT_EQ(pipeline->stats().rows_filtered, 6u);
+  EXPECT_EQ(pipeline->stats().rows_out, 4u);
+
+  // A filter on a variable the rows lack passes nothing.
+  PipelineSpec missing;
+  missing.filters.push_back({"absent", CompareOp::kEq, Value::Integer(1)});
+  auto empty = MakePipeline(&rows, missing);
+  EXPECT_TRUE(Drain(empty.get()).empty());
+
+  // Incomparable kinds under an inequality filter the row out rather
+  // than erroring the stream.
+  PipelineSpec mixed;
+  mixed.filters.push_back({"name", CompareOp::kLt, Value::Integer(5)});
+  auto incomparable = MakePipeline(&rows, mixed);
+  EXPECT_TRUE(Drain(incomparable.get()).empty());
+}
+
+TEST(PipelineProjectTest, ProjectionKeepsOnlyNamedVars) {
+  const std::vector<Bindings> rows = NumberedRows(3);
+  PipelineSpec spec;
+  spec.project = {"name"};
+  auto pipeline = MakePipeline(&rows, spec);
+  const std::vector<Bindings> out = Drain(pipeline.get());
+  ASSERT_EQ(out.size(), 3u);
+  for (const Bindings& row : out) {
+    EXPECT_EQ(row.size(), 1u);
+    EXPECT_TRUE(row.count("name"));
+  }
+  // Projecting a variable no row has just leaves it absent.
+  PipelineSpec ghost;
+  ghost.project = {"name", "absent"};
+  auto partial = MakePipeline(&rows, ghost);
+  for (const Bindings& row : Drain(partial.get())) {
+    EXPECT_EQ(row.size(), 1u);
+  }
+}
+
+TEST(PipelineDistinctTest, ProjectionDuplicatesCollapse) {
+  // Distinct x values 0..4, each present twice via distinct names.
+  std::vector<Bindings> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back(Row({{"x", Value::Integer(i % 5)},
+                        {"name", Value::String("n" + std::to_string(i))}}));
+  }
+  PipelineSpec spec;
+  spec.project = {"x"};
+  spec.distinct = true;
+  auto pipeline = MakePipeline(&rows, spec);
+  const std::vector<Bindings> out = Drain(pipeline.get());
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(pipeline->stats().rows_deduped, 5u);
+
+  // Without distinct the duplicates stream through.
+  PipelineSpec keep;
+  keep.project = {"x"};
+  auto dup = MakePipeline(&rows, keep);
+  EXPECT_EQ(Drain(dup.get()).size(), 10u);
+}
+
+TEST(PipelineSortTest, TopKIsSortedPrefixBothDirections) {
+  std::vector<Bindings> rows = NumberedRows(20);
+  // Shuffle deterministically so stream order is not sorted order.
+  std::reverse(rows.begin(), rows.begin() + 13);
+  for (const bool descending : {false, true}) {
+    PipelineSpec spec;
+    spec.order_by = "x";
+    spec.descending = descending;
+    spec.limit = 5;
+    spec.distinct = true;
+    auto pipeline = MakePipeline(&rows, spec);
+    const std::vector<Bindings> out = Drain(pipeline.get());
+    ASSERT_EQ(out.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      const int expected = descending ? 19 - i : i;
+      EXPECT_EQ(out[i].at("x"), Value::Integer(expected))
+          << "descending=" << descending << " position " << i;
+    }
+    EXPECT_GT(pipeline->stats().heap_evictions, 0u);
+  }
+}
+
+TEST(PipelineSortTest, FullSortWhenUnlimited) {
+  std::vector<Bindings> rows = NumberedRows(8);
+  std::reverse(rows.begin(), rows.end());
+  PipelineSpec spec;
+  spec.order_by = "x";
+  auto pipeline = MakePipeline(&rows, spec);
+  const std::vector<Bindings> out = Drain(pipeline.get());
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i].at("x"), Value::Integer(i));
+  }
+}
+
+TEST(PipelineSortTest, MissingSortVarSortsLast) {
+  std::vector<Bindings> rows = {
+      Row({{"x", Value::Integer(2)}}),
+      Row({{"y", Value::Integer(0)}}),  // no "x"
+      Row({{"x", Value::Integer(1)}}),
+  };
+  for (const bool descending : {false, true}) {
+    PipelineSpec spec;
+    spec.order_by = "x";
+    spec.descending = descending;
+    auto pipeline = MakePipeline(&rows, spec);
+    const std::vector<Bindings> out = Drain(pipeline.get());
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out.back().count("x"), 0u)
+        << "missing-key row must sort last, descending=" << descending;
+  }
+}
+
+TEST(PipelineSortTest, DistinctTopKWithDuplicatesIsExact) {
+  // Every value appears three times; distinct top-k must still be the
+  // distinct sorted prefix even though the in-heap dedup scan forgets
+  // evicted rows.
+  std::vector<Bindings> rows;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 9; i >= 0; --i) {
+      rows.push_back(Row({{"x", Value::Integer(i)}}));
+    }
+  }
+  PipelineSpec spec;
+  spec.order_by = "x";
+  spec.limit = 4;
+  spec.distinct = true;
+  auto pipeline = MakePipeline(&rows, spec);
+  const std::vector<Bindings> out = Drain(pipeline.get());
+  ASSERT_EQ(out.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].at("x"), Value::Integer(i));
+  }
+}
+
+TEST(PipelineLimitTest, LimitWithoutSortTruncatesStream) {
+  const std::vector<Bindings> rows = NumberedRows(10);
+  PipelineSpec spec;
+  spec.limit = 3;
+  auto pipeline = MakePipeline(&rows, spec);
+  EXPECT_EQ(Drain(pipeline.get()).size(), 3u);
+  EXPECT_EQ(pipeline->stats().rows_out, 3u);
+}
+
+TEST(PipelineMemoryTest, BoundedTopKHoldsFarLessThanMaterialization) {
+  const std::vector<Bindings> rows = NumberedRows(500);
+  size_t whole_bytes = 0;
+  for (const Bindings& row : rows) whole_bytes += ApproxBindingsBytes(row);
+
+  PipelineSpec spec;
+  spec.order_by = "x";
+  spec.limit = 5;
+  spec.distinct = true;
+  auto pipeline = MakePipeline(&rows, spec);
+  EXPECT_EQ(Drain(pipeline.get()).size(), 5u);
+  const size_t peak = pipeline->stats().peak_held_bytes;
+  EXPECT_GT(peak, 0u);
+  // The heap holds ~limit rows plus one in flight: far under the full
+  // materialization the whole-answer path would retain.
+  EXPECT_LT(peak, whole_bytes / 10);
+}
+
+TEST(PipelineRowOrderTest, TotalOrderTieBreaksOnFullRow) {
+  const Bindings a = Row({{"x", Value::Integer(1)}, {"y", Value::Integer(1)}});
+  const Bindings b = Row({{"x", Value::Integer(1)}, {"y", Value::Integer(2)}});
+  RowOrder order{"x", false};
+  // Equal sort keys: the full-row tie-break must order them, one way.
+  EXPECT_NE(order(a, b), order(b, a));
+  EXPECT_FALSE(order(a, a));
+  RowOrder desc{"x", true};
+  EXPECT_NE(desc(a, b), desc(b, a));
+}
+
+TEST(BoundedTopKTest, OfferOutcomesAndEvictionCount) {
+  const auto less = [](int a, int b) { return a < b; };
+  BoundedTopK<int, decltype(less)> topk(3, less);
+  using Offer = BoundedTopK<int, decltype(less)>::Offer;
+  EXPECT_EQ(topk.Push(5), Offer::kKept);
+  EXPECT_EQ(topk.Push(1), Offer::kKept);
+  EXPECT_EQ(topk.Push(9), Offer::kKept);
+  EXPECT_EQ(topk.Push(5), Offer::kDuplicate);
+  int displaced = 0;
+  EXPECT_EQ(topk.Push(2, &displaced), Offer::kKeptEvicted);
+  EXPECT_EQ(displaced, 9);
+  EXPECT_EQ(topk.Push(100), Offer::kRejected);
+  EXPECT_EQ(topk.evictions(), 2u);  // one eviction + one rejection
+  const std::vector<int> sorted = topk.TakeSorted();
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2, 5}));
+}
+
+TEST(BoundedTopKTest, UnboundedKeepsEverything) {
+  const auto less = [](int a, int b) { return a < b; };
+  BoundedTopK<int, decltype(less)> topk(0, less, /*dedup=*/false);
+  for (int i = 31; i >= 0; --i) topk.Push(i);
+  EXPECT_EQ(topk.size(), 32u);
+  EXPECT_EQ(topk.evictions(), 0u);
+  const std::vector<int> sorted = topk.TakeSorted();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+}  // namespace
+}  // namespace ooint
