@@ -62,6 +62,8 @@ void BM_BottomUpEvaluation(benchmark::State& state) {
         static_cast<double>(evaluator.stats().index_probes);
     state.counters["index_scans"] =
         static_cast<double>(evaluator.stats().index_scans);
+    state.counters["cursor_steps"] =
+        static_cast<double>(evaluator.stats().cursor_steps);
   }
   state.counters["derived"] = static_cast<double>(derived);
   state.counters["facts_per_family"] =

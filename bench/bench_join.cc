@@ -1,0 +1,303 @@
+// Experiment E18: vectorized join kernels and the cost-based planner.
+//
+// Two derive-bound workloads, scaled by the number of base `hop` facts:
+//
+//  * Reach closure: reach(x,z) <= reach(x,y), hop(y,C,z) for four fixed
+//    columns C, over a row/column graph. With y and the column bound,
+//    `hop` is probed on TWO positions — the probe loop decodes the
+//    shorter posting list whole and runs the matcher on every
+//    candidate, while the intersection kernel merges both lists and
+//    hands the matcher only the (usually single) survivor. The picked
+//    columns trace a Hamiltonian cycle over the rows, so 128 seeded
+//    sources each walk the full cycle: the evaluation is derive-bound.
+//  * Skewed join: out(y) <= big(x), small(x,y) where big has n rows and
+//    small has four. Fixed SIP (and the dynamic pick's delta tie-break)
+//    enumerate big; the planner's cost override opens small.
+//
+// Each workload runs under three configurations: the default (kernels +
+// cost-based planner), kFixedSip (kernels, written order), and the
+// probe-loop baseline (`set_join_kernel_enabled(false)` — the exact
+// tuple-at-a-time decode loop this PR replaced). Counters report the
+// kernel telemetry (cursor_steps / merge_steps / gallop_steps /
+// plan_reorders) surfaced through Stats.
+//
+// `bench_join --regression_check` skips the benchmarks and instead
+// times the reach closure at n = 512 under kernels-on and kernels-off,
+// failing (exit 1) when the speedup drops below kSpeedupFloor — the
+// guard scripts/check.sh runs in its bench-smoke step. It also fails if
+// the two configurations disagree on the derived fact count (the
+// kernels must be bit-identical, not just fast).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "rules/evaluator.h"
+#include "rules/planner.h"
+
+namespace ooint {
+namespace {
+
+/// Minimum kernels-on over kernels-off speedup --regression_check
+/// accepts on the reach closure at n = 512 (E18 measured ~4.4x; the
+/// floor leaves headroom for noisy CI hosts).
+constexpr double kSpeedupFloor = 2.5;
+
+/// Graph shape: kRows real rows, each with a wide fan of n/16 hops —
+/// one into column 0 (the Hamiltonian cycle the closure walks), the
+/// rest into odd columns no step rule ever probes. The kPickedColumns
+/// probed columns are padded with hops from phantom rows the closure
+/// never reaches, so their posting lists are long but intersect a real
+/// row's fan in at most the one cycle hop: the probe loop decodes and
+/// match-verifies the full fan per rule per binding, while the kernel's
+/// merge discards it in a few posting comparisons.
+constexpr std::uint32_t kRows = 8;
+constexpr std::uint32_t kColumns = 64;
+constexpr std::uint32_t kPickedColumns = 4;
+constexpr std::uint32_t kSources = 256;
+
+Rule PredFact(const char* name, std::vector<std::int64_t> row) {
+  Rule r;
+  std::vector<TermArg> args;
+  args.reserve(row.size());
+  for (std::int64_t v : row) {
+    args.push_back(TermArg::Constant(Value::Integer(v)));
+  }
+  r.head.push_back(Literal::OfPredicate(name, std::move(args)));
+  return r;
+}
+
+/// A hop fact with a string payload column: candidate verification has
+/// to unify the payload too, as real federated extents (§2 attribute
+/// rows) would.
+Rule HopFact(std::int64_t r, std::int64_t c, std::int64_t r2) {
+  Rule rule = PredFact("hop", {r, c, r2});
+  rule.head.front().args.push_back(TermArg::Constant(
+      Value::String("edge-payload-" + std::to_string(r * 1000 + c))));
+  return rule;
+}
+
+/// reach(x,z) <= reach(x,y), hop(y,C,z) for each picked column C, plus
+/// the seed rule reach(x,y) <= src(x,y) and the base extents.
+std::vector<Rule> MakeReachProgram(std::uint32_t n) {
+  // n = 512 → fan 32, 64 postings per probed column; the hop extent
+  // (fans + phantom padding) totals just under n facts.
+  const std::uint32_t fan = n / 16;
+  std::vector<Rule> program;
+  program.reserve(n + kSources + kPickedColumns + 1);
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    program.push_back(HopFact(r, 0, (r + 1) % kRows));  // the cycle hop
+    for (std::uint32_t j = 1; j < fan; ++j) {
+      // 17 is coprime with 32: the fan's odd columns are distinct per
+      // row (for fan <= 32), so postings(hop, row) = fan.
+      const std::uint32_t c = 1 + 2 * ((r * 5 + j * 17) % 32);
+      program.push_back(HopFact(r, c, (r + j + 7) % kRows));
+    }
+  }
+  // Phantom padding: every probed column gets 2*fan postings total,
+  // from row ids the closure never visits.
+  for (std::uint32_t i = 0; i < kPickedColumns; ++i) {
+    const std::uint32_t c = i * (kColumns / kPickedColumns);
+    const std::uint32_t pad = 2 * fan - (c == 0 ? kRows : 0);
+    for (std::uint32_t p = 0; p < pad; ++p) {
+      program.push_back(HopFact(10000 + c * 100 + p, c, 20000 + p));
+    }
+  }
+  for (std::uint32_t s = 0; s < kSources; ++s) {
+    program.push_back(PredFact("src", {s, s % kRows}));
+  }
+
+  Rule seed;
+  seed.head.push_back(Literal::OfPredicate(
+      "reach", {TermArg::Variable("x"), TermArg::Variable("y")}));
+  seed.body.push_back(Literal::OfPredicate(
+      "src", {TermArg::Variable("x"), TermArg::Variable("y")}));
+  program.push_back(seed);
+
+  for (std::uint32_t i = 0; i < kPickedColumns; ++i) {
+    Rule step;
+    step.head.push_back(Literal::OfPredicate(
+        "reach", {TermArg::Variable("x"), TermArg::Variable("z")}));
+    step.body.push_back(Literal::OfPredicate(
+        "reach", {TermArg::Variable("x"), TermArg::Variable("y")}));
+    step.body.push_back(Literal::OfPredicate(
+        "hop",
+        {TermArg::Variable("y"),
+         TermArg::Constant(
+             Value::Integer(i * (kColumns / kPickedColumns))),
+         TermArg::Variable("z"), TermArg::Variable("w")}));
+    program.push_back(step);
+  }
+  return program;
+}
+
+/// out(y) <= big(x), small(x,y): big has n rows, small has four.
+std::vector<Rule> MakeSkewProgram(std::uint32_t n) {
+  std::vector<Rule> program;
+  program.reserve(n + 5);
+  for (std::uint32_t i = 0; i < n; ++i) program.push_back(PredFact("big", {i}));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    program.push_back(PredFact("small", {i * (n / 4), i}));
+  }
+  Rule join;
+  join.head.push_back(Literal::OfPredicate("out", {TermArg::Variable("y")}));
+  join.body.push_back(Literal::OfPredicate("big", {TermArg::Variable("x")}));
+  join.body.push_back(Literal::OfPredicate(
+      "small", {TermArg::Variable("x"), TermArg::Variable("y")}));
+  program.push_back(join);
+  return program;
+}
+
+enum class Config { kDefault, kFixedSip, kProbeLoop };
+
+/// One full evaluation of `program` under `config`; returns the stats.
+Evaluator::Stats RunOnce(const std::vector<Rule>& program, Config config, bool* ok) {
+  Evaluator evaluator;
+  if (config == Config::kFixedSip) {
+    evaluator.set_planner_mode(PlannerMode::kFixedSip);
+  }
+  if (config == Config::kProbeLoop) {
+    evaluator.set_join_kernel_enabled(false);
+  }
+  for (const Rule& rule : program) {
+    if (!evaluator.AddRule(rule).ok()) *ok = false;
+  }
+  if (!evaluator.Evaluate().ok()) *ok = false;
+  return evaluator.stats();
+}
+
+void RunBench(benchmark::State& state, const std::vector<Rule>& program,
+              Config config) {
+  Evaluator::Stats stats;
+  bool ok = true;
+  for (auto _ : state) {
+    stats = RunOnce(program, config, &ok);
+    if (!ok) {
+      state.SkipWithError("evaluation failed");
+      return;
+    }
+  }
+  state.counters["derived"] = static_cast<double>(stats.derived_facts);
+  state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  state.counters["cursor_steps"] = static_cast<double>(stats.cursor_steps);
+  state.counters["merge_steps"] = static_cast<double>(stats.merge_steps);
+  state.counters["gallop_steps"] = static_cast<double>(stats.gallop_steps);
+  state.counters["plan_reorders"] = static_cast<double>(stats.plan_reorders);
+}
+
+void BM_ReachClosure(benchmark::State& state) {
+  RunBench(state, MakeReachProgram(static_cast<std::uint32_t>(state.range(0))),
+           Config::kDefault);
+}
+
+void BM_ReachClosureFixedSip(benchmark::State& state) {
+  RunBench(state, MakeReachProgram(static_cast<std::uint32_t>(state.range(0))),
+           Config::kFixedSip);
+}
+
+void BM_ReachClosureProbeLoop(benchmark::State& state) {
+  RunBench(state, MakeReachProgram(static_cast<std::uint32_t>(state.range(0))),
+           Config::kProbeLoop);
+}
+
+void BM_SkewJoin(benchmark::State& state) {
+  RunBench(state, MakeSkewProgram(static_cast<std::uint32_t>(state.range(0))),
+           Config::kDefault);
+}
+
+void BM_SkewJoinFixedSip(benchmark::State& state) {
+  RunBench(state, MakeSkewProgram(static_cast<std::uint32_t>(state.range(0))),
+           Config::kFixedSip);
+}
+
+void BM_SkewJoinProbeLoop(benchmark::State& state) {
+  RunBench(state, MakeSkewProgram(static_cast<std::uint32_t>(state.range(0))),
+           Config::kProbeLoop);
+}
+
+BENCHMARK(BM_ReachClosure)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReachClosureFixedSip)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReachClosureProbeLoop)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewJoin)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewJoinFixedSip)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SkewJoinProbeLoop)->Arg(512)->Unit(benchmark::kMillisecond);
+
+/// Wall-clock for `reps` evaluations of `program` under `config`.
+double TimeConfig(const std::vector<Rule>& program, Config config, int reps,
+                  size_t* derived, bool* ok) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    const Evaluator::Stats stats = RunOnce(program, config, ok);
+    *derived = stats.derived_facts;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The regression guard: the kernels + planner must beat the retired
+/// probe loop by kSpeedupFloor on the derive-bound reach closure at
+/// n = 512, and both configurations must derive the same fact count.
+int RunRegressionCheck() {
+  const std::vector<Rule> program = MakeReachProgram(512);
+  bool ok = true;
+  size_t kernel_derived = 0;
+  size_t probe_derived = 0;
+  // Warm both paths once (allocator, symbol tables), then measure.
+  (void)RunOnce(program, Config::kDefault, &ok);
+  (void)RunOnce(program, Config::kProbeLoop, &ok);
+  constexpr int kReps = 5;
+  const double kernel_s =
+      TimeConfig(program, Config::kDefault, kReps, &kernel_derived, &ok);
+  const double probe_s =
+      TimeConfig(program, Config::kProbeLoop, kReps, &probe_derived, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: evaluation error during regression check\n");
+    return 1;
+  }
+  if (kernel_derived != probe_derived) {
+    std::fprintf(stderr,
+                 "FAIL: kernels-on derived %zu facts, probe loop %zu — the "
+                 "join kernels must be bit-identical to the probe loop.\n",
+                 kernel_derived, probe_derived);
+    return 1;
+  }
+  const double speedup = probe_s / kernel_s;
+  std::printf("bench_join regression check: reach closure n=512, %d reps: "
+              "kernels %.3fs, probe loop %.3fs, speedup %.2fx (floor %.1fx), "
+              "derived %zu\n",
+              kReps, kernel_s, probe_s, speedup, kSpeedupFloor,
+              kernel_derived);
+  if (speedup < kSpeedupFloor) {
+    std::fprintf(stderr,
+                 "FAIL: join-kernel speedup dropped below %.1fx. Either fix "
+                 "the regression or, if the workload changed intentionally, "
+                 "update kSpeedupFloor in bench/bench_join.cc and the E18 "
+                 "table.\n",
+                 kSpeedupFloor);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ooint
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--regression_check") == 0) {
+      return ooint::RunRegressionCheck();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -64,7 +64,7 @@ if [[ "${1:-}" == "--tsan" ]]; then
   RUN_BENCH=0
   # The suites that exercise shared state across threads; the rest of
   # the tree is single-threaded and only slows the (expensive) TSan run.
-  TEST_FILTER="ThreadPool|Parallel|Connection|Breaker|Fault|QueryCache|Demand|Federat|Conformance|Evaluat|Admission|Cancel|Overload|LiveUpdate|Incremental|Delta|Serving|Cursor|Pipeline"
+  TEST_FILTER="ThreadPool|Parallel|Connection|Breaker|Fault|QueryCache|Demand|Federat|Conformance|Evaluat|Admission|Cancel|Overload|LiveUpdate|Incremental|Delta|Serving|Cursor|Pipeline|JoinKernel|Planner"
   # Force the conformance sweep's parallel-vs-serial oracle onto a
   # fixed 4-worker pool so every seed runs the parallel runtime.
   export OOINT_SOAK_THREADS=4
@@ -102,4 +102,8 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   # exceeds its budget or bounded top-k stops beating whole-answer
   # materialization on held bytes (bench/bench_serving.cc).
   "$BUILD_DIR"/bench/bench_serving --p99_check
+  # Join-kernel regression guard: fails when the vectorized kernels'
+  # speedup over the retired probe loop drops below the checked-in
+  # floor on the derive-bound reach closure (bench/bench_join.cc).
+  "$BUILD_DIR"/bench/bench_join --regression_check
 fi

@@ -74,6 +74,10 @@ std::string QueryPlan::ToString() const {
                   " join_probes=", counters.join_probes,
                   " cache_hits=", counters.cache_hits,
                   counters.from_cache ? " (answered from cache)" : "", "\n");
+    out += StrCat("  join kernels: cursor_steps=", counters.cursor_steps,
+                  " merge_steps=", counters.merge_steps,
+                  " gallop_steps=", counters.gallop_steps,
+                  " plan_reorders=", counters.plan_reorders, "\n");
   }
   if (!skipped_agents.empty()) {
     out += StrCat("  DEGRADED: skipped ", Join(skipped_agents, ", "),

@@ -51,6 +51,13 @@ struct QueryPlan {
     size_t extents_fetched = 0;
     size_t join_probes = 0;
     size_t cache_hits = 0;
+    /// Join-kernel counters (DESIGN.md §4l): postings decoded off
+    /// cursors, merge/bitmap element steps, galloping-search hops, and
+    /// how often the cost-based planner overrode the connectivity SIP.
+    size_t cursor_steps = 0;
+    size_t merge_steps = 0;
+    size_t gallop_steps = 0;
+    size_t plan_reorders = 0;
   };
   Counters counters;
 

@@ -115,6 +115,14 @@ struct FederationOptions {
   /// QueryMode::kDemandDriven; off by default so single-client serial
   /// workloads keep today's counters bit for bit.
   bool coalesce_demand = false;
+  /// Rule-body join ordering (see DESIGN.md §4l). kCostBased — the
+  /// default — precomputes per-(rule, stratum) plans replaying the
+  /// historical most-bound-first heuristic, overriding it only when
+  /// postings cardinalities prove another order cheaper. kFixedSip
+  /// forces strict left-to-right evaluation (indexes still on): the
+  /// conformance family 12 foil and a debugging escape hatch. Derived
+  /// fact sets are identical in both modes.
+  PlannerMode planner = PlannerMode::kCostBased;
 };
 
 /// A federated evaluator plus views of the per-agent connections it

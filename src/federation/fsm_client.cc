@@ -423,6 +423,10 @@ Result<QueryPlan> FsmClient::Explain(const Query& query) const {
     plan.counters.facts_derived = outcome.stats.derived_facts;
     plan.counters.extents_fetched = outcome.stats.extents_fetched;
     plan.counters.join_probes = outcome.stats.index_probes;
+    plan.counters.cursor_steps = outcome.stats.cursor_steps;
+    plan.counters.merge_steps = outcome.stats.merge_steps;
+    plan.counters.gallop_steps = outcome.stats.gallop_steps;
+    plan.counters.plan_reorders = outcome.stats.plan_reorders;
     plan.counters.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     plan.fetch_overlap_saved_ms = std::max(
         0.0, outcome.stats.fetch_ms_sum - outcome.stats.fetch_wall_ms);

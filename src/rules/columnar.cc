@@ -167,6 +167,42 @@ bool PostingsCursor::Next(std::uint32_t* out) {
   return true;
 }
 
+std::uint32_t PostingsCursor::NextRun(std::uint32_t* out, std::uint32_t cap) {
+  if (remaining_ == 0 || cap == 0) return 0;
+  if (pool_ == nullptr) {  // inlined single posting
+    out[0] = inline_value_;
+    --remaining_;
+    ++decoded_;
+    return 1;
+  }
+  const std::uint8_t* block = pool_->BlockBytes(block_);
+  while (pos_ >= LoadU16(block + kUsedOffset)) {
+    block_ = LoadU32(block + kNextOffset);
+    pos_ = 0;
+    block = pool_->BlockBytes(block_);
+  }
+  const std::uint16_t used = LoadU16(block + kUsedOffset);
+  const std::uint8_t* payload = block + kHeaderBytes;
+  std::uint32_t n = 0;
+  // Decode whole varints until the block's used bytes, the caller's
+  // capacity or the snapshot's count runs out — whichever is first.
+  while (pos_ < used && n < cap && remaining_ != 0) {
+    std::uint32_t delta = 0;
+    int shift = 0;
+    std::uint8_t byte;
+    do {
+      byte = payload[pos_++];
+      delta |= static_cast<std::uint32_t>(byte & 0x7f) << shift;
+      shift += 7;
+    } while (byte & 0x80);
+    last_ += delta;
+    out[n++] = last_;
+    --remaining_;
+    ++decoded_;
+  }
+  return n;
+}
+
 size_t PostingsPool::ApproxBytes() const {
   return lists_.capacity() * sizeof(List) + chunks_.size() * kChunkSize +
          chunks_.capacity() * sizeof(chunks_[0]);

@@ -164,6 +164,13 @@ class PostingsCursor {
   /// Decodes the next (non-strictly ascending) posting; false at end.
   bool Next(std::uint32_t* out);
 
+  /// Bulk decode: fills `out` with up to `cap` postings, stopping at a
+  /// block boundary (or at the single inlined value) — the unit the
+  /// join kernels consume. Never decodes across blocks in one call, so
+  /// a caller sees the pool's chained 16→256-byte blocks one run at a
+  /// time. Returns the number decoded; 0 means the snapshot is drained.
+  std::uint32_t NextRun(std::uint32_t* out, std::uint32_t cap);
+
  private:
   std::uint32_t count_at() const { return remaining_ + decoded_; }
 

@@ -513,10 +513,19 @@ Status Evaluator::EvaluateImpl() {
   };
 
   // Per-rule join plans: the positions of positive fact literals (the
-  // delta-restrictable ones), with their concepts interned up front.
+  // delta-restrictable ones), with their concepts interned up front,
+  // plus the cost-based body orders. Plans are cached per (rule,
+  // stratum): the stratum boundary is where extent estimates shift
+  // most, and recomputing there keeps them fresh without per-round
+  // planner work.
   struct RulePlan {
     const Rule* rule;
     std::vector<std::pair<size_t, ConceptId>> positive;
+    // Body order for the unrestricted first round (no delta literal).
+    BodyPlan first_plan;
+    // delta_plans[k] is the order for the round with the delta window
+    // at positive[k].
+    std::vector<BodyPlan> delta_plans;
   };
 
   for (int stratum = 0; stratum <= max_stratum; ++stratum) {
@@ -538,6 +547,22 @@ Status Evaluator::EvaluateImpl() {
         }
       }
       active.push_back(std::move(plan));
+    }
+
+    // Plan rule bodies serially, before any parallel round reads them.
+    // The naive oracle and kFixedSip run unplanned; the kernel switch
+    // doubles as the "historical engine" baseline toggle for benches.
+    const bool plan_bodies = strategy_ != EvalStrategy::kNaive &&
+                             use_join_kernel_ &&
+                             planner_mode_ == PlannerMode::kCostBased;
+    if (plan_bodies) {
+      // Only the first (unrestricted) round's plans are computable now;
+      // delta plans wait for the seed round to populate extents (a
+      // stratum's own facts are invisible at stratum start, so their
+      // estimates here would all be zero).
+      for (RulePlan& plan : active) {
+        plan.first_plan = ComputePlan(*plan.rule, -1, -1);
+      }
     }
 
     if (strategy_ == EvalStrategy::kNaive) {
@@ -579,6 +604,11 @@ Status Evaluator::EvaluateImpl() {
       // round later here; the fixpoint closes over the same monotone
       // operator either way, so the final fact sets are identical.
       const bool parallel = pool_ != nullptr && pool_->size() > 1;
+      // kFixedSip: strict left-to-right with indexes still on — sound
+      // for every body the left-to-right naive oracle can evaluate.
+      const bool fixed_sip = planner_mode_ == PlannerMode::kFixedSip;
+      // Serial drivers share one scratch; parallel tasks each own one.
+      JoinScratch scratch;
       std::vector<std::uint32_t> prev;
       bool first = true;
       while (true) {
@@ -606,6 +636,21 @@ Status Evaluator::EvaluateImpl() {
         if (!first && delta_total == 0) break;
         ++stats_.iterations;
 
+        // Delta plans, computed lazily at the first delta round (serial
+        // code between rounds) and cached for the rest of the stratum:
+        // by now the seed round has run, so the estimates see the real
+        // post-seed cardinalities.
+        if (plan_bodies && !first) {
+          for (RulePlan& plan : active) {
+            if (plan.positive.empty() || !plan.delta_plans.empty()) continue;
+            plan.delta_plans.reserve(plan.positive.size());
+            for (const auto& [index, concept_id] : plan.positive) {
+              plan.delta_plans.push_back(
+                  ComputePlan(*plan.rule, static_cast<int>(index), -1));
+            }
+          }
+        }
+
         if (parallel) {
           // Build the round's task list: one task per delta window
           // chunk. Chunking only depends on the round-start counts and
@@ -614,6 +659,7 @@ Status Evaluator::EvaluateImpl() {
           struct RoundTask {
             const RulePlan* plan = nullptr;
             JoinContext ctx;
+            JoinScratch scratch;
             std::vector<Solution> solutions;
             Stats local;
             Status status;
@@ -623,7 +669,8 @@ Status Evaluator::EvaluateImpl() {
           const std::uint32_t target_tasks =
               static_cast<std::uint32_t>(2 * pool_->size());
           auto chunked = [&](const RulePlan& plan, size_t literal,
-                             std::uint32_t begin, std::uint32_t end) {
+                             const BodyPlan* body_plan, std::uint32_t begin,
+                             std::uint32_t end) {
             const std::uint32_t len = end - begin;
             std::uint32_t chunk = (len + target_tasks - 1) / target_tasks;
             if (chunk < kMinChunk) chunk = kMinChunk;
@@ -631,6 +678,8 @@ Status Evaluator::EvaluateImpl() {
               RoundTask task;
               task.plan = &plan;
               task.ctx.rule = plan.rule;
+              task.ctx.plan = body_plan;
+              if (fixed_sip) task.ctx.reorder = false;
               task.ctx.delta_literal = static_cast<int>(literal);
               task.ctx.delta_begin = at;
               task.ctx.delta_end = std::min(end, at + chunk);
@@ -643,6 +692,8 @@ Status Evaluator::EvaluateImpl() {
                 RoundTask task;
                 task.plan = &plan;
                 task.ctx.rule = plan.rule;
+                if (plan_bodies) task.ctx.plan = &plan.first_plan;
+                if (fixed_sip) task.ctx.reorder = false;
                 round.push_back(std::move(task));
                 continue;
               }
@@ -650,18 +701,25 @@ Status Evaluator::EvaluateImpl() {
               // positive literal's whole extent instead of a delta. An
               // empty extent means the rule cannot fire at all.
               const auto& [index, concept_id] = plan.positive.front();
-              chunked(plan, index, 0, cur[concept_id]);
+              chunked(plan, index, plan_bodies ? &plan.first_plan : nullptr,
+                      0, cur[concept_id]);
               continue;
             }
-            for (const auto& [index, concept_id] : plan.positive) {
+            for (size_t k = 0; k < plan.positive.size(); ++k) {
+              const auto& [index, concept_id] = plan.positive[k];
               if (prev[concept_id] >= cur[concept_id]) continue;
-              chunked(plan, index, prev[concept_id], cur[concept_id]);
+              chunked(plan, index,
+                      plan_bodies ? &plan.delta_plans[k] : nullptr,
+                      prev[concept_id], cur[concept_id]);
             }
           }
           std::vector<std::function<void()>> tasks;
           tasks.reserve(round.size());
+          // Pointer wiring only after `round` stops growing: stats and
+          // scratch live inside the vector's elements.
           for (RoundTask& task : round) {
             task.ctx.stats = &task.local;
+            task.ctx.scratch = &task.scratch;
             tasks.emplace_back([this, &matcher, &task] {
               task.status = SolveRule(matcher, task.ctx, &task.solutions);
             });
@@ -670,8 +728,7 @@ Status Evaluator::EvaluateImpl() {
           for (RoundTask& task : round) {
             OOINT_RETURN_IF_ERROR(task.status);
             ++stats_.rule_applications;
-            stats_.index_probes += task.local.index_probes;
-            stats_.index_scans += task.local.index_scans;
+            stats_.AddJoinCounters(task.local);
             size_t inserted = 0;
             OOINT_RETURN_IF_ERROR(InsertSolutions(*task.plan->rule, matcher,
                                                   task.solutions, &inserted));
@@ -685,6 +742,9 @@ Status Evaluator::EvaluateImpl() {
           if (first) {
             JoinContext ctx;
             ctx.rule = plan.rule;
+            ctx.scratch = &scratch;
+            if (plan_bodies) ctx.plan = &plan.first_plan;
+            if (fixed_sip) ctx.reorder = false;
             size_t inserted = 0;
             OOINT_RETURN_IF_ERROR(ApplyRule(matcher, ctx, &inserted));
             continue;
@@ -693,12 +753,16 @@ Status Evaluator::EvaluateImpl() {
           // positive position; run once per position with a non-empty
           // delta (rules without positive literals fired exhaustively in
           // the first round).
-          for (const auto& [index, concept_id] : plan.positive) {
+          for (size_t k = 0; k < plan.positive.size(); ++k) {
+            const auto& [index, concept_id] = plan.positive[k];
             const std::uint32_t begin = prev[concept_id];
             const std::uint32_t end = cur[concept_id];
             if (begin >= end) continue;
             JoinContext ctx;
             ctx.rule = plan.rule;
+            ctx.scratch = &scratch;
+            if (plan_bodies) ctx.plan = &plan.delta_plans[k];
+            if (fixed_sip) ctx.reorder = false;
             ctx.delta_literal = static_cast<int>(index);
             ctx.delta_begin = begin;
             ctx.delta_end = end;
@@ -736,6 +800,35 @@ std::vector<const Fact*> Evaluator::FactsOf(
   return out;
 }
 
+BodyPlan Evaluator::ComputePlan(const Rule& rule, int delta_literal,
+                                int pivot_literal) const {
+  PlannerInput in;
+  in.rule = &rule;
+  in.delta_literal = delta_literal;
+  in.pivot_literal = pivot_literal;
+  in.extent_cost.assign(rule.body.size(), -1.0);
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Literal& literal = rule.body[i];
+    if (literal.kind == Literal::Kind::kCompare || literal.negated) continue;
+    const std::string& name = literal.kind == Literal::Kind::kOTerm
+                                  ? literal.oterm.class_name
+                                  : literal.pred_name;
+    const ConceptId id = store_.FindConcept(name);
+    double est =
+        id == kNoConcept ? 0.0 : static_cast<double>(store_.CountOf(id));
+    // Magic guard extents hold only the demanded bindings, and joining
+    // through one binds the adorned variables of its rule — better
+    // selectivity than the raw count suggests.
+    if (IsMagicConceptName(name)) est *= 0.25;
+    in.extent_cost[i] = est;
+  }
+  BodyPlan plan = PlanBody(in, PlannerMode::kCostBased);
+  // stats_ is written directly: plans are only computed in serial
+  // sections (stratum starts, query/demand setup).
+  if (plan.reordered) ++stats_.plan_reorders;
+  return plan;
+}
+
 void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
                                   const Literal& literal,
                                   const Bindings& bindings,
@@ -766,6 +859,15 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
   }
   if (begin >= end) return;
 
+  // Scratch for the kernel path: the caller's driver-owned buffers, or
+  // call-local ones on cold paths that never wired any.
+  JoinScratch local_scratch;
+  JoinScratch& scratch =
+      ctx.scratch != nullptr ? *ctx.scratch : local_scratch;
+  std::vector<PostingsCursor>& cursors = scratch.cursors;
+  cursors.clear();
+  size_t best_index = 0;
+
   bool have_best = false;
   PostingsCursor best;
   if (ctx.use_index) {
@@ -782,11 +884,15 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
       if (!probeable(v)) return;
       // An empty cursor on a bound position is an empty join (the old
       // "no hash bucket" outcome); otherwise the smallest posting list
-      // wins, first-considered on ties.
+      // seeds the candidates, first-considered on ties — and with the
+      // kernels on, every other probeable cursor is intersected in.
       PostingsCursor hits = store_.Probe(*concept_id, attr, v);
+      ++counters.index_probes;
+      if (use_join_kernel_) cursors.push_back(hits);
       if (!have_best || hits.count() < best.count()) {
         have_best = true;
         best = hits;
+        best_index = cursors.empty() ? 0 : cursors.size() - 1;
       }
     };
     if (literal.kind == Literal::Kind::kOTerm) {
@@ -827,13 +933,40 @@ void Evaluator::CollectCandidates(const JoinContext& ctx, size_t literal_index,
   }
 
   if (have_best) {
-    ++counters.index_probes;
-    // Postings stream in non-decreasing ordinal order; keep the
-    // [begin, end) window.
-    std::uint32_t ordinal = 0;
-    while (best.Next(&ordinal)) {
-      if (ordinal >= end) break;
-      if (ordinal >= begin) candidates->push_back(ordinal);
+    if (!use_join_kernel_) {
+      // Historical probe loop: decode only the smallest cursor,
+      // tuple-at-a-time; the matcher re-checks every other bound pair.
+      std::uint32_t ordinal = 0;
+      while (best.Next(&ordinal)) {
+        ++counters.cursor_steps;
+        if (ordinal >= end) break;
+        if (ordinal >= begin) candidates->push_back(ordinal);
+      }
+      return;
+    }
+    // Kernel path: bulk-decode the smallest cursor's window, then
+    // intersect every other probeable cursor in. Each intersection
+    // removes only ordinals the matcher would reject anyway (a posting
+    // list contains every true match for its (attr, value) key; hash
+    // collisions are re-verified downstream), and it preserves order
+    // and duplicates, so the surviving candidate sequence — and hence
+    // the derived fact stream — is identical to the probe loop's.
+    counters.cursor_steps += DecodeWindow(best, begin, end, candidates);
+    if (cursors.size() > 1 && !candidates->empty()) {
+      JoinKernelStats ks;
+      for (size_t i = 0; i < cursors.size(); ++i) {
+        if (i == best_index) continue;
+        if (candidates->empty()) break;
+        // A cursor vastly larger than the survivor set costs more to
+        // decode than the matcher calls it could save.
+        if (cursors[i].count() > kIntersectBudget * (candidates->size() + 1)) {
+          continue;
+        }
+        FilterByCursor(candidates, cursors[i], begin, end, &scratch, &ks);
+      }
+      counters.cursor_steps += ks.cursor_steps;
+      counters.merge_steps += ks.merge_steps;
+      counters.gallop_steps += ks.gallop_steps;
     }
     return;
   }
@@ -851,16 +984,23 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
     return Status::OK();
   }
   const std::vector<Literal>& body = ctx.rule->body;
+  const size_t depth = body.size() - remaining;
 
-  // Pick the next literal. The naive oracle keeps the written order;
-  // otherwise: (1) an already-decidable filter (a comparison with both
+  // Pick the next literal. A precomputed plan replays the choice with
+  // zero per-row work (a successful match binds every variable of its
+  // literal, so the bound sets — and thus the dynamic heuristic below —
+  // are a static function of the consumed prefix). Otherwise the naive
+  // oracle keeps the written order, or the historical dynamic pick
+  // runs: (1) an already-decidable filter (a comparison with both
   // sides bound, an equality able to bind its one unbound side, or a
   // fully bound negated literal) runs immediately, (2) among positive
   // fact literals the one with the most bound variables wins (the delta
   // literal breaks ties — its window is the smallest extent), (3) any
   // leftover keeps the old left-to-right semantics.
   size_t pick = body.size();
-  if (!ctx.reorder) {
+  if (ctx.plan != nullptr && ctx.plan->order.size() == body.size()) {
+    pick = ctx.plan->order[depth];
+  } else if (!ctx.reorder) {
     for (size_t i = 0; i < body.size(); ++i) {
       if (!(*done)[i]) {
         pick = i;
@@ -912,6 +1052,19 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
 
   const Literal& literal = body[pick];
   (*done)[pick] = 1;
+  // Candidate buffer: the scratch pool's depth slot when the driver
+  // wired one (reused across every solution row at this depth; the pool
+  // is pre-sized so the reference survives deeper frames), else a local
+  // vector as before.
+  std::vector<std::uint32_t> local_candidates;
+  auto candidate_buffer = [&]() -> std::vector<std::uint32_t>& {
+    if (ctx.scratch != nullptr) {
+      std::vector<std::uint32_t>& c = ctx.scratch->CandidatesAt(depth);
+      c.clear();
+      return c;
+    }
+    return local_candidates;
+  };
   auto recurse = [&](Solution next) {
     return SolveBody(matcher, ctx, done, remaining - 1, std::move(next),
                      solutions);
@@ -925,7 +1078,7 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
   switch (literal.kind) {
     case Literal::Kind::kOTerm: {
       ConceptId concept_id = kNoConcept;
-      std::vector<std::uint32_t> candidates;
+      std::vector<std::uint32_t>& candidates = candidate_buffer();
       CollectCandidates(ctx, pick, literal, solution.bindings, &candidates,
                         &concept_id);
       if (!literal.negated) {
@@ -962,7 +1115,7 @@ Status Evaluator::SolveBody(const FactMatcher& matcher, const JoinContext& ctx,
     }
     case Literal::Kind::kPredicate: {
       ConceptId concept_id = kNoConcept;
-      std::vector<std::uint32_t> candidates;
+      std::vector<std::uint32_t>& candidates = candidate_buffer();
       CollectCandidates(ctx, pick, literal, solution.bindings, &candidates,
                         &concept_id);
       // Positional attribute names ("0", "1", ...) formatted into a
@@ -1071,6 +1224,9 @@ Status Evaluator::ApplyRule(const FactMatcher& matcher, const JoinContext& ctx,
 Status Evaluator::SolveRule(const FactMatcher& matcher, const JoinContext& ctx,
                             std::vector<Solution>* solutions) const {
   const Rule& rule = *ctx.rule;
+  // Pre-size the depth pool so CandidatesAt never reallocates while
+  // outer recursion frames hold references into it.
+  if (ctx.scratch != nullptr) ctx.scratch->EnsureDepths(rule.body.size());
   Solution init;
   init.matched.assign(rule.body.size(), FactView());
   std::vector<char> done(rule.body.size(), 0);
@@ -1237,15 +1393,16 @@ Result<std::vector<Bindings>> Evaluator::Query(const OTerm& pattern) const {
   // queries on one evaluated federation never race on stats_.
   const Literal literal = Literal::OfOTerm(pattern);
   Stats local;
+  JoinScratch scratch;
   JoinContext ctx;
   ctx.stats = &local;
+  ctx.scratch = &scratch;
   ConceptId concept_id = kNoConcept;
   std::vector<std::uint32_t> candidates;
   CollectCandidates(ctx, 0, literal, Bindings(), &candidates, &concept_id);
   {
     std::lock_guard<std::mutex> lock(*stats_mu_);
-    stats_.index_probes += local.index_probes;
-    stats_.index_scans += local.index_scans;
+    stats_.AddJoinCounters(local);
   }
   std::vector<Bindings> out;
   for (std::uint32_t ordinal : candidates) {
@@ -1344,15 +1501,16 @@ Result<std::unique_ptr<RowSource>> Evaluator::OpenQueryStream(
   // of each candidate is deferred to the pulls.
   const Literal literal = Literal::OfOTerm(pattern);
   Stats local;
+  JoinScratch scratch;
   JoinContext ctx;
   ctx.stats = &local;
+  ctx.scratch = &scratch;
   ConceptId concept_id = kNoConcept;
   std::vector<std::uint32_t> candidates;
   CollectCandidates(ctx, 0, literal, Bindings(), &candidates, &concept_id);
   {
     std::lock_guard<std::mutex> lock(*stats_mu_);
-    stats_.index_probes += local.index_probes;
-    stats_.index_scans += local.index_scans;
+    stats_.AddJoinCounters(local);
   }
   return std::unique_ptr<RowSource>(
       new QueryStream(pattern, MakeMatcher(), &store_, live_filter_,
@@ -1377,6 +1535,8 @@ Result<Evaluator::DemandOutcome> Evaluator::EvaluateDemand(
   auto sub = std::make_shared<Evaluator>();
   sub->strategy_ = strategy_;
   sub->failure_policy_ = failure_policy_;
+  sub->planner_mode_ = planner_mode_;  // demand joins plan like the parent
+  sub->use_join_kernel_ = use_join_kernel_;
   sub->mappings_ = mappings_;
   sub->token_ = token;  // the query's deadline bounds the sub-fixpoint
   sub->pool_ = pool_;  // demand fixpoints parallelize like the parent

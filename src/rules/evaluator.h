@@ -17,7 +17,9 @@
 #include "model/instance_store.h"
 #include "rules/fact.h"
 #include "rules/fact_store.h"
+#include "rules/join_kernel.h"
 #include "rules/matcher.h"
+#include "rules/planner.h"
 #include "rules/result_pipeline.h"
 #include "rules/rule.h"
 
@@ -242,6 +244,19 @@ class Evaluator {
   void set_failure_policy(FailurePolicy policy) { failure_policy_ = policy; }
   FailurePolicy failure_policy() const { return failure_policy_; }
 
+  /// How rule bodies are ordered (rules/planner.h). kCostBased (the
+  /// default) precomputes a per-(rule, stratum) plan from extent
+  /// estimates; kFixedSip forces left-to-right with indexes on — the
+  /// conformance family-12 foil. Demand sub-evaluators inherit it.
+  void set_planner_mode(PlannerMode mode) { planner_mode_ = mode; }
+  PlannerMode planner_mode() const { return planner_mode_; }
+
+  /// Toggles the batch join kernels (rules/join_kernel.h). Off, literal
+  /// expansion falls back to the historical per-fact probe loop — the
+  /// bench_join baseline. Derived fact sets are identical either way.
+  void set_join_kernel_enabled(bool enabled) { use_join_kernel_ = enabled; }
+  bool join_kernel_enabled() const { return use_join_kernel_; }
+
   /// End-to-end deadline / cancellation for the next Evaluate(). The
   /// token is checked before every extent fetch and at every fixpoint
   /// round boundary (each round charges CancelToken::kRoundChargeMs;
@@ -295,10 +310,21 @@ class Evaluator {
     size_t rule_applications = 0;
     size_t iterations = 0;
     size_t strata = 0;
-    /// Literal expansions answered by an index lookup vs. by scanning a
+    /// Index *lookups* (Probe/ProbeOid calls answering a literal
+    /// expansion) vs. literal expansions answered by scanning a
     /// concept_id extent (or delta window).
     size_t index_probes = 0;
     size_t index_scans = 0;
+    /// Postings decoded off PostingsCursors (cursor advance steps) —
+    /// the per-posting cost index_probes used to mislabel.
+    size_t cursor_steps = 0;
+    /// Join-kernel work: linear-merge/bitmap operations and galloping
+    /// hops of the postings intersections (see rules/join_kernel.h).
+    size_t merge_steps = 0;
+    size_t gallop_steps = 0;
+    /// Body plans where cost estimates overrode the connectivity SIP
+    /// (see rules/planner.h).
+    size_t plan_reorders = 0;
     /// Total delta facts fed into each fixpoint round, in order.
     std::vector<size_t> delta_sizes;
     /// Wall-clock milliseconds spent per stratum.
@@ -311,6 +337,17 @@ class Evaluator {
     /// Their difference is the latency the overlap hid.
     double fetch_ms_sum = 0;
     double fetch_wall_ms = 0;
+
+    /// Accumulates another Stats' join counters (task-local and
+    /// query-local merges).
+    void AddJoinCounters(const Stats& other) {
+      index_probes += other.index_probes;
+      index_scans += other.index_scans;
+      cursor_steps += other.cursor_steps;
+      merge_steps += other.merge_steps;
+      gallop_steps += other.gallop_steps;
+      plan_reorders += other.plan_reorders;
+    }
   };
   const Stats& stats() const { return stats_; }
 
@@ -432,6 +469,16 @@ class Evaluator {
     Stats* stats = nullptr;
     /// Incremental world/pivot hooks; null for the classic fixpoint.
     const IncrementalHooks* inc = nullptr;
+    /// Precomputed body order (rules/planner.h), replayed instead of
+    /// the per-row dynamic pick. Null falls back to the dynamic
+    /// heuristic (and `reorder`/`use_index` keep their old meaning).
+    /// Plans are computed in serial sections (stratum start) and read
+    /// concurrently by solve tasks.
+    const BodyPlan* plan = nullptr;
+    /// Reusable candidate/run buffers (rules/join_kernel.h); one per
+    /// driver, never shared across threads. Null means per-call local
+    /// buffers (cold paths).
+    JoinScratch* scratch = nullptr;
   };
 
   /// The shared unification machinery, wired to this evaluator's fact
@@ -486,6 +533,15 @@ class Evaluator {
                    std::vector<char>* done, size_t remaining,
                    Solution solution, std::vector<Solution>* solutions) const;
 
+  /// Computes the body plan for one (rule, delta literal, pivot
+  /// literal) from the store's current extent counts, with magic-guard
+  /// concepts treated as high-selectivity seeds. Ticks
+  /// stats_.plan_reorders when estimates overrode the SIP. Called from
+  /// serial sections only (stratum starts, the incremental driver);
+  /// the returned plan is then read concurrently by solve tasks.
+  BodyPlan ComputePlan(const Rule& rule, int delta_literal,
+                       int pivot_literal) const;
+
   /// Candidate facts for a positive or negated fact literal: an index
   /// probe when some argument/descriptor is bound to a hashable value,
   /// otherwise the concept_id extent; restricted to the delta window when
@@ -512,6 +568,8 @@ class Evaluator {
   const DataMappingRegistry* mappings_ = nullptr;
   EvalStrategy strategy_ = EvalStrategy::kSemiNaive;
   FailurePolicy failure_policy_ = FailurePolicy::kStrict;
+  PlannerMode planner_mode_ = PlannerMode::kCostBased;
+  bool use_join_kernel_ = true;
   /// Per-query deadline/cancellation (never expires by default).
   CancelToken token_;
   DegradedInfo degraded_;

@@ -238,6 +238,11 @@ Status IncrementalEvaluator::RunBatch(const BaseDelta& delta, bool initial,
   net_born_.clear();
   net_dead_.clear();
   parked_overdeleted_.clear();
+  // Batch boundary: base deltas (and any program change since the last
+  // batch) may have shifted extent cardinalities, so cached pivot-join
+  // plans are stale. They are cheap to rebuild — one symbolic replay
+  // per (rule, pivot position) on first use.
+  plan_cache_.clear();
 
   // Phase 0: base-fact application. Inserts before deletes, so an
   // insert-then-delete of one fact inside one batch nets out.
@@ -740,6 +745,22 @@ Status IncrementalEvaluator::SolvePivot(
   ctx.delta_begin = 0;
   ctx.delta_end = std::numeric_limits<std::uint32_t>::max();
   ctx.stats = &scratch_stats_;
+  ctx.scratch = &join_scratch_;
+  // Pivot joins replay a cached cost-based plan: the pivot position is
+  // a single fact (selectivity 1), so the planner anchors the join
+  // there and orders the rest by estimated cost.
+  if (ev_->use_join_kernel_ &&
+      ev_->planner_mode_ == PlannerMode::kCostBased) {
+    const auto key = std::make_pair(&rule, pos);
+    auto it = plan_cache_.find(key);
+    if (it == plan_cache_.end()) {
+      it = plan_cache_
+               .emplace(key, ev_->ComputePlan(rule, static_cast<int>(pos),
+                                              static_cast<int>(pos)))
+               .first;
+    }
+    ctx.plan = &it->second;
+  }
   Evaluator::IncrementalHooks hooks;
   hooks.pivot_literal = static_cast<int>(pos);
   hooks.pivot_fact = pivot;
@@ -827,6 +848,11 @@ Status IncrementalEvaluator::SolveSeeded(
   Evaluator::JoinContext ctx;
   ctx.rule = &rule;
   ctx.stats = &scratch_stats_;
+  // Kernel scratch only — no plan: the seed binds variables the static
+  // planner cannot see, so the dynamic per-row pick (which reads the
+  // actual bindings) stays in charge here.
+  ctx.scratch = &join_scratch_;
+  join_scratch_.EnsureDepths(rule.body.size());
   Evaluator::IncrementalHooks hooks;
   hooks.admit = admit;
   ctx.inc = &hooks;

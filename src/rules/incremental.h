@@ -301,6 +301,13 @@ class IncrementalEvaluator {
   /// Scratch counter sink for engine-driven joins (keeps the adopted
   /// evaluator's own query counters unpolluted).
   mutable Evaluator::Stats scratch_stats_;
+  /// Join-kernel scratch for the engine's serial pivot/seeded joins.
+  mutable JoinScratch join_scratch_;
+  /// Pivot-join plan cache, keyed by (rule address, pivot position).
+  /// Invalidated wholesale on rule deltas (AddRule/RemoveRule change
+  /// the program) and on batch boundaries where extents moved enough
+  /// to matter — cheap to rebuild, so Apply simply clears it.
+  mutable std::map<std::pair<const Rule*, size_t>, BodyPlan> plan_cache_;
 
   static std::atomic<bool> decrement_bug_;
 };

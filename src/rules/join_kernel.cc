@@ -1,0 +1,149 @@
+#include "rules/join_kernel.h"
+
+#include <algorithm>
+
+namespace ooint {
+
+namespace {
+
+/// Largest possible postings-per-block run: a 256-byte payload of
+/// 1-byte varints.
+constexpr std::uint32_t kMaxRun = 256;
+
+}  // namespace
+
+size_t GallopTo(const std::uint32_t* data, size_t size, size_t from,
+                std::uint32_t target, size_t* steps) {
+  size_t local = 0;
+  size_t lo = from;
+  if (lo >= size || data[lo] >= target) {
+    if (steps != nullptr) *steps += 1;
+    return lo;
+  }
+  // Exponential probe: bracket the answer in (lo, hi].
+  size_t bound = 1;
+  size_t hi = lo + bound;
+  ++local;
+  while (hi < size && data[hi] < target) {
+    lo = hi;
+    bound <<= 1;
+    hi = lo + bound;
+    ++local;
+  }
+  if (hi > size) hi = size;
+  // Binary search the bracket.
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++local;
+    if (data[mid] < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (steps != nullptr) *steps += local;
+  return hi;
+}
+
+size_t DecodeWindow(PostingsCursor cursor, std::uint32_t begin,
+                    std::uint32_t end, std::vector<std::uint32_t>* out) {
+  std::uint32_t buf[kMaxRun];
+  size_t decoded = 0;
+  std::uint32_t n;
+  while ((n = cursor.NextRun(buf, kMaxRun)) != 0) {
+    decoded += n;
+    if (buf[n - 1] < begin) continue;  // whole block below the window
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (buf[i] >= end) return decoded;  // ascending: nothing more fits
+      if (buf[i] >= begin) out->push_back(buf[i]);
+    }
+    if (buf[n - 1] >= end) return decoded;
+  }
+  return decoded;
+}
+
+void FilterByCursor(std::vector<std::uint32_t>* a, PostingsCursor cursor,
+                    std::uint32_t begin, std::uint32_t end,
+                    JoinScratch* scratch, JoinKernelStats* stats) {
+  if (a->empty()) return;
+  const std::uint32_t span = end > begin ? end - begin : 0;
+
+  // Dense fallback: the cursor covers a sizable fraction of the window
+  // and `a` is long enough that per-element merging loses to a bitmap
+  // of the window tested bit-at-a-time.
+  if (span > 0 && a->size() >= kBitmapMinRun &&
+      static_cast<std::uint64_t>(cursor.count()) * kBitmapDensity >= span) {
+    std::vector<std::uint64_t>& bitmap = scratch->bitmap;
+    bitmap.assign((span + 63) / 64, 0);
+    std::uint32_t buf[kMaxRun];
+    std::uint32_t n;
+    while ((n = cursor.NextRun(buf, kMaxRun)) != 0) {
+      stats->cursor_steps += n;
+      if (buf[n - 1] < begin) continue;
+      bool past_end = false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (buf[i] >= end) {
+          past_end = true;
+          break;
+        }
+        if (buf[i] < begin) continue;
+        const std::uint32_t off = buf[i] - begin;
+        bitmap[off >> 6] |= 1ull << (off & 63);
+        ++stats->merge_steps;
+      }
+      if (past_end) break;
+    }
+    size_t kept = 0;
+    for (std::uint32_t v : *a) {
+      ++stats->merge_steps;
+      const std::uint32_t off = v - begin;
+      if (v >= begin && v < end && (bitmap[off >> 6] >> (off & 63)) & 1) {
+        (*a)[kept++] = v;
+      }
+    }
+    a->resize(kept);
+    return;
+  }
+
+  // Streaming merge: consume the cursor one block run at a time,
+  // filtering `a` in place. `read` walks a, `kept` compacts survivors.
+  std::uint32_t buf[kMaxRun];
+  size_t read = 0;
+  size_t kept = 0;
+  const size_t a_size = a->size();
+  std::uint32_t* data = a->data();
+  std::uint32_t n;
+  while (read < a_size && (n = cursor.NextRun(buf, kMaxRun)) != 0) {
+    stats->cursor_steps += n;
+    ++stats->merge_steps;
+    if (buf[n - 1] < data[read]) continue;  // skip the whole block
+    std::uint32_t j = 0;
+    if (n >= kGallopRatio * (a_size - read)) {
+      // Skewed: gallop each remaining candidate into the block.
+      while (read < a_size && data[read] <= buf[n - 1]) {
+        j = static_cast<std::uint32_t>(
+            GallopTo(buf, n, j, data[read], &stats->gallop_steps));
+        if (j < n && buf[j] == data[read]) data[kept++] = data[read];
+        ++read;
+      }
+    } else {
+      // Comparable: linear two-pointer merge. On equality the
+      // candidate survives and only `read` advances, so duplicate
+      // candidates (collision repeats) are preserved.
+      while (read < a_size && j < n) {
+        ++stats->merge_steps;
+        if (data[read] < buf[j]) {
+          ++read;
+        } else if (buf[j] < data[read]) {
+          ++j;
+        } else {
+          data[kept++] = data[read];
+          ++read;
+        }
+      }
+    }
+  }
+  a->resize(kept);
+}
+
+}  // namespace ooint

@@ -134,6 +134,10 @@ GoalBinding ExtractGoalBinding(const OTerm& pattern) {
   return goal;
 }
 
+// Also consulted by the cost planner (Evaluator::ComputePlan): magic
+// extents hold only demanded bindings, so their estimates get a 4x
+// selectivity discount — a magic guard should open a planned body
+// ahead of a similarly-sized base extent.
 bool IsMagicConceptName(const std::string& name) {
   return name.rfind(kMagicPrefix, 0) == 0;
 }

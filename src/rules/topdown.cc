@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "rules/matcher.h"
+#include "rules/planner.h"
 
 namespace ooint {
 
@@ -100,8 +101,27 @@ Result<std::vector<Fact>> TopDownEvaluator::ApplyRule(
     body_facts.emplace(concept_name, std::move(facts).value());
   }
 
+  // Cost-based body order: extent estimates are the sizes of the
+  // pre-fetched temp relations; the seed's variables are bound up
+  // front. Bodies here are negation-free (AddRule enforces it), so
+  // reordering O-terms is always safe, and comparisons keep their
+  // decidability constraints via the planner's binding replay.
+  PlannerInput pin;
+  pin.rule = &rule;
+  pin.extent_cost.assign(rule.body.size(), -1.0);
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Literal& l = rule.body[i];
+    if (l.kind != Literal::Kind::kOTerm) continue;
+    pin.extent_cost[i] =
+        static_cast<double>(body_facts[l.oterm.class_name].size());
+  }
+  for (const auto& [var, value] : seed) pin.initial_bound.insert(var);
+  const BodyPlan plan = PlanBody(pin, PlannerMode::kCostBased);
+  if (plan.reordered) ++stats_.plan_reorders;
+
   std::vector<Bindings> solutions = {Bindings(seed.begin(), seed.end())};
-  for (const Literal& literal : rule.body) {
+  for (const std::uint32_t pick : plan.order) {
+    const Literal& literal = rule.body[pick];
     std::vector<Bindings> next;
     if (literal.kind == Literal::Kind::kOTerm) {
       ++stats_.joins;

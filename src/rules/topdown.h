@@ -68,6 +68,10 @@ class TopDownEvaluator {
     size_t rule_invocations = 0;
     size_t joins = 0;
     size_t memo_hits = 0;
+    /// Rule applications where the cost-based planner overrode the
+    /// written body order (temp-relation sizes proved another literal
+    /// cheaper by the kCostMargin factor).
+    size_t plan_reorders = 0;
   };
   const Stats& stats() const { return stats_; }
 

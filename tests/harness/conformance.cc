@@ -73,6 +73,8 @@ const char* OracleFamilyName(OracleFamily family) {
       return "delta-rebuild";
     case OracleFamily::kServing:
       return "serving";
+    case OracleFamily::kPlannerSip:
+      return "planner-vs-fixed-sip";
   }
   return "?";
 }
@@ -805,9 +807,41 @@ Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
         }
       }
     }
-    // Restore the semi-naive state for the partial-answer comparison.
+    // Family 12: cost-based planner vs forced left-to-right joins
+    // (kFixedSip, indexes still on). Body order steers only how the
+    // fixpoint enumerates instantiations, so the derived per-concept
+    // fact multisets must be identical.
+    outcome.ran.insert(OracleFamily::kPlannerSip);
     baseline.Reset();
     baseline.set_strategy(EvalStrategy::kSemiNaive);
+    baseline.set_planner_mode(PlannerMode::kFixedSip);
+    const Status sip_eval = baseline.Evaluate();
+    if (!sip_eval.ok()) {
+      outcome.failures.push_back(
+          StrCat("planner-vs-fixed-sip: fixed-SIP re-evaluation failed: ",
+                 sip_eval.ToString()));
+    } else {
+      const std::map<std::string, std::multiset<std::string>> sip_facts =
+          Snapshot(baseline, federation.global);
+      if (sip_facts != semi_naive) {
+        for (const auto& [name, keys] : semi_naive) {
+          const auto it = sip_facts.find(name);
+          if (it == sip_facts.end() || it->second != keys) {
+            outcome.failures.push_back(StrCat(
+                "planner-vs-fixed-sip: concept ", name, " has ",
+                keys.size(), " facts under the cost-based planner vs ",
+                it == sip_facts.end() ? 0 : it->second.size(),
+                " under fixed left-to-right"));
+          }
+        }
+      }
+    }
+
+    // Restore the semi-naive, cost-based state for the partial-answer
+    // comparison.
+    baseline.Reset();
+    baseline.set_strategy(EvalStrategy::kSemiNaive);
+    baseline.set_planner_mode(PlannerMode::kCostBased);
     OOINT_RETURN_IF_ERROR(baseline.Evaluate());
 
     // Family 5: partial answers under the case's fault schedule.
@@ -844,6 +878,48 @@ Result<OracleOutcome> CheckCase(const ConcreteCase& c) {
 
     const std::map<std::string, std::multiset<std::string>> partial_facts =
         Snapshot(*partial.value().evaluator, federation.global);
+
+    // Family 12 under faults: a fixed-SIP kPartial federation on the
+    // same fault schedule must degrade identically — byte-identical
+    // DegradedInfo and identical fact multisets. Faults are injected
+    // per extent *fetch*, which the planner never reorders, so join
+    // order must not change what is derived or what is admitted to
+    // have been missed.
+    {
+      FaultInjector sip_injector(c.fault_seed, c.fault_rate);
+      FederationOptions sip_options;
+      sip_options.failure_policy = FailurePolicy::kPartial;
+      sip_options.injector = &sip_injector;
+      sip_options.planner = PlannerMode::kFixedSip;
+      const Result<FederatedEvaluator> sip_partial =
+          federation.fsm.MakeFederatedEvaluator(federation.global,
+                                                sip_options);
+      if (!sip_partial.ok()) {
+        outcome.failures.push_back(StrCat(
+            "planner-vs-fixed-sip: fixed-SIP partial-mode evaluation "
+            "failed outright: ",
+            sip_partial.status().ToString()));
+      } else {
+        const std::string cost_degraded = degraded.ToString();
+        const std::string sip_degraded =
+            sip_partial.value().evaluator->degraded().ToString();
+        if (cost_degraded != sip_degraded) {
+          outcome.failures.push_back(StrCat(
+              "planner-vs-fixed-sip: DegradedInfo diverges under the "
+              "same fault schedule — cost-based {", cost_degraded,
+              "} vs fixed-SIP {", sip_degraded, "}"));
+        }
+        const std::map<std::string, std::multiset<std::string>> sip_facts =
+            Snapshot(*sip_partial.value().evaluator, federation.global);
+        if (sip_facts != partial_facts) {
+          outcome.failures.push_back(
+              "planner-vs-fixed-sip: degraded fact multisets diverge "
+              "between the cost-based and fixed-SIP planners under the "
+              "same fault schedule");
+        }
+      }
+    }
+
     const std::set<std::string> unsound(degraded.unsound_concepts.begin(),
                                         degraded.unsound_concepts.end());
     const std::set<std::string> incomplete(

@@ -100,6 +100,15 @@ enum class OracleFamily {
   /// the *same client's* Run answer (same degraded snapshot), so the
   /// property holds whatever the faults removed.
   kServing,
+  /// Planner-vs-fixed-SIP (DESIGN.md §4l): the cost-based literal
+  /// planner and a forced left-to-right body order (kFixedSip, indexes
+  /// still on) must derive identical per-concept fact multisets over
+  /// the integrated federation, and under the case's fault schedule a
+  /// kPartial fixed-SIP federation must report byte-identical
+  /// DegradedInfo and identical fact multisets to the kPartial
+  /// cost-based one — join order must never change what is derived or
+  /// what is admitted to have been missed.
+  kPlannerSip,
 };
 
 const char* OracleFamilyName(OracleFamily family);

@@ -64,6 +64,8 @@ TEST(ConformanceSweepTest, TwoHundredSeedsPassEveryOracle) {
   EXPECT_TRUE(covered.count(OracleFamily::kStoreDifferential));
   EXPECT_TRUE(covered.count(OracleFamily::kOverload));
   EXPECT_TRUE(covered.count(OracleFamily::kDeltaRebuild));
+  EXPECT_TRUE(covered.count(OracleFamily::kServing));
+  EXPECT_TRUE(covered.count(OracleFamily::kPlannerSip));
 }
 
 TEST(ConformanceSweepTest, ConsistencyOracleAlwaysRuns) {

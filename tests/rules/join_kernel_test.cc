@@ -1,0 +1,244 @@
+// Edge-case suite for the batch join kernels (DESIGN.md §4l): bulk
+// block-at-a-time decoding off PostingsCursors, galloping search, and
+// the FilterByCursor intersection kernel that CollectCandidates uses to
+// intersect every probeable posting list. Cases the sweep rarely hits:
+// empty runs, the inlined single posting, fully disjoint runs, prefix
+// runs, and runs crossing the PostingsPool 16→256-byte block chain.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rules/columnar.h"
+#include "rules/join_kernel.h"
+
+namespace ooint {
+namespace {
+
+PostingsPool* SharedPool() {
+  static PostingsPool* pool = new PostingsPool();
+  return pool;
+}
+
+/// A pool-backed cursor over `values` (ascending, duplicates allowed).
+PostingsCursor CursorOf(const std::vector<std::uint32_t>& values) {
+  PostingsPool* pool = SharedPool();
+  const std::uint32_t list = pool->NewList();
+  for (std::uint32_t v : values) pool->Append(list, v);
+  return pool->Cursor(list);
+}
+
+std::vector<std::uint32_t> Drain(PostingsCursor cursor) {
+  std::vector<std::uint32_t> out;
+  std::uint32_t v = 0;
+  while (cursor.Next(&v)) out.push_back(v);
+  return out;
+}
+
+std::vector<std::uint32_t> Filter(std::vector<std::uint32_t> a,
+                                  PostingsCursor cursor, std::uint32_t begin,
+                                  std::uint32_t end,
+                                  JoinKernelStats* stats = nullptr) {
+  JoinScratch scratch;
+  JoinKernelStats local;
+  FilterByCursor(&a, cursor, begin, end, &scratch,
+                 stats != nullptr ? stats : &local);
+  return a;
+}
+
+TEST(GallopToTest, LocatesFirstNotLessThanTarget) {
+  const std::uint32_t data[] = {2, 4, 4, 8, 16, 32, 64, 99};
+  size_t steps = 0;
+  EXPECT_EQ(GallopTo(data, 8, 0, 1, &steps), 0u);   // before everything
+  EXPECT_EQ(GallopTo(data, 8, 0, 4, &steps), 1u);   // first of the dup pair
+  EXPECT_EQ(GallopTo(data, 8, 0, 5, &steps), 3u);   // between elements
+  EXPECT_EQ(GallopTo(data, 8, 0, 99, &steps), 7u);  // last element
+  EXPECT_EQ(GallopTo(data, 8, 0, 100, &steps), 8u);  // past the end
+  EXPECT_GT(steps, 0u);
+  // Restarting from a mid position never goes backwards.
+  EXPECT_EQ(GallopTo(data, 8, 5, 4, nullptr), 5u);
+}
+
+TEST(NextRunTest, EmptyAndInlineCursors) {
+  std::uint32_t buf[8];
+  PostingsCursor empty;
+  EXPECT_EQ(empty.NextRun(buf, 8), 0u);
+
+  // The inlined single posting (the PostingsIndex fast path: one value
+  // per key costs no arena bytes) comes out as a run of one.
+  PostingsIndex index;
+  index.Add(/*key=*/42, /*value=*/7);
+  PostingsCursor inline_cursor = index.Find(42);
+  EXPECT_EQ(inline_cursor.count(), 1u);
+  ASSERT_EQ(inline_cursor.NextRun(buf, 8), 1u);
+  EXPECT_EQ(buf[0], 7u);
+  EXPECT_EQ(inline_cursor.NextRun(buf, 8), 0u);
+}
+
+TEST(NextRunTest, WalksTheBlockChainWithoutLosingPostings) {
+  // 600 postings force the 16→32→64→128→256-byte chain, so NextRun
+  // must cross several block boundaries.
+  std::vector<std::uint32_t> values;
+  for (std::uint32_t i = 0; i < 600; ++i) values.push_back(3 * i);
+  PostingsCursor cursor = CursorOf(values);
+  std::uint32_t buf[256];
+  std::vector<std::uint32_t> decoded;
+  std::uint32_t n;
+  size_t runs = 0;
+  while ((n = cursor.NextRun(buf, 256)) != 0) {
+    decoded.insert(decoded.end(), buf, buf + n);
+    ++runs;
+  }
+  EXPECT_EQ(decoded, values);
+  EXPECT_GT(runs, 1u) << "600 postings cannot fit one block";
+}
+
+TEST(NextRunTest, SmallCapSplitsBlocksButDrainsEverything) {
+  std::vector<std::uint32_t> values;
+  for (std::uint32_t i = 0; i < 100; ++i) values.push_back(i);
+  PostingsCursor cursor = CursorOf(values);
+  std::uint32_t buf[3];
+  std::vector<std::uint32_t> decoded;
+  std::uint32_t n;
+  while ((n = cursor.NextRun(buf, 3)) != 0) {
+    ASSERT_LE(n, 3u);
+    decoded.insert(decoded.end(), buf, buf + n);
+  }
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(DecodeWindowTest, ClampsToTheOrdinalWindow) {
+  std::vector<std::uint32_t> values;
+  for (std::uint32_t i = 0; i < 500; ++i) values.push_back(i * 2);
+  std::vector<std::uint32_t> out;
+  const size_t decoded = DecodeWindow(CursorOf(values), 100, 120, &out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{100, 102, 104, 106, 108, 110,
+                                             112, 114, 116, 118}));
+  // Early exit: the decode stops once a posting reaches `end`, never
+  // paying for the long tail.
+  EXPECT_LT(decoded, values.size());
+
+  out.clear();
+  DecodeWindow(CursorOf(values), 0, 0, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  DecodeWindow(PostingsCursor(), 0, 100, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FilterByCursorTest, EmptyRunDropsEverything) {
+  // An empty posting list on a bound position is an empty join.
+  EXPECT_TRUE(Filter({1, 2, 3}, PostingsCursor(), 0, 100).empty());
+  // ...and an empty candidate set stays empty whatever the cursor.
+  EXPECT_TRUE(Filter({}, CursorOf({1, 2, 3}), 0, 100).empty());
+}
+
+TEST(FilterByCursorTest, InlineSinglePostingFastPath) {
+  PostingsIndex index;
+  index.Add(9, 5);
+  EXPECT_EQ(Filter({1, 5, 9}, index.Find(9), 0, 100),
+            (std::vector<std::uint32_t>{5}));
+  EXPECT_TRUE(Filter({1, 9}, index.Find(9), 0, 100).empty());
+  // Duplicate candidates matching the inlined value all survive.
+  EXPECT_EQ(Filter({5, 5, 5}, index.Find(9), 0, 100),
+            (std::vector<std::uint32_t>{5, 5, 5}));
+}
+
+TEST(FilterByCursorTest, FullyDisjointRuns) {
+  EXPECT_TRUE(Filter({0, 2, 4, 6}, CursorOf({1, 3, 5, 7}), 0, 100).empty());
+  // Disjoint by range: every candidate below / above the cursor.
+  EXPECT_TRUE(Filter({1, 2, 3}, CursorOf({50, 60}), 0, 100).empty());
+  EXPECT_TRUE(Filter({50, 60}, CursorOf({1, 2, 3}), 0, 100).empty());
+}
+
+TEST(FilterByCursorTest, PrefixRunKeepsExactlyThePrefix) {
+  const std::vector<std::uint32_t> prefix = {2, 3, 5, 8};
+  std::vector<std::uint32_t> longer = prefix;
+  for (std::uint32_t i = 13; i < 200; i += 7) longer.push_back(i);
+  // a is a prefix of the cursor: everything survives.
+  EXPECT_EQ(Filter(prefix, CursorOf(longer), 0, 1000), prefix);
+  // the cursor is a prefix of a: only the prefix survives.
+  EXPECT_EQ(Filter(longer, CursorOf(prefix), 0, 1000), prefix);
+}
+
+TEST(FilterByCursorTest, RunsCrossingBlockBoundaries) {
+  // Both sides span several PostingsPool blocks; the intersection is
+  // the multiples of 15 — computed across every block boundary.
+  std::vector<std::uint32_t> threes;
+  std::vector<std::uint32_t> fives;
+  std::vector<std::uint32_t> fifteens;
+  for (std::uint32_t v = 0; v < 3000; v += 3) threes.push_back(v);
+  for (std::uint32_t v = 0; v < 3000; v += 5) fives.push_back(v);
+  for (std::uint32_t v = 0; v < 3000; v += 15) fifteens.push_back(v);
+  JoinKernelStats stats;
+  EXPECT_EQ(Filter(threes, CursorOf(fives), 0, 3000, &stats), fifteens);
+  EXPECT_GT(stats.cursor_steps, 0u);
+  EXPECT_GT(stats.merge_steps, 0u);
+}
+
+TEST(FilterByCursorTest, GallopingPathAgreesWithLinearMerge) {
+  // Two survivors against a 2000-element cursor: far beyond
+  // kGallopRatio, so whole blocks are skipped and the rest galloped.
+  std::vector<std::uint32_t> big;
+  for (std::uint32_t v = 0; v < 2000; ++v) big.push_back(2 * v);
+  JoinKernelStats stats;
+  EXPECT_EQ(Filter({1000, 3999}, CursorOf(big), 0, 4000, &stats),
+            (std::vector<std::uint32_t>{1000}));
+  EXPECT_GT(stats.gallop_steps, 0u);
+}
+
+TEST(FilterByCursorTest, DenseBitmapPathAgreesWithMerge) {
+  // A dense cursor (every ordinal in the window) over a long candidate
+  // list takes the bitmap fallback; results must match the merge.
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t v = 0; v < 512; ++v) all.push_back(v);
+  std::vector<std::uint32_t> evens;
+  for (std::uint32_t v = 0; v < 512; v += 2) evens.push_back(v);
+  EXPECT_EQ(Filter(evens, CursorOf(all), 0, 512), evens);
+  std::vector<std::uint32_t> odds;
+  for (std::uint32_t v = 1; v < 512; v += 2) odds.push_back(v);
+  EXPECT_EQ(Filter(evens, CursorOf(odds), 0, 512),
+            std::vector<std::uint32_t>{});
+}
+
+TEST(FilterByCursorTest, DuplicateCandidatesAllSurvive) {
+  // Hash-collision candidates repeat ordinals; the kernel must keep
+  // every repeat so the matcher sees the same sequence it always did.
+  EXPECT_EQ(Filter({4, 4, 7, 7, 7}, CursorOf({4, 7}), 0, 100),
+            (std::vector<std::uint32_t>{4, 4, 7, 7, 7}));
+}
+
+TEST(JoinScratchTest, DepthBuffersAreStableAcrossDeeperGrowth) {
+  JoinScratch scratch;
+  scratch.EnsureDepths(4);
+  std::vector<std::uint32_t>& outer = scratch.CandidatesAt(0);
+  outer = {1, 2, 3};
+  // Touching deeper depths (as inner recursion frames do) must not
+  // move the outer frame's buffer.
+  const std::uint32_t* data = outer.data();
+  scratch.CandidatesAt(3).assign(100, 9);
+  EXPECT_EQ(outer.data(), data);
+  EXPECT_EQ(outer, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(CursorSnapshotTest, NextRunHonorsTheSnapshotCount) {
+  // Appends after cursor creation are invisible (the Probe lifetime
+  // contract); NextRun must stop at the captured count.
+  PostingsPool pool;
+  const std::uint32_t list = pool.NewList();
+  for (std::uint32_t v = 0; v < 10; ++v) pool.Append(list, v);
+  PostingsCursor cursor = pool.Cursor(list);
+  for (std::uint32_t v = 10; v < 40; ++v) pool.Append(list, v);
+  std::uint32_t buf[64];
+  std::vector<std::uint32_t> decoded;
+  std::uint32_t n;
+  while ((n = cursor.NextRun(buf, 64)) != 0) {
+    decoded.insert(decoded.end(), buf, buf + n);
+  }
+  EXPECT_EQ(decoded.size(), 10u);
+  EXPECT_EQ(decoded.back(), 9u);
+}
+
+}  // namespace
+}  // namespace ooint
